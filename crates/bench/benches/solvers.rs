@@ -1,0 +1,116 @@
+//! Ablation benches for the solver-level design choices called out in
+//! DESIGN.md: steady-state method (GTH vs SOR), uniformization
+//! steady-state detection, BDD variable ordering, and fixed-point
+//! damping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reliab_bench::{birth_death, ordering_ablation_tree};
+use reliab_ftree::VariableOrdering;
+use reliab_hier::FixedPointOptions;
+use reliab_markov::{SteadyStateMethod, TransientOptions};
+use reliab_models::sip::{sip_availability, SipParams};
+
+fn bench_steady_state_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state_method");
+    for n in [50usize, 200, 400] {
+        let chain = birth_death(n, 1.0, 2.0).expect("valid chain");
+        group.bench_with_input(BenchmarkId::new("gth", n), &chain, |b, ch| {
+            b.iter(|| ch.steady_state_with(&SteadyStateMethod::Gth).expect("solve"))
+        });
+        group.bench_with_input(BenchmarkId::new("sor", n), &chain, |b, ch| {
+            b.iter(|| {
+                ch.steady_state_with(&SteadyStateMethod::Sor(Default::default()))
+                    .expect("solve")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniformization_ssd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniformization_steady_state_detection");
+    // Stiff chain + long horizon: SSD should shortcut most of the sum.
+    let chain = birth_death(40, 1.0, 50.0).expect("valid chain");
+    let mut init = vec![0.0; 40];
+    init[0] = 1.0;
+    let horizon = 5_000.0;
+    group.bench_function("with_detection", |b| {
+        b.iter(|| {
+            chain
+                .transient_with(
+                    &init,
+                    horizon,
+                    &TransientOptions {
+                        epsilon: 1e-10,
+                        steady_state_detection: Some(1e-12),
+                    },
+                )
+                .expect("solve")
+        })
+    });
+    group.bench_function("without_detection", |b| {
+        b.iter(|| {
+            chain
+                .transient_with(
+                    &init,
+                    horizon,
+                    &TransientOptions {
+                        epsilon: 1e-10,
+                        steady_state_detection: None,
+                    },
+                )
+                .expect("solve")
+        })
+    });
+    group.finish();
+}
+
+fn bench_bdd_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_variable_ordering");
+    let n = 10usize;
+    let q = vec![0.02; 2 * n];
+    for (name, ordering) in [
+        ("declaration", VariableOrdering::Declaration),
+        ("depth_first", VariableOrdering::DepthFirst),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let ft = ordering_ablation_tree(n, ordering).expect("build");
+                ft.top_event_probability(&q).expect("probability")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_point_damping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed_point_damping");
+    for damping in [1.0f64, 0.5, 0.25] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(damping),
+            &damping,
+            |b, &d| {
+                b.iter(|| {
+                    sip_availability(
+                        &SipParams::default(),
+                        &FixedPointOptions {
+                            damping: d,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("solve")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_steady_state_methods,
+    bench_uniformization_ssd,
+    bench_bdd_ordering,
+    bench_fixed_point_damping
+);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! # reliab-bench
+//!
+//! Shared model constructors for the experiment-regeneration binary
+//! (`repro`) and the Criterion benches. Every table and figure of the
+//! tutorial reconstruction (E1–E14, see `EXPERIMENTS.md`) can be
+//! regenerated with
+//!
+//! ```text
+//! cargo run -p reliab-bench --bin repro            # all experiments
+//! cargo run -p reliab-bench --bin repro -- e4 e9   # a subset
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use reliab_core::Result;
+use reliab_ftree::{FaultTree, FaultTreeBuilder, FtNode, VariableOrdering};
+use reliab_markov::{Ctmc, CtmcBuilder, StateId};
+use reliab_rbd::{Block, Rbd, RbdBuilder};
+
+/// Builds a heterogeneous series-of-parallel-pairs RBD with `n` pairs
+/// (`2n` components): the E14 scaling family. Component availabilities
+/// vary per pair so the CTMC cannot be lumped.
+///
+/// # Errors
+///
+/// Propagates RBD construction errors.
+pub fn scaling_rbd(n_pairs: usize) -> Result<(Rbd, Vec<f64>)> {
+    let mut b = RbdBuilder::new();
+    let mut blocks = Vec::with_capacity(n_pairs);
+    let mut avail = Vec::with_capacity(2 * n_pairs);
+    for i in 0..n_pairs {
+        let c1 = b.component(&format!("pair{i}-a"));
+        let c2 = b.component(&format!("pair{i}-b"));
+        blocks.push(Block::parallel_of(&[c1, c2]));
+        let a = 0.95 + 0.04 * (i as f64 / n_pairs.max(1) as f64);
+        avail.push(a);
+        avail.push(a - 0.01);
+    }
+    Ok((b.build(Block::series(blocks))?, avail))
+}
+
+/// The same system as a flat CTMC: each of the `2n` components fails
+/// and repairs independently (rates derived from the availabilities
+/// with a fixed repair rate), and the state is the full up/down
+/// vector — `4^n` states, the state-space explosion of E14.
+///
+/// Returns the chain and its "system up" states.
+///
+/// # Errors
+///
+/// Propagates CTMC construction errors.
+pub fn scaling_ctmc(n_pairs: usize) -> Result<(Ctmc, Vec<StateId>)> {
+    let (_, avail) = scaling_rbd(n_pairs)?;
+    let n_comp = 2 * n_pairs;
+    let mu = 1.0f64;
+    let lambdas: Vec<f64> = avail.iter().map(|a| mu * (1.0 - a) / a).collect();
+    let mut b = CtmcBuilder::new();
+    let n_states = 1usize << n_comp;
+    let ids: Vec<StateId> = (0..n_states).map(|s| b.state(&format!("s{s:b}"))).collect();
+    for s in 0..n_states {
+        for c in 0..n_comp {
+            let bit = 1usize << c;
+            if s & bit == 0 {
+                // component c up: may fail
+                b.transition(ids[s], ids[s | bit], lambdas[c])?;
+            } else {
+                b.transition(ids[s], ids[s & !bit], mu)?;
+            }
+        }
+    }
+    // Up: every pair has at least one up component (bit clear = up).
+    let up: Vec<StateId> = (0..n_states)
+        .filter(|s| {
+            (0..n_pairs).all(|p| {
+                let a = 1usize << (2 * p);
+                let bb = 1usize << (2 * p + 1);
+                (s & a == 0) || (s & bb == 0)
+            })
+        })
+        .map(|s| ids[s])
+        .collect();
+    Ok((b.build()?, up))
+}
+
+/// Builds the interleaved fault tree used for the BDD
+/// variable-ordering ablation: OR of `n` AND pairs whose events are
+/// declared in an ordering-hostile interleaved order.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn ordering_ablation_tree(n: usize, ordering: VariableOrdering) -> Result<FaultTree> {
+    let mut b = FaultTreeBuilder::new();
+    let a: Vec<_> = (0..n).map(|i| b.basic_event(&format!("a{i}"))).collect();
+    let c: Vec<_> = (0..n).map(|i| b.basic_event(&format!("b{i}"))).collect();
+    let top = FtNode::or((0..n).map(|i| FtNode::and_of(&[a[i], c[i]])).collect());
+    b.build_with_ordering(top, ordering)
+}
+
+/// Builds a birth–death CTMC with `n` states (used by solver benches).
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn birth_death(n: usize, lambda: f64, mu: f64) -> Result<Ctmc> {
+    let mut b = CtmcBuilder::new();
+    let states: Vec<_> = (0..n).map(|i| b.state(&format!("s{i}"))).collect();
+    for w in states.windows(2) {
+        b.transition(w[0], w[1], lambda)?;
+        b.transition(w[1], w[0], mu)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_family_agrees_between_routes() {
+        for n in 1..=4 {
+            let (rbd, avail) = scaling_rbd(n).unwrap();
+            let a_rbd = rbd.availability(&avail).unwrap();
+            let (ctmc, up) = scaling_ctmc(n).unwrap();
+            let a_ctmc = ctmc.steady_state_probability_of(&up).unwrap();
+            assert!(
+                (a_rbd - a_ctmc).abs() < 1e-9,
+                "n = {n}: RBD {a_rbd} vs CTMC {a_ctmc}"
+            );
+        }
+    }
+
+    #[test]
+    fn ctmc_state_count_explodes() {
+        assert_eq!(scaling_ctmc(3).unwrap().0.num_states(), 64);
+        assert_eq!(scaling_ctmc(5).unwrap().0.num_states(), 1024);
+    }
+
+    #[test]
+    fn ordering_ablation_sizes_differ() {
+        let decl = ordering_ablation_tree(8, VariableOrdering::Declaration).unwrap();
+        let dfs = ordering_ablation_tree(8, VariableOrdering::DepthFirst).unwrap();
+        assert!(dfs.bdd_size() < decl.bdd_size());
+    }
+
+    #[test]
+    fn birth_death_builds() {
+        let c = birth_death(50, 1.0, 2.0).unwrap();
+        assert_eq!(c.num_states(), 50);
+    }
+}

@@ -1,0 +1,30 @@
+//! End-to-end smoke test: the `repro` binary must regenerate a
+//! representative subset of experiment tables without error.
+
+use std::process::Command;
+
+#[test]
+fn repro_runs_fast_experiments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["e1", "e5", "e7", "e15", "e16", "e17"])
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for marker in ["E1", "E5", "E7", "E15", "E16", "E17", "min/yr", "MTTDL"] {
+        assert!(stdout.contains(marker), "missing {marker} in output");
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_ids() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("e99")
+        .output()
+        .expect("repro binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,105 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used across the `reliab` workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Error type shared by every `reliab` crate.
+///
+/// Variants are deliberately coarse: they distinguish *why* an operation
+/// failed (bad input, numerical breakdown, failure to converge, structural
+/// model defect) rather than *where*, which the message carries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A caller-supplied parameter was outside its legal domain
+    /// (negative rate, probability outside `[0, 1]`, NaN, ...).
+    InvalidParameter(String),
+    /// A numerical procedure broke down (singular matrix, overflow,
+    /// catastrophic cancellation guard tripped, ...).
+    Numerical(String),
+    /// An iterative procedure exhausted its iteration budget without
+    /// meeting the convergence tolerance.
+    Convergence {
+        /// Human-readable description of the failing procedure.
+        what: String,
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual (procedure-specific norm) at the final iteration.
+        residual: f64,
+    },
+    /// The model itself is structurally defective (absorbing state in an
+    /// irreducible solve, empty fault tree, disconnected reliability
+    /// graph terminal, ...).
+    Model(String),
+    /// The requested operation is not supported for this model class.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            Error::Numerical(m) => write!(f, "numerical failure: {m}"),
+            Error::Convergence {
+                what,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{what} did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            Error::Model(m) => write!(f, "model error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidParameter`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidParameter(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Numerical`].
+    pub fn numerical(msg: impl Into<String>) -> Self {
+        Error::Numerical(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Model`].
+    pub fn model(msg: impl Into<String>) -> Self {
+        Error::Model(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::invalid("rate must be positive");
+        assert_eq!(e.to_string(), "invalid parameter: rate must be positive");
+        let e = Error::Convergence {
+            what: "SOR".into(),
+            iterations: 500,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("500 iterations"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn source_is_none() {
+        use std::error::Error as _;
+        assert!(Error::numerical("x").source().is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Measure containers shared by all model classes.
+
+use crate::{ensure_probability, Error, Result};
+
+/// Minutes in a (365-day) year, used for downtime conversions.
+const MINUTES_PER_YEAR: f64 = 365.0 * 24.0 * 60.0;
+
+/// Converts a steady-state availability into expected downtime in
+/// minutes per year — the unit practitioners quote ("five nines" is
+/// about 5.26 minutes/year).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] if `availability` is outside `[0, 1]`.
+///
+/// ```
+/// # fn main() -> Result<(), reliab_core::Error> {
+/// let m = reliab_core::downtime_minutes_per_year(0.99999)?;
+/// assert!((m - 5.256).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn downtime_minutes_per_year(availability: f64) -> Result<f64> {
+    ensure_probability(availability, "availability")?;
+    Ok((1.0 - availability) * MINUTES_PER_YEAR)
+}
+
+/// A steady-state availability result with its practitioner-friendly
+/// derived quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Availability {
+    /// Steady-state probability that the system is up.
+    pub steady_state: f64,
+    /// Expected downtime, in minutes per year.
+    pub downtime_minutes_per_year: f64,
+}
+
+impl Availability {
+    /// Wraps a raw steady-state availability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `a` is outside `[0, 1]`.
+    pub fn from_steady_state(a: f64) -> Result<Self> {
+        Ok(Availability {
+            steady_state: a,
+            downtime_minutes_per_year: downtime_minutes_per_year(a)?,
+        })
+    }
+
+    /// Number of "nines" of availability, `-log10(1 - A)`.
+    ///
+    /// Returns `f64::INFINITY` for a perfectly available system.
+    pub fn nines(&self) -> f64 {
+        -(1.0 - self.steady_state).log10()
+    }
+}
+
+/// A two-sided confidence interval for a scalar measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean or median, estimator-specific).
+    pub point: f64,
+    /// Lower confidence limit.
+    pub lower: f64,
+    /// Upper confidence limit.
+    pub upper: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Creates an interval, validating `lower <= point <= upper` and the
+    /// confidence level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on ordering or level violations.
+    pub fn new(point: f64, lower: f64, upper: f64, level: f64) -> Result<Self> {
+        if !(0.0 < level && level < 1.0) {
+            return Err(Error::invalid(format!(
+                "confidence level must lie in (0,1), got {level}"
+            )));
+        }
+        if !(lower <= point && point <= upper) {
+            return Err(Error::invalid(format!(
+                "confidence interval must satisfy lower <= point <= upper, got [{lower}, {point}, {upper}]"
+            )));
+        }
+        Ok(ConfidenceInterval {
+            point,
+            lower,
+            upper,
+            level,
+        })
+    }
+
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+}
+
+/// Component importance measures for a single basic component, as produced
+/// by fault-tree / RBD analyses.
+///
+/// All three follow the standard definitions (Birnbaum; criticality a.k.a.
+/// improvement potential normalized by system unreliability; Fussell-Vesely
+/// from cut sets containing the component).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportanceMeasures {
+    /// Name of the component these measures describe.
+    pub component: String,
+    /// Birnbaum structural importance `∂Q_sys/∂q_i`.
+    pub birnbaum: f64,
+    /// Criticality importance `birnbaum * q_i / Q_sys`.
+    pub criticality: f64,
+    /// Fussell-Vesely importance: probability at least one cut set
+    /// containing `i` fails, divided by `Q_sys`.
+    pub fussell_vesely: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_nines_is_about_five_minutes() {
+        let a = Availability::from_steady_state(0.99999).unwrap();
+        assert!((a.downtime_minutes_per_year - 5.2559).abs() < 1e-3);
+        assert!((a.nines() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downtime_rejects_bad_availability() {
+        assert!(downtime_minutes_per_year(1.5).is_err());
+        assert!(downtime_minutes_per_year(-0.1).is_err());
+        assert_eq!(downtime_minutes_per_year(1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn interval_validation_and_queries() {
+        let ci = ConfidenceInterval::new(0.5, 0.4, 0.6, 0.95).unwrap();
+        assert!((ci.half_width() - 0.1).abs() < 1e-15);
+        assert!(ci.contains(0.45));
+        assert!(!ci.contains(0.7));
+        assert!(ConfidenceInterval::new(0.5, 0.6, 0.7, 0.95).is_err());
+        assert!(ConfidenceInterval::new(0.5, 0.4, 0.6, 1.0).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Solver traits implemented by every model class in the workspace.
+
+use crate::Result;
+
+/// Models that can report time-dependent reliability `R(t)` — the
+/// probability the system performs without failure over `[0, t]`.
+///
+/// Implementors: RBDs and fault trees over lifetime distributions,
+/// absorbing CTMCs, the simulator's estimators.
+pub trait Reliability {
+    /// Probability of surviving `[0, t]` without system failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `t` is negative/NaN or the underlying solver
+    /// fails (see each implementor's documentation).
+    fn reliability(&self, t: f64) -> Result<f64>;
+
+    /// Convenience: `1 - R(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Reliability::reliability`].
+    fn unreliability(&self, t: f64) -> Result<f64> {
+        Ok(1.0 - self.reliability(t)?)
+    }
+}
+
+/// Models with a long-run availability.
+pub trait SteadyStateAvailability {
+    /// Long-run fraction of time the system is up.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying steady-state solve fails
+    /// (singular generator, convergence failure, ...).
+    fn steady_state_availability(&self) -> Result<f64>;
+}
+
+/// Models with a mean time to (first) failure.
+pub trait MeanTimeToFailure {
+    /// Expected time until the system first fails, starting from the
+    /// model's initial state with all components good.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying solve fails, or the MTTF
+    /// diverges (no reachable failure state).
+    fn mttf(&self) -> Result<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Exp {
+        rate: f64,
+    }
+    impl Reliability for Exp {
+        fn reliability(&self, t: f64) -> Result<f64> {
+            Ok((-self.rate * t).exp())
+        }
+    }
+
+    #[test]
+    fn default_unreliability_complements() {
+        let m = Exp { rate: 1.0 };
+        let r = m.reliability(1.0).unwrap();
+        let q = m.unreliability(1.0).unwrap();
+        assert!((r + q - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn traits_are_object_safe() {
+        let m: Box<dyn Reliability> = Box::new(Exp { rate: 2.0 });
+        assert!(m.reliability(0.0).unwrap() == 1.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Validated numeric newtypes and boundary-validation helpers.
+
+use crate::{Error, Result};
+use std::fmt;
+
+/// A probability, statically guaranteed to lie in `[0, 1]` and be finite.
+///
+/// Construct with [`Probability::new`]; arithmetic that could leave the
+/// unit interval goes through checked constructors so the invariant can
+/// never be violated silently.
+///
+/// ```
+/// use reliab_core::Probability;
+/// # fn main() -> Result<(), reliab_core::Error> {
+/// let up = Probability::new(0.99)?;
+/// let down = up.complement();
+/// assert!((down.value() - 0.01).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The impossible event.
+    pub const ZERO: Probability = Probability(0.0);
+    /// The certain event.
+    pub const ONE: Probability = Probability(1.0);
+
+    /// Creates a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `p` is NaN, infinite, or
+    /// outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        ensure_probability(p, "probability")?;
+        Ok(Probability(p))
+    }
+
+    /// Creates a probability, clamping small floating-point excursions
+    /// (within `1e-9`) back into `[0, 1]`.
+    ///
+    /// Useful for consuming the output of numerical solvers, where values
+    /// like `1.0 + 3e-16` are routine and harmless.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `p` is NaN or departs from
+    /// the unit interval by more than `1e-9`.
+    pub fn new_clamped(p: f64) -> Result<Self> {
+        if p.is_nan() {
+            return Err(Error::invalid("probability is NaN"));
+        }
+        if (-1e-9..=1.0 + 1e-9).contains(&p) {
+            Ok(Probability(p.clamp(0.0, 1.0)))
+        } else {
+            Err(Error::invalid(format!(
+                "probability {p} outside [0,1] beyond tolerance"
+            )))
+        }
+    }
+
+    /// Returns the inner `f64` value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `1 - p`.
+    pub fn complement(self) -> Probability {
+        // Exactly representable: 1 - p stays in [0, 1] for p in [0, 1].
+        Probability(1.0 - self.0)
+    }
+
+    /// Probability that two independent events both occur.
+    pub fn and(self, other: Probability) -> Probability {
+        Probability(self.0 * other.0)
+    }
+
+    /// Probability that at least one of two independent events occurs.
+    pub fn or(self, other: Probability) -> Probability {
+        Probability(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = Error;
+    fn try_from(p: f64) -> Result<Self> {
+        Probability::new(p)
+    }
+}
+
+/// Validates that `x` is finite and strictly positive.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] naming `what` otherwise.
+pub fn ensure_finite_positive(x: f64, what: &str) -> Result<()> {
+    if x.is_finite() && x > 0.0 {
+        Ok(())
+    } else {
+        Err(Error::invalid(format!(
+            "{what} must be finite and > 0, got {x}"
+        )))
+    }
+}
+
+/// Validates that `x` is finite and non-negative.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] naming `what` otherwise.
+pub fn ensure_finite_nonneg(x: f64, what: &str) -> Result<()> {
+    if x.is_finite() && x >= 0.0 {
+        Ok(())
+    } else {
+        Err(Error::invalid(format!(
+            "{what} must be finite and >= 0, got {x}"
+        )))
+    }
+}
+
+/// Validates that `p` lies in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] naming `what` otherwise.
+pub fn ensure_probability(p: f64, what: &str) -> Result<()> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(Error::invalid(format!(
+            "{what} must lie in [0,1], got {p}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_domain() {
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.1).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clamped_accepts_solver_noise_only() {
+        assert_eq!(Probability::new_clamped(1.0 + 1e-12).unwrap().value(), 1.0);
+        assert_eq!(Probability::new_clamped(-1e-12).unwrap().value(), 0.0);
+        assert!(Probability::new_clamped(1.01).is_err());
+        assert!(Probability::new_clamped(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn boolean_algebra_on_independent_events() {
+        let a = Probability::new(0.5).unwrap();
+        let b = Probability::new(0.5).unwrap();
+        assert!((a.and(b).value() - 0.25).abs() < 1e-15);
+        assert!((a.or(b).value() - 0.75).abs() < 1e-15);
+        assert_eq!(Probability::ONE.complement(), Probability::ZERO);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p = Probability::try_from(0.3).unwrap();
+        let x: f64 = p.into();
+        assert_eq!(x, 0.3);
+    }
+
+    #[test]
+    fn validators() {
+        assert!(ensure_finite_positive(1e-300, "rate").is_ok());
+        assert!(ensure_finite_positive(0.0, "rate").is_err());
+        assert!(ensure_finite_nonneg(0.0, "time").is_ok());
+        assert!(ensure_finite_nonneg(-1.0, "time").is_err());
+        assert!(ensure_probability(0.5, "coverage").is_ok());
+        assert!(ensure_probability(2.0, "coverage").is_err());
+    }
+}

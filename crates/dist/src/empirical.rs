@@ -1,0 +1,199 @@
+//! Empirical distributions built from observed lifetime data — the
+//! front door for field data: use directly in the simulator, or
+//! summarize into moments and hand to [`crate::fit_two_moments`] for
+//! the analytic solvers.
+
+use crate::{ensure_open_prob, ensure_time, u01, Lifetime, TwoMomentFit};
+use reliab_core::{Error, Result};
+
+/// The empirical distribution of a sample of non-negative lifetimes.
+///
+/// * CDF: the right-continuous empirical step function.
+/// * Quantile: the usual left-inverse (order statistic).
+/// * Sampling: bootstrap (draw uniformly from the sample).
+/// * `pdf` is not absolutely continuous; it is reported as `0` off the
+///   atoms and `∞` on them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Empirical {
+    /// Builds an empirical distribution from observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if fewer than two
+    /// observations are given or any observation is negative/NaN.
+    pub fn from_samples(samples: &[f64]) -> Result<Self> {
+        if samples.len() < 2 {
+            return Err(Error::invalid(format!(
+                "need at least 2 observations, got {}",
+                samples.len()
+            )));
+        }
+        for (i, &x) in samples.iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                return Err(Error::invalid(format!(
+                    "observation {i} = {x} must be finite and >= 0"
+                )));
+            }
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let variance = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        Ok(Empirical {
+            sorted,
+            mean,
+            variance,
+        })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The observations in ascending order.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Sample squared coefficient of variation.
+    pub fn sample_cv2(&self) -> f64 {
+        self.variance / (self.mean * self.mean)
+    }
+
+    /// Fits a tractable analytic distribution matching the sample mean
+    /// and cv² (see [`crate::fit_two_moments`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors (e.g. a degenerate all-equal sample
+    /// has cv² = 0, which no phase-type with finitely many stages can
+    /// match — use [`crate::Deterministic`] in that case).
+    pub fn fit(&self) -> Result<TwoMomentFit> {
+        crate::fit_two_moments(self.mean, self.sample_cv2())
+    }
+}
+
+impl Lifetime for Empirical {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        // Count of observations <= t via partition_point.
+        let count = self.sorted.partition_point(|&x| x <= t);
+        Ok(count as f64 / self.sorted.len() as f64)
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(if self.sorted.binary_search_by(|x| x.partial_cmp(&t).expect("finite")).is_ok() {
+            f64::INFINITY
+        } else {
+            0.0
+        })
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Ok(self.sorted[idx])
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let i = (u01(rng) * self.sorted.len() as f64) as usize;
+        self.sorted[i.min(self.sorted.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_sampling_moments;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Empirical::from_samples(&[1.0]).is_err());
+        assert!(Empirical::from_samples(&[1.0, -2.0]).is_err());
+        assert!(Empirical::from_samples(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn step_cdf() {
+        let d = Empirical::from_samples(&[1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(d.cdf(0.5).unwrap(), 0.0);
+        assert_eq!(d.cdf(1.0).unwrap(), 0.25);
+        assert_eq!(d.cdf(2.0).unwrap(), 0.75);
+        assert_eq!(d.cdf(3.9).unwrap(), 0.75);
+        assert_eq!(d.cdf(4.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn moments_match_sample_statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let d = Empirical::from_samples(&xs).unwrap();
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+        // Sample (n-1) variance of this classic data set is 32/7.
+        assert!((d.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics() {
+        let d = Empirical::from_samples(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(d.quantile(0.25).unwrap(), 10.0);
+        assert_eq!(d.quantile(0.26).unwrap(), 20.0);
+        assert_eq!(d.quantile(0.75).unwrap(), 30.0);
+        assert_eq!(d.quantile(0.99).unwrap(), 40.0);
+    }
+
+    #[test]
+    fn bootstrap_sampling_moments() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let d = Empirical::from_samples(&xs).unwrap();
+        check_sampling_moments(&d, 100_000, 0.02);
+    }
+
+    #[test]
+    fn fit_round_trips_through_two_moment_match() {
+        use crate::Lifetime as _;
+        // Draw from an exponential-ish sample and fit.
+        let xs: Vec<f64> = (0..2000)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 2000.0;
+                -(1.0 - u).ln() * 3.0 // exact exponential quantiles, mean 3
+            })
+            .collect();
+        let d = Empirical::from_samples(&xs).unwrap();
+        let fit = d.fit().unwrap();
+        let f = fit.as_lifetime();
+        assert!((f.mean() - d.mean()).abs() < 1e-9);
+        assert!((f.cv_squared() - d.sample_cv2()).abs() < 1e-7);
+        // The grid of exact exponential quantiles has cv² near 1.
+        assert!((d.sample_cv2() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn pdf_reports_atoms() {
+        let d = Empirical::from_samples(&[1.0, 2.0]).unwrap();
+        assert_eq!(d.pdf(1.0).unwrap(), f64::INFINITY);
+        assert_eq!(d.pdf(1.5).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The exponential distribution — the memoryless workhorse of
+//! availability modeling.
+
+use crate::{ensure_open_prob, ensure_time, u01, Lifetime};
+use reliab_core::{ensure_finite_positive, Result};
+
+/// Exponential lifetime with failure rate `λ` (mean `1/λ`).
+///
+/// ```
+/// use reliab_dist::{Exponential, Lifetime};
+/// # fn main() -> Result<(), reliab_core::Error> {
+/// let d = Exponential::new(2.0)?;
+/// assert!((d.hazard(17.0)? - 2.0).abs() < 1e-12); // constant hazard
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`reliab_core::Error::InvalidParameter`] unless
+    /// `rate` is finite and positive.
+    pub fn new(rate: f64) -> Result<Self> {
+        ensure_finite_positive(rate, "exponential rate")?;
+        Ok(Exponential { rate })
+    }
+
+    /// Creates an exponential distribution from its mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`reliab_core::Error::InvalidParameter`] unless
+    /// `mean` is finite and positive.
+    pub fn from_mean(mean: f64) -> Result<Self> {
+        ensure_finite_positive(mean, "exponential mean")?;
+        Ok(Exponential { rate: 1.0 / mean })
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Lifetime for Exponential {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(-(-self.rate * t).exp_m1())
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(self.rate * (-self.rate * t).exp())
+    }
+
+    fn hazard(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(self.rate)
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        Ok(-(1.0 - p).ln() / self.rate)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        -u01(rng).ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_quantile_roundtrip, check_sampling_moments};
+
+    #[test]
+    fn construction_validates() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::from_mean(-1.0).is_err());
+        let d = Exponential::from_mean(4.0).unwrap();
+        assert!((d.rate() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memoryless_property() {
+        // P(X > s + t | X > s) == P(X > t)
+        let d = Exponential::new(0.7).unwrap();
+        let s = 2.0;
+        let t = 1.3;
+        let lhs = d.survival(s + t).unwrap() / d.survival(s).unwrap();
+        let rhs = d.survival(t).unwrap();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_and_cv() {
+        let d = Exponential::new(0.5).unwrap();
+        assert_eq!(d.mean(), 2.0);
+        assert_eq!(d.variance(), 4.0);
+        assert!((d.cv_squared() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        check_quantile_roundtrip(&Exponential::new(3.0).unwrap());
+    }
+
+    #[test]
+    fn sampling_moments() {
+        check_sampling_moments(&Exponential::new(2.0).unwrap(), 200_000, 0.02);
+    }
+
+    #[test]
+    fn negative_time_rejected() {
+        let d = Exponential::new(1.0).unwrap();
+        assert!(d.cdf(-1.0).is_err());
+        assert!(d.pdf(f64::NAN).is_err());
+    }
+}

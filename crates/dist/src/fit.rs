@@ -1,0 +1,193 @@
+//! Two-moment phase-type fitting: given an empirical mean and squared
+//! coefficient of variation, produce a tractable distribution matching
+//! both — the standard way tutorials fold non-exponential field data
+//! into Markov-solvable models.
+
+use crate::{Erlang, Exponential, HyperExponential, Lifetime, PhaseType};
+use reliab_core::{ensure_finite_positive, Error, Result};
+use reliab_numeric::DenseMatrix;
+
+/// Result of a two-moment fit; see [`fit_two_moments`].
+#[derive(Debug)]
+pub enum TwoMomentFit {
+    /// `cv² == 1` (within tolerance): a plain exponential.
+    Exponential(Exponential),
+    /// `cv² == 1/k` exactly for integer `k`: an Erlang.
+    Erlang(Erlang),
+    /// `1/k < cv² < 1/(k-1)`: the Tijms mixture of Erlang(k-1) and
+    /// Erlang(k) with common rate, expressed as a phase-type.
+    ErlangMixture(PhaseType),
+    /// `cv² > 1`: two-branch balanced-means hyperexponential.
+    HyperExponential(HyperExponential),
+}
+
+impl TwoMomentFit {
+    /// Borrows the fitted distribution as a [`Lifetime`] trait object.
+    pub fn as_lifetime(&self) -> &dyn Lifetime {
+        match self {
+            TwoMomentFit::Exponential(d) => d,
+            TwoMomentFit::Erlang(d) => d,
+            TwoMomentFit::ErlangMixture(d) => d,
+            TwoMomentFit::HyperExponential(d) => d,
+        }
+    }
+
+    /// Converts into a boxed [`Lifetime`].
+    pub fn into_lifetime(self) -> Box<dyn Lifetime> {
+        match self {
+            TwoMomentFit::Exponential(d) => Box::new(d),
+            TwoMomentFit::Erlang(d) => Box::new(d),
+            TwoMomentFit::ErlangMixture(d) => Box::new(d),
+            TwoMomentFit::HyperExponential(d) => Box::new(d),
+        }
+    }
+}
+
+/// Fits a distribution to a target `mean` and squared coefficient of
+/// variation `cv2`:
+///
+/// * `cv2 ≈ 1` → exponential;
+/// * `cv2 > 1` → balanced-means two-phase hyperexponential;
+/// * `cv2 < 1` → Erlang if `1/cv2` is an integer, otherwise the Tijms
+///   `Erlang(k-1)/Erlang(k)` common-rate mixture with
+///   `k = ⌈1/cv2⌉`.
+///
+/// Both target moments are matched exactly (see tests).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] unless `mean > 0` and `cv2 > 0`.
+///
+/// ```
+/// use reliab_dist::fit_two_moments;
+/// # fn main() -> Result<(), reliab_core::Error> {
+/// let fit = fit_two_moments(10.0, 0.4)?;
+/// let d = fit.as_lifetime();
+/// assert!((d.mean() - 10.0).abs() < 1e-9);
+/// assert!((d.cv_squared() - 0.4).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_two_moments(mean: f64, cv2: f64) -> Result<TwoMomentFit> {
+    ensure_finite_positive(mean, "target mean")?;
+    ensure_finite_positive(cv2, "target cv²")?;
+
+    const TOL: f64 = 1e-9;
+    if (cv2 - 1.0).abs() < TOL {
+        return Ok(TwoMomentFit::Exponential(Exponential::from_mean(mean)?));
+    }
+    if cv2 > 1.0 {
+        // Balanced-means H2: p / λ1 = (1 - p) / λ2.
+        let p = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
+        let l1 = 2.0 * p / mean;
+        let l2 = 2.0 * (1.0 - p) / mean;
+        return Ok(TwoMomentFit::HyperExponential(HyperExponential::new(
+            &[p, 1.0 - p],
+            &[l1, l2],
+        )?));
+    }
+    // cv2 < 1.
+    let inv = 1.0 / cv2;
+    let k_exact = inv.round();
+    if (inv - k_exact).abs() < TOL && k_exact >= 1.0 {
+        let k = k_exact as u32;
+        return Ok(TwoMomentFit::Erlang(Erlang::new(k, k as f64 / mean)?));
+    }
+    let k = inv.ceil() as usize; // k >= 2, 1/k < cv2 < 1/(k-1)
+    if k < 2 {
+        return Err(Error::invalid(format!(
+            "cv² = {cv2} cannot be fitted (internal bracketing failure)"
+        )));
+    }
+    let kf = k as f64;
+    // Tijms (1994): with prob p use k-1 stages, else k stages, common
+    // rate mu = (k - p) / mean.
+    let disc = kf * (1.0 + cv2) - kf * kf * cv2;
+    if disc < 0.0 {
+        return Err(Error::invalid(format!(
+            "cv² = {cv2} out of Erlang-mixture range for k = {k}"
+        )));
+    }
+    let p = (kf * cv2 - disc.sqrt()) / (1.0 + cv2);
+    let mu = (kf - p) / mean;
+    // Build as phase-type: k serial phases at rate mu; start at phase 1
+    // with prob p (traverses k-1 stages) or phase 0 with prob 1-p.
+    let mut t = DenseMatrix::zeros(k, k);
+    for i in 0..k {
+        t.set(i, i, -mu);
+        if i + 1 < k {
+            t.set(i, i + 1, mu);
+        }
+    }
+    let mut alpha = vec![0.0; k];
+    alpha[0] = 1.0 - p;
+    alpha[1] = p;
+    Ok(TwoMomentFit::ErlangMixture(PhaseType::new(alpha, t)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_fit(mean: f64, cv2: f64) {
+        let fit = fit_two_moments(mean, cv2).unwrap();
+        let d = fit.as_lifetime();
+        assert!(
+            (d.mean() - mean).abs() < 1e-8 * mean,
+            "mean: got {}, want {mean} (cv2 = {cv2})",
+            d.mean()
+        );
+        assert!(
+            (d.cv_squared() - cv2).abs() < 1e-7,
+            "cv²: got {}, want {cv2}",
+            d.cv_squared()
+        );
+    }
+
+    #[test]
+    fn exponential_regime() {
+        let fit = fit_two_moments(3.0, 1.0).unwrap();
+        assert!(matches!(fit, TwoMomentFit::Exponential(_)));
+        assert_fit(3.0, 1.0);
+    }
+
+    #[test]
+    fn hyperexponential_regime() {
+        let fit = fit_two_moments(2.0, 4.0).unwrap();
+        assert!(matches!(fit, TwoMomentFit::HyperExponential(_)));
+        for &cv2 in &[1.5, 2.0, 4.0, 10.0, 100.0] {
+            assert_fit(5.0, cv2);
+        }
+    }
+
+    #[test]
+    fn erlang_exact_regime() {
+        let fit = fit_two_moments(4.0, 0.25).unwrap();
+        assert!(matches!(fit, TwoMomentFit::Erlang(_)));
+        assert_fit(4.0, 0.25);
+        assert_fit(1.0, 0.5);
+        assert_fit(7.0, 0.1);
+    }
+
+    #[test]
+    fn erlang_mixture_regime() {
+        let fit = fit_two_moments(1.0, 0.4).unwrap();
+        assert!(matches!(fit, TwoMomentFit::ErlangMixture(_)));
+        for &cv2 in &[0.9, 0.7, 0.4, 0.3, 0.15] {
+            assert_fit(2.5, cv2);
+        }
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        assert!(fit_two_moments(0.0, 1.0).is_err());
+        assert!(fit_two_moments(1.0, 0.0).is_err());
+        assert!(fit_two_moments(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn boxed_conversion_preserves_moments() {
+        let d = fit_two_moments(6.0, 2.0).unwrap().into_lifetime();
+        assert!((d.mean() - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! # reliab-dist
+//!
+//! Lifetime (time-to-failure / time-to-repair) distributions for
+//! reliability modeling: the exponential workhorse plus the
+//! non-exponential laws the tutorial emphasizes (Weibull for wear-out,
+//! lognormal for repair times, hypo/hyper-exponential and general
+//! phase-type for matching empirical moments), with CDF/PDF/hazard,
+//! moments, quantiles, and random sampling.
+//!
+//! All distributions implement the object-safe [`Lifetime`] trait, so
+//! solvers and simulators can hold heterogeneous `Box<dyn Lifetime>`
+//! collections.
+//!
+//! ```
+//! use reliab_dist::{Exponential, Lifetime};
+//!
+//! # fn main() -> Result<(), reliab_core::Error> {
+//! let ttf = Exponential::new(0.5)?; // rate 0.5 per hour => mean 2h
+//! assert!((ttf.mean() - 2.0).abs() < 1e-12);
+//! assert!((ttf.cdf(2.0)? - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod empirical;
+mod exponential;
+mod fit;
+mod gamma;
+mod lognormal;
+mod mixtures;
+mod pareto;
+mod phase;
+mod simple;
+mod weibull;
+
+pub use empirical::Empirical;
+pub use exponential::Exponential;
+pub use fit::{fit_two_moments, TwoMomentFit};
+pub use gamma::{Erlang, Gamma};
+pub use lognormal::LogNormal;
+pub use mixtures::{HyperExponential, HypoExponential};
+pub use pareto::Pareto;
+pub use phase::PhaseType;
+pub use simple::{Deterministic, Uniform};
+pub use weibull::Weibull;
+
+use reliab_core::{Error, Result};
+
+/// Converts a numeric-layer error into the workspace error type.
+pub(crate) fn num_err(e: reliab_numeric::NumericError) -> Error {
+    Error::numerical(e.to_string())
+}
+
+/// A continuous, non-negative lifetime distribution.
+///
+/// The trait is object-safe: samplers receive `&mut dyn rand::RngCore`
+/// and all queries return plain `f64`s. Implementors guarantee:
+///
+/// * `cdf` is non-decreasing with `cdf(0) >= 0` and `cdf(t) -> 1`;
+/// * `survival(t) = 1 - cdf(t)`;
+/// * `mean`/`variance` are exact (closed-form or solver-based, not
+///   sampled).
+pub trait Lifetime: std::fmt::Debug + Send + Sync {
+    /// Cumulative distribution function `F(t) = P(X <= t)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for negative or NaN `t`.
+    fn cdf(&self, t: f64) -> Result<f64>;
+
+    /// Probability density function `f(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for negative or NaN `t`.
+    fn pdf(&self, t: f64) -> Result<f64>;
+
+    /// Survival (reliability) function `R(t) = 1 - F(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Lifetime::cdf`] errors.
+    fn survival(&self, t: f64) -> Result<f64> {
+        Ok(1.0 - self.cdf(t)?)
+    }
+
+    /// Hazard (failure) rate `h(t) = f(t) / R(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CDF/PDF errors; returns [`Error::Numerical`] where the
+    /// survival function has decayed to zero.
+    fn hazard(&self, t: f64) -> Result<f64> {
+        let s = self.survival(t)?;
+        if s <= 0.0 {
+            return Err(Error::numerical(format!(
+                "hazard undefined at t = {t}: survival is zero"
+            )));
+        }
+        Ok(self.pdf(t)? / s)
+    }
+
+    /// Expected value.
+    fn mean(&self) -> f64;
+
+    /// Variance.
+    fn variance(&self) -> f64;
+
+    /// Squared coefficient of variation `Var / Mean²`.
+    fn cv_squared(&self) -> f64 {
+        let m = self.mean();
+        self.variance() / (m * m)
+    }
+
+    /// Quantile function `F^{-1}(p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `0 < p < 1` (except
+    /// where an implementor documents closed endpoints), or
+    /// [`Error::Numerical`] if numeric inversion fails.
+    fn quantile(&self, p: f64) -> Result<f64>;
+
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64;
+}
+
+/// Uniform variate in `(0, 1)` from 53 random bits, never exactly 0.
+///
+/// Centralizing this keeps every distribution's inverse-transform
+/// sampler independent of `rand`'s higher-level trait surface.
+pub(crate) fn u01(rng: &mut dyn rand::RngCore) -> f64 {
+    loop {
+        let u = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+/// Standard normal variate by the Marsaglia polar method.
+pub(crate) fn standard_normal(rng: &mut dyn rand::RngCore) -> f64 {
+    loop {
+        let u = 2.0 * u01(rng) - 1.0;
+        let v = 2.0 * u01(rng) - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Validates a time argument for CDF/PDF evaluation.
+pub(crate) fn ensure_time(t: f64) -> Result<()> {
+    if t.is_nan() || t < 0.0 {
+        Err(Error::invalid(format!(
+            "time must be non-negative, got {t}"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Validates a quantile probability in the open unit interval.
+pub(crate) fn ensure_open_prob(p: f64) -> Result<()> {
+    if p > 0.0 && p < 1.0 {
+        Ok(())
+    } else {
+        Err(Error::invalid(format!(
+            "quantile probability must lie in (0,1), got {p}"
+        )))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::Lifetime;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Draws `n` samples and checks the empirical mean and variance
+    /// against the analytic values within loose Monte-Carlo bounds.
+    pub fn check_sampling_moments(d: &dyn Lifetime, n: usize, rel_tol: f64) {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x >= 0.0 && x.is_finite(), "sample {x} out of domain");
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let m = d.mean();
+        let v = d.variance();
+        assert!(
+            (mean - m).abs() <= rel_tol * m.max(1e-12),
+            "sampled mean {mean} vs analytic {m}"
+        );
+        if v > 0.0 {
+            assert!(
+                (var - v).abs() <= 3.0 * rel_tol * v,
+                "sampled variance {var} vs analytic {v}"
+            );
+        }
+    }
+
+    /// Checks that cdf(quantile(p)) == p on a probability grid and that
+    /// the CDF is monotone.
+    pub fn check_quantile_roundtrip(d: &dyn Lifetime) {
+        let mut last = -1.0;
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = d.quantile(p).expect("quantile in range");
+            assert!(x >= last, "quantile must be non-decreasing");
+            last = x;
+            let back = d.cdf(x).expect("cdf");
+            assert!(
+                (back - p).abs() < 1e-7,
+                "cdf(quantile({p})) = {back}"
+            );
+        }
+    }
+}

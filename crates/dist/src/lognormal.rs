@@ -1,0 +1,148 @@
+//! Lognormal distribution — the classic model for repair times.
+
+use crate::{ensure_open_prob, ensure_time, standard_normal, Lifetime};
+use reliab_core::{Error, Result};
+use reliab_numeric::special::{normal_cdf, normal_quantile};
+
+/// Lognormal lifetime: `ln X ~ N(μ, σ²)`.
+///
+/// Repair-time data is famously right-skewed with a long tail of "hard"
+/// repairs; the lognormal captures that and is the tutorial's go-to
+/// non-exponential repair law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal from the location `μ` and scale `σ` of the
+    /// underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `μ` is finite and
+    /// `σ` is finite and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(Error::invalid(format!("lognormal mu must be finite, got {mu}")));
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(Error::invalid(format!(
+                "lognormal sigma must be finite and > 0, got {sigma}"
+            )));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Creates a lognormal matching a target mean and squared
+    /// coefficient of variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `mean > 0` and
+    /// `cv2 > 0`.
+    pub fn from_mean_cv2(mean: f64, cv2: f64) -> Result<Self> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(Error::invalid(format!("mean must be > 0, got {mean}")));
+        }
+        if !(cv2.is_finite() && cv2 > 0.0) {
+            return Err(Error::invalid(format!("cv² must be > 0, got {cv2}")));
+        }
+        let sigma2 = (1.0 + cv2).ln();
+        LogNormal::new(mean.ln() - sigma2 / 2.0, sigma2.sqrt())
+    }
+
+    /// Location parameter of the underlying normal.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter of the underlying normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Lifetime for LogNormal {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        if t == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(normal_cdf((t.ln() - self.mu) / self.sigma))
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        if t == 0.0 {
+            return Ok(0.0);
+        }
+        let z = (t.ln() - self.mu) / self.sigma;
+        Ok((-0.5 * z * z).exp() / (t * self.sigma * (2.0 * std::f64::consts::PI).sqrt()))
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        let z = normal_quantile(p).map_err(crate::num_err)?;
+        Ok((self.mu + self.sigma * z).exp())
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_quantile_roundtrip, check_sampling_moments};
+
+    #[test]
+    fn construction_validates() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::from_mean_cv2(0.0, 1.0).is_err());
+        assert!(LogNormal::from_mean_cv2(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(1.2, 0.8).unwrap();
+        assert!((d.quantile(0.5).unwrap() - 1.2f64.exp()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn mean_cv2_fit_round_trips() {
+        let d = LogNormal::from_mean_cv2(4.0, 2.5).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-10);
+        assert!((d.cv_squared() - 2.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        check_quantile_roundtrip(&LogNormal::new(0.5, 0.6).unwrap());
+    }
+
+    #[test]
+    fn sampling_moments() {
+        check_sampling_moments(&LogNormal::new(0.0, 0.5).unwrap(), 300_000, 0.02);
+    }
+
+    #[test]
+    fn cdf_pdf_edges() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.cdf(0.0).unwrap(), 0.0);
+        assert_eq!(d.pdf(0.0).unwrap(), 0.0);
+        assert!((d.cdf(1.0).unwrap() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,307 @@
+//! Hypoexponential (series of stages) and hyperexponential (mixture)
+//! distributions — the standard two-moment matching targets for
+//! empirical data with cv² below / above one.
+
+use crate::{ensure_open_prob, ensure_time, u01, Lifetime};
+use reliab_core::{ensure_finite_positive, ensure_probability, Error, Result};
+use reliab_numeric::roots::brent;
+
+/// Hypoexponential lifetime: the sum of independent exponential stages
+/// with **distinct** rates `λ_1, ..., λ_n` (cv² < 1).
+///
+/// For equal rates use [`crate::Erlang`], whose CDF needs the gamma
+/// function rather than the partial-fraction form used here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HypoExponential {
+    rates: Vec<f64>,
+    /// Partial-fraction coefficients: `F(t) = 1 - Σ a_i e^{-λ_i t}`.
+    coeffs: Vec<f64>,
+}
+
+impl HypoExponential {
+    /// Creates a hypoexponential from its stage rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if fewer than two rates are
+    /// given, any rate is not finite and positive, or two rates
+    /// coincide (use [`crate::Erlang`] / combinations for repeated
+    /// rates).
+    pub fn new(rates: &[f64]) -> Result<Self> {
+        if rates.len() < 2 {
+            return Err(Error::invalid(
+                "hypoexponential needs at least two stages; use Exponential for one",
+            ));
+        }
+        for (i, &r) in rates.iter().enumerate() {
+            ensure_finite_positive(r, &format!("hypoexponential rate {i}"))?;
+        }
+        for i in 0..rates.len() {
+            for j in (i + 1)..rates.len() {
+                if (rates[i] - rates[j]).abs() < 1e-12 * rates[i].max(rates[j]) {
+                    return Err(Error::invalid(format!(
+                        "hypoexponential rates {i} and {j} coincide ({}); use Erlang stages instead",
+                        rates[i]
+                    )));
+                }
+            }
+        }
+        let n = rates.len();
+        let mut coeffs = vec![1.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    coeffs[i] *= rates[j] / (rates[j] - rates[i]);
+                }
+            }
+        }
+        Ok(HypoExponential {
+            rates: rates.to_vec(),
+            coeffs,
+        })
+    }
+
+    /// The stage rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+impl Lifetime for HypoExponential {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        let tail: f64 = self
+            .rates
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&l, &a)| a * (-l * t).exp())
+            .sum();
+        Ok((1.0 - tail).clamp(0.0, 1.0))
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        let v: f64 = self
+            .rates
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(&l, &a)| a * l * (-l * t).exp())
+            .sum();
+        Ok(v.max(0.0))
+    }
+
+    fn mean(&self) -> f64 {
+        self.rates.iter().map(|l| 1.0 / l).sum()
+    }
+
+    fn variance(&self) -> f64 {
+        self.rates.iter().map(|l| 1.0 / (l * l)).sum()
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        invert_cdf(self, p)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.rates.iter().map(|l| -u01(rng).ln() / l).sum()
+    }
+}
+
+/// Hyperexponential lifetime: a probabilistic mixture of exponentials
+/// (`cv² > 1`), the canonical model for heterogeneous repair actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperExponential {
+    probs: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+impl HyperExponential {
+    /// Creates a hyperexponential from branch probabilities and rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the slices differ in
+    /// length or are empty, probabilities do not sum to 1 (within
+    /// `1e-9`), or any rate is invalid.
+    pub fn new(probs: &[f64], rates: &[f64]) -> Result<Self> {
+        if probs.is_empty() || probs.len() != rates.len() {
+            return Err(Error::invalid(format!(
+                "hyperexponential needs matching non-empty branches, got {} probs and {} rates",
+                probs.len(),
+                rates.len()
+            )));
+        }
+        let mut total = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            ensure_probability(p, &format!("hyperexponential branch probability {i}"))?;
+            total += p;
+        }
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(Error::invalid(format!(
+                "hyperexponential branch probabilities sum to {total}, expected 1"
+            )));
+        }
+        for (i, &r) in rates.iter().enumerate() {
+            ensure_finite_positive(r, &format!("hyperexponential rate {i}"))?;
+        }
+        Ok(HyperExponential {
+            probs: probs.to_vec(),
+            rates: rates.to_vec(),
+        })
+    }
+
+    /// Branch probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Branch rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+}
+
+impl Lifetime for HyperExponential {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(self
+            .probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(&p, &l)| p * (1.0 - (-l * t).exp()))
+            .sum())
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(self
+            .probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(&p, &l)| p * l * (-l * t).exp())
+            .sum())
+    }
+
+    fn mean(&self) -> f64 {
+        self.probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(&p, &l)| p / l)
+            .sum()
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        let m2: f64 = self
+            .probs
+            .iter()
+            .zip(&self.rates)
+            .map(|(&p, &l)| 2.0 * p / (l * l))
+            .sum();
+        m2 - m * m
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        invert_cdf(self, p)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let u = u01(rng);
+        let mut acc = 0.0;
+        for (p, l) in self.probs.iter().zip(&self.rates) {
+            acc += p;
+            if u <= acc {
+                return -u01(rng).ln() / l;
+            }
+        }
+        // Floating-point residue: take the last branch.
+        -u01(rng).ln() / self.rates.last().expect("non-empty by construction")
+    }
+}
+
+/// Inverts a CDF numerically by bracketing + Brent.
+pub(crate) fn invert_cdf<D: Lifetime + ?Sized>(d: &D, p: f64) -> Result<f64> {
+    // Bracket: expand upper bound from the mean until F(hi) > p.
+    let mut hi = d.mean().max(1e-9);
+    for _ in 0..200 {
+        if d.cdf(hi)? > p {
+            break;
+        }
+        hi *= 2.0;
+    }
+    let f = |t: f64| d.cdf(t).map(|v| v - p).unwrap_or(f64::NAN);
+    brent(f, 0.0, hi, 1e-12, 300).map_err(crate::num_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_quantile_roundtrip, check_sampling_moments};
+
+    #[test]
+    fn hypo_two_stage_known_form() {
+        // rates 1 and 2: F(t) = 1 - 2e^{-t} + e^{-2t}
+        let d = HypoExponential::new(&[1.0, 2.0]).unwrap();
+        for &t in &[0.0, 0.5, 1.0, 3.0] {
+            let expected = 1.0 - 2.0 * (-t as f64).exp() + (-2.0 * t as f64).exp();
+            assert!((d.cdf(t).unwrap() - expected).abs() < 1e-12, "t = {t}");
+        }
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        assert!((d.variance() - 1.25).abs() < 1e-12);
+        assert!(d.cv_squared() < 1.0);
+    }
+
+    #[test]
+    fn hypo_rejects_equal_rates_and_single_stage() {
+        assert!(HypoExponential::new(&[1.0]).is_err());
+        assert!(HypoExponential::new(&[1.0, 1.0]).is_err());
+        assert!(HypoExponential::new(&[1.0, -2.0]).is_err());
+    }
+
+    #[test]
+    fn hyper_moments_and_cv() {
+        let d = HyperExponential::new(&[0.4, 0.6], &[0.5, 5.0]).unwrap();
+        let mean = 0.4 / 0.5 + 0.6 / 5.0;
+        assert!((d.mean() - mean).abs() < 1e-12);
+        assert!(d.cv_squared() > 1.0, "hyperexponential must have cv² > 1");
+    }
+
+    #[test]
+    fn hyper_validates() {
+        assert!(HyperExponential::new(&[], &[]).is_err());
+        assert!(HyperExponential::new(&[0.5], &[1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(&[0.5, 0.4], &[1.0, 2.0]).is_err());
+        assert!(HyperExponential::new(&[0.5, 0.5], &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn quantile_round_trips() {
+        check_quantile_roundtrip(&HypoExponential::new(&[1.0, 3.0, 7.0]).unwrap());
+        check_quantile_roundtrip(&HyperExponential::new(&[0.3, 0.7], &[0.2, 2.0]).unwrap());
+    }
+
+    #[test]
+    fn sampling_moments() {
+        check_sampling_moments(&HypoExponential::new(&[1.0, 2.0]).unwrap(), 200_000, 0.02);
+        check_sampling_moments(
+            &HyperExponential::new(&[0.25, 0.75], &[0.25, 3.0]).unwrap(),
+            300_000,
+            0.03,
+        );
+    }
+
+    #[test]
+    fn cdf_pdf_nonnegative_and_monotone() {
+        let d = HypoExponential::new(&[0.5, 1.5, 4.0]).unwrap();
+        let mut last = 0.0;
+        for i in 0..50 {
+            let t = i as f64 * 0.2;
+            let c = d.cdf(t).unwrap();
+            assert!(c >= last - 1e-15);
+            assert!(d.pdf(t).unwrap() >= 0.0);
+            last = c;
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Pareto (Lomax) distribution — heavy-tailed repair/outage durations.
+//!
+//! Field outage data (especially anything involving humans, logistics,
+//! or cascading diagnosis) often shows power-law tails that no
+//! lognormal matches; the Lomax (Pareto Type II, support from 0) is the
+//! standard heavy-tail model. Note the finite-moment conditions:
+//! the mean needs `shape > 1`, the variance `shape > 2`.
+
+use crate::{ensure_open_prob, ensure_time, u01, Lifetime};
+use reliab_core::{ensure_finite_positive, Result};
+
+/// Lomax (Pareto II) lifetime:
+/// `F(t) = 1 − (1 + t/scale)^{−shape}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    shape: f64,
+    scale: f64,
+}
+
+impl Pareto {
+    /// Creates a Lomax distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`reliab_core::Error::InvalidParameter`] unless both
+    /// parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        ensure_finite_positive(shape, "pareto shape")?;
+        ensure_finite_positive(scale, "pareto scale")?;
+        Ok(Pareto { shape, scale })
+    }
+
+    /// Shape (tail index) `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale `σ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Lifetime for Pareto {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(1.0 - (1.0 + t / self.scale).powf(-self.shape))
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(self.shape / self.scale * (1.0 + t / self.scale).powf(-self.shape - 1.0))
+    }
+
+    fn hazard(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        // Decreasing hazard: the longer an outage has lasted, the
+        // longer it is expected to keep lasting.
+        Ok(self.shape / (self.scale + t))
+    }
+
+    fn mean(&self) -> f64 {
+        if self.shape > 1.0 {
+            self.scale / (self.shape - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.shape > 2.0 {
+            self.scale * self.scale * self.shape
+                / ((self.shape - 1.0) * (self.shape - 1.0) * (self.shape - 2.0))
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        Ok(self.scale * ((1.0 - p).powf(-1.0 / self.shape) - 1.0))
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.scale * (u01(rng).powf(-1.0 / self.shape) - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_quantile_roundtrip, check_sampling_moments};
+
+    #[test]
+    fn construction_validates() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, -1.0).is_err());
+        assert!(Pareto::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn cdf_pdf_reference_values() {
+        let d = Pareto::new(2.0, 1.0).unwrap();
+        assert_eq!(d.cdf(0.0).unwrap(), 0.0);
+        assert!((d.cdf(1.0).unwrap() - 0.75).abs() < 1e-12);
+        assert!((d.pdf(0.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((d.pdf(1.0).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hazard_is_decreasing() {
+        let d = Pareto::new(1.5, 2.0).unwrap();
+        assert!(d.hazard(0.0).unwrap() > d.hazard(1.0).unwrap());
+        assert!(d.hazard(1.0).unwrap() > d.hazard(10.0).unwrap());
+    }
+
+    #[test]
+    fn moment_existence_conditions() {
+        assert!(Pareto::new(0.9, 1.0).unwrap().mean().is_infinite());
+        assert!(Pareto::new(1.5, 1.0).unwrap().mean().is_finite());
+        assert!(Pareto::new(1.5, 1.0).unwrap().variance().is_infinite());
+        let d = Pareto::new(3.0, 2.0).unwrap();
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0 * 3.0 / (4.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_round_trip_and_sampling() {
+        check_quantile_roundtrip(&Pareto::new(2.5, 3.0).unwrap());
+        // Moments exist for shape 4; heavy tail needs lots of samples.
+        check_sampling_moments(&Pareto::new(4.0, 3.0).unwrap(), 400_000, 0.05);
+    }
+
+    #[test]
+    fn heavier_tail_than_exponential() {
+        // Same mean, but far more tail mass.
+        use crate::Exponential;
+        let par = Pareto::new(2.0, 1.0).unwrap(); // mean 1
+        let exp = Exponential::from_mean(1.0).unwrap();
+        let far = 20.0;
+        assert!(par.survival(far).unwrap() > 100.0 * exp.survival(far).unwrap());
+    }
+}

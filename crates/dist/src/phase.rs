@@ -1,0 +1,335 @@
+//! Continuous phase-type distributions: absorption times of a CTMC with
+//! one absorbing state. Dense in the class of positive distributions,
+//! and the bridge that lets Markov solvers ingest non-exponential
+//! lifetimes.
+
+use crate::{ensure_open_prob, ensure_time, u01, Lifetime};
+use reliab_core::{Error, Result};
+use reliab_numeric::{poisson_weights, DenseMatrix};
+
+/// A continuous phase-type distribution `PH(α, T)`.
+///
+/// `T` is the sub-generator over the transient phases (negative
+/// diagonal, non-negative off-diagonal, row sums ≤ 0) and `α` the
+/// initial phase probabilities (sum ≤ 1; any deficit is an atom at 0).
+///
+/// The CDF and PDF are evaluated by uniformization of the defective
+/// chain; moments are exact via LU solves with the sub-generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseType {
+    alpha: Vec<f64>,
+    t: DenseMatrix,
+    /// Exit-rate vector `t⁰ = -T·1`.
+    exit: Vec<f64>,
+}
+
+impl PhaseType {
+    /// Creates a phase-type distribution from initial probabilities and
+    /// a sub-generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if dimensions mismatch,
+    /// `α` has entries outside `[0,1]` or sums above 1, the diagonal of
+    /// `T` is not negative, off-diagonals are negative, or any row sum
+    /// is positive beyond round-off.
+    pub fn new(alpha: Vec<f64>, t: DenseMatrix) -> Result<Self> {
+        let m = alpha.len();
+        if m == 0 {
+            return Err(Error::invalid("phase-type needs at least one phase"));
+        }
+        if t.nrows() != m || t.ncols() != m {
+            return Err(Error::invalid(format!(
+                "sub-generator must be {m}x{m}, got {}x{}",
+                t.nrows(),
+                t.ncols()
+            )));
+        }
+        let mut asum = 0.0;
+        for (i, &a) in alpha.iter().enumerate() {
+            if !(0.0..=1.0).contains(&a) || !a.is_finite() {
+                return Err(Error::invalid(format!(
+                    "alpha[{i}] = {a} must lie in [0,1]"
+                )));
+            }
+            asum += a;
+        }
+        if asum > 1.0 + 1e-12 {
+            return Err(Error::invalid(format!(
+                "alpha sums to {asum}, must be <= 1"
+            )));
+        }
+        let mut exit = vec![0.0f64; m];
+        for i in 0..m {
+            let mut row_sum = 0.0;
+            for j in 0..m {
+                let v = t.get(i, j);
+                if !v.is_finite() {
+                    return Err(Error::invalid(format!("T[{i}][{j}] = {v} not finite")));
+                }
+                if i == j {
+                    if v >= 0.0 {
+                        return Err(Error::invalid(format!(
+                            "diagonal T[{i}][{i}] = {v} must be negative"
+                        )));
+                    }
+                } else if v < 0.0 {
+                    return Err(Error::invalid(format!(
+                        "off-diagonal T[{i}][{j}] = {v} must be >= 0"
+                    )));
+                }
+                row_sum += v;
+            }
+            if row_sum > 1e-9 * t.get(i, i).abs() {
+                return Err(Error::invalid(format!(
+                    "row {i} of sub-generator has positive sum {row_sum}"
+                )));
+            }
+            exit[i] = (-row_sum).max(0.0);
+        }
+        Ok(PhaseType { alpha, t, exit })
+    }
+
+    /// Number of transient phases.
+    pub fn phases(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Initial phase probabilities.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The sub-generator matrix.
+    pub fn sub_generator(&self) -> &DenseMatrix {
+        &self.t
+    }
+
+    /// Transient phase distribution `α e^{T t}` by uniformization.
+    fn transient_vector(&self, t: f64) -> Result<Vec<f64>> {
+        let m = self.phases();
+        // Uniformization rate: strictly above the largest exit rate.
+        let q = (0..m)
+            .map(|i| -self.t.get(i, i))
+            .fold(0.0f64, f64::max)
+            * 1.02
+            + 1e-12;
+        // P = I + T / q over transient phases (sub-stochastic).
+        let mut p = DenseMatrix::zeros(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                let v = self.t.get(i, j) / q + if i == j { 1.0 } else { 0.0 };
+                p.set(i, j, v.max(0.0));
+            }
+        }
+        let w = poisson_weights(q * t, 1e-13).map_err(crate::num_err)?;
+        let mut v = self.alpha.clone();
+        // Advance to the left truncation point.
+        for _ in 0..w.left {
+            v = p.vecmat(&v).map_err(crate::num_err)?;
+        }
+        let mut acc = vec![0.0f64; m];
+        for (idx, &wk) in w.weights.iter().enumerate() {
+            for i in 0..m {
+                acc[i] += wk * v[i];
+            }
+            if idx + 1 < w.weights.len() {
+                v = p.vecmat(&v).map_err(crate::num_err)?;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Raw moment `E[X^n] = (-1)^n n! α T^{-n} 1`, exact via LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] if the sub-generator is singular
+    /// (a phase that can never reach absorption).
+    pub fn raw_moment(&self, n: u32) -> Result<f64> {
+        if n == 0 {
+            return Ok(1.0);
+        }
+        let m = self.phases();
+        // v_1 = T^{-1} 1; v_{k+1} = T^{-1} v_k. E[X^n] = (-1)^n n! α v_n.
+        let mut v = vec![1.0f64; m];
+        for _ in 0..n {
+            v = self.t.lu_solve(&v).map_err(crate::num_err)?;
+        }
+        let sign = if n.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let fact: f64 = (1..=n).map(f64::from).product();
+        let dot: f64 = self.alpha.iter().zip(&v).map(|(a, x)| a * x).sum();
+        Ok(sign * fact * dot)
+    }
+}
+
+impl Lifetime for PhaseType {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        let v = self.transient_vector(t)?;
+        let transient_mass: f64 = v.iter().sum();
+        Ok((1.0 - transient_mass).clamp(0.0, 1.0))
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        let v = self.transient_vector(t)?;
+        Ok(v.iter()
+            .zip(&self.exit)
+            .map(|(x, e)| x * e)
+            .sum::<f64>()
+            .max(0.0))
+    }
+
+    fn mean(&self) -> f64 {
+        self.raw_moment(1).unwrap_or(f64::NAN)
+    }
+
+    fn variance(&self) -> f64 {
+        match (self.raw_moment(1), self.raw_moment(2)) {
+            (Ok(m1), Ok(m2)) => m2 - m1 * m1,
+            _ => f64::NAN,
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        // Atom at zero: quantiles below the atom mass are 0.
+        let atom = 1.0 - self.alpha.iter().sum::<f64>();
+        if p <= atom {
+            return Ok(0.0);
+        }
+        crate::mixtures::invert_cdf(self, p)
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        let m = self.phases();
+        // Choose initial phase (or immediate absorption).
+        let mut u = u01(rng);
+        let mut phase = None;
+        for (i, &a) in self.alpha.iter().enumerate() {
+            if u <= a {
+                phase = Some(i);
+                break;
+            }
+            u -= a;
+        }
+        let Some(mut i) = phase else {
+            return 0.0; // atom at zero
+        };
+        let mut total = 0.0;
+        loop {
+            let q_i = -self.t.get(i, i);
+            total += -u01(rng).ln() / q_i;
+            // Jump: to phase j with prob T_ij/q_i, absorb with exit_i/q_i.
+            let mut u = u01(rng) * q_i;
+            let mut next = None;
+            for j in 0..m {
+                if j == i {
+                    continue;
+                }
+                let r = self.t.get(i, j);
+                if u <= r {
+                    next = Some(j);
+                    break;
+                }
+                u -= r;
+            }
+            match next {
+                Some(j) => i = j,
+                None => return total, // absorbed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_quantile_roundtrip, check_sampling_moments};
+    use crate::{Erlang, Exponential};
+
+    fn erlang2_ph(rate: f64) -> PhaseType {
+        let t = DenseMatrix::from_rows(&[&[-rate, rate], &[0.0, -rate]]).unwrap();
+        PhaseType::new(vec![1.0, 0.0], t).unwrap()
+    }
+
+    #[test]
+    fn single_phase_is_exponential() {
+        let t = DenseMatrix::from_rows(&[&[-2.0]]).unwrap();
+        let ph = PhaseType::new(vec![1.0], t).unwrap();
+        let e = Exponential::new(2.0).unwrap();
+        for &x in &[0.0, 0.3, 1.0, 2.5] {
+            assert!((ph.cdf(x).unwrap() - e.cdf(x).unwrap()).abs() < 1e-10, "t={x}");
+            assert!((ph.pdf(x).unwrap() - e.pdf(x).unwrap()).abs() < 1e-9, "t={x}");
+        }
+        assert!((ph.mean() - 0.5).abs() < 1e-12);
+        assert!((ph.variance() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_phase_series_is_erlang() {
+        let ph = erlang2_ph(3.0);
+        let er = Erlang::new(2, 3.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 2.0] {
+            assert!((ph.cdf(x).unwrap() - er.cdf(x).unwrap()).abs() < 1e-9, "t={x}");
+        }
+        assert!((ph.mean() - er.mean()).abs() < 1e-12);
+        assert!((ph.variance() - er.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_moments_match_erlang() {
+        let ph = erlang2_ph(1.0);
+        // Erlang(2,1): E[X] = 2, E[X^2] = 6, E[X^3] = 24.
+        assert!((ph.raw_moment(1).unwrap() - 2.0).abs() < 1e-12);
+        assert!((ph.raw_moment(2).unwrap() - 6.0).abs() < 1e-12);
+        assert!((ph.raw_moment(3).unwrap() - 24.0).abs() < 1e-11);
+        assert_eq!(ph.raw_moment(0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn atom_at_zero_handled() {
+        let t = DenseMatrix::from_rows(&[&[-1.0]]).unwrap();
+        let ph = PhaseType::new(vec![0.5], t).unwrap();
+        // Half the mass is an atom at zero.
+        assert!((ph.cdf(0.0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(ph.quantile(0.3).unwrap(), 0.0);
+        assert!(ph.quantile(0.9).unwrap() > 0.0);
+        assert!((ph.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_inputs() {
+        let good = DenseMatrix::from_rows(&[&[-1.0]]).unwrap();
+        assert!(PhaseType::new(vec![], good.clone()).is_err());
+        assert!(PhaseType::new(vec![1.5], good.clone()).is_err());
+        assert!(PhaseType::new(vec![0.6, 0.6], good.clone()).is_err());
+        let bad_diag = DenseMatrix::from_rows(&[&[1.0]]).unwrap();
+        assert!(PhaseType::new(vec![1.0], bad_diag).is_err());
+        let bad_off = DenseMatrix::from_rows(&[&[-1.0, -0.5], &[0.0, -1.0]]).unwrap();
+        assert!(PhaseType::new(vec![1.0, 0.0], bad_off).is_err());
+        let pos_row = DenseMatrix::from_rows(&[&[-1.0, 2.0], &[0.0, -1.0]]).unwrap();
+        assert!(PhaseType::new(vec![1.0, 0.0], pos_row).is_err());
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        check_quantile_roundtrip(&erlang2_ph(2.0));
+    }
+
+    #[test]
+    fn sampling_moments() {
+        check_sampling_moments(&erlang2_ph(2.0), 200_000, 0.02);
+    }
+
+    #[test]
+    fn branching_phase_type() {
+        // Coxian-ish: phase 0 -> phase 1 w.p. 0.5 (rate 1), exit w.p. 0.5.
+        let t = DenseMatrix::from_rows(&[&[-2.0, 1.0], &[0.0, -1.0]]).unwrap();
+        let ph = PhaseType::new(vec![1.0, 0.0], t).unwrap();
+        // mean = 1/2 + (1/2)(1) = 1.0
+        assert!((ph.mean() - 1.0).abs() < 1e-12);
+        check_sampling_moments(&ph, 200_000, 0.03);
+    }
+}

@@ -1,0 +1,188 @@
+//! Degenerate and uniform lifetimes.
+
+use crate::{ensure_open_prob, ensure_time, u01, Lifetime};
+use reliab_core::{ensure_finite_positive, Error, Result};
+
+/// Deterministic lifetime: the event occurs at exactly `value`.
+///
+/// Used for fixed inspection intervals, deterministic rejuvenation
+/// clocks, and scheduled maintenance in the MRGP models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a point mass at `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `value` is finite and
+    /// positive.
+    pub fn new(value: f64) -> Result<Self> {
+        ensure_finite_positive(value, "deterministic value")?;
+        Ok(Deterministic { value })
+    }
+
+    /// The point-mass location.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Lifetime for Deterministic {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(if t >= self.value { 1.0 } else { 0.0 })
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        // Density in the usual sense does not exist; report 0 away from
+        // the atom, infinity at the atom.
+        Ok(if t == self.value { f64::INFINITY } else { 0.0 })
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        Ok(self.value)
+    }
+
+    fn sample(&self, _rng: &mut dyn rand::RngCore) -> f64 {
+        self.value
+    }
+}
+
+/// Uniform lifetime on `[low, high]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[low, high]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless
+    /// `0 <= low < high < ∞`.
+    pub fn new(low: f64, high: f64) -> Result<Self> {
+        if !(low.is_finite() && high.is_finite() && 0.0 <= low && low < high) {
+            return Err(Error::invalid(format!(
+                "uniform bounds must satisfy 0 <= low < high, got [{low}, {high}]"
+            )));
+        }
+        Ok(Uniform { low, high })
+    }
+
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+}
+
+impl Lifetime for Uniform {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(((t - self.low) / (self.high - self.low)).clamp(0.0, 1.0))
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(if t >= self.low && t <= self.high {
+            1.0 / (self.high - self.low)
+        } else {
+            0.0
+        })
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        Ok(self.low + p * (self.high - self.low))
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.low + u01(rng) * (self.high - self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_quantile_roundtrip, check_sampling_moments};
+
+    #[test]
+    fn deterministic_step_cdf() {
+        let d = Deterministic::new(5.0).unwrap();
+        assert_eq!(d.cdf(4.999).unwrap(), 0.0);
+        assert_eq!(d.cdf(5.0).unwrap(), 1.0);
+        assert_eq!(d.mean(), 5.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.quantile(0.3).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn deterministic_validates() {
+        assert!(Deterministic::new(0.0).is_err());
+        assert!(Deterministic::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn uniform_basic_properties() {
+        let u = Uniform::new(1.0, 3.0).unwrap();
+        assert_eq!(u.mean(), 2.0);
+        assert!((u.variance() - 4.0 / 12.0).abs() < 1e-15);
+        assert_eq!(u.cdf(0.5).unwrap(), 0.0);
+        assert_eq!(u.cdf(2.0).unwrap(), 0.5);
+        assert_eq!(u.cdf(10.0).unwrap(), 1.0);
+        assert_eq!(u.pdf(2.0).unwrap(), 0.5);
+        assert_eq!(u.pdf(0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn uniform_validates() {
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(-1.0, 1.0).is_err());
+        assert!(Uniform::new(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_round_trips() {
+        check_quantile_roundtrip(&Uniform::new(0.5, 2.5).unwrap());
+        check_sampling_moments(&Uniform::new(1.0, 4.0).unwrap(), 100_000, 0.02);
+    }
+
+    #[test]
+    fn deterministic_sampling_is_constant() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let d = Deterministic::new(2.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 2.5);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Weibull distribution — increasing (wear-out) or decreasing (infant
+//! mortality) hazard depending on the shape parameter.
+
+use crate::{ensure_open_prob, ensure_time, u01, Lifetime};
+use reliab_core::{ensure_finite_positive, Result};
+use reliab_numeric::special::ln_gamma;
+
+/// Weibull lifetime with shape `k` and scale `η`:
+/// `F(t) = 1 - exp(-(t/η)^k)`.
+///
+/// * `k < 1` — decreasing hazard (infant mortality / burn-in phase);
+/// * `k = 1` — exponential;
+/// * `k > 1` — increasing hazard (wear-out), the case that makes
+///   preventive maintenance worthwhile (experiment E13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`reliab_core::Error::InvalidParameter`] unless both
+    /// parameters are finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        ensure_finite_positive(shape, "weibull shape")?;
+        ensure_finite_positive(scale, "weibull scale")?;
+        Ok(Weibull { shape, scale })
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `η`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Lifetime for Weibull {
+    fn cdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        Ok(-(-(t / self.scale).powf(self.shape)).exp_m1())
+    }
+
+    fn pdf(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        if t == 0.0 {
+            // Density at zero: 0 for k > 1, rate 1/scale for k == 1,
+            // diverges for k < 1 (report INFINITY).
+            return Ok(if self.shape > 1.0 {
+                0.0
+            } else if self.shape == 1.0 {
+                1.0 / self.scale
+            } else {
+                f64::INFINITY
+            });
+        }
+        let z = t / self.scale;
+        Ok(self.shape / self.scale * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp())
+    }
+
+    fn hazard(&self, t: f64) -> Result<f64> {
+        ensure_time(t)?;
+        if t == 0.0 {
+            return self.pdf(0.0);
+        }
+        let z = t / self.scale;
+        Ok(self.shape / self.scale * z.powf(self.shape - 1.0))
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * ln_gamma(1.0 + 1.0 / self.shape).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        ensure_open_prob(p)?;
+        Ok(self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape))
+    }
+
+    fn sample(&self, rng: &mut dyn rand::RngCore) -> f64 {
+        self.scale * (-u01(rng).ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_quantile_roundtrip, check_sampling_moments};
+    use crate::Exponential;
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        let e = Exponential::new(0.5).unwrap();
+        for &t in &[0.0, 0.5, 1.0, 4.0] {
+            assert!((w.cdf(t).unwrap() - e.cdf(t).unwrap()).abs() < 1e-12);
+        }
+        assert!((w.mean() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hazard_monotonicity_by_shape() {
+        let wear_out = Weibull::new(2.5, 1.0).unwrap();
+        assert!(wear_out.hazard(2.0).unwrap() > wear_out.hazard(1.0).unwrap());
+        let infant = Weibull::new(0.5, 1.0).unwrap();
+        assert!(infant.hazard(2.0).unwrap() < infant.hazard(1.0).unwrap());
+    }
+
+    #[test]
+    fn known_moments() {
+        // shape 2, scale 1: mean = sqrt(pi)/2, var = 1 - pi/4.
+        let w = Weibull::new(2.0, 1.0).unwrap();
+        assert!((w.mean() - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-12);
+        assert!((w.variance() - (1.0 - std::f64::consts::PI / 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        check_quantile_roundtrip(&Weibull::new(1.7, 3.0).unwrap());
+    }
+
+    #[test]
+    fn sampling_moments() {
+        check_sampling_moments(&Weibull::new(2.0, 5.0).unwrap(), 200_000, 0.02);
+    }
+
+    #[test]
+    fn pdf_at_zero_cases() {
+        assert_eq!(Weibull::new(2.0, 1.0).unwrap().pdf(0.0).unwrap(), 0.0);
+        assert_eq!(Weibull::new(1.0, 2.0).unwrap().pdf(0.0).unwrap(), 0.5);
+        assert_eq!(
+            Weibull::new(0.5, 1.0).unwrap().pdf(0.0).unwrap(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(f64::INFINITY, 1.0).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Common-cause failures (CCF) via the beta-factor model.
+//!
+//! Redundancy is only as good as the independence assumption behind
+//! it: if a fraction `β` of failures strike *all* members of a
+//! redundant group at once (shared power, shared cooling, a common
+//! software defect), an n-way parallel group degrades toward a single
+//! component. The beta-factor model splits each component's failure
+//! probability `q` into an independent part `(1-β)·q` and a shared
+//! common-cause event `β·q` that is OR-ed into every member — the
+//! standard first-order CCF treatment in reliability practice.
+
+use crate::tree::{EventId, FaultTreeBuilder, FtNode};
+use reliab_core::{ensure_probability, Error, Result};
+
+/// A beta-factor common-cause group created by [`CcfGroup::new`].
+#[derive(Debug, Clone)]
+pub struct CcfGroup {
+    /// Independent-failure basic events, one per member.
+    pub independent: Vec<EventId>,
+    /// The shared common-cause basic event.
+    pub common: EventId,
+}
+
+impl CcfGroup {
+    /// Declares the basic events for an `n`-member common-cause group
+    /// named `name` on the given builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `n == 0`.
+    pub fn new(b: &mut FaultTreeBuilder, name: &str, n: usize) -> Result<CcfGroup> {
+        if n == 0 {
+            return Err(Error::invalid("common-cause group needs at least one member"));
+        }
+        let independent = (0..n)
+            .map(|i| b.basic_event(&format!("{name}-{i}-indep")))
+            .collect();
+        let common = b.basic_event(&format!("{name}-ccf"));
+        Ok(CcfGroup {
+            independent,
+            common,
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.independent.len()
+    }
+
+    /// Whether the group is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.independent.is_empty()
+    }
+
+    /// The failure node of member `i`: independent failure OR the
+    /// common-cause event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn member(&self, i: usize) -> FtNode {
+        FtNode::or(vec![
+            self.independent[i].into(),
+            self.common.into(),
+        ])
+    }
+
+    /// All member failure nodes.
+    pub fn members(&self) -> Vec<FtNode> {
+        (0..self.len()).map(|i| self.member(i)).collect()
+    }
+
+    /// Fills `probs` (indexed by [`EventId::index`]) with the
+    /// beta-factor split of a total per-component failure probability
+    /// `q_total`: independent events get `(1-β)·q_total`, the common
+    /// event gets `β·q_total`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for probabilities outside
+    /// `[0, 1]` or if `probs` is too short.
+    pub fn assign_probabilities(
+        &self,
+        probs: &mut [f64],
+        q_total: f64,
+        beta: f64,
+    ) -> Result<()> {
+        ensure_probability(q_total, "q_total")?;
+        ensure_probability(beta, "beta")?;
+        let needed = self
+            .independent
+            .iter()
+            .chain(std::iter::once(&self.common))
+            .map(|e| e.index())
+            .max()
+            .expect("non-empty group");
+        if probs.len() <= needed {
+            return Err(Error::invalid(format!(
+                "probability vector of length {} cannot hold event index {needed}",
+                probs.len()
+            )));
+        }
+        for e in &self.independent {
+            probs[e.index()] = (1.0 - beta) * q_total;
+        }
+        probs[self.common.index()] = beta * q_total;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::FaultTreeBuilder;
+
+    /// Builds "system fails if all n members fail" with a CCF group
+    /// and returns the top-event probability.
+    fn parallel_with_ccf(n: usize, q: f64, beta: f64) -> f64 {
+        let mut b = FaultTreeBuilder::new();
+        let g = CcfGroup::new(&mut b, "unit", n).unwrap();
+        let top = FtNode::and(g.members());
+        let ft = b.build(top).unwrap();
+        let mut probs = vec![0.0; ft.num_events()];
+        g.assign_probabilities(&mut probs, q, beta).unwrap();
+        ft.top_event_probability(&probs).unwrap()
+    }
+
+    #[test]
+    fn beta_zero_recovers_independence() {
+        let q = 0.01;
+        for n in [2usize, 3] {
+            let got = parallel_with_ccf(n, q, 0.0);
+            assert!((got - q.powi(n as i32)).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn beta_one_collapses_to_single_component() {
+        // All failures are common cause: redundancy is worthless.
+        let q = 0.01;
+        for n in [2usize, 4] {
+            let got = parallel_with_ccf(n, q, 1.0);
+            assert!((got - q).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ccf_floor_dominates_high_redundancy() {
+        // With beta = 0.05 the system failure probability floors at
+        // ~beta*q no matter how much redundancy is added.
+        let (q, beta) = (0.01, 0.05);
+        let p4 = parallel_with_ccf(4, q, beta);
+        let p8 = parallel_with_ccf(8, q, beta);
+        let floor = beta * q;
+        assert!(p4 >= floor && p8 >= floor);
+        // Going 4 -> 8 units barely moves the number (CCF-dominated).
+        assert!((p4 - p8) / p4 < 0.01);
+        // And both are far worse than the naive independent predictions.
+        assert!(p4 > 100.0 * q.powi(4));
+    }
+
+    #[test]
+    fn analytic_beta_factor_formula() {
+        // For an n-parallel group: Q = beta*q + (1-beta*q)*((1-beta)q)^n
+        //   ~= beta*q + ((1-beta)q)^n for small q. Check exactly:
+        let (n, q, beta) = (3usize, 0.05, 0.2);
+        let got = parallel_with_ccf(n, q, beta);
+        let qi: f64 = (1.0 - beta) * q;
+        let qc = beta * q;
+        let expected = qc + (1.0 - qc) * qi.powi(n as i32);
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        let mut b = FaultTreeBuilder::new();
+        assert!(CcfGroup::new(&mut b, "g", 0).is_err());
+        let g = CcfGroup::new(&mut b, "g", 2).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        let mut too_short = vec![0.0; 1];
+        assert!(g.assign_probabilities(&mut too_short, 0.1, 0.1).is_err());
+        let mut ok = vec![0.0; 3];
+        assert!(g.assign_probabilities(&mut ok, 1.5, 0.1).is_err());
+        assert!(g.assign_probabilities(&mut ok, 0.1, -0.1).is_err());
+        assert!(g.assign_probabilities(&mut ok, 0.1, 0.3).is_ok());
+        assert!((ok[0] - 0.07).abs() < 1e-15);
+        assert!((ok[2] - 0.03).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,631 @@
+//! Fault-tree structure, compilation, and probabilistic analyses.
+
+use crate::bdd_err;
+use crate::cutsets::{minimal_cut_sets_of, CutSet};
+use reliab_bdd::{Bdd, NodeId};
+use reliab_core::{ensure_probability, Error, ImportanceMeasures, Result};
+use reliab_dist::Lifetime;
+
+/// Handle to a basic event, returned by [`FaultTreeBuilder::basic_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) usize);
+
+impl EventId {
+    /// Index into probability/lifetime vectors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A fault-tree gate/event expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtNode {
+    /// A basic event (component failure).
+    Basic(EventId),
+    /// OR gate: output fails if any input fails.
+    Or(Vec<FtNode>),
+    /// AND gate: output fails if all inputs fail.
+    And(Vec<FtNode>),
+    /// Voting gate: output fails if at least `k` inputs fail.
+    KOfN {
+        /// Failure threshold.
+        k: usize,
+        /// Gate inputs.
+        inputs: Vec<FtNode>,
+    },
+}
+
+impl FtNode {
+    /// OR gate.
+    pub fn or(inputs: Vec<FtNode>) -> FtNode {
+        FtNode::Or(inputs)
+    }
+
+    /// AND gate.
+    pub fn and(inputs: Vec<FtNode>) -> FtNode {
+        FtNode::And(inputs)
+    }
+
+    /// k-of-n voting gate.
+    pub fn k_of_n(k: usize, inputs: Vec<FtNode>) -> FtNode {
+        FtNode::KOfN { k, inputs }
+    }
+
+    /// OR over bare events.
+    pub fn or_of(events: &[EventId]) -> FtNode {
+        FtNode::Or(events.iter().map(|&e| FtNode::Basic(e)).collect())
+    }
+
+    /// AND over bare events.
+    pub fn and_of(events: &[EventId]) -> FtNode {
+        FtNode::And(events.iter().map(|&e| FtNode::Basic(e)).collect())
+    }
+}
+
+impl From<EventId> for FtNode {
+    fn from(e: EventId) -> FtNode {
+        FtNode::Basic(e)
+    }
+}
+
+/// How basic events are mapped to BDD variable levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VariableOrdering {
+    /// Events keep the order they were declared in.
+    #[default]
+    Declaration,
+    /// Events are ordered by first appearance in a depth-first
+    /// traversal of the tree — the classic structural heuristic, which
+    /// keeps related events adjacent and typically shrinks the BDD.
+    DepthFirst,
+}
+
+/// Builder for [`FaultTree`] models.
+#[derive(Debug, Default)]
+pub struct FaultTreeBuilder {
+    names: Vec<String>,
+}
+
+impl FaultTreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        FaultTreeBuilder::default()
+    }
+
+    /// Declares a basic event.
+    pub fn basic_event(&mut self, name: &str) -> EventId {
+        self.names.push(name.to_owned());
+        EventId(self.names.len() - 1)
+    }
+
+    /// Declares `n` basic events named `prefix-0 .. prefix-(n-1)`.
+    pub fn basic_events(&mut self, prefix: &str, n: usize) -> Vec<EventId> {
+        (0..n)
+            .map(|i| self.basic_event(&format!("{prefix}-{i}")))
+            .collect()
+    }
+
+    /// Compiles the tree with the default (declaration) ordering.
+    ///
+    /// # Errors
+    ///
+    /// See [`FaultTreeBuilder::build_with_ordering`].
+    pub fn build(self, top: FtNode) -> Result<FaultTree> {
+        self.build_with_ordering(top, VariableOrdering::Declaration)
+    }
+
+    /// Compiles the tree into an evaluable [`FaultTree`] using the given
+    /// BDD variable ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] for an empty tree, empty gates, k-of-n
+    /// thresholds out of range, or foreign event handles.
+    pub fn build_with_ordering(
+        self,
+        top: FtNode,
+        ordering: VariableOrdering,
+    ) -> Result<FaultTree> {
+        let n = self.names.len();
+        if n == 0 {
+            return Err(Error::model("fault tree has no basic events"));
+        }
+        // event_to_var[e] = BDD level of event e.
+        let event_to_var: Vec<u32> = match ordering {
+            VariableOrdering::Declaration => (0..n as u32).collect(),
+            VariableOrdering::DepthFirst => {
+                let mut order = Vec::new();
+                let mut seen = vec![false; n];
+                dfs_order(&top, &mut order, &mut seen, n)?;
+                // Events never referenced go to the end, in declaration
+                // order.
+                for e in 0..n {
+                    if !seen[e] {
+                        order.push(e);
+                    }
+                }
+                let mut map = vec![0u32; n];
+                for (level, &e) in order.iter().enumerate() {
+                    map[e] = level as u32;
+                }
+                map
+            }
+        };
+        let mut bdd = Bdd::new(n as u32);
+        let fails = compile(&mut bdd, &top, &event_to_var)?;
+        Ok(FaultTree {
+            names: self.names,
+            bdd,
+            fails,
+            event_to_var,
+            top,
+        })
+    }
+}
+
+fn dfs_order(node: &FtNode, order: &mut Vec<usize>, seen: &mut [bool], n: usize) -> Result<()> {
+    match node {
+        FtNode::Basic(e) => {
+            if e.0 >= n {
+                return Err(Error::model(format!(
+                    "event handle {} out of range ({n} events declared)",
+                    e.0
+                )));
+            }
+            if !seen[e.0] {
+                seen[e.0] = true;
+                order.push(e.0);
+            }
+            Ok(())
+        }
+        FtNode::Or(inputs) | FtNode::And(inputs) | FtNode::KOfN { inputs, .. } => {
+            for i in inputs {
+                dfs_order(i, order, seen, n)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId> {
+    match node {
+        FtNode::Basic(e) => {
+            if e.0 >= event_to_var.len() {
+                return Err(Error::model(format!(
+                    "event handle {} out of range ({} events declared)",
+                    e.0,
+                    event_to_var.len()
+                )));
+            }
+            bdd.var(event_to_var[e.0]).map_err(bdd_err)
+        }
+        FtNode::Or(inputs) => {
+            if inputs.is_empty() {
+                return Err(Error::model("empty OR gate"));
+            }
+            let mut acc = NodeId::FALSE;
+            for i in inputs {
+                let x = compile(bdd, i, event_to_var)?;
+                acc = bdd.or(acc, x);
+            }
+            Ok(acc)
+        }
+        FtNode::And(inputs) => {
+            if inputs.is_empty() {
+                return Err(Error::model("empty AND gate"));
+            }
+            let mut acc = NodeId::TRUE;
+            for i in inputs {
+                let x = compile(bdd, i, event_to_var)?;
+                acc = bdd.and(acc, x);
+            }
+            Ok(acc)
+        }
+        FtNode::KOfN { k, inputs } => {
+            if inputs.is_empty() {
+                return Err(Error::model("empty k-of-n gate"));
+            }
+            if *k == 0 || *k > inputs.len() {
+                return Err(Error::model(format!(
+                    "k-of-n gate with k = {k} outside 1..={}",
+                    inputs.len()
+                )));
+            }
+            let xs: Vec<NodeId> = inputs
+                .iter()
+                .map(|i| compile(bdd, i, event_to_var))
+                .collect::<Result<_>>()?;
+            Ok(bdd.at_least_k(&xs, *k))
+        }
+    }
+}
+
+/// A compiled fault tree.
+#[derive(Debug)]
+pub struct FaultTree {
+    names: Vec<String>,
+    bdd: Bdd,
+    fails: NodeId,
+    event_to_var: Vec<u32>,
+    top: FtNode,
+}
+
+impl FaultTree {
+    /// Number of basic events.
+    pub fn num_events(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a basic event.
+    pub fn event_name(&self, e: EventId) -> &str {
+        &self.names[e.0]
+    }
+
+    /// Size (node count) of the compiled BDD — compare across
+    /// [`VariableOrdering`] choices.
+    pub fn bdd_size(&self) -> usize {
+        self.bdd.node_count(self.fails)
+    }
+
+    /// Exact top-event probability given each basic event's failure
+    /// probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on a length mismatch or
+    /// probabilities outside `[0, 1]`.
+    pub fn top_event_probability(&self, event_probs: &[f64]) -> Result<f64> {
+        let p = self.permuted(event_probs)?;
+        self.bdd.probability(self.fails, &p).map_err(bdd_err)
+    }
+
+    /// Time-dependent unreliability: top-event probability with
+    /// `q_i = F_i(t)` from each event's lifetime distribution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution and evaluation errors.
+    pub fn unreliability(&self, lifetimes: &[&dyn Lifetime], t: f64) -> Result<f64> {
+        if lifetimes.len() != self.names.len() {
+            return Err(Error::invalid(format!(
+                "{} lifetimes supplied for {} events",
+                lifetimes.len(),
+                self.names.len()
+            )));
+        }
+        let probs: Vec<f64> = lifetimes.iter().map(|d| d.cdf(t)).collect::<Result<_>>()?;
+        self.top_event_probability(&probs)
+    }
+
+    /// Minimal cut sets of the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] if the expansion exceeds `max_sets`
+    /// intermediate sets (combinatorial blow-up guard) — fall back to
+    /// the BDD probability or the bounding crate in that case.
+    pub fn minimal_cut_sets(&self, max_sets: usize) -> Result<Vec<CutSet>> {
+        minimal_cut_sets_of(&self.top, max_sets)
+    }
+
+    /// Minimal cut sets computed from the compiled BDD (Rauzy's
+    /// minimal-solutions algorithm) instead of top-down expansion.
+    ///
+    /// Equivalent result to [`FaultTree::minimal_cut_sets`], but the
+    /// cost is governed by the BDD size rather than the intermediate
+    /// product terms — use this when MOCUS trips its blow-up guard
+    /// (e.g. wide k-of-n gates over AND/OR subtrees).
+    pub fn minimal_cut_sets_bdd(&self) -> Vec<CutSet> {
+        // Invert the event→variable map.
+        let mut var_to_event = vec![0usize; self.event_to_var.len()];
+        for (e, &v) in self.event_to_var.iter().enumerate() {
+            var_to_event[v as usize] = e;
+        }
+        let mut cuts: Vec<Vec<EventId>> = self
+            .bdd
+            .minimal_solutions(self.fails)
+            .into_iter()
+            .map(|s| {
+                let mut events: Vec<EventId> = s
+                    .into_iter()
+                    .map(|v| EventId(var_to_event[v as usize]))
+                    .collect();
+                events.sort();
+                events
+            })
+            .collect();
+        cuts.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        cuts.into_iter().map(CutSet::from_events).collect()
+    }
+
+    /// Importance measures for every basic event.
+    ///
+    /// * Birnbaum: `∂Q_top/∂q_i`.
+    /// * Criticality: `Birnbaum_i · q_i / Q_top`.
+    /// * Fussell–Vesely: `1 − Q_top(q_i := 0) / Q_top` (the exact
+    ///   fractional-contribution form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] if the top event has probability zero.
+    pub fn importance(&mut self, event_probs: &[f64]) -> Result<Vec<ImportanceMeasures>> {
+        let p = self.permuted(event_probs)?;
+        let q_top = self.bdd.probability(self.fails, &p).map_err(bdd_err)?;
+        if q_top <= 0.0 {
+            return Err(Error::model(
+                "top-event probability is zero; importance measures undefined",
+            ));
+        }
+        let birnbaum_by_var = self.bdd.birnbaum(self.fails, &p).map_err(bdd_err)?;
+        let mut out = Vec::with_capacity(self.names.len());
+        for (e, name) in self.names.iter().enumerate() {
+            let var = self.event_to_var[e] as usize;
+            let mut perfect = p.clone();
+            perfect[var] = 0.0;
+            let q_perfect = self
+                .bdd
+                .probability(self.fails, &perfect)
+                .map_err(bdd_err)?;
+            out.push(ImportanceMeasures {
+                component: name.clone(),
+                birnbaum: birnbaum_by_var[var],
+                criticality: birnbaum_by_var[var] * event_probs[e] / q_top,
+                fussell_vesely: 1.0 - q_perfect / q_top,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Rare-event upper bound `Σ_C Π_{i∈C} q_i` over the minimal cut
+    /// sets, alongside the exact probability — the pair the tutorial
+    /// uses to show when the approximation is safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cut-set enumeration and evaluation errors.
+    pub fn rare_event_bound(&self, event_probs: &[f64], max_sets: usize) -> Result<f64> {
+        self.check_probs(event_probs)?;
+        let cuts = self.minimal_cut_sets(max_sets)?;
+        Ok(cuts
+            .iter()
+            .map(|c| c.events().iter().map(|e| event_probs[e.0]).product::<f64>())
+            .sum())
+    }
+
+    fn check_probs(&self, p: &[f64]) -> Result<()> {
+        if p.len() != self.names.len() {
+            return Err(Error::invalid(format!(
+                "{} probabilities supplied for {} events",
+                p.len(),
+                self.names.len()
+            )));
+        }
+        for (i, &v) in p.iter().enumerate() {
+            ensure_probability(v, &format!("failure probability of '{}'", self.names[i]))?;
+        }
+        Ok(())
+    }
+
+    /// Reorders an event-indexed vector into BDD-variable order.
+    fn permuted(&self, event_probs: &[f64]) -> Result<Vec<f64>> {
+        self.check_probs(event_probs)?;
+        let mut p = vec![0.0; event_probs.len()];
+        for (e, &v) in event_probs.iter().enumerate() {
+            p[self.event_to_var[e] as usize] = v;
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reliab_dist::{Exponential, Lifetime};
+
+    fn multiproc() -> (FaultTreeBuilder, FtNode, Vec<EventId>) {
+        // Tutorial multiprocessor: 2 processors, 3 memories, bus.
+        // Fails if: both processors fail, OR >= 2 of 3 memories fail,
+        // OR the bus fails.
+        let mut b = FaultTreeBuilder::new();
+        let p = b.basic_events("proc", 2);
+        let m = b.basic_events("mem", 3);
+        let bus = b.basic_event("bus");
+        let top = FtNode::or(vec![
+            FtNode::and_of(&p),
+            FtNode::k_of_n(2, m.iter().map(|&e| e.into()).collect()),
+            bus.into(),
+        ]);
+        let mut all = p;
+        all.extend(m);
+        all.push(bus);
+        (b, top, all)
+    }
+
+    #[test]
+    fn or_and_probabilities() {
+        let mut b = FaultTreeBuilder::new();
+        let e = b.basic_events("e", 2);
+        let ft = b.build(FtNode::or_of(&e)).unwrap();
+        assert!((ft.top_event_probability(&[0.1, 0.2]).unwrap() - 0.28).abs() < 1e-15);
+
+        let mut b = FaultTreeBuilder::new();
+        let e = b.basic_events("e", 2);
+        let ft = b.build(FtNode::and_of(&e)).unwrap();
+        assert!((ft.top_event_probability(&[0.1, 0.2]).unwrap() - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multiprocessor_probability() {
+        let (b, top, _) = multiproc();
+        let ft = b.build(top).unwrap();
+        let q = [0.01, 0.01, 0.05, 0.05, 0.05, 0.001];
+        let p_proc = 0.01f64 * 0.01;
+        let p_mem = 3.0 * 0.05f64 * 0.05 * 0.95 + 0.05f64.powi(3);
+        let p_bus = 0.001;
+        let expected = 1.0 - (1.0 - p_proc) * (1.0 - p_mem) * (1.0 - p_bus);
+        assert!((ft.top_event_probability(&q).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_events_exact() {
+        // top = (a AND b) OR (a AND c): shared event a.
+        let mut b = FaultTreeBuilder::new();
+        let a = b.basic_event("a");
+        let b2 = b.basic_event("b");
+        let c = b.basic_event("c");
+        let top = FtNode::or(vec![
+            FtNode::and_of(&[a, b2]),
+            FtNode::and_of(&[a, c]),
+        ]);
+        let ft = b.build(top).unwrap();
+        let q = ft.top_event_probability(&[0.5, 0.5, 0.5]).unwrap();
+        assert!((q - 0.375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cut_sets_of_multiprocessor() {
+        let (b, top, _) = multiproc();
+        let ft = b.build(top).unwrap();
+        let cuts = ft.minimal_cut_sets(10_000).unwrap();
+        // {p0,p1}, {m0,m1}, {m0,m2}, {m1,m2}, {bus}
+        assert_eq!(cuts.len(), 5);
+        let sizes: Vec<usize> = cuts.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 1);
+        assert_eq!(sizes.iter().filter(|&&s| s == 2).count(), 4);
+    }
+
+    #[test]
+    fn rare_event_bound_is_upper_bound() {
+        let (b, top, _) = multiproc();
+        let ft = b.build(top).unwrap();
+        let q = [0.01, 0.01, 0.05, 0.05, 0.05, 0.001];
+        let exact = ft.top_event_probability(&q).unwrap();
+        let bound = ft.rare_event_bound(&q, 10_000).unwrap();
+        assert!(bound >= exact);
+        assert!(bound - exact < 0.01, "bound should be tight for rare events");
+    }
+
+    #[test]
+    fn dfs_ordering_shrinks_or_matches_bdd() {
+        // Interleaved structure where declaration order is bad:
+        // declare a0 b0 a1 b1..., tree pairs (a_i AND b_i) OR ...
+        let mut b1 = FaultTreeBuilder::new();
+        let n = 6;
+        let a: Vec<EventId> = (0..n).map(|i| b1.basic_event(&format!("a{i}"))).collect();
+        let bb: Vec<EventId> = (0..n).map(|i| b1.basic_event(&format!("b{i}"))).collect();
+        let top = FtNode::or(
+            (0..n)
+                .map(|i| FtNode::and_of(&[a[i], bb[i]]))
+                .collect::<Vec<_>>(),
+        );
+        let decl = b1.build_with_ordering(top.clone(), VariableOrdering::Declaration);
+        // Redeclare in the same way for the DFS build.
+        let mut b2 = FaultTreeBuilder::new();
+        let _a2: Vec<EventId> = (0..n).map(|i| b2.basic_event(&format!("a{i}"))).collect();
+        let _b2: Vec<EventId> = (0..n).map(|i| b2.basic_event(&format!("b{i}"))).collect();
+        let dfs = b2.build_with_ordering(top, VariableOrdering::DepthFirst);
+        let (decl, dfs) = (decl.unwrap(), dfs.unwrap());
+        assert!(dfs.bdd_size() <= decl.bdd_size());
+        // And both give the same probability.
+        let q = vec![0.1; 2 * n];
+        assert!(
+            (decl.top_event_probability(&q).unwrap() - dfs.top_event_probability(&q).unwrap())
+                .abs()
+                < 1e-14
+        );
+    }
+
+    #[test]
+    fn bdd_cut_sets_match_mocus() {
+        let (b, top, _) = multiproc();
+        let ft = b.build(top).unwrap();
+        let mocus = ft.minimal_cut_sets(10_000).unwrap();
+        let bdd = ft.minimal_cut_sets_bdd();
+        assert_eq!(mocus, bdd);
+    }
+
+    #[test]
+    fn bdd_cut_sets_match_mocus_with_dfs_ordering() {
+        // The BDD route must translate variables back to events even
+        // under a permuted ordering.
+        let (b, top, _) = multiproc();
+        let ft = b
+            .build_with_ordering(top, VariableOrdering::DepthFirst)
+            .unwrap();
+        let bdd = ft.minimal_cut_sets_bdd();
+        let mocus = ft.minimal_cut_sets(10_000).unwrap();
+        assert_eq!(mocus, bdd);
+    }
+
+    #[test]
+    fn bdd_cut_sets_survive_mocus_blowup() {
+        // AND of 6 ORs of 4 events: MOCUS generates 4^6 = 4096
+        // intermediate sets; the BDD route handles it regardless.
+        let mut b = FaultTreeBuilder::new();
+        let groups: Vec<FtNode> = (0..6)
+            .map(|g| FtNode::or_of(&b.basic_events(&format!("g{g}"), 4)))
+            .collect();
+        let ft = b.build(FtNode::and(groups)).unwrap();
+        assert!(ft.minimal_cut_sets(1000).is_err());
+        let cuts = ft.minimal_cut_sets_bdd();
+        assert_eq!(cuts.len(), 4096);
+        assert!(cuts.iter().all(|c| c.len() == 6));
+    }
+
+    #[test]
+    fn unreliability_with_lifetimes() {
+        let mut b = FaultTreeBuilder::new();
+        let e = b.basic_events("e", 2);
+        let ft = b.build(FtNode::and_of(&e)).unwrap();
+        let d = Exponential::new(1.0).unwrap();
+        let lifetimes: Vec<&dyn Lifetime> = vec![&d, &d];
+        let t = 1.0;
+        let q = ft.unreliability(&lifetimes, t).unwrap();
+        let f = 1.0 - (-1.0f64).exp();
+        assert!((q - f * f).abs() < 1e-13);
+    }
+
+    #[test]
+    fn importance_identifies_single_points_of_failure() {
+        let (b, top, all) = multiproc();
+        let mut ft = b.build(top).unwrap();
+        let q = [0.01, 0.01, 0.05, 0.05, 0.05, 0.001];
+        let imp = ft.importance(&q).unwrap();
+        let bus = &imp[all[5].index()];
+        // The bus is a single point of failure: highest Birnbaum.
+        for other in imp.iter().take(5) {
+            assert!(bus.birnbaum > other.birnbaum);
+        }
+        for m in &imp {
+            assert!((0.0..=1.0).contains(&m.fussell_vesely), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let b = FaultTreeBuilder::new();
+        let mut b2 = FaultTreeBuilder::new();
+        let e = b2.basic_event("e");
+        assert!(b.build(FtNode::Basic(e)).is_err()); // no events declared
+        let mut b3 = FaultTreeBuilder::new();
+        b3.basic_event("x");
+        assert!(b3.build(FtNode::Or(vec![])).is_err());
+        let mut b4 = FaultTreeBuilder::new();
+        let x = b4.basic_event("x");
+        assert!(b4
+            .build(FtNode::KOfN {
+                k: 0,
+                inputs: vec![x.into()]
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn probability_validation() {
+        let mut b = FaultTreeBuilder::new();
+        let e = b.basic_events("e", 2);
+        let ft = b.build(FtNode::or_of(&e)).unwrap();
+        assert!(ft.top_event_probability(&[0.1]).is_err());
+        assert!(ft.top_event_probability(&[0.1, 1.0001]).is_err());
+    }
+}

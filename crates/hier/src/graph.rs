@@ -1,0 +1,203 @@
+//! Acyclic hierarchical model graphs.
+
+use reliab_core::{Error, Result};
+use std::fmt;
+
+/// Handle to a measure node in a [`ModelGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MeasureId(usize);
+
+impl MeasureId {
+    /// Index into the solved-values vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+type Compute = Box<dyn Fn(&[f64]) -> Result<f64> + Send + Sync>;
+
+struct Node {
+    name: String,
+    inputs: Vec<usize>,
+    compute: Compute,
+}
+
+/// A directed acyclic graph of model measures.
+///
+/// Each node computes one scalar measure (an availability, an MTTF, a
+/// repair-coverage factor, ...) from the measures of its input nodes —
+/// typically by solving a submodel from another `reliab` crate inside
+/// the closure. [`ModelGraph::solve`] evaluates every node once in
+/// dependency order, which is exactly the tutorial's "import lower
+/// level results as parameters of the upper level" workflow.
+///
+/// Cyclic dependencies are rejected; use
+/// [`crate::fixed_point`] for genuinely cyclic compositions.
+#[derive(Default)]
+pub struct ModelGraph {
+    nodes: Vec<Node>,
+}
+
+impl fmt::Debug for ModelGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelGraph")
+            .field(
+                "nodes",
+                &self.nodes.iter().map(|n| &n.name).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ModelGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        ModelGraph::default()
+    }
+
+    /// Adds a source node (no inputs): a constant or a self-contained
+    /// submodel solve.
+    pub fn source<F>(&mut self, name: &str, compute: F) -> MeasureId
+    where
+        F: Fn() -> Result<f64> + Send + Sync + 'static,
+    {
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            inputs: Vec::new(),
+            compute: Box::new(move |_| compute()),
+        });
+        MeasureId(self.nodes.len() - 1)
+    }
+
+    /// Adds a constant parameter node.
+    pub fn constant(&mut self, name: &str, value: f64) -> MeasureId {
+        self.source(name, move || Ok(value))
+    }
+
+    /// Adds a derived node computing its measure from the inputs'
+    /// solved values (passed in the order given here).
+    pub fn node<F>(&mut self, name: &str, inputs: &[MeasureId], compute: F) -> MeasureId
+    where
+        F: Fn(&[f64]) -> Result<f64> + Send + Sync + 'static,
+    {
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            inputs: inputs.iter().map(|m| m.0).collect(),
+            compute: Box::new(compute),
+        });
+        MeasureId(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluates every node in dependency order and returns all
+    /// measures, indexed by [`MeasureId::index`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Model`] — empty graph, dangling input (forward
+    ///   reference to a node added later creates a cycle by
+    ///   construction, since inputs must already exist), or a compute
+    ///   closure returning a non-finite value.
+    /// * Errors from node closures propagate unchanged.
+    pub fn solve(&self) -> Result<Vec<f64>> {
+        if self.nodes.is_empty() {
+            return Err(Error::model("model graph is empty"));
+        }
+        // Inputs always reference earlier nodes (handles are only
+        // obtainable after insertion), so index order IS a topological
+        // order; still validate.
+        let mut values = vec![f64::NAN; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut args = Vec::with_capacity(node.inputs.len());
+            for &j in &node.inputs {
+                if j >= i {
+                    return Err(Error::model(format!(
+                        "node '{}' depends on a node not yet defined (cycle?)",
+                        node.name
+                    )));
+                }
+                args.push(values[j]);
+            }
+            let v = (node.compute)(&args)?;
+            if !v.is_finite() {
+                return Err(Error::model(format!(
+                    "node '{}' produced non-finite measure {v}",
+                    node.name
+                )));
+            }
+            values[i] = v;
+        }
+        Ok(values)
+    }
+
+    /// Solves the graph and returns a single measure.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelGraph::solve`].
+    pub fn solve_for(&self, m: MeasureId) -> Result<f64> {
+        Ok(self.solve()?[m.0])
+    }
+
+    /// Name of a node.
+    pub fn name(&self, m: MeasureId) -> &str {
+        &self.nodes[m.0].name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_level_hierarchy() {
+        // Leaves: subsystem availabilities; top: series composition.
+        let mut g = ModelGraph::new();
+        let a = g.constant("power", 0.999);
+        let b = g.source("controller", || Ok(0.99));
+        let top = g.node("system", &[a, b], |v| Ok(v[0] * v[1]));
+        let out = g.solve().unwrap();
+        assert!((out[top.index()] - 0.999 * 0.99).abs() < 1e-15);
+        assert!((g.solve_for(top).unwrap() - 0.999 * 0.99).abs() < 1e-15);
+        assert_eq!(g.name(top), "system");
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        let mut g = ModelGraph::new();
+        let base = g.constant("base", 2.0);
+        let l = g.node("left", &[base], |v| Ok(v[0] * 3.0));
+        let r = g.node("right", &[base], |v| Ok(v[0] + 1.0));
+        let top = g.node("top", &[l, r], |v| Ok(v[0] + v[1]));
+        assert_eq!(g.solve_for(top).unwrap(), 9.0);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn errors_propagate_with_node_context() {
+        let mut g = ModelGraph::new();
+        let bad = g.source("bad", || Err(Error::model("submodel failed")));
+        let _top = g.node("top", &[bad], |v| Ok(v[0]));
+        assert!(g.solve().is_err());
+
+        let mut g = ModelGraph::new();
+        g.source("nan", || Ok(f64::NAN));
+        let err = g.solve().unwrap_err();
+        assert!(err.to_string().contains("nan"), "{err}");
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert!(ModelGraph::new().solve().is_err());
+        assert!(ModelGraph::new().is_empty());
+    }
+}

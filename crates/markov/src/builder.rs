@@ -1,0 +1,288 @@
+//! CTMC construction with named states and boundary validation.
+
+use reliab_core::{ensure_finite_positive, Error, Result};
+use reliab_numeric::{CsrMatrix, DenseMatrix};
+use std::collections::HashMap;
+
+/// Opaque handle to a CTMC state, returned by [`CtmcBuilder::state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(usize);
+
+impl StateId {
+    /// The state's index into solution vectors (`π`, reward vectors).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Incremental builder for a [`Ctmc`].
+///
+/// States are created by name; transitions carry positive rates.
+/// Declaring the same transition twice accumulates the rates (useful
+/// when several physical events map to the same state pair).
+#[derive(Debug, Default)]
+pub struct CtmcBuilder {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    transitions: Vec<(usize, usize, f64)>,
+}
+
+impl CtmcBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CtmcBuilder::default()
+    }
+
+    /// Adds (or looks up) a state by name and returns its handle.
+    pub fn state(&mut self, name: &str) -> StateId {
+        if let Some(&i) = self.index.get(name) {
+            return StateId(i);
+        }
+        let i = self.names.len();
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        StateId(i)
+    }
+
+    /// Number of states declared so far.
+    pub fn num_states(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds a transition with the given positive rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the rate is not finite
+    /// and positive, or [`Error::Model`] for a self-loop (meaningless in
+    /// a CTMC).
+    pub fn transition(&mut self, from: StateId, to: StateId, rate: f64) -> Result<&mut Self> {
+        ensure_finite_positive(rate, "transition rate")?;
+        if from == to {
+            return Err(Error::model(format!(
+                "self-loop on state '{}' is not a CTMC transition",
+                self.names[from.0]
+            )));
+        }
+        if from.0 >= self.names.len() || to.0 >= self.names.len() {
+            return Err(Error::model("state handle from another builder"));
+        }
+        self.transitions.push((from.0, to.0, rate));
+        Ok(self)
+    }
+
+    /// Finalizes the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] if no states were declared.
+    pub fn build(self) -> Result<Ctmc> {
+        let n = self.names.len();
+        if n == 0 {
+            return Err(Error::model("CTMC has no states"));
+        }
+        let mut out_rate = vec![0.0f64; n];
+        for &(f, _, r) in &self.transitions {
+            out_rate[f] += r;
+        }
+        // Assemble the full generator (diagonal included) once.
+        let mut trips = self.transitions.clone();
+        for (i, &r) in out_rate.iter().enumerate() {
+            if r > 0.0 {
+                trips.push((i, i, -r));
+            }
+        }
+        let generator =
+            CsrMatrix::from_triplets(n, n, &trips).map_err(crate::num_err)?;
+        Ok(Ctmc {
+            names: self.names,
+            transitions: self.transitions,
+            out_rate,
+            generator,
+        })
+    }
+}
+
+/// A finite continuous-time Markov chain.
+///
+/// Construct with [`CtmcBuilder`]. Solution methods live in the
+/// `steady`, `transient`, `absorbing`, and `rewards` modules and are
+/// inherent methods of this type.
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    pub(crate) names: Vec<String>,
+    pub(crate) transitions: Vec<(usize, usize, f64)>,
+    pub(crate) out_rate: Vec<f64>,
+    /// Full generator (including diagonal) in CSR form.
+    pub(crate) generator: CsrMatrix,
+}
+
+impl Ctmc {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is out of range (foreign handle).
+    pub fn state_name(&self, s: StateId) -> &str {
+        &self.names[s.0]
+    }
+
+    /// Looks a state up by name.
+    pub fn find_state(&self, name: &str) -> Option<StateId> {
+        self.names.iter().position(|n| n == name).map(StateId)
+    }
+
+    /// Number of transitions (as declared; parallel arcs counted
+    /// separately).
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Total exit rate of each state.
+    pub fn exit_rates(&self) -> &[f64] {
+        &self.out_rate
+    }
+
+    /// The infinitesimal generator as a dense matrix (diagonal
+    /// included). Intended for small chains and direct solvers.
+    pub fn generator_dense(&self) -> DenseMatrix {
+        self.generator.to_dense()
+    }
+
+    /// The generator in CSR form (diagonal included).
+    pub fn generator(&self) -> &CsrMatrix {
+        &self.generator
+    }
+
+    /// The uniformization rate `q > max_i |q_ii|` used by the transient
+    /// solver.
+    pub(crate) fn uniformization_rate(&self) -> f64 {
+        self.out_rate.iter().fold(0.0f64, |m, &r| m.max(r)) * 1.02 + 1e-300
+    }
+
+    /// Uniformized DTMC transition matrix `P = I + Q/q` in CSR form.
+    pub(crate) fn uniformized_dtmc(&self, q: f64) -> CsrMatrix {
+        let n = self.num_states();
+        let mut trips: Vec<(usize, usize, f64)> = self
+            .transitions
+            .iter()
+            .map(|&(f, t, r)| (f, t, r / q))
+            .collect();
+        for (i, &r) in self.out_rate.iter().enumerate() {
+            trips.push((i, i, 1.0 - r / q));
+        }
+        CsrMatrix::from_triplets(n, n, &trips).expect("valid by construction")
+    }
+
+    /// Validates an initial probability vector against this chain.
+    pub(crate) fn check_distribution(&self, p: &[f64]) -> Result<()> {
+        if p.len() != self.num_states() {
+            return Err(Error::invalid(format!(
+                "distribution length {} != number of states {}",
+                p.len(),
+                self.num_states()
+            )));
+        }
+        let mut total = 0.0;
+        for (i, &v) in p.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(Error::invalid(format!("p[{i}] = {v} must be >= 0")));
+            }
+            total += v;
+        }
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(Error::invalid(format!(
+                "distribution sums to {total}, expected 1"
+            )));
+        }
+        Ok(())
+    }
+
+    /// A point-mass initial distribution on `s`.
+    pub fn point_mass(&self, s: StateId) -> Vec<f64> {
+        let mut p = vec![0.0; self.num_states()];
+        p[s.0] = 1.0;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_are_interned_by_name() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("up");
+        let a2 = b.state("up");
+        let c = b.state("down");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        assert_eq!(b.num_states(), 2);
+    }
+
+    #[test]
+    fn transition_validation() {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        assert!(b.transition(up, down, 0.0).is_err());
+        assert!(b.transition(up, down, f64::NAN).is_err());
+        assert!(b.transition(up, up, 1.0).is_err());
+        assert!(b.transition(up, down, 1.0).is_ok());
+    }
+
+    #[test]
+    fn parallel_arcs_accumulate() {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        b.transition(up, down, 1.0).unwrap();
+        b.transition(up, down, 2.0).unwrap();
+        b.transition(down, up, 5.0).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.exit_rates()[0], 3.0);
+        assert_eq!(c.generator().get(0, 1), 3.0);
+        assert_eq!(c.generator().get(0, 0), -3.0);
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(CtmcBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let c = {
+            let down = b.state("down");
+            b.transition(up, down, 1.0).unwrap();
+            b.transition(down, up, 1.0).unwrap();
+            b.build().unwrap()
+        };
+        assert_eq!(c.state_name(up), "up");
+        assert_eq!(c.find_state("down").unwrap().index(), 1);
+        assert!(c.find_state("nope").is_none());
+    }
+
+    #[test]
+    fn distribution_validation() {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        b.transition(up, down, 1.0).unwrap();
+        b.transition(down, up, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(c.check_distribution(&[1.0, 0.0]).is_ok());
+        assert!(c.check_distribution(&[0.5]).is_err());
+        assert!(c.check_distribution(&[0.7, 0.7]).is_err());
+        assert!(c.check_distribution(&[-0.1, 1.1]).is_err());
+        assert_eq!(c.point_mass(down), vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Parametric sensitivity of scalar measures.
+
+use reliab_core::{Error, Result};
+
+/// Result of a sensitivity computation for one parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// The measure value at the nominal parameter.
+    pub value: f64,
+    /// Derivative of the measure with respect to the parameter.
+    pub derivative: f64,
+    /// Scaled (logarithmic) sensitivity `(x/f)·df/dx` — the elasticity,
+    /// which practitioners use to rank parameters independent of units.
+    pub elasticity: f64,
+}
+
+/// Estimates the derivative of `measure` with respect to its scalar
+/// parameter at `x0` by central finite differences with relative step
+/// `rel_step` (e.g. `1e-6`).
+///
+/// Analytic derivatives exist for special cases, but the tutorial's
+/// workflow is "re-solve the model at perturbed inputs", which this
+/// captures for *any* measure: steady-state availability, MTTF, a
+/// transient probability, or a full hierarchical composition.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for a non-positive `x0` or
+/// `rel_step`, and propagates failures of `measure` itself.
+///
+/// ```
+/// use reliab_markov::sensitivity;
+/// # fn main() -> Result<(), reliab_core::Error> {
+/// // d/dλ of availability μ/(λ+μ) at λ=1, μ=9 is -μ/(λ+μ)² = -0.09.
+/// let s = sensitivity(|lambda| Ok(9.0 / (lambda + 9.0)), 1.0, 1e-6)?;
+/// assert!((s.derivative + 0.09).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sensitivity<F>(measure: F, x0: f64, rel_step: f64) -> Result<Sensitivity>
+where
+    F: Fn(f64) -> Result<f64>,
+{
+    if !(x0 > 0.0 && x0.is_finite()) {
+        return Err(Error::invalid(format!(
+            "sensitivity parameter must be positive and finite, got {x0}"
+        )));
+    }
+    if !(rel_step > 0.0 && rel_step < 1.0) {
+        return Err(Error::invalid(format!(
+            "relative step must lie in (0,1), got {rel_step}"
+        )));
+    }
+    let h = x0 * rel_step;
+    let value = measure(x0)?;
+    let hi = measure(x0 + h)?;
+    let lo = measure(x0 - h)?;
+    let derivative = (hi - lo) / (2.0 * h);
+    let elasticity = if value != 0.0 {
+        derivative * x0 / value
+    } else {
+        f64::NAN
+    };
+    Ok(Sensitivity {
+        value,
+        derivative,
+        elasticity,
+    })
+}
+
+impl crate::Ctmc {
+    /// Analytic gradient of the stationary distribution with respect
+    /// to the rate of the `from → to` transition.
+    ///
+    /// Differentiating `π Q = 0, Σ π = 1` in the rate `θ` gives the
+    /// linear system `(∂π) Q = -π ∂Q/∂θ, Σ ∂π = 0`, which is solved
+    /// directly (dense LU with the normalization row substituted).
+    /// Exact up to round-off — the alternative to the finite-difference
+    /// [`sensitivity`] helper when the measure *is* the stationary
+    /// vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Model`] — the chain has no `from → to` transition.
+    /// * [`Error::Numerical`] — singular system (reducible chain).
+    pub fn steady_state_rate_gradient(
+        &self,
+        from: crate::StateId,
+        to: crate::StateId,
+    ) -> Result<Vec<f64>> {
+        let n = self.num_states();
+        if from.index() >= n || to.index() >= n || from == to {
+            return Err(Error::model(
+                "gradient requires two distinct valid states",
+            ));
+        }
+        if !self
+            .transitions
+            .iter()
+            .any(|&(f, t, _)| f == from.index() && t == to.index())
+        {
+            return Err(Error::model(format!(
+                "no transition '{}' -> '{}' to differentiate",
+                self.state_name(from),
+                self.state_name(to)
+            )));
+        }
+        let pi = self.steady_state()?;
+        // rhs_j = -(π ∂Q)_j: ∂Q has +1 at (from,to), -1 at (from,from).
+        let mut rhs = vec![0.0f64; n];
+        rhs[to.index()] = -pi[from.index()];
+        rhs[from.index()] = pi[from.index()];
+        // Solve x Q = rhs with Σ x = 0  ⇔  Q^T x^T = rhs^T, one row
+        // of Q^T replaced by the all-ones normalization row.
+        let q = self.generator_dense();
+        let mut a = reliab_numeric::DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, q.get(j, i));
+            }
+        }
+        for j in 0..n {
+            a.set(n - 1, j, 1.0);
+        }
+        rhs[n - 1] = 0.0;
+        a.lu_solve(&rhs).map_err(crate::num_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    #[test]
+    fn derivative_of_known_function() {
+        let s = sensitivity(|x| Ok(x * x), 3.0, 1e-7).unwrap();
+        assert!((s.value - 9.0).abs() < 1e-12);
+        assert!((s.derivative - 6.0).abs() < 1e-5);
+        assert!((s.elasticity - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn availability_sensitivity_to_failure_rate() {
+        let avail = |lambda: f64| {
+            let mut b = CtmcBuilder::new();
+            let up = b.state("up");
+            let down = b.state("down");
+            b.transition(up, down, lambda)?;
+            b.transition(down, up, 2.0)?;
+            let c = b.build()?;
+            Ok(c.steady_state()?[0])
+        };
+        let s = sensitivity(avail, 0.5, 1e-6).unwrap();
+        // A = mu/(l+mu); dA/dl = -mu/(l+mu)^2 = -2/6.25 = -0.32
+        assert!((s.value - 0.8).abs() < 1e-12);
+        assert!((s.derivative + 0.32).abs() < 1e-6);
+        assert!(s.elasticity < 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(sensitivity(Ok, 0.0, 1e-6).is_err());
+        assert!(sensitivity(Ok, 1.0, 0.0).is_err());
+        assert!(sensitivity(Ok, 1.0, 1.5).is_err());
+        // Errors from the measure propagate.
+        assert!(sensitivity(|_| Err(Error::model("boom")), 1.0, 1e-6).is_err());
+    }
+
+    #[test]
+    fn zero_valued_measure_has_nan_elasticity() {
+        let s = sensitivity(|x| Ok(x - 1.0), 1.0, 1e-6).unwrap();
+        assert!(s.elasticity.is_nan());
+    }
+
+    #[test]
+    fn analytic_gradient_matches_closed_form() {
+        // Two-state chain: π_up = μ/(λ+μ). dπ_up/dλ = -μ/(λ+μ)².
+        let (l, m) = (0.5f64, 2.0f64);
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        b.transition(up, down, l).unwrap();
+        b.transition(down, up, m).unwrap();
+        let c = b.build().unwrap();
+        let g = c.steady_state_rate_gradient(up, down).unwrap();
+        let expected = -m / ((l + m) * (l + m));
+        assert!((g[0] - expected).abs() < 1e-12, "{} vs {expected}", g[0]);
+        // Components of the gradient sum to zero.
+        assert!((g[0] + g[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_gradient_matches_finite_difference() {
+        // Three-state chain with several arcs; check every entry of the
+        // gradient of π w.r.t. one rate against central differences.
+        let build = |theta: f64| {
+            let mut b = CtmcBuilder::new();
+            let a = b.state("a");
+            let bb = b.state("b");
+            let cc = b.state("c");
+            b.transition(a, bb, theta).unwrap();
+            b.transition(bb, cc, 0.7).unwrap();
+            b.transition(cc, a, 1.3).unwrap();
+            b.transition(bb, a, 0.4).unwrap();
+            b.build().unwrap()
+        };
+        let theta = 0.9;
+        let c = build(theta);
+        let a = c.find_state("a").unwrap();
+        let bb = c.find_state("b").unwrap();
+        let grad = c.steady_state_rate_gradient(a, bb).unwrap();
+        let h = 1e-6;
+        let hi = build(theta + h).steady_state().unwrap();
+        let lo = build(theta - h).steady_state().unwrap();
+        for i in 0..3 {
+            let fd = (hi[i] - lo[i]) / (2.0 * h);
+            assert!(
+                (grad[i] - fd).abs() < 1e-6,
+                "state {i}: analytic {} vs fd {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_validation() {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        b.transition(up, down, 1.0).unwrap();
+        b.transition(down, up, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(c.steady_state_rate_gradient(up, up).is_err());
+        // Transition that does not exist:
+        let mut b2 = CtmcBuilder::new();
+        let x = b2.state("x");
+        let y = b2.state("y");
+        let z = b2.state("z");
+        b2.transition(x, y, 1.0).unwrap();
+        b2.transition(y, z, 1.0).unwrap();
+        b2.transition(z, x, 1.0).unwrap();
+        let c2 = b2.build().unwrap();
+        assert!(c2.steady_state_rate_gradient(y, x).is_err());
+    }
+}

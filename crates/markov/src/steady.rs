@@ -1,0 +1,163 @@
+//! Steady-state solution of irreducible CTMCs.
+
+use crate::builder::Ctmc;
+use crate::num_err;
+use reliab_core::Result;
+use reliab_numeric::{gth_steady_state, sor_steady_state, IterativeOptions};
+
+/// Chains at or below this size are solved by dense GTH by default;
+/// larger chains use sparse SOR.
+const GTH_SIZE_THRESHOLD: usize = 512;
+
+/// Steady-state solution method selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SteadyStateMethod {
+    /// Dense Grassmann–Taksar–Heyman elimination: exact (to round-off),
+    /// subtraction-free, `O(n³)` time / `O(n²)` memory.
+    Gth,
+    /// Gauss–Seidel / SOR sweeps on the sparse generator: `O(nnz)` per
+    /// sweep, preferred for large chains.
+    Sor(IterativeOptions),
+    /// Pick GTH for small chains and SOR otherwise.
+    Auto,
+}
+
+impl Ctmc {
+    /// Stationary distribution with automatic method selection.
+    ///
+    /// # Errors
+    ///
+    /// * [`reliab_core::Error::Numerical`] — reducible chain (no unique
+    ///   stationary vector).
+    /// * [`reliab_core::Error::Convergence`] — SOR budget exhausted.
+    pub fn steady_state(&self) -> Result<Vec<f64>> {
+        self.steady_state_with(&SteadyStateMethod::Auto)
+    }
+
+    /// Stationary distribution with an explicit method.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ctmc::steady_state`].
+    pub fn steady_state_with(&self, method: &SteadyStateMethod) -> Result<Vec<f64>> {
+        match method {
+            SteadyStateMethod::Gth => {
+                gth_steady_state(&self.generator_dense()).map_err(num_err)
+            }
+            SteadyStateMethod::Sor(opts) => {
+                sor_steady_state(&self.generator().transpose(), opts).map_err(num_err)
+            }
+            SteadyStateMethod::Auto => {
+                if self.num_states() <= GTH_SIZE_THRESHOLD {
+                    gth_steady_state(&self.generator_dense()).map_err(num_err)
+                } else {
+                    sor_steady_state(
+                        &self.generator().transpose(),
+                        &IterativeOptions::default(),
+                    )
+                    .map_err(num_err)
+                }
+            }
+        }
+    }
+
+    /// Long-run probability of being in any state of `up_states`
+    /// (steady-state availability when those are the operational
+    /// states).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Ctmc::steady_state`] errors.
+    pub fn steady_state_probability_of(
+        &self,
+        states: &[crate::StateId],
+    ) -> Result<f64> {
+        let pi = self.steady_state()?;
+        Ok(states.iter().map(|s| pi[s.index()]).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    /// Classic two-component parallel system with a single shared
+    /// repair facility (states = number of failed components).
+    fn shared_repair_chain(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.state("0-failed");
+        let s1 = b.state("1-failed");
+        let s2 = b.state("2-failed");
+        b.transition(s0, s1, 2.0 * lambda).unwrap();
+        b.transition(s1, s2, lambda).unwrap();
+        b.transition(s1, s0, mu).unwrap();
+        b.transition(s2, s1, mu).unwrap(); // single crew: rate stays mu
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shared_repair_closed_form() {
+        // Birth-death: pi1/pi0 = 2λ/μ, pi2/pi1 = λ/μ.
+        let (l, m) = (0.01, 1.0);
+        let c = shared_repair_chain(l, m);
+        let pi = c.steady_state().unwrap();
+        let r1 = 2.0 * l / m;
+        let r2 = l / m;
+        let norm = 1.0 + r1 + r1 * r2;
+        assert!((pi[0] - 1.0 / norm).abs() < 1e-13);
+        assert!((pi[1] - r1 / norm).abs() < 1e-13);
+        assert!((pi[2] - r1 * r2 / norm).abs() < 1e-13);
+    }
+
+    #[test]
+    fn methods_agree() {
+        let c = shared_repair_chain(0.2, 1.5);
+        let gth = c.steady_state_with(&SteadyStateMethod::Gth).unwrap();
+        let sor = c
+            .steady_state_with(&SteadyStateMethod::Sor(Default::default()))
+            .unwrap();
+        let auto = c.steady_state().unwrap();
+        for i in 0..3 {
+            assert!((gth[i] - sor[i]).abs() < 1e-9);
+            assert!((gth[i] - auto[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn availability_of_up_states() {
+        let c = shared_repair_chain(0.01, 1.0);
+        let up: Vec<_> = [c.find_state("0-failed").unwrap(), c.find_state("1-failed").unwrap()]
+            .to_vec();
+        let a = c.steady_state_probability_of(&up).unwrap();
+        let pi = c.steady_state().unwrap();
+        assert!((a - (pi[0] + pi[1])).abs() < 1e-15);
+        assert!(a > 0.999);
+    }
+
+    #[test]
+    fn reducible_chain_errors() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a");
+        let absorbing = b.state("b");
+        b.transition(a, absorbing, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(c.steady_state().is_err());
+    }
+
+    #[test]
+    fn large_chain_uses_sor_and_matches_structure() {
+        // 600-state birth-death chain exceeds the GTH threshold.
+        let mut b = CtmcBuilder::new();
+        let states: Vec<_> = (0..600).map(|i| b.state(&format!("s{i}"))).collect();
+        for w in states.windows(2) {
+            b.transition(w[0], w[1], 1.0).unwrap();
+            b.transition(w[1], w[0], 2.0).unwrap();
+        }
+        let c = b.build().unwrap();
+        let pi = c.steady_state().unwrap();
+        // Geometric with ratio 1/2.
+        assert!((pi[1] / pi[0] - 0.5).abs() < 1e-6);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

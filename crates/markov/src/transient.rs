@@ -1,0 +1,349 @@
+//! Transient solution by uniformization (Jensen's method).
+
+use crate::builder::Ctmc;
+use crate::num_err;
+use reliab_core::{Error, Result};
+use reliab_numeric::poisson_weights;
+
+/// Options for the uniformization transient solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Bound on the truncated Poisson tail mass (solution error is of
+    /// the same order).
+    pub epsilon: f64,
+    /// If set, stop the Poisson sum early once successive uniformized
+    /// DTMC iterates differ by less than this threshold in `∞`-norm —
+    /// the classic "steady-state detection" optimization that turns the
+    /// `O(q·t)` cost of stiff problems into `O(mixing time)`.
+    pub steady_state_detection: Option<f64>,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions {
+            epsilon: 1e-10,
+            steady_state_detection: Some(1e-12),
+        }
+    }
+}
+
+impl TransientOptions {
+    fn validate(&self) -> Result<()> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(Error::invalid(format!(
+                "epsilon must lie in (0,1), got {}",
+                self.epsilon
+            )));
+        }
+        if let Some(d) = self.steady_state_detection {
+            if !(d > 0.0) {
+                return Err(Error::invalid(format!(
+                    "steady-state detection threshold must be positive, got {d}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Ctmc {
+    /// State-probability vector at time `t`, starting from `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a bad distribution,
+    /// negative `t`, or bad options; numerical errors propagate from the
+    /// Poisson-weight computation.
+    pub fn transient(&self, initial: &[f64], t: f64) -> Result<Vec<f64>> {
+        self.transient_with(initial, t, &TransientOptions::default())
+    }
+
+    /// [`Ctmc::transient`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ctmc::transient`].
+    pub fn transient_with(
+        &self,
+        initial: &[f64],
+        t: f64,
+        opts: &TransientOptions,
+    ) -> Result<Vec<f64>> {
+        self.check_distribution(initial)?;
+        opts.validate()?;
+        if t.is_nan() || t < 0.0 || !t.is_finite() {
+            return Err(Error::invalid(format!(
+                "time must be finite and >= 0, got {t}"
+            )));
+        }
+        if t == 0.0 {
+            return Ok(initial.to_vec());
+        }
+        let q = self.uniformization_rate();
+        if q <= 1e-299 {
+            // No transitions at all: distribution never moves.
+            return Ok(initial.to_vec());
+        }
+        let p = self.uniformized_dtmc(q);
+        let w = poisson_weights(q * t, opts.epsilon).map_err(num_err)?;
+
+        let n = self.num_states();
+        let mut v = initial.to_vec();
+        let mut out = vec![0.0f64; n];
+        let mut converged_at: Option<usize> = None;
+
+        // Advance to the left truncation point, checking for early
+        // steady-state en route.
+        for _k in 0..w.left {
+            let next = p.vecmat(&v).map_err(num_err)?;
+            if let Some(thresh) = opts.steady_state_detection {
+                if max_abs_diff(&v, &next) < thresh {
+                    v = next;
+                    converged_at = Some(0);
+                    break;
+                }
+            }
+            v = next;
+        }
+
+        if converged_at.is_none() {
+            for (idx, &wk) in w.weights.iter().enumerate() {
+                for i in 0..n {
+                    out[i] += wk * v[i];
+                }
+                if idx + 1 < w.weights.len() {
+                    let next = p.vecmat(&v).map_err(num_err)?;
+                    if let Some(thresh) = opts.steady_state_detection {
+                        if max_abs_diff(&v, &next) < thresh {
+                            v = next;
+                            converged_at = Some(idx + 1);
+                            break;
+                        }
+                    }
+                    v = next;
+                }
+            }
+        }
+
+        if let Some(start) = converged_at {
+            // The iterate has converged: the remaining Poisson mass all
+            // multiplies (approximately) the same vector.
+            let consumed: f64 = w.weights[..start].iter().sum();
+            let remaining = 1.0 - consumed;
+            for i in 0..n {
+                out[i] += remaining * v[i];
+            }
+        }
+
+        // Clean round-off: clamp and renormalize.
+        let mut total = 0.0;
+        for o in &mut out {
+            *o = o.max(0.0);
+            total += *o;
+        }
+        if total > 0.0 {
+            for o in &mut out {
+                *o /= total;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Expected total time spent in each state over `[0, t]`
+    /// (the integral `∫₀ᵗ π(u) du`), by the uniformization identity
+    /// `∫₀ᵗ pois_k(qu) du = (1/q)(1 - Σ_{j≤k} pois_j(qt))`.
+    ///
+    /// Dividing by `t` gives interval availability when summed over up
+    /// states.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctmc::transient`].
+    pub fn accumulated(&self, initial: &[f64], t: f64, epsilon: f64) -> Result<Vec<f64>> {
+        self.check_distribution(initial)?;
+        if t.is_nan() || t < 0.0 || !t.is_finite() {
+            return Err(Error::invalid(format!(
+                "time must be finite and >= 0, got {t}"
+            )));
+        }
+        let n = self.num_states();
+        if t == 0.0 {
+            return Ok(vec![0.0; n]);
+        }
+        let q = self.uniformization_rate();
+        if q <= 1e-299 {
+            return Ok(initial.iter().map(|&p| p * t).collect());
+        }
+        let p = self.uniformized_dtmc(q);
+        let w = poisson_weights(q * t, epsilon).map_err(num_err)?;
+
+        // cum(k) = sum of weights for j <= k; weights below w.left are
+        // negligible by construction.
+        let mut v = initial.to_vec();
+        let mut out = vec![0.0f64; n];
+        // Terms k < w.left have (1 - cum_k) ≈ 1.
+        for _k in 0..w.left {
+            for i in 0..n {
+                out[i] += v[i] / q;
+            }
+            v = p.vecmat(&v).map_err(num_err)?;
+        }
+        let mut cum = 0.0;
+        for (idx, &wk) in w.weights.iter().enumerate() {
+            cum += wk;
+            let coeff = (1.0 - cum).max(0.0) / q;
+            for i in 0..n {
+                out[i] += coeff * v[i];
+            }
+            if idx + 1 < w.weights.len() {
+                v = p.vecmat(&v).map_err(num_err)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        b.transition(up, down, lambda).unwrap();
+        b.transition(down, up, mu).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Closed-form availability of the two-state chain starting up:
+    /// A(t) = mu/(l+m) + l/(l+m) e^{-(l+m)t}.
+    fn two_state_avail(l: f64, m: f64, t: f64) -> f64 {
+        m / (l + m) + l / (l + m) * (-(l + m) * t).exp()
+    }
+
+    #[test]
+    fn matches_two_state_closed_form() {
+        let (l, m) = (0.4, 1.7);
+        let c = two_state(l, m);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        for &t in &[0.0, 0.1, 0.5, 1.0, 5.0, 50.0] {
+            let pi = c.transient(&p0, t).unwrap();
+            assert!(
+                (pi[0] - two_state_avail(l, m, t)).abs() < 1e-9,
+                "t = {t}: {} vs {}",
+                pi[0],
+                two_state_avail(l, m, t)
+            );
+        }
+    }
+
+    #[test]
+    fn long_horizon_reaches_steady_state() {
+        let c = two_state(1.0, 2.0);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let pi_t = c.transient(&p0, 1e4).unwrap();
+        let pi = c.steady_state().unwrap();
+        assert!((pi_t[0] - pi[0]).abs() < 1e-9);
+        assert!((pi_t[1] - pi[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_detection_agrees_with_full_sum() {
+        // Stiff chain: fast repair, slow failure, long horizon.
+        let c = two_state(1e-4, 100.0);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let with = c
+            .transient_with(
+                &p0,
+                1000.0,
+                &TransientOptions {
+                    epsilon: 1e-12,
+                    steady_state_detection: Some(1e-14),
+                },
+            )
+            .unwrap();
+        let without = c
+            .transient_with(
+                &p0,
+                1000.0,
+                &TransientOptions {
+                    epsilon: 1e-12,
+                    steady_state_detection: None,
+                },
+            )
+            .unwrap();
+        assert!((with[0] - without[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn options_and_inputs_validated() {
+        let c = two_state(1.0, 1.0);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        assert!(c.transient(&p0, -1.0).is_err());
+        assert!(c.transient(&[0.5, 0.6], 1.0).is_err());
+        assert!(c
+            .transient_with(
+                &p0,
+                1.0,
+                &TransientOptions {
+                    epsilon: 0.0,
+                    steady_state_detection: None
+                }
+            )
+            .is_err());
+        assert!(c
+            .transient_with(
+                &p0,
+                1.0,
+                &TransientOptions {
+                    epsilon: 1e-10,
+                    steady_state_detection: Some(-1.0)
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn t_zero_is_identity() {
+        let c = two_state(1.0, 1.0);
+        let p0 = vec![0.25, 0.75];
+        assert_eq!(c.transient(&p0, 0.0).unwrap(), p0);
+    }
+
+    #[test]
+    fn accumulated_matches_derivative_relation() {
+        // For the two-state chain, ∫ A(u) du has closed form:
+        // t*m/(l+m) + l/(l+m)^2 (1 - e^{-(l+m)t}).
+        let (l, m) = (0.5, 2.0);
+        let c = two_state(l, m);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        for &t in &[0.5, 2.0, 10.0] {
+            let acc = c.accumulated(&p0, t, 1e-12).unwrap();
+            let s = l + m;
+            let expected_up = t * m / s + l / (s * s) * (1.0 - (-s * t).exp());
+            assert!(
+                (acc[0] - expected_up).abs() < 1e-8,
+                "t = {t}: {} vs {expected_up}",
+                acc[0]
+            );
+            // Total time accounted for must equal t.
+            assert!((acc[0] + acc[1] - t).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn accumulated_zero_horizon() {
+        let c = two_state(1.0, 1.0);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        assert_eq!(c.accumulated(&p0, 0.0, 1e-10).unwrap(), vec![0.0, 0.0]);
+    }
+}

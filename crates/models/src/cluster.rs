@@ -1,0 +1,229 @@
+//! Sun-Microsystems-class two-node high-availability cluster (E17):
+//! the failover story. Service runs on a primary node; on a *covered*
+//! primary failure the cluster fails over to the secondary after a
+//! detection/switchover delay, while an *uncovered* failure needs slow
+//! manual recovery. A single crew repairs failed nodes. The model is a
+//! five-state CTMC whose structure is the canonical vendor
+//! availability model the tutorial attributes to Sun.
+
+use reliab_core::{
+    downtime_minutes_per_year, ensure_finite_positive, ensure_probability, Result,
+};
+use reliab_markov::{Ctmc, CtmcBuilder, StateId};
+
+/// Cluster parameters (rates per hour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Per-node failure rate.
+    pub lambda: f64,
+    /// Node repair rate (single shared crew).
+    pub mu: f64,
+    /// Failover coverage: probability a primary failure is detected
+    /// and switched over automatically.
+    pub coverage: f64,
+    /// Failover completion rate (1 / mean switchover delay).
+    pub failover_rate: f64,
+    /// Manual-recovery rate for uncovered failures.
+    pub manual_rate: f64,
+}
+
+impl Default for ClusterParams {
+    /// Representative values: node MTTF ~4000 h, repair 4 h, coverage
+    /// 0.95, failover 30 s–2 min (rate 120/h ≈ 30 s), manual recovery
+    /// 30 min.
+    fn default() -> Self {
+        ClusterParams {
+            lambda: 1.0 / 4000.0,
+            mu: 0.25,
+            coverage: 0.95,
+            failover_rate: 120.0,
+            manual_rate: 2.0,
+        }
+    }
+}
+
+/// State handles of the cluster CTMC, for reuse in transient queries.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterStates {
+    /// Both nodes up, service on primary.
+    pub up2: StateId,
+    /// Covered failover in progress (service down, secondary healthy).
+    pub failover: StateId,
+    /// Uncovered failure, manual recovery in progress (service down).
+    pub uncovered: StateId,
+    /// One node up and serving, the other in repair.
+    pub up1: StateId,
+    /// Both nodes down (service down, repair in progress).
+    pub down: StateId,
+}
+
+/// Summary measures of the cluster model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterReport {
+    /// Steady-state service availability.
+    pub availability: f64,
+    /// Service downtime in minutes per year.
+    pub downtime_min_per_year: f64,
+    /// Fraction of downtime due to failover switching.
+    pub downtime_share_failover: f64,
+    /// Fraction of downtime due to uncovered (manual) recovery.
+    pub downtime_share_uncovered: f64,
+    /// Fraction of downtime due to double failures.
+    pub downtime_share_double: f64,
+}
+
+impl ClusterParams {
+    fn validate(&self) -> Result<()> {
+        ensure_finite_positive(self.lambda, "lambda")?;
+        ensure_finite_positive(self.mu, "mu")?;
+        ensure_probability(self.coverage, "coverage")?;
+        ensure_finite_positive(self.failover_rate, "failover_rate")?;
+        ensure_finite_positive(self.manual_rate, "manual_rate")?;
+        Ok(())
+    }
+}
+
+/// Builds the five-state cluster CTMC.
+///
+/// # Errors
+///
+/// Returns [`reliab_core::Error::InvalidParameter`] on bad parameters.
+pub fn cluster_ctmc(p: &ClusterParams) -> Result<(Ctmc, ClusterStates)> {
+    p.validate()?;
+    let mut b = CtmcBuilder::new();
+    let up2 = b.state("up-2");
+    let failover = b.state("failover");
+    let uncovered = b.state("uncovered");
+    let up1 = b.state("up-1");
+    let down = b.state("down-2");
+    // Primary fails: covered vs uncovered split.
+    if p.coverage > 0.0 {
+        b.transition(up2, failover, p.lambda * p.coverage)?;
+    }
+    if p.coverage < 1.0 {
+        b.transition(up2, uncovered, p.lambda * (1.0 - p.coverage))?;
+    }
+    // Secondary (standby) fails while both up: service unaffected, the
+    // cluster degrades to one node.
+    b.transition(up2, up1, p.lambda)?;
+    // Failover completes / manual recovery completes.
+    b.transition(failover, up1, p.failover_rate)?;
+    b.transition(uncovered, up1, p.manual_rate)?;
+    // The healthy node can die during switching/manual recovery.
+    b.transition(failover, down, p.lambda)?;
+    b.transition(uncovered, down, p.lambda)?;
+    // Repairs (single crew).
+    b.transition(up1, up2, p.mu)?;
+    b.transition(up1, down, p.lambda)?;
+    b.transition(down, up1, p.mu)?;
+    Ok((
+        b.build()?,
+        ClusterStates {
+            up2,
+            failover,
+            uncovered,
+            up1,
+            down,
+        },
+    ))
+}
+
+/// Solves the cluster model and decomposes the downtime by cause.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn cluster_availability(p: &ClusterParams) -> Result<ClusterReport> {
+    let (ctmc, s) = cluster_ctmc(p)?;
+    let pi = ctmc.steady_state()?;
+    let a = pi[s.up2.index()] + pi[s.up1.index()];
+    let down_total = pi[s.failover.index()] + pi[s.uncovered.index()] + pi[s.down.index()];
+    let share = |x: f64| if down_total > 0.0 { x / down_total } else { 0.0 };
+    Ok(ClusterReport {
+        availability: a,
+        downtime_min_per_year: downtime_minutes_per_year(a)?,
+        downtime_share_failover: share(pi[s.failover.index()]),
+        downtime_share_uncovered: share(pi[s.uncovered.index()]),
+        downtime_share_double: share(pi[s.down.index()]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cluster_is_highly_available() {
+        let r = cluster_availability(&ClusterParams::default()).unwrap();
+        assert!(r.availability > 0.9999, "{}", r.availability);
+        assert!(r.downtime_min_per_year < 60.0);
+        let total = r.downtime_share_failover
+            + r.downtime_share_uncovered
+            + r.downtime_share_double;
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_coverage_reduces_downtime() {
+        let base = cluster_availability(&ClusterParams::default()).unwrap();
+        let poor = cluster_availability(&ClusterParams {
+            coverage: 0.5,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(poor.downtime_min_per_year > base.downtime_min_per_year);
+        assert!(poor.downtime_share_uncovered > base.downtime_share_uncovered);
+    }
+
+    #[test]
+    fn faster_failover_reduces_downtime() {
+        let slow = cluster_availability(&ClusterParams {
+            failover_rate: 6.0, // 10 min switchover
+            ..Default::default()
+        })
+        .unwrap();
+        let fast = cluster_availability(&ClusterParams {
+            failover_rate: 3600.0, // 1 s switchover
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(fast.availability > slow.availability);
+    }
+
+    #[test]
+    fn uncovered_failures_dominate_at_low_coverage() {
+        let r = cluster_availability(&ClusterParams {
+            coverage: 0.2,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(r.downtime_share_uncovered > 0.5, "{r:?}");
+    }
+
+    #[test]
+    fn perfect_instant_failover_approaches_pure_double_failure_model() {
+        // coverage 1 and essentially instantaneous switchover: downtime
+        // stems (almost) only from double failures.
+        let r = cluster_availability(&ClusterParams {
+            coverage: 1.0,
+            failover_rate: 1e6,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(r.downtime_share_double > 0.95, "{r:?}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(cluster_availability(&ClusterParams {
+            coverage: 1.5,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(cluster_availability(&ClusterParams {
+            mu: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

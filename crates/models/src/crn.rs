@@ -1,0 +1,155 @@
+//! Boeing-787-class current-return-network (CRN) study (E4).
+//!
+//! The real 787 CRN topology is proprietary; per DESIGN.md this module
+//! builds a synthetic ladder/mesh reliability graph of comparable
+//! character (a redundant conductive network between two terminals)
+//! and reproduces the *bounding workflow*: enumerate minimal cut sets
+//! up to a truncation order, bracket the network unreliability, and
+//! watch the bracket tighten as the order grows — which is exactly how
+//! the tutorial's bounding story goes when exact solution is out of
+//! reach.
+
+use reliab_bounds::{truncated_unreliability_bounds, Bounds};
+use reliab_core::{ensure_probability, Error, Result};
+use reliab_relgraph::{RelGraph, RelGraphBuilder};
+
+/// Builds a `rows × cols` grid ("mesh") reliability graph with the
+/// source at the top-left and the sink at the bottom-right corner —
+/// the synthetic CRN stand-in.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for degenerate dimensions.
+pub fn crn_mesh(rows: usize, cols: usize) -> Result<RelGraph> {
+    if rows < 2 || cols < 2 {
+        return Err(Error::invalid(format!(
+            "mesh must be at least 2x2, got {rows}x{cols}"
+        )));
+    }
+    let mut b = RelGraphBuilder::new();
+    let nodes: Vec<Vec<_>> = (0..rows)
+        .map(|r| (0..cols).map(|c| b.node(&format!("n{r}-{c}"))).collect())
+        .collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.edge(nodes[r][c], nodes[r][c + 1], &format!("h{r}-{c}"));
+            }
+            if r + 1 < rows {
+                b.edge(nodes[r][c], nodes[r + 1][c], &format!("v{r}-{c}"));
+            }
+        }
+    }
+    b.build(nodes[0][0], nodes[rows - 1][cols - 1])
+}
+
+/// One row of the E4 bounding table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrnBoundsRow {
+    /// Cut-set truncation order used.
+    pub max_order: usize,
+    /// Number of minimal cut sets at or below that order.
+    pub cut_sets_used: usize,
+    /// The unreliability bracket.
+    pub bounds: Bounds,
+}
+
+/// Runs the truncation sweep: for each order in `orders`, enumerate
+/// minimal cut sets up to that order and compute the unreliability
+/// bracket with common edge failure probability `q`.
+///
+/// # Errors
+///
+/// Propagates enumeration and bounding errors; rejects `q` outside
+/// `[0, 1]`.
+pub fn crn_bounds_sweep(g: &RelGraph, q: f64, orders: &[usize]) -> Result<Vec<CrnBoundsRow>> {
+    ensure_probability(q, "edge failure probability")?;
+    let all_cuts = g.minimal_cut_sets(200_000)?;
+    let q_vec = vec![q; g.num_edges()];
+    let mut rows = Vec::with_capacity(orders.len());
+    for &m in orders {
+        let known: Vec<Vec<usize>> = all_cuts
+            .iter()
+            .filter(|c| c.len() <= m)
+            .map(|c| c.iter().map(|e| e.index()).collect())
+            .collect();
+        if known.is_empty() {
+            return Err(Error::model(format!(
+                "no cut sets of order <= {m}; increase the truncation order"
+            )));
+        }
+        let bounds = truncated_unreliability_bounds(&known, &q_vec, m)?;
+        rows.push(CrnBoundsRow {
+            max_order: m,
+            cut_sets_used: known.len(),
+            bounds,
+        });
+    }
+    Ok(rows)
+}
+
+/// Exact network unreliability (feasible for the sizes used in tests
+/// and the bench; the bounding workflow exists for when this is not).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn crn_exact_unreliability(g: &RelGraph, q: f64) -> Result<f64> {
+    ensure_probability(q, "edge failure probability")?;
+    let p = vec![1.0 - q; g.num_edges()];
+    Ok(1.0 - g.reliability(&p)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_construction() {
+        let g = crn_mesh(3, 3).unwrap();
+        assert_eq!(g.num_nodes(), 9);
+        assert_eq!(g.num_edges(), 12);
+        assert!(crn_mesh(1, 3).is_err());
+    }
+
+    #[test]
+    fn bounds_bracket_exact_and_tighten() {
+        let g = crn_mesh(3, 3).unwrap();
+        let q = 0.01;
+        let exact = crn_exact_unreliability(&g, q).unwrap();
+        let rows = crn_bounds_sweep(&g, q, &[2, 3, 4]).unwrap();
+        let mut last_gap = f64::INFINITY;
+        for row in &rows {
+            assert!(
+                row.bounds.lower <= exact + 1e-12 && exact <= row.bounds.upper + 1e-12,
+                "order {}: [{}, {}] vs exact {exact}",
+                row.max_order,
+                row.bounds.lower,
+                row.bounds.upper
+            );
+            assert!(row.bounds.gap() <= last_gap + 1e-15);
+            last_gap = row.bounds.gap();
+        }
+        // More cut sets used at higher order.
+        assert!(rows[2].cut_sets_used >= rows[0].cut_sets_used);
+    }
+
+    #[test]
+    fn high_reliability_regime_gives_tight_low_order_bounds() {
+        let g = crn_mesh(3, 4).unwrap();
+        let rows = crn_bounds_sweep(&g, 1e-4, &[2]).unwrap();
+        // With q = 1e-4 the order-2 bracket is already very tight in
+        // relative terms.
+        let b = rows[0].bounds;
+        assert!(b.gap() / b.midpoint() < 0.2);
+    }
+
+    #[test]
+    fn validation() {
+        let g = crn_mesh(2, 2).unwrap();
+        assert!(crn_bounds_sweep(&g, 1.5, &[2]).is_err());
+        assert!(crn_exact_unreliability(&g, -0.1).is_err());
+        // Order below the minimum cut order of the 2x2 mesh (2).
+        assert!(crn_bounds_sweep(&g, 0.1, &[1]).is_err());
+    }
+}

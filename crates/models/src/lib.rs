@@ -1,0 +1,30 @@
+//! # reliab-models
+//!
+//! The tutorial's case-study library: parameterized, reusable
+//! constructors for every worked example behind experiments E1–E14 in
+//! `EXPERIMENTS.md`, built on the modeling crates of this workspace.
+//!
+//! | Module | Tutorial example | Model class |
+//! |--------|------------------|-------------|
+//! | [`wfs`] | workstations & file server | RBD |
+//! | [`multiproc`] | fault-tolerant multiprocessor | fault tree + coverage CTMC |
+//! | [`crn`] | Boeing-787-class current return network | reliability graph + bounds |
+//! | [`two_comp`] | two-component availability (shared vs independent repair) | CTMC |
+//! | [`rejuv`] | software rejuvenation | MRGP / renewal-reward |
+//! | [`router`] | Cisco-class core router | hierarchical (RBD over CTMCs) |
+//! | [`sip`] | IBM-SIP-class clustered app server | fixed-point iteration |
+//! | [`cluster`] | Sun-class two-node HA cluster (failover/coverage) | CTMC |
+//! | [`raid`] | RAID-5/6 storage array MTTDL | absorbing CTMC |
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cluster;
+pub mod crn;
+pub mod multiproc;
+pub mod raid;
+pub mod rejuv;
+pub mod router;
+pub mod sip;
+pub mod two_comp;
+pub mod wfs;

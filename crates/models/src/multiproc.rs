@@ -1,0 +1,222 @@
+//! Fault-tolerant multiprocessor: the tutorial's fault-tree example
+//! (E3) and its imperfect-coverage Markov companion (E6/E7).
+//!
+//! Structure: `n_proc` processors (at least one needed), `n_mem` shared
+//! memory modules (at least `k_mem` needed), and a bus that is a single
+//! point of failure.
+
+use reliab_core::{ensure_finite_positive, ensure_probability, Error, Result};
+use reliab_ftree::{EventId, FaultTree, FaultTreeBuilder, FtNode};
+use reliab_markov::{Ctmc, CtmcBuilder, StateId};
+
+/// Parameters of the multiprocessor fault-tree model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiprocParams {
+    /// Number of processors (system needs >= 1).
+    pub n_proc: usize,
+    /// Number of memory modules.
+    pub n_mem: usize,
+    /// Memory modules required.
+    pub k_mem: usize,
+    /// Per-processor failure probability at the mission time.
+    pub q_proc: f64,
+    /// Per-memory failure probability.
+    pub q_mem: f64,
+    /// Bus failure probability.
+    pub q_bus: f64,
+}
+
+impl Default for MultiprocParams {
+    fn default() -> Self {
+        MultiprocParams {
+            n_proc: 2,
+            n_mem: 3,
+            k_mem: 2,
+            q_proc: 0.01,
+            q_mem: 0.05,
+            q_bus: 0.001,
+        }
+    }
+}
+
+/// Handles to the basic events of the multiprocessor fault tree, in
+/// the order used by probability vectors.
+#[derive(Debug, Clone)]
+pub struct MultiprocEvents {
+    /// Processor failure events.
+    pub procs: Vec<EventId>,
+    /// Memory-module failure events.
+    pub mems: Vec<EventId>,
+    /// Bus failure event.
+    pub bus: EventId,
+}
+
+/// Builds the multiprocessor fault tree. The top event fires if all
+/// processors fail, or more than `n_mem - k_mem` memories fail, or the
+/// bus fails.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] on malformed parameters.
+pub fn multiproc_fault_tree(p: &MultiprocParams) -> Result<(FaultTree, MultiprocEvents)> {
+    if p.n_proc == 0 || p.n_mem == 0 || p.k_mem == 0 || p.k_mem > p.n_mem {
+        return Err(Error::invalid(format!(
+            "invalid structure: {} procs, {}-of-{} memories",
+            p.n_proc, p.k_mem, p.n_mem
+        )));
+    }
+    ensure_probability(p.q_proc, "q_proc")?;
+    ensure_probability(p.q_mem, "q_mem")?;
+    ensure_probability(p.q_bus, "q_bus")?;
+    let mut b = FaultTreeBuilder::new();
+    let procs = b.basic_events("proc", p.n_proc);
+    let mems = b.basic_events("mem", p.n_mem);
+    let bus = b.basic_event("bus");
+    // Memory subsystem fails when fewer than k of n work, i.e. at
+    // least n - k + 1 fail.
+    let mem_fail_threshold = p.n_mem - p.k_mem + 1;
+    let top = FtNode::or(vec![
+        FtNode::and_of(&procs),
+        FtNode::k_of_n(
+            mem_fail_threshold,
+            mems.iter().map(|&e| e.into()).collect(),
+        ),
+        bus.into(),
+    ]);
+    let ft = b.build(top)?;
+    Ok((
+        ft,
+        MultiprocEvents {
+            procs,
+            mems,
+            bus,
+        },
+    ))
+}
+
+/// Event-probability vector in fault-tree order for the given
+/// parameters.
+pub fn multiproc_probs(p: &MultiprocParams) -> Vec<f64> {
+    let mut v = vec![p.q_proc; p.n_proc];
+    v.extend(std::iter::repeat_n(p.q_mem, p.n_mem));
+    v.push(p.q_bus);
+    v
+}
+
+/// Two-processor CTMC with imperfect coverage `c` and shared repair:
+/// the E7 model. States: `2up`, `1up`, `failed`.
+///
+/// A processor failure is *covered* (system reconfigures onto the
+/// survivor) with probability `c`; an uncovered failure crashes the
+/// whole system immediately. `mu` repairs one processor at a time;
+/// pass `mu = None` for a pure-reliability (no repair) chain.
+///
+/// Returns the chain plus `(two_up, one_up, failed)` state handles.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] on malformed rates/coverage.
+pub fn coverage_ctmc(
+    lambda: f64,
+    coverage: f64,
+    mu: Option<f64>,
+) -> Result<(Ctmc, StateId, StateId, StateId)> {
+    ensure_finite_positive(lambda, "processor failure rate")?;
+    ensure_probability(coverage, "coverage")?;
+    if let Some(m) = mu {
+        ensure_finite_positive(m, "repair rate")?;
+    }
+    let mut b = CtmcBuilder::new();
+    let s2 = b.state("2up");
+    let s1 = b.state("1up");
+    let sf = b.state("failed");
+    if coverage > 0.0 {
+        b.transition(s2, s1, 2.0 * lambda * coverage)?;
+    }
+    if coverage < 1.0 {
+        b.transition(s2, sf, 2.0 * lambda * (1.0 - coverage))?;
+    }
+    b.transition(s1, sf, lambda)?;
+    if let Some(m) = mu {
+        b.transition(s1, s2, m)?;
+        b.transition(sf, s1, m)?;
+    }
+    Ok((b.build()?, s2, s1, sf))
+}
+
+/// Closed-form MTTF of the no-repair coverage model, for validation:
+/// `MTTF = (c/(2λ))·? ...` derived from first-step analysis:
+/// `MTTF = 1/(2λ) + c·(1/λ)`.
+pub fn coverage_mttf_closed_form(lambda: f64, coverage: f64) -> f64 {
+    1.0 / (2.0 * lambda) + coverage / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_tree_default_probability() {
+        let p = MultiprocParams::default();
+        let (ft, _) = multiproc_fault_tree(&p).unwrap();
+        let q = ft.top_event_probability(&multiproc_probs(&p)).unwrap();
+        let q_proc = p.q_proc * p.q_proc;
+        let q_mem = 3.0 * p.q_mem * p.q_mem * (1.0 - p.q_mem) + p.q_mem.powi(3);
+        let expected = 1.0 - (1.0 - q_proc) * (1.0 - q_mem) * (1.0 - p.q_bus);
+        assert!((q - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cut_sets_structure() {
+        let (ft, ev) = multiproc_fault_tree(&MultiprocParams::default()).unwrap();
+        let cuts = ft.minimal_cut_sets(1000).unwrap();
+        assert_eq!(cuts.len(), 5);
+        // Bus is the only order-1 cut.
+        let singletons: Vec<_> = cuts.iter().filter(|c| c.len() == 1).collect();
+        assert_eq!(singletons.len(), 1);
+        assert!(singletons[0].contains(ev.bus));
+    }
+
+    #[test]
+    fn coverage_mttf_matches_closed_form() {
+        for &c in &[0.0, 0.5, 0.9, 0.99, 1.0] {
+            let lambda = 0.001;
+            let (ctmc, s2, _, sf) = coverage_ctmc(lambda, c, None).unwrap();
+            let mttf = ctmc.mttf(&ctmc.point_mass(s2), &[sf]).unwrap();
+            let expected = coverage_mttf_closed_form(lambda, c);
+            assert!(
+                (mttf - expected).abs() < 1e-6 * expected,
+                "c = {c}: {mttf} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_coverage_doubles_survival_budget() {
+        // c = 1: MTTF = 3/(2λ); c = 0: MTTF = 1/(2λ).
+        let lambda = 0.01;
+        let full = coverage_mttf_closed_form(lambda, 1.0);
+        let none = coverage_mttf_closed_form(lambda, 0.0);
+        assert!((full / none - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repairable_coverage_model_availability() {
+        let (ctmc, s2, s1, _) = coverage_ctmc(0.001, 0.99, Some(1.0)).unwrap();
+        let a = ctmc.steady_state_probability_of(&[s2, s1]).unwrap();
+        assert!(a > 0.999 && a < 1.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(coverage_ctmc(0.0, 0.9, None).is_err());
+        assert!(coverage_ctmc(1.0, 1.5, None).is_err());
+        assert!(coverage_ctmc(1.0, 0.9, Some(0.0)).is_err());
+        let bad = MultiprocParams {
+            k_mem: 5,
+            n_mem: 3,
+            ..Default::default()
+        };
+        assert!(multiproc_fault_tree(&bad).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! RAID storage-array reliability (E16): mean time to data loss
+//! (MTTDL) of RAID-5 (one-disk tolerance) and RAID-6 (two-disk
+//! tolerance) groups as absorbing CTMCs, the standard storage-vendor
+//! calculation.
+//!
+//! The model: `n` identical disks with failure rate `λ`; failed disks
+//! rebuild onto spares at rate `μ` (one rebuild at a time); data is
+//! lost when more disks are down than the code tolerates.
+
+use reliab_core::{ensure_finite_positive, Error, Result};
+use reliab_markov::{Ctmc, CtmcBuilder, StateId};
+
+/// A RAID group configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaidParams {
+    /// Number of disks in the group.
+    pub n_disks: usize,
+    /// Simultaneous disk failures tolerated (1 = RAID-5, 2 = RAID-6).
+    pub tolerance: usize,
+    /// Per-disk failure rate (per hour).
+    pub lambda: f64,
+    /// Rebuild rate (per hour; 1 / mean rebuild time).
+    pub mu: f64,
+}
+
+impl RaidParams {
+    fn validate(&self) -> Result<()> {
+        if self.n_disks < 2 {
+            return Err(Error::invalid("RAID group needs at least 2 disks"));
+        }
+        if self.tolerance == 0 || self.tolerance >= self.n_disks {
+            return Err(Error::invalid(format!(
+                "tolerance {} must be in 1..{}",
+                self.tolerance, self.n_disks
+            )));
+        }
+        ensure_finite_positive(self.lambda, "disk failure rate")?;
+        ensure_finite_positive(self.mu, "rebuild rate")?;
+        Ok(())
+    }
+}
+
+/// Builds the absorbing rebuild chain: state = number of failed disks
+/// (0..=tolerance), plus the data-loss absorbing state.
+///
+/// Returns the chain, the all-good state, and the data-loss state.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] on bad parameters.
+pub fn raid_ctmc(p: &RaidParams) -> Result<(Ctmc, StateId, StateId)> {
+    p.validate()?;
+    let mut b = CtmcBuilder::new();
+    let states: Vec<StateId> = (0..=p.tolerance)
+        .map(|k| b.state(&format!("{k}-failed")))
+        .collect();
+    let loss = b.state("data-loss");
+    for k in 0..=p.tolerance {
+        let fail_rate = (p.n_disks - k) as f64 * p.lambda;
+        let next = if k == p.tolerance {
+            loss
+        } else {
+            states[k + 1]
+        };
+        b.transition(states[k], next, fail_rate)?;
+        if k > 0 {
+            // One rebuild at a time.
+            b.transition(states[k], states[k - 1], p.mu)?;
+        }
+    }
+    Ok((b.build()?, states[0], loss))
+}
+
+/// Mean time to data loss from the all-good state.
+///
+/// # Errors
+///
+/// Propagates construction/solver errors.
+pub fn raid_mttdl(p: &RaidParams) -> Result<f64> {
+    let (ctmc, good, loss) = raid_ctmc(p)?;
+    ctmc.mttf(&ctmc.point_mass(good), &[loss])
+}
+
+/// First-order closed-form RAID-5 MTTDL, `μ ≫ nλ` regime:
+/// `MTTDL ≈ μ / (n (n-1) λ²)`. Used to sanity-check the exact chain.
+pub fn raid5_mttdl_approx(n_disks: usize, lambda: f64, mu: f64) -> f64 {
+    mu / (n_disks as f64 * (n_disks - 1) as f64 * lambda * lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p5(n: usize) -> RaidParams {
+        RaidParams {
+            n_disks: n,
+            tolerance: 1,
+            lambda: 1.0 / 100_000.0, // ~11-year disk MTTF
+            mu: 1.0 / 10.0,          // 10 h rebuild
+        }
+    }
+
+    #[test]
+    fn raid5_matches_first_order_approximation() {
+        for n in [4usize, 8, 16] {
+            let exact = raid_mttdl(&p5(n)).unwrap();
+            let approx = raid5_mttdl_approx(n, 1.0 / 100_000.0, 0.1);
+            assert!(
+                (exact - approx).abs() / approx < 0.01,
+                "n = {n}: exact {exact:.3e} vs approx {approx:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn raid6_vastly_outlives_raid5() {
+        let r5 = raid_mttdl(&p5(8)).unwrap();
+        let r6 = raid_mttdl(&RaidParams {
+            tolerance: 2,
+            ..p5(8)
+        })
+        .unwrap();
+        // Each extra tolerated failure buys roughly a factor mu/(n λ).
+        assert!(r6 > 1000.0 * r5, "r5 = {r5:.3e}, r6 = {r6:.3e}");
+    }
+
+    #[test]
+    fn wider_groups_lose_data_sooner() {
+        let narrow = raid_mttdl(&p5(4)).unwrap();
+        let wide = raid_mttdl(&p5(16)).unwrap();
+        assert!(wide < narrow);
+        // Quadratic scaling in n (first order): ratio ~ (16·15)/(4·3) = 20.
+        let ratio = narrow / wide;
+        assert!((15.0..25.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn faster_rebuild_helps_linearly() {
+        let slow = raid_mttdl(&RaidParams {
+            mu: 0.05,
+            ..p5(8)
+        })
+        .unwrap();
+        let fast = raid_mttdl(&RaidParams {
+            mu: 0.5,
+            ..p5(8)
+        })
+        .unwrap();
+        let ratio = fast / slow;
+        assert!((9.0..11.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(raid_mttdl(&RaidParams {
+            n_disks: 1,
+            ..p5(4)
+        })
+        .is_err());
+        assert!(raid_mttdl(&RaidParams {
+            tolerance: 4,
+            ..p5(4)
+        })
+        .is_err());
+        assert!(raid_mttdl(&RaidParams {
+            lambda: 0.0,
+            ..p5(4)
+        })
+        .is_err());
+    }
+}

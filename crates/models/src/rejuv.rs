@@ -1,0 +1,173 @@
+//! Software rejuvenation (E9): the aging-software story the tutorial
+//! tells with an MRGP.
+//!
+//! The software passes through a *robust* phase and then a
+//! *failure-probable* phase (so the effective time-to-failure is
+//! hypoexponential — increasing hazard). A deterministic rejuvenation
+//! timer δ races the failure: rejuvenating is quick, crash recovery is
+//! slow. Renewal-reward over regeneration cycles gives exact long-run
+//! availability/cost, and the sweep over δ reproduces the classic
+//! U-shaped downtime curve with an interior optimum.
+
+use reliab_core::{ensure_finite_positive, Result};
+use reliab_dist::HypoExponential;
+use reliab_semimarkov::renewal::{
+    optimal_policy_age, policy_measures, PolicyCosts, PolicyMeasures,
+};
+
+/// Parameters of the rejuvenation model (times in hours).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejuvParams {
+    /// Mean sojourn in the robust phase.
+    pub robust_mean: f64,
+    /// Mean sojourn in the failure-probable phase before crashing.
+    pub failure_prone_mean: f64,
+    /// Mean downtime of a crash recovery.
+    pub recovery_time: f64,
+    /// Mean downtime of a (planned) rejuvenation.
+    pub rejuvenation_time: f64,
+}
+
+impl Default for RejuvParams {
+    /// Representative numbers: ~10 days robust, ~2 days
+    /// failure-probable, 2 h crash recovery, 10 min rejuvenation.
+    fn default() -> Self {
+        RejuvParams {
+            robust_mean: 240.0,
+            failure_prone_mean: 48.0,
+            recovery_time: 2.0,
+            rejuvenation_time: 1.0 / 6.0,
+        }
+    }
+}
+
+impl RejuvParams {
+    fn validate(&self) -> Result<()> {
+        ensure_finite_positive(self.robust_mean, "robust_mean")?;
+        ensure_finite_positive(self.failure_prone_mean, "failure_prone_mean")?;
+        ensure_finite_positive(self.recovery_time, "recovery_time")?;
+        ensure_finite_positive(self.rejuvenation_time, "rejuvenation_time")?;
+        Ok(())
+    }
+
+    /// The aging time-to-failure distribution: hypoexponential through
+    /// the two phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when phase means coincide (use slightly
+    /// different means; the hypoexponential needs distinct rates).
+    pub fn ttf(&self) -> Result<HypoExponential> {
+        self.validate()?;
+        HypoExponential::new(&[1.0 / self.robust_mean, 1.0 / self.failure_prone_mean])
+    }
+}
+
+/// Evaluates the policy at rejuvenation interval `delta` (hours).
+///
+/// # Errors
+///
+/// Propagates distribution/policy errors.
+pub fn rejuvenation_measures(p: &RejuvParams, delta: f64) -> Result<PolicyMeasures> {
+    let ttf = p.ttf()?;
+    policy_measures(
+        &ttf,
+        p.recovery_time,
+        p.rejuvenation_time,
+        delta,
+        &PolicyCosts::default(),
+    )
+}
+
+/// Expected downtime in minutes per year at interval `delta`.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn rejuvenation_downtime(p: &RejuvParams, delta: f64) -> Result<f64> {
+    let m = rejuvenation_measures(p, delta)?;
+    reliab_core::downtime_minutes_per_year(m.availability)
+}
+
+/// Finds the availability-optimal rejuvenation interval within
+/// `[delta_min, delta_max]`.
+///
+/// # Errors
+///
+/// Propagates search errors.
+pub fn optimal_rejuvenation(
+    p: &RejuvParams,
+    delta_min: f64,
+    delta_max: f64,
+) -> Result<(f64, PolicyMeasures)> {
+    let ttf = p.ttf()?;
+    optimal_policy_age(
+        &ttf,
+        p.recovery_time,
+        p.rejuvenation_time,
+        delta_min,
+        delta_max,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reliab_dist::Lifetime;
+
+    #[test]
+    fn aging_distribution_has_cv_below_one() {
+        let ttf = RejuvParams::default().ttf().unwrap();
+        assert!(ttf.cv_squared() < 1.0, "hypoexponential must age");
+        assert!((ttf.mean() - 288.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_optimum_beats_extremes() {
+        let p = RejuvParams::default();
+        let (d_opt, m_opt) = optimal_rejuvenation(&p, 10.0, 5000.0).unwrap();
+        let never = rejuvenation_measures(&p, 4999.0).unwrap();
+        let eager = rejuvenation_measures(&p, 10.0).unwrap();
+        assert!(
+            m_opt.availability >= never.availability - 1e-12,
+            "optimum must beat rejuvenating (almost) never"
+        );
+        assert!(
+            m_opt.availability >= eager.availability - 1e-12,
+            "optimum must beat rejuvenating every 10 h"
+        );
+        assert!(d_opt > 10.0 && d_opt < 5000.0);
+    }
+
+    #[test]
+    fn downtime_curve_is_u_shaped() {
+        let p = RejuvParams::default();
+        let (d_opt, _) = optimal_rejuvenation(&p, 10.0, 5000.0).unwrap();
+        let at = |d: f64| rejuvenation_downtime(&p, d).unwrap();
+        // Left of the optimum downtime decreases, right of it increases.
+        assert!(at(d_opt * 0.3) > at(d_opt));
+        assert!(at(d_opt * 4.0) > at(d_opt));
+    }
+
+    #[test]
+    fn cheap_rejuvenation_helps_more() {
+        let base = RejuvParams::default();
+        let slow_rejuv = RejuvParams {
+            rejuvenation_time: 1.9, // nearly as slow as recovery
+            ..base
+        };
+        let (_, m_fast) = optimal_rejuvenation(&base, 10.0, 5000.0).unwrap();
+        let (_, m_slow) = optimal_rejuvenation(&slow_rejuv, 10.0, 5000.0).unwrap();
+        assert!(m_fast.availability > m_slow.availability);
+    }
+
+    #[test]
+    fn validation() {
+        let bad = RejuvParams {
+            robust_mean: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.ttf().is_err());
+        assert!(rejuvenation_measures(&RejuvParams::default(), 0.0).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Two-component availability models (E5): the tutorial's canonical
+//! demonstration that *dependence* (a shared repair crew) breaks the
+//! non-state-space product form and calls for a Markov chain.
+
+use reliab_core::{downtime_minutes_per_year, ensure_finite_positive, Result};
+use reliab_markov::{Ctmc, CtmcBuilder, StateId};
+
+/// Repair staffing discipline for the two-component system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// A dedicated crew per component (failures repaired in parallel);
+    /// equivalent to independent components, matching the RBD.
+    Independent,
+    /// One shared crew: at most one repair in progress.
+    SharedCrew,
+}
+
+/// Result row of the E5 comparison table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoComponentResult {
+    /// Steady-state probability both components are up.
+    pub both_up: f64,
+    /// Steady-state availability of a 1-of-2 (parallel) system.
+    pub parallel_availability: f64,
+    /// Downtime of the parallel system in minutes/year.
+    pub parallel_downtime_min_per_year: f64,
+}
+
+/// Builds the two-identical-component birth-death CTMC under the given
+/// repair policy. States indexed by number of failed components:
+/// `0, 1, 2`; returns handles in that order.
+///
+/// # Errors
+///
+/// Returns [`reliab_core::Error::InvalidParameter`] on bad rates.
+pub fn two_component_ctmc(
+    lambda: f64,
+    mu: f64,
+    policy: RepairPolicy,
+) -> Result<(Ctmc, [StateId; 3])> {
+    ensure_finite_positive(lambda, "failure rate")?;
+    ensure_finite_positive(mu, "repair rate")?;
+    let mut b = CtmcBuilder::new();
+    let s0 = b.state("0-failed");
+    let s1 = b.state("1-failed");
+    let s2 = b.state("2-failed");
+    b.transition(s0, s1, 2.0 * lambda)?;
+    b.transition(s1, s2, lambda)?;
+    b.transition(s1, s0, mu)?;
+    let mu2 = match policy {
+        RepairPolicy::Independent => 2.0 * mu,
+        RepairPolicy::SharedCrew => mu,
+    };
+    b.transition(s2, s1, mu2)?;
+    Ok((b.build()?, [s0, s1, s2]))
+}
+
+/// Solves the E5 model and returns the summary row.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn two_component_availability(
+    lambda: f64,
+    mu: f64,
+    policy: RepairPolicy,
+) -> Result<TwoComponentResult> {
+    let (ctmc, [s0, s1, _]) = two_component_ctmc(lambda, mu, policy)?;
+    let pi = ctmc.steady_state()?;
+    let parallel = pi[s0.index()] + pi[s1.index()];
+    Ok(TwoComponentResult {
+        both_up: pi[s0.index()],
+        parallel_availability: parallel,
+        parallel_downtime_min_per_year: downtime_minutes_per_year(parallel)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_matches_product_form() {
+        // With per-component crews the chain is a product of two
+        // independent 2-state components: P(both up) = a², parallel
+        // availability = 1 - (1-a)².
+        let (l, m) = (0.01, 1.0);
+        let a = m / (l + m);
+        let r = two_component_availability(l, m, RepairPolicy::Independent).unwrap();
+        assert!((r.both_up - a * a).abs() < 1e-12);
+        assert!((r.parallel_availability - (1.0 - (1.0 - a) * (1.0 - a))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_crew_is_strictly_worse() {
+        let (l, m) = (0.1, 1.0);
+        let ind = two_component_availability(l, m, RepairPolicy::Independent).unwrap();
+        let shared = two_component_availability(l, m, RepairPolicy::SharedCrew).unwrap();
+        assert!(shared.parallel_availability < ind.parallel_availability);
+        assert!(
+            shared.parallel_downtime_min_per_year > ind.parallel_downtime_min_per_year
+        );
+    }
+
+    #[test]
+    fn shared_crew_closed_form() {
+        // Birth-death ratios: pi1 = 2(l/m) pi0, pi2 = 2(l/m)^2 pi0.
+        let (l, m) = (0.05, 0.5);
+        let rho = l / m;
+        let pi0 = 1.0 / (1.0 + 2.0 * rho + 2.0 * rho * rho);
+        let r = two_component_availability(l, m, RepairPolicy::SharedCrew).unwrap();
+        assert!((r.both_up - pi0).abs() < 1e-12);
+        let parallel = pi0 * (1.0 + 2.0 * rho);
+        assert!((r.parallel_availability - parallel).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_units() {
+        let r = two_component_availability(0.001, 1.0, RepairPolicy::SharedCrew).unwrap();
+        // Availability near 1 => downtime near zero but positive.
+        assert!(r.parallel_downtime_min_per_year > 0.0);
+        assert!(r.parallel_downtime_min_per_year < 10.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(two_component_ctmc(0.0, 1.0, RepairPolicy::SharedCrew).is_err());
+        assert!(two_component_ctmc(1.0, -1.0, RepairPolicy::Independent).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Compressed sparse row matrices.
+
+use crate::{NumericError, Result};
+
+/// A compressed-sparse-row matrix of `f64`.
+///
+/// Built from coordinate triplets (duplicates are summed), supports the
+/// operations the iterative Markov solvers need: row iteration,
+/// matrix-vector products from either side, and transposition.
+///
+/// ```
+/// use reliab_numeric::CsrMatrix;
+/// # fn main() -> Result<(), reliab_numeric::NumericError> {
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3.0), (1, 0, 2.0)])?;
+/// assert_eq!(m.matvec(&[1.0, 1.0])?, vec![3.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros (including sums
+    /// cancelling to zero) are kept, which is harmless for the solvers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Invalid`] if any coordinate is out of
+    /// bounds or any value is non-finite.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+        for &(r, c, v) in triplets {
+            if r >= nrows || c >= ncols {
+                return Err(NumericError::Invalid(format!(
+                    "triplet ({r}, {c}) out of bounds for {nrows}x{ncols}"
+                )));
+            }
+            if !v.is_finite() {
+                return Err(NumericError::Invalid(format!(
+                    "non-finite value {v} at ({r}, {c})"
+                )));
+            }
+        }
+        // Count entries per row, then bucket-sort triplets into rows.
+        let mut counts = vec![0usize; nrows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut cols = vec![0usize; triplets.len()];
+        let mut vals = vec![0.0f64; triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            let slot = next[r];
+            cols[slot] = c;
+            vals[slot] = v;
+            next[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut row_ptr = vec![0usize; nrows + 1];
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        for r in 0..nrows {
+            let (lo, hi) = (counts[r], counts[r + 1]);
+            let mut entries: Vec<(usize, f64)> =
+                cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()).collect();
+            entries.sort_unstable_by_key(|e| e.0);
+            let row_start = col_idx.len();
+            for (c, v) in entries {
+                if col_idx.len() > row_start && *col_idx.last().expect("nonempty") == c {
+                    *values.last_mut().expect("nonempty") += v;
+                } else {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr[r + 1] = col_idx.len();
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the `(column, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(i < self.nrows, "row index out of bounds");
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Fetches entry `(i, j)`, `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Computes `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Invalid`] if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(NumericError::Invalid(format!(
+                "matvec dimension mismatch: {} cols vs vector of {}",
+                self.ncols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nrows {
+            let mut acc = 0.0;
+            for (j, v) in self.row(i) {
+                acc += v * x[j];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Computes `x^T * self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Invalid`] if `x.len() != nrows`.
+    pub fn vecmat(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.nrows {
+            return Err(NumericError::Invalid(format!(
+                "vecmat dimension mismatch: {} rows vs vector of {}",
+                self.nrows,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.ncols];
+        for i in 0..self.nrows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, v) in self.row(i) {
+                y[j] += xi * v;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            for (j, v) in self.row(i) {
+                triplets.push((j, i, v));
+            }
+        }
+        // from_triplets cannot fail here: coordinates are in range and
+        // values finite by construction.
+        CsrMatrix::from_triplets(self.ncols, self.nrows, &triplets)
+            .expect("transpose of a valid CSR matrix is valid")
+    }
+
+    /// Converts to a dense matrix (for tests and small direct solves).
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut d = crate::DenseMatrix::zeros(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            for (j, v) in self.row(i) {
+                d.add_to(i, j, v);
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_sorted_and_deduplicated() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0), (1, 1, 5.0)],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 2), 4.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn out_of_bounds_and_nonfinite_rejected() {
+        assert!(CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]).is_err());
+        assert!(CsrMatrix::from_triplets(1, 1, &[(0, 0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn matvec_vecmat_transpose_consistency() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let x = [1.0, 2.0];
+        let a = m.vecmat(&x).unwrap();
+        let b = m.transpose().matvec(&x).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![1.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.5), (1, 0, -2.0)]).unwrap();
+        let d = m.to_dense();
+        assert_eq!(d.get(0, 1), 1.5);
+        assert_eq!(d.get(1, 0), -2.0);
+        assert_eq!(d.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_works() {
+        let m = CsrMatrix::from_triplets(3, 3, &[]).unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![0.0, 0.0, 0.0]);
+    }
+}

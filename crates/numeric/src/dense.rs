@@ -1,0 +1,368 @@
+//! Row-major dense matrices with LU factorization.
+
+use crate::{NumericError, Result};
+
+/// A row-major dense matrix of `f64`.
+///
+/// This is not a general linear-algebra library; it provides exactly the
+/// operations the reliability solvers need (construction, element access,
+/// matrix-vector products, LU solves) with validated dimensions.
+///
+/// ```
+/// use reliab_numeric::DenseMatrix;
+/// # fn main() -> Result<(), reliab_numeric::NumericError> {
+/// let a = DenseMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]])?;
+/// let x = a.lu_solve(&[2.0, 8.0])?;
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `nrows x ncols` zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Invalid`] if the rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(NumericError::Invalid("no rows".into()));
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(NumericError::Invalid("zero-width rows".into()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(NumericError::Invalid(format!(
+                    "row {i} has {} entries, expected {ncols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix {
+            nrows: rows.len(),
+            ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds (programming error, not a
+    /// recoverable condition).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        self.data[i * self.ncols + j]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Adds `v` to element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        self.data[i * self.ncols + j] += v;
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.nrows, "row index out of bounds");
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Computes `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Invalid`] if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.ncols {
+            return Err(NumericError::Invalid(format!(
+                "matvec dimension mismatch: {} columns vs vector of {}",
+                self.ncols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nrows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Computes `x^T * self` (left multiplication by a row vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Invalid`] if `x.len() != nrows`.
+    pub fn vecmat(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.nrows {
+            return Err(NumericError::Invalid(format!(
+                "vecmat dimension mismatch: {} rows vs vector of {}",
+                self.nrows,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.ncols];
+        for i in 0..self.nrows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (j, a) in row.iter().enumerate() {
+                y[j] += xi * a;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Invalid`] on inner-dimension mismatch.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.ncols != other.nrows {
+            return Err(NumericError::Invalid(format!(
+                "matmul dimension mismatch: {}x{} * {}x{}",
+                self.nrows, self.ncols, other.nrows, other.ncols
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out.add_to(i, j, aik * other.get(k, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Solves `self * x = b` by LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Invalid`] on dimension mismatch and
+    /// [`NumericError::Singular`] if a pivot underflows.
+    pub fn lu_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.nrows != self.ncols {
+            return Err(NumericError::Invalid(format!(
+                "lu_solve requires a square matrix, got {}x{}",
+                self.nrows, self.ncols
+            )));
+        }
+        if b.len() != self.nrows {
+            return Err(NumericError::Invalid(format!(
+                "rhs length {} does not match dimension {}",
+                b.len(),
+                self.nrows
+            )));
+        }
+        let n = self.nrows;
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < f64::MIN_POSITIVE * 16.0 {
+                return Err(NumericError::Singular(format!(
+                    "zero pivot at column {col}"
+                )));
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for j in (col + 1)..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Maximum absolute entry (`∞`-norm of the flattened data).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        assert!(DenseMatrix::from_rows(&[]).is_err());
+        assert!(DenseMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let i3 = DenseMatrix::identity(3);
+        let x = i3.lu_solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn lu_solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = a.lu_solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_requires_pivoting() {
+        // Zero in the (0,0) position requires a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.lu_solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            a.lu_solve(&[1.0, 2.0]),
+            Err(NumericError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn matvec_and_vecmat_agree_with_transpose() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let x = [1.0, 1.0];
+        let left = a.vecmat(&x).unwrap();
+        let right = a.transpose().matvec(&x).unwrap();
+        assert_eq!(left, right);
+        assert_eq!(left, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[2.0, 1.0]);
+        assert_eq!(c.row(1), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(a.matvec(&[1.0, 2.0]).is_err());
+        assert!(a.vecmat(&[1.0, 2.0, 3.0]).is_err());
+        assert!(a.lu_solve(&[1.0, 2.0]).is_err());
+        let b = DenseMatrix::zeros(2, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+}

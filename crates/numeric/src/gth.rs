@@ -1,0 +1,228 @@
+//! Grassmann–Taksar–Heyman (GTH) elimination for stationary vectors.
+
+use crate::{DenseMatrix, NumericError, Result};
+
+/// Computes the stationary probability vector `π` of an irreducible CTMC
+/// with infinitesimal generator `q` (`π Q = 0`, `Σ π = 1`) by GTH
+/// elimination.
+///
+/// GTH is the method of choice for small-to-medium chains: it performs no
+/// subtractions, so it is immune to the catastrophic cancellation that
+/// plagues naive Gaussian elimination on singular generators, and it
+/// needs no pivoting.
+///
+/// The input must be a square generator: off-diagonal entries
+/// non-negative. The diagonal is ignored and treated as the negated
+/// off-diagonal row sum, which both enforces the generator property and
+/// lets callers pass matrices with sloppy diagonals.
+///
+/// # Errors
+///
+/// * [`NumericError::Invalid`] — non-square input or negative
+///   off-diagonal rate.
+/// * [`NumericError::Singular`] — the chain is reducible (some state has
+///   no transitions to lower-numbered states at elimination time), so no
+///   unique stationary vector exists.
+///
+/// ```
+/// use reliab_numeric::{gth_steady_state, DenseMatrix};
+/// # fn main() -> Result<(), reliab_numeric::NumericError> {
+/// // Two-state repairable component: fail rate 1, repair rate 9.
+/// let q = DenseMatrix::from_rows(&[&[-1.0, 1.0], &[9.0, -9.0]])?;
+/// let pi = gth_steady_state(&q)?;
+/// assert!((pi[0] - 0.9).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gth_steady_state(q: &DenseMatrix) -> Result<Vec<f64>> {
+    let n = q.nrows();
+    if n != q.ncols() {
+        return Err(NumericError::Invalid(format!(
+            "generator must be square, got {}x{}",
+            n,
+            q.ncols()
+        )));
+    }
+    if n == 0 {
+        return Err(NumericError::Invalid("empty generator".into()));
+    }
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+
+    // Work on a copy holding only off-diagonal rates.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let v = q.get(i, j);
+            if !v.is_finite() || v < 0.0 {
+                return Err(NumericError::Invalid(format!(
+                    "off-diagonal rate q[{i}][{j}] = {v} must be finite and >= 0"
+                )));
+            }
+            a[i * n + j] = v;
+        }
+    }
+
+    // Eliminate states n-1 down to 1. After eliminating state k, the
+    // submatrix a[i][j] for i, j < k describes the chain censored
+    // (watched only) on states {0, ..., k-1}. Entries a[i][k] for i < k
+    // are left untouched and reused during back substitution.
+    let mut elim_sum = vec![0.0f64; n]; // s_k for k = 1..n
+    for k in (1..n).rev() {
+        let s: f64 = (0..k).map(|j| a[k * n + j]).sum();
+        if s <= 0.0 {
+            return Err(NumericError::Singular(format!(
+                "state {k} cannot reach lower-numbered states: chain is reducible"
+            )));
+        }
+        elim_sum[k] = s;
+        for i in 0..k {
+            let f = a[i * n + k] / s;
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                a[i * n + j] += f * a[k * n + j];
+            }
+        }
+    }
+
+    // Back substitution (only additions and multiplications).
+    let mut pi = vec![0.0f64; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += pi[i] * a[i * n + k];
+        }
+        pi[k] = acc / elim_sum[k];
+    }
+    let total: f64 = pi.iter().sum();
+    if !total.is_finite() || total <= 0.0 {
+        return Err(NumericError::Singular(
+            "stationary vector normalization failed".into(),
+        ));
+    }
+    for p in &mut pi {
+        *p /= total;
+    }
+    Ok(pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(q: &DenseMatrix, pi: &[f64]) -> f64 {
+        // ||pi Q||_inf using recomputed diagonals.
+        let n = q.nrows();
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            let mut acc = 0.0;
+            for i in 0..n {
+                let qij = if i == j {
+                    -(0..n).filter(|&c| c != i).map(|c| q.get(i, c)).sum::<f64>()
+                } else {
+                    q.get(i, j)
+                };
+                acc += pi[i] * qij;
+            }
+            worst = worst.max(acc.abs());
+        }
+        worst
+    }
+
+    #[test]
+    fn two_state_birth_death() {
+        let q = DenseMatrix::from_rows(&[&[-1.0, 1.0], &[9.0, -9.0]]).unwrap();
+        let pi = gth_steady_state(&q).unwrap();
+        assert!((pi[0] - 0.9).abs() < 1e-14);
+        assert!((pi[1] - 0.1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mm1k_queue_matches_closed_form() {
+        // M/M/1/4: lambda = 2, mu = 3 => pi_i ∝ rho^i, rho = 2/3.
+        let (lambda, mu, k) = (2.0f64, 3.0f64, 4usize);
+        let n = k + 1;
+        let mut q = DenseMatrix::zeros(n, n);
+        for i in 0..k {
+            q.set(i, i + 1, lambda);
+            q.set(i + 1, i, mu);
+        }
+        let pi = gth_steady_state(&q).unwrap();
+        let rho: f64 = lambda / mu;
+        let norm: f64 = (0..n).map(|i| rho.powi(i as i32)).sum();
+        for (i, p) in pi.iter().enumerate() {
+            assert!((p - rho.powi(i as i32) / norm).abs() < 1e-13, "state {i}");
+        }
+        assert!(residual(&q, &pi) < 1e-13);
+    }
+
+    #[test]
+    fn sloppy_diagonal_is_ignored() {
+        let q_clean = DenseMatrix::from_rows(&[&[-1.0, 1.0], &[4.0, -4.0]]).unwrap();
+        let q_sloppy = DenseMatrix::from_rows(&[&[123.0, 1.0], &[4.0, f64::NAN]]).unwrap();
+        // NaN on the diagonal must not matter.
+        assert_eq!(
+            gth_steady_state(&q_clean).unwrap(),
+            gth_steady_state(&q_sloppy).unwrap()
+        );
+    }
+
+    #[test]
+    fn reducible_chain_detected() {
+        // State 1 is absorbing: no stationary distribution over both states
+        // reachable via GTH's lower-state requirement at k = 1.
+        let q = DenseMatrix::from_rows(&[&[-1.0, 1.0], &[0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            gth_steady_state(&q),
+            Err(NumericError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let q = DenseMatrix::from_rows(&[&[-1.0, -1.0], &[1.0, -1.0]]).unwrap();
+        assert!(gth_steady_state(&q).is_err());
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(gth_steady_state(&rect).is_err());
+        assert!(gth_steady_state(&DenseMatrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let q = DenseMatrix::zeros(1, 1);
+        assert_eq!(gth_steady_state(&q).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn random_generator_has_tiny_residual() {
+        // Deterministic pseudo-random dense generator, 20 states.
+        let n = 20;
+        let mut q = DenseMatrix::zeros(n, n);
+        let mut seed = 0x12345678u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / (u32::MAX as f64)
+        };
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    q.set(i, j, 0.01 + next());
+                }
+            }
+        }
+        let pi = gth_steady_state(&q).unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p > 0.0));
+        assert!(residual(&q, &pi) < 1e-12);
+    }
+}

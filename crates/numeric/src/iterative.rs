@@ -1,0 +1,300 @@
+//! Iterative stationary-vector solvers for large sparse chains.
+
+use crate::{CsrMatrix, NumericError, Result};
+
+/// Options shared by the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterativeOptions {
+    /// Convergence tolerance on the iterate change (`∞`-norm, relative
+    /// to the iterate's largest entry).
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// SOR relaxation factor in `(0, 2)`; `1.0` is plain Gauss–Seidel.
+    pub relaxation: f64,
+}
+
+impl Default for IterativeOptions {
+    fn default() -> Self {
+        IterativeOptions {
+            tolerance: 1e-12,
+            max_iterations: 20_000,
+            relaxation: 1.0,
+        }
+    }
+}
+
+impl IterativeOptions {
+    fn validate(&self) -> Result<()> {
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err(NumericError::Invalid(format!(
+                "tolerance must be positive, got {}",
+                self.tolerance
+            )));
+        }
+        if self.max_iterations == 0 {
+            return Err(NumericError::Invalid("max_iterations must be > 0".into()));
+        }
+        if !(self.relaxation > 0.0 && self.relaxation < 2.0) {
+            return Err(NumericError::Invalid(format!(
+                "SOR relaxation must lie in (0, 2), got {}",
+                self.relaxation
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Solves `π Q = 0`, `Σ π = 1` by (S)SOR sweeps on the columns of the
+/// generator, given the **transpose** `q_t` of the generator in CSR form
+/// (so each CSR row of `q_t` is a column of `Q` — the natural access
+/// pattern for Gauss–Seidel on `π Q = 0`).
+///
+/// The diagonal of the generator must be present in `q_t` (negative
+/// total outflow per state).
+///
+/// # Errors
+///
+/// * [`NumericError::Invalid`] — non-square input, missing/zero diagonal,
+///   or invalid options.
+/// * [`NumericError::NoConvergence`] — iteration budget exhausted.
+pub fn sor_steady_state(q_t: &CsrMatrix, opts: &IterativeOptions) -> Result<Vec<f64>> {
+    opts.validate()?;
+    let n = q_t.nrows();
+    if n == 0 || n != q_t.ncols() {
+        return Err(NumericError::Invalid(format!(
+            "generator transpose must be square and nonempty, got {}x{}",
+            n,
+            q_t.ncols()
+        )));
+    }
+
+    // Pre-extract diagonals; Gauss–Seidel divides by q_jj.
+    let mut diag = vec![0.0f64; n];
+    for j in 0..n {
+        diag[j] = q_t.get(j, j);
+        if diag[j] >= 0.0 {
+            return Err(NumericError::Invalid(format!(
+                "generator diagonal q[{j}][{j}] = {} must be negative",
+                diag[j]
+            )));
+        }
+    }
+
+    let mut pi = vec![1.0 / n as f64; n];
+    let omega = opts.relaxation;
+    for iter in 0..opts.max_iterations {
+        let mut max_change = 0.0f64;
+        let mut max_val = 0.0f64;
+        for j in 0..n {
+            // pi_j_new = (sum_{i != j} pi_i q_ij) / (-q_jj)
+            let mut acc = 0.0;
+            for (i, v) in q_t.row(j) {
+                if i != j {
+                    acc += pi[i] * v;
+                }
+            }
+            let new = acc / (-diag[j]);
+            let relaxed = omega * new + (1.0 - omega) * pi[j];
+            max_change = max_change.max((relaxed - pi[j]).abs());
+            pi[j] = relaxed;
+            max_val = max_val.max(relaxed.abs());
+        }
+        // Normalize each sweep to keep the iterate bounded.
+        let total: f64 = pi.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(NumericError::Singular(
+                "SOR iterate collapsed; chain may be reducible".into(),
+            ));
+        }
+        for p in &mut pi {
+            *p /= total;
+        }
+        if max_val > 0.0 && max_change / max_val < opts.tolerance {
+            return Ok(pi);
+        }
+        if iter + 1 == opts.max_iterations {
+            return Err(NumericError::NoConvergence {
+                what: "SOR steady-state".into(),
+                iterations: opts.max_iterations,
+                residual: max_change / max_val.max(f64::MIN_POSITIVE),
+            });
+        }
+    }
+    unreachable!("loop returns before exhausting")
+}
+
+/// Computes the stationary vector of an aperiodic irreducible DTMC with
+/// transition matrix `P` by power iteration, given the **transpose**
+/// `p_t` in CSR form.
+///
+/// # Errors
+///
+/// * [`NumericError::Invalid`] — non-square input or invalid options.
+/// * [`NumericError::NoConvergence`] — iteration budget exhausted
+///   (periodic chains will land here).
+pub fn power_method(p_t: &CsrMatrix, opts: &IterativeOptions) -> Result<Vec<f64>> {
+    opts.validate()?;
+    let n = p_t.nrows();
+    if n == 0 || n != p_t.ncols() {
+        return Err(NumericError::Invalid(format!(
+            "transition matrix transpose must be square and nonempty, got {}x{}",
+            n,
+            p_t.ncols()
+        )));
+    }
+    let mut pi = vec![1.0 / n as f64; n];
+    for iter in 0..opts.max_iterations {
+        // next = P^T * pi  (i.e. pi * P)
+        let mut next = p_t.matvec(&pi)?;
+        let total: f64 = next.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(NumericError::Singular(
+                "power iterate collapsed; matrix may not be stochastic".into(),
+            ));
+        }
+        for v in &mut next {
+            *v /= total;
+        }
+        let change = pi
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        pi = next;
+        if change < opts.tolerance {
+            return Ok(pi);
+        }
+        if iter + 1 == opts.max_iterations {
+            return Err(NumericError::NoConvergence {
+                what: "power method".into(),
+                iterations: opts.max_iterations,
+                residual: change,
+            });
+        }
+    }
+    unreachable!("loop returns before exhausting")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gth_steady_state;
+
+    fn birth_death_generator(n: usize, lambda: f64, mu: f64) -> Vec<(usize, usize, f64)> {
+        let mut t = Vec::new();
+        for i in 0..n - 1 {
+            t.push((i, i + 1, lambda));
+            t.push((i + 1, i, mu));
+        }
+        // diagonals
+        for i in 0..n {
+            let mut out = 0.0;
+            if i + 1 < n {
+                out += lambda;
+            }
+            if i > 0 {
+                out += mu;
+            }
+            t.push((i, i, -out));
+        }
+        t
+    }
+
+    #[test]
+    fn sor_matches_gth_on_birth_death() {
+        let n = 12;
+        let trip = birth_death_generator(n, 1.0, 2.5);
+        let q = CsrMatrix::from_triplets(n, n, &trip).unwrap();
+        let pi_sor = sor_steady_state(&q.transpose(), &IterativeOptions::default()).unwrap();
+        let pi_gth = gth_steady_state(&q.to_dense()).unwrap();
+        for i in 0..n {
+            assert!((pi_sor[i] - pi_gth[i]).abs() < 1e-9, "state {i}");
+        }
+    }
+
+    #[test]
+    fn sor_with_overrelaxation_converges() {
+        let n = 30;
+        let trip = birth_death_generator(n, 3.0, 4.0);
+        let q = CsrMatrix::from_triplets(n, n, &trip).unwrap();
+        let opts = IterativeOptions {
+            relaxation: 1.2,
+            ..Default::default()
+        };
+        let pi = sor_steady_state(&q.transpose(), &opts).unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sor_rejects_missing_diagonal() {
+        let q = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        assert!(sor_steady_state(&q.transpose(), &IterativeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn sor_rejects_bad_options() {
+        let q = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, -1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, -1.0)],
+        )
+        .unwrap();
+        for opts in [
+            IterativeOptions {
+                tolerance: 0.0,
+                ..Default::default()
+            },
+            IterativeOptions {
+                max_iterations: 0,
+                ..Default::default()
+            },
+            IterativeOptions {
+                relaxation: 2.0,
+                ..Default::default()
+            },
+        ] {
+            assert!(sor_steady_state(&q.transpose(), &opts).is_err());
+        }
+    }
+
+    #[test]
+    fn power_method_two_state_chain() {
+        // P = [[0.5, 0.5], [0.25, 0.75]] => pi = (1/3, 2/3).
+        let p = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.25), (1, 1, 0.75)],
+        )
+        .unwrap();
+        let pi = power_method(&p.transpose(), &IterativeOptions::default()).unwrap();
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((pi[1] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_method_reports_nonconvergence_on_periodic_chain() {
+        // Pure swap: period 2, power iteration from a non-uniform start
+        // oscillates forever. Uniform start converges immediately, so
+        // perturb via an asymmetric chain with an explicit tiny budget.
+        let p = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        let opts = IterativeOptions {
+            max_iterations: 3,
+            tolerance: 1e-15,
+            ..Default::default()
+        };
+        // Uniform start happens to be stationary here, so this converges:
+        assert!(power_method(&p.transpose(), &opts).is_ok());
+        // A slowly mixing chain cannot meet 1e-15 in three iterations.
+        let slow = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 0.99), (0, 1, 0.01), (1, 0, 0.005), (1, 1, 0.995)],
+        )
+        .unwrap();
+        assert!(matches!(
+            power_method(&slow.transpose(), &opts),
+            Err(NumericError::NoConvergence { .. })
+        ));
+    }
+}

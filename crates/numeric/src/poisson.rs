@@ -1,0 +1,196 @@
+//! Truncated Poisson probabilities for uniformization.
+
+use crate::special::ln_gamma;
+use crate::{NumericError, Result};
+
+/// Truncated, renormalized Poisson probabilities `w_k ≈ e^{-λ} λ^k / k!`
+/// for `k` in `[left, right]`, with total tail mass below the requested
+/// `epsilon` before renormalization.
+///
+/// Produced by [`poisson_weights`]; consumed by the uniformization
+/// transient solver, where `λ = q·t` can reach 10⁵–10⁶ for stiff chains,
+/// so weights are computed in log space around the mode (Fox–Glynn-style
+/// tail control without the historical table constants).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonWeights {
+    /// First retained term.
+    pub left: usize,
+    /// Last retained term.
+    pub right: usize,
+    /// Renormalized weights, `weights[i]` is for `k = left + i`.
+    pub weights: Vec<f64>,
+}
+
+impl PoissonWeights {
+    /// Total number of retained terms.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether no terms were retained (never true for valid inputs).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// Computes [`PoissonWeights`] for rate `lambda` with truncation error
+/// at most `epsilon`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::Invalid`] if `lambda < 0`, `lambda` is not
+/// finite, or `epsilon` is not in `(0, 1)`.
+pub fn poisson_weights(lambda: f64, epsilon: f64) -> Result<PoissonWeights> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(NumericError::Invalid(format!(
+            "lambda must be finite and >= 0, got {lambda}"
+        )));
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(NumericError::Invalid(format!(
+            "epsilon must lie in (0, 1), got {epsilon}"
+        )));
+    }
+    if lambda == 0.0 {
+        return Ok(PoissonWeights {
+            left: 0,
+            right: 0,
+            weights: vec![1.0],
+        });
+    }
+
+    let mode = lambda.floor() as usize;
+    let ln_pmf = |k: usize| -> f64 {
+        let kf = k as f64;
+        -lambda + kf * lambda.ln() - ln_gamma(kf + 1.0)
+    };
+
+    // Expand around the mode until both tails are below epsilon/2.
+    // The pmf is unimodal, so a simple marching bound suffices: stop a
+    // tail when its next term falls below (epsilon/2) * (1 - r) / r
+    // geometric-domination estimate; we use the simpler conservative
+    // rule of accumulating mass until 1 - epsilon is covered.
+    let target = 1.0 - epsilon;
+    let mode_w = ln_pmf(mode).exp();
+    let mut left = mode;
+    let mut right = mode;
+    let mut lo_w = mode_w; // weight at current left
+    let mut hi_w = mode_w; // weight at current right
+    let mut mass = mode_w;
+    // March outward, always extending the side with the larger next term.
+    while mass < target {
+        let next_left = if left > 0 {
+            lo_w * left as f64 / lambda
+        } else {
+            0.0
+        };
+        let next_right = hi_w * lambda / (right as f64 + 1.0);
+        if next_left >= next_right && left > 0 {
+            left -= 1;
+            lo_w = next_left;
+            mass += lo_w;
+        } else if next_right > 0.0 {
+            right += 1;
+            hi_w = next_right;
+            mass += hi_w;
+        } else {
+            break; // underflow on both sides; accept what we have
+        }
+        if right - left > 20_000_000 {
+            return Err(NumericError::Invalid(format!(
+                "poisson truncation window exploded for lambda = {lambda}"
+            )));
+        }
+    }
+
+    // Fill weights by recurrence from the mode (stable: ratios only).
+    let n = right - left + 1;
+    let mut weights = vec![0.0f64; n];
+    weights[mode - left] = mode_w;
+    let mut w = mode_w;
+    for k in (left..mode).rev() {
+        w = w * (k as f64 + 1.0) / lambda;
+        weights[k - left] = w;
+    }
+    w = mode_w;
+    for k in (mode + 1)..=right {
+        w = w * lambda / k as f64;
+        weights[k - left] = w;
+    }
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) {
+        return Err(NumericError::Invalid(format!(
+            "poisson weights underflowed for lambda = {lambda}"
+        )));
+    }
+    for v in &mut weights {
+        *v /= total;
+    }
+    Ok(PoissonWeights {
+        left,
+        right,
+        weights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lambda_is_degenerate() {
+        let w = poisson_weights(0.0, 1e-10).unwrap();
+        assert_eq!(w.left, 0);
+        assert_eq!(w.right, 0);
+        assert_eq!(w.weights, vec![1.0]);
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_match_pmf() {
+        for &lambda in &[0.5, 3.0, 25.0, 400.0] {
+            let w = poisson_weights(lambda, 1e-12).unwrap();
+            let sum: f64 = w.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "lambda = {lambda}");
+            // Spot-check against direct pmf at the mode.
+            let mode = lambda.floor();
+            let ln_pmf = -lambda + mode * lambda.ln() - ln_gamma(mode + 1.0);
+            let idx = mode as usize - w.left;
+            assert!(
+                (w.weights[idx] - ln_pmf.exp()).abs() < 1e-10,
+                "lambda = {lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_scales_like_sqrt_lambda() {
+        let small = poisson_weights(100.0, 1e-10).unwrap();
+        let large = poisson_weights(10_000.0, 1e-10).unwrap();
+        let w_small = (small.right - small.left) as f64;
+        let w_large = (large.right - large.left) as f64;
+        // sqrt(10000/100) = 10; allow generous slack.
+        assert!(w_large / w_small < 15.0);
+        assert!(w_large / w_small > 6.0);
+    }
+
+    #[test]
+    fn mean_is_recovered() {
+        let lambda = 37.5;
+        let w = poisson_weights(lambda, 1e-13).unwrap();
+        let mean: f64 = w
+            .weights
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (w.left + i) as f64 * p)
+            .sum();
+        assert!((mean - lambda).abs() < 1e-8);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(poisson_weights(-1.0, 1e-10).is_err());
+        assert!(poisson_weights(f64::NAN, 1e-10).is_err());
+        assert!(poisson_weights(1.0, 0.0).is_err());
+        assert!(poisson_weights(1.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Numerical integration: adaptive Simpson on finite intervals and a
+//! semi-infinite wrapper for MTTF-style integrals of survival functions.
+
+use crate::{NumericError, Result};
+
+/// Integrates `f` over `[a, b]` by adaptive Simpson quadrature with
+/// absolute tolerance `tol`.
+///
+/// # Errors
+///
+/// Returns [`NumericError::Invalid`] for a malformed interval or
+/// non-positive tolerance, [`NumericError::NoConvergence`] if the
+/// recursion depth limit is reached before the tolerance is met.
+///
+/// ```
+/// use reliab_numeric::quadrature::integrate;
+/// let v = integrate(|x| x * x, 0.0, 1.0, 1e-12).unwrap();
+/// assert!((v - 1.0 / 3.0).abs() < 1e-10);
+/// ```
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f64> {
+    if !a.is_finite() || !b.is_finite() || a > b {
+        return Err(NumericError::Invalid(format!(
+            "integration interval [{a}, {b}] must be finite with a <= b"
+        )));
+    }
+    if !(tol > 0.0) {
+        return Err(NumericError::Invalid(format!(
+            "tolerance must be positive, got {tol}"
+        )));
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    let mut depth_exceeded = false;
+    let v = adaptive(&f, a, b, fa, fm, fb, whole, tol, 60, &mut depth_exceeded);
+    if depth_exceeded {
+        return Err(NumericError::NoConvergence {
+            what: "adaptive Simpson".into(),
+            iterations: 60,
+            residual: tol,
+        });
+    }
+    Ok(v)
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+    exceeded: &mut bool,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if delta.abs() <= 15.0 * tol || (b - a) < 1e-14 {
+        return left + right + delta / 15.0;
+    }
+    if depth == 0 {
+        *exceeded = true;
+        return left + right;
+    }
+    adaptive(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1, exceeded)
+        + adaptive(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1, exceeded)
+}
+
+/// Integrates a non-negative, eventually-decaying function (such as a
+/// survival function `R(t)`) over `[0, ∞)` by marching in doubling
+/// windows until a window contributes less than `tol`.
+///
+/// # Errors
+///
+/// Propagates [`integrate`] errors; returns
+/// [`NumericError::NoConvergence`] if the integral has not decayed
+/// after `max_windows` doublings (divergent or too-slowly-decaying
+/// integrand).
+pub fn integrate_to_infinity<F: Fn(f64) -> f64>(
+    f: F,
+    initial_window: f64,
+    tol: f64,
+    max_windows: usize,
+) -> Result<f64> {
+    if !(initial_window > 0.0) || !initial_window.is_finite() {
+        return Err(NumericError::Invalid(format!(
+            "initial window must be positive and finite, got {initial_window}"
+        )));
+    }
+    let mut total = 0.0;
+    let mut a = 0.0;
+    let mut w = initial_window;
+    for _ in 0..max_windows {
+        let piece = integrate(&f, a, a + w, tol)?;
+        total += piece;
+        if piece.abs() < tol && a > 0.0 {
+            return Ok(total);
+        }
+        a += w;
+        w *= 2.0;
+    }
+    Err(NumericError::NoConvergence {
+        what: "semi-infinite integration".into(),
+        iterations: max_windows,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_exact() {
+        let v = integrate(|x| 3.0 * x * x, 0.0, 2.0, 1e-12).unwrap();
+        assert!((v - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn oscillatory_integrand() {
+        let v = integrate(|x| x.sin(), 0.0, std::f64::consts::PI, 1e-12).unwrap();
+        assert!((v - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_interval_is_zero() {
+        assert_eq!(integrate(|x| x, 1.0, 1.0, 1e-12).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(integrate(|x| x, 1.0, 0.0, 1e-12).is_err());
+        assert!(integrate(|x| x, 0.0, 1.0, 0.0).is_err());
+        assert!(integrate(|x| x, f64::NAN, 1.0, 1e-12).is_err());
+    }
+
+    #[test]
+    fn exponential_survival_integrates_to_mean() {
+        // ∫ e^{-2t} dt over [0, ∞) = 0.5
+        let v = integrate_to_infinity(|t| (-2.0 * t).exp(), 1.0, 1e-12, 60).unwrap();
+        assert!((v - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_survival_mean() {
+        // Weibull shape 2, scale 1: mean = Γ(1.5) = sqrt(pi)/2.
+        let v = integrate_to_infinity(|t: f64| (-(t * t)).exp(), 1.0, 1e-13, 60).unwrap();
+        assert!((v - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergent_integral_reports_nonconvergence() {
+        let r = integrate_to_infinity(|_| 1.0, 1.0, 1e-9, 10);
+        assert!(matches!(r, Err(NumericError::NoConvergence { .. })));
+    }
+}

@@ -1,0 +1,224 @@
+//! Root finding (Brent) and one-dimensional minimization (golden
+//! section), used for optimal maintenance/rejuvenation interval searches
+//! and distribution quantile inversion.
+
+use crate::{NumericError, Result};
+
+/// Finds a root of `f` in the bracketing interval `[a, b]` by Brent's
+/// method.
+///
+/// # Errors
+///
+/// Returns [`NumericError::Invalid`] if the interval is malformed or does
+/// not bracket a sign change, [`NumericError::NoConvergence`] if the
+/// iteration budget is exhausted.
+///
+/// ```
+/// use reliab_numeric::roots::brent;
+/// let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+/// assert!((r - 2f64.sqrt()).abs() < 1e-10);
+/// ```
+pub fn brent<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    if !a.is_finite() || !b.is_finite() || a >= b {
+        return Err(NumericError::Invalid(format!(
+            "bracket [{a}, {b}] must be finite with a < b"
+        )));
+    }
+    if !(tol > 0.0) {
+        return Err(NumericError::Invalid(format!(
+            "tolerance must be positive, got {tol}"
+        )));
+    }
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::Invalid(format!(
+            "interval does not bracket a root: f({a}) = {fa}, f({b}) = {fb}"
+        )));
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+    for _ in 0..max_iter {
+        if fb.abs() > fc.abs() {
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation / secant.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if a == c {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        if d.abs() > tol1 {
+            b += d;
+        } else {
+            b += tol1.copysign(xm);
+        }
+        fb = f(b);
+        if fb.signum() == fc.signum() {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(NumericError::NoConvergence {
+        what: "Brent root finding".into(),
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
+}
+
+/// Minimizes a unimodal `f` over `[a, b]` by golden-section search,
+/// returning `(x_min, f(x_min))`.
+///
+/// For non-unimodal functions the result is a local minimum.
+///
+/// # Errors
+///
+/// Returns [`NumericError::Invalid`] on a malformed interval or
+/// tolerance.
+///
+/// ```
+/// use reliab_numeric::roots::golden_section_min;
+/// let (x, v) = golden_section_min(|x| (x - 1.5f64).powi(2), 0.0, 4.0, 1e-10).unwrap();
+/// assert!((x - 1.5).abs() < 1e-8);
+/// assert!(v < 1e-15);
+/// ```
+pub fn golden_section_min<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<(f64, f64)> {
+    if !a.is_finite() || !b.is_finite() || a >= b {
+        return Err(NumericError::Invalid(format!(
+            "interval [{a}, {b}] must be finite with a < b"
+        )));
+    }
+    if !(tol > 0.0) {
+        return Err(NumericError::Invalid(format!(
+            "tolerance must be positive, got {tol}"
+        )));
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut a, mut b) = (a, b);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    Ok((x, f(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_finds_simple_roots() {
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-13, 100).unwrap();
+        assert!((r - 0.7390851332151607).abs() < 1e-10);
+        let r = brent(|x| x.powi(3) - 8.0, 0.0, 10.0, 1e-13, 200).unwrap();
+        assert!((r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_accepts_root_at_endpoint() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn brent_rejects_non_bracketing_intervals() {
+        assert!(brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).is_err());
+        assert!(brent(|x| x, 1.0, 0.0, 1e-12, 100).is_err());
+        assert!(brent(|x| x, -1.0, 1.0, 0.0, 100).is_err());
+    }
+
+    #[test]
+    fn golden_section_quadratic() {
+        let (x, v) = golden_section_min(|x| (x - 3.0f64).powi(2) + 2.0, -10.0, 10.0, 1e-10).unwrap();
+        assert!((x - 3.0).abs() < 1e-7);
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_asymmetric_cost_curve() {
+        // Availability-style cost: steep left of optimum, shallow right.
+        let cost = |x: f64| 1.0 / x + 0.1 * x;
+        let (x, _) = golden_section_min(cost, 0.01, 100.0, 1e-10).unwrap();
+        assert!((x - (1.0f64 / 0.1).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_rejects_bad_interval() {
+        assert!(golden_section_min(|x| x, 1.0, 1.0, 1e-10).is_err());
+        assert!(golden_section_min(|x| x, 0.0, 1.0, -1.0).is_err());
+    }
+}

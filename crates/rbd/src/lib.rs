@@ -1,0 +1,40 @@
+//! # reliab-rbd
+//!
+//! Reliability block diagrams (RBDs): the first non-state-space model
+//! class in the tutorial. Blocks compose by series (all must work),
+//! parallel (any must work), and k-of-n; components may appear in
+//! several places (shared components), which is why evaluation compiles
+//! the structure function to a BDD rather than multiplying branch
+//! probabilities — the BDD stays exact under sharing.
+//!
+//! ```
+//! use reliab_rbd::{Block, RbdBuilder};
+//!
+//! # fn main() -> Result<(), reliab_core::Error> {
+//! // Two workstations (1-of-2) in series with a file server.
+//! let mut b = RbdBuilder::new();
+//! let w1 = b.component("workstation-1");
+//! let w2 = b.component("workstation-2");
+//! let fs = b.component("file-server");
+//! let diagram = Block::series(vec![Block::parallel_of(&[w1, w2]), fs.into()]);
+//! let rbd = b.build(diagram)?;
+//! // availability: workstations 0.99, server 0.999
+//! let a = rbd.availability(&[0.99, 0.99, 0.999])?;
+//! assert!((a - (1.0 - 0.01f64 * 0.01) * 0.999).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod structure;
+
+pub use structure::{Block, ComponentId, Rbd, RbdBuilder};
+
+use reliab_core::Error;
+
+/// Converts a BDD-layer error into the workspace error type.
+pub(crate) fn bdd_err(e: reliab_bdd::BddError) -> Error {
+    Error::model(e.to_string())
+}

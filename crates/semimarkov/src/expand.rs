@@ -1,0 +1,282 @@
+//! Phase-type expansion: approximating a semi-Markov process by a
+//! CTMC whose states are `(SMP state, phase)` pairs.
+//!
+//! This is the tutorial's standard recipe for "what if holding times
+//! are not exponential but I still want Markov machinery (transient
+//! solutions, rewards, sensitivity)": fit each sojourn distribution
+//! with a phase-type law matching its first two moments, then expand
+//! each SMP state into that law's phases. Steady-state results are
+//! *exact* (they only depend on the sojourn means); transient results
+//! are two-moment approximations that improve with the fidelity of the
+//! fit.
+
+use crate::smp::{SemiMarkov, SmpStateId};
+use reliab_core::{Error, Result};
+use reliab_dist::{fit_two_moments, Lifetime, TwoMomentFit};
+use reliab_markov::{Ctmc, CtmcBuilder, StateId};
+
+/// The result of a phase-type expansion; see
+/// [`SemiMarkov::expand_to_ctmc`].
+#[derive(Debug)]
+pub struct ExpandedCtmc {
+    /// The expanded chain.
+    pub ctmc: Ctmc,
+    /// `phases[i]` lists the CTMC states representing SMP state `i`
+    /// (in phase order).
+    pub phases: Vec<Vec<StateId>>,
+    /// `initial_alpha[i]` is the initial phase distribution used when
+    /// entering SMP state `i`.
+    pub initial_alpha: Vec<Vec<f64>>,
+}
+
+impl ExpandedCtmc {
+    /// Aggregates a CTMC distribution back onto SMP states.
+    pub fn aggregate(&self, pi: &[f64]) -> Vec<f64> {
+        self.phases
+            .iter()
+            .map(|ps| ps.iter().map(|s| pi[s.index()]).sum())
+            .collect()
+    }
+
+    /// Initial CTMC distribution representing "the SMP just entered
+    /// state `s`".
+    pub fn entry_distribution(&self, s: SmpStateId) -> Vec<f64> {
+        let mut p = vec![0.0; self.ctmc.num_states()];
+        for (phase, st) in self.phases[s.index()].iter().enumerate() {
+            p[st.index()] = self.initial_alpha[s.index()][phase];
+        }
+        p
+    }
+}
+
+/// Internal canonical phase-type form: initial distribution `alpha`,
+/// within-chain rates, and per-phase exit rates.
+struct PhForm {
+    alpha: Vec<f64>,
+    /// (from phase, to phase, rate)
+    internal: Vec<(usize, usize, f64)>,
+    /// exit rate per phase
+    exit: Vec<f64>,
+}
+
+fn ph_form_of(d: &dyn Lifetime) -> Result<PhForm> {
+    // Two-moment fit with cv² clamped into the representable range;
+    // deterministic sojourns (cv² = 0) become stiff Erlangs.
+    let mean = d.mean();
+    if !(mean.is_finite() && mean > 0.0) {
+        return Err(Error::invalid(format!(
+            "sojourn mean {mean} must be finite and positive for PH expansion"
+        )));
+    }
+    let cv2 = d.cv_squared().clamp(1.0 / 64.0, 64.0);
+    match fit_two_moments(mean, cv2)? {
+        TwoMomentFit::Exponential(e) => Ok(PhForm {
+            alpha: vec![1.0],
+            internal: Vec::new(),
+            exit: vec![e.rate()],
+        }),
+        TwoMomentFit::Erlang(er) => {
+            let k = er.stages() as usize;
+            let r = er.rate();
+            let mut internal = Vec::new();
+            for i in 0..k - 1 {
+                internal.push((i, i + 1, r));
+            }
+            let mut exit = vec![0.0; k];
+            exit[k - 1] = r;
+            let mut alpha = vec![0.0; k];
+            alpha[0] = 1.0;
+            Ok(PhForm {
+                alpha,
+                internal,
+                exit,
+            })
+        }
+        TwoMomentFit::HyperExponential(h) => Ok(PhForm {
+            // Two parallel single-phase branches.
+            alpha: h.probs().to_vec(),
+            internal: Vec::new(),
+            exit: h.rates().to_vec(),
+        }),
+        TwoMomentFit::ErlangMixture(ph) => {
+            let m = ph.phases();
+            let t = ph.sub_generator();
+            let mut internal = Vec::new();
+            let mut exit = vec![0.0; m];
+            for i in 0..m {
+                let mut row_sum = 0.0;
+                for j in 0..m {
+                    let v = t.get(i, j);
+                    row_sum += v;
+                    if i != j && v > 0.0 {
+                        internal.push((i, j, v));
+                    }
+                }
+                exit[i] = (-row_sum).max(0.0);
+            }
+            Ok(PhForm {
+                alpha: ph.alpha().to_vec(),
+                internal,
+                exit,
+            })
+        }
+    }
+}
+
+impl SemiMarkov {
+    /// Expands the process into a CTMC by phase-type fitting each
+    /// sojourn distribution (two-moment match, cv² clamped to
+    /// `[1/64, 64]`).
+    ///
+    /// Steady-state probabilities of the expansion (aggregated back
+    /// over phases) equal the SMP's exactly; transient probabilities
+    /// are a two-moment approximation. The expansion starts in the
+    /// given `initial` SMP state's entry phases.
+    ///
+    /// # Errors
+    ///
+    /// Returns fitting errors (degenerate sojourns) and CTMC
+    /// construction errors.
+    pub fn expand_to_ctmc(&self, initial: SmpStateId) -> Result<ExpandedCtmc> {
+        let n = self.num_states();
+        if initial.index() >= n {
+            return Err(Error::invalid("initial state handle out of range"));
+        }
+        let forms: Vec<PhForm> = (0..n)
+            .map(|i| ph_form_of(self.sojourn(SmpStateId::from_index(i))))
+            .collect::<Result<_>>()?;
+        let mut b = CtmcBuilder::new();
+        let phases: Vec<Vec<StateId>> = (0..n)
+            .map(|i| {
+                (0..forms[i].alpha.len())
+                    .map(|ph| b.state(&format!("{}#{ph}", self.state_name(SmpStateId::from_index(i)))))
+                    .collect()
+            })
+            .collect();
+        for i in 0..n {
+            // Internal phase transitions.
+            for &(f, t, r) in &forms[i].internal {
+                b.transition(phases[i][f], phases[i][t], r)?;
+            }
+            // Exits: distribute over successors j (embedded probs) and
+            // their entry phases (alpha_j).
+            for (ph, &er) in forms[i].exit.iter().enumerate() {
+                if er <= 0.0 {
+                    continue;
+                }
+                for (j, pij) in self.successors(SmpStateId::from_index(i)) {
+                    for (ph2, &a) in forms[j.index()].alpha.iter().enumerate() {
+                        let rate = er * pij * a;
+                        if rate > 0.0 {
+                            b.transition(phases[i][ph], phases[j.index()][ph2], rate)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ExpandedCtmc {
+            ctmc: b.build()?,
+            initial_alpha: forms.into_iter().map(|f| f.alpha).collect(),
+            phases,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SemiMarkovBuilder;
+    use reliab_dist::{Deterministic, Exponential, LogNormal};
+
+    fn alternating(up: Box<dyn Lifetime>, down: Box<dyn Lifetime>) -> SemiMarkov {
+        let mut b = SemiMarkovBuilder::new();
+        let u = b.state("up", up);
+        let d = b.state("down", down);
+        b.transition(u, d, 1.0).unwrap();
+        b.transition(d, u, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exponential_sojourns_expand_to_the_same_chain() {
+        let smp = alternating(
+            Box::new(Exponential::new(0.5).unwrap()),
+            Box::new(Exponential::new(4.0).unwrap()),
+        );
+        let initial = SmpStateId::from_index(0);
+        let exp = smp.expand_to_ctmc(initial).unwrap();
+        assert_eq!(exp.ctmc.num_states(), 2);
+        let pi = exp.ctmc.steady_state().unwrap();
+        let agg = exp.aggregate(&pi);
+        let exact = smp.steady_state().unwrap();
+        assert!((agg[0] - exact[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_sojourns_steady_state_is_exact() {
+        // Lognormal cv² = 4 on the down state: steady state only
+        // depends on means, so aggregation must match the SMP.
+        let smp = alternating(
+            Box::new(Exponential::from_mean(9.0).unwrap()),
+            Box::new(LogNormal::from_mean_cv2(1.0, 4.0).unwrap()),
+        );
+        let exp = smp.expand_to_ctmc(SmpStateId::from_index(0)).unwrap();
+        // H2 fit: down expands to 2 phases.
+        assert_eq!(exp.ctmc.num_states(), 3);
+        let agg = exp.aggregate(&exp.ctmc.steady_state().unwrap());
+        let exact = smp.steady_state().unwrap();
+        assert!((agg[0] - exact[0]).abs() < 1e-10, "{} vs {}", agg[0], exact[0]);
+        assert!((agg[1] - exact[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn deterministic_sojourn_becomes_stiff_erlang() {
+        let smp = alternating(
+            Box::new(Exponential::from_mean(10.0).unwrap()),
+            Box::new(Deterministic::new(1.0).unwrap()),
+        );
+        let exp = smp.expand_to_ctmc(SmpStateId::from_index(0)).unwrap();
+        // cv² clamps to 1/64 => 64-stage Erlang + the exponential state.
+        assert_eq!(exp.ctmc.num_states(), 65);
+        let agg = exp.aggregate(&exp.ctmc.steady_state().unwrap());
+        let exact = smp.steady_state().unwrap();
+        assert!((agg[0] - exact[0]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transient_of_expansion_is_sensible() {
+        // With a nearly deterministic down time of 1h, starting "down",
+        // the process is almost surely up again shortly after t = 1.
+        let smp = alternating(
+            Box::new(Exponential::from_mean(100.0).unwrap()),
+            Box::new(Deterministic::new(1.0).unwrap()),
+        );
+        let down = SmpStateId::from_index(1);
+        let exp = smp.expand_to_ctmc(down).unwrap();
+        let p0 = exp.entry_distribution(down);
+        let at = |t: f64| {
+            let pi = exp.ctmc.transient(&p0, t).unwrap();
+            exp.aggregate(&pi)[1] // probability still down
+        };
+        assert!(at(0.5) > 0.9, "still down mid-repair: {}", at(0.5));
+        assert!(at(2.0) < 0.1, "repaired soon after 1h: {}", at(2.0));
+    }
+
+    #[test]
+    fn three_state_cycle_aggregates_exactly() {
+        let mut b = SemiMarkovBuilder::new();
+        let a = b.state("a", Box::new(LogNormal::from_mean_cv2(1.0, 2.0).unwrap()));
+        let bb = b.state("b", Box::new(Exponential::from_mean(2.0).unwrap()));
+        let c = b.state("c", Box::new(Deterministic::new(3.0).unwrap()));
+        b.transition(a, bb, 1.0).unwrap();
+        b.transition(bb, c, 1.0).unwrap();
+        b.transition(c, a, 1.0).unwrap();
+        let smp = b.build().unwrap();
+        let exp = smp.expand_to_ctmc(a).unwrap();
+        let agg = exp.aggregate(&exp.ctmc.steady_state().unwrap());
+        let exact = smp.steady_state().unwrap();
+        for i in 0..3 {
+            assert!((agg[i] - exact[i]).abs() < 1e-9, "state {i}");
+        }
+    }
+}

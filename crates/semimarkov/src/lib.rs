@@ -1,0 +1,43 @@
+//! # reliab-semimarkov
+//!
+//! Models with non-exponential sojourn times, the tutorial's answer to
+//! "what if the holding times are not memoryless?":
+//!
+//! * [`SemiMarkov`] — semi-Markov processes with arbitrary sojourn-time
+//!   distributions and an embedded DTMC; steady-state probabilities via
+//!   the embedded-chain + mean-sojourn formula, mean first-passage
+//!   times via the Markov-renewal equations.
+//! * [`renewal`] — renewal-reward / Markov-regenerative analysis of
+//!   maintenance policies: age-replacement availability and cost-rate,
+//!   and the software-rejuvenation optimum (deterministic inspection or
+//!   rejuvenation clocks racing an aging failure distribution). These
+//!   are the two-state MRGPs the tutorial solves for IBM's software
+//!   rejuvenation story.
+//!
+//! ```
+//! use reliab_semimarkov::SemiMarkovBuilder;
+//! use reliab_dist::{Deterministic, Exponential};
+//!
+//! # fn main() -> Result<(), reliab_core::Error> {
+//! // Machine alternates: up (mean 9h, exponential) / down (exactly 1h).
+//! let mut b = SemiMarkovBuilder::new();
+//! let up = b.state("up", Box::new(Exponential::from_mean(9.0)?));
+//! let down = b.state("down", Box::new(Deterministic::new(1.0)?));
+//! b.transition(up, down, 1.0)?;
+//! b.transition(down, up, 1.0)?;
+//! let smp = b.build()?;
+//! let pi = smp.steady_state()?;
+//! assert!((pi[up.index()] - 0.9).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod expand;
+pub mod renewal;
+mod smp;
+
+pub use expand::ExpandedCtmc;
+pub use smp::{SemiMarkov, SemiMarkovBuilder, SmpStateId};

@@ -1,0 +1,384 @@
+//! Semi-Markov processes: embedded DTMC + general sojourn times.
+
+use reliab_core::{ensure_probability, Error, Result};
+use reliab_dist::Lifetime;
+use reliab_numeric::DenseMatrix;
+
+/// Handle to a semi-Markov state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SmpStateId(usize);
+
+impl SmpStateId {
+    /// Index into solution vectors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from an index (must come from the same
+    /// process; used by the phase-type expansion and by callers that
+    /// iterate over `0..num_states()`).
+    pub fn from_index(i: usize) -> SmpStateId {
+        SmpStateId(i)
+    }
+}
+
+/// Builder for [`SemiMarkov`] processes.
+///
+/// This implements the "simple" semi-Markov kernel used throughout the
+/// tutorial: the sojourn time in a state is drawn from that state's
+/// distribution independent of the successor, and the successor is
+/// chosen by the embedded DTMC probabilities.
+pub struct SemiMarkovBuilder {
+    names: Vec<String>,
+    sojourns: Vec<Box<dyn Lifetime>>,
+    probs: Vec<(usize, usize, f64)>,
+}
+
+impl std::fmt::Debug for SemiMarkovBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemiMarkovBuilder")
+            .field("states", &self.names)
+            .field("transitions", &self.probs.len())
+            .finish()
+    }
+}
+
+impl Default for SemiMarkovBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SemiMarkovBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SemiMarkovBuilder {
+            names: Vec::new(),
+            sojourns: Vec::new(),
+            probs: Vec::new(),
+        }
+    }
+
+    /// Adds a state with its sojourn-time distribution.
+    pub fn state(&mut self, name: &str, sojourn: Box<dyn Lifetime>) -> SmpStateId {
+        self.names.push(name.to_owned());
+        self.sojourns.push(sojourn);
+        SmpStateId(self.names.len() - 1)
+    }
+
+    /// Adds an embedded transition probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for probabilities outside
+    /// `[0, 1]` or [`Error::Model`] for self-loops / foreign handles.
+    pub fn transition(&mut self, from: SmpStateId, to: SmpStateId, p: f64) -> Result<&mut Self> {
+        ensure_probability(p, "embedded transition probability")?;
+        if from == to {
+            return Err(Error::model(
+                "self-loop in the embedded chain: fold it into the sojourn distribution instead",
+            ));
+        }
+        if from.0 >= self.names.len() || to.0 >= self.names.len() {
+            return Err(Error::model("state handle from another builder"));
+        }
+        if p > 0.0 {
+            self.probs.push((from.0, to.0, p));
+        }
+        Ok(self)
+    }
+
+    /// Finalizes the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] if any state's outgoing probabilities
+    /// do not sum to 1 (within `1e-9`) or the process is empty.
+    pub fn build(self) -> Result<SemiMarkov> {
+        let n = self.names.len();
+        if n == 0 {
+            return Err(Error::model("semi-Markov process has no states"));
+        }
+        let mut row_sums = vec![0.0f64; n];
+        for &(f, _, p) in &self.probs {
+            row_sums[f] += p;
+        }
+        for (i, &s) in row_sums.iter().enumerate() {
+            if (s - 1.0).abs() > 1e-9 {
+                return Err(Error::model(format!(
+                    "embedded probabilities out of state '{}' sum to {s}, expected 1",
+                    self.names[i]
+                )));
+            }
+        }
+        Ok(SemiMarkov {
+            names: self.names,
+            sojourns: self.sojourns,
+            probs: self.probs,
+        })
+    }
+}
+
+/// A semi-Markov process; see [`SemiMarkovBuilder`].
+pub struct SemiMarkov {
+    names: Vec<String>,
+    sojourns: Vec<Box<dyn Lifetime>>,
+    probs: Vec<(usize, usize, f64)>,
+}
+
+impl std::fmt::Debug for SemiMarkov {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemiMarkov")
+            .field("states", &self.names)
+            .field("transitions", &self.probs.len())
+            .finish()
+    }
+}
+
+impl SemiMarkov {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a state.
+    pub fn state_name(&self, s: SmpStateId) -> &str {
+        &self.names[s.0]
+    }
+
+    /// Mean sojourn time of each state.
+    pub fn mean_sojourns(&self) -> Vec<f64> {
+        self.sojourns.iter().map(|d| d.mean()).collect()
+    }
+
+    /// The sojourn-time distribution of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign handle.
+    pub fn sojourn(&self, s: SmpStateId) -> &dyn Lifetime {
+        self.sojourns[s.0].as_ref()
+    }
+
+    /// Iterates over `(successor, probability)` pairs of the embedded
+    /// chain out of `s`.
+    pub fn successors(&self, s: SmpStateId) -> impl Iterator<Item = (SmpStateId, f64)> + '_ {
+        self.probs
+            .iter()
+            .filter(move |&&(f, _, _)| f == s.0)
+            .map(|&(_, t, p)| (SmpStateId(t), p))
+    }
+
+    /// Stationary distribution of the embedded DTMC.
+    fn embedded_steady_state(&self) -> Result<Vec<f64>> {
+        let n = self.num_states();
+        // GTH on P - I (off-diagonal entries only).
+        let mut q = DenseMatrix::zeros(n, n);
+        for &(f, t, p) in &self.probs {
+            q.add_to(f, t, p);
+        }
+        reliab_numeric::gth_steady_state(&q)
+            .map_err(|e| Error::numerical(e.to_string()))
+    }
+
+    /// Long-run fraction of time in each state:
+    /// `p_i = ν_i h_i / Σ_j ν_j h_j`, with `ν` the embedded stationary
+    /// vector and `h` the mean sojourns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] for reducible embedded chains or
+    /// degenerate sojourn means.
+    pub fn steady_state(&self) -> Result<Vec<f64>> {
+        let nu = self.embedded_steady_state()?;
+        let h = self.mean_sojourns();
+        let mut weighted: Vec<f64> = nu.iter().zip(&h).map(|(a, b)| a * b).collect();
+        let total: f64 = weighted.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(Error::numerical(format!(
+                "total weighted sojourn {total} is not positive"
+            )));
+        }
+        for w in &mut weighted {
+            *w /= total;
+        }
+        Ok(weighted)
+    }
+
+    /// Mean recurrence time of a state: the expected time between
+    /// successive entries into `s`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates steady-state errors.
+    pub fn mean_recurrence_time(&self, s: SmpStateId) -> Result<f64> {
+        let nu = self.embedded_steady_state()?;
+        let h = self.mean_sojourns();
+        let total: f64 = nu.iter().zip(&h).map(|(a, b)| a * b).sum();
+        if nu[s.0] <= 0.0 {
+            return Err(Error::numerical(format!(
+                "state '{}' has zero embedded stationary probability",
+                self.names[s.0]
+            )));
+        }
+        Ok(total / nu[s.0])
+    }
+
+    /// Mean first-passage time from `from` into any of `targets`,
+    /// solving the Markov-renewal equations
+    /// `m_i = h_i + Σ_{j ∉ T} P_ij m_j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for empty/invalid targets;
+    /// [`Error::Numerical`] if targets are unreachable.
+    pub fn mean_first_passage(&self, from: SmpStateId, targets: &[SmpStateId]) -> Result<f64> {
+        if targets.is_empty() {
+            return Err(Error::invalid("target state set is empty"));
+        }
+        let n = self.num_states();
+        let mut is_target = vec![false; n];
+        for t in targets {
+            if t.0 >= n {
+                return Err(Error::invalid("target state handle out of range"));
+            }
+            is_target[t.0] = true;
+        }
+        if is_target[from.0] {
+            return Ok(0.0);
+        }
+        let transient: Vec<usize> = (0..n).filter(|&i| !is_target[i]).collect();
+        let mut compact = vec![usize::MAX; n];
+        for (c, &s) in transient.iter().enumerate() {
+            compact[s] = c;
+        }
+        let m = transient.len();
+        // (I - P_TT) x = h_T
+        let mut a = DenseMatrix::identity(m);
+        for &(f, t, p) in &self.probs {
+            if !is_target[f] && !is_target[t] {
+                a.add_to(compact[f], compact[t], -p);
+            }
+        }
+        let h: Vec<f64> = transient
+            .iter()
+            .map(|&s| self.sojourns[s].mean())
+            .collect();
+        let x = a.lu_solve(&h).map_err(|e| {
+            Error::numerical(format!(
+                "first-passage system is singular (targets unreachable?): {e}"
+            ))
+        })?;
+        let v = x[compact[from.0]];
+        if !v.is_finite() || v < 0.0 {
+            return Err(Error::numerical(format!(
+                "first-passage time computed as {v}; targets may be unreachable"
+            )));
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reliab_dist::{Deterministic, Exponential, LogNormal, Weibull};
+
+    #[test]
+    fn alternating_renewal_availability() {
+        // Exponential up (mean 99), lognormal down (mean 1):
+        // availability = 99/100 regardless of distribution shape.
+        let mut b = SemiMarkovBuilder::new();
+        let up = b.state("up", Box::new(Exponential::from_mean(99.0).unwrap()));
+        let down = b.state(
+            "down",
+            Box::new(LogNormal::from_mean_cv2(1.0, 4.0).unwrap()),
+        );
+        b.transition(up, down, 1.0).unwrap();
+        b.transition(down, up, 1.0).unwrap();
+        let smp = b.build().unwrap();
+        let pi = smp.steady_state().unwrap();
+        assert!((pi[0] - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_state_cycle() {
+        // Cycle a -> b -> c -> a with sojourn means 1, 2, 3:
+        // time-stationary = (1/6, 2/6, 3/6).
+        let mut b = SemiMarkovBuilder::new();
+        let a = b.state("a", Box::new(Deterministic::new(1.0).unwrap()));
+        let bb = b.state("b", Box::new(Exponential::from_mean(2.0).unwrap()));
+        let c = b.state("c", Box::new(Weibull::new(1.0, 3.0).unwrap()));
+        b.transition(a, bb, 1.0).unwrap();
+        b.transition(bb, c, 1.0).unwrap();
+        b.transition(c, a, 1.0).unwrap();
+        let smp = b.build().unwrap();
+        let pi = smp.steady_state().unwrap();
+        assert!((pi[0] - 1.0 / 6.0).abs() < 1e-9);
+        assert!((pi[1] - 2.0 / 6.0).abs() < 1e-9);
+        assert!((pi[2] - 3.0 / 6.0).abs() < 1e-9);
+        // Mean recurrence of a = total cycle time 6.
+        assert!((smp.mean_recurrence_time(a).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branching_first_passage() {
+        // a -> b (0.5) or c (0.5); b -> dead; c -> a. Sojourns all det 1.
+        let mut b = SemiMarkovBuilder::new();
+        let a = b.state("a", Box::new(Deterministic::new(1.0).unwrap()));
+        let bb = b.state("b", Box::new(Deterministic::new(1.0).unwrap()));
+        let c = b.state("c", Box::new(Deterministic::new(1.0).unwrap()));
+        let dead = b.state("dead", Box::new(Deterministic::new(1.0).unwrap()));
+        b.transition(a, bb, 0.5).unwrap();
+        b.transition(a, c, 0.5).unwrap();
+        b.transition(bb, dead, 1.0).unwrap();
+        b.transition(c, a, 1.0).unwrap();
+        b.transition(dead, a, 1.0).unwrap(); // make chain closed
+        let smp = b.build().unwrap();
+        // m_a = 1 + 0.5 m_b + 0.5 m_c; m_b = 1; m_c = 1 + m_a
+        // => m_a = 1 + 0.5 + 0.5 + 0.5 m_a => m_a = 4.
+        let m = smp.mean_first_passage(a, &[dead]).unwrap();
+        assert!((m - 4.0).abs() < 1e-9, "{m}");
+        assert_eq!(smp.mean_first_passage(dead, &[dead]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = SemiMarkovBuilder::new();
+        let a = b.state("a", Box::new(Deterministic::new(1.0).unwrap()));
+        assert!(b.transition(a, a, 1.0).is_err());
+        let bb = b.state("b", Box::new(Deterministic::new(1.0).unwrap()));
+        assert!(b.transition(a, bb, 1.5).is_err());
+        b.transition(a, bb, 0.5).unwrap();
+        // Row sums to 0.5, not 1: build fails.
+        assert!(b.build().is_err());
+        assert!(SemiMarkovBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn unreachable_target_reported() {
+        let mut b = SemiMarkovBuilder::new();
+        let a = b.state("a", Box::new(Deterministic::new(1.0).unwrap()));
+        let bb = b.state("b", Box::new(Deterministic::new(1.0).unwrap()));
+        let island = b.state("island", Box::new(Deterministic::new(1.0).unwrap()));
+        b.transition(a, bb, 1.0).unwrap();
+        b.transition(bb, a, 1.0).unwrap();
+        b.transition(island, a, 1.0).unwrap();
+        let smp = b.build().unwrap();
+        assert!(smp.mean_first_passage(a, &[island]).is_err());
+        assert!(smp.mean_first_passage(a, &[]).is_err());
+    }
+
+    #[test]
+    fn exponential_sojourns_reduce_to_ctmc() {
+        // With exponential sojourns the SMP equals the CTMC solution.
+        let (l, m) = (0.5f64, 2.0f64);
+        let mut b = SemiMarkovBuilder::new();
+        let up = b.state("up", Box::new(Exponential::new(l).unwrap()));
+        let down = b.state("down", Box::new(Exponential::new(m).unwrap()));
+        b.transition(up, down, 1.0).unwrap();
+        b.transition(down, up, 1.0).unwrap();
+        let pi = b.build().unwrap().steady_state().unwrap();
+        assert!((pi[0] - m / (l + m)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,522 @@
+//! # reliab-sim
+//!
+//! Discrete-event simulation of repairable systems — the workspace's
+//! ground truth for cross-validating analytic solvers and its escape
+//! hatch for models with no analytic solution (arbitrary lifetime
+//! distributions, structure functions of any shape).
+//!
+//! A [`SystemSimulator`] holds, per component, a time-to-failure and a
+//! time-to-repair distribution (any [`reliab_dist::Lifetime`]), plus a
+//! Boolean structure function over component states. Estimators:
+//!
+//! * [`SystemSimulator::availability`] — long-run availability by
+//!   time-averaging over a horizon, independent replications,
+//!   normal-theory confidence interval;
+//! * [`SystemSimulator::reliability`] — survival probability to a
+//!   mission time (components are *not* repaired after system failure —
+//!   the standard reliability semantics where the first system failure
+//!   ends the story, but component repairs before that are allowed);
+//! * [`SystemSimulator::mttf`] — mean time to first system failure.
+//!
+//! ```
+//! use reliab_sim::SystemSimulator;
+//! use reliab_dist::Exponential;
+//!
+//! # fn main() -> Result<(), reliab_core::Error> {
+//! // One component, fail rate 1, repair rate 9 => availability 0.9.
+//! let mut sim = SystemSimulator::new(|s| s[0]);
+//! sim.component(
+//!     Box::new(Exponential::new(1.0)?),
+//!     Box::new(Exponential::new(9.0)?),
+//! );
+//! let est = sim.availability(2_000.0, 64, 42)?;
+//! assert!((est.interval.point - 0.9).abs() < 0.02);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use reliab_core::{ConfidenceInterval, Error, Result};
+use reliab_dist::Lifetime;
+use reliab_numeric::special::normal_quantile;
+
+/// A point estimate with replication statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Normal-theory confidence interval over replications (95%).
+    pub interval: ConfidenceInterval,
+    /// Per-replication values (for diagnostics).
+    pub replications: Vec<f64>,
+}
+
+fn summarize(replications: Vec<f64>, level: f64) -> Result<Estimate> {
+    let n = replications.len();
+    if n < 2 {
+        return Err(Error::invalid("need at least 2 replications"));
+    }
+    let nf = n as f64;
+    let mean = replications.iter().sum::<f64>() / nf;
+    let var = replications
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / (nf - 1.0);
+    let z = normal_quantile(1.0 - (1.0 - level) / 2.0)
+        .map_err(|e| Error::numerical(e.to_string()))?;
+    let half = z * (var / nf).sqrt();
+    Ok(Estimate {
+        interval: ConfidenceInterval::new(mean, mean - half, mean + half, level)?,
+        replications,
+    })
+}
+
+
+/// Decorrelated per-replication RNG: splitmix64 over (seed, index) so
+/// different seeds give disjoint streams even for nearby indices.
+fn rep_rng(seed: u64, k: usize) -> SmallRng {
+    let mut z = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    SmallRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Structure function over component up/down states (`true` = up).
+pub type StructureFn = Box<dyn Fn(&[bool]) -> bool + Sync>;
+
+/// A repairable system simulator; see the crate docs for semantics.
+pub struct SystemSimulator {
+    ttf: Vec<Box<dyn Lifetime>>,
+    ttr: Vec<Box<dyn Lifetime>>,
+    works: StructureFn,
+}
+
+impl std::fmt::Debug for SystemSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemSimulator")
+            .field("components", &self.ttf.len())
+            .finish()
+    }
+}
+
+impl SystemSimulator {
+    /// Creates a simulator with the given structure function.
+    pub fn new<F>(works: F) -> Self
+    where
+        F: Fn(&[bool]) -> bool + Sync + 'static,
+    {
+        SystemSimulator {
+            ttf: Vec::new(),
+            ttr: Vec::new(),
+            works: Box::new(works),
+        }
+    }
+
+    /// Adds a component with its time-to-failure and time-to-repair
+    /// distributions; returns its index as seen by the structure
+    /// function.
+    pub fn component(&mut self, ttf: Box<dyn Lifetime>, ttr: Box<dyn Lifetime>) -> usize {
+        self.ttf.push(ttf);
+        self.ttr.push(ttr);
+        self.ttf.len() - 1
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.ttf.len()
+    }
+
+    fn check(&self) -> Result<()> {
+        if self.ttf.is_empty() {
+            return Err(Error::model("simulator has no components"));
+        }
+        Ok(())
+    }
+
+    /// One availability replication: fraction of `[0, horizon]` the
+    /// system is up, all components starting up and being repaired
+    /// independently forever.
+    fn run_availability(&self, horizon: f64, rng: &mut SmallRng) -> f64 {
+        let n = self.num_components();
+        let mut up = vec![true; n];
+        let mut next: Vec<f64> = (0..n).map(|i| self.ttf[i].sample(rng)).collect();
+        let mut t = 0.0f64;
+        let mut uptime = 0.0f64;
+        let mut sys_up = (self.works)(&up);
+        while t < horizon {
+            // Next event.
+            let (i, &te) = next
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("non-empty");
+            let te = te.min(horizon);
+            if sys_up {
+                uptime += te - t;
+            }
+            t = te;
+            if t >= horizon {
+                break;
+            }
+            // Toggle component i and schedule its next event.
+            up[i] = !up[i];
+            next[i] = t + if up[i] {
+                self.ttf[i].sample(rng)
+            } else {
+                self.ttr[i].sample(rng)
+            };
+            sys_up = (self.works)(&up);
+        }
+        uptime / horizon
+    }
+
+    /// One first-failure replication: time until the structure function
+    /// first goes false (capped at `cap`, returning `(time, failed)`).
+    fn run_first_failure(&self, cap: f64, rng: &mut SmallRng) -> (f64, bool) {
+        let n = self.num_components();
+        let mut up = vec![true; n];
+        let mut next: Vec<f64> = (0..n).map(|i| self.ttf[i].sample(rng)).collect();
+        let mut t;
+        loop {
+            let (i, &te) = next
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("non-empty");
+            if te >= cap {
+                return (cap, false);
+            }
+            t = te;
+            up[i] = !up[i];
+            next[i] = t + if up[i] {
+                self.ttf[i].sample(rng)
+            } else {
+                self.ttr[i].sample(rng)
+            };
+            if !(self.works)(&up) {
+                return (t, true);
+            }
+        }
+    }
+
+    /// Estimates long-run availability by `replications` independent
+    /// runs over `horizon` each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a non-positive horizon
+    /// or fewer than 2 replications; [`Error::Model`] for an empty
+    /// system.
+    pub fn availability(&self, horizon: f64, replications: usize, seed: u64) -> Result<Estimate> {
+        self.check()?;
+        if !(horizon > 0.0 && horizon.is_finite()) {
+            return Err(Error::invalid(format!(
+                "horizon must be positive and finite, got {horizon}"
+            )));
+        }
+        let reps: Vec<f64> = (0..replications)
+            .map(|k| {
+                let mut rng = rep_rng(seed, k);
+                self.run_availability(horizon, &mut rng)
+            })
+            .collect();
+        summarize(reps, 0.95)
+    }
+
+    /// Estimates mission reliability `R(t)`: probability the system
+    /// survives to `mission_time` without a system-level failure
+    /// (component repairs before system failure are included).
+    ///
+    /// # Errors
+    ///
+    /// As [`SystemSimulator::availability`].
+    pub fn reliability(
+        &self,
+        mission_time: f64,
+        replications: usize,
+        seed: u64,
+    ) -> Result<Estimate> {
+        self.check()?;
+        if !(mission_time > 0.0 && mission_time.is_finite()) {
+            return Err(Error::invalid(format!(
+                "mission time must be positive and finite, got {mission_time}"
+            )));
+        }
+        let reps: Vec<f64> = (0..replications)
+            .map(|k| {
+                let mut rng = rep_rng(seed, k);
+                let (_, failed) = self.run_first_failure(mission_time, &mut rng);
+                if failed {
+                    0.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        summarize(reps, 0.95)
+    }
+
+    /// Estimates point availability `A(t) = P(system up at t)` on a
+    /// grid of time points, sharing replications across the grid (one
+    /// long trajectory per replication, sampled at each point).
+    ///
+    /// Returns one [`Estimate`] per entry of `times`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an empty or unsorted
+    /// grid, non-finite times, or fewer than 2 replications.
+    pub fn transient_availability(
+        &self,
+        times: &[f64],
+        replications: usize,
+        seed: u64,
+    ) -> Result<Vec<Estimate>> {
+        self.check()?;
+        if times.is_empty() {
+            return Err(Error::invalid("time grid is empty"));
+        }
+        let mut last = 0.0;
+        for &t in times {
+            if !(t.is_finite() && t >= last) {
+                return Err(Error::invalid(format!(
+                    "time grid must be non-negative, sorted, and finite; saw {t} after {last}"
+                )));
+            }
+            last = t;
+        }
+        if replications < 2 {
+            return Err(Error::invalid("need at least 2 replications"));
+        }
+        let horizon = *times.last().expect("non-empty grid");
+        let n = self.num_components();
+        // reps[g][k] = up indicator of replication k at grid point g.
+        let mut reps = vec![Vec::with_capacity(replications); times.len()];
+        for k in 0..replications {
+            let mut rng = rep_rng(seed, k);
+            let mut up = vec![true; n];
+            let mut next: Vec<f64> = (0..n).map(|i| self.ttf[i].sample(&mut rng)).collect();
+            let mut t;
+            let mut grid_idx = 0usize;
+            let mut sys_up = (self.works)(&up);
+            loop {
+                let (i, &te) = next
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                    .expect("non-empty");
+                // Record every grid point passed before the next event.
+                while grid_idx < times.len() && times[grid_idx] < te {
+                    reps[grid_idx].push(if sys_up { 1.0 } else { 0.0 });
+                    grid_idx += 1;
+                }
+                if grid_idx >= times.len() || te > horizon {
+                    // Flush any remaining grid points (all at/after te).
+                    while grid_idx < times.len() {
+                        reps[grid_idx].push(if sys_up { 1.0 } else { 0.0 });
+                        grid_idx += 1;
+                    }
+                    break;
+                }
+                t = te;
+                up[i] = !up[i];
+                next[i] = t + if up[i] {
+                    self.ttf[i].sample(&mut rng)
+                } else {
+                    self.ttr[i].sample(&mut rng)
+                };
+                sys_up = (self.works)(&up);
+            }
+        }
+        reps.into_iter().map(|r| summarize(r, 0.95)).collect()
+    }
+
+    /// Estimates MTTF: expected time to first system failure. Each
+    /// replication runs until the system fails (guard: `time_cap`
+    /// aborts pathological runs and triggers an error, since censoring
+    /// would bias the estimate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Numerical`] if any replication hits `time_cap`
+    /// before the system fails.
+    pub fn mttf(&self, replications: usize, time_cap: f64, seed: u64) -> Result<Estimate> {
+        self.check()?;
+        if !(time_cap > 0.0 && time_cap.is_finite()) {
+            return Err(Error::invalid(format!(
+                "time cap must be positive and finite, got {time_cap}"
+            )));
+        }
+        let mut reps = Vec::with_capacity(replications);
+        for k in 0..replications {
+            let mut rng = rep_rng(seed, k);
+            let (t, failed) = self.run_first_failure(time_cap, &mut rng);
+            if !failed {
+                return Err(Error::numerical(format!(
+                    "replication {k} did not fail within the time cap {time_cap}; \
+                     raise the cap to avoid a censored (biased) MTTF"
+                )));
+            }
+            reps.push(t);
+        }
+        summarize(reps, 0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reliab_dist::{Exponential, LogNormal, Weibull};
+
+    fn exp(rate: f64) -> Box<dyn Lifetime> {
+        Box::new(Exponential::new(rate).unwrap())
+    }
+
+    #[test]
+    fn single_component_availability_matches_formula() {
+        let (l, m) = (1.0, 4.0);
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(l), exp(m));
+        let est = sim.availability(5_000.0, 32, 7).unwrap();
+        let exact = m / (l + m);
+        assert!(
+            est.interval.contains(exact),
+            "[{}, {}] vs {exact}",
+            est.interval.lower,
+            est.interval.upper
+        );
+    }
+
+    #[test]
+    fn parallel_system_availability() {
+        // Two independent components in parallel:
+        // A = 1 - (1-a)^2 with a = mu/(l+mu).
+        let (l, m) = (1.0, 3.0);
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0] || s[1]);
+        sim.component(exp(l), exp(m));
+        sim.component(exp(l), exp(m));
+        let est = sim.availability(5_000.0, 32, 11).unwrap();
+        let a = m / (l + m);
+        let exact = 1.0 - (1.0 - a) * (1.0 - a);
+        assert!(est.interval.contains(exact));
+    }
+
+    #[test]
+    fn series_reliability_without_repair_matches_exponential() {
+        // Series of two exp components with no meaningful repair
+        // (repair slower than mission): R(t) ~ e^{-(l1+l2)t}.
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0] && s[1]);
+        sim.component(exp(0.5), exp(1e-9));
+        sim.component(exp(0.25), exp(1e-9));
+        let t = 1.0;
+        let est = sim.reliability(t, 4000, 3).unwrap();
+        let exact = (-0.75f64 * t).exp();
+        assert!(
+            (est.interval.point - exact).abs() < 0.03,
+            "{} vs {exact}",
+            est.interval.point
+        );
+    }
+
+    #[test]
+    fn mttf_single_exponential() {
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(2.0), exp(1.0));
+        let est = sim.mttf(4000, 1e6, 5).unwrap();
+        assert!((est.interval.point - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn redundancy_with_repair_extends_mttf() {
+        // 1-of-2 with fast repair lives much longer than a single unit.
+        let mk = |n: usize| {
+            let mut sim = SystemSimulator::new(move |s: &[bool]| s.iter().any(|&b| b));
+            for _ in 0..n {
+                sim.component(exp(1.0), exp(20.0));
+            }
+            sim
+        };
+        let single = mk(1).mttf(800, 1e7, 13).unwrap();
+        let dual = mk(2).mttf(800, 1e7, 13).unwrap();
+        assert!(dual.interval.point > 5.0 * single.interval.point);
+    }
+
+    #[test]
+    fn non_exponential_distributions_supported() {
+        // Weibull wear-out failures, lognormal repairs: availability
+        // from renewal theory = E[ttf] / (E[ttf] + E[ttr]).
+        let ttf = Weibull::new(2.0, 10.0).unwrap();
+        let ttr = LogNormal::from_mean_cv2(1.0, 2.0).unwrap();
+        let exact = ttf.mean() / (ttf.mean() + ttr.mean());
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(Box::new(ttf), Box::new(ttr));
+        let est = sim.availability(20_000.0, 24, 23).unwrap();
+        assert!(
+            (est.interval.point - exact).abs() < 0.01,
+            "{} vs {exact}",
+            est.interval.point
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        assert!(sim.availability(100.0, 8, 1).is_err()); // no components
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(1.0), exp(1.0));
+        assert!(sim.availability(0.0, 8, 1).is_err());
+        assert!(sim.availability(100.0, 1, 1).is_err());
+        assert!(sim.reliability(-1.0, 8, 1).is_err());
+        assert!(sim.mttf(8, f64::INFINITY, 1).is_err());
+    }
+
+    #[test]
+    fn transient_availability_matches_closed_form() {
+        // Single component: A(t) = mu/(l+m) + l/(l+m) e^{-(l+m)t}.
+        let (l, m) = (0.5f64, 1.5f64);
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(l), exp(m));
+        let times = [0.5, 1.0, 2.0, 5.0, 20.0];
+        let ests = sim.transient_availability(&times, 6000, 99).unwrap();
+        for (t, est) in times.iter().zip(&ests) {
+            let exact = m / (l + m) + l / (l + m) * (-(l + m) * t).exp();
+            assert!(
+                est.interval.contains(exact),
+                "t = {t}: CI [{}, {}] vs exact {exact}",
+                est.interval.lower,
+                est.interval.upper
+            );
+        }
+        // Early availability is higher than steady state.
+        assert!(ests[0].interval.point > ests[4].interval.point);
+    }
+
+    #[test]
+    fn transient_availability_validates_grid() {
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(1.0), exp(1.0));
+        assert!(sim.transient_availability(&[], 8, 1).is_err());
+        assert!(sim.transient_availability(&[2.0, 1.0], 8, 1).is_err());
+        assert!(sim.transient_availability(&[-1.0], 8, 1).is_err());
+        assert!(sim.transient_availability(&[1.0], 1, 1).is_err());
+    }
+
+    #[test]
+    fn mttf_cap_detects_censoring() {
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(1e-6), exp(1.0)); // essentially never fails
+        assert!(sim.mttf(4, 10.0, 1).is_err());
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(1.0), exp(2.0));
+        let a = sim.availability(500.0, 8, 99).unwrap();
+        let b = sim.availability(500.0, 8, 99).unwrap();
+        assert_eq!(a.replications, b.replications);
+    }
+}

@@ -1,0 +1,67 @@
+//! `reliab-cli` — solve declarative model specifications from the
+//! command line.
+//!
+//! ```text
+//! reliab-cli model.json [more.json ...]   # solve files, print JSON results
+//! cat model.json | reliab-cli -           # read a spec from stdin
+//! ```
+//!
+//! Exit status: 0 on success, 1 if any file fails to parse or solve,
+//! 2 on usage errors.
+
+use std::io::{Read, Write};
+
+/// Writes a line to stdout, exiting quietly when the consumer (e.g.
+/// `head`) has closed the pipe.
+fn emit(line: &str) {
+    let mut out = std::io::stdout();
+    if writeln!(out, "{line}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: reliab-cli <spec.json> [...] | reliab-cli -");
+        eprintln!("solves reliab model specifications (rbd / fault_tree / ctmc)");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let mut failed = false;
+    for arg in &args {
+        let (label, contents) = if arg == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("stdin: {e}");
+                failed = true;
+                continue;
+            }
+            ("<stdin>".to_owned(), buf)
+        } else {
+            match std::fs::read_to_string(arg) {
+                Ok(c) => (arg.clone(), c),
+                Err(e) => {
+                    eprintln!("{arg}: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        };
+        match reliab_spec::solve_str(&contents) {
+            Ok(result) => {
+                if args.len() > 1 {
+                    emit(&format!("// {label}"));
+                }
+                emit(
+                    &serde_json::to_string_pretty(&result)
+                        .expect("solved measures always serialize"),
+                );
+            }
+            Err(e) => {
+                eprintln!("{label}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,640 @@
+//! Specification → model conversion and solving.
+
+use crate::schema::*;
+use reliab_core::{downtime_minutes_per_year, Error, Result};
+use reliab_ftree::{FaultTreeBuilder, FtNode};
+use reliab_markov::{CtmcBuilder, StateId};
+use reliab_rbd::{Block, RbdBuilder};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Importance measures of one component/event, serialization-friendly.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ImportanceRow {
+    /// Component or basic-event name.
+    pub name: String,
+    /// Birnbaum importance.
+    pub birnbaum: f64,
+    /// Criticality importance.
+    pub criticality: f64,
+    /// Fussell–Vesely importance.
+    pub fussell_vesely: f64,
+}
+
+/// Transient state probabilities at one time point.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct TransientRow {
+    /// The time point.
+    pub time: f64,
+    /// `(state, probability)` pairs in declaration order.
+    pub probabilities: Vec<(String, f64)>,
+}
+
+/// Everything a specification solve produces, ready for JSON output.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+#[serde(rename_all = "snake_case")]
+pub enum SolvedMeasures {
+    /// RBD results.
+    Rbd {
+        /// System availability.
+        availability: f64,
+        /// Downtime in minutes/year implied by the availability.
+        downtime_minutes_per_year: f64,
+        /// Per-component importance (absent when the system is perfect
+        /// at the given inputs).
+        importance: Option<Vec<ImportanceRow>>,
+    },
+    /// Fault-tree results.
+    FaultTree {
+        /// Exact top-event probability.
+        top_event_probability: f64,
+        /// Minimal cut sets (event-name lists, ascending order/size).
+        minimal_cut_sets: Vec<Vec<String>>,
+        /// Per-event importance (absent when the top event is
+        /// impossible at the given inputs).
+        importance: Option<Vec<ImportanceRow>>,
+    },
+    /// Reliability-graph results.
+    RelGraph {
+        /// s-t (two-terminal) reliability.
+        reliability: f64,
+        /// All-terminal reliability, when requested and defined.
+        all_terminal_reliability: Option<f64>,
+        /// Minimal s-t path sets (edge-name lists).
+        minimal_path_sets: Vec<Vec<String>>,
+        /// Minimal s-t cut sets (edge-name lists).
+        minimal_cut_sets: Vec<Vec<String>>,
+    },
+    /// CTMC results.
+    Ctmc {
+        /// Stationary distribution `(state, probability)` — absent for
+        /// chains with absorbing structure where no stationary
+        /// distribution exists.
+        steady_state: Option<Vec<(String, f64)>>,
+        /// Steady-state availability over `up_states` (if given).
+        availability: Option<f64>,
+        /// Downtime in minutes/year (when availability was computed).
+        downtime_minutes_per_year: Option<f64>,
+        /// MTTF into the `absorbing` set (if given).
+        mttf: Option<f64>,
+        /// Transient distributions at the requested times.
+        transient: Option<Vec<TransientRow>>,
+    },
+}
+
+/// Parses and solves a JSON specification document.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for JSON that does not match
+/// the schema, [`Error::Model`] for semantic problems (unknown names,
+/// duplicate components), and propagates solver errors.
+pub fn solve_str(json: &str) -> Result<SolvedMeasures> {
+    let spec: ModelSpec = serde_json::from_str(json)
+        .map_err(|e| Error::invalid(format!("specification does not match schema: {e}")))?;
+    solve(&spec)
+}
+
+/// Solves an already-parsed specification.
+///
+/// # Errors
+///
+/// See [`solve_str`].
+pub fn solve(spec: &ModelSpec) -> Result<SolvedMeasures> {
+    match spec {
+        ModelSpec::Rbd(r) => solve_rbd(r),
+        ModelSpec::FaultTree(f) => solve_fault_tree(f),
+        ModelSpec::Ctmc(c) => solve_ctmc(c),
+        ModelSpec::RelGraph(g) => solve_relgraph(g),
+    }
+}
+
+fn solve_relgraph(spec: &RelGraphSpec) -> Result<SolvedMeasures> {
+    use reliab_relgraph::RelGraphBuilder;
+    let mut b = RelGraphBuilder::new();
+    let mut node_ids = HashMap::new();
+    for n in &spec.nodes {
+        if node_ids.contains_key(n) {
+            return Err(Error::model(format!("duplicate node '{n}'")));
+        }
+        node_ids.insert(n.clone(), b.node(n));
+    }
+    let node = |name: &str, ids: &HashMap<String, reliab_relgraph::NodeIdx>| {
+        ids.get(name)
+            .copied()
+            .ok_or_else(|| Error::model(format!("unknown node '{name}'")))
+    };
+    let mut probs = Vec::with_capacity(spec.edges.len());
+    for e in &spec.edges {
+        let u = node(&e.from, &node_ids)?;
+        let v = node(&e.to, &node_ids)?;
+        if e.directed {
+            b.arc(u, v, &e.name);
+        } else {
+            b.edge(u, v, &e.name);
+        }
+        probs.push(e.reliability);
+    }
+    let source = node(&spec.source, &node_ids)?;
+    let sink = node(&spec.sink, &node_ids)?;
+    let g = b.build(source, sink)?;
+    let reliability = g.reliability(&probs)?;
+    let all_terminal_reliability = if spec.all_terminal {
+        Some(g.all_terminal_reliability(&probs)?)
+    } else {
+        None
+    };
+    let name_of = |es: Vec<reliab_relgraph::EdgeId>| -> Vec<String> {
+        es.into_iter().map(|e| g.edge_name(e).to_owned()).collect()
+    };
+    let minimal_path_sets = g.minimal_path_sets().into_iter().map(&name_of).collect();
+    let minimal_cut_sets = g
+        .minimal_cut_sets(100_000)?
+        .into_iter()
+        .map(&name_of)
+        .collect();
+    Ok(SolvedMeasures::RelGraph {
+        reliability,
+        all_terminal_reliability,
+        minimal_path_sets,
+        minimal_cut_sets,
+    })
+}
+
+fn solve_rbd(spec: &RbdSpec) -> Result<SolvedMeasures> {
+    let mut b = RbdBuilder::new();
+    let mut ids = HashMap::new();
+    let mut probs = Vec::new();
+    for c in &spec.components {
+        if ids.contains_key(&c.name) {
+            return Err(Error::model(format!("duplicate component '{}'", c.name)));
+        }
+        ids.insert(c.name.clone(), b.component(&c.name));
+        probs.push(c.availability);
+    }
+    let root = build_structure(&spec.structure, &ids)?;
+    let mut rbd = b.build(root)?;
+    let availability = rbd.availability(&probs)?;
+    let importance = match rbd.importance(&probs) {
+        Ok(rows) => Some(
+            rows.into_iter()
+                .map(|m| ImportanceRow {
+                    name: m.component,
+                    birnbaum: m.birnbaum,
+                    criticality: m.criticality,
+                    fussell_vesely: m.fussell_vesely,
+                })
+                .collect(),
+        ),
+        Err(_) => None, // perfect system: importance undefined
+    };
+    Ok(SolvedMeasures::Rbd {
+        availability,
+        downtime_minutes_per_year: downtime_minutes_per_year(availability)?,
+        importance,
+    })
+}
+
+fn build_structure(
+    s: &StructureSpec,
+    ids: &HashMap<String, reliab_rbd::ComponentId>,
+) -> Result<Block> {
+    match s {
+        StructureSpec::Component(name) => ids
+            .get(name)
+            .map(|&c| Block::Component(c))
+            .ok_or_else(|| Error::model(format!("unknown component '{name}'"))),
+        StructureSpec::Series { series } => Ok(Block::Series(
+            series
+                .iter()
+                .map(|x| build_structure(x, ids))
+                .collect::<Result<_>>()?,
+        )),
+        StructureSpec::Parallel { parallel } => Ok(Block::Parallel(
+            parallel
+                .iter()
+                .map(|x| build_structure(x, ids))
+                .collect::<Result<_>>()?,
+        )),
+        StructureSpec::KOfN { k_of_n } => Ok(Block::KOfN {
+            k: k_of_n.k,
+            blocks: k_of_n
+                .of
+                .iter()
+                .map(|x| build_structure(x, ids))
+                .collect::<Result<_>>()?,
+        }),
+    }
+}
+
+fn solve_fault_tree(spec: &FaultTreeSpec) -> Result<SolvedMeasures> {
+    let mut b = FaultTreeBuilder::new();
+    let mut ids = HashMap::new();
+    let mut probs = Vec::new();
+    for e in &spec.events {
+        if ids.contains_key(&e.name) {
+            return Err(Error::model(format!("duplicate event '{}'", e.name)));
+        }
+        ids.insert(e.name.clone(), b.basic_event(&e.name));
+        probs.push(e.probability);
+    }
+    let top = build_gate(&spec.top, &ids)?;
+    let mut ft = b.build(top)?;
+    let q = ft.top_event_probability(&probs)?;
+    let cuts = ft
+        .minimal_cut_sets(spec.max_cut_sets.unwrap_or(100_000))
+        .unwrap_or_else(|_| ft.minimal_cut_sets_bdd());
+    let named_cuts: Vec<Vec<String>> = cuts
+        .iter()
+        .map(|c| {
+            c.events()
+                .iter()
+                .map(|&e| ft.event_name(e).to_owned())
+                .collect()
+        })
+        .collect();
+    let importance = match ft.importance(&probs) {
+        Ok(rows) => Some(
+            rows.into_iter()
+                .map(|m| ImportanceRow {
+                    name: m.component,
+                    birnbaum: m.birnbaum,
+                    criticality: m.criticality,
+                    fussell_vesely: m.fussell_vesely,
+                })
+                .collect(),
+        ),
+        Err(_) => None,
+    };
+    Ok(SolvedMeasures::FaultTree {
+        top_event_probability: q,
+        minimal_cut_sets: named_cuts,
+        importance,
+    })
+}
+
+fn build_gate(
+    g: &GateSpec,
+    ids: &HashMap<String, reliab_ftree::EventId>,
+) -> Result<FtNode> {
+    match g {
+        GateSpec::Event(name) => ids
+            .get(name)
+            .map(|&e| FtNode::Basic(e))
+            .ok_or_else(|| Error::model(format!("unknown event '{name}'"))),
+        GateSpec::And { and } => Ok(FtNode::And(
+            and.iter().map(|x| build_gate(x, ids)).collect::<Result<_>>()?,
+        )),
+        GateSpec::Or { or } => Ok(FtNode::Or(
+            or.iter().map(|x| build_gate(x, ids)).collect::<Result<_>>()?,
+        )),
+        GateSpec::KOfN { k_of_n } => Ok(FtNode::KOfN {
+            k: k_of_n.k,
+            inputs: k_of_n
+                .of
+                .iter()
+                .map(|x| build_gate(x, ids))
+                .collect::<Result<_>>()?,
+        }),
+    }
+}
+
+fn solve_ctmc(spec: &CtmcSpec) -> Result<SolvedMeasures> {
+    let mut b = CtmcBuilder::new();
+    let mut ids: HashMap<String, StateId> = HashMap::new();
+    for s in &spec.states {
+        if ids.contains_key(s) {
+            return Err(Error::model(format!("duplicate state '{s}'")));
+        }
+        ids.insert(s.clone(), b.state(s));
+    }
+    let lookup = |name: &str, ids: &HashMap<String, StateId>| -> Result<StateId> {
+        ids.get(name)
+            .copied()
+            .ok_or_else(|| Error::model(format!("unknown state '{name}'")))
+    };
+    for t in &spec.transitions {
+        let from = lookup(&t.from, &ids)?;
+        let to = lookup(&t.to, &ids)?;
+        b.transition(from, to, t.rate)?;
+    }
+    let ctmc = b.build()?;
+    let initial_state = match &spec.initial {
+        Some(name) => lookup(name, &ids)?,
+        None => lookup(&spec.states[0], &ids)?,
+    };
+    let initial = ctmc.point_mass(initial_state);
+
+    let steady = ctmc.steady_state().ok();
+    let steady_named = steady.as_ref().map(|pi| {
+        spec.states
+            .iter()
+            .map(|s| (s.clone(), pi[ids[s].index()]))
+            .collect::<Vec<_>>()
+    });
+    let (availability, downtime) = match (&spec.up_states, &steady) {
+        (Some(up), Some(pi)) => {
+            let mut a = 0.0;
+            for name in up {
+                a += pi[lookup(name, &ids)?.index()];
+            }
+            (Some(a), Some(downtime_minutes_per_year(a)?))
+        }
+        (Some(_), None) => {
+            return Err(Error::model(
+                "up_states given but the chain has no stationary distribution",
+            ))
+        }
+        _ => (None, None),
+    };
+    let mttf = match &spec.absorbing {
+        Some(abs) => {
+            let states: Vec<StateId> = abs
+                .iter()
+                .map(|n| lookup(n, &ids))
+                .collect::<Result<_>>()?;
+            Some(ctmc.mttf(&initial, &states)?)
+        }
+        None => None,
+    };
+    let transient = match &spec.at_times {
+        Some(times) => {
+            let mut rows = Vec::with_capacity(times.len());
+            for &t in times {
+                let pi = ctmc.transient(&initial, t)?;
+                rows.push(TransientRow {
+                    time: t,
+                    probabilities: spec
+                        .states
+                        .iter()
+                        .map(|s| (s.clone(), pi[ids[s].index()]))
+                        .collect(),
+                });
+            }
+            Some(rows)
+        }
+        None => None,
+    };
+    Ok(SolvedMeasures::Ctmc {
+        steady_state: steady_named,
+        availability,
+        downtime_minutes_per_year: downtime,
+        mttf,
+        transient,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbd_spec_solves() {
+        let out = solve_str(
+            r#"{
+              "rbd": {
+                "components": [
+                  {"name": "a", "availability": 0.9},
+                  {"name": "b", "availability": 0.9},
+                  {"name": "c", "availability": 0.99}
+                ],
+                "structure": {"series": [{"parallel": ["a", "b"]}, "c"]}
+              }
+            }"#,
+        )
+        .unwrap();
+        match out {
+            SolvedMeasures::Rbd {
+                availability,
+                importance,
+                ..
+            } => {
+                assert!((availability - 0.99 * 0.99).abs() < 1e-12);
+                assert_eq!(importance.unwrap().len(), 3);
+            }
+            _ => panic!("expected RBD result"),
+        }
+    }
+
+    #[test]
+    fn fault_tree_spec_solves() {
+        let out = solve_str(
+            r#"{
+              "fault_tree": {
+                "events": [
+                  {"name": "p1", "probability": 0.01},
+                  {"name": "p2", "probability": 0.01},
+                  {"name": "bus", "probability": 0.001}
+                ],
+                "top": {"or": [{"and": ["p1", "p2"]}, "bus"]}
+              }
+            }"#,
+        )
+        .unwrap();
+        match out {
+            SolvedMeasures::FaultTree {
+                top_event_probability,
+                minimal_cut_sets,
+                ..
+            } => {
+                let expected = 1.0 - (1.0 - 1e-4) * (1.0 - 1e-3);
+                assert!((top_event_probability - expected).abs() < 1e-12);
+                assert_eq!(minimal_cut_sets.len(), 2);
+                assert_eq!(minimal_cut_sets[0], vec!["bus"]);
+            }
+            _ => panic!("expected fault-tree result"),
+        }
+    }
+
+    #[test]
+    fn ctmc_spec_all_measures() {
+        let out = solve_str(
+            r#"{
+              "ctmc": {
+                "states": ["up", "down"],
+                "transitions": [
+                  {"from": "up", "to": "down", "rate": 1.0},
+                  {"from": "down", "to": "up", "rate": 9.0}
+                ],
+                "up_states": ["up"],
+                "absorbing": ["down"],
+                "at_times": [0.1]
+              }
+            }"#,
+        )
+        .unwrap();
+        match out {
+            SolvedMeasures::Ctmc {
+                availability,
+                mttf,
+                transient,
+                ..
+            } => {
+                assert!((availability.unwrap() - 0.9).abs() < 1e-12);
+                assert!((mttf.unwrap() - 1.0).abs() < 1e-12);
+                let rows = transient.unwrap();
+                assert_eq!(rows.len(), 1);
+                let total: f64 = rows[0].probabilities.iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+            _ => panic!("expected CTMC result"),
+        }
+    }
+
+    #[test]
+    fn relgraph_spec_solves_bridge() {
+        let out = solve_str(
+            r#"{
+              "rel_graph": {
+                "nodes": ["s", "a", "c", "t"],
+                "edges": [
+                  {"name": "e1", "from": "s", "to": "a", "reliability": 0.9},
+                  {"name": "e2", "from": "s", "to": "c", "reliability": 0.9},
+                  {"name": "e3", "from": "a", "to": "c", "reliability": 0.9},
+                  {"name": "e4", "from": "a", "to": "t", "reliability": 0.9},
+                  {"name": "e5", "from": "c", "to": "t", "reliability": 0.9}
+                ],
+                "source": "s",
+                "sink": "t",
+                "all_terminal": true
+              }
+            }"#,
+        )
+        .unwrap();
+        match out {
+            SolvedMeasures::RelGraph {
+                reliability,
+                all_terminal_reliability,
+                minimal_path_sets,
+                minimal_cut_sets,
+            } => {
+                let p: f64 = 0.9;
+                let expected =
+                    2.0 * p.powi(2) + 2.0 * p.powi(3) - 5.0 * p.powi(4) + 2.0 * p.powi(5);
+                assert!((reliability - expected).abs() < 1e-12);
+                assert!(all_terminal_reliability.unwrap() <= reliability);
+                assert_eq!(minimal_path_sets.len(), 4);
+                assert_eq!(minimal_cut_sets.len(), 4);
+            }
+            _ => panic!("expected rel-graph result"),
+        }
+    }
+
+    #[test]
+    fn semantic_errors_are_reported() {
+        // Unknown component reference.
+        assert!(solve_str(
+            r#"{"rbd": {"components": [{"name": "a", "availability": 0.9}],
+                 "structure": "nope"}}"#
+        )
+        .is_err());
+        // Duplicate names.
+        assert!(solve_str(
+            r#"{"rbd": {"components": [
+                 {"name": "a", "availability": 0.9},
+                 {"name": "a", "availability": 0.8}],
+                 "structure": "a"}}"#
+        )
+        .is_err());
+        // Bad JSON.
+        assert!(solve_str("{").is_err());
+        // Unknown state in transitions.
+        assert!(solve_str(
+            r#"{"ctmc": {"states": ["up"],
+                 "transitions": [{"from": "up", "to": "ghost", "rate": 1.0}]}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn k_of_n_structure_in_rbd_spec() {
+        let out = solve_str(
+            r#"{
+              "rbd": {
+                "components": [
+                  {"name": "a", "availability": 0.9},
+                  {"name": "b", "availability": 0.9},
+                  {"name": "c", "availability": 0.9}
+                ],
+                "structure": {"k_of_n": {"k": 2, "of": ["a", "b", "c"]}}
+              }
+            }"#,
+        )
+        .unwrap();
+        match out {
+            SolvedMeasures::Rbd { availability, .. } => {
+                let p: f64 = 0.9;
+                let expected = 3.0 * p * p * (1.0 - p) + p * p * p;
+                assert!((availability - expected).abs() < 1e-12);
+            }
+            _ => panic!("expected RBD result"),
+        }
+    }
+
+    #[test]
+    fn ctmc_without_optional_measures() {
+        let out = solve_str(
+            r#"{
+              "ctmc": {
+                "states": ["a", "b"],
+                "transitions": [
+                  {"from": "a", "to": "b", "rate": 2.0},
+                  {"from": "b", "to": "a", "rate": 1.0}
+                ]
+              }
+            }"#,
+        )
+        .unwrap();
+        match out {
+            SolvedMeasures::Ctmc {
+                steady_state,
+                availability,
+                mttf,
+                transient,
+                ..
+            } => {
+                let pi = steady_state.unwrap();
+                assert!((pi[0].1 - 1.0 / 3.0).abs() < 1e-12);
+                assert!(availability.is_none());
+                assert!(mttf.is_none());
+                assert!(transient.is_none());
+            }
+            _ => panic!("expected CTMC result"),
+        }
+    }
+
+    #[test]
+    fn absorbing_ctmc_spec_has_no_steady_state_but_mttf_works() {
+        let out = solve_str(
+            r#"{
+              "ctmc": {
+                "states": ["up", "dead"],
+                "transitions": [{"from": "up", "to": "dead", "rate": 0.5}],
+                "absorbing": ["dead"]
+              }
+            }"#,
+        )
+        .unwrap();
+        match out {
+            SolvedMeasures::Ctmc {
+                steady_state, mttf, ..
+            } => {
+                assert!(steady_state.is_none());
+                assert!((mttf.unwrap() - 2.0).abs() < 1e-12);
+            }
+            _ => panic!("expected CTMC result"),
+        }
+    }
+
+    #[test]
+    fn result_serializes_to_json() {
+        let out = solve_str(
+            r#"{"rbd": {"components": [{"name": "a", "availability": 0.5}],
+                 "structure": "a"}}"#,
+        )
+        .unwrap();
+        let json = serde_json::to_string_pretty(&out).unwrap();
+        assert!(json.contains("availability"));
+        assert!(json.contains("downtime_minutes_per_year"));
+    }
+}

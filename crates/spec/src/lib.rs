@@ -1,0 +1,75 @@
+//! # reliab-spec
+//!
+//! Declarative model specifications: the workspace's answer to
+//! SHARPE's input language. Models (RBDs, fault trees, CTMCs) are
+//! written as JSON documents, validated, solved, and reported —
+//! enabling version-controlled model files and the `reliab-cli`
+//! batch solver without writing Rust.
+//!
+//! ```
+//! use reliab_spec::{solve_str, SolvedMeasures};
+//!
+//! # fn main() -> Result<(), reliab_core::Error> {
+//! let spec = r#"{
+//!   "rbd": {
+//!     "components": [
+//!       {"name": "pump-a", "availability": 0.99},
+//!       {"name": "pump-b", "availability": 0.99},
+//!       {"name": "valve",  "availability": 0.999}
+//!     ],
+//!     "structure": {"series": [{"parallel": ["pump-a", "pump-b"]}, "valve"]}
+//!   }
+//! }"#;
+//! let solved = solve_str(spec)?;
+//! match solved {
+//!     SolvedMeasures::Rbd { availability, .. } => assert!(availability > 0.998),
+//!     _ => unreachable!(),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The JSON grammar (one top-level key selects the model class):
+//!
+//! ```text
+//! { "rbd": {
+//!     "components": [ {"name": "...", "availability": 0.99}, ... ],
+//!     "structure":  "name"
+//!                 | {"series":   [structure, ...]}
+//!                 | {"parallel": [structure, ...]}
+//!                 | {"k_of_n": {"k": 2, "of": [structure, ...]}} } }
+//!
+//! { "fault_tree": {
+//!     "events": [ {"name": "...", "probability": 0.01}, ... ],
+//!     "top":    "name"
+//!             | {"and": [gate, ...]}
+//!             | {"or":  [gate, ...]}
+//!             | {"k_of_n": {"k": 2, "of": [gate, ...]}} } }
+//!
+//! { "ctmc": {
+//!     "states": ["up", "down", ...],
+//!     "transitions": [ {"from": "up", "to": "down", "rate": 0.01}, ... ],
+//!     "initial": "up",                  // optional, for mttf/transient
+//!     "up_states": ["up"],              // optional, for availability
+//!     "absorbing": ["down"],            // optional, for mttf
+//!     "at_times": [100.0, 1000.0] } }   // optional, transient points
+//!
+//! { "rel_graph": {
+//!     "nodes": ["s", "t", ...],
+//!     "edges": [ {"name": "...", "from": "s", "to": "t",
+//!                 "reliability": 0.99, "directed": false}, ... ],
+//!     "source": "s", "sink": "t",
+//!     "all_terminal": false } }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod convert;
+mod schema;
+
+pub use convert::{solve, solve_str, ImportanceRow, SolvedMeasures, TransientRow};
+pub use schema::{
+    CtmcSpec, EdgeSpec, EventSpec, FaultTreeSpec, GateSpec, KOfNGateSpec, KOfNSpec,
+    ModelSpec, RbdComponentSpec, RbdSpec, RelGraphSpec, StructureSpec, TransitionSpec,
+};

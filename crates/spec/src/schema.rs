@@ -1,0 +1,259 @@
+//! Serde data model for specification documents.
+
+use serde::{Deserialize, Serialize};
+
+/// A top-level model document: exactly one model class.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields, rename_all = "snake_case")]
+pub enum ModelSpec {
+    /// A reliability block diagram.
+    Rbd(RbdSpec),
+    /// A fault tree.
+    FaultTree(FaultTreeSpec),
+    /// A continuous-time Markov chain.
+    Ctmc(CtmcSpec),
+    /// An s-t reliability graph.
+    RelGraph(RelGraphSpec),
+}
+
+/// Reliability-graph specification.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct RelGraphSpec {
+    /// Node names.
+    pub nodes: Vec<String>,
+    /// Edge declarations.
+    pub edges: Vec<EdgeSpec>,
+    /// Source terminal.
+    pub source: String,
+    /// Sink terminal.
+    pub sink: String,
+    /// Also compute all-terminal reliability (undirected graphs only).
+    #[serde(default)]
+    pub all_terminal: bool,
+}
+
+/// One graph edge (a failure-prone component).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct EdgeSpec {
+    /// Edge name.
+    pub name: String,
+    /// Tail node.
+    pub from: String,
+    /// Head node.
+    pub to: String,
+    /// Probability the edge works.
+    pub reliability: f64,
+    /// Directed edge (default: undirected).
+    #[serde(default)]
+    pub directed: bool,
+}
+
+/// RBD specification.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct RbdSpec {
+    /// Component declarations.
+    pub components: Vec<RbdComponentSpec>,
+    /// The block structure.
+    pub structure: StructureSpec,
+}
+
+/// One RBD component.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct RbdComponentSpec {
+    /// Component name (referenced from the structure).
+    pub name: String,
+    /// Steady-state availability (or any point probability of being
+    /// up).
+    pub availability: f64,
+}
+
+/// Recursive RBD structure.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(untagged, deny_unknown_fields)]
+pub enum StructureSpec {
+    /// Reference to a component by name.
+    Component(String),
+    /// Series group.
+    Series {
+        /// The members, all required.
+        series: Vec<StructureSpec>,
+    },
+    /// Parallel group.
+    Parallel {
+        /// The members, any one suffices.
+        parallel: Vec<StructureSpec>,
+    },
+    /// k-of-n group.
+    KOfN {
+        /// The `{ "k": ..., "of": [...] }` payload.
+        k_of_n: KOfNSpec,
+    },
+}
+
+/// Payload of a k-of-n group.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct KOfNSpec {
+    /// Members required to work (RBD) / fail (fault tree).
+    pub k: usize,
+    /// The members.
+    pub of: Vec<StructureSpec>,
+}
+
+/// Fault-tree specification.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct FaultTreeSpec {
+    /// Basic-event declarations.
+    pub events: Vec<EventSpec>,
+    /// The top gate.
+    pub top: GateSpec,
+    /// Cap on intermediate cut sets during enumeration (default
+    /// 100 000; the BDD probability itself has no such cap).
+    #[serde(default)]
+    pub max_cut_sets: Option<usize>,
+}
+
+/// One basic event.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct EventSpec {
+    /// Event name.
+    pub name: String,
+    /// Failure probability.
+    pub probability: f64,
+}
+
+/// Recursive gate structure.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(untagged, deny_unknown_fields)]
+pub enum GateSpec {
+    /// Reference to a basic event.
+    Event(String),
+    /// AND gate.
+    And {
+        /// Inputs; fails when all fail.
+        and: Vec<GateSpec>,
+    },
+    /// OR gate.
+    Or {
+        /// Inputs; fails when any fails.
+        or: Vec<GateSpec>,
+    },
+    /// k-of-n voting gate.
+    KOfN {
+        /// The `{ "k": ..., "of": [...] }` payload.
+        k_of_n: KOfNGateSpec,
+    },
+}
+
+/// Payload of a voting gate.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct KOfNGateSpec {
+    /// Failures required to trip the gate.
+    pub k: usize,
+    /// Gate inputs.
+    pub of: Vec<GateSpec>,
+}
+
+/// CTMC specification.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct CtmcSpec {
+    /// State names.
+    pub states: Vec<String>,
+    /// Transition list.
+    pub transitions: Vec<TransitionSpec>,
+    /// Initial state (for MTTF / transient measures). Defaults to the
+    /// first state.
+    #[serde(default)]
+    pub initial: Option<String>,
+    /// Operational states (availability is their steady-state mass).
+    #[serde(default)]
+    pub up_states: Option<Vec<String>>,
+    /// Failure states for MTTF.
+    #[serde(default)]
+    pub absorbing: Option<Vec<String>>,
+    /// Time points for transient state probabilities.
+    #[serde(default)]
+    pub at_times: Option<Vec<f64>>,
+}
+
+/// One CTMC transition.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct TransitionSpec {
+    /// Source state name.
+    pub from: String,
+    /// Destination state name.
+    pub to: String,
+    /// Transition rate (per time unit).
+    pub rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rbd_round_trip() {
+        let json = r#"{
+          "rbd": {
+            "components": [{"name": "a", "availability": 0.9}],
+            "structure": {"series": ["a", {"parallel": ["a", "a"]}]}
+          }
+        }"#;
+        let spec: ModelSpec = serde_json::from_str(json).unwrap();
+        let back = serde_json::to_string(&spec).unwrap();
+        let again: ModelSpec = serde_json::from_str(&back).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn fault_tree_round_trip() {
+        let json = r#"{
+          "fault_tree": {
+            "events": [{"name": "e", "probability": 0.01}],
+            "top": {"k_of_n": {"k": 2, "of": ["e", "e", "e"]}}
+          }
+        }"#;
+        let spec: ModelSpec = serde_json::from_str(json).unwrap();
+        assert!(matches!(spec, ModelSpec::FaultTree(_)));
+    }
+
+    #[test]
+    fn ctmc_optional_fields_default() {
+        let json = r#"{
+          "ctmc": {
+            "states": ["up", "down"],
+            "transitions": [
+              {"from": "up", "to": "down", "rate": 0.01},
+              {"from": "down", "to": "up", "rate": 1.0}
+            ]
+          }
+        }"#;
+        let spec: ModelSpec = serde_json::from_str(json).unwrap();
+        if let ModelSpec::Ctmc(c) = spec {
+            assert!(c.initial.is_none());
+            assert!(c.up_states.is_none());
+        } else {
+            panic!("expected CTMC");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_rejected() {
+        let json = r#"{
+          "rbd": {
+            "components": [{"name": "a", "availability": 0.9, "mttf": 5}],
+            "structure": "a"
+          }
+        }"#;
+        assert!(serde_json::from_str::<ModelSpec>(json).is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! SPN structure: places, transitions, arcs, guards.
+
+use crate::Marking;
+use reliab_core::{ensure_finite_positive, Error, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// Handle to a place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(usize);
+
+impl PlaceId {
+    /// Index into [`Marking`] vectors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    #[cfg(test)]
+    pub(crate) fn index_test(i: usize) -> Self {
+        PlaceId(i)
+    }
+}
+
+/// Handle to a transition (timed or immediate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(usize);
+
+impl TransitionId {
+    /// Index used in throughput queries.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    #[cfg(test)]
+    pub(crate) fn index_test(i: usize) -> Self {
+        TransitionId(i)
+    }
+}
+
+/// Rate of a timed transition: constant or a function of the marking.
+pub(crate) enum RateSpec {
+    Constant(f64),
+    MarkingDependent(Arc<dyn Fn(&Marking) -> f64 + Send + Sync>),
+}
+
+impl fmt::Debug for RateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateSpec::Constant(r) => write!(f, "Constant({r})"),
+            RateSpec::MarkingDependent(_) => write!(f, "MarkingDependent(..)"),
+        }
+    }
+}
+
+pub(crate) enum Timing {
+    Timed(RateSpec),
+    Immediate {
+        weight: f64,
+        priority: u32,
+    },
+}
+
+impl fmt::Debug for Timing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Timing::Timed(r) => write!(f, "Timed({r:?})"),
+            Timing::Immediate { weight, priority } => {
+                write!(f, "Immediate(weight={weight}, priority={priority})")
+            }
+        }
+    }
+}
+
+pub(crate) struct Transition {
+    pub name: String,
+    pub timing: Timing,
+    /// (place, multiplicity)
+    pub inputs: Vec<(usize, u32)>,
+    pub outputs: Vec<(usize, u32)>,
+    pub inhibitors: Vec<(usize, u32)>,
+    pub guard: Option<Arc<dyn Fn(&Marking) -> bool + Send + Sync>>,
+}
+
+impl fmt::Debug for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transition")
+            .field("name", &self.name)
+            .field("timing", &self.timing)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .field("inhibitors", &self.inhibitors)
+            .field("guard", &self.guard.is_some())
+            .finish()
+    }
+}
+
+/// Builder for [`Spn`] models.
+#[derive(Debug, Default)]
+pub struct SpnBuilder {
+    place_names: Vec<String>,
+    initial: Vec<u32>,
+    transitions: Vec<Transition>,
+}
+
+impl SpnBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SpnBuilder::default()
+    }
+
+    /// Adds a place with an initial token count.
+    pub fn place(&mut self, name: &str, initial_tokens: u32) -> PlaceId {
+        self.place_names.push(name.to_owned());
+        self.initial.push(initial_tokens);
+        PlaceId(self.place_names.len() - 1)
+    }
+
+    /// Adds a timed (exponential) transition with a constant rate.
+    pub fn timed(&mut self, name: &str, rate: f64) -> TransitionId {
+        self.transitions.push(Transition {
+            name: name.to_owned(),
+            timing: Timing::Timed(RateSpec::Constant(rate)),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            inhibitors: Vec::new(),
+            guard: None,
+        });
+        TransitionId(self.transitions.len() - 1)
+    }
+
+    /// Adds a timed transition whose rate depends on the current
+    /// marking (e.g. `k`-server rates `min(m, k)·μ`).
+    pub fn timed_fn<F>(&mut self, name: &str, rate: F) -> TransitionId
+    where
+        F: Fn(&Marking) -> f64 + Send + Sync + 'static,
+    {
+        self.transitions.push(Transition {
+            name: name.to_owned(),
+            timing: Timing::Timed(RateSpec::MarkingDependent(Arc::new(rate))),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            inhibitors: Vec::new(),
+            guard: None,
+        });
+        TransitionId(self.transitions.len() - 1)
+    }
+
+    /// Adds an immediate transition with the given weight and priority
+    /// (higher priority fires first; among equal priorities, weights
+    /// are normalized into branching probabilities).
+    pub fn immediate(&mut self, name: &str, weight: f64, priority: u32) -> TransitionId {
+        self.transitions.push(Transition {
+            name: name.to_owned(),
+            timing: Timing::Immediate { weight, priority },
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            inhibitors: Vec::new(),
+            guard: None,
+        });
+        TransitionId(self.transitions.len() - 1)
+    }
+
+    /// Adds an input arc (tokens consumed when the transition fires;
+    /// the transition is enabled only if the place holds at least
+    /// `multiplicity` tokens).
+    pub fn input_arc(&mut self, t: TransitionId, p: PlaceId, multiplicity: u32) -> &mut Self {
+        self.transitions[t.0].inputs.push((p.0, multiplicity));
+        self
+    }
+
+    /// Adds an output arc (tokens produced on firing).
+    pub fn output_arc(&mut self, t: TransitionId, p: PlaceId, multiplicity: u32) -> &mut Self {
+        self.transitions[t.0].outputs.push((p.0, multiplicity));
+        self
+    }
+
+    /// Adds an inhibitor arc: the transition is disabled while the
+    /// place holds at least `multiplicity` tokens.
+    pub fn inhibitor_arc(&mut self, t: TransitionId, p: PlaceId, multiplicity: u32) -> &mut Self {
+        self.transitions[t.0].inhibitors.push((p.0, multiplicity));
+        self
+    }
+
+    /// Attaches a guard predicate; the transition is enabled only where
+    /// the guard is true.
+    pub fn guard<F>(&mut self, t: TransitionId, guard: F) -> &mut Self
+    where
+        F: Fn(&Marking) -> bool + Send + Sync + 'static,
+    {
+        self.transitions[t.0].guard = Some(Arc::new(guard));
+        self
+    }
+
+    /// Finalizes the net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] for an empty net and
+    /// [`Error::InvalidParameter`] for non-positive constant rates,
+    /// weights, or zero arc multiplicities.
+    pub fn build(self) -> Result<Spn> {
+        if self.place_names.is_empty() {
+            return Err(Error::model("SPN has no places"));
+        }
+        if self.transitions.is_empty() {
+            return Err(Error::model("SPN has no transitions"));
+        }
+        for t in &self.transitions {
+            match &t.timing {
+                Timing::Timed(RateSpec::Constant(r)) => {
+                    ensure_finite_positive(*r, &format!("rate of transition '{}'", t.name))?;
+                }
+                Timing::Timed(RateSpec::MarkingDependent(_)) => {}
+                Timing::Immediate { weight, .. } => {
+                    ensure_finite_positive(
+                        *weight,
+                        &format!("weight of immediate transition '{}'", t.name),
+                    )?;
+                }
+            }
+            for (what, arcs) in [
+                ("input", &t.inputs),
+                ("output", &t.outputs),
+                ("inhibitor", &t.inhibitors),
+            ] {
+                for &(p, m) in arcs.iter() {
+                    if p >= self.place_names.len() {
+                        return Err(Error::model(format!(
+                            "{what} arc of '{}' references unknown place {p}",
+                            t.name
+                        )));
+                    }
+                    if m == 0 {
+                        return Err(Error::invalid(format!(
+                            "{what} arc of '{}' has zero multiplicity",
+                            t.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Spn {
+            place_names: self.place_names,
+            initial: self.initial,
+            transitions: self.transitions,
+        })
+    }
+}
+
+/// A validated stochastic Petri net; see [`SpnBuilder`].
+#[derive(Debug)]
+pub struct Spn {
+    pub(crate) place_names: Vec<String>,
+    pub(crate) initial: Vec<u32>,
+    pub(crate) transitions: Vec<Transition>,
+}
+
+impl Spn {
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.place_names.len()
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The initial marking.
+    pub fn initial_marking(&self) -> &[u32] {
+        &self.initial
+    }
+
+    /// Name of a place.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.place_names[p.0]
+    }
+
+    /// Name of a transition.
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        &self.transitions[t.0].name
+    }
+
+    /// Whether transition `idx` is enabled in `m`.
+    pub(crate) fn enabled(&self, idx: usize, m: &Marking) -> bool {
+        let t = &self.transitions[idx];
+        for &(p, mult) in &t.inputs {
+            if m[p] < mult {
+                return false;
+            }
+        }
+        for &(p, mult) in &t.inhibitors {
+            if m[p] >= mult {
+                return false;
+            }
+        }
+        if let Some(g) = &t.guard {
+            if !g(m) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fires transition `idx` from `m` (must be enabled).
+    pub(crate) fn fire(&self, idx: usize, m: &Marking) -> Marking {
+        let t = &self.transitions[idx];
+        let mut next = m.clone();
+        for &(p, mult) in &t.inputs {
+            next[p] -= mult;
+        }
+        for &(p, mult) in &t.outputs {
+            next[p] += mult;
+        }
+        next
+    }
+
+    /// Evaluates the rate of timed transition `idx` in marking `m`.
+    pub(crate) fn rate_of(&self, idx: usize, m: &Marking) -> Result<f64> {
+        match &self.transitions[idx].timing {
+            Timing::Timed(RateSpec::Constant(r)) => Ok(*r),
+            Timing::Timed(RateSpec::MarkingDependent(f)) => {
+                let r = f(m);
+                if !r.is_finite() || r <= 0.0 {
+                    return Err(Error::model(format!(
+                        "marking-dependent rate of '{}' evaluated to {r} in marking {m:?}",
+                        self.transitions[idx].name
+                    )));
+                }
+                Ok(r)
+            }
+            Timing::Immediate { .. } => Err(Error::model(format!(
+                "transition '{}' is immediate, not timed",
+                self.transitions[idx].name
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validation() {
+        assert!(SpnBuilder::new().build().is_err());
+        let mut b = SpnBuilder::new();
+        b.place("p", 1);
+        assert!(b.build().is_err()); // no transitions
+
+        let mut b = SpnBuilder::new();
+        b.place("p", 1);
+        b.timed("t", 0.0);
+        assert!(b.build().is_err()); // bad rate
+
+        let mut b = SpnBuilder::new();
+        let p = b.place("p", 1);
+        let t = b.timed("t", 1.0);
+        b.input_arc(t, p, 0);
+        assert!(b.build().is_err()); // zero multiplicity
+    }
+
+    #[test]
+    fn enabling_semantics() {
+        let mut b = SpnBuilder::new();
+        let p = b.place("p", 2);
+        let q = b.place("q", 0);
+        let t = b.timed("t", 1.0);
+        b.input_arc(t, p, 2);
+        b.inhibitor_arc(t, q, 1);
+        let spn = b.build().unwrap();
+        assert!(spn.enabled(0, &vec![2, 0]));
+        assert!(!spn.enabled(0, &vec![1, 0])); // not enough tokens
+        assert!(!spn.enabled(0, &vec![2, 1])); // inhibited
+        let next = spn.fire(0, &vec![2, 0]);
+        assert_eq!(next, vec![0, 0]);
+    }
+
+    #[test]
+    fn guards_and_marking_dependent_rates() {
+        let mut b = SpnBuilder::new();
+        let p = b.place("p", 3);
+        let t = b.timed_fn("serve", |m: &Marking| 2.0 * m[0] as f64);
+        b.input_arc(t, p, 1);
+        b.guard(t, |m: &Marking| m[0] > 1);
+        let spn = b.build().unwrap();
+        assert!(spn.enabled(0, &vec![2]));
+        assert!(!spn.enabled(0, &vec![1])); // guard blocks
+        assert_eq!(spn.rate_of(0, &vec![3]).unwrap(), 6.0);
+        // Rate must be positive when queried.
+        assert!(spn.rate_of(0, &vec![0]).is_err());
+    }
+
+    #[test]
+    fn names_and_counters() {
+        let mut b = SpnBuilder::new();
+        let p = b.place("buffer", 1);
+        let t = b.timed("serve", 1.0);
+        b.input_arc(t, p, 1);
+        let spn = b.build().unwrap();
+        assert_eq!(spn.num_places(), 1);
+        assert_eq!(spn.num_transitions(), 1);
+        assert_eq!(spn.place_name(p), "buffer");
+        assert_eq!(spn.transition_name(t), "serve");
+        assert_eq!(spn.initial_marking(), &[1]);
+    }
+}

@@ -1,0 +1,519 @@
+//! Reachability-graph generation, vanishing-marking elimination, and
+//! CTMC-backed measures.
+
+use crate::model::{Spn, Timing, TransitionId};
+use crate::Marking;
+use reliab_core::{Error, Result};
+use reliab_markov::{Ctmc, CtmcBuilder, StateId};
+use std::collections::HashMap;
+
+/// Options for reachability-graph generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachabilityOptions {
+    /// Hard cap on tangible markings (state-space explosion guard).
+    pub max_markings: usize,
+    /// Hard cap on vanishing-chain length while eliminating immediate
+    /// transitions (catches immediate-transition loops).
+    pub max_vanishing_depth: usize,
+}
+
+impl Default for ReachabilityOptions {
+    fn default() -> Self {
+        ReachabilityOptions {
+            max_markings: 1_000_000,
+            max_vanishing_depth: 10_000,
+        }
+    }
+}
+
+impl Spn {
+    /// Generates the reachability graph, eliminates vanishing markings,
+    /// and builds the underlying CTMC, with default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Spn::solve_with`].
+    pub fn solve(&self) -> Result<SolvedSpn<'_>> {
+        self.solve_with(&ReachabilityOptions::default())
+    }
+
+    /// [`Spn::solve`] with explicit limits.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Model`] — state-space cap exceeded, vanishing loop
+    ///   detected, or a marking-dependent rate misbehaved.
+    pub fn solve_with(&self, opts: &ReachabilityOptions) -> Result<SolvedSpn<'_>> {
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        // CTMC transitions between tangible markings.
+        let mut arcs: Vec<(usize, usize, f64)> = Vec::new();
+
+        let intern =
+            |m: Marking,
+             markings: &mut Vec<Marking>,
+             index: &mut HashMap<Marking, usize>,
+             queue: &mut Vec<usize>|
+             -> Result<usize> {
+                if let Some(&i) = index.get(&m) {
+                    return Ok(i);
+                }
+                if markings.len() >= opts.max_markings {
+                    return Err(Error::model(format!(
+                        "reachability exceeded {} tangible markings",
+                        opts.max_markings
+                    )));
+                }
+                let i = markings.len();
+                index.insert(m.clone(), i);
+                markings.push(m);
+                queue.push(i);
+                Ok(i)
+            };
+
+        // Resolve the initial marking (it may be vanishing).
+        let init_dist = self.resolve_vanishing(self.initial.clone(), opts)?;
+        let mut initial_pairs: Vec<(usize, f64)> = Vec::new();
+        for (m, p) in init_dist {
+            let i = intern(m, &mut markings, &mut index, &mut queue)?;
+            initial_pairs.push((i, p));
+        }
+
+        while let Some(i) = queue.pop() {
+            let m = markings[i].clone();
+            for t in 0..self.transitions.len() {
+                if !matches!(self.transitions[t].timing, Timing::Timed(_)) {
+                    continue;
+                }
+                if !self.enabled(t, &m) {
+                    continue;
+                }
+                let rate = self.rate_of(t, &m)?;
+                let fired = self.fire(t, &m);
+                for (target, p) in self.resolve_vanishing(fired, opts)? {
+                    let j = intern(target, &mut markings, &mut index, &mut queue)?;
+                    if j != i {
+                        arcs.push((i, j, rate * p));
+                    }
+                }
+            }
+        }
+
+        // Build the CTMC.
+        let mut b = CtmcBuilder::new();
+        let ids: Vec<StateId> = markings
+            .iter()
+            .map(|m| b.state(&format!("{m:?}")))
+            .collect();
+        for (f, t, r) in arcs {
+            b.transition(ids[f], ids[t], r)?;
+        }
+        let ctmc = b.build()?;
+        let mut initial = vec![0.0; markings.len()];
+        for (i, p) in initial_pairs {
+            initial[i] += p;
+        }
+        Ok(SolvedSpn {
+            spn: self,
+            markings,
+            state_ids: ids,
+            ctmc,
+            initial,
+        })
+    }
+
+    /// Pushes a (possibly vanishing) marking through immediate
+    /// transitions until only tangible markings remain, returning the
+    /// tangible distribution.
+    fn resolve_vanishing(
+        &self,
+        m: Marking,
+        opts: &ReachabilityOptions,
+    ) -> Result<Vec<(Marking, f64)>> {
+        let mut out: Vec<(Marking, f64)> = Vec::new();
+        let mut stack: Vec<(Marking, f64, usize)> = vec![(m, 1.0, 0)];
+        while let Some((m, p, depth)) = stack.pop() {
+            if depth > opts.max_vanishing_depth {
+                return Err(Error::model(
+                    "vanishing-marking chain exceeded depth limit: immediate-transition loop?",
+                ));
+            }
+            // Enabled immediate transitions of the highest priority.
+            let mut best_priority = None;
+            for (t, tr) in self.transitions.iter().enumerate() {
+                if let Timing::Immediate { priority, .. } = tr.timing {
+                    if self.enabled(t, &m) {
+                        best_priority =
+                            Some(best_priority.map_or(priority, |b: u32| b.max(priority)));
+                    }
+                }
+            }
+            let Some(best) = best_priority else {
+                out.push((m, p));
+                continue;
+            };
+            let firing: Vec<(usize, f64)> = self
+                .transitions
+                .iter()
+                .enumerate()
+                .filter_map(|(t, tr)| match tr.timing {
+                    Timing::Immediate { weight, priority }
+                        if priority == best && self.enabled(t, &m) =>
+                    {
+                        Some((t, weight))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let total_weight: f64 = firing.iter().map(|(_, w)| w).sum();
+            for (t, w) in firing {
+                let next = self.fire(t, &m);
+                stack.push((next, p * w / total_weight, depth + 1));
+            }
+        }
+        // Merge duplicate tangible markings.
+        let mut merged: HashMap<Marking, f64> = HashMap::new();
+        for (m, p) in out {
+            *merged.entry(m).or_insert(0.0) += p;
+        }
+        Ok(merged.into_iter().collect())
+    }
+}
+
+/// The solved net: tangible markings plus the underlying CTMC.
+///
+/// Borrow of the [`Spn`] is kept for marking-dependent throughput
+/// queries.
+#[derive(Debug)]
+pub struct SolvedSpn<'a> {
+    spn: &'a Spn,
+    markings: Vec<Marking>,
+    state_ids: Vec<StateId>,
+    ctmc: Ctmc,
+    initial: Vec<f64>,
+}
+
+impl SolvedSpn<'_> {
+    /// Number of tangible markings (CTMC states).
+    pub fn num_markings(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// The tangible markings, indexed like CTMC states.
+    pub fn markings(&self) -> &[Marking] {
+        &self.markings
+    }
+
+    /// The underlying CTMC.
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.ctmc
+    }
+
+    /// Initial distribution over tangible markings (a vanishing initial
+    /// marking spreads over its tangible successors).
+    pub fn initial_distribution(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// Steady-state expected value of a marking reward function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC steady-state errors (e.g. reducible nets).
+    pub fn steady_state_expected_reward<F>(&self, reward: F) -> Result<f64>
+    where
+        F: Fn(&Marking) -> f64,
+    {
+        let rewards: Vec<f64> = self.markings.iter().map(reward).collect();
+        self.ctmc.expected_steady_state_reward(&rewards)
+    }
+
+    /// Expected value of a marking reward function at time `t`,
+    /// starting from the net's initial marking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient-solver errors.
+    pub fn transient_expected_reward<F>(&self, reward: F, t: f64) -> Result<f64>
+    where
+        F: Fn(&Marking) -> f64,
+    {
+        let rewards: Vec<f64> = self.markings.iter().map(reward).collect();
+        self.ctmc.expected_reward_at(&self.initial, &rewards, t)
+    }
+
+    /// Expected reward accumulated over `[0, t]` from the initial
+    /// marking: `E[∫₀ᵗ r(M_u) du]`.
+    ///
+    /// With an indicator reward this is the expected total time spent
+    /// in the matching markings — e.g. cumulative downtime over a
+    /// mission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accumulated-solver errors.
+    pub fn accumulated_expected_reward<F>(&self, reward: F, t: f64) -> Result<f64>
+    where
+        F: Fn(&Marking) -> f64,
+    {
+        let rewards: Vec<f64> = self.markings.iter().map(reward).collect();
+        self.ctmc
+            .expected_accumulated_reward(&self.initial, &rewards, t)
+    }
+
+    /// Steady-state expected token count in a place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates steady-state errors.
+    pub fn expected_tokens(&self, place: crate::PlaceId) -> Result<f64> {
+        self.steady_state_expected_reward(|m| f64::from(m[place.index()]))
+    }
+
+    /// Steady-state throughput of a **timed** transition:
+    /// `Σ_m π_m · rate_t(m) · 1[t enabled in m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] for immediate transitions and
+    /// propagates solver errors.
+    pub fn throughput(&self, t: TransitionId) -> Result<f64> {
+        let idx = t.index();
+        if !matches!(self.spn.transitions[idx].timing, Timing::Timed(_)) {
+            return Err(Error::model(format!(
+                "throughput of immediate transition '{}' is not defined; attach the measure \
+                 to a timed transition",
+                self.spn.transitions[idx].name
+            )));
+        }
+        let pi = self.ctmc.steady_state()?;
+        let mut total = 0.0;
+        for (i, m) in self.markings.iter().enumerate() {
+            if self.spn.enabled(idx, m) {
+                total += pi[i] * self.spn.rate_of(idx, m)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Mean time until the net first enters a marking satisfying
+    /// `predicate`, from the initial marking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] if no reachable marking satisfies the
+    /// predicate, and propagates MTTF solver errors.
+    pub fn mean_time_to<F>(&self, predicate: F) -> Result<f64>
+    where
+        F: Fn(&Marking) -> bool,
+    {
+        let absorbing: Vec<StateId> = self
+            .markings
+            .iter()
+            .zip(&self.state_ids)
+            .filter(|(m, _)| predicate(m))
+            .map(|(_, id)| *id)
+            .collect();
+        if absorbing.is_empty() {
+            return Err(Error::model(
+                "no reachable marking satisfies the target predicate",
+            ));
+        }
+        self.ctmc.mttf(&self.initial, &absorbing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Marking, ReachabilityOptions, SpnBuilder};
+
+    /// M/M/1/K queue as an SPN; closed-form stationary distribution.
+    fn mm1k(lambda: f64, mu: f64, k: u32) -> crate::Spn {
+        let mut b = SpnBuilder::new();
+        let queue = b.place("queue", 0);
+        let arrive = b.timed("arrive", lambda);
+        let serve = b.timed("serve", mu);
+        b.output_arc(arrive, queue, 1);
+        b.input_arc(serve, queue, 1);
+        b.inhibitor_arc(arrive, queue, k);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mm1k_state_space_and_distribution() {
+        let (l, m, k) = (1.0, 2.0, 4u32);
+        let spn = mm1k(l, m, k);
+        let solved = spn.solve().unwrap();
+        assert_eq!(solved.num_markings(), (k + 1) as usize);
+        let rho: f64 = l / m;
+        let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
+        // P(queue nonempty):
+        let p_busy = solved
+            .steady_state_expected_reward(|mk: &Marking| if mk[0] > 0 { 1.0 } else { 0.0 })
+            .unwrap();
+        let expected = (1..=k).map(|i| rho.powi(i as i32)).sum::<f64>() / norm;
+        assert!((p_busy - expected).abs() < 1e-12);
+        // Expected tokens:
+        let en = solved.expected_tokens(crate::PlaceId::index_test(0)).unwrap();
+        let expected_n =
+            (0..=k).map(|i| i as f64 * rho.powi(i as i32)).sum::<f64>() / norm;
+        assert!((en - expected_n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_balance() {
+        // In steady state, arrival throughput == service throughput.
+        let spn = mm1k(1.0, 2.0, 3);
+        let solved = spn.solve().unwrap();
+        let arrive = crate::TransitionId::index_test(0);
+        let serve = crate::TransitionId::index_test(1);
+        let ta = solved.throughput(arrive).unwrap();
+        let ts = solved.throughput(serve).unwrap();
+        assert!((ta - ts).abs() < 1e-12);
+        assert!(ta > 0.0 && ta < 1.0); // below offered load due to blocking
+    }
+
+    #[test]
+    fn immediate_transitions_fork_probabilistically() {
+        // Token arrives, then immediately routes 30/70 to two places.
+        let mut b = SpnBuilder::new();
+        let inbox = b.place("inbox", 0);
+        let left = b.place("left", 0);
+        let right = b.place("right", 0);
+        let arrive = b.timed("arrive", 1.0);
+        b.output_arc(arrive, inbox, 1);
+        let go_left = b.immediate("go-left", 0.3, 0);
+        b.input_arc(go_left, inbox, 1);
+        b.output_arc(go_left, left, 1);
+        let go_right = b.immediate("go-right", 0.7, 0);
+        b.input_arc(go_right, inbox, 1);
+        b.output_arc(go_right, right, 1);
+        // Drain both sides so a steady state exists.
+        let dl = b.timed("drain-left", 5.0);
+        b.input_arc(dl, left, 1);
+        let dr = b.timed("drain-right", 5.0);
+        b.input_arc(dr, right, 1);
+        // Caps to keep the space finite.
+        b.inhibitor_arc(arrive, left, 3);
+        b.inhibitor_arc(arrive, right, 3);
+        let spn = b.build().unwrap();
+        let solved = spn.solve().unwrap();
+        // No tangible marking retains an inbox token.
+        assert!(solved.markings().iter().all(|m| m[0] == 0));
+        let tl = solved.throughput(crate::TransitionId::index_test(3)).unwrap();
+        let tr = solved.throughput(crate::TransitionId::index_test(4)).unwrap();
+        assert!(
+            (tl / (tl + tr) - 0.3).abs() < 1e-9,
+            "left share = {}",
+            tl / (tl + tr)
+        );
+    }
+
+    #[test]
+    fn priorities_preempt_lower_weights() {
+        // Two immediates: priority 1 must always win over priority 0.
+        let mut b = SpnBuilder::new();
+        let inbox = b.place("inbox", 0);
+        let hi = b.place("hi", 0);
+        let lo = b.place("lo", 0);
+        let arrive = b.timed("arrive", 1.0);
+        b.output_arc(arrive, inbox, 1);
+        let t_hi = b.immediate("hi-route", 1.0, 1);
+        b.input_arc(t_hi, inbox, 1);
+        b.output_arc(t_hi, hi, 1);
+        let t_lo = b.immediate("lo-route", 100.0, 0);
+        b.input_arc(t_lo, inbox, 1);
+        b.output_arc(t_lo, lo, 1);
+        let drain = b.timed("drain", 10.0);
+        b.input_arc(drain, hi, 1);
+        b.inhibitor_arc(arrive, hi, 2);
+        let spn = b.build().unwrap();
+        let solved = spn.solve().unwrap();
+        // The low-priority route never fires: place "lo" stays empty.
+        assert!(solved.markings().iter().all(|m| m[2] == 0));
+    }
+
+    #[test]
+    fn vanishing_loop_detected() {
+        // Two immediates shuffling a token between two places forever.
+        let mut b = SpnBuilder::new();
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let t1 = b.immediate("pq", 1.0, 0);
+        b.input_arc(t1, p, 1);
+        b.output_arc(t1, q, 1);
+        let t2 = b.immediate("qp", 1.0, 0);
+        b.input_arc(t2, q, 1);
+        b.output_arc(t2, p, 1);
+        let spn = b.build().unwrap();
+        assert!(spn.solve().is_err());
+    }
+
+    #[test]
+    fn state_space_cap() {
+        // Unbounded net trips the cap.
+        let mut b = SpnBuilder::new();
+        let p = b.place("p", 0);
+        let t = b.timed("grow", 1.0);
+        b.output_arc(t, p, 1);
+        let spn = b.build().unwrap();
+        let opts = ReachabilityOptions {
+            max_markings: 100,
+            ..Default::default()
+        };
+        assert!(spn.solve_with(&opts).is_err());
+    }
+
+    #[test]
+    fn mean_time_to_full_queue() {
+        // M/M/1/2: time from empty until the queue first fills.
+        let spn = mm1k(1.0, 1.0, 2);
+        let solved = spn.solve().unwrap();
+        let mtt = solved.mean_time_to(|m: &Marking| m[0] == 2).unwrap();
+        // Birth-death first-passage 0 -> 2 with λ = μ = 1:
+        // E[T_0->2] = 3 (standard result: sum over levels).
+        assert!((mtt - 3.0).abs() < 1e-9, "{mtt}");
+        // Predicate never satisfied:
+        assert!(solved.mean_time_to(|m: &Marking| m[0] > 99).is_err());
+    }
+
+    #[test]
+    fn accumulated_reward_long_run_matches_steady_state() {
+        let spn = mm1k(1.0, 2.0, 3);
+        let solved = spn.solve().unwrap();
+        let busy = |m: &Marking| if m[0] > 0 { 1.0 } else { 0.0 };
+        let p_busy = solved.steady_state_expected_reward(busy).unwrap();
+        let t = 20_000.0;
+        let acc = solved.accumulated_expected_reward(busy, t).unwrap();
+        assert!(
+            (acc / t - p_busy).abs() < 1e-3,
+            "time-average {} vs steady-state {p_busy}",
+            acc / t
+        );
+        // Zero-horizon accumulation is zero.
+        assert_eq!(solved.accumulated_expected_reward(busy, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn marking_dependent_service_rates() {
+        // M/M/2/3: service rate = min(n, 2) * mu.
+        let (l, mu) = (1.0, 1.0);
+        let mut b = SpnBuilder::new();
+        let q = b.place("q", 0);
+        let arrive = b.timed("arrive", l);
+        b.output_arc(arrive, q, 1);
+        b.inhibitor_arc(arrive, q, 3);
+        let serve = b.timed_fn("serve", move |m: &Marking| (m[0].min(2)) as f64 * mu);
+        b.input_arc(serve, q, 1);
+        let spn = b.build().unwrap();
+        let solved = spn.solve().unwrap();
+        // Closed-form M/M/2/3: pi ∝ [1, a, a²/2, a³/4] with a = l/mu = 1.
+        let weights = [1.0, 1.0, 0.5, 0.25];
+        let norm: f64 = weights.iter().sum();
+        let p_empty = solved
+            .steady_state_expected_reward(|m: &Marking| if m[0] == 0 { 1.0 } else { 0.0 })
+            .unwrap();
+        assert!((p_empty - weights[0] / norm).abs() < 1e-12);
+    }
+}

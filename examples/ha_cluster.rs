@@ -1,0 +1,71 @@
+//! Two-node high-availability cluster (Sun-style): where does the
+//! downtime actually come from, and what is a faster failover worth?
+//!
+//! Run with `cargo run --example ha_cluster`.
+
+use reliab::core::Error;
+use reliab::markov::sensitivity;
+use reliab::models::cluster::{cluster_availability, cluster_ctmc, ClusterParams};
+
+fn main() -> Result<(), Error> {
+    let p = ClusterParams::default();
+    let r = cluster_availability(&p)?;
+    println!("two-node HA cluster (node MTTF 4000 h, repair 4 h, coverage 0.95, failover 30 s)");
+    println!("  availability: {:.8} ({:.2} min/yr)", r.availability, r.downtime_min_per_year);
+    println!("  downtime decomposition:");
+    println!("    failover switching : {:>5.1}%", 100.0 * r.downtime_share_failover);
+    println!("    uncovered failures : {:>5.1}%", 100.0 * r.downtime_share_uncovered);
+    println!("    double failures    : {:>5.1}%", 100.0 * r.downtime_share_double);
+
+    // What is each knob worth? Elasticities of availability.
+    println!("\nelasticity of availability (x/A · dA/dx):");
+    for (name, f) in [
+        (
+            "coverage",
+            Box::new(|x: f64| {
+                Ok(cluster_availability(&ClusterParams {
+                    coverage: x,
+                    ..p
+                })?
+                .availability)
+            }) as Box<dyn Fn(f64) -> Result<f64, Error>>,
+        ),
+        (
+            "failover_rate",
+            Box::new(|x: f64| {
+                Ok(cluster_availability(&ClusterParams {
+                    failover_rate: x,
+                    ..p
+                })?
+                .availability)
+            }),
+        ),
+        (
+            "repair rate mu",
+            Box::new(|x: f64| {
+                Ok(cluster_availability(&ClusterParams { mu: x, ..p })?.availability)
+            }),
+        ),
+    ] {
+        let x0 = match name {
+            "coverage" => p.coverage,
+            "failover_rate" => p.failover_rate,
+            _ => p.mu,
+        };
+        let s = sensitivity(f, x0, 1e-6)?;
+        println!("  {name:<14}: {:+.3e}", s.elasticity);
+    }
+
+    // Transient: probability the service is down at time t after a
+    // cold start (all up), from the underlying CTMC.
+    let (ctmc, st) = cluster_ctmc(&p)?;
+    let init = ctmc.point_mass(st.up2);
+    println!("\nP(service down at t):");
+    for &t in &[1.0, 10.0, 100.0, 1000.0, 10_000.0] {
+        let pi = ctmc.transient(&init, t)?;
+        let down =
+            pi[st.failover.index()] + pi[st.uncovered.index()] + pi[st.down.index()];
+        println!("  t = {t:>7.0} h: {down:.3e}");
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Software rejuvenation: sweep the rejuvenation interval, print the
+//! U-shaped downtime curve, and locate the optimum — the tutorial's
+//! aging-software MRGP example.
+//!
+//! Run with `cargo run --example rejuvenation_policy`.
+
+use reliab::core::Error;
+use reliab::models::rejuv::{
+    optimal_rejuvenation, rejuvenation_downtime, rejuvenation_measures, RejuvParams,
+};
+
+fn main() -> Result<(), Error> {
+    let p = RejuvParams::default();
+    println!(
+        "aging: robust {} h -> failure-probable {} h; recovery {} h, rejuvenation {:.2} h\n",
+        p.robust_mean, p.failure_prone_mean, p.recovery_time, p.rejuvenation_time
+    );
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "delta (h)", "availability", "downtime (m/yr)", "P(crash)"
+    );
+    for &delta in &[24.0, 72.0, 168.0, 336.0, 720.0, 2160.0, 8760.0] {
+        let m = rejuvenation_measures(&p, delta)?;
+        println!(
+            "{delta:>10.0} {:>14.7} {:>16.1} {:>12.4}",
+            m.availability,
+            rejuvenation_downtime(&p, delta)?,
+            m.failure_probability
+        );
+    }
+    let (d_opt, m_opt) = optimal_rejuvenation(&p, 4.0, 8760.0)?;
+    println!(
+        "\noptimal interval: {:.1} h -> availability {:.7} ({:.1} min/yr downtime)",
+        d_opt,
+        m_opt.availability,
+        rejuvenation_downtime(&p, d_opt)?
+    );
+    Ok(())
+}

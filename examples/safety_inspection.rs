@@ -1,0 +1,59 @@
+//! Periodic inspection of a standby safety system with latent
+//! failures: how often should you test the emergency generator?
+//!
+//! Run with `cargo run --example safety_inspection`.
+
+use reliab::core::Error;
+use reliab::dist::Weibull;
+use reliab::semimarkov::renewal::{inspection_measures, optimal_inspection_interval};
+
+fn main() -> Result<(), Error> {
+    // Emergency generator: wear-out failures (Weibull shape 2, scale
+    // 4000 h ≈ 5.5-month characteristic life), failures are LATENT —
+    // nobody notices until the next test. A test takes the generator
+    // offline for 2 h; a discovered failure takes 48 h to repair.
+    let ttf = Weibull::new(2.0, 4000.0)?;
+    let (inspection_time, repair_time) = (2.0, 48.0);
+
+    println!("standby generator: Weibull(2, 4000h) TTF, 2h tests, 48h repairs\n");
+    println!(
+        "{:>12} {:>14} {:>20} {:>14}",
+        "test every", "availability", "mean undetected (h)", "cycle (h)"
+    );
+    for &tau in &[24.0, 168.0, 720.0, 2190.0, 8760.0] {
+        let m = inspection_measures(&ttf, tau, inspection_time, repair_time)?;
+        let label = match tau as u64 {
+            24 => "day",
+            168 => "week",
+            720 => "month",
+            2190 => "quarter",
+            _ => "year",
+        };
+        println!(
+            "{label:>12} {:>14.6} {:>20.1} {:>14.0}",
+            m.availability, m.mean_detection_delay, m.cycle_length
+        );
+    }
+
+    let (tau_opt, m_opt) =
+        optimal_inspection_interval(&ttf, inspection_time, repair_time, 4.0, 20_000.0)?;
+    println!(
+        "\noptimal test interval: {:.0} h (~{:.0} days) -> availability {:.6}",
+        tau_opt,
+        tau_opt / 24.0,
+        m_opt.availability
+    );
+    println!(
+        "mean undetected-failure exposure at the optimum: {:.1} h",
+        m_opt.mean_detection_delay
+    );
+
+    // Sensitivity: a cheaper (faster) test moves the optimum earlier.
+    let (tau_fast, _) = optimal_inspection_interval(&ttf, 0.25, repair_time, 4.0, 20_000.0)?;
+    println!(
+        "with a 15-minute test instead: optimal interval {:.0} h (test more often)",
+        tau_fast
+    );
+    assert!(tau_fast < tau_opt);
+    Ok(())
+}

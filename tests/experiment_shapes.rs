@@ -1,0 +1,262 @@
+//! Qualitative shape checks for every experiment E1–E14: the
+//! assertions that `EXPERIMENTS.md` records (who wins, where the
+//! crossovers are, which direction curves bend). These are the
+//! integration-level guarantees behind the `repro` tables.
+
+use reliab::core::Result;
+use reliab::dist::{Exponential, Lifetime, Weibull};
+use reliab::hier::FixedPointOptions;
+use reliab::models::crn::{crn_bounds_sweep, crn_exact_unreliability, crn_mesh};
+use reliab::models::multiproc::{
+    coverage_ctmc, coverage_mttf_closed_form, multiproc_fault_tree, multiproc_probs,
+    MultiprocParams,
+};
+use reliab::models::rejuv::{optimal_rejuvenation, rejuvenation_measures, RejuvParams};
+use reliab::models::router::{router_availability, RouterParams};
+use reliab::models::sip::{sip_availability, SipParams};
+use reliab::models::two_comp::{two_component_availability, RepairPolicy};
+use reliab::models::wfs::{wfs_availability, wfs_ctmc, WfsParams};
+use reliab::rbd::{Block, RbdBuilder};
+use reliab::semimarkov::renewal::{optimal_policy_age, policy_measures, PolicyCosts};
+use reliab::uncert::{propagate, rate_posterior, PropagationOptions};
+
+#[test]
+fn e1_wfs_rbd_equals_ctmc_and_degrades_with_mttr() -> Result<()> {
+    let base = WfsParams::default();
+    let a0 = wfs_availability(&base)?;
+    let (ctmc, up) = wfs_ctmc(&base)?;
+    assert!((a0 - ctmc.steady_state_probability_of(&up)?).abs() < 1e-10);
+    let slow_repair = WfsParams {
+        fs_mttr: 20.0,
+        ..base
+    };
+    assert!(wfs_availability(&slow_repair)? < a0);
+    Ok(())
+}
+
+#[test]
+fn e2_more_redundancy_helps_less_required_helps() -> Result<()> {
+    let d = Exponential::new(1e-3)?;
+    let r = |k: usize, n: usize, t: f64| -> Result<f64> {
+        let mut b = RbdBuilder::new();
+        let c = b.components("c", n);
+        let rbd = b.build(Block::k_of_n_components(k, &c))?;
+        let lifetimes: Vec<&dyn Lifetime> = vec![&d; n];
+        rbd.reliability(&lifetimes, t)
+    };
+    let t = 800.0;
+    // 1-of-2 beats 2-of-3 beats 3-of-5 at long missions (more required
+    // components = worse).
+    assert!(r(1, 2, t)? > r(2, 3, t)?);
+    assert!(r(2, 3, t)? > r(3, 5, t)?);
+    // Adding a spare at fixed k helps: 2-of-4 beats 2-of-3.
+    assert!(r(2, 4, t)? > r(2, 3, t)?);
+    Ok(())
+}
+
+#[test]
+fn e3_bus_dominates_birnbaum_memories_dominate_fv() -> Result<()> {
+    let p = MultiprocParams::default();
+    let (mut ft, ev) = multiproc_fault_tree(&p)?;
+    let probs = multiproc_probs(&p);
+    let imp = ft.importance(&probs)?;
+    let bus = &imp[ev.bus.index()];
+    for pr in &ev.procs {
+        assert!(bus.birnbaum > imp[pr.index()].birnbaum);
+    }
+    // The memory subsystem contributes most of the failure probability
+    // at these numbers: FV of a memory exceeds FV of the bus.
+    assert!(imp[ev.mems[0].index()].fussell_vesely > bus.fussell_vesely);
+    Ok(())
+}
+
+#[test]
+fn e4_bounds_contain_exact_and_gap_shrinks_monotonically() -> Result<()> {
+    let g = crn_mesh(3, 3)?;
+    let q = 5e-3;
+    let exact = crn_exact_unreliability(&g, q)?;
+    let rows = crn_bounds_sweep(&g, q, &[2, 3, 4])?;
+    let mut last = f64::INFINITY;
+    for r in rows {
+        assert!(r.bounds.lower <= exact + 1e-12 && exact <= r.bounds.upper + 1e-12);
+        assert!(r.bounds.gap() <= last);
+        last = r.bounds.gap();
+    }
+    Ok(())
+}
+
+#[test]
+fn e5_shared_repair_roughly_doubles_downtime() -> Result<()> {
+    let ind = two_component_availability(0.01, 1.0, RepairPolicy::Independent)?;
+    let sh = two_component_availability(0.01, 1.0, RepairPolicy::SharedCrew)?;
+    let ratio = sh.parallel_downtime_min_per_year / ind.parallel_downtime_min_per_year;
+    assert!(
+        (1.8..2.2).contains(&ratio),
+        "shared/independent downtime ratio {ratio}"
+    );
+    Ok(())
+}
+
+#[test]
+fn e6_transient_reliability_decreases_and_approaches_exponential_tail() -> Result<()> {
+    let (ctmc, s2, _, sf) = coverage_ctmc(1e-3, 0.95, Some(0.2))?;
+    let p0 = ctmc.point_mass(s2);
+    let mut last = 1.0;
+    for &t in &[10.0, 100.0, 1000.0, 10_000.0] {
+        let r = ctmc.reliability_at(&p0, &[sf], t)?;
+        assert!(r < last && r > 0.0);
+        last = r;
+    }
+    Ok(())
+}
+
+#[test]
+fn e7_mttf_increases_linearly_in_coverage() -> Result<()> {
+    let lambda = 1e-3;
+    let mut prev = 0.0;
+    for &c in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let (ctmc, s2, _, sf) = coverage_ctmc(lambda, c, None)?;
+        let mttf = ctmc.mttf(&ctmc.point_mass(s2), &[sf])?;
+        assert!((mttf - coverage_mttf_closed_form(lambda, c)).abs() < 1e-6 / lambda);
+        assert!(mttf > prev);
+        prev = mttf;
+    }
+    Ok(())
+}
+
+#[test]
+fn e8_blocking_vanishes_as_buffer_grows() -> Result<()> {
+    use reliab::spn::SpnBuilder;
+    let mut last_block = 1.0;
+    for k in [2u32, 8, 32] {
+        let mut b = SpnBuilder::new();
+        let q = b.place("q", 0);
+        let arrive = b.timed("arrive", 1.5);
+        b.output_arc(arrive, q, 1);
+        b.inhibitor_arc(arrive, q, k);
+        let serve = b.timed_fn("serve", |m: &Vec<u32>| f64::from(m[0].min(2)));
+        b.input_arc(serve, q, 1);
+        let spn = b.build()?;
+        let solved = spn.solve()?;
+        let p_full =
+            solved.steady_state_expected_reward(|m| if m[0] == k { 1.0 } else { 0.0 })?;
+        assert!(p_full < last_block);
+        last_block = p_full;
+        // Offered load 1.5 < capacity 2: throughput approaches 1.5.
+        let tput = solved.throughput(serve)?;
+        assert!(tput <= 1.5 + 1e-12);
+        if k == 32 {
+            assert!((tput - 1.5).abs() < 1e-3);
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn e9_rejuvenation_optimum_is_interior_and_beats_extremes() -> Result<()> {
+    let p = RejuvParams::default();
+    let (d_opt, m_opt) = optimal_rejuvenation(&p, 4.0, 8760.0)?;
+    assert!(d_opt > 4.0 && d_opt < 8760.0);
+    assert!(m_opt.availability > rejuvenation_measures(&p, 8.0)?.availability);
+    assert!(m_opt.availability > rejuvenation_measures(&p, 8000.0)?.availability);
+    Ok(())
+}
+
+#[test]
+fn e10_fabric_dominates_budget_and_total_is_product() -> Result<()> {
+    let r = router_availability(&RouterParams::default())?;
+    let fabric = r
+        .subsystems
+        .iter()
+        .find(|s| s.name == "switch-fabric")
+        .expect("fabric row");
+    for s in &r.subsystems {
+        assert!(fabric.downtime_min_per_year >= s.downtime_min_per_year);
+    }
+    let product: f64 = r.subsystems.iter().map(|s| s.availability).product();
+    assert!((r.system_availability - product).abs() < 1e-12);
+    Ok(())
+}
+
+#[test]
+fn e11_fixed_point_converges_and_load_coupling_costs_availability() -> Result<()> {
+    let coupled = sip_availability(&SipParams::default(), &FixedPointOptions::default())?;
+    let decoupled = sip_availability(
+        &SipParams {
+            alpha: 0.0,
+            ..Default::default()
+        },
+        &FixedPointOptions::default(),
+    )?;
+    assert!(coupled.server_availability < decoupled.server_availability);
+    assert!(coupled.iterations >= decoupled.iterations);
+    Ok(())
+}
+
+#[test]
+fn e12_more_test_data_narrows_the_interval() -> Result<()> {
+    let width = |fails: u32, hours: f64| -> Result<f64> {
+        let posterior = rate_posterior(fails, hours)?;
+        let r = propagate(
+            &[Box::new(posterior)],
+            |p| {
+                Ok(
+                    two_component_availability(p[0], 1.0, RepairPolicy::SharedCrew)?
+                        .parallel_availability,
+                )
+            },
+            &PropagationOptions {
+                samples: 2000,
+                ..Default::default()
+            },
+        )?;
+        Ok(r.interval.upper - r.interval.lower)
+    };
+    // Same posterior-mean rate (~5e-4), 20x the data.
+    assert!(width(50, 100_000.0)? < width(2, 4_000.0)?);
+    Ok(())
+}
+
+#[test]
+fn e13_pm_helps_only_under_wear_out() -> Result<()> {
+    let no_pm_avail = |shape: f64| -> Result<f64> {
+        let ttf = Weibull::new(shape, 1000.0)?;
+        Ok(policy_measures(&ttf, 48.0, 4.0, 49_999.0, &PolicyCosts::default())?.availability)
+    };
+    let opt_avail = |shape: f64| -> Result<f64> {
+        let ttf = Weibull::new(shape, 1000.0)?;
+        Ok(optimal_policy_age(&ttf, 48.0, 4.0, 10.0, 50_000.0)?.1.availability)
+    };
+    // Memoryless: optimum is "never", no gain.
+    assert!((opt_avail(1.0)? - no_pm_avail(1.0)?).abs() < 1e-6);
+    // Wear-out: clear gain, growing with shape.
+    let gain2 = opt_avail(2.0)? - no_pm_avail(2.0)?;
+    let gain4 = opt_avail(4.0)? - no_pm_avail(4.0)?;
+    assert!(gain2 > 0.01);
+    assert!(gain4 > gain2);
+    Ok(())
+}
+
+#[test]
+fn e14_routes_agree_and_ctmc_state_space_explodes() -> Result<()> {
+    // Inline reimplementation of the bench crate's scaling family to
+    // avoid a dev-dependency on it.
+    for n in [2usize, 4] {
+        let mut b = RbdBuilder::new();
+        let mut blocks = Vec::new();
+        let mut avail = Vec::new();
+        for i in 0..n {
+            let c1 = b.component(&format!("p{i}a"));
+            let c2 = b.component(&format!("p{i}b"));
+            blocks.push(Block::parallel_of(&[c1, c2]));
+            let a = 0.95 + 0.04 * (i as f64 / n as f64);
+            avail.push(a);
+            avail.push(a - 0.01);
+        }
+        let rbd = b.build(Block::series(blocks))?;
+        // BDD stays linear in n while the flat CTMC is 4^n.
+        assert!(rbd.bdd_size() <= 2 * n);
+        assert!(rbd.availability(&avail)? > 0.9);
+    }
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! Property-based tests on cross-crate invariants, using proptest.
+
+use proptest::prelude::*;
+use reliab::bounds::ep_reliability_bounds;
+use reliab::dist::{fit_two_moments, Exponential, Lifetime, Weibull};
+use reliab::markov::CtmcBuilder;
+use reliab::rbd::{Block, RbdBuilder};
+use reliab::relgraph::RelGraphBuilder;
+
+proptest! {
+    /// RBD availability is monotone in every component availability.
+    #[test]
+    fn rbd_availability_is_monotone(
+        p in proptest::collection::vec(0.0f64..=1.0, 5),
+        bump_idx in 0usize..5,
+        bump in 0.0f64..0.3,
+    ) {
+        let mut b = RbdBuilder::new();
+        let c = b.components("c", 5);
+        // A fixed non-trivial structure: (c0 || c1) && 2-of-(c2, c3, c4).
+        let rbd = b.build(Block::series(vec![
+            Block::parallel_of(&c[0..2]),
+            Block::k_of_n_components(2, &c[2..5]),
+        ])).unwrap();
+        let a0 = rbd.availability(&p).unwrap();
+        let mut p2 = p.clone();
+        p2[bump_idx] = (p2[bump_idx] + bump).min(1.0);
+        let a1 = rbd.availability(&p2).unwrap();
+        prop_assert!(a1 >= a0 - 1e-12, "monotonicity violated: {a0} -> {a1}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&a0));
+    }
+
+    /// Esary–Proschan bounds always bracket the exact bridge-network
+    /// reliability, whatever the edge probabilities.
+    #[test]
+    fn ep_bounds_bracket_bridge(
+        p in proptest::collection::vec(0.01f64..=0.99, 5),
+    ) {
+        let mut gb = RelGraphBuilder::new();
+        let s = gb.node("s");
+        let a = gb.node("a");
+        let c = gb.node("c");
+        let t = gb.node("t");
+        gb.edge(s, a, "e0");
+        gb.edge(s, c, "e1");
+        gb.edge(a, c, "e2");
+        gb.edge(a, t, "e3");
+        gb.edge(c, t, "e4");
+        let g = gb.build(s, t).unwrap();
+        let exact = g.reliability(&p).unwrap();
+        let paths: Vec<Vec<usize>> = g
+            .minimal_path_sets()
+            .into_iter()
+            .map(|ps| ps.into_iter().map(|e| e.index()).collect())
+            .collect();
+        let cuts: Vec<Vec<usize>> = g
+            .minimal_cut_sets(10_000)
+            .unwrap()
+            .into_iter()
+            .map(|cs| cs.into_iter().map(|e| e.index()).collect())
+            .collect();
+        let b = ep_reliability_bounds(&paths, &cuts, &p).unwrap();
+        prop_assert!(b.lower <= exact + 1e-9, "lower {} > exact {exact}", b.lower);
+        prop_assert!(exact <= b.upper + 1e-9, "upper {} < exact {exact}", b.upper);
+    }
+
+    /// CTMC transient distributions are stochastic vectors at all times.
+    #[test]
+    fn transient_is_a_distribution(
+        rates in proptest::collection::vec(0.01f64..10.0, 6),
+        t in 0.0f64..50.0,
+    ) {
+        // 3-state chain with arbitrary positive rates everywhere.
+        let mut b = CtmcBuilder::new();
+        let s: Vec<_> = (0..3).map(|i| b.state(&format!("s{i}"))).collect();
+        let mut it = rates.into_iter();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    b.transition(s[i], s[j], it.next().unwrap()).unwrap();
+                }
+            }
+        }
+        let c = b.build().unwrap();
+        let pi = c.transient(&c.point_mass(s[0]), t).unwrap();
+        let total: f64 = pi.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+        prop_assert!(pi.iter().all(|&x| (-1e-12..=1.0 + 1e-9).contains(&x)));
+    }
+
+    /// Two-moment fitting reproduces the target moments across the
+    /// whole cv² range.
+    #[test]
+    fn two_moment_fit_is_exact(
+        mean in 0.1f64..100.0,
+        cv2 in 0.05f64..20.0,
+    ) {
+        let fit = fit_two_moments(mean, cv2).unwrap();
+        let d = fit.as_lifetime();
+        prop_assert!((d.mean() - mean).abs() < 1e-6 * mean);
+        prop_assert!((d.cv_squared() - cv2).abs() < 1e-6 * cv2.max(1.0));
+    }
+
+    /// Distribution CDFs are monotone and bounded for arbitrary
+    /// parameters.
+    #[test]
+    fn weibull_cdf_monotone(
+        shape in 0.3f64..5.0,
+        scale in 0.1f64..100.0,
+        t1 in 0.0f64..200.0,
+        dt in 0.0f64..50.0,
+    ) {
+        let d = Weibull::new(shape, scale).unwrap();
+        let c1 = d.cdf(t1).unwrap();
+        let c2 = d.cdf(t1 + dt).unwrap();
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!(c2 >= c1 - 1e-12);
+    }
+
+    /// Exponential quantile inverts the CDF for arbitrary rates.
+    #[test]
+    fn exponential_quantile_roundtrip(
+        rate in 0.01f64..100.0,
+        p in 0.01f64..0.99,
+    ) {
+        let d = Exponential::new(rate).unwrap();
+        let x = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(x).unwrap() - p).abs() < 1e-9);
+    }
+
+    /// MTTF of a single absorbing chain equals mean of the lifetime:
+    /// CTMC and distribution layers agree for arbitrary rates.
+    #[test]
+    fn absorbing_mttf_equals_distribution_mean(rate in 0.01f64..100.0) {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        b.transition(up, down, rate).unwrap();
+        let c = b.build().unwrap();
+        let mttf = c.mttf(&c.point_mass(up), &[down]).unwrap();
+        let d = Exponential::new(rate).unwrap();
+        prop_assert!((mttf - d.mean()).abs() < 1e-9 * d.mean());
+    }
+
+    /// Chapman–Kolmogorov: propagating to t1 and then t2 more equals
+    /// propagating to t1 + t2 in one shot, for arbitrary chains.
+    #[test]
+    fn transient_satisfies_chapman_kolmogorov(
+        rates in proptest::collection::vec(0.05f64..5.0, 6),
+        t1 in 0.1f64..10.0,
+        t2 in 0.1f64..10.0,
+    ) {
+        let mut b = CtmcBuilder::new();
+        let s: Vec<_> = (0..3).map(|i| b.state(&format!("s{i}"))).collect();
+        let mut it = rates.into_iter();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    b.transition(s[i], s[j], it.next().unwrap()).unwrap();
+                }
+            }
+        }
+        let c = b.build().unwrap();
+        let p0 = c.point_mass(s[0]);
+        let two_hop = c.transient(&c.transient(&p0, t1).unwrap(), t2).unwrap();
+        let one_hop = c.transient(&p0, t1 + t2).unwrap();
+        for i in 0..3 {
+            prop_assert!(
+                (two_hop[i] - one_hop[i]).abs() < 1e-8,
+                "state {i}: {} vs {}", two_hop[i], one_hop[i]
+            );
+        }
+    }
+}
+
+/// Random coherent fault trees: MOCUS and BDD cut-set extraction must
+/// agree, and the top-event probability must equal the union
+/// probability of the minimal cut sets.
+mod random_tree_equivalence {
+    use proptest::prelude::*;
+    use reliab::bounds::union_probability;
+    use reliab::ftree::{EventId, FaultTreeBuilder, FtNode};
+
+    /// Builder-independent tree shape generated by proptest; converted
+    /// to [`FtNode`] once event handles exist.
+    #[derive(Debug, Clone)]
+    enum Shape {
+        Leaf(usize),
+        And(Vec<Shape>),
+        Or(Vec<Shape>),
+    }
+
+    fn to_node(s: &Shape, events: &[EventId]) -> FtNode {
+        match s {
+            Shape::Leaf(i) => FtNode::Basic(events[*i]),
+            Shape::And(xs) => FtNode::And(xs.iter().map(|x| to_node(x, events)).collect()),
+            Shape::Or(xs) => FtNode::Or(xs.iter().map(|x| to_node(x, events)).collect()),
+        }
+    }
+
+    /// Strategy: random tree over `n` events with AND/OR gates of
+    /// width 2-3 and depth <= 3, leaves drawn from the event pool
+    /// (repetition allowed => shared events).
+    fn tree_strategy(n_events: usize) -> impl Strategy<Value = Shape> {
+        let leaf = (0..n_events).prop_map(Shape::Leaf);
+        leaf.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 2..=3).prop_map(Shape::And),
+                proptest::collection::vec(inner, 2..=3).prop_map(Shape::Or),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn mocus_equals_bdd_and_cut_sets_reproduce_probability(
+            shape in tree_strategy(5),
+            probs in proptest::collection::vec(0.01f64..0.6, 5),
+        ) {
+            let mut b = FaultTreeBuilder::new();
+            let events: Vec<EventId> =
+                (0..5).map(|i| b.basic_event(&format!("e{i}"))).collect();
+            let top = to_node(&shape, &events);
+            let ft = b.build(top).unwrap();
+            let mocus = ft.minimal_cut_sets(500_000).unwrap();
+            let bdd = ft.minimal_cut_sets_bdd();
+            prop_assert_eq!(&mocus, &bdd);
+            // Exact union probability of the minimal cut sets equals
+            // the BDD top-event probability.
+            let q_top = ft.top_event_probability(&probs).unwrap();
+            let sets: Vec<Vec<usize>> = mocus
+                .iter()
+                .map(|c| c.events().iter().map(|e| e.index()).collect())
+                .collect();
+            let q_union = union_probability(&sets, &probs, 5).unwrap();
+            prop_assert!((q_top - q_union).abs() < 1e-12, "{q_top} vs {q_union}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The JSON specification files shipped in `specs/` must stay valid
+//! and produce sensible results — they are the first thing a new user
+//! runs.
+
+use reliab::spec::{solve_str, SolvedMeasures};
+
+fn solve_file(name: &str) -> SolvedMeasures {
+    let path = format!("{}/specs/{name}", env!("CARGO_MANIFEST_DIR"));
+    let contents = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    solve_str(&contents).unwrap_or_else(|e| panic!("{name} failed to solve: {e}"))
+}
+
+#[test]
+fn database_node_spec() {
+    match solve_file("database_node.json") {
+        SolvedMeasures::Rbd {
+            availability,
+            downtime_minutes_per_year,
+            importance,
+        } => {
+            assert!(availability > 0.999 && availability < 1.0);
+            assert!(downtime_minutes_per_year > 0.0);
+            let imp = importance.expect("importance defined");
+            assert_eq!(imp.len(), 3);
+            // Storage is the single point of failure: highest Birnbaum.
+            let storage = imp.iter().find(|r| r.name == "storage").unwrap();
+            for row in &imp {
+                assert!(storage.birnbaum >= row.birnbaum);
+            }
+        }
+        other => panic!("expected RBD result, got {other:?}"),
+    }
+}
+
+#[test]
+fn multiprocessor_spec() {
+    match solve_file("multiprocessor.json") {
+        SolvedMeasures::FaultTree {
+            top_event_probability,
+            minimal_cut_sets,
+            ..
+        } => {
+            assert!((top_event_probability - 8.341925725e-3).abs() < 1e-10);
+            assert_eq!(minimal_cut_sets.len(), 5);
+            assert_eq!(minimal_cut_sets[0], vec!["bus"]);
+        }
+        other => panic!("expected fault-tree result, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_component_spec() {
+    match solve_file("two_component.json") {
+        SolvedMeasures::Ctmc {
+            steady_state,
+            availability,
+            mttf,
+            transient,
+            ..
+        } => {
+            let pi = steady_state.expect("irreducible chain");
+            assert!((pi.iter().map(|(_, p)| p).sum::<f64>() - 1.0).abs() < 1e-10);
+            assert!(availability.expect("up_states given") > 0.99);
+            assert!(mttf.expect("absorbing given") > 0.0);
+            assert_eq!(transient.expect("at_times given").len(), 3);
+        }
+        other => panic!("expected CTMC result, got {other:?}"),
+    }
+}
+
+#[test]
+fn bridge_network_spec() {
+    match solve_file("bridge_network.json") {
+        SolvedMeasures::RelGraph {
+            reliability,
+            all_terminal_reliability,
+            minimal_path_sets,
+            minimal_cut_sets,
+        } => {
+            assert!(reliability > 0.999);
+            assert!(all_terminal_reliability.expect("requested") <= reliability);
+            assert_eq!(minimal_path_sets.len(), 4);
+            assert_eq!(minimal_cut_sets.len(), 4);
+        }
+        other => panic!("expected rel-graph result, got {other:?}"),
+    }
+}

@@ -1,0 +1,174 @@
+//! The tutorial's narrative arc as one executable walkthrough. Each
+//! stage asserts the claim the tutorial makes at that point of the
+//! talk, using this workspace's public API:
+//!
+//! 1. Independence makes non-state-space models exact and cheap.
+//! 2. Dependence (a shared repair crew) breaks the product form — the
+//!    RBD answer is now *wrong*, the CTMC answer is right.
+//! 3. State spaces explode; hierarchy gives the best of both.
+//! 4. Exact solution can be out of reach entirely — bounds still
+//!    certify the answer.
+//! 5. Non-exponential distributions: renewal/semi-Markov machinery and
+//!    phase-type expansion keep the Markov toolbox usable.
+//! 6. No input is exactly known: uncertainty propagation turns point
+//!    estimates into intervals.
+
+use reliab::bounds::ep_reliability_bounds;
+use reliab::core::Result;
+use reliab::dist::{Exponential, LogNormal};
+use reliab::hier::ModelGraph;
+use reliab::markov::CtmcBuilder;
+use reliab::models::two_comp::{two_component_availability, RepairPolicy};
+use reliab::rbd::{Block, RbdBuilder};
+use reliab::semimarkov::{SemiMarkovBuilder, SmpStateId};
+use reliab::uncert::{propagate, rate_posterior, PropagationOptions};
+
+const LAMBDA: f64 = 0.01;
+const MU: f64 = 1.0;
+
+fn unit_availability() -> f64 {
+    MU / (LAMBDA + MU)
+}
+
+/// Stage 1: with independent repair, the RBD product form IS the CTMC
+/// answer.
+#[test]
+fn stage1_independence_makes_rbd_exact() -> Result<()> {
+    let a = unit_availability();
+    let mut b = RbdBuilder::new();
+    let c = b.components("unit", 2);
+    let rbd = b.build(Block::parallel_of(&c))?;
+    let a_rbd = rbd.availability(&[a, a])?;
+    let ctmc = two_component_availability(LAMBDA, MU, RepairPolicy::Independent)?;
+    assert!((a_rbd - ctmc.parallel_availability).abs() < 1e-12);
+    Ok(())
+}
+
+/// Stage 2: one shared crew makes components dependent; the RBD answer
+/// is now optimistic and only the CTMC gets it right.
+#[test]
+fn stage2_dependence_breaks_the_product_form() -> Result<()> {
+    let a = unit_availability();
+    let rbd_answer = 1.0 - (1.0 - a) * (1.0 - a);
+    let truth = two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?
+        .parallel_availability;
+    assert!(
+        rbd_answer > truth + 1e-9,
+        "the product form must overestimate: {rbd_answer} vs {truth}"
+    );
+    // And the error is material: roughly 2x in unavailability terms.
+    let ratio = (1.0 - truth) / (1.0 - rbd_answer);
+    assert!(ratio > 1.8, "unavailability underestimated by {ratio}x");
+    Ok(())
+}
+
+/// Stage 3: hierarchy — solve the dependent subsystem with a small
+/// CTMC, feed the result into a cheap top-level RBD, and match the
+/// monolithic model without ever building the big chain.
+#[test]
+fn stage3_hierarchy_combines_both_worlds() -> Result<()> {
+    // System: two dependent pairs (each with a shared crew) in series.
+    // Monolithic truth: the pairs are mutually independent, so the
+    // exact answer is the product of pair availabilities.
+    let pair = two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?
+        .parallel_availability;
+    let truth = pair * pair;
+
+    let mut g = ModelGraph::new();
+    let pair_a = g.source("pair-a", || {
+        Ok(
+            two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?
+                .parallel_availability,
+        )
+    });
+    let pair_b = g.source("pair-b", || {
+        Ok(
+            two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?
+                .parallel_availability,
+        )
+    });
+    let top = g.node("system", &[pair_a, pair_b], |v| Ok(v[0] * v[1]));
+    let hierarchical = g.solve_for(top)?;
+    assert!((hierarchical - truth).abs() < 1e-12);
+    Ok(())
+}
+
+/// Stage 4: when exact evaluation is infeasible, Esary–Proschan bounds
+/// from the path/cut structure still certify the answer.
+#[test]
+fn stage4_bounds_certify_what_cannot_be_solved() -> Result<()> {
+    // Bridge network structure (as if too large to solve exactly).
+    let paths = vec![vec![0, 3], vec![1, 4], vec![0, 2, 4], vec![1, 2, 3]];
+    let cuts = vec![vec![0, 1], vec![3, 4], vec![0, 2, 4], vec![1, 2, 3]];
+    let p = [0.999; 5];
+    let b = ep_reliability_bounds(&paths, &cuts, &p)?;
+    // High-reliability regime: the bracket is tight enough to quote a
+    // "number of nines" without the exact value.
+    assert!(b.gap() < 1e-5, "gap {}", b.gap());
+    assert!(b.lower > 0.999_99);
+    Ok(())
+}
+
+/// Stage 5: non-exponential holding times — the SMP gives the exact
+/// steady state, and its phase-type expansion hands transient analysis
+/// back to the Markov solvers.
+#[test]
+fn stage5_non_exponential_distributions() -> Result<()> {
+    let mut b = SemiMarkovBuilder::new();
+    let up = b.state("up", Box::new(Exponential::from_mean(99.0)?));
+    // Lognormal repair: heavily skewed, cv² = 6.
+    let down = b.state("down", Box::new(LogNormal::from_mean_cv2(1.0, 6.0)?));
+    b.transition(up, down, 1.0)?;
+    b.transition(down, up, 1.0)?;
+    let smp = b.build()?;
+    let pi = smp.steady_state()?;
+    assert!((pi[up.index()] - 0.99).abs() < 1e-10, "means-only steady state");
+
+    let exp = smp.expand_to_ctmc(SmpStateId::from_index(up.index()))?;
+    let agg = exp.aggregate(&exp.ctmc.steady_state()?);
+    assert!((agg[up.index()] - 0.99).abs() < 1e-9, "expansion preserves it");
+    // Transient behaviour exists and decays towards the steady state.
+    let p0 = exp.entry_distribution(up);
+    let early = exp.aggregate(&exp.ctmc.transient(&p0, 1.0)?)[up.index()];
+    let late = exp.aggregate(&exp.ctmc.transient(&p0, 10_000.0)?)[up.index()];
+    assert!(early > 0.98 && (late - 0.99).abs() < 1e-6);
+    Ok(())
+}
+
+/// Stage 6: parametric uncertainty — the availability "number" from a
+/// finite test campaign is really an interval, and it narrows with
+/// data.
+#[test]
+fn stage6_uncertainty_turns_points_into_intervals() -> Result<()> {
+    let availability_given = |lambda: f64| -> Result<f64> {
+        let mut b = CtmcBuilder::new();
+        let u = b.state("up");
+        let d = b.state("down");
+        b.transition(u, d, lambda)?;
+        b.transition(d, u, MU)?;
+        Ok(b.build()?.steady_state()?[0])
+    };
+    let run = |failures: u32, hours: f64| -> Result<(f64, f64)> {
+        let posterior = rate_posterior(failures, hours)?;
+        let r = propagate(
+            &[Box::new(posterior)],
+            |p| availability_given(p[0]),
+            &PropagationOptions {
+                samples: 3000,
+                ..Default::default()
+            },
+        )?;
+        Ok((r.mean, r.interval.upper - r.interval.lower))
+    };
+    // Same MLE rate (1 per 1000 h), 20x the evidence.
+    let (mean_small, width_small) = run(2, 3000.0)?;
+    let (mean_big, width_big) = run(59, 60_000.0)?;
+    // Point estimates agree to first order...
+    assert!((mean_small - mean_big).abs() < 5e-4);
+    // ...but the quotable interval shrinks dramatically with data.
+    assert!(
+        width_big < 0.5 * width_small,
+        "widths: {width_small} -> {width_big}"
+    );
+    Ok(())
+}
