@@ -79,6 +79,23 @@ struct Node {
     high: NodeId,
 }
 
+/// Operation counters and table sizes of a [`Bdd`] manager — the
+/// observability surface consumed by `SolveReport` stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct BddStats {
+    /// Nodes allocated in the arena, including the two terminals.
+    pub arena_nodes: usize,
+    /// Entries in the unique (hash-consing) table.
+    pub unique_entries: usize,
+    /// Entries in the ITE computed-table.
+    pub ite_cache_entries: usize,
+    /// ITE computed-table lookups since construction.
+    pub ite_cache_lookups: u64,
+    /// ITE computed-table hits since construction.
+    pub ite_cache_hits: u64,
+}
+
 /// An ROBDD manager over a fixed set of ordered variables.
 ///
 /// Variable `0` is the topmost in the ordering. Choosing a good order
@@ -90,6 +107,8 @@ pub struct Bdd {
     unique: HashMap<(u32, NodeId, NodeId), NodeId>,
     ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
     nvars: u32,
+    ite_lookups: u64,
+    ite_hits: u64,
 }
 
 impl Bdd {
@@ -105,6 +124,8 @@ impl Bdd {
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
             nvars,
+            ite_lookups: 0,
+            ite_hits: 0,
         }
     }
 
@@ -117,6 +138,17 @@ impl Bdd {
     /// terminals).
     pub fn arena_size(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Current table sizes and operation counters.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            arena_nodes: self.nodes.len(),
+            unique_entries: self.unique.len(),
+            ite_cache_entries: self.ite_cache.len(),
+            ite_cache_lookups: self.ite_lookups,
+            ite_cache_hits: self.ite_hits,
+        }
     }
 
     /// Returns the node for a single variable.
@@ -190,7 +222,9 @@ impl Bdd {
         if g == NodeId::TRUE && h == NodeId::FALSE {
             return f;
         }
+        self.ite_lookups += 1;
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            self.ite_hits += 1;
             return r;
         }
         let v = [f, g, h]
@@ -257,7 +291,9 @@ impl Bdd {
         }
         // table[j] = "at least j of inputs[i..] are true", built backwards.
         let n = inputs.len();
-        let mut table: Vec<NodeId> = (0..=k).map(|j| if j == 0 { NodeId::TRUE } else { NodeId::FALSE }).collect();
+        let mut table: Vec<NodeId> = (0..=k)
+            .map(|j| if j == 0 { NodeId::TRUE } else { NodeId::FALSE })
+            .collect();
         for i in (0..n).rev() {
             // new[j] = ite(inputs[i], old[j-1], old[j])  (for j >= 1)
             for j in (1..=k.min(n - i)).rev() {
@@ -435,10 +471,7 @@ impl Bdd {
     pub fn minimal_solutions(&self, f: NodeId) -> Vec<Vec<u32>> {
         let mut memo: HashMap<NodeId, Vec<std::collections::BTreeSet<u32>>> = HashMap::new();
         let sets = self.min_sol_rec(f, &mut memo);
-        let mut out: Vec<Vec<u32>> = sets
-            .into_iter()
-            .map(|s| s.into_iter().collect())
-            .collect();
+        let mut out: Vec<Vec<u32>> = sets.into_iter().map(|s| s.into_iter().collect()).collect();
         out.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
         out
     }
@@ -488,12 +521,7 @@ impl Bdd {
         out
     }
 
-    fn paths_rec(
-        &self,
-        f: NodeId,
-        prefix: &mut Vec<(u32, bool)>,
-        out: &mut Vec<Vec<(u32, bool)>>,
-    ) {
+    fn paths_rec(&self, f: NodeId, prefix: &mut Vec<(u32, bool)>, out: &mut Vec<Vec<(u32, bool)>>) {
         if f == NodeId::FALSE {
             return;
         }
@@ -655,7 +683,13 @@ mod tests {
             .iter()
             .map(|path| {
                 path.iter()
-                    .map(|&(v, val)| if val { p[v as usize] } else { 1.0 - p[v as usize] })
+                    .map(|&(v, val)| {
+                        if val {
+                            p[v as usize]
+                        } else {
+                            1.0 - p[v as usize]
+                        }
+                    })
                     .product::<f64>()
             })
             .sum();
@@ -709,6 +743,25 @@ mod tests {
         let count = f;
         assert!(b.node_count(count) <= 6 * 3 + 2);
         assert_eq!(b.node_count(NodeId::TRUE), 0);
+    }
+
+    #[test]
+    fn stats_track_tables_and_cache() {
+        let mut b = Bdd::new(4);
+        assert_eq!(b.stats().arena_nodes, 2);
+        assert_eq!(b.stats().ite_cache_lookups, 0);
+        let vars: Vec<NodeId> = (0..4).map(|i| b.var(i).unwrap()).collect();
+        let f = b.at_least_k(&vars, 2);
+        let s = b.stats();
+        assert!(s.arena_nodes > 2);
+        assert_eq!(s.arena_nodes, b.arena_size());
+        assert!(s.unique_entries > 0);
+        assert!(s.ite_cache_lookups >= s.ite_cache_hits);
+        // Recomputing the same function hits the computed-table.
+        let before = b.stats().ite_cache_hits;
+        let f2 = b.at_least_k(&vars, 2);
+        assert_eq!(f, f2);
+        assert!(b.stats().ite_cache_hits >= before);
     }
 
     #[test]

@@ -62,10 +62,8 @@ fn experiments(c: &mut Criterion) {
     g.bench_function("e5_two_component", |b| {
         b.iter(|| {
             (
-                two_component_availability(0.01, 1.0, RepairPolicy::Independent)
-                    .expect("solve"),
-                two_component_availability(0.01, 1.0, RepairPolicy::SharedCrew)
-                    .expect("solve"),
+                two_component_availability(0.01, 1.0, RepairPolicy::Independent).expect("solve"),
+                two_component_availability(0.01, 1.0, RepairPolicy::SharedCrew).expect("solve"),
             )
         })
     });
@@ -124,8 +122,7 @@ fn experiments(c: &mut Criterion) {
 
     g.bench_function("e11_sip_fixed_point", |b| {
         b.iter(|| {
-            sip_availability(&SipParams::default(), &FixedPointOptions::default())
-                .expect("solve")
+            sip_availability(&SipParams::default(), &FixedPointOptions::default()).expect("solve")
         })
     });
 
@@ -161,7 +158,8 @@ fn experiments(c: &mut Criterion) {
             let grp = CcfGroup::new(&mut bld, "unit", 6).expect("group");
             let ft = bld.build(FtNode::and(grp.members())).expect("build");
             let mut probs = vec![0.0; ft.num_events()];
-            grp.assign_probabilities(&mut probs, 0.01, 0.05).expect("assign");
+            grp.assign_probabilities(&mut probs, 0.01, 0.05)
+                .expect("assign");
             ft.top_event_probability(&probs).expect("prob")
         })
     });

@@ -15,7 +15,10 @@ fn bench_steady_state_methods(c: &mut Criterion) {
     for n in [50usize, 200, 400] {
         let chain = birth_death(n, 1.0, 2.0).expect("valid chain");
         group.bench_with_input(BenchmarkId::new("gth", n), &chain, |b, ch| {
-            b.iter(|| ch.steady_state_with(&SteadyStateMethod::Gth).expect("solve"))
+            b.iter(|| {
+                ch.steady_state_with(&SteadyStateMethod::Gth)
+                    .expect("solve")
+            })
         });
         group.bench_with_input(BenchmarkId::new("sor", n), &chain, |b, ch| {
             b.iter(|| {
@@ -86,22 +89,18 @@ fn bench_bdd_ordering(c: &mut Criterion) {
 fn bench_fixed_point_damping(c: &mut Criterion) {
     let mut group = c.benchmark_group("fixed_point_damping");
     for damping in [1.0f64, 0.5, 0.25] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(damping),
-            &damping,
-            |b, &d| {
-                b.iter(|| {
-                    sip_availability(
-                        &SipParams::default(),
-                        &FixedPointOptions {
-                            damping: d,
-                            ..Default::default()
-                        },
-                    )
-                    .expect("solve")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(damping), &damping, |b, &d| {
+            b.iter(|| {
+                sip_availability(
+                    &SipParams::default(),
+                    &FixedPointOptions {
+                        damping: d,
+                        ..Default::default()
+                    },
+                )
+                .expect("solve")
+            })
+        });
     }
     group.finish();
 }

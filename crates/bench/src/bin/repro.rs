@@ -29,9 +29,11 @@ use reliab_sim::SystemSimulator;
 use reliab_spn::SpnBuilder;
 use reliab_uncert::{propagate, rate_posterior, PropagationOptions};
 
+type Experiment = (&'static str, fn() -> Result<()>);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
-    let all: Vec<(&str, fn() -> Result<()>)> = vec![
+    let all: Vec<Experiment> = vec![
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -55,14 +57,19 @@ fn main() {
     let selected: Vec<_> = if args.is_empty() {
         all
     } else {
-        all.into_iter().filter(|(n, _)| args.contains(&n.to_string())).collect()
+        all.into_iter()
+            .filter(|(n, _)| args.contains(&n.to_string()))
+            .collect()
     };
     if selected.is_empty() {
         eprintln!("no matching experiments; expected ids e1..e19");
         std::process::exit(2);
     }
     for (name, f) in selected {
-        println!("\n================ {} ================", name.to_uppercase());
+        println!(
+            "\n================ {} ================",
+            name.to_uppercase()
+        );
         if let Err(e) = f() {
             eprintln!("{name} FAILED: {e}");
             std::process::exit(1);
@@ -307,8 +314,7 @@ fn e8() -> Result<()> {
         let solved = spn.solve()?;
         let tput = solved.throughput(serve)?;
         let en = solved.expected_tokens(q)?;
-        let pfull =
-            solved.steady_state_expected_reward(|m| if m[0] == k { 1.0 } else { 0.0 })?;
+        let pfull = solved.steady_state_expected_reward(|m| if m[0] == k { 1.0 } else { 0.0 })?;
         println!(
             "{k:>4} {:>10} {tput:>12.6} {en:>12.4} {pfull:>12.6}",
             solved.num_markings()
@@ -561,9 +567,16 @@ fn e17() -> Result<()> {
         );
     }
     println!("\ndowntime vs failover speed (coverage 0.95)");
-    println!("{:>16} {:>13} {:>12}", "switchover", "availability", "min/yr");
-    for &(label, rate) in &[("10 min", 6.0), ("1 min", 60.0), ("30 s", 120.0), ("1 s", 3600.0)]
-    {
+    println!(
+        "{:>16} {:>13} {:>12}",
+        "switchover", "availability", "min/yr"
+    );
+    for &(label, rate) in &[
+        ("10 min", 6.0),
+        ("1 min", 60.0),
+        ("30 s", 120.0),
+        ("1 s", 3600.0),
+    ] {
         let r = cluster_availability(&ClusterParams {
             failover_rate: rate,
             ..Default::default()
@@ -626,8 +639,10 @@ fn e19() -> Result<()> {
     // Helper clones a repair law per workstation by re-fitting its
     // mean/cv² (all our laws are cheap to reconstruct).
     fn dyn_clone_ttr(d: &dyn Lifetime) -> Result<Box<dyn Lifetime>> {
-        Ok(reliab_dist::fit_two_moments(d.mean(), d.cv_squared().min(50.0).max(0.02))?
-            .into_lifetime())
+        Ok(
+            reliab_dist::fit_two_moments(d.mean(), d.cv_squared().clamp(0.02, 50.0))?
+                .into_lifetime(),
+        )
     }
 
     for (label, ws_ttr, fs_ttr) in [

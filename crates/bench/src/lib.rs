@@ -59,11 +59,11 @@ pub fn scaling_ctmc(n_pairs: usize) -> Result<(Ctmc, Vec<StateId>)> {
     let n_states = 1usize << n_comp;
     let ids: Vec<StateId> = (0..n_states).map(|s| b.state(&format!("s{s:b}"))).collect();
     for s in 0..n_states {
-        for c in 0..n_comp {
+        for (c, &lambda) in lambdas.iter().enumerate() {
             let bit = 1usize << c;
             if s & bit == 0 {
                 // component c up: may fail
-                b.transition(ids[s], ids[s | bit], lambdas[c])?;
+                b.transition(ids[s], ids[s | bit], lambda)?;
             } else {
                 b.transition(ids[s], ids[s & !bit], mu)?;
             }

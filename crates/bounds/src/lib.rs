@@ -160,9 +160,7 @@ pub fn union_probability(sets: &[Vec<usize>], probs: &[f64], nvars: usize) -> Re
     for s in sets {
         let mut conj = NodeId::TRUE;
         for &i in s {
-            let v = bdd
-                .var(i as u32)
-                .map_err(|e| Error::model(e.to_string()))?;
+            let v = bdd.var(i as u32).map_err(|e| Error::model(e.to_string()))?;
             conj = bdd.and(conj, v);
         }
         acc = bdd.or(acc, conj);
@@ -270,8 +268,7 @@ mod tests {
     #[test]
     fn ep_bounds_exact_for_series_and_parallel() {
         // Pure parallel of 2: one cut {0,1}; paths {0}, {1}.
-        let b =
-            ep_reliability_bounds(&[vec![0], vec![1]], &[vec![0, 1]], &[0.9, 0.8]).unwrap();
+        let b = ep_reliability_bounds(&[vec![0], vec![1]], &[vec![0, 1]], &[0.9, 0.8]).unwrap();
         let exact = 1.0 - 0.1 * 0.2;
         assert!((b.lower - exact).abs() < 1e-12);
         assert!((b.upper - exact).abs() < 1e-12);

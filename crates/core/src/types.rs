@@ -141,9 +141,7 @@ pub fn ensure_probability(p: f64, what: &str) -> Result<()> {
     if p.is_finite() && (0.0..=1.0).contains(&p) {
         Ok(())
     } else {
-        Err(Error::invalid(format!(
-            "{what} must lie in [0,1], got {p}"
-        )))
+        Err(Error::invalid(format!("{what} must lie in [0,1], got {p}")))
     }
 }
 

@@ -96,11 +96,17 @@ impl Lifetime for Empirical {
 
     fn pdf(&self, t: f64) -> Result<f64> {
         ensure_time(t)?;
-        Ok(if self.sorted.binary_search_by(|x| x.partial_cmp(&t).expect("finite")).is_ok() {
-            f64::INFINITY
-        } else {
-            0.0
-        })
+        Ok(
+            if self
+                .sorted
+                .binary_search_by(|x| x.partial_cmp(&t).expect("finite"))
+                .is_ok()
+            {
+                f64::INFINITY
+            } else {
+                0.0
+            },
+        )
     }
 
     fn mean(&self) -> f64 {

@@ -73,9 +73,10 @@ impl Lifetime for Gamma {
             });
         }
         let x = self.rate * t;
-        Ok((self.shape * self.rate.ln() + (self.shape - 1.0) * t.ln() - x
-            - ln_gamma(self.shape))
-        .exp())
+        Ok(
+            (self.shape * self.rate.ln() + (self.shape - 1.0) * t.ln() - x - ln_gamma(self.shape))
+                .exp(),
+        )
     }
 
     fn mean(&self) -> f64 {

@@ -218,10 +218,7 @@ pub(crate) mod test_util {
             assert!(x >= last, "quantile must be non-decreasing");
             last = x;
             let back = d.cdf(x).expect("cdf");
-            assert!(
-                (back - p).abs() < 1e-7,
-                "cdf(quantile({p})) = {back}"
-            );
+            assert!((back - p).abs() < 1e-7, "cdf(quantile({p})) = {back}");
         }
     }
 }

@@ -25,7 +25,9 @@ impl LogNormal {
     /// `σ` is finite and positive.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
         if !mu.is_finite() {
-            return Err(Error::invalid(format!("lognormal mu must be finite, got {mu}")));
+            return Err(Error::invalid(format!(
+                "lognormal mu must be finite, got {mu}"
+            )));
         }
         if !(sigma.is_finite() && sigma > 0.0) {
             return Err(Error::invalid(format!(

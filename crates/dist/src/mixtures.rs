@@ -244,8 +244,8 @@ mod tests {
     fn hypo_two_stage_known_form() {
         // rates 1 and 2: F(t) = 1 - 2e^{-t} + e^{-2t}
         let d = HypoExponential::new(&[1.0, 2.0]).unwrap();
-        for &t in &[0.0, 0.5, 1.0, 3.0] {
-            let expected = 1.0 - 2.0 * (-t as f64).exp() + (-2.0 * t as f64).exp();
+        for &t in &[0.0f64, 0.5, 1.0, 3.0] {
+            let expected = 1.0 - 2.0 * (-t).exp() + (-2.0 * t).exp();
             assert!((d.cdf(t).unwrap() - expected).abs() < 1e-12, "t = {t}");
         }
         assert!((d.mean() - 1.5).abs() < 1e-12);

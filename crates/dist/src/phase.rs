@@ -60,7 +60,7 @@ impl PhaseType {
             )));
         }
         let mut exit = vec![0.0f64; m];
-        for i in 0..m {
+        for (i, exit_i) in exit.iter_mut().enumerate() {
             let mut row_sum = 0.0;
             for j in 0..m {
                 let v = t.get(i, j);
@@ -85,7 +85,7 @@ impl PhaseType {
                     "row {i} of sub-generator has positive sum {row_sum}"
                 )));
             }
-            exit[i] = (-row_sum).max(0.0);
+            *exit_i = (-row_sum).max(0.0);
         }
         Ok(PhaseType { alpha, t, exit })
     }
@@ -109,11 +109,7 @@ impl PhaseType {
     fn transient_vector(&self, t: f64) -> Result<Vec<f64>> {
         let m = self.phases();
         // Uniformization rate: strictly above the largest exit rate.
-        let q = (0..m)
-            .map(|i| -self.t.get(i, i))
-            .fold(0.0f64, f64::max)
-            * 1.02
-            + 1e-12;
+        let q = (0..m).map(|i| -self.t.get(i, i)).fold(0.0f64, f64::max) * 1.02 + 1e-12;
         // P = I + T / q over transient phases (sub-stochastic).
         let mut p = DenseMatrix::zeros(m, m);
         for i in 0..m {
@@ -260,8 +256,14 @@ mod tests {
         let ph = PhaseType::new(vec![1.0], t).unwrap();
         let e = Exponential::new(2.0).unwrap();
         for &x in &[0.0, 0.3, 1.0, 2.5] {
-            assert!((ph.cdf(x).unwrap() - e.cdf(x).unwrap()).abs() < 1e-10, "t={x}");
-            assert!((ph.pdf(x).unwrap() - e.pdf(x).unwrap()).abs() < 1e-9, "t={x}");
+            assert!(
+                (ph.cdf(x).unwrap() - e.cdf(x).unwrap()).abs() < 1e-10,
+                "t={x}"
+            );
+            assert!(
+                (ph.pdf(x).unwrap() - e.pdf(x).unwrap()).abs() < 1e-9,
+                "t={x}"
+            );
         }
         assert!((ph.mean() - 0.5).abs() < 1e-12);
         assert!((ph.variance() - 0.25).abs() < 1e-12);
@@ -272,7 +274,10 @@ mod tests {
         let ph = erlang2_ph(3.0);
         let er = Erlang::new(2, 3.0).unwrap();
         for &x in &[0.1, 0.5, 1.0, 2.0] {
-            assert!((ph.cdf(x).unwrap() - er.cdf(x).unwrap()).abs() < 1e-9, "t={x}");
+            assert!(
+                (ph.cdf(x).unwrap() - er.cdf(x).unwrap()).abs() < 1e-9,
+                "t={x}"
+            );
         }
         assert!((ph.mean() - er.mean()).abs() < 1e-12);
         assert!((ph.variance() - er.variance()).abs() < 1e-12);

@@ -1,0 +1,312 @@
+//! # reliab-engine
+//!
+//! Parallel batch solver engine: accepts a batch of model
+//! specifications, fans them out across a thread pool, and returns one
+//! instrumented [`SolveReport`] per input — in input order, with
+//! results bitwise identical to solving sequentially.
+//!
+//! Every model is solved independently from its spec, so parallelism
+//! changes wall time only, never values. A shared memo cache keyed on
+//! the canonical form of each spec ([`ModelSpec::canonical_string`])
+//! lets structurally identical documents in one batch — common when
+//! sweeping a parameter grid that leaves some models unchanged, or
+//! when many files share boilerplate sub-models — reuse the solve
+//! instead of repeating it.
+//!
+//! ```
+//! use reliab_engine::BatchEngine;
+//! use reliab_spec::ModelSpec;
+//!
+//! # fn main() -> Result<(), reliab_core::Error> {
+//! let doc = r#"{"rbd": {
+//!     "components": [{"name": "a", "availability": 0.99},
+//!                    {"name": "b", "availability": 0.99}],
+//!     "structure": {"parallel": ["a", "b"]}}}"#;
+//! let specs: Vec<ModelSpec> =
+//!     (0..8).map(|_| ModelSpec::from_json_str(doc)).collect::<Result<_, _>>()?;
+//! let reports = BatchEngine::new().with_jobs(4).solve(&specs);
+//! assert_eq!(reports.len(), 8);
+//! for r in &reports {
+//!     let report = r.as_ref().unwrap();
+//!     assert!(report.measures.availability().unwrap() > 0.999);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use reliab_core::{Error, Result};
+use reliab_spec::{ModelSpec, SolveOptions, SolveReport};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Counters describing what a batch run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct BatchStats {
+    /// Number of specs solved from scratch.
+    pub solved: usize,
+    /// Number of specs answered from the memo cache.
+    pub memo_hits: usize,
+    /// Number of specs that failed.
+    pub errors: usize,
+}
+
+/// A batch solver: configuration plus a memo cache that persists across
+/// [`BatchEngine::solve`] calls on the same engine.
+#[derive(Debug, Default)]
+pub struct BatchEngine {
+    jobs: usize,
+    options: SolveOptions,
+    memoize: bool,
+    cache: Mutex<HashMap<String, SolveReport>>,
+    last_stats: Mutex<BatchStats>,
+}
+
+impl BatchEngine {
+    /// An engine with default [`SolveOptions`], memoization on, and one
+    /// worker per available CPU.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchEngine {
+            jobs: 0,
+            options: SolveOptions::default(),
+            memoize: true,
+            cache: Mutex::new(HashMap::new()),
+            last_stats: Mutex::new(BatchStats::default()),
+        }
+    }
+
+    /// Sets the worker count: `0` means one worker per available CPU,
+    /// `1` solves sequentially on the calling thread.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the per-solve options applied to every spec in the batch.
+    #[must_use]
+    pub fn with_options(mut self, options: SolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Enables or disables the canonical-spec memo cache.
+    #[must_use]
+    pub fn with_memoization(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
+        self
+    }
+
+    /// Counters from the most recent [`BatchEngine::solve`] /
+    /// [`BatchEngine::solve_texts`] call.
+    #[must_use]
+    pub fn last_stats(&self) -> BatchStats {
+        *lock(&self.last_stats)
+    }
+
+    /// Solves every spec, returning reports in input order. Per-spec
+    /// failures occupy their slot as `Err` without disturbing the rest
+    /// of the batch.
+    pub fn solve(&self, specs: &[ModelSpec]) -> Vec<Result<SolveReport>> {
+        let inputs: Vec<Result<&ModelSpec>> = specs.iter().map(Ok).collect();
+        self.run(inputs)
+    }
+
+    /// Parses and solves a batch of JSON documents. Parse failures
+    /// occupy their slot as `Err`; the remaining documents still solve.
+    pub fn solve_texts<S: AsRef<str>>(&self, texts: &[S]) -> Vec<Result<SolveReport>> {
+        let parsed: Vec<Result<ModelSpec>> = texts
+            .iter()
+            .map(|t| ModelSpec::from_json_str(t.as_ref()))
+            .collect();
+        let inputs: Vec<Result<&ModelSpec>> = parsed
+            .iter()
+            .map(|p| p.as_ref().map_err(clone_err))
+            .collect();
+        self.run(inputs)
+    }
+
+    fn run(&self, inputs: Vec<Result<&ModelSpec>>) -> Vec<Result<SolveReport>> {
+        *lock(&self.last_stats) = BatchStats::default();
+        let workers = self.worker_count(inputs.len());
+        let mut results: Vec<(usize, Result<SolveReport>)> = if workers <= 1 {
+            inputs
+                .into_iter()
+                .enumerate()
+                .map(|(i, input)| (i, self.solve_one(input)))
+                .collect()
+        } else {
+            let inputs = &inputs;
+            let next = AtomicUsize::new(0);
+            let mut collected = Vec::with_capacity(inputs.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let idx = next.fetch_add(1, Ordering::Relaxed);
+                                if idx >= inputs.len() {
+                                    return local;
+                                }
+                                let input = inputs[idx].as_ref().copied().map_err(clone_err);
+                                local.push((idx, self.solve_one(input)));
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    collected.extend(h.join().expect("batch worker panicked"));
+                }
+            });
+            collected
+        };
+        results.sort_by_key(|(idx, _)| *idx);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+
+    fn worker_count(&self, batch_len: usize) -> usize {
+        let jobs = if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.jobs
+        };
+        jobs.min(batch_len)
+    }
+
+    fn solve_one(&self, input: Result<&ModelSpec>) -> Result<SolveReport> {
+        let spec = match input {
+            Ok(spec) => spec,
+            Err(e) => {
+                lock(&self.last_stats).errors += 1;
+                return Err(e);
+            }
+        };
+        let key = if self.memoize {
+            let key = spec.canonical_string();
+            if let Some(hit) = lock(&self.cache).get(&key).cloned() {
+                lock(&self.last_stats).memo_hits += 1;
+                return Ok(hit);
+            }
+            Some(key)
+        } else {
+            None
+        };
+        let result = reliab_spec::solve_with(spec, &self.options);
+        match &result {
+            Ok(report) => {
+                lock(&self.last_stats).solved += 1;
+                if let Some(key) = key {
+                    lock(&self.cache)
+                        .entry(key)
+                        .or_insert_with(|| report.clone());
+                }
+            }
+            Err(_) => lock(&self.last_stats).errors += 1,
+        }
+        result
+    }
+}
+
+/// `reliab_core::Error` is not `Clone`; rebuild an equivalent error for
+/// slots that share one parse failure. `Error::invalid` prefixes its
+/// message on display, so strip an existing prefix instead of stacking
+/// a second one.
+fn clone_err(e: &Error) -> Error {
+    let msg = e.to_string();
+    Error::invalid(
+        msg.strip_prefix("invalid parameter: ")
+            .unwrap_or(&msg)
+            .to_owned(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rbd_doc(availability: f64) -> String {
+        format!(
+            r#"{{"rbd": {{
+                "components": [{{"name": "a", "availability": {availability}}},
+                               {{"name": "b", "availability": {availability}}}],
+                "structure": {{"parallel": ["a", "b"]}}}}}}"#
+        )
+    }
+
+    #[test]
+    fn batch_results_keep_input_order() {
+        let docs: Vec<String> = (1..=9).map(|i| rbd_doc(i as f64 / 10.0)).collect();
+        let engine = BatchEngine::new().with_jobs(4);
+        let reports = engine.solve_texts(&docs);
+        assert_eq!(reports.len(), 9);
+        for (i, r) in reports.iter().enumerate() {
+            let p = (i + 1) as f64 / 10.0;
+            let expected = 1.0 - (1.0 - p) * (1.0 - p);
+            let got = r.as_ref().unwrap().measures.availability().unwrap();
+            assert!((got - expected).abs() < 1e-12, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_measures() {
+        let docs: Vec<String> = (1..=16).map(|i| rbd_doc(i as f64 / 20.0)).collect();
+        let sequential = BatchEngine::new().with_jobs(1).solve_texts(&docs);
+        let parallel = BatchEngine::new().with_jobs(8).solve_texts(&docs);
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.as_ref().unwrap().measures, p.as_ref().unwrap().measures);
+        }
+    }
+
+    #[test]
+    fn memoization_dedupes_identical_specs() {
+        let docs = vec![rbd_doc(0.9), rbd_doc(0.9), rbd_doc(0.9), rbd_doc(0.8)];
+        let engine = BatchEngine::new().with_jobs(1);
+        let reports = engine.solve_texts(&docs);
+        assert!(reports.iter().all(Result::is_ok));
+        let stats = engine.last_stats();
+        assert_eq!(stats.solved, 2);
+        assert_eq!(stats.memo_hits, 2);
+        // The cache persists: a second batch of the same docs is all hits.
+        engine.solve_texts(&docs);
+        assert_eq!(engine.last_stats().memo_hits, 4);
+    }
+
+    #[test]
+    fn memoization_can_be_disabled() {
+        let docs = vec![rbd_doc(0.9), rbd_doc(0.9)];
+        let engine = BatchEngine::new().with_jobs(1).with_memoization(false);
+        engine.solve_texts(&docs);
+        let stats = engine.last_stats();
+        assert_eq!(stats.solved, 2);
+        assert_eq!(stats.memo_hits, 0);
+    }
+
+    #[test]
+    fn per_spec_failures_do_not_poison_the_batch() {
+        let docs = vec![rbd_doc(0.9), "not json".to_owned(), rbd_doc(0.8)];
+        let engine = BatchEngine::new().with_jobs(2);
+        let reports = engine.solve_texts(&docs);
+        assert!(reports[0].is_ok());
+        assert!(reports[1].is_err());
+        assert!(reports[2].is_ok());
+        assert_eq!(engine.last_stats().errors, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = BatchEngine::new();
+        assert!(engine.solve(&[]).is_empty());
+        assert_eq!(engine.last_stats(), BatchStats::default());
+    }
+}

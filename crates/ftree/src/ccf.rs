@@ -30,7 +30,9 @@ impl CcfGroup {
     /// Returns [`Error::InvalidParameter`] if `n == 0`.
     pub fn new(b: &mut FaultTreeBuilder, name: &str, n: usize) -> Result<CcfGroup> {
         if n == 0 {
-            return Err(Error::invalid("common-cause group needs at least one member"));
+            return Err(Error::invalid(
+                "common-cause group needs at least one member",
+            ));
         }
         let independent = (0..n)
             .map(|i| b.basic_event(&format!("{name}-{i}-indep")))
@@ -59,10 +61,7 @@ impl CcfGroup {
     ///
     /// Panics if `i` is out of range.
     pub fn member(&self, i: usize) -> FtNode {
-        FtNode::or(vec![
-            self.independent[i].into(),
-            self.common.into(),
-        ])
+        FtNode::or(vec![self.independent[i].into(), self.common.into()])
     }
 
     /// All member failure nodes.
@@ -79,12 +78,7 @@ impl CcfGroup {
     ///
     /// Returns [`Error::InvalidParameter`] for probabilities outside
     /// `[0, 1]` or if `probs` is too short.
-    pub fn assign_probabilities(
-        &self,
-        probs: &mut [f64],
-        q_total: f64,
-        beta: f64,
-    ) -> Result<()> {
+    pub fn assign_probabilities(&self, probs: &mut [f64], q_total: f64, beta: f64) -> Result<()> {
         ensure_probability(q_total, "q_total")?;
         ensure_probability(beta, "beta")?;
         let needed = self

@@ -121,11 +121,7 @@ impl FaultTreeBuilder {
     ///
     /// Returns [`Error::Model`] for an empty tree, empty gates, k-of-n
     /// thresholds out of range, or foreign event handles.
-    pub fn build_with_ordering(
-        self,
-        top: FtNode,
-        ordering: VariableOrdering,
-    ) -> Result<FaultTree> {
+    pub fn build_with_ordering(self, top: FtNode, ordering: VariableOrdering) -> Result<FaultTree> {
         let n = self.names.len();
         if n == 0 {
             return Err(Error::model("fault tree has no basic events"));
@@ -139,11 +135,7 @@ impl FaultTreeBuilder {
                 dfs_order(&top, &mut order, &mut seen, n)?;
                 // Events never referenced go to the end, in declaration
                 // order.
-                for e in 0..n {
-                    if !seen[e] {
-                        order.push(e);
-                    }
-                }
+                order.extend((0..n).filter(|&e| !seen[e]));
                 let mut map = vec![0u32; n];
                 for (level, &e) in order.iter().enumerate() {
                     map[e] = level as u32;
@@ -265,6 +257,11 @@ impl FaultTree {
     /// [`VariableOrdering`] choices.
     pub fn bdd_size(&self) -> usize {
         self.bdd.node_count(self.fails)
+    }
+
+    /// Table sizes and cache counters of the underlying BDD manager.
+    pub fn bdd_stats(&self) -> reliab_bdd::BddStats {
+        self.bdd.stats()
     }
 
     /// Exact top-event probability given each basic event's failure
@@ -473,10 +470,7 @@ mod tests {
         let a = b.basic_event("a");
         let b2 = b.basic_event("b");
         let c = b.basic_event("c");
-        let top = FtNode::or(vec![
-            FtNode::and_of(&[a, b2]),
-            FtNode::and_of(&[a, c]),
-        ]);
+        let top = FtNode::or(vec![FtNode::and_of(&[a, b2]), FtNode::and_of(&[a, c])]);
         let ft = b.build(top).unwrap();
         let q = ft.top_event_probability(&[0.5, 0.5, 0.5]).unwrap();
         assert!((q - 0.375).abs() < 1e-15);
@@ -502,7 +496,10 @@ mod tests {
         let exact = ft.top_event_probability(&q).unwrap();
         let bound = ft.rare_event_bound(&q, 10_000).unwrap();
         assert!(bound >= exact);
-        assert!(bound - exact < 0.01, "bound should be tight for rare events");
+        assert!(
+            bound - exact < 0.01,
+            "bound should be tight for rare events"
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ where
     if x0.is_empty() {
         return Err(Error::invalid("fixed-point start vector is empty"));
     }
-    if !(opts.tolerance > 0.0) {
+    if opts.tolerance.is_nan() || opts.tolerance <= 0.0 {
         return Err(Error::invalid(format!(
             "tolerance must be positive, got {}",
             opts.tolerance

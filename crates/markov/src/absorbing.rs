@@ -77,12 +77,7 @@ impl Ctmc {
     /// # Errors
     ///
     /// Same conditions as [`Ctmc::mttf`] plus transient-solver errors.
-    pub fn reliability_at(
-        &self,
-        initial: &[f64],
-        absorbing: &[StateId],
-        t: f64,
-    ) -> Result<f64> {
+    pub fn reliability_at(&self, initial: &[f64], absorbing: &[StateId], t: f64) -> Result<f64> {
         self.check_distribution(initial)?;
         let mask = self.absorbing_mask(absorbing)?;
         let chopped = self.make_absorbing(&mask)?;
@@ -320,10 +315,7 @@ mod tests {
         let p0 = c.point_mass(up);
         for &t in &[0.1, 1.0, 3.0] {
             let r = c.reliability_at(&p0, &[down], t).unwrap();
-            assert!(
-                (r - (-0.5 * t).exp()).abs() < 1e-9,
-                "t = {t}: r = {r}"
-            );
+            assert!((r - (-0.5 * t).exp()).abs() < 1e-9, "t = {t}: r = {r}");
         }
     }
 

@@ -92,8 +92,7 @@ impl CtmcBuilder {
                 trips.push((i, i, -r));
             }
         }
-        let generator =
-            CsrMatrix::from_triplets(n, n, &trips).map_err(crate::num_err)?;
+        let generator = CsrMatrix::from_triplets(n, n, &trips).map_err(crate::num_err)?;
         Ok(Ctmc {
             names: self.names,
             transitions: self.transitions,

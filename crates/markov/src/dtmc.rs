@@ -103,11 +103,7 @@ impl Dtmc {
     /// Returns [`Error::InvalidParameter`] for empty/invalid targets
     /// and [`Error::Numerical`] when some transient class never
     /// reaches the targets.
-    pub fn absorption_probabilities(
-        &self,
-        initial: &[f64],
-        targets: &[usize],
-    ) -> Result<Vec<f64>> {
+    pub fn absorption_probabilities(&self, initial: &[f64], targets: &[usize]) -> Result<Vec<f64>> {
         let n = self.num_states();
         if targets.is_empty() {
             return Err(Error::invalid("target set is empty"));
@@ -151,9 +147,8 @@ impl Dtmc {
                 }
             }
             let x = if m > 0 {
-                a.lu_solve(&rhs).map_err(|e| {
-                    Error::numerical(format!("absorption system singular: {e}"))
-                })?
+                a.lu_solve(&rhs)
+                    .map_err(|e| Error::numerical(format!("absorption system singular: {e}")))?
             } else {
                 Vec::new()
             };
@@ -207,11 +202,8 @@ mod tests {
 
     #[test]
     fn two_state_stationary() {
-        let d = Dtmc::from_triplets(
-            2,
-            &[(0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.25), (1, 1, 0.75)],
-        )
-        .unwrap();
+        let d = Dtmc::from_triplets(2, &[(0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.25), (1, 1, 0.75)])
+            .unwrap();
         let pi = d.steady_state().unwrap();
         assert!((pi[0] - 1.0 / 3.0).abs() < 1e-12);
         assert!((pi[1] - 2.0 / 3.0).abs() < 1e-12);

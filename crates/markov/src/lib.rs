@@ -50,9 +50,10 @@ mod transient;
 
 pub use builder::{Ctmc, CtmcBuilder, StateId};
 pub use dtmc::Dtmc;
+pub use reliab_numeric::{IterationStats, IterativeOptions};
 pub use sensitivity::{sensitivity, Sensitivity};
-pub use steady::SteadyStateMethod;
-pub use transient::TransientOptions;
+pub use steady::{SteadyReport, SteadyStateMethod};
+pub use transient::{TransientOptions, TransientReport};
 
 use reliab_core::Error;
 

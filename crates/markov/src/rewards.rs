@@ -73,7 +73,7 @@ impl Ctmc {
         rewards: &[f64],
         t: f64,
     ) -> Result<f64> {
-        if !(t > 0.0) {
+        if t.is_nan() || t <= 0.0 {
             return Err(Error::invalid(format!(
                 "interval reward needs t > 0, got {t}"
             )));
@@ -111,9 +111,7 @@ mod tests {
         b.transition(down, deg, 10.0).unwrap();
         let c = b.build().unwrap();
         let pi = c.steady_state().unwrap();
-        let perf = c
-            .expected_steady_state_reward(&[2.0, 1.0, 0.0])
-            .unwrap();
+        let perf = c.expected_steady_state_reward(&[2.0, 1.0, 0.0]).unwrap();
         assert!((perf - (2.0 * pi[0] + pi[1])).abs() < 1e-14);
         assert!(perf > 0.0 && perf < 2.0);
     }
@@ -144,9 +142,7 @@ mod tests {
         b.transition(down, up, 1.0).unwrap();
         let c = b.build().unwrap();
         assert!(c.expected_steady_state_reward(&[1.0]).is_err());
-        assert!(c
-            .expected_steady_state_reward(&[1.0, f64::NAN])
-            .is_err());
+        assert!(c.expected_steady_state_reward(&[1.0, f64::NAN]).is_err());
         let p0 = c.point_mass(up);
         assert!(c.expected_interval_reward(&p0, &[1.0, 0.0], 0.0).is_err());
     }
@@ -161,7 +157,8 @@ mod tests {
         let c = b.build().unwrap();
         let p0 = c.point_mass(up);
         assert_eq!(
-            c.expected_accumulated_reward(&p0, &[1.0, 0.0], 0.0).unwrap(),
+            c.expected_accumulated_reward(&p0, &[1.0, 0.0], 0.0)
+                .unwrap(),
             0.0
         );
     }

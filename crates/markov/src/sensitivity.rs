@@ -90,9 +90,7 @@ impl crate::Ctmc {
     ) -> Result<Vec<f64>> {
         let n = self.num_states();
         if from.index() >= n || to.index() >= n || from == to {
-            return Err(Error::model(
-                "gradient requires two distinct valid states",
-            ));
+            return Err(Error::model("gradient requires two distinct valid states"));
         }
         if !self
             .transitions

@@ -3,7 +3,9 @@
 use crate::builder::Ctmc;
 use crate::num_err;
 use reliab_core::Result;
-use reliab_numeric::{gth_steady_state, sor_steady_state, IterativeOptions};
+use reliab_numeric::{
+    gth_steady_state, power_method_with_stats, sor_steady_state_with_stats, IterativeOptions,
+};
 
 /// Chains at or below this size are solved by dense GTH by default;
 /// larger chains use sparse SOR.
@@ -11,6 +13,7 @@ const GTH_SIZE_THRESHOLD: usize = 512;
 
 /// Steady-state solution method selection.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SteadyStateMethod {
     /// Dense Grassmann–Taksar–Heyman elimination: exact (to round-off),
     /// subtraction-free, `O(n³)` time / `O(n²)` memory.
@@ -18,8 +21,27 @@ pub enum SteadyStateMethod {
     /// Gauss–Seidel / SOR sweeps on the sparse generator: `O(nnz)` per
     /// sweep, preferred for large chains.
     Sor(IterativeOptions),
+    /// Power iteration on the uniformized DTMC `P = I + Q/q`: the
+    /// slowest-converging but most robust sweep, useful as a
+    /// cross-check of the other methods.
+    Power(IterativeOptions),
     /// Pick GTH for small chains and SOR otherwise.
     Auto,
+}
+
+/// A solved stationary distribution plus solver telemetry.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SteadyReport {
+    /// The stationary distribution.
+    pub pi: Vec<f64>,
+    /// The method that actually ran (`"gth"`, `"sor"`, or `"power"` —
+    /// `Auto` resolves before solving).
+    pub method: &'static str,
+    /// Sweeps performed (for GTH: the `n` elimination stages).
+    pub iterations: usize,
+    /// Final convergence residual (0 for the direct GTH solve).
+    pub residual: f64,
 }
 
 impl Ctmc {
@@ -40,25 +62,59 @@ impl Ctmc {
     ///
     /// See [`Ctmc::steady_state`].
     pub fn steady_state_with(&self, method: &SteadyStateMethod) -> Result<Vec<f64>> {
+        self.steady_state_report(method).map(|r| r.pi)
+    }
+
+    /// Stationary distribution plus solver telemetry — which method
+    /// ran, how many sweeps it took, and the final residual.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ctmc::steady_state`].
+    pub fn steady_state_report(&self, method: &SteadyStateMethod) -> Result<SteadyReport> {
         match method {
-            SteadyStateMethod::Gth => {
-                gth_steady_state(&self.generator_dense()).map_err(num_err)
-            }
-            SteadyStateMethod::Sor(opts) => {
-                sor_steady_state(&self.generator().transpose(), opts).map_err(num_err)
+            SteadyStateMethod::Gth => self.gth_report(),
+            SteadyStateMethod::Sor(opts) => self.sor_report(opts),
+            SteadyStateMethod::Power(opts) => {
+                let q = self.uniformization_rate();
+                let p = self.uniformized_dtmc(q);
+                let (pi, stats) = power_method_with_stats(&p.transpose(), opts).map_err(num_err)?;
+                Ok(SteadyReport {
+                    pi,
+                    method: "power",
+                    iterations: stats.iterations,
+                    residual: stats.residual,
+                })
             }
             SteadyStateMethod::Auto => {
                 if self.num_states() <= GTH_SIZE_THRESHOLD {
-                    gth_steady_state(&self.generator_dense()).map_err(num_err)
+                    self.gth_report()
                 } else {
-                    sor_steady_state(
-                        &self.generator().transpose(),
-                        &IterativeOptions::default(),
-                    )
-                    .map_err(num_err)
+                    self.sor_report(&IterativeOptions::default())
                 }
             }
         }
+    }
+
+    fn gth_report(&self) -> Result<SteadyReport> {
+        let pi = gth_steady_state(&self.generator_dense()).map_err(num_err)?;
+        Ok(SteadyReport {
+            pi,
+            method: "gth",
+            iterations: self.num_states(),
+            residual: 0.0,
+        })
+    }
+
+    fn sor_report(&self, opts: &IterativeOptions) -> Result<SteadyReport> {
+        let (pi, stats) =
+            sor_steady_state_with_stats(&self.generator().transpose(), opts).map_err(num_err)?;
+        Ok(SteadyReport {
+            pi,
+            method: "sor",
+            iterations: stats.iterations,
+            residual: stats.residual,
+        })
     }
 
     /// Long-run probability of being in any state of `up_states`
@@ -68,10 +124,7 @@ impl Ctmc {
     /// # Errors
     ///
     /// Propagates [`Ctmc::steady_state`] errors.
-    pub fn steady_state_probability_of(
-        &self,
-        states: &[crate::StateId],
-    ) -> Result<f64> {
+    pub fn steady_state_probability_of(&self, states: &[crate::StateId]) -> Result<f64> {
         let pi = self.steady_state()?;
         Ok(states.iter().map(|s| pi[s.index()]).sum())
     }
@@ -117,18 +170,47 @@ mod tests {
         let sor = c
             .steady_state_with(&SteadyStateMethod::Sor(Default::default()))
             .unwrap();
+        let power = c
+            .steady_state_with(&SteadyStateMethod::Power(Default::default()))
+            .unwrap();
         let auto = c.steady_state().unwrap();
         for i in 0..3 {
             assert!((gth[i] - sor[i]).abs() < 1e-9);
+            assert!((gth[i] - power[i]).abs() < 1e-9);
             assert!((gth[i] - auto[i]).abs() < 1e-13);
         }
     }
 
     #[test]
+    fn reports_carry_method_and_iterations() {
+        let c = shared_repair_chain(0.2, 1.5);
+        let gth = c.steady_state_report(&SteadyStateMethod::Gth).unwrap();
+        assert_eq!(gth.method, "gth");
+        assert_eq!(gth.iterations, 3);
+        assert_eq!(gth.residual, 0.0);
+
+        let sor = c
+            .steady_state_report(&SteadyStateMethod::Sor(Default::default()))
+            .unwrap();
+        assert_eq!(sor.method, "sor");
+        assert!(sor.iterations > 0);
+        assert!(sor.residual < 1e-12);
+
+        let power = c
+            .steady_state_report(&SteadyStateMethod::Power(Default::default()))
+            .unwrap();
+        assert_eq!(power.method, "power");
+        assert!(power.iterations > sor.iterations, "power converges slower");
+    }
+
+    #[test]
     fn availability_of_up_states() {
         let c = shared_repair_chain(0.01, 1.0);
-        let up: Vec<_> = [c.find_state("0-failed").unwrap(), c.find_state("1-failed").unwrap()]
-            .to_vec();
+        let up: Vec<_> = [
+            c.find_state("0-failed").unwrap(),
+            c.find_state("1-failed").unwrap(),
+        ]
+        .to_vec();
         let a = c.steady_state_probability_of(&up).unwrap();
         let pi = c.steady_state().unwrap();
         assert!((a - (pi[0] + pi[1])).abs() < 1e-15);

@@ -36,7 +36,7 @@ impl TransientOptions {
             )));
         }
         if let Some(d) = self.steady_state_detection {
-            if !(d > 0.0) {
+            if d.is_nan() || d <= 0.0 {
                 return Err(Error::invalid(format!(
                     "steady-state detection threshold must be positive, got {d}"
                 )));
@@ -44,6 +44,21 @@ impl TransientOptions {
         }
         Ok(())
     }
+}
+
+/// A transient distribution plus uniformization telemetry.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct TransientReport {
+    /// The state-probability vector at the requested time.
+    pub distribution: Vec<f64>,
+    /// Sparse matrix–vector products performed (the dominant cost).
+    pub matvecs: usize,
+    /// Number of significant Poisson terms in the truncated sum.
+    pub poisson_terms: usize,
+    /// If steady-state detection fired, the term index at which the
+    /// uniformized iterate stopped changing.
+    pub converged_at: Option<usize>,
 }
 
 impl Ctmc {
@@ -69,6 +84,23 @@ impl Ctmc {
         t: f64,
         opts: &TransientOptions,
     ) -> Result<Vec<f64>> {
+        self.transient_report(initial, t, opts)
+            .map(|r| r.distribution)
+    }
+
+    /// [`Ctmc::transient_with`] plus solver telemetry: matrix–vector
+    /// product count, Poisson truncation width, and whether steady-state
+    /// detection cut the sum short.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ctmc::transient`].
+    pub fn transient_report(
+        &self,
+        initial: &[f64],
+        t: f64,
+        opts: &TransientOptions,
+    ) -> Result<TransientReport> {
         self.check_distribution(initial)?;
         opts.validate()?;
         if t.is_nan() || t < 0.0 || !t.is_finite() {
@@ -77,12 +109,22 @@ impl Ctmc {
             )));
         }
         if t == 0.0 {
-            return Ok(initial.to_vec());
+            return Ok(TransientReport {
+                distribution: initial.to_vec(),
+                matvecs: 0,
+                poisson_terms: 0,
+                converged_at: None,
+            });
         }
         let q = self.uniformization_rate();
         if q <= 1e-299 {
             // No transitions at all: distribution never moves.
-            return Ok(initial.to_vec());
+            return Ok(TransientReport {
+                distribution: initial.to_vec(),
+                matvecs: 0,
+                poisson_terms: 0,
+                converged_at: None,
+            });
         }
         let p = self.uniformized_dtmc(q);
         let w = poisson_weights(q * t, opts.epsilon).map_err(num_err)?;
@@ -91,11 +133,13 @@ impl Ctmc {
         let mut v = initial.to_vec();
         let mut out = vec![0.0f64; n];
         let mut converged_at: Option<usize> = None;
+        let mut matvecs = 0usize;
 
         // Advance to the left truncation point, checking for early
         // steady-state en route.
         for _k in 0..w.left {
             let next = p.vecmat(&v).map_err(num_err)?;
+            matvecs += 1;
             if let Some(thresh) = opts.steady_state_detection {
                 if max_abs_diff(&v, &next) < thresh {
                     v = next;
@@ -113,6 +157,7 @@ impl Ctmc {
                 }
                 if idx + 1 < w.weights.len() {
                     let next = p.vecmat(&v).map_err(num_err)?;
+                    matvecs += 1;
                     if let Some(thresh) = opts.steady_state_detection {
                         if max_abs_diff(&v, &next) < thresh {
                             v = next;
@@ -146,7 +191,91 @@ impl Ctmc {
                 *o /= total;
             }
         }
-        Ok(out)
+        Ok(TransientReport {
+            distribution: out,
+            matvecs,
+            poisson_terms: w.weights.len(),
+            converged_at,
+        })
+    }
+
+    /// Transient distributions at several time points, evaluated
+    /// concurrently across `jobs` threads (`0` means one thread per
+    /// available CPU). Each point is solved independently from `t = 0`,
+    /// so results are bitwise identical to calling
+    /// [`Ctmc::transient_with`] per point — the parallelism only changes
+    /// wall time, never values.
+    ///
+    /// # Errors
+    ///
+    /// Per-point errors surface as the error of the earliest failing
+    /// time, matching the sequential loop's behavior.
+    pub fn transient_many(
+        &self,
+        initial: &[f64],
+        times: &[f64],
+        opts: &TransientOptions,
+        jobs: usize,
+    ) -> Result<Vec<Vec<f64>>> {
+        Ok(self
+            .transient_many_report(initial, times, opts, jobs)?
+            .into_iter()
+            .map(|r| r.distribution)
+            .collect())
+    }
+
+    /// [`Ctmc::transient_many`] with per-point telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ctmc::transient_many`].
+    pub fn transient_many_report(
+        &self,
+        initial: &[f64],
+        times: &[f64],
+        opts: &TransientOptions,
+        jobs: usize,
+    ) -> Result<Vec<TransientReport>> {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            jobs
+        };
+        let workers = jobs.min(times.len());
+        if workers <= 1 {
+            return times
+                .iter()
+                .map(|&t| self.transient_report(initial, t, opts))
+                .collect();
+        }
+
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, Result<TransientReport>)> = Vec::with_capacity(times.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= times.len() {
+                                return local;
+                            }
+                            local.push((idx, self.transient_report(initial, times[idx], opts)));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Worker closures don't panic except on internal bugs,
+                // where propagating the panic is the right outcome.
+                collected.extend(h.join().expect("transient worker panicked"));
+            }
+        });
+        collected.sort_by_key(|(idx, _)| *idx);
+        collected.into_iter().map(|(_, r)| r).collect()
     }
 
     /// Expected total time spent in each state over `[0, t]`
@@ -338,6 +467,57 @@ mod tests {
             // Total time accounted for must equal t.
             assert!((acc[0] + acc[1] - t).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn transient_many_matches_sequential_bitwise() {
+        let c = two_state(0.4, 1.7);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let times = [0.0, 0.1, 0.5, 1.0, 5.0, 50.0, 200.0];
+        let opts = TransientOptions::default();
+        let sequential: Vec<_> = times
+            .iter()
+            .map(|&t| c.transient_with(&p0, t, &opts).unwrap())
+            .collect();
+        for jobs in [1, 2, 4, 0] {
+            let parallel = c.transient_many(&p0, &times, &opts, jobs).unwrap();
+            assert_eq!(parallel, sequential, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn transient_many_surfaces_earliest_error() {
+        let c = two_state(1.0, 1.0);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let times = [1.0, -1.0, 2.0];
+        assert!(c
+            .transient_many(&p0, &times, &TransientOptions::default(), 4)
+            .is_err());
+    }
+
+    #[test]
+    fn report_counts_work() {
+        let c = two_state(0.4, 1.7);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let r = c
+            .transient_report(&p0, 2.0, &TransientOptions::default())
+            .unwrap();
+        assert!(r.matvecs > 0);
+        assert!(r.poisson_terms > 0);
+        // Stiff long horizon: steady-state detection should fire and cap
+        // the matvec count far below the Poisson width q*t.
+        let stiff = two_state(1e-4, 100.0);
+        let s0 = stiff.point_mass(stiff.find_state("up").unwrap());
+        let r = stiff
+            .transient_report(&s0, 1000.0, &TransientOptions::default())
+            .unwrap();
+        assert!(r.converged_at.is_some());
+        assert!((r.matvecs as f64) < 0.5 * 100.0 * 1000.0);
+        // t = 0 costs nothing.
+        let r0 = c
+            .transient_report(&p0, 0.0, &TransientOptions::default())
+            .unwrap();
+        assert_eq!(r0.matvecs, 0);
     }
 
     #[test]

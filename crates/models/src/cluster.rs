@@ -6,9 +6,7 @@
 //! five-state CTMC whose structure is the canonical vendor
 //! availability model the tutorial attributes to Sun.
 
-use reliab_core::{
-    downtime_minutes_per_year, ensure_finite_positive, ensure_probability, Result,
-};
+use reliab_core::{downtime_minutes_per_year, ensure_finite_positive, ensure_probability, Result};
 use reliab_markov::{Ctmc, CtmcBuilder, StateId};
 
 /// Cluster parameters (rates per hour).
@@ -138,7 +136,13 @@ pub fn cluster_availability(p: &ClusterParams) -> Result<ClusterReport> {
     let pi = ctmc.steady_state()?;
     let a = pi[s.up2.index()] + pi[s.up1.index()];
     let down_total = pi[s.failover.index()] + pi[s.uncovered.index()] + pi[s.down.index()];
-    let share = |x: f64| if down_total > 0.0 { x / down_total } else { 0.0 };
+    let share = |x: f64| {
+        if down_total > 0.0 {
+            x / down_total
+        } else {
+            0.0
+        }
+    };
     Ok(ClusterReport {
         availability: a,
         downtime_min_per_year: downtime_minutes_per_year(a)?,
@@ -157,9 +161,8 @@ mod tests {
         let r = cluster_availability(&ClusterParams::default()).unwrap();
         assert!(r.availability > 0.9999, "{}", r.availability);
         assert!(r.downtime_min_per_year < 60.0);
-        let total = r.downtime_share_failover
-            + r.downtime_share_uncovered
-            + r.downtime_share_double;
+        let total =
+            r.downtime_share_failover + r.downtime_share_uncovered + r.downtime_share_double;
         assert!((total - 1.0).abs() < 1e-9);
     }
 

@@ -77,21 +77,11 @@ pub fn multiproc_fault_tree(p: &MultiprocParams) -> Result<(FaultTree, Multiproc
     let mem_fail_threshold = p.n_mem - p.k_mem + 1;
     let top = FtNode::or(vec![
         FtNode::and_of(&procs),
-        FtNode::k_of_n(
-            mem_fail_threshold,
-            mems.iter().map(|&e| e.into()).collect(),
-        ),
+        FtNode::k_of_n(mem_fail_threshold, mems.iter().map(|&e| e.into()).collect()),
         bus.into(),
     ]);
     let ft = b.build(top)?;
-    Ok((
-        ft,
-        MultiprocEvents {
-            procs,
-            mems,
-            bus,
-        },
-    ))
+    Ok((ft, MultiprocEvents { procs, mems, bus }))
 }
 
 /// Event-probability vector in fault-tree order for the given

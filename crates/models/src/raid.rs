@@ -136,16 +136,8 @@ mod tests {
 
     #[test]
     fn faster_rebuild_helps_linearly() {
-        let slow = raid_mttdl(&RaidParams {
-            mu: 0.05,
-            ..p5(8)
-        })
-        .unwrap();
-        let fast = raid_mttdl(&RaidParams {
-            mu: 0.5,
-            ..p5(8)
-        })
-        .unwrap();
+        let slow = raid_mttdl(&RaidParams { mu: 0.05, ..p5(8) }).unwrap();
+        let fast = raid_mttdl(&RaidParams { mu: 0.5, ..p5(8) }).unwrap();
         let ratio = fast / slow;
         assert!((9.0..11.0).contains(&ratio), "ratio {ratio}");
     }

@@ -159,11 +159,9 @@ pub fn router_availability(p: &RouterParams) -> Result<RouterReport> {
         k_of_n_availability(p.linecard_n, p.linecard_k, unit)
     });
     // Top: series composition.
-    let top = g.node(
-        "router",
-        &[rp, fabric, power, linecards],
-        |v| Ok(v.iter().product()),
-    );
+    let top = g.node("router", &[rp, fabric, power, linecards], |v| {
+        Ok(v.iter().product())
+    });
 
     let values = g.solve()?;
     let mut subsystems = Vec::new();

@@ -66,9 +66,7 @@ fn binom_at_least(n: usize, k: usize, p: f64) -> f64 {
         ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
     };
     (k..=n)
-        .map(|j| {
-            (ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp()
-        })
+        .map(|j| (ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp())
         .sum()
 }
 
@@ -158,8 +156,7 @@ mod tests {
 
     #[test]
     fn heavier_load_coupling_lowers_availability() {
-        let base = sip_availability(&SipParams::default(), &FixedPointOptions::default())
-            .unwrap();
+        let base = sip_availability(&SipParams::default(), &FixedPointOptions::default()).unwrap();
         let heavy = sip_availability(
             &SipParams {
                 alpha: 0.02,

@@ -97,9 +97,7 @@ mod tests {
         let ind = two_component_availability(l, m, RepairPolicy::Independent).unwrap();
         let shared = two_component_availability(l, m, RepairPolicy::SharedCrew).unwrap();
         assert!(shared.parallel_availability < ind.parallel_availability);
-        assert!(
-            shared.parallel_downtime_min_per_year > ind.parallel_downtime_min_per_year
-        );
+        assert!(shared.parallel_downtime_min_per_year > ind.parallel_downtime_min_per_year);
     }
 
     #[test]

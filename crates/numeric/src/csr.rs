@@ -35,7 +35,11 @@ impl CsrMatrix {
     ///
     /// Returns [`NumericError::Invalid`] if any coordinate is out of
     /// bounds or any value is non-finite.
-    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Result<Self> {
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self> {
         for &(r, c, v) in triplets {
             if r >= nrows || c >= ncols {
                 return Err(NumericError::Invalid(format!(
@@ -71,8 +75,11 @@ impl CsrMatrix {
         let mut values = Vec::with_capacity(triplets.len());
         for r in 0..nrows {
             let (lo, hi) = (counts[r], counts[r + 1]);
-            let mut entries: Vec<(usize, f64)> =
-                cols[lo..hi].iter().copied().zip(vals[lo..hi].iter().copied()).collect();
+            let mut entries: Vec<(usize, f64)> = cols[lo..hi]
+                .iter()
+                .copied()
+                .zip(vals[lo..hi].iter().copied())
+                .collect();
             entries.sort_unstable_by_key(|e| e.0);
             let row_start = col_idx.len();
             for (c, v) in entries {
@@ -151,12 +158,12 @@ impl CsrMatrix {
             )));
         }
         let mut y = vec![0.0; self.nrows];
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (j, v) in self.row(i) {
                 acc += v * x[j];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         Ok(y)
     }
@@ -175,8 +182,7 @@ impl CsrMatrix {
             )));
         }
         let mut y = vec![0.0; self.ncols];
-        for i in 0..self.nrows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -219,12 +225,9 @@ mod tests {
 
     #[test]
     fn triplets_sorted_and_deduplicated() {
-        let m = CsrMatrix::from_triplets(
-            2,
-            3,
-            &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0), (1, 1, 5.0)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0), (1, 1, 5.0)])
+                .unwrap();
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.get(0, 2), 4.0);
         assert_eq!(m.get(0, 0), 2.0);

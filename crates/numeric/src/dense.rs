@@ -141,13 +141,13 @@ impl DenseMatrix {
             )));
         }
         let mut y = vec![0.0; self.nrows];
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         Ok(y)
     }
@@ -166,8 +166,7 @@ impl DenseMatrix {
             )));
         }
         let mut y = vec![0.0; self.ncols];
-        for i in 0..self.nrows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }

@@ -126,13 +126,13 @@ mod tests {
         let mut worst = 0.0f64;
         for j in 0..n {
             let mut acc = 0.0;
-            for i in 0..n {
+            for (i, &pi_i) in pi.iter().enumerate().take(n) {
                 let qij = if i == j {
                     -(0..n).filter(|&c| c != i).map(|c| q.get(i, c)).sum::<f64>()
                 } else {
                     q.get(i, j)
                 };
-                acc += pi[i] * qij;
+                acc += pi_i * qij;
             }
             worst = worst.max(acc.abs());
         }
@@ -210,7 +210,9 @@ mod tests {
         let mut q = DenseMatrix::zeros(n, n);
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64)
         };
         for i in 0..n {

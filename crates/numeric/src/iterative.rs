@@ -24,6 +24,17 @@ impl Default for IterativeOptions {
     }
 }
 
+/// Convergence telemetry reported by the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub struct IterationStats {
+    /// Sweeps / matrix-vector products performed.
+    pub iterations: usize,
+    /// Relative `∞`-norm change of the final sweep (the convergence
+    /// residual the tolerance was tested against).
+    pub residual: f64,
+}
+
 impl IterativeOptions {
     fn validate(&self) -> Result<()> {
         if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
@@ -59,6 +70,18 @@ impl IterativeOptions {
 ///   or invalid options.
 /// * [`NumericError::NoConvergence`] — iteration budget exhausted.
 pub fn sor_steady_state(q_t: &CsrMatrix, opts: &IterativeOptions) -> Result<Vec<f64>> {
+    sor_steady_state_with_stats(q_t, opts).map(|(pi, _)| pi)
+}
+
+/// [`sor_steady_state`] plus iteration-count / residual telemetry.
+///
+/// # Errors
+///
+/// See [`sor_steady_state`].
+pub fn sor_steady_state_with_stats(
+    q_t: &CsrMatrix,
+    opts: &IterativeOptions,
+) -> Result<(Vec<f64>, IterationStats)> {
     opts.validate()?;
     let n = q_t.nrows();
     if n == 0 || n != q_t.ncols() {
@@ -71,12 +94,12 @@ pub fn sor_steady_state(q_t: &CsrMatrix, opts: &IterativeOptions) -> Result<Vec<
 
     // Pre-extract diagonals; Gauss–Seidel divides by q_jj.
     let mut diag = vec![0.0f64; n];
-    for j in 0..n {
-        diag[j] = q_t.get(j, j);
-        if diag[j] >= 0.0 {
+    for (j, d) in diag.iter_mut().enumerate() {
+        *d = q_t.get(j, j);
+        if *d >= 0.0 {
             return Err(NumericError::Invalid(format!(
                 "generator diagonal q[{j}][{j}] = {} must be negative",
-                diag[j]
+                *d
             )));
         }
     }
@@ -111,7 +134,13 @@ pub fn sor_steady_state(q_t: &CsrMatrix, opts: &IterativeOptions) -> Result<Vec<
             *p /= total;
         }
         if max_val > 0.0 && max_change / max_val < opts.tolerance {
-            return Ok(pi);
+            return Ok((
+                pi,
+                IterationStats {
+                    iterations: iter + 1,
+                    residual: max_change / max_val,
+                },
+            ));
         }
         if iter + 1 == opts.max_iterations {
             return Err(NumericError::NoConvergence {
@@ -134,6 +163,18 @@ pub fn sor_steady_state(q_t: &CsrMatrix, opts: &IterativeOptions) -> Result<Vec<
 /// * [`NumericError::NoConvergence`] — iteration budget exhausted
 ///   (periodic chains will land here).
 pub fn power_method(p_t: &CsrMatrix, opts: &IterativeOptions) -> Result<Vec<f64>> {
+    power_method_with_stats(p_t, opts).map(|(pi, _)| pi)
+}
+
+/// [`power_method`] plus iteration-count / residual telemetry.
+///
+/// # Errors
+///
+/// See [`power_method`].
+pub fn power_method_with_stats(
+    p_t: &CsrMatrix,
+    opts: &IterativeOptions,
+) -> Result<(Vec<f64>, IterationStats)> {
     opts.validate()?;
     let n = p_t.nrows();
     if n == 0 || n != p_t.ncols() {
@@ -163,7 +204,13 @@ pub fn power_method(p_t: &CsrMatrix, opts: &IterativeOptions) -> Result<Vec<f64>
             .fold(0.0f64, f64::max);
         pi = next;
         if change < opts.tolerance {
-            return Ok(pi);
+            return Ok((
+                pi,
+                IterationStats {
+                    iterations: iter + 1,
+                    residual: change,
+                },
+            ));
         }
         if iter + 1 == opts.max_iterations {
             return Err(NumericError::NoConvergence {

@@ -38,7 +38,10 @@ pub mod special;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use gth::gth_steady_state;
-pub use iterative::{power_method, sor_steady_state, IterativeOptions};
+pub use iterative::{
+    power_method, power_method_with_stats, sor_steady_state, sor_steady_state_with_stats,
+    IterationStats, IterativeOptions,
+};
 pub use poisson::{poisson_weights, PoissonWeights};
 
 /// Error type for the numeric layer.

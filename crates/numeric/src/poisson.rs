@@ -118,7 +118,7 @@ pub fn poisson_weights(lambda: f64, epsilon: f64) -> Result<PoissonWeights> {
         weights[k - left] = w;
     }
     let total: f64 = weights.iter().sum();
-    if !(total > 0.0) {
+    if total.is_nan() || total <= 0.0 {
         return Err(NumericError::Invalid(format!(
             "poisson weights underflowed for lambda = {lambda}"
         )));

@@ -23,7 +23,7 @@ pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f6
             "integration interval [{a}, {b}] must be finite with a <= b"
         )));
     }
-    if !(tol > 0.0) {
+    if tol.is_nan() || tol <= 0.0 {
         return Err(NumericError::Invalid(format!(
             "tolerance must be positive, got {tol}"
         )));
@@ -100,7 +100,7 @@ pub fn integrate_to_infinity<F: Fn(f64) -> f64>(
     tol: f64,
     max_windows: usize,
 ) -> Result<f64> {
-    if !(initial_window > 0.0) || !initial_window.is_finite() {
+    if !initial_window.is_finite() || initial_window <= 0.0 {
         return Err(NumericError::Invalid(format!(
             "initial window must be positive and finite, got {initial_window}"
         )));

@@ -18,19 +18,13 @@ use crate::{NumericError, Result};
 /// let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
 /// assert!((r - 2f64.sqrt()).abs() < 1e-10);
 /// ```
-pub fn brent<F: Fn(f64) -> f64>(
-    f: F,
-    a: f64,
-    b: f64,
-    tol: f64,
-    max_iter: usize,
-) -> Result<f64> {
+pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_iter: usize) -> Result<f64> {
     if !a.is_finite() || !b.is_finite() || a >= b {
         return Err(NumericError::Invalid(format!(
             "bracket [{a}, {b}] must be finite with a < b"
         )));
     }
-    if !(tol > 0.0) {
+    if tol.is_nan() || tol <= 0.0 {
         return Err(NumericError::Invalid(format!(
             "tolerance must be positive, got {tol}"
         )));
@@ -135,18 +129,13 @@ pub fn brent<F: Fn(f64) -> f64>(
 /// assert!((x - 1.5).abs() < 1e-8);
 /// assert!(v < 1e-15);
 /// ```
-pub fn golden_section_min<F: Fn(f64) -> f64>(
-    f: F,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> Result<(f64, f64)> {
+pub fn golden_section_min<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<(f64, f64)> {
     if !a.is_finite() || !b.is_finite() || a >= b {
         return Err(NumericError::Invalid(format!(
             "interval [{a}, {b}] must be finite with a < b"
         )));
     }
-    if !(tol > 0.0) {
+    if tol.is_nan() || tol <= 0.0 {
         return Err(NumericError::Invalid(format!(
             "tolerance must be positive, got {tol}"
         )));
@@ -203,7 +192,8 @@ mod tests {
 
     #[test]
     fn golden_section_quadratic() {
-        let (x, v) = golden_section_min(|x| (x - 3.0f64).powi(2) + 2.0, -10.0, 10.0, 1e-10).unwrap();
+        let (x, v) =
+            golden_section_min(|x| (x - 3.0f64).powi(2) + 2.0, -10.0, 10.0, 1e-10).unwrap();
         assert!((x - 3.0).abs() < 1e-7);
         assert!((v - 2.0).abs() < 1e-12);
     }

@@ -51,10 +51,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 ///
 /// Returns [`NumericError::Invalid`] if `a <= 0` or `x < 0`.
 pub fn reg_lower_gamma(a: f64, x: f64) -> Result<f64> {
-    if !(a > 0.0) || !a.is_finite() {
+    if !a.is_finite() || a <= 0.0 {
         return Err(NumericError::Invalid(format!("shape a = {a} must be > 0")));
     }
-    if !(x >= 0.0) {
+    if x.is_nan() || x < 0.0 {
         return Err(NumericError::Invalid(format!("x = {x} must be >= 0")));
     }
     if x == 0.0 {
@@ -73,10 +73,10 @@ pub fn reg_lower_gamma(a: f64, x: f64) -> Result<f64> {
 ///
 /// Same domain as [`reg_lower_gamma`].
 pub fn reg_upper_gamma(a: f64, x: f64) -> Result<f64> {
-    if !(a > 0.0) || !a.is_finite() {
+    if !a.is_finite() || a <= 0.0 {
         return Err(NumericError::Invalid(format!("shape a = {a} must be > 0")));
     }
-    if !(x >= 0.0) {
+    if x.is_nan() || x < 0.0 {
         return Err(NumericError::Invalid(format!("x = {x} must be >= 0")));
     }
     if x == 0.0 {
@@ -228,7 +228,7 @@ pub fn normal_quantile(p: f64) -> Result<f64> {
 /// Returns [`NumericError::Invalid`] unless `a > 0` and `0 < p < 1`, or
 /// [`NumericError::NoConvergence`] if Newton fails (pathological inputs).
 pub fn gamma_quantile(a: f64, p: f64) -> Result<f64> {
-    if !(a > 0.0) || !a.is_finite() {
+    if !a.is_finite() || a <= 0.0 {
         return Err(NumericError::Invalid(format!("shape a = {a} must be > 0")));
     }
     if !(p > 0.0 && p < 1.0) {

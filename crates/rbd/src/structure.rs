@@ -103,7 +103,9 @@ impl RbdBuilder {
 
     /// Declares `n` components named `prefix-0 .. prefix-(n-1)`.
     pub fn components(&mut self, prefix: &str, n: usize) -> Vec<ComponentId> {
-        (0..n).map(|i| self.component(&format!("{prefix}-{i}"))).collect()
+        (0..n)
+            .map(|i| self.component(&format!("{prefix}-{i}")))
+            .collect()
     }
 
     /// Compiles the diagram into an evaluable [`Rbd`].
@@ -208,6 +210,11 @@ impl Rbd {
         self.bdd.node_count(self.works)
     }
 
+    /// Table sizes and cache counters of the underlying BDD manager.
+    pub fn bdd_stats(&self) -> reliab_bdd::BddStats {
+        self.bdd.stats()
+    }
+
     /// System availability (or any point probability), given each
     /// component's probability of being up.
     ///
@@ -217,7 +224,9 @@ impl Rbd {
     /// probabilities outside `[0, 1]`.
     pub fn availability(&self, component_up: &[f64]) -> Result<f64> {
         self.check_probs(component_up)?;
-        self.bdd.probability(self.works, component_up).map_err(bdd_err)
+        self.bdd
+            .probability(self.works, component_up)
+            .map_err(bdd_err)
     }
 
     /// System reliability at time `t` given each component's lifetime
@@ -296,7 +305,10 @@ impl Rbd {
                 "system unreliability is zero; importance measures are undefined",
             ));
         }
-        let birnbaum = self.bdd.birnbaum(self.works, component_up).map_err(bdd_err)?;
+        let birnbaum = self
+            .bdd
+            .birnbaum(self.works, component_up)
+            .map_err(bdd_err)?;
         let mut out = Vec::with_capacity(self.names.len());
         for (i, name) in self.names.iter().enumerate() {
             let q_i = 1.0 - component_up[i];
@@ -371,10 +383,7 @@ mod tests {
         let a = b.component("a");
         let bb = b.component("b");
         let cc = b.component("c");
-        let diagram = Block::parallel(vec![
-            Block::series_of(&[a, bb]),
-            Block::series_of(&[a, cc]),
-        ]);
+        let diagram = Block::parallel(vec![Block::series_of(&[a, bb]), Block::series_of(&[a, cc])]);
         let rbd = b.build(diagram).unwrap();
         let got = rbd.availability(&[0.5, 0.5, 0.5]).unwrap();
         // P(A)·P(B ∪ C) = 0.5 · 0.75.

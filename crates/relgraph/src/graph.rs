@@ -245,10 +245,22 @@ impl RelGraph {
     ///
     /// Returns [`Error::InvalidParameter`] on bad probability vectors.
     pub fn reliability(&self, edge_up: &[f64]) -> Result<f64> {
+        Ok(self.reliability_with_stats(edge_up)?.0)
+    }
+
+    /// [`RelGraph::reliability`] plus the statistics of the BDD manager
+    /// used for the computation (the manager is per-call here, so the
+    /// counters describe exactly this evaluation).
+    ///
+    /// # Errors
+    ///
+    /// See [`RelGraph::reliability`].
+    pub fn reliability_with_stats(&self, edge_up: &[f64]) -> Result<(f64, reliab_bdd::BddStats)> {
         self.check_probs(edge_up)?;
         let mut bdd = Bdd::new(self.edges.len() as u32);
         let works = self.works_bdd(&mut bdd)?;
-        bdd.probability(works, edge_up).map_err(bdd_err)
+        let p = bdd.probability(works, edge_up).map_err(bdd_err)?;
+        Ok((p, bdd.stats()))
     }
 
     /// Compiles the works-function BDD (OR over path-set ANDs).
@@ -366,11 +378,7 @@ impl RelGraph {
     /// Returns [`Error::Unsupported`] for directed graphs,
     /// [`Error::InvalidParameter`] for an empty/duplicate terminal set
     /// or bad probabilities.
-    pub fn k_terminal_reliability(
-        &self,
-        terminals: &[NodeIdx],
-        edge_up: &[f64],
-    ) -> Result<f64> {
+    pub fn k_terminal_reliability(&self, terminals: &[NodeIdx], edge_up: &[f64]) -> Result<f64> {
         self.check_probs(edge_up)?;
         if self.edges.iter().any(|e| e.directed) {
             return Err(Error::Unsupported(
@@ -734,13 +742,19 @@ mod tests {
         let _ = (a, c);
         let two = g.reliability(&probs).unwrap();
         let k_two = g.k_terminal_reliability(&[s, t], &probs).unwrap();
-        assert!((two - k_two).abs() < 1e-12, "{{s,t}}-terminal == two-terminal");
+        assert!(
+            (two - k_two).abs() < 1e-12,
+            "{{s,t}}-terminal == two-terminal"
+        );
         let all = g.all_terminal_reliability(&probs).unwrap();
         let k_all = g.k_terminal_reliability(&[s, a, c, t], &probs).unwrap();
         assert!((all - k_all).abs() < 1e-12);
         // A 3-terminal measure sits between the two.
         let k3 = g.k_terminal_reliability(&[s, a, t], &probs).unwrap();
-        assert!(all - 1e-12 <= k3 && k3 <= two + 1e-12, "{all} <= {k3} <= {two}");
+        assert!(
+            all - 1e-12 <= k3 && k3 <= two + 1e-12,
+            "{all} <= {k3} <= {two}"
+        );
     }
 
     #[test]
@@ -794,9 +808,7 @@ mod tests {
         let all = [s, a, c, t];
         assert!((g.all_terminal_reliability(&probs).unwrap() - brute(&all)).abs() < 1e-12);
         let three = [s, c, t];
-        assert!(
-            (g.k_terminal_reliability(&three, &probs).unwrap() - brute(&three)).abs() < 1e-12
-        );
+        assert!((g.k_terminal_reliability(&three, &probs).unwrap() - brute(&three)).abs() < 1e-12);
     }
 
     #[test]

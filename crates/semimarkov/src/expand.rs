@@ -103,7 +103,7 @@ fn ph_form_of(d: &dyn Lifetime) -> Result<PhForm> {
             let t = ph.sub_generator();
             let mut internal = Vec::new();
             let mut exit = vec![0.0; m];
-            for i in 0..m {
+            for (i, exit_i) in exit.iter_mut().enumerate() {
                 let mut row_sum = 0.0;
                 for j in 0..m {
                     let v = t.get(i, j);
@@ -112,7 +112,7 @@ fn ph_form_of(d: &dyn Lifetime) -> Result<PhForm> {
                         internal.push((i, j, v));
                     }
                 }
-                exit[i] = (-row_sum).max(0.0);
+                *exit_i = (-row_sum).max(0.0);
             }
             Ok(PhForm {
                 alpha: ph.alpha().to_vec(),
@@ -149,7 +149,12 @@ impl SemiMarkov {
         let phases: Vec<Vec<StateId>> = (0..n)
             .map(|i| {
                 (0..forms[i].alpha.len())
-                    .map(|ph| b.state(&format!("{}#{ph}", self.state_name(SmpStateId::from_index(i)))))
+                    .map(|ph| {
+                        b.state(&format!(
+                            "{}#{ph}",
+                            self.state_name(SmpStateId::from_index(i))
+                        ))
+                    })
                     .collect()
             })
             .collect();
@@ -225,7 +230,12 @@ mod tests {
         assert_eq!(exp.ctmc.num_states(), 3);
         let agg = exp.aggregate(&exp.ctmc.steady_state().unwrap());
         let exact = smp.steady_state().unwrap();
-        assert!((agg[0] - exact[0]).abs() < 1e-10, "{} vs {}", agg[0], exact[0]);
+        assert!(
+            (agg[0] - exact[0]).abs() < 1e-10,
+            "{} vs {}",
+            agg[0],
+            exact[0]
+        );
         assert!((agg[1] - exact[1]).abs() < 1e-10);
     }
 

@@ -78,18 +78,13 @@ pub fn policy_measures(
     ensure_finite_nonneg(costs.failure, "failure cost")?;
     ensure_finite_nonneg(costs.planned, "planned cost")?;
 
-    let uptime = integrate(
-        |t| ttf.survival(t).unwrap_or(f64::NAN),
-        0.0,
-        delta,
-        1e-11,
-    )
-    .map_err(|e| Error::numerical(e.to_string()))?;
+    let uptime = integrate(|t| ttf.survival(t).unwrap_or(f64::NAN), 0.0, delta, 1e-11)
+        .map_err(|e| Error::numerical(e.to_string()))?;
     let f_delta = ttf.cdf(delta)?;
     let r_delta = 1.0 - f_delta;
     let downtime = f_delta * repair_time + r_delta * planned_time;
     let cycle = uptime + downtime;
-    if !(cycle > 0.0) {
+    if cycle.is_nan() || cycle <= 0.0 {
         return Err(Error::numerical(format!(
             "expected cycle length {cycle} is not positive"
         )));
@@ -157,7 +152,13 @@ pub fn optimal_policy_age(
             .unwrap_or(f64::INFINITY)
     };
     let d_opt = grid_then_golden(objective, delta_min, delta_max)?;
-    let m = policy_measures(ttf, repair_time, planned_time, d_opt, &PolicyCosts::default())?;
+    let m = policy_measures(
+        ttf,
+        repair_time,
+        planned_time,
+        d_opt,
+        &PolicyCosts::default(),
+    )?;
     Ok((d_opt, m))
 }
 
@@ -241,7 +242,7 @@ pub fn inspection_measures(
     }
     let mean_up = ttf.mean();
     let cycle = tau * expected_n + inspection_time * expected_n + repair_time;
-    if !(cycle > 0.0) {
+    if cycle.is_nan() || cycle <= 0.0 {
         return Err(Error::numerical(format!(
             "expected cycle length {cycle} is not positive"
         )));
@@ -394,8 +395,7 @@ mod tests {
     #[test]
     fn costly_inspections_yield_interior_optimum() {
         let ttf = Weibull::new(2.0, 1000.0).unwrap();
-        let (tau_opt, m_opt) =
-            optimal_inspection_interval(&ttf, 1.0, 24.0, 1.0, 20_000.0).unwrap();
+        let (tau_opt, m_opt) = optimal_inspection_interval(&ttf, 1.0, 24.0, 1.0, 20_000.0).unwrap();
         assert!(tau_opt > 2.0 && tau_opt < 10_000.0, "tau* = {tau_opt}");
         for &tau in &[2.0, 10_000.0] {
             let m = inspection_measures(&ttf, tau, 1.0, 24.0).unwrap();

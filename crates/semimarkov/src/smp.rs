@@ -177,8 +177,7 @@ impl SemiMarkov {
         for &(f, t, p) in &self.probs {
             q.add_to(f, t, p);
         }
-        reliab_numeric::gth_steady_state(&q)
-            .map_err(|e| Error::numerical(e.to_string()))
+        reliab_numeric::gth_steady_state(&q).map_err(|e| Error::numerical(e.to_string()))
     }
 
     /// Long-run fraction of time in each state:
@@ -260,10 +259,7 @@ impl SemiMarkov {
                 a.add_to(compact[f], compact[t], -p);
             }
         }
-        let h: Vec<f64> = transient
-            .iter()
-            .map(|&s| self.sojourns[s].mean())
-            .collect();
+        let h: Vec<f64> = transient.iter().map(|&s| self.sojourns[s].mean()).collect();
         let x = a.lu_solve(&h).map_err(|e| {
             Error::numerical(format!(
                 "first-passage system is singular (targets unreachable?): {e}"

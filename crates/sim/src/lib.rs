@@ -65,15 +65,14 @@ fn summarize(replications: Vec<f64>, level: f64) -> Result<Estimate> {
         .map(|v| (v - mean) * (v - mean))
         .sum::<f64>()
         / (nf - 1.0);
-    let z = normal_quantile(1.0 - (1.0 - level) / 2.0)
-        .map_err(|e| Error::numerical(e.to_string()))?;
+    let z =
+        normal_quantile(1.0 - (1.0 - level) / 2.0).map_err(|e| Error::numerical(e.to_string()))?;
     let half = z * (var / nf).sqrt();
     Ok(Estimate {
         interval: ConfidenceInterval::new(mean, mean - half, mean + half, level)?,
         replications,
     })
 }
-
 
 /// Decorrelated per-replication RNG: splitmix64 over (seed, index) so
 /// different seeds give disjoint streams even for nearby indices.

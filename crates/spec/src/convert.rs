@@ -1,15 +1,17 @@
 //! Specification → model conversion and solving.
 
+use crate::json::{self, JsonValue};
+use crate::report::{SolveOptions, SolveReport, SolveStats, SteadySolver};
 use crate::schema::*;
 use reliab_core::{downtime_minutes_per_year, Error, Result};
 use reliab_ftree::{FaultTreeBuilder, FtNode};
-use reliab_markov::{CtmcBuilder, StateId};
+use reliab_markov::{CtmcBuilder, IterativeOptions, StateId, SteadyStateMethod, TransientOptions};
 use reliab_rbd::{Block, RbdBuilder};
-use serde::Serialize;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Importance measures of one component/event, serialization-friendly.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImportanceRow {
     /// Component or basic-event name.
     pub name: String,
@@ -21,8 +23,19 @@ pub struct ImportanceRow {
     pub fussell_vesely: f64,
 }
 
+impl ImportanceRow {
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("name", self.name.as_str().into()),
+            ("birnbaum", self.birnbaum.into()),
+            ("criticality", self.criticality.into()),
+            ("fussell_vesely", self.fussell_vesely.into()),
+        ])
+    }
+}
+
 /// Transient state probabilities at one time point.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransientRow {
     /// The time point.
     pub time: f64,
@@ -30,9 +43,40 @@ pub struct TransientRow {
     pub probabilities: Vec<(String, f64)>,
 }
 
+impl TransientRow {
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("time", self.time.into()),
+            ("probabilities", named_pairs(&self.probabilities)),
+        ])
+    }
+}
+
+/// `(name, value)` pairs serialize as two-element arrays, matching the
+/// historical output format.
+fn named_pairs(pairs: &[(String, f64)]) -> JsonValue {
+    JsonValue::Array(
+        pairs
+            .iter()
+            .map(|(name, p)| JsonValue::Array(vec![name.as_str().into(), (*p).into()]))
+            .collect(),
+    )
+}
+
+fn name_lists(lists: &[Vec<String>]) -> JsonValue {
+    JsonValue::Array(lists.iter().map(|l| json::string_array(l)).collect())
+}
+
+fn importance_json(rows: &Option<Vec<ImportanceRow>>) -> JsonValue {
+    match rows {
+        Some(rows) => JsonValue::Array(rows.iter().map(ImportanceRow::to_json).collect()),
+        None => JsonValue::Null,
+    }
+}
+
 /// Everything a specification solve produces, ready for JSON output.
-#[derive(Debug, Clone, Serialize, PartialEq)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SolvedMeasures {
     /// RBD results.
     Rbd {
@@ -82,34 +126,188 @@ pub enum SolvedMeasures {
     },
 }
 
-/// Parses and solves a JSON specification document.
+impl SolvedMeasures {
+    /// The system availability this result carries, if any: the RBD
+    /// availability, or the CTMC steady-state availability over
+    /// `up_states`.
+    #[must_use]
+    pub fn availability(&self) -> Option<f64> {
+        match self {
+            SolvedMeasures::Rbd { availability, .. } => Some(*availability),
+            SolvedMeasures::Ctmc { availability, .. } => *availability,
+            _ => None,
+        }
+    }
+
+    /// The failure probability this result carries, if any: the
+    /// fault-tree top-event probability, or one minus the graph's s-t
+    /// reliability.
+    #[must_use]
+    pub fn unreliability(&self) -> Option<f64> {
+        match self {
+            SolvedMeasures::FaultTree {
+                top_event_probability,
+                ..
+            } => Some(*top_event_probability),
+            SolvedMeasures::RelGraph { reliability, .. } => Some(1.0 - reliability),
+            _ => None,
+        }
+    }
+
+    /// The mean time to failure this result carries (CTMC models with
+    /// an `absorbing` set), if any.
+    #[must_use]
+    pub fn mttf(&self) -> Option<f64> {
+        match self {
+            SolvedMeasures::Ctmc { mttf, .. } => *mttf,
+            _ => None,
+        }
+    }
+
+    /// Serializes to the externally tagged JSON format the CLI emits
+    /// (`{"rbd": {...}}`, `{"ctmc": {...}}`, ...).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            SolvedMeasures::Rbd {
+                availability,
+                downtime_minutes_per_year,
+                importance,
+            } => json::object(vec![(
+                "rbd",
+                json::object(vec![
+                    ("availability", (*availability).into()),
+                    (
+                        "downtime_minutes_per_year",
+                        (*downtime_minutes_per_year).into(),
+                    ),
+                    ("importance", importance_json(importance)),
+                ]),
+            )]),
+            SolvedMeasures::FaultTree {
+                top_event_probability,
+                minimal_cut_sets,
+                importance,
+            } => json::object(vec![(
+                "fault_tree",
+                json::object(vec![
+                    ("top_event_probability", (*top_event_probability).into()),
+                    ("minimal_cut_sets", name_lists(minimal_cut_sets)),
+                    ("importance", importance_json(importance)),
+                ]),
+            )]),
+            SolvedMeasures::RelGraph {
+                reliability,
+                all_terminal_reliability,
+                minimal_path_sets,
+                minimal_cut_sets,
+            } => json::object(vec![(
+                "rel_graph",
+                json::object(vec![
+                    ("reliability", (*reliability).into()),
+                    (
+                        "all_terminal_reliability",
+                        all_terminal_reliability.map_or(JsonValue::Null, JsonValue::Number),
+                    ),
+                    ("minimal_path_sets", name_lists(minimal_path_sets)),
+                    ("minimal_cut_sets", name_lists(minimal_cut_sets)),
+                ]),
+            )]),
+            SolvedMeasures::Ctmc {
+                steady_state,
+                availability,
+                downtime_minutes_per_year,
+                mttf,
+                transient,
+            } => {
+                let opt_num = |x: &Option<f64>| x.map_or(JsonValue::Null, JsonValue::Number);
+                json::object(vec![(
+                    "ctmc",
+                    json::object(vec![
+                        (
+                            "steady_state",
+                            steady_state
+                                .as_ref()
+                                .map_or(JsonValue::Null, |pi| named_pairs(pi)),
+                        ),
+                        ("availability", opt_num(availability)),
+                        (
+                            "downtime_minutes_per_year",
+                            opt_num(downtime_minutes_per_year),
+                        ),
+                        ("mttf", opt_num(mttf)),
+                        (
+                            "transient",
+                            transient.as_ref().map_or(JsonValue::Null, |rows| {
+                                JsonValue::Array(rows.iter().map(TransientRow::to_json).collect())
+                            }),
+                        ),
+                    ]),
+                )])
+            }
+        }
+    }
+}
+
+/// Parses and solves a JSON specification with explicit options,
+/// returning measures plus solver telemetry.
 ///
 /// # Errors
 ///
 /// Returns [`Error::InvalidParameter`] for JSON that does not match
 /// the schema, [`Error::Model`] for semantic problems (unknown names,
 /// duplicate components), and propagates solver errors.
-pub fn solve_str(json: &str) -> Result<SolvedMeasures> {
-    let spec: ModelSpec = serde_json::from_str(json)
-        .map_err(|e| Error::invalid(format!("specification does not match schema: {e}")))?;
-    solve(&spec)
+pub fn solve_str_with(text: &str, opts: &SolveOptions) -> Result<SolveReport> {
+    let spec = ModelSpec::from_json_str(text)?;
+    solve_with(&spec, opts)
+}
+
+/// Solves an already-parsed specification with explicit options,
+/// returning measures plus solver telemetry.
+///
+/// # Errors
+///
+/// See [`solve_str_with`].
+pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> {
+    let start = Instant::now();
+    let (measures, mut stats) = match spec {
+        ModelSpec::Rbd(r) => solve_rbd(r)?,
+        ModelSpec::FaultTree(f) => solve_fault_tree(f)?,
+        ModelSpec::Ctmc(c) => solve_ctmc(c, opts)?,
+        ModelSpec::RelGraph(g) => solve_relgraph(g)?,
+    };
+    stats.wall_time = start.elapsed();
+    Ok(SolveReport { measures, stats })
+}
+
+/// Parses and solves a JSON specification document.
+///
+/// # Errors
+///
+/// See [`solve_str_with`].
+#[deprecated(note = "use `solve_str_with(json, &SolveOptions::default())` and read `.measures`")]
+pub fn solve_str(text: &str) -> Result<SolvedMeasures> {
+    solve_str_with(text, &SolveOptions::default()).map(|r| r.measures)
 }
 
 /// Solves an already-parsed specification.
 ///
 /// # Errors
 ///
-/// See [`solve_str`].
+/// See [`solve_str_with`].
+#[deprecated(note = "use `solve_with(spec, &SolveOptions::default())` and read `.measures`")]
 pub fn solve(spec: &ModelSpec) -> Result<SolvedMeasures> {
-    match spec {
-        ModelSpec::Rbd(r) => solve_rbd(r),
-        ModelSpec::FaultTree(f) => solve_fault_tree(f),
-        ModelSpec::Ctmc(c) => solve_ctmc(c),
-        ModelSpec::RelGraph(g) => solve_relgraph(g),
-    }
+    solve_with(spec, &SolveOptions::default()).map(|r| r.measures)
 }
 
-fn solve_relgraph(spec: &RelGraphSpec) -> Result<SolvedMeasures> {
+fn bdd_stats_into(stats: &mut SolveStats, b: &reliab_bdd::BddStats) {
+    stats.iterations = b.ite_cache_lookups as usize;
+    stats.bdd_nodes = Some(b.arena_nodes);
+    stats.bdd_cache_lookups = Some(b.ite_cache_lookups);
+    stats.bdd_cache_hits = Some(b.ite_cache_hits);
+}
+
+fn solve_relgraph(spec: &RelGraphSpec) -> Result<(SolvedMeasures, SolveStats)> {
     use reliab_relgraph::RelGraphBuilder;
     let mut b = RelGraphBuilder::new();
     let mut node_ids = HashMap::new();
@@ -138,7 +336,9 @@ fn solve_relgraph(spec: &RelGraphSpec) -> Result<SolvedMeasures> {
     let source = node(&spec.source, &node_ids)?;
     let sink = node(&spec.sink, &node_ids)?;
     let g = b.build(source, sink)?;
-    let reliability = g.reliability(&probs)?;
+    let (reliability, bdd) = g.reliability_with_stats(&probs)?;
+    let mut stats = SolveStats::default();
+    bdd_stats_into(&mut stats, &bdd);
     let all_terminal_reliability = if spec.all_terminal {
         Some(g.all_terminal_reliability(&probs)?)
     } else {
@@ -153,15 +353,18 @@ fn solve_relgraph(spec: &RelGraphSpec) -> Result<SolvedMeasures> {
         .into_iter()
         .map(&name_of)
         .collect();
-    Ok(SolvedMeasures::RelGraph {
-        reliability,
-        all_terminal_reliability,
-        minimal_path_sets,
-        minimal_cut_sets,
-    })
+    Ok((
+        SolvedMeasures::RelGraph {
+            reliability,
+            all_terminal_reliability,
+            minimal_path_sets,
+            minimal_cut_sets,
+        },
+        stats,
+    ))
 }
 
-fn solve_rbd(spec: &RbdSpec) -> Result<SolvedMeasures> {
+fn solve_rbd(spec: &RbdSpec) -> Result<(SolvedMeasures, SolveStats)> {
     let mut b = RbdBuilder::new();
     let mut ids = HashMap::new();
     let mut probs = Vec::new();
@@ -188,11 +391,16 @@ fn solve_rbd(spec: &RbdSpec) -> Result<SolvedMeasures> {
         ),
         Err(_) => None, // perfect system: importance undefined
     };
-    Ok(SolvedMeasures::Rbd {
-        availability,
-        downtime_minutes_per_year: downtime_minutes_per_year(availability)?,
-        importance,
-    })
+    let mut stats = SolveStats::default();
+    bdd_stats_into(&mut stats, &rbd.bdd_stats());
+    Ok((
+        SolvedMeasures::Rbd {
+            availability,
+            downtime_minutes_per_year: downtime_minutes_per_year(availability)?,
+            importance,
+        },
+        stats,
+    ))
 }
 
 fn build_structure(
@@ -227,7 +435,7 @@ fn build_structure(
     }
 }
 
-fn solve_fault_tree(spec: &FaultTreeSpec) -> Result<SolvedMeasures> {
+fn solve_fault_tree(spec: &FaultTreeSpec) -> Result<(SolvedMeasures, SolveStats)> {
     let mut b = FaultTreeBuilder::new();
     let mut ids = HashMap::new();
     let mut probs = Vec::new();
@@ -266,27 +474,33 @@ fn solve_fault_tree(spec: &FaultTreeSpec) -> Result<SolvedMeasures> {
         ),
         Err(_) => None,
     };
-    Ok(SolvedMeasures::FaultTree {
-        top_event_probability: q,
-        minimal_cut_sets: named_cuts,
-        importance,
-    })
+    let mut stats = SolveStats::default();
+    bdd_stats_into(&mut stats, &ft.bdd_stats());
+    Ok((
+        SolvedMeasures::FaultTree {
+            top_event_probability: q,
+            minimal_cut_sets: named_cuts,
+            importance,
+        },
+        stats,
+    ))
 }
 
-fn build_gate(
-    g: &GateSpec,
-    ids: &HashMap<String, reliab_ftree::EventId>,
-) -> Result<FtNode> {
+fn build_gate(g: &GateSpec, ids: &HashMap<String, reliab_ftree::EventId>) -> Result<FtNode> {
     match g {
         GateSpec::Event(name) => ids
             .get(name)
             .map(|&e| FtNode::Basic(e))
             .ok_or_else(|| Error::model(format!("unknown event '{name}'"))),
         GateSpec::And { and } => Ok(FtNode::And(
-            and.iter().map(|x| build_gate(x, ids)).collect::<Result<_>>()?,
+            and.iter()
+                .map(|x| build_gate(x, ids))
+                .collect::<Result<_>>()?,
         )),
         GateSpec::Or { or } => Ok(FtNode::Or(
-            or.iter().map(|x| build_gate(x, ids)).collect::<Result<_>>()?,
+            or.iter()
+                .map(|x| build_gate(x, ids))
+                .collect::<Result<_>>()?,
         )),
         GateSpec::KOfN { k_of_n } => Ok(FtNode::KOfN {
             k: k_of_n.k,
@@ -299,7 +513,7 @@ fn build_gate(
     }
 }
 
-fn solve_ctmc(spec: &CtmcSpec) -> Result<SolvedMeasures> {
+fn solve_ctmc(spec: &CtmcSpec, opts: &SolveOptions) -> Result<(SolvedMeasures, SolveStats)> {
     let mut b = CtmcBuilder::new();
     let mut ids: HashMap<String, StateId> = HashMap::new();
     for s in &spec.states {
@@ -325,14 +539,32 @@ fn solve_ctmc(spec: &CtmcSpec) -> Result<SolvedMeasures> {
     };
     let initial = ctmc.point_mass(initial_state);
 
-    let steady = ctmc.steady_state().ok();
-    let steady_named = steady.as_ref().map(|pi| {
+    let iter_opts = IterativeOptions {
+        tolerance: opts.tolerance,
+        max_iterations: opts.max_iterations,
+        relaxation: 1.0,
+    };
+    let method = match opts.steady_solver {
+        SteadySolver::Gth => SteadyStateMethod::Gth,
+        SteadySolver::Sor => SteadyStateMethod::Sor(iter_opts),
+        SteadySolver::Power => SteadyStateMethod::Power(iter_opts),
+        _ => SteadyStateMethod::Auto,
+    };
+    let mut stats = SolveStats::default();
+    let steady = ctmc.steady_state_report(&method).ok();
+    if let Some(report) = &steady {
+        stats.method = Some(report.method);
+        stats.iterations += report.iterations;
+        stats.residual = Some(report.residual);
+    }
+    let steady_pi = steady.map(|r| r.pi);
+    let steady_named = steady_pi.as_ref().map(|pi| {
         spec.states
             .iter()
             .map(|s| (s.clone(), pi[ids[s].index()]))
             .collect::<Vec<_>>()
     });
-    let (availability, downtime) = match (&spec.up_states, &steady) {
+    let (availability, downtime) = match (&spec.up_states, &steady_pi) {
         (Some(up), Some(pi)) => {
             let mut a = 0.0;
             for name in up {
@@ -349,49 +581,61 @@ fn solve_ctmc(spec: &CtmcSpec) -> Result<SolvedMeasures> {
     };
     let mttf = match &spec.absorbing {
         Some(abs) => {
-            let states: Vec<StateId> = abs
-                .iter()
-                .map(|n| lookup(n, &ids))
-                .collect::<Result<_>>()?;
+            let states: Vec<StateId> =
+                abs.iter().map(|n| lookup(n, &ids)).collect::<Result<_>>()?;
             Some(ctmc.mttf(&initial, &states)?)
         }
         None => None,
     };
     let transient = match &spec.at_times {
         Some(times) => {
-            let mut rows = Vec::with_capacity(times.len());
-            for &t in times {
-                let pi = ctmc.transient(&initial, t)?;
-                rows.push(TransientRow {
-                    time: t,
-                    probabilities: spec
-                        .states
-                        .iter()
-                        .map(|s| (s.clone(), pi[ids[s].index()]))
-                        .collect(),
-                });
-            }
-            Some(rows)
+            let reports = ctmc.transient_many_report(
+                &initial,
+                times,
+                &TransientOptions::default(),
+                opts.transient_jobs,
+            )?;
+            stats.iterations += reports.iter().map(|r| r.matvecs).sum::<usize>();
+            Some(
+                times
+                    .iter()
+                    .zip(reports)
+                    .map(|(&t, r)| TransientRow {
+                        time: t,
+                        probabilities: spec
+                            .states
+                            .iter()
+                            .map(|s| (s.clone(), r.distribution[ids[s].index()]))
+                            .collect(),
+                    })
+                    .collect(),
+            )
         }
         None => None,
     };
-    Ok(SolvedMeasures::Ctmc {
-        steady_state: steady_named,
-        availability,
-        downtime_minutes_per_year: downtime,
-        mttf,
-        transient,
-    })
+    Ok((
+        SolvedMeasures::Ctmc {
+            steady_state: steady_named,
+            availability,
+            downtime_minutes_per_year: downtime,
+            mttf,
+            transient,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn run(text: &str) -> Result<SolveReport> {
+        solve_str_with(text, &SolveOptions::default())
+    }
+
     #[test]
     fn rbd_spec_solves() {
-        let out = solve_str(
-            r#"{
+        let out = run(r#"{
               "rbd": {
                 "components": [
                   {"name": "a", "availability": 0.9},
@@ -400,10 +644,11 @@ mod tests {
                 ],
                 "structure": {"series": [{"parallel": ["a", "b"]}, "c"]}
               }
-            }"#,
-        )
+            }"#)
         .unwrap();
-        match out {
+        assert!(out.stats.bdd_nodes.unwrap() > 0);
+        assert!(out.stats.iterations > 0);
+        match out.measures {
             SolvedMeasures::Rbd {
                 availability,
                 importance,
@@ -418,8 +663,7 @@ mod tests {
 
     #[test]
     fn fault_tree_spec_solves() {
-        let out = solve_str(
-            r#"{
+        let out = run(r#"{
               "fault_tree": {
                 "events": [
                   {"name": "p1", "probability": 0.01},
@@ -428,10 +672,10 @@ mod tests {
                 ],
                 "top": {"or": [{"and": ["p1", "p2"]}, "bus"]}
               }
-            }"#,
-        )
+            }"#)
         .unwrap();
-        match out {
+        assert!(out.stats.bdd_cache_lookups.unwrap() > 0);
+        match out.measures {
             SolvedMeasures::FaultTree {
                 top_event_probability,
                 minimal_cut_sets,
@@ -448,8 +692,7 @@ mod tests {
 
     #[test]
     fn ctmc_spec_all_measures() {
-        let out = solve_str(
-            r#"{
+        let out = run(r#"{
               "ctmc": {
                 "states": ["up", "down"],
                 "transitions": [
@@ -460,10 +703,11 @@ mod tests {
                 "absorbing": ["down"],
                 "at_times": [0.1]
               }
-            }"#,
-        )
+            }"#)
         .unwrap();
-        match out {
+        assert_eq!(out.stats.method, Some("gth"));
+        assert!(out.stats.iterations > 0);
+        match out.measures {
             SolvedMeasures::Ctmc {
                 availability,
                 mttf,
@@ -482,9 +726,60 @@ mod tests {
     }
 
     #[test]
+    fn ctmc_methods_agree_and_report_identity() {
+        let text = r#"{
+          "ctmc": {
+            "states": ["up", "down"],
+            "transitions": [
+              {"from": "up", "to": "down", "rate": 1.0},
+              {"from": "down", "to": "up", "rate": 9.0}
+            ],
+            "up_states": ["up"]
+          }
+        }"#;
+        let gth = solve_str_with(
+            text,
+            &SolveOptions::default().with_steady_solver(SteadySolver::Gth),
+        )
+        .unwrap();
+        let sor = solve_str_with(
+            text,
+            &SolveOptions::default().with_steady_solver(SteadySolver::Sor),
+        )
+        .unwrap();
+        let power = solve_str_with(
+            text,
+            &SolveOptions::default().with_steady_solver(SteadySolver::Power),
+        )
+        .unwrap();
+        assert_eq!(gth.stats.method, Some("gth"));
+        assert_eq!(sor.stats.method, Some("sor"));
+        assert_eq!(power.stats.method, Some("power"));
+        let a = gth.measures.availability().unwrap();
+        assert!((sor.measures.availability().unwrap() - a).abs() < 1e-9);
+        assert!((power.measures.availability().unwrap() - a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_jobs_do_not_change_results() {
+        let text = r#"{
+          "ctmc": {
+            "states": ["up", "down"],
+            "transitions": [
+              {"from": "up", "to": "down", "rate": 0.3},
+              {"from": "down", "to": "up", "rate": 2.0}
+            ],
+            "at_times": [0.1, 1.0, 10.0, 100.0]
+          }
+        }"#;
+        let seq = run(text).unwrap();
+        let par = solve_str_with(text, &SolveOptions::default().with_transient_jobs(4)).unwrap();
+        assert_eq!(seq.measures, par.measures);
+    }
+
+    #[test]
     fn relgraph_spec_solves_bridge() {
-        let out = solve_str(
-            r#"{
+        let out = run(r#"{
               "rel_graph": {
                 "nodes": ["s", "a", "c", "t"],
                 "edges": [
@@ -498,10 +793,10 @@ mod tests {
                 "sink": "t",
                 "all_terminal": true
               }
-            }"#,
-        )
+            }"#)
         .unwrap();
-        match out {
+        assert!(out.stats.bdd_nodes.unwrap() > 0);
+        match out.measures {
             SolvedMeasures::RelGraph {
                 reliability,
                 all_terminal_reliability,
@@ -523,33 +818,28 @@ mod tests {
     #[test]
     fn semantic_errors_are_reported() {
         // Unknown component reference.
-        assert!(solve_str(
+        assert!(run(
             r#"{"rbd": {"components": [{"name": "a", "availability": 0.9}],
                  "structure": "nope"}}"#
         )
         .is_err());
         // Duplicate names.
-        assert!(solve_str(
-            r#"{"rbd": {"components": [
+        assert!(run(r#"{"rbd": {"components": [
                  {"name": "a", "availability": 0.9},
                  {"name": "a", "availability": 0.8}],
-                 "structure": "a"}}"#
-        )
+                 "structure": "a"}}"#)
         .is_err());
         // Bad JSON.
-        assert!(solve_str("{").is_err());
+        assert!(run("{").is_err());
         // Unknown state in transitions.
-        assert!(solve_str(
-            r#"{"ctmc": {"states": ["up"],
-                 "transitions": [{"from": "up", "to": "ghost", "rate": 1.0}]}}"#
-        )
+        assert!(run(r#"{"ctmc": {"states": ["up"],
+                 "transitions": [{"from": "up", "to": "ghost", "rate": 1.0}]}}"#)
         .is_err());
     }
 
     #[test]
     fn k_of_n_structure_in_rbd_spec() {
-        let out = solve_str(
-            r#"{
+        let out = run(r#"{
               "rbd": {
                 "components": [
                   {"name": "a", "availability": 0.9},
@@ -558,10 +848,9 @@ mod tests {
                 ],
                 "structure": {"k_of_n": {"k": 2, "of": ["a", "b", "c"]}}
               }
-            }"#,
-        )
+            }"#)
         .unwrap();
-        match out {
+        match out.measures {
             SolvedMeasures::Rbd { availability, .. } => {
                 let p: f64 = 0.9;
                 let expected = 3.0 * p * p * (1.0 - p) + p * p * p;
@@ -573,8 +862,7 @@ mod tests {
 
     #[test]
     fn ctmc_without_optional_measures() {
-        let out = solve_str(
-            r#"{
+        let out = run(r#"{
               "ctmc": {
                 "states": ["a", "b"],
                 "transitions": [
@@ -582,10 +870,9 @@ mod tests {
                   {"from": "b", "to": "a", "rate": 1.0}
                 ]
               }
-            }"#,
-        )
+            }"#)
         .unwrap();
-        match out {
+        match out.measures {
             SolvedMeasures::Ctmc {
                 steady_state,
                 availability,
@@ -605,17 +892,16 @@ mod tests {
 
     #[test]
     fn absorbing_ctmc_spec_has_no_steady_state_but_mttf_works() {
-        let out = solve_str(
-            r#"{
+        let out = run(r#"{
               "ctmc": {
                 "states": ["up", "dead"],
                 "transitions": [{"from": "up", "to": "dead", "rate": 0.5}],
                 "absorbing": ["dead"]
               }
-            }"#,
-        )
+            }"#)
         .unwrap();
-        match out {
+        assert!(out.stats.method.is_none());
+        match out.measures {
             SolvedMeasures::Ctmc {
                 steady_state, mttf, ..
             } => {
@@ -627,14 +913,54 @@ mod tests {
     }
 
     #[test]
+    fn accessors_pick_the_right_measure() {
+        let rbd = run(
+            r#"{"rbd": {"components": [{"name": "a", "availability": 0.5}],
+                 "structure": "a"}}"#,
+        )
+        .unwrap();
+        assert_eq!(rbd.measures.availability(), Some(0.5));
+        assert_eq!(rbd.measures.unreliability(), None);
+        assert_eq!(rbd.measures.mttf(), None);
+
+        let ft = run(
+            r#"{"fault_tree": {"events": [{"name": "e", "probability": 0.25}],
+                 "top": "e"}}"#,
+        )
+        .unwrap();
+        assert_eq!(ft.measures.unreliability(), Some(0.25));
+        assert_eq!(ft.measures.availability(), None);
+
+        let ctmc = run(r#"{"ctmc": {"states": ["up", "dead"],
+                 "transitions": [{"from": "up", "to": "dead", "rate": 0.5}],
+                 "absorbing": ["dead"]}}"#)
+        .unwrap();
+        assert_eq!(ctmc.measures.mttf(), Some(2.0));
+    }
+
+    #[test]
     fn result_serializes_to_json() {
+        let out = run(
+            r#"{"rbd": {"components": [{"name": "a", "availability": 0.5}],
+                 "structure": "a"}}"#,
+        )
+        .unwrap();
+        let text = out.to_json().to_json_pretty();
+        assert!(text.contains("availability"));
+        assert!(text.contains("downtime_minutes_per_year"));
+        assert!(text.contains("wall_time_ms"));
+        // Output is valid JSON.
+        assert!(crate::json::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #[allow(deprecated)]
         let out = solve_str(
             r#"{"rbd": {"components": [{"name": "a", "availability": 0.5}],
                  "structure": "a"}}"#,
         )
         .unwrap();
-        let json = serde_json::to_string_pretty(&out).unwrap();
-        assert!(json.contains("availability"));
-        assert!(json.contains("downtime_minutes_per_year"));
+        assert_eq!(out.availability(), Some(0.5));
     }
 }

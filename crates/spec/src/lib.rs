@@ -1,13 +1,19 @@
 //! # reliab-spec
 //!
 //! Declarative model specifications: the workspace's answer to
-//! SHARPE's input language. Models (RBDs, fault trees, CTMCs) are
-//! written as JSON documents, validated, solved, and reported —
-//! enabling version-controlled model files and the `reliab-cli`
-//! batch solver without writing Rust.
+//! SHARPE's input language. Models (RBDs, fault trees, CTMCs,
+//! reliability graphs) are written as JSON documents, validated,
+//! solved, and reported — enabling version-controlled model files and
+//! the `reliab-cli` batch solver without writing Rust.
+//!
+//! The primary entry point is [`solve_with`] (or [`solve_str_with`]
+//! straight from JSON text): it takes a [`SolveOptions`] and returns a
+//! [`SolveReport`] carrying both the solved measures and solver
+//! telemetry — wall time, iteration counts, convergence residuals, and
+//! BDD table sizes.
 //!
 //! ```
-//! use reliab_spec::{solve_str, SolvedMeasures};
+//! use reliab_spec::{solve_str_with, SolveOptions, SolvedMeasures};
 //!
 //! # fn main() -> Result<(), reliab_core::Error> {
 //! let spec = r#"{
@@ -20,14 +26,25 @@
 //!     "structure": {"series": [{"parallel": ["pump-a", "pump-b"]}, "valve"]}
 //!   }
 //! }"#;
-//! let solved = solve_str(spec)?;
-//! match solved {
-//!     SolvedMeasures::Rbd { availability, .. } => assert!(availability > 0.998),
+//! let report = solve_str_with(spec, &SolveOptions::default())?;
+//! assert!(report.measures.availability().unwrap() > 0.998);
+//! assert!(report.stats.iterations > 0);
+//! match &report.measures {
+//!     SolvedMeasures::Rbd { availability, .. } => assert!(*availability > 0.998),
 //!     _ => unreachable!(),
 //! }
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! [`SolveOptions`] selects the CTMC steady-state method
+//! ([`SteadySolver::Gth`] vs. [`SteadySolver::Power`] vs.
+//! [`SteadySolver::Sor`]), tolerances, iteration budgets, and the
+//! number of threads used for transient time sweeps; its `Default`
+//! reproduces the historical un-parameterized behavior exactly. For
+//! solving many documents at once on a thread pool, see the
+//! `reliab-engine` crate, which wraps this API in a batch front end
+//! with memoization.
 //!
 //! The JSON grammar (one top-level key selects the model class):
 //!
@@ -66,10 +83,15 @@
 #![deny(unsafe_code)]
 
 mod convert;
+pub mod json;
+mod report;
 mod schema;
 
-pub use convert::{solve, solve_str, ImportanceRow, SolvedMeasures, TransientRow};
+#[allow(deprecated)]
+pub use convert::{solve, solve_str};
+pub use convert::{solve_str_with, solve_with, ImportanceRow, SolvedMeasures, TransientRow};
+pub use report::{SolveOptions, SolveReport, SolveStats, SteadySolver};
 pub use schema::{
-    CtmcSpec, EdgeSpec, EventSpec, FaultTreeSpec, GateSpec, KOfNGateSpec, KOfNSpec,
-    ModelSpec, RbdComponentSpec, RbdSpec, RelGraphSpec, StructureSpec, TransitionSpec,
+    CtmcSpec, EdgeSpec, EventSpec, FaultTreeSpec, GateSpec, KOfNGateSpec, KOfNSpec, ModelSpec,
+    RbdComponentSpec, RbdSpec, RelGraphSpec, StructureSpec, TransitionSpec,
 };

@@ -1,0 +1,211 @@
+//! Solve options and instrumented solve reports — the configuration
+//! and telemetry halves of the `solve_with` API.
+
+use crate::convert::SolvedMeasures;
+use crate::json::{self, JsonValue};
+use std::time::Duration;
+
+/// Tuning knobs for a specification solve.
+///
+/// `SolveOptions::default()` reproduces the historical behavior of the
+/// un-parameterized `solve` exactly: automatic steady-state method
+/// selection, `1e-12` tolerance, a 20 000-sweep budget, and sequential
+/// transient evaluation.
+///
+/// The struct is `#[non_exhaustive]`; construct it with
+/// [`SolveOptions::default`] and adjust fields directly or through the
+/// `with_*` builders:
+///
+/// ```
+/// use reliab_spec::{SolveOptions, SteadySolver};
+///
+/// let opts = SolveOptions::default()
+///     .with_steady_solver(SteadySolver::Power)
+///     .with_tolerance(1e-10);
+/// assert_eq!(opts.tolerance, 1e-10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SolveOptions {
+    /// Convergence tolerance for iterative steady-state methods
+    /// (SOR, power iteration).
+    pub tolerance: f64,
+    /// Sweep budget for iterative steady-state methods.
+    pub max_iterations: usize,
+    /// Steady-state method for CTMC models.
+    pub steady_solver: SteadySolver,
+    /// Threads for evaluating CTMC transient time points (`at_times`):
+    /// `1` is sequential, `0` means one thread per available CPU.
+    /// Results are bitwise identical at any setting.
+    pub transient_jobs: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tolerance: 1e-12,
+            max_iterations: 20_000,
+            steady_solver: SteadySolver::Auto,
+            transient_jobs: 1,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Sets the convergence tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Selects the CTMC steady-state method.
+    #[must_use]
+    pub fn with_steady_solver(mut self, solver: SteadySolver) -> Self {
+        self.steady_solver = solver;
+        self
+    }
+
+    /// Sets the transient-sweep thread count.
+    #[must_use]
+    pub fn with_transient_jobs(mut self, jobs: usize) -> Self {
+        self.transient_jobs = jobs;
+        self
+    }
+}
+
+/// CTMC steady-state method selection, mirroring
+/// `reliab_markov::SteadyStateMethod` but carrying no numeric options
+/// (those come from [`SolveOptions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SteadySolver {
+    /// GTH for small chains, SOR for large ones (the historical
+    /// behavior). Iterative tolerances under `Auto` are the library
+    /// defaults, not the [`SolveOptions`] values.
+    #[default]
+    Auto,
+    /// Dense Grassmann–Taksar–Heyman elimination.
+    Gth,
+    /// Gauss–Seidel sweeps on the sparse generator.
+    Sor,
+    /// Power iteration on the uniformized DTMC.
+    Power,
+}
+
+/// Telemetry recorded while solving one specification.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct SolveStats {
+    /// Wall-clock time of the whole solve (parse excluded).
+    pub wall_time: Duration,
+    /// Solver work performed: sweeps plus matrix–vector products for
+    /// Markov models, ITE operations for BDD-based combinatorial
+    /// models.
+    pub iterations: usize,
+    /// Final convergence residual of the steady-state solve, when an
+    /// iterative method ran (GTH is direct and reports `Some(0.0)`).
+    pub residual: Option<f64>,
+    /// The steady-state method that actually ran (`"gth"`, `"sor"`,
+    /// `"power"`), for CTMC models.
+    pub method: Option<&'static str>,
+    /// BDD arena size after the solve, for BDD-based models.
+    pub bdd_nodes: Option<usize>,
+    /// ITE computed-cache lookups, for BDD-based models.
+    pub bdd_cache_lookups: Option<u64>,
+    /// ITE computed-cache hits, for BDD-based models.
+    pub bdd_cache_hits: Option<u64>,
+}
+
+impl SolveStats {
+    /// Serializes to the JSON stats object emitted by the CLI.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let opt_num = |x: Option<f64>| x.map_or(JsonValue::Null, JsonValue::Number);
+        json::object(vec![
+            (
+                "wall_time_ms",
+                JsonValue::Number(self.wall_time.as_secs_f64() * 1e3),
+            ),
+            ("iterations", JsonValue::Number(self.iterations as f64)),
+            ("residual", opt_num(self.residual)),
+            (
+                "method",
+                self.method.map_or(JsonValue::Null, JsonValue::from),
+            ),
+            ("bdd_nodes", opt_num(self.bdd_nodes.map(|n| n as f64))),
+            (
+                "bdd_cache_lookups",
+                opt_num(self.bdd_cache_lookups.map(|n| n as f64)),
+            ),
+            (
+                "bdd_cache_hits",
+                opt_num(self.bdd_cache_hits.map(|n| n as f64)),
+            ),
+        ])
+    }
+}
+
+/// The result of solving one specification: the measures plus the
+/// telemetry gathered while producing them.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SolveReport {
+    /// The solved measures.
+    pub measures: SolvedMeasures,
+    /// Solver telemetry.
+    pub stats: SolveStats,
+}
+
+impl SolveReport {
+    /// Serializes as `{"measures": ..., "stats": ...}`.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("measures", self.measures.to_json()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_match_historical_solver_settings() {
+        let opts = SolveOptions::default();
+        assert_eq!(opts.tolerance, 1e-12);
+        assert_eq!(opts.max_iterations, 20_000);
+        assert_eq!(opts.steady_solver, SteadySolver::Auto);
+        assert_eq!(opts.transient_jobs, 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let opts = SolveOptions::default()
+            .with_tolerance(1e-8)
+            .with_max_iterations(99)
+            .with_steady_solver(SteadySolver::Gth)
+            .with_transient_jobs(0);
+        assert_eq!(opts.tolerance, 1e-8);
+        assert_eq!(opts.max_iterations, 99);
+        assert_eq!(opts.steady_solver, SteadySolver::Gth);
+        assert_eq!(opts.transient_jobs, 0);
+    }
+
+    #[test]
+    fn stats_serialize_with_nulls_for_absent_fields() {
+        let stats = SolveStats::default();
+        let text = stats.to_json().to_json();
+        assert!(text.contains("\"residual\":null"));
+        assert!(text.contains("\"iterations\":0"));
+    }
+}

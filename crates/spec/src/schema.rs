@@ -1,10 +1,17 @@
-//! Serde data model for specification documents.
+//! Data model for specification documents, with hand-rolled JSON
+//! binding (see [`crate::json`] for why no serde).
+//!
+//! Parsing is strict: unknown object keys are rejected everywhere, and
+//! structure/gate nodes accept either a bare string (a leaf reference)
+//! or a single-key object selecting the combinator — the same grammar
+//! the original serde data model (externally tagged top level, untagged
+//! recursive nodes, `deny_unknown_fields`) accepted.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, JsonValue};
+use reliab_core::{Error, Result};
 
 /// A top-level model document: exactly one model class.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields, rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ModelSpec {
     /// A reliability block diagram.
     Rbd(RbdSpec),
@@ -17,8 +24,7 @@ pub enum ModelSpec {
 }
 
 /// Reliability-graph specification.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RelGraphSpec {
     /// Node names.
     pub nodes: Vec<String>,
@@ -29,13 +35,11 @@ pub struct RelGraphSpec {
     /// Sink terminal.
     pub sink: String,
     /// Also compute all-terminal reliability (undirected graphs only).
-    #[serde(default)]
     pub all_terminal: bool,
 }
 
 /// One graph edge (a failure-prone component).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeSpec {
     /// Edge name.
     pub name: String,
@@ -46,13 +50,11 @@ pub struct EdgeSpec {
     /// Probability the edge works.
     pub reliability: f64,
     /// Directed edge (default: undirected).
-    #[serde(default)]
     pub directed: bool,
 }
 
 /// RBD specification.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RbdSpec {
     /// Component declarations.
     pub components: Vec<RbdComponentSpec>,
@@ -61,8 +63,7 @@ pub struct RbdSpec {
 }
 
 /// One RBD component.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RbdComponentSpec {
     /// Component name (referenced from the structure).
     pub name: String,
@@ -72,8 +73,7 @@ pub struct RbdComponentSpec {
 }
 
 /// Recursive RBD structure.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(untagged, deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StructureSpec {
     /// Reference to a component by name.
     Component(String),
@@ -95,8 +95,7 @@ pub enum StructureSpec {
 }
 
 /// Payload of a k-of-n group.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KOfNSpec {
     /// Members required to work (RBD) / fail (fault tree).
     pub k: usize,
@@ -105,8 +104,7 @@ pub struct KOfNSpec {
 }
 
 /// Fault-tree specification.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultTreeSpec {
     /// Basic-event declarations.
     pub events: Vec<EventSpec>,
@@ -114,13 +112,11 @@ pub struct FaultTreeSpec {
     pub top: GateSpec,
     /// Cap on intermediate cut sets during enumeration (default
     /// 100 000; the BDD probability itself has no such cap).
-    #[serde(default)]
     pub max_cut_sets: Option<usize>,
 }
 
 /// One basic event.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventSpec {
     /// Event name.
     pub name: String,
@@ -129,8 +125,7 @@ pub struct EventSpec {
 }
 
 /// Recursive gate structure.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(untagged, deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GateSpec {
     /// Reference to a basic event.
     Event(String),
@@ -152,8 +147,7 @@ pub enum GateSpec {
 }
 
 /// Payload of a voting gate.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KOfNGateSpec {
     /// Failures required to trip the gate.
     pub k: usize,
@@ -162,8 +156,7 @@ pub struct KOfNGateSpec {
 }
 
 /// CTMC specification.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CtmcSpec {
     /// State names.
     pub states: Vec<String>,
@@ -171,22 +164,17 @@ pub struct CtmcSpec {
     pub transitions: Vec<TransitionSpec>,
     /// Initial state (for MTTF / transient measures). Defaults to the
     /// first state.
-    #[serde(default)]
     pub initial: Option<String>,
     /// Operational states (availability is their steady-state mass).
-    #[serde(default)]
     pub up_states: Option<Vec<String>>,
     /// Failure states for MTTF.
-    #[serde(default)]
     pub absorbing: Option<Vec<String>>,
     /// Time points for transient state probabilities.
-    #[serde(default)]
     pub at_times: Option<Vec<f64>>,
 }
 
 /// One CTMC transition.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransitionSpec {
     /// Source state name.
     pub from: String,
@@ -194,6 +182,554 @@ pub struct TransitionSpec {
     pub to: String,
     /// Transition rate (per time unit).
     pub rate: f64,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+
+fn schema_err(msg: impl std::fmt::Display) -> Error {
+    Error::invalid(format!("specification does not match schema: {msg}"))
+}
+
+fn as_obj<'a>(v: &'a JsonValue, what: &str) -> Result<&'a [(String, JsonValue)]> {
+    v.as_object()
+        .ok_or_else(|| schema_err(format!("{what} must be an object")))
+}
+
+fn check_keys(entries: &[(String, JsonValue)], allowed: &[&str], what: &str) -> Result<()> {
+    for (k, _) in entries {
+        if !allowed.contains(&k.as_str()) {
+            return Err(schema_err(format!("unknown field '{k}' in {what}")));
+        }
+    }
+    Ok(())
+}
+
+fn req<'a>(v: &'a JsonValue, key: &str, what: &str) -> Result<&'a JsonValue> {
+    v.get(key)
+        .ok_or_else(|| schema_err(format!("{what} is missing required field '{key}'")))
+}
+
+fn str_field(v: &JsonValue, key: &str, what: &str) -> Result<String> {
+    req(v, key, what)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| schema_err(format!("field '{key}' of {what} must be a string")))
+}
+
+fn f64_field(v: &JsonValue, key: &str, what: &str) -> Result<f64> {
+    req(v, key, what)?
+        .as_f64()
+        .ok_or_else(|| schema_err(format!("field '{key}' of {what} must be a number")))
+}
+
+fn string_list(v: &JsonValue, what: &str) -> Result<Vec<String>> {
+    v.as_array()
+        .ok_or_else(|| schema_err(format!("{what} must be an array")))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| schema_err(format!("{what} entries must be strings")))
+        })
+        .collect()
+}
+
+impl ModelSpec {
+    /// Parses a specification from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for malformed JSON or a
+    /// document that does not match the schema.
+    pub fn from_json_str(text: &str) -> Result<ModelSpec> {
+        let v = json::parse(text).map_err(schema_err)?;
+        ModelSpec::from_json(&v)
+    }
+
+    /// Parses a specification from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelSpec::from_json_str`].
+    pub fn from_json(v: &JsonValue) -> Result<ModelSpec> {
+        let entries = as_obj(v, "model document")?;
+        if entries.len() != 1 {
+            return Err(schema_err(
+                "model document must have exactly one top-level key \
+                 (one of 'rbd', 'fault_tree', 'ctmc', 'rel_graph')",
+            ));
+        }
+        let (key, payload) = &entries[0];
+        match key.as_str() {
+            "rbd" => Ok(ModelSpec::Rbd(RbdSpec::from_json(payload)?)),
+            "fault_tree" => Ok(ModelSpec::FaultTree(FaultTreeSpec::from_json(payload)?)),
+            "ctmc" => Ok(ModelSpec::Ctmc(CtmcSpec::from_json(payload)?)),
+            "rel_graph" => Ok(ModelSpec::RelGraph(RelGraphSpec::from_json(payload)?)),
+            other => Err(schema_err(format!("unknown model class '{other}'"))),
+        }
+    }
+
+    /// Serializes back to the JSON data model (the inverse of
+    /// [`ModelSpec::from_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            ModelSpec::Rbd(r) => json::object(vec![("rbd", r.to_json())]),
+            ModelSpec::FaultTree(f) => json::object(vec![("fault_tree", f.to_json())]),
+            ModelSpec::Ctmc(c) => json::object(vec![("ctmc", c.to_json())]),
+            ModelSpec::RelGraph(g) => json::object(vec![("rel_graph", g.to_json())]),
+        }
+    }
+
+    /// Deterministic single-line serialization. Two structurally equal
+    /// specs produce equal strings, making this usable as a cache key
+    /// (the batch engine's memo map is keyed on it).
+    #[must_use]
+    pub fn canonical_string(&self) -> String {
+        self.to_json().to_json()
+    }
+}
+
+impl RbdSpec {
+    fn from_json(v: &JsonValue) -> Result<RbdSpec> {
+        check_keys(as_obj(v, "rbd")?, &["components", "structure"], "rbd")?;
+        let components = req(v, "components", "rbd")?
+            .as_array()
+            .ok_or_else(|| schema_err("rbd 'components' must be an array"))?
+            .iter()
+            .map(RbdComponentSpec::from_json)
+            .collect::<Result<_>>()?;
+        let structure = StructureSpec::from_json(req(v, "structure", "rbd")?)?;
+        Ok(RbdSpec {
+            components,
+            structure,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            (
+                "components",
+                JsonValue::Array(
+                    self.components
+                        .iter()
+                        .map(RbdComponentSpec::to_json)
+                        .collect(),
+                ),
+            ),
+            ("structure", self.structure.to_json()),
+        ])
+    }
+}
+
+impl RbdComponentSpec {
+    fn from_json(v: &JsonValue) -> Result<RbdComponentSpec> {
+        check_keys(
+            as_obj(v, "component")?,
+            &["name", "availability"],
+            "component",
+        )?;
+        Ok(RbdComponentSpec {
+            name: str_field(v, "name", "component")?,
+            availability: f64_field(v, "availability", "component")?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("name", self.name.as_str().into()),
+            ("availability", self.availability.into()),
+        ])
+    }
+}
+
+impl StructureSpec {
+    fn from_json(v: &JsonValue) -> Result<StructureSpec> {
+        if let Some(name) = v.as_str() {
+            return Ok(StructureSpec::Component(name.to_owned()));
+        }
+        let entries = v
+            .as_object()
+            .ok_or_else(|| schema_err("structure must be a name or a combinator object"))?;
+        if entries.len() != 1 {
+            return Err(schema_err(
+                "structure object must have exactly one key ('series', 'parallel', or 'k_of_n')",
+            ));
+        }
+        let (key, payload) = &entries[0];
+        let members = |p: &JsonValue, what: &str| -> Result<Vec<StructureSpec>> {
+            p.as_array()
+                .ok_or_else(|| schema_err(format!("'{what}' must be an array")))?
+                .iter()
+                .map(StructureSpec::from_json)
+                .collect()
+        };
+        match key.as_str() {
+            "series" => Ok(StructureSpec::Series {
+                series: members(payload, "series")?,
+            }),
+            "parallel" => Ok(StructureSpec::Parallel {
+                parallel: members(payload, "parallel")?,
+            }),
+            "k_of_n" => {
+                check_keys(as_obj(payload, "k_of_n")?, &["k", "of"], "k_of_n")?;
+                let k = req(payload, "k", "k_of_n")?
+                    .as_usize()
+                    .ok_or_else(|| schema_err("'k' must be a non-negative integer"))?;
+                Ok(StructureSpec::KOfN {
+                    k_of_n: KOfNSpec {
+                        k,
+                        of: members(req(payload, "of", "k_of_n")?, "of")?,
+                    },
+                })
+            }
+            other => Err(schema_err(format!(
+                "unknown structure combinator '{other}'"
+            ))),
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        match self {
+            StructureSpec::Component(name) => name.as_str().into(),
+            StructureSpec::Series { series } => json::object(vec![(
+                "series",
+                JsonValue::Array(series.iter().map(StructureSpec::to_json).collect()),
+            )]),
+            StructureSpec::Parallel { parallel } => json::object(vec![(
+                "parallel",
+                JsonValue::Array(parallel.iter().map(StructureSpec::to_json).collect()),
+            )]),
+            StructureSpec::KOfN { k_of_n } => json::object(vec![(
+                "k_of_n",
+                json::object(vec![
+                    ("k", JsonValue::Number(k_of_n.k as f64)),
+                    (
+                        "of",
+                        JsonValue::Array(k_of_n.of.iter().map(StructureSpec::to_json).collect()),
+                    ),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FaultTreeSpec {
+    fn from_json(v: &JsonValue) -> Result<FaultTreeSpec> {
+        check_keys(
+            as_obj(v, "fault_tree")?,
+            &["events", "top", "max_cut_sets"],
+            "fault_tree",
+        )?;
+        let events = req(v, "events", "fault_tree")?
+            .as_array()
+            .ok_or_else(|| schema_err("fault_tree 'events' must be an array"))?
+            .iter()
+            .map(EventSpec::from_json)
+            .collect::<Result<_>>()?;
+        let top = GateSpec::from_json(req(v, "top", "fault_tree")?)?;
+        let max_cut_sets = match v.get("max_cut_sets") {
+            None | Some(JsonValue::Null) => None,
+            Some(m) => Some(
+                m.as_usize()
+                    .ok_or_else(|| schema_err("'max_cut_sets' must be a non-negative integer"))?,
+            ),
+        };
+        Ok(FaultTreeSpec {
+            events,
+            top,
+            max_cut_sets,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![
+            (
+                "events",
+                JsonValue::Array(self.events.iter().map(EventSpec::to_json).collect()),
+            ),
+            ("top", self.top.to_json()),
+        ];
+        if let Some(m) = self.max_cut_sets {
+            entries.push(("max_cut_sets", JsonValue::Number(m as f64)));
+        }
+        json::object(entries)
+    }
+}
+
+impl EventSpec {
+    fn from_json(v: &JsonValue) -> Result<EventSpec> {
+        check_keys(as_obj(v, "event")?, &["name", "probability"], "event")?;
+        Ok(EventSpec {
+            name: str_field(v, "name", "event")?,
+            probability: f64_field(v, "probability", "event")?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("name", self.name.as_str().into()),
+            ("probability", self.probability.into()),
+        ])
+    }
+}
+
+impl GateSpec {
+    fn from_json(v: &JsonValue) -> Result<GateSpec> {
+        if let Some(name) = v.as_str() {
+            return Ok(GateSpec::Event(name.to_owned()));
+        }
+        let entries = v
+            .as_object()
+            .ok_or_else(|| schema_err("gate must be an event name or a gate object"))?;
+        if entries.len() != 1 {
+            return Err(schema_err(
+                "gate object must have exactly one key ('and', 'or', or 'k_of_n')",
+            ));
+        }
+        let (key, payload) = &entries[0];
+        let inputs = |p: &JsonValue, what: &str| -> Result<Vec<GateSpec>> {
+            p.as_array()
+                .ok_or_else(|| schema_err(format!("'{what}' must be an array")))?
+                .iter()
+                .map(GateSpec::from_json)
+                .collect()
+        };
+        match key.as_str() {
+            "and" => Ok(GateSpec::And {
+                and: inputs(payload, "and")?,
+            }),
+            "or" => Ok(GateSpec::Or {
+                or: inputs(payload, "or")?,
+            }),
+            "k_of_n" => {
+                check_keys(as_obj(payload, "k_of_n")?, &["k", "of"], "k_of_n")?;
+                let k = req(payload, "k", "k_of_n")?
+                    .as_usize()
+                    .ok_or_else(|| schema_err("'k' must be a non-negative integer"))?;
+                Ok(GateSpec::KOfN {
+                    k_of_n: KOfNGateSpec {
+                        k,
+                        of: inputs(req(payload, "of", "k_of_n")?, "of")?,
+                    },
+                })
+            }
+            other => Err(schema_err(format!("unknown gate type '{other}'"))),
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        match self {
+            GateSpec::Event(name) => name.as_str().into(),
+            GateSpec::And { and } => json::object(vec![(
+                "and",
+                JsonValue::Array(and.iter().map(GateSpec::to_json).collect()),
+            )]),
+            GateSpec::Or { or } => json::object(vec![(
+                "or",
+                JsonValue::Array(or.iter().map(GateSpec::to_json).collect()),
+            )]),
+            GateSpec::KOfN { k_of_n } => json::object(vec![(
+                "k_of_n",
+                json::object(vec![
+                    ("k", JsonValue::Number(k_of_n.k as f64)),
+                    (
+                        "of",
+                        JsonValue::Array(k_of_n.of.iter().map(GateSpec::to_json).collect()),
+                    ),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl CtmcSpec {
+    fn from_json(v: &JsonValue) -> Result<CtmcSpec> {
+        check_keys(
+            as_obj(v, "ctmc")?,
+            &[
+                "states",
+                "transitions",
+                "initial",
+                "up_states",
+                "absorbing",
+                "at_times",
+            ],
+            "ctmc",
+        )?;
+        let states = string_list(req(v, "states", "ctmc")?, "ctmc 'states'")?;
+        let transitions = req(v, "transitions", "ctmc")?
+            .as_array()
+            .ok_or_else(|| schema_err("ctmc 'transitions' must be an array"))?
+            .iter()
+            .map(TransitionSpec::from_json)
+            .collect::<Result<_>>()?;
+        let initial = match v.get("initial") {
+            None | Some(JsonValue::Null) => None,
+            Some(i) => Some(
+                i.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| schema_err("'initial' must be a state name"))?,
+            ),
+        };
+        let optional_names = |key: &str| -> Result<Option<Vec<String>>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(list) => Ok(Some(string_list(list, key)?)),
+            }
+        };
+        let at_times = match v.get("at_times") {
+            None | Some(JsonValue::Null) => None,
+            Some(list) => Some(
+                list.as_array()
+                    .ok_or_else(|| schema_err("'at_times' must be an array"))?
+                    .iter()
+                    .map(|t| {
+                        t.as_f64()
+                            .ok_or_else(|| schema_err("'at_times' entries must be numbers"))
+                    })
+                    .collect::<Result<Vec<f64>>>()?,
+            ),
+        };
+        Ok(CtmcSpec {
+            states,
+            transitions,
+            initial,
+            up_states: optional_names("up_states")?,
+            absorbing: optional_names("absorbing")?,
+            at_times,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![
+            ("states", json::string_array(&self.states)),
+            (
+                "transitions",
+                JsonValue::Array(
+                    self.transitions
+                        .iter()
+                        .map(TransitionSpec::to_json)
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(i) = &self.initial {
+            entries.push(("initial", i.as_str().into()));
+        }
+        if let Some(up) = &self.up_states {
+            entries.push(("up_states", json::string_array(up)));
+        }
+        if let Some(a) = &self.absorbing {
+            entries.push(("absorbing", json::string_array(a)));
+        }
+        if let Some(times) = &self.at_times {
+            entries.push((
+                "at_times",
+                JsonValue::Array(times.iter().map(|&t| t.into()).collect()),
+            ));
+        }
+        json::object(entries)
+    }
+}
+
+impl TransitionSpec {
+    fn from_json(v: &JsonValue) -> Result<TransitionSpec> {
+        check_keys(
+            as_obj(v, "transition")?,
+            &["from", "to", "rate"],
+            "transition",
+        )?;
+        Ok(TransitionSpec {
+            from: str_field(v, "from", "transition")?,
+            to: str_field(v, "to", "transition")?,
+            rate: f64_field(v, "rate", "transition")?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("from", self.from.as_str().into()),
+            ("to", self.to.as_str().into()),
+            ("rate", self.rate.into()),
+        ])
+    }
+}
+
+impl RelGraphSpec {
+    fn from_json(v: &JsonValue) -> Result<RelGraphSpec> {
+        check_keys(
+            as_obj(v, "rel_graph")?,
+            &["nodes", "edges", "source", "sink", "all_terminal"],
+            "rel_graph",
+        )?;
+        let edges = req(v, "edges", "rel_graph")?
+            .as_array()
+            .ok_or_else(|| schema_err("rel_graph 'edges' must be an array"))?
+            .iter()
+            .map(EdgeSpec::from_json)
+            .collect::<Result<_>>()?;
+        let all_terminal = match v.get("all_terminal") {
+            None | Some(JsonValue::Null) => false,
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| schema_err("'all_terminal' must be a boolean"))?,
+        };
+        Ok(RelGraphSpec {
+            nodes: string_list(req(v, "nodes", "rel_graph")?, "rel_graph 'nodes'")?,
+            edges,
+            source: str_field(v, "source", "rel_graph")?,
+            sink: str_field(v, "sink", "rel_graph")?,
+            all_terminal,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("nodes", json::string_array(&self.nodes)),
+            (
+                "edges",
+                JsonValue::Array(self.edges.iter().map(EdgeSpec::to_json).collect()),
+            ),
+            ("source", self.source.as_str().into()),
+            ("sink", self.sink.as_str().into()),
+            ("all_terminal", self.all_terminal.into()),
+        ])
+    }
+}
+
+impl EdgeSpec {
+    fn from_json(v: &JsonValue) -> Result<EdgeSpec> {
+        check_keys(
+            as_obj(v, "edge")?,
+            &["name", "from", "to", "reliability", "directed"],
+            "edge",
+        )?;
+        let directed = match v.get("directed") {
+            None | Some(JsonValue::Null) => false,
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| schema_err("'directed' must be a boolean"))?,
+        };
+        Ok(EdgeSpec {
+            name: str_field(v, "name", "edge")?,
+            from: str_field(v, "from", "edge")?,
+            to: str_field(v, "to", "edge")?,
+            reliability: f64_field(v, "reliability", "edge")?,
+            directed,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("name", self.name.as_str().into()),
+            ("from", self.from.as_str().into()),
+            ("to", self.to.as_str().into()),
+            ("reliability", self.reliability.into()),
+            ("directed", self.directed.into()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -208,9 +744,9 @@ mod tests {
             "structure": {"series": ["a", {"parallel": ["a", "a"]}]}
           }
         }"#;
-        let spec: ModelSpec = serde_json::from_str(json).unwrap();
-        let back = serde_json::to_string(&spec).unwrap();
-        let again: ModelSpec = serde_json::from_str(&back).unwrap();
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let back = spec.to_json().to_json();
+        let again = ModelSpec::from_json_str(&back).unwrap();
         assert_eq!(spec, again);
     }
 
@@ -222,8 +758,10 @@ mod tests {
             "top": {"k_of_n": {"k": 2, "of": ["e", "e", "e"]}}
           }
         }"#;
-        let spec: ModelSpec = serde_json::from_str(json).unwrap();
+        let spec = ModelSpec::from_json_str(json).unwrap();
         assert!(matches!(spec, ModelSpec::FaultTree(_)));
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
     }
 
     #[test]
@@ -237,13 +775,30 @@ mod tests {
             ]
           }
         }"#;
-        let spec: ModelSpec = serde_json::from_str(json).unwrap();
+        let spec = ModelSpec::from_json_str(json).unwrap();
         if let ModelSpec::Ctmc(c) = spec {
             assert!(c.initial.is_none());
             assert!(c.up_states.is_none());
         } else {
             panic!("expected CTMC");
         }
+    }
+
+    #[test]
+    fn ctmc_full_round_trip() {
+        let json = r#"{
+          "ctmc": {
+            "states": ["up", "down"],
+            "transitions": [{"from": "up", "to": "down", "rate": 0.5}],
+            "initial": "up",
+            "up_states": ["up"],
+            "absorbing": ["down"],
+            "at_times": [1.0, 10.0]
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
     }
 
     #[test]
@@ -254,6 +809,54 @@ mod tests {
             "structure": "a"
           }
         }"#;
-        assert!(serde_json::from_str::<ModelSpec>(json).is_err());
+        assert!(ModelSpec::from_json_str(json).is_err());
+        assert!(ModelSpec::from_json_str(
+            r#"{"ctmc": {"states": [], "transitions": [], "bogus": 1}}"#
+        )
+        .is_err());
+        assert!(ModelSpec::from_json_str(r#"{"spn": {}}"#).is_err());
+        assert!(ModelSpec::from_json_str(r#"{"rbd": {}, "ctmc": {}}"#).is_err());
+    }
+
+    #[test]
+    fn canonical_string_is_stable() {
+        let a = ModelSpec::from_json_str(
+            r#"{"rbd": {"components": [{"name": "a", "availability": 0.9}],
+                 "structure": "a"}}"#,
+        )
+        .unwrap();
+        let b = ModelSpec::from_json_str(
+            r#"{
+              "rbd": {
+                "components": [{ "availability": 0.9, "name": "a" }],
+                "structure": "a"
+              }
+            }"#,
+        )
+        .unwrap();
+        // Formatting and object key order in the source are irrelevant.
+        assert_eq!(a.canonical_string(), b.canonical_string());
+    }
+
+    #[test]
+    fn rel_graph_round_trip() {
+        let json = r#"{
+          "rel_graph": {
+            "nodes": ["s", "t"],
+            "edges": [{"name": "e", "from": "s", "to": "t",
+                       "reliability": 0.99, "directed": true}],
+            "source": "s",
+            "sink": "t"
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+        if let ModelSpec::RelGraph(g) = &spec {
+            assert!(!g.all_terminal);
+            assert!(g.edges[0].directed);
+        } else {
+            panic!("expected rel_graph");
+        }
     }
 }

@@ -37,6 +37,9 @@ impl TransitionId {
     }
 }
 
+/// A guard predicate evaluated against the current marking.
+pub(crate) type MarkingGuard = Arc<dyn Fn(&Marking) -> bool + Send + Sync>;
+
 /// Rate of a timed transition: constant or a function of the marking.
 pub(crate) enum RateSpec {
     Constant(f64),
@@ -54,10 +57,7 @@ impl fmt::Debug for RateSpec {
 
 pub(crate) enum Timing {
     Timed(RateSpec),
-    Immediate {
-        weight: f64,
-        priority: u32,
-    },
+    Immediate { weight: f64, priority: u32 },
 }
 
 impl fmt::Debug for Timing {
@@ -78,7 +78,7 @@ pub(crate) struct Transition {
     pub inputs: Vec<(usize, u32)>,
     pub outputs: Vec<(usize, u32)>,
     pub inhibitors: Vec<(usize, u32)>,
-    pub guard: Option<Arc<dyn Fn(&Marking) -> bool + Send + Sync>>,
+    pub guard: Option<MarkingGuard>,
 }
 
 impl fmt::Debug for Transition {

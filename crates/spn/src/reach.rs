@@ -50,27 +50,26 @@ impl Spn {
         // CTMC transitions between tangible markings.
         let mut arcs: Vec<(usize, usize, f64)> = Vec::new();
 
-        let intern =
-            |m: Marking,
-             markings: &mut Vec<Marking>,
-             index: &mut HashMap<Marking, usize>,
-             queue: &mut Vec<usize>|
-             -> Result<usize> {
-                if let Some(&i) = index.get(&m) {
-                    return Ok(i);
-                }
-                if markings.len() >= opts.max_markings {
-                    return Err(Error::model(format!(
-                        "reachability exceeded {} tangible markings",
-                        opts.max_markings
-                    )));
-                }
-                let i = markings.len();
-                index.insert(m.clone(), i);
-                markings.push(m);
-                queue.push(i);
-                Ok(i)
-            };
+        let intern = |m: Marking,
+                      markings: &mut Vec<Marking>,
+                      index: &mut HashMap<Marking, usize>,
+                      queue: &mut Vec<usize>|
+         -> Result<usize> {
+            if let Some(&i) = index.get(&m) {
+                return Ok(i);
+            }
+            if markings.len() >= opts.max_markings {
+                return Err(Error::model(format!(
+                    "reachability exceeded {} tangible markings",
+                    opts.max_markings
+                )));
+            }
+            let i = markings.len();
+            index.insert(m.clone(), i);
+            markings.push(m);
+            queue.push(i);
+            Ok(i)
+        };
 
         // Resolve the initial marking (it may be vanishing).
         let init_dist = self.resolve_vanishing(self.initial.clone(), opts)?;
@@ -355,9 +354,10 @@ mod tests {
         let expected = (1..=k).map(|i| rho.powi(i as i32)).sum::<f64>() / norm;
         assert!((p_busy - expected).abs() < 1e-12);
         // Expected tokens:
-        let en = solved.expected_tokens(crate::PlaceId::index_test(0)).unwrap();
-        let expected_n =
-            (0..=k).map(|i| i as f64 * rho.powi(i as i32)).sum::<f64>() / norm;
+        let en = solved
+            .expected_tokens(crate::PlaceId::index_test(0))
+            .unwrap();
+        let expected_n = (0..=k).map(|i| i as f64 * rho.powi(i as i32)).sum::<f64>() / norm;
         assert!((en - expected_n).abs() < 1e-12);
     }
 
@@ -401,8 +401,12 @@ mod tests {
         let solved = spn.solve().unwrap();
         // No tangible marking retains an inbox token.
         assert!(solved.markings().iter().all(|m| m[0] == 0));
-        let tl = solved.throughput(crate::TransitionId::index_test(3)).unwrap();
-        let tr = solved.throughput(crate::TransitionId::index_test(4)).unwrap();
+        let tl = solved
+            .throughput(crate::TransitionId::index_test(3))
+            .unwrap();
+        let tr = solved
+            .throughput(crate::TransitionId::index_test(4))
+            .unwrap();
         assert!(
             (tl / (tl + tr) - 0.3).abs() < 1e-9,
             "left share = {}",

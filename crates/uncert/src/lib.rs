@@ -40,6 +40,14 @@ use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use reliab_core::{ConfidenceInterval, Error, Result};
 use reliab_dist::{Gamma, Lifetime};
+use std::sync::Mutex;
+
+/// Locks a mutex, recovering the data from a poisoned lock (a worker
+/// that panicked mid-push only leaves a shorter vector behind, which
+/// the sample-count check below catches).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// How parameter vectors are drawn in [`propagate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -166,8 +174,7 @@ where
         SamplingScheme::LatinHypercube => {
             let mut perms = Vec::with_capacity(params.len());
             for j in 0..params.len() {
-                let mut rng =
-                    SmallRng::seed_from_u64(opts.seed ^ 0xA5A5_5A5A ^ (j as u64) << 32);
+                let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xA5A5_5A5A ^ (j as u64) << 32);
                 let mut p: Vec<u32> = (0..opts.samples as u32).collect();
                 // Fisher–Yates.
                 for i in (1..p.len()).rev() {
@@ -180,21 +187,20 @@ where
         }
     };
 
-    let results: parking_lot::Mutex<Vec<(usize, f64)>> =
-        parking_lot::Mutex::new(Vec::with_capacity(opts.samples));
-    let first_error: parking_lot::Mutex<Option<Error>> = parking_lot::Mutex::new(None);
+    let results: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::with_capacity(opts.samples));
+    let first_error: Mutex<Option<Error>> = Mutex::new(None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for worker in 0..threads {
             let results = &results;
             let first_error = &first_error;
             let model = &model;
             let lhs_perms = &lhs_perms;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut point = vec![0.0f64; params.len()];
                 let mut local = Vec::new();
                 let fail = |e: Error| {
-                    let mut guard = first_error.lock();
+                    let mut guard = lock(first_error);
                     if guard.is_none() {
                         *guard = Some(e);
                     }
@@ -211,13 +217,10 @@ where
                             }
                         }
                         Some(perms) => {
-                            for (j, (slot, d)) in
-                                point.iter_mut().zip(params.iter()).enumerate()
-                            {
-                                let u01 = ((rng.next_u64() >> 11) as f64)
-                                    * (1.0 / (1u64 << 53) as f64);
-                                let u = ((f64::from(perms[j][k]) + u01)
-                                    / opts.samples as f64)
+                            for (j, (slot, d)) in point.iter_mut().zip(params.iter()).enumerate() {
+                                let u01 =
+                                    ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                                let u = ((f64::from(perms[j][k]) + u01) / opts.samples as f64)
                                     .clamp(1e-12, 1.0 - 1e-12);
                                 match d.quantile(u) {
                                     Ok(v) => *slot = v,
@@ -238,16 +241,20 @@ where
                     }
                     k += threads;
                 }
-                results.lock().extend(local);
+                lock(results).extend(local);
             });
         }
-    })
-    .map_err(|_| Error::numerical("uncertainty propagation worker panicked"))?;
+    });
 
-    if let Some(e) = first_error.into_inner() {
+    if let Some(e) = first_error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         return Err(e);
     }
-    let mut pairs = results.into_inner();
+    let mut pairs = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if pairs.len() != opts.samples {
         return Err(Error::numerical(format!(
             "expected {} samples, collected {}",

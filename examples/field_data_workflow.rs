@@ -33,8 +33,16 @@ fn main() -> Result<(), Error> {
 
     let ttf = Empirical::from_samples(&ttf_obs)?;
     let ttr = Empirical::from_samples(&ttr_obs)?;
-    println!("observed TTF: mean {:.1} h, cv² {:.3}", ttf.mean(), ttf.sample_cv2());
-    println!("observed TTR: mean {:.2} h, cv² {:.3}", ttr.mean(), ttr.sample_cv2());
+    println!(
+        "observed TTF: mean {:.1} h, cv² {:.3}",
+        ttf.mean(),
+        ttf.sample_cv2()
+    );
+    println!(
+        "observed TTR: mean {:.2} h, cv² {:.3}",
+        ttr.mean(),
+        ttr.sample_cv2()
+    );
 
     // --- 2. Fit tractable laws matching two moments -------------------
     let ttf_fit = ttf.fit()?;
@@ -45,7 +53,11 @@ fn main() -> Result<(), Error> {
         reliab::dist::TwoMomentFit::ErlangMixture(_) => "Erlang mixture (PH)",
         reliab::dist::TwoMomentFit::HyperExponential(_) => "hyperexponential",
     };
-    println!("fitted: TTF -> {}, TTR -> {}", label(&ttf_fit), label(&ttr_fit));
+    println!(
+        "fitted: TTF -> {}, TTR -> {}",
+        label(&ttf_fit),
+        label(&ttr_fit)
+    );
     let analytic_availability = ttf.mean() / (ttf.mean() + ttr.mean());
 
     // --- 3. Semi-Markov model on the fitted laws ----------------------

@@ -11,11 +11,23 @@ fn main() -> Result<(), Error> {
     let p = ClusterParams::default();
     let r = cluster_availability(&p)?;
     println!("two-node HA cluster (node MTTF 4000 h, repair 4 h, coverage 0.95, failover 30 s)");
-    println!("  availability: {:.8} ({:.2} min/yr)", r.availability, r.downtime_min_per_year);
+    println!(
+        "  availability: {:.8} ({:.2} min/yr)",
+        r.availability, r.downtime_min_per_year
+    );
     println!("  downtime decomposition:");
-    println!("    failover switching : {:>5.1}%", 100.0 * r.downtime_share_failover);
-    println!("    uncovered failures : {:>5.1}%", 100.0 * r.downtime_share_uncovered);
-    println!("    double failures    : {:>5.1}%", 100.0 * r.downtime_share_double);
+    println!(
+        "    failover switching : {:>5.1}%",
+        100.0 * r.downtime_share_failover
+    );
+    println!(
+        "    uncovered failures : {:>5.1}%",
+        100.0 * r.downtime_share_uncovered
+    );
+    println!(
+        "    double failures    : {:>5.1}%",
+        100.0 * r.downtime_share_double
+    );
 
     // What is each knob worth? Elasticities of availability.
     println!("\nelasticity of availability (x/A · dA/dx):");
@@ -23,11 +35,7 @@ fn main() -> Result<(), Error> {
         (
             "coverage",
             Box::new(|x: f64| {
-                Ok(cluster_availability(&ClusterParams {
-                    coverage: x,
-                    ..p
-                })?
-                .availability)
+                Ok(cluster_availability(&ClusterParams { coverage: x, ..p })?.availability)
             }) as Box<dyn Fn(f64) -> Result<f64, Error>>,
         ),
         (
@@ -42,9 +50,9 @@ fn main() -> Result<(), Error> {
         ),
         (
             "repair rate mu",
-            Box::new(|x: f64| {
-                Ok(cluster_availability(&ClusterParams { mu: x, ..p })?.availability)
-            }),
+            Box::new(
+                |x: f64| Ok(cluster_availability(&ClusterParams { mu: x, ..p })?.availability),
+            ),
         ),
     ] {
         let x0 = match name {
@@ -63,8 +71,7 @@ fn main() -> Result<(), Error> {
     println!("\nP(service down at t):");
     for &t in &[1.0, 10.0, 100.0, 1000.0, 10_000.0] {
         let pi = ctmc.transient(&init, t)?;
-        let down =
-            pi[st.failover.index()] + pi[st.uncovered.index()] + pi[st.down.index()];
+        let down = pi[st.failover.index()] + pi[st.uncovered.index()] + pi[st.down.index()];
         println!("  t = {t:>7.0} h: {down:.3e}");
     }
     Ok(())

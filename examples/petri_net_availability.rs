@@ -47,8 +47,7 @@ fn main() -> Result<(), Error> {
     }
 
     // Service needs at least one unit up.
-    let availability =
-        solved.steady_state_expected_reward(|m| if m[0] > 0 { 1.0 } else { 0.0 })?;
+    let availability = solved.steady_state_expected_reward(|m| if m[0] > 0 { 1.0 } else { 0.0 })?;
     println!("  availability (>=1 up): {availability:.9}");
     println!(
         "  downtime: {:.3} min/yr",
@@ -58,10 +57,7 @@ fn main() -> Result<(), Error> {
         "  repair-crew utilization: {:.4}",
         solved.steady_state_expected_reward(|m| f64::from(m[2]))?
     );
-    println!(
-        "  failure throughput: {:.6} /h",
-        solved.throughput(fail)?
-    );
+    println!("  failure throughput: {:.6} /h", solved.throughput(fail)?);
     println!(
         "  mean time until both units down: {:.1} h",
         solved.mean_time_to(|m| m[0] == 0)?

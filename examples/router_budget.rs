@@ -13,7 +13,10 @@ fn main() -> Result<(), Error> {
     let report = router_availability(&params)?;
 
     println!("downtime budget (minutes/year)");
-    println!("  {:<18} {:>12} {:>14}", "subsystem", "availability", "downtime");
+    println!(
+        "  {:<18} {:>12} {:>14}",
+        "subsystem", "availability", "downtime"
+    );
     for row in &report.subsystems {
         println!(
             "  {:<18} {:>12.7} {:>14.3}",

@@ -62,6 +62,7 @@ pub use reliab_markov as markov;
 pub use reliab_semimarkov as semimarkov;
 pub use reliab_spn as spn;
 
+pub use reliab_engine as engine;
 pub use reliab_models as models;
 pub use reliab_sim as sim;
 pub use reliab_spec as spec;

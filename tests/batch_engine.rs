@@ -1,0 +1,108 @@
+//! Batch-engine acceptance tests: solving the shipped `specs/*.json`
+//! files through the parallel engine must be indistinguishable from
+//! sequential solving, and every report must carry sane telemetry.
+
+use reliab::engine::BatchEngine;
+use reliab::spec::{ModelSpec, SolveReport, SolvedMeasures};
+
+const SPEC_FILES: [&str; 4] = [
+    "bridge_network.json",
+    "database_node.json",
+    "multiprocessor.json",
+    "two_component.json",
+];
+
+fn spec_texts() -> Vec<String> {
+    SPEC_FILES
+        .iter()
+        .map(|name| {
+            let path = format!("{}/specs/{name}", env!("CARGO_MANIFEST_DIR"));
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        })
+        .collect()
+}
+
+fn reports(jobs: usize) -> Vec<SolveReport> {
+    BatchEngine::new()
+        .with_jobs(jobs)
+        .solve_texts(&spec_texts())
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("{} failed: {e}", SPEC_FILES[i])))
+        .collect()
+}
+
+#[test]
+fn parallel_batch_is_bitwise_identical_to_sequential() {
+    let sequential = reports(1);
+    for jobs in [2, 4, 0] {
+        let parallel = reports(jobs);
+        for (name, (s, p)) in SPEC_FILES.iter().zip(sequential.iter().zip(&parallel)) {
+            // Measures carry every solved number (availabilities,
+            // distributions, cut sets); PartialEq on f64 fields makes
+            // this a bitwise comparison.
+            assert_eq!(s.measures, p.measures, "{name} differs at jobs={jobs}");
+        }
+    }
+}
+
+#[test]
+fn batch_of_32_specs_solves_and_keeps_order() {
+    let texts = spec_texts();
+    let batch: Vec<&String> = texts.iter().cycle().take(32).collect();
+    let engine = BatchEngine::new().with_jobs(4);
+    let results = engine.solve_texts(&batch);
+    assert_eq!(results.len(), 32);
+    let baseline = reports(1);
+    for (i, r) in results.iter().enumerate() {
+        let expected = &baseline[i % SPEC_FILES.len()].measures;
+        assert_eq!(&r.as_ref().unwrap().measures, expected, "slot {i}");
+    }
+    // 32 inputs, 4 distinct models: the memo cache absorbs the repeats.
+    // Concurrent workers may each solve a spec once before the first
+    // result lands in the cache, so the split is bounded, not exact:
+    // at most jobs solves per distinct model.
+    let stats = engine.last_stats();
+    assert_eq!(stats.solved + stats.memo_hits, 32);
+    assert!(stats.solved >= 4 && stats.solved <= 16, "{stats:?}");
+    assert_eq!(stats.errors, 0);
+
+    // Sequentially the split is exact.
+    let engine = BatchEngine::new().with_jobs(1);
+    engine.solve_texts(&batch);
+    let stats = engine.last_stats();
+    assert_eq!(stats.solved, 4);
+    assert_eq!(stats.memo_hits, 28);
+}
+
+#[test]
+fn reports_carry_sane_stats() {
+    for (name, report) in SPEC_FILES.iter().zip(reports(1)) {
+        let stats = &report.stats;
+        assert!(stats.iterations > 0, "{name}: no solver work recorded");
+        match &report.measures {
+            SolvedMeasures::Rbd { .. }
+            | SolvedMeasures::FaultTree { .. }
+            | SolvedMeasures::RelGraph { .. } => {
+                assert!(stats.bdd_nodes.unwrap() > 0, "{name}: empty BDD");
+                assert!(stats.bdd_cache_lookups.unwrap() > 0, "{name}");
+            }
+            SolvedMeasures::Ctmc { .. } => {
+                assert!(stats.method.is_some(), "{name}: no steady method ran");
+                assert!(stats.residual.is_some(), "{name}");
+                assert!(stats.bdd_nodes.is_none(), "{name}: CTMC has no BDD");
+            }
+            other => panic!("unexpected measures for {name}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn parsed_specs_round_trip_through_canonical_form() {
+    for (name, text) in SPEC_FILES.iter().zip(spec_texts()) {
+        let spec = ModelSpec::from_json_str(&text)
+            .unwrap_or_else(|e| panic!("{name} failed to parse: {e}"));
+        let again = ModelSpec::from_json_str(&spec.canonical_string()).unwrap();
+        assert_eq!(spec, again, "{name}");
+    }
+}

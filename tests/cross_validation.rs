@@ -99,15 +99,15 @@ fn spn_reduces_to_same_ctmc() {
     let solved = spn.solve().unwrap();
     assert_eq!(solved.num_markings(), k + 1);
 
-    for n in 0..=k {
+    for (n, &pi_n) in pi.iter().enumerate().take(k + 1) {
         let p_spn = solved
             .steady_state_expected_reward(|m| if m[0] as usize == n { 1.0 } else { 0.0 })
             .unwrap();
-        assert!((p_spn - pi[n]).abs() < 1e-12, "state {n}");
+        assert!((p_spn - pi_n).abs() < 1e-12, "state {n}");
         // Closed form for M/M/1/K.
         let rho: f64 = lambda / mu;
         let norm: f64 = (0..=k).map(|i| rho.powi(i as i32)).sum();
-        assert!((pi[n] - rho.powi(n as i32) / norm).abs() < 1e-12);
+        assert!((pi_n - rho.powi(n as i32) / norm).abs() < 1e-12);
     }
 }
 
@@ -242,8 +242,12 @@ fn uniformization_matches_matrix_exponential() {
 fn empirical_fit_simulation_pipeline() {
     use reliab::dist::Empirical;
     // Synthetic "field data": deterministic grid with mean 20, cv² < 1.
-    let ttf_data: Vec<f64> = (0..400).map(|i| 10.0 + 20.0 * (i as f64 + 0.5) / 400.0).collect();
-    let ttr_data: Vec<f64> = (0..400).map(|i| 0.5 + 1.0 * (i as f64 + 0.5) / 400.0).collect();
+    let ttf_data: Vec<f64> = (0..400)
+        .map(|i| 10.0 + 20.0 * (i as f64 + 0.5) / 400.0)
+        .collect();
+    let ttr_data: Vec<f64> = (0..400)
+        .map(|i| 0.5 + 1.0 * (i as f64 + 0.5) / 400.0)
+        .collect();
     let ttf_emp = Empirical::from_samples(&ttf_data).unwrap();
     let ttr_emp = Empirical::from_samples(&ttr_data).unwrap();
     let expected = ttf_emp.mean() / (ttf_emp.mean() + ttr_emp.mean());

@@ -138,8 +138,7 @@ fn e8_blocking_vanishes_as_buffer_grows() -> Result<()> {
         b.input_arc(serve, q, 1);
         let spn = b.build()?;
         let solved = spn.solve()?;
-        let p_full =
-            solved.steady_state_expected_reward(|m| if m[0] == k { 1.0 } else { 0.0 })?;
+        let p_full = solved.steady_state_expected_reward(|m| if m[0] == k { 1.0 } else { 0.0 })?;
         assert!(p_full < last_block);
         last_block = p_full;
         // Offered load 1.5 < capacity 2: throughput approaches 1.5.
@@ -225,7 +224,9 @@ fn e13_pm_helps_only_under_wear_out() -> Result<()> {
     };
     let opt_avail = |shape: f64| -> Result<f64> {
         let ttf = Weibull::new(shape, 1000.0)?;
-        Ok(optimal_policy_age(&ttf, 48.0, 4.0, 10.0, 50_000.0)?.1.availability)
+        Ok(optimal_policy_age(&ttf, 48.0, 4.0, 10.0, 50_000.0)?
+            .1
+            .availability)
     };
     // Memoryless: optimum is "never", no gain.
     assert!((opt_avail(1.0)? - no_pm_avail(1.0)?).abs() < 1e-6);

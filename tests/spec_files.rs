@@ -2,13 +2,15 @@
 //! and produce sensible results — they are the first thing a new user
 //! runs.
 
-use reliab::spec::{solve_str, SolvedMeasures};
+use reliab::spec::{solve_str_with, SolveOptions, SolvedMeasures};
 
 fn solve_file(name: &str) -> SolvedMeasures {
     let path = format!("{}/specs/{name}", env!("CARGO_MANIFEST_DIR"));
-    let contents = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    solve_str(&contents).unwrap_or_else(|e| panic!("{name} failed to solve: {e}"))
+    let contents =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    solve_str_with(&contents, &SolveOptions::default())
+        .unwrap_or_else(|e| panic!("{name} failed to solve: {e}"))
+        .measures
 }
 
 #[test]

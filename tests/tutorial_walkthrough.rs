@@ -50,8 +50,8 @@ fn stage1_independence_makes_rbd_exact() -> Result<()> {
 fn stage2_dependence_breaks_the_product_form() -> Result<()> {
     let a = unit_availability();
     let rbd_answer = 1.0 - (1.0 - a) * (1.0 - a);
-    let truth = two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?
-        .parallel_availability;
+    let truth =
+        two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?.parallel_availability;
     assert!(
         rbd_answer > truth + 1e-9,
         "the product form must overestimate: {rbd_answer} vs {truth}"
@@ -70,22 +70,16 @@ fn stage3_hierarchy_combines_both_worlds() -> Result<()> {
     // System: two dependent pairs (each with a shared crew) in series.
     // Monolithic truth: the pairs are mutually independent, so the
     // exact answer is the product of pair availabilities.
-    let pair = two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?
-        .parallel_availability;
+    let pair =
+        two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?.parallel_availability;
     let truth = pair * pair;
 
     let mut g = ModelGraph::new();
     let pair_a = g.source("pair-a", || {
-        Ok(
-            two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?
-                .parallel_availability,
-        )
+        Ok(two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?.parallel_availability)
     });
     let pair_b = g.source("pair-b", || {
-        Ok(
-            two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?
-                .parallel_availability,
-        )
+        Ok(two_component_availability(LAMBDA, MU, RepairPolicy::SharedCrew)?.parallel_availability)
     });
     let top = g.node("system", &[pair_a, pair_b], |v| Ok(v[0] * v[1]));
     let hierarchical = g.solve_for(top)?;
@@ -122,11 +116,17 @@ fn stage5_non_exponential_distributions() -> Result<()> {
     b.transition(down, up, 1.0)?;
     let smp = b.build()?;
     let pi = smp.steady_state()?;
-    assert!((pi[up.index()] - 0.99).abs() < 1e-10, "means-only steady state");
+    assert!(
+        (pi[up.index()] - 0.99).abs() < 1e-10,
+        "means-only steady state"
+    );
 
     let exp = smp.expand_to_ctmc(SmpStateId::from_index(up.index()))?;
     let agg = exp.aggregate(&exp.ctmc.steady_state()?);
-    assert!((agg[up.index()] - 0.99).abs() < 1e-9, "expansion preserves it");
+    assert!(
+        (agg[up.index()] - 0.99).abs() < 1e-9,
+        "expansion preserves it"
+    );
     // Transient behaviour exists and decays towards the steady state.
     let p0 = exp.entry_distribution(up);
     let early = exp.aggregate(&exp.ctmc.transient(&p0, 1.0)?)[up.index()];

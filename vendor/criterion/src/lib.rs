@@ -1,0 +1,253 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of criterion its benches use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `Bencher::iter`,
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. The
+//! statistics are deliberately simple — median over a fixed number of
+//! timed samples after a short warm-up — but the reported ns/iter are
+//! real wall-clock measurements, good enough for the relative
+//! comparisons (method A vs. method B, sequential vs. parallel) the
+//! benches exist to make.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does), every
+//! benchmark body runs exactly once so test runs stay fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the per-iteration median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.result = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up and batch sizing: aim for ~2 ms per sample.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(t0.elapsed() / batch);
+        }
+        per_iter.sort();
+        self.result = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments: `--test` switches to
+    /// run-once mode, the first free argument filters by substring.
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                s if !s.starts_with('-') && filter.is_none() => filter = Some(s.to_owned()),
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 20,
+        }
+    }
+
+    /// Prints the closing line (upstream prints a summary report).
+    pub fn final_summary(&self) {}
+
+    fn run(&self, label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            samples,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(d) if !self.test_mode => {
+                println!("{label:<50} {:>12.1} ns/iter", d.as_nanos() as f64)
+            }
+            Some(_) => println!("{label:<50} ok (test mode)"),
+            None => println!("{label:<50} (no measurement)"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run(&label, self.samples, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion
+            .run(&label, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("t");
+        let mut ran = 0;
+        g.sample_size(3).bench_function("one", |b| {
+            b.iter(|| 1 + 1);
+        });
+        g.bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| {
+            ran = x;
+            b.iter(|| x * 2);
+        });
+        g.finish();
+        assert_eq!(ran, 7);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion {
+            test_mode: true,
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        c.run("other/label", 3, &mut |_b| ran = true);
+        assert!(!ran);
+        c.run("group/match-me", 3, &mut |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(ran);
+    }
+}
