@@ -140,6 +140,36 @@ impl Bdd {
         self.nodes.len()
     }
 
+    /// Emits a `bdd.ite` summary trace event and flushes the manager's
+    /// operation counters into the global metrics registry (counters
+    /// `bdd.ite.lookups` / `bdd.ite.hits`, histogram
+    /// `bdd.arena_nodes`). Solver front-ends call this once per
+    /// completed solve; near-free when observability is disabled.
+    pub fn record_observability(&self) {
+        if reliab_obs::trace_enabled() {
+            reliab_obs::event(
+                "bdd.ite",
+                &[
+                    ("lookups", self.ite_lookups.into()),
+                    ("hits", self.ite_hits.into()),
+                    ("nodes", self.nodes.len().into()),
+                ],
+            );
+        }
+        if reliab_obs::metrics_enabled() {
+            reliab_obs::counter_add("bdd.ite.lookups", self.ite_lookups);
+            reliab_obs::counter_add("bdd.ite.hits", self.ite_hits);
+            reliab_obs::registry()
+                .histogram_with_buckets(
+                    "bdd.arena_nodes",
+                    &[
+                        16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+                    ],
+                )
+                .observe(self.nodes.len() as f64);
+        }
+    }
+
     /// Current table sizes and operation counters.
     pub fn stats(&self) -> BddStats {
         BddStats {
@@ -223,6 +253,20 @@ impl Bdd {
             return f;
         }
         self.ite_lookups += 1;
+        // Progress event for long BDD compilations: one structured
+        // event per 1024 ITE lookups (tracking node growth and cache
+        // effectiveness over time), emitted only while tracing — the
+        // hot path pays one mask-compare plus a relaxed atomic load.
+        if self.ite_lookups & 0x3FF == 0 && reliab_obs::trace_enabled() {
+            reliab_obs::event(
+                "bdd.ite",
+                &[
+                    ("lookups", self.ite_lookups.into()),
+                    ("hits", self.ite_hits.into()),
+                    ("nodes", self.nodes.len().into()),
+                ],
+            );
+        }
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             self.ite_hits += 1;
             return r;

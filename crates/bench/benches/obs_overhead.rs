@@ -1,0 +1,116 @@
+//! Observability overhead benches.
+//!
+//! The obs layer's design contract is that *disabled* instrumentation
+//! costs one relaxed atomic load per site — solver throughput must be
+//! indistinguishable with the crate compiled in but dormant. These
+//! benches pin that down on a real workload:
+//!
+//! * `batch/disabled` — an 8-spec CTMC batch with no subscriber and
+//!   metrics off (the default state). This is the baseline every other
+//!   row is compared against; it must match the pre-obs numbers.
+//! * `batch/tracing` — the same batch streaming JSONL to `io::sink()`,
+//!   showing what a trace consumer actually costs.
+//! * `batch/metrics` — the same batch with only the metrics registry
+//!   enabled (counters/histograms, no trace dispatch).
+//! * `span/disabled` + `event/disabled` — microbenches of the bare
+//!   gate: creating a span / firing an event with tracing off.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use reliab_engine::BatchEngine;
+use reliab_obs as obs;
+use std::sync::Arc;
+
+fn birth_death_doc(states: usize, lambda: f64, mu: f64, at_times: &[f64]) -> String {
+    let names: Vec<String> = (0..states).map(|i| format!("\"s{i}\"")).collect();
+    let mut transitions = Vec::with_capacity(2 * states);
+    for i in 0..states - 1 {
+        transitions.push(format!(
+            "{{\"from\": \"s{i}\", \"to\": \"s{}\", \"rate\": {lambda}}}",
+            i + 1
+        ));
+        transitions.push(format!(
+            "{{\"from\": \"s{}\", \"to\": \"s{i}\", \"rate\": {mu}}}",
+            i + 1
+        ));
+    }
+    let times: Vec<String> = at_times.iter().map(f64::to_string).collect();
+    let up: Vec<String> = (0..states / 2).map(|i| format!("\"s{i}\"")).collect();
+    format!(
+        "{{\"ctmc\": {{\"states\": [{}], \"transitions\": [{}], \
+         \"up_states\": [{}], \"at_times\": [{}]}}}}",
+        names.join(", "),
+        transitions.join(", "),
+        up.join(", "),
+        times.join(", ")
+    )
+}
+
+fn distinct_batch() -> Vec<String> {
+    (0..8)
+        .map(|i| {
+            birth_death_doc(
+                80,
+                1.0 + 0.01 * i as f64,
+                2.0 + 0.02 * i as f64,
+                &[1.0, 10.0],
+            )
+        })
+        .collect()
+}
+
+fn solve_batch(docs: &[String]) {
+    // Memoization off: every iteration must do the full numerical work.
+    let engine = BatchEngine::new().with_jobs(1).with_memoization(false);
+    let reports = engine.solve_texts(docs);
+    black_box(reports.iter().filter(|r| r.is_ok()).count());
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let docs = distinct_batch();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+
+    obs::clear_subscribers();
+    obs::set_metrics_enabled(false);
+    group.bench_function("batch/disabled", |b| b.iter(|| solve_batch(&docs)));
+
+    obs::install_subscriber(Arc::new(obs::JsonlSubscriber::new(std::io::sink())));
+    group.bench_function("batch/tracing", |b| b.iter(|| solve_batch(&docs)));
+    obs::clear_subscribers();
+
+    obs::set_metrics_enabled(true);
+    group.bench_function("batch/metrics", |b| b.iter(|| solve_batch(&docs)));
+    obs::set_metrics_enabled(false);
+
+    group.finish();
+}
+
+fn bench_disabled_sites(c: &mut Criterion) {
+    obs::clear_subscribers();
+    obs::set_metrics_enabled(false);
+    let mut group = c.benchmark_group("obs_disabled_sites");
+
+    group.bench_function("span/disabled", |b| {
+        b.iter(|| {
+            let span = obs::span(black_box("bench.span"));
+            black_box(span.id());
+        })
+    });
+
+    group.bench_function("event/disabled", |b| {
+        b.iter(|| {
+            obs::event(black_box("bench.event"), &[("k", 1u64.into())]);
+        })
+    });
+
+    group.bench_function("counter/disabled", |b| {
+        b.iter(|| {
+            obs::counter_add(black_box("bench.counter"), 1);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead, bench_disabled_sites);
+criterion_main!(benches);

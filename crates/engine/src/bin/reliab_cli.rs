@@ -18,34 +18,66 @@
 //! * `--stats` — include solver telemetry (wall time, iterations,
 //!   residuals, BDD table sizes) with each result.
 //! * `--method auto|gth|sor|power` — CTMC steady-state method.
+//! * `--trace FILE` — stream the structured trace (spans + events) to
+//!   `FILE` as JSON Lines.
+//! * `--metrics FILE` — dump the metrics registry to `FILE` on exit
+//!   (`-` = stderr).
+//! * `--metrics-format prometheus|json` — exposition format for
+//!   `--metrics` (default `prometheus`).
+//! * `--progress` — print per-spec completion to stderr as the batch
+//!   runs.
 //!
 //! Exit status: 0 on success, 1 if any file fails to parse or solve,
 //! 2 on usage errors.
 
 use reliab_engine::BatchEngine;
+use reliab_obs as obs;
 use reliab_spec::json::JsonValue;
 use reliab_spec::{SolveOptions, SteadySolver};
 use std::io::{Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// Writes a line to stdout, exiting quietly when the consumer (e.g.
-/// `head`) has closed the pipe.
-fn emit(line: &str) {
-    let mut out = std::io::stdout();
-    if writeln!(out, "{line}").is_err() {
-        std::process::exit(0);
+/// Stdout writer that goes quiet — without losing the computed exit
+/// status — once the consumer (e.g. `head`) closes the pipe.
+#[derive(Default)]
+struct Emitter {
+    closed: bool,
+}
+
+impl Emitter {
+    fn emit(&mut self, line: &str) {
+        if self.closed {
+            return;
+        }
+        if writeln!(std::io::stdout(), "{line}").is_err() {
+            self.closed = true;
+        }
     }
 }
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage: reliab-cli [--jobs N] [--json] [--stats] [--method M] <spec.json|glob|-> ..."
+        "usage: reliab-cli [--jobs N] [--json] [--stats] [--method M] \
+         [--trace FILE] [--metrics FILE] [--metrics-format F] [--progress] \
+         <spec.json|glob|-> ..."
     );
     eprintln!("solves reliab model specifications (rbd / fault_tree / ctmc / rel_graph)");
-    eprintln!("  --jobs N    worker threads (0 = one per CPU; default 0)");
-    eprintln!("  --json      one machine-readable JSON array for the whole batch");
-    eprintln!("  --stats     include solver telemetry with each result");
-    eprintln!("  --method M  CTMC steady-state method: auto|gth|sor|power");
+    eprintln!("  --jobs N            worker threads (0 = one per CPU; default 0)");
+    eprintln!("  --json              one machine-readable JSON array for the whole batch");
+    eprintln!("  --stats             include solver telemetry with each result");
+    eprintln!("  --method M          CTMC steady-state method: auto|gth|sor|power");
+    eprintln!("  --trace FILE        write a JSONL trace of spans/events to FILE");
+    eprintln!("  --metrics FILE      dump solver metrics to FILE on exit (- = stderr)");
+    eprintln!("  --metrics-format F  metrics exposition: prometheus (default) or json");
+    eprintln!("  --progress          report per-spec completion on stderr");
     std::process::exit(code);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Prometheus,
+    Json,
 }
 
 struct Cli {
@@ -53,6 +85,10 @@ struct Cli {
     json: bool,
     stats: bool,
     method: SteadySolver,
+    trace: Option<String>,
+    metrics: Option<String>,
+    metrics_format: MetricsFormat,
+    progress: bool,
     inputs: Vec<String>,
 }
 
@@ -62,6 +98,10 @@ fn parse_args(args: &[String]) -> Cli {
         json: false,
         stats: false,
         method: SteadySolver::Auto,
+        trace: None,
+        metrics: None,
+        metrics_format: MetricsFormat::Prometheus,
+        progress: false,
         inputs: Vec::new(),
     };
     let mut it = args.iter();
@@ -70,6 +110,7 @@ fn parse_args(args: &[String]) -> Cli {
             "-h" | "--help" => usage(0),
             "--json" => cli.json = true,
             "--stats" => cli.stats = true,
+            "--progress" => cli.progress = true,
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => cli.jobs = n,
                 None => {
@@ -92,6 +133,33 @@ fn parse_args(args: &[String]) -> Cli {
                     }
                 }
             }
+            "--trace" => match it.next() {
+                Some(path) => cli.trace = Some(path.clone()),
+                None => {
+                    eprintln!("--trace requires a file path");
+                    usage(2);
+                }
+            },
+            "--metrics" => match it.next() {
+                Some(path) => cli.metrics = Some(path.clone()),
+                None => {
+                    eprintln!("--metrics requires a file path (or - for stderr)");
+                    usage(2);
+                }
+            },
+            "--metrics-format" => {
+                cli.metrics_format = match it.next().map(String::as_str) {
+                    Some("prometheus" | "prom") => MetricsFormat::Prometheus,
+                    Some("json") => MetricsFormat::Json,
+                    other => {
+                        eprintln!(
+                            "--metrics-format must be prometheus|json, got {:?}",
+                            other.unwrap_or("<missing>")
+                        );
+                        usage(2);
+                    }
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
                 usage(2);
@@ -103,6 +171,54 @@ fn parse_args(args: &[String]) -> Cli {
         usage(2);
     }
     cli
+}
+
+/// Reports per-spec completion (`[done/total] label`) on stderr by
+/// listening for the engine's `engine.lifecycle` trace events. Index
+/// fields refer to the batch of *readable* inputs, so labels here must
+/// come pre-filtered to those slots.
+struct ProgressSubscriber {
+    labels: Vec<String>,
+    done: AtomicUsize,
+}
+
+impl ProgressSubscriber {
+    fn new(labels: Vec<String>) -> Self {
+        ProgressSubscriber {
+            labels,
+            done: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl obs::Subscriber for ProgressSubscriber {
+    fn on_span_start(&self, _span: &obs::SpanInfo) {}
+    fn on_span_end(&self, _span: &obs::SpanInfo, _duration: std::time::Duration) {}
+
+    fn on_event(&self, event: &obs::EventInfo<'_>) {
+        if event.name != "engine.lifecycle" {
+            return;
+        }
+        let mut index = None;
+        let mut stage = None;
+        let mut outcome = "";
+        for (key, value) in event.fields {
+            match (*key, value) {
+                ("index", obs::Value::U64(i)) => index = Some(*i as usize),
+                ("stage", obs::Value::Str(s)) => stage = Some(*s),
+                ("outcome", obs::Value::Str(s)) => outcome = s,
+                _ => {}
+            }
+        }
+        if stage != Some("done") {
+            return;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let label = index
+            .and_then(|i| self.labels.get(i))
+            .map_or("?", String::as_str);
+        eprintln!("[{done}/{}] {label} ({outcome})", self.labels.len());
+    }
 }
 
 /// Expands `*`/`?` wildcards in the final path component against the
@@ -174,6 +290,29 @@ fn main() {
         }
     }
 
+    if let Some(path) = &cli.trace {
+        match obs::JsonlSubscriber::create(path) {
+            Ok(sub) => obs::install_subscriber(Arc::new(sub)),
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cli.progress {
+        // Lifecycle indices refer to the readable-input batch.
+        let readable_labels: Vec<String> = labels
+            .iter()
+            .zip(&sources)
+            .filter(|(_, s)| s.is_ok())
+            .map(|(l, _)| l.clone())
+            .collect();
+        obs::install_subscriber(Arc::new(ProgressSubscriber::new(readable_labels)));
+    }
+    if cli.metrics.is_some() {
+        obs::set_metrics_enabled(true);
+    }
+
     let engine = BatchEngine::new()
         .with_jobs(cli.jobs)
         .with_options(SolveOptions::default().with_steady_solver(cli.method));
@@ -200,7 +339,11 @@ fn main() {
         })
         .collect();
 
-    let mut failed = false;
+    // The exit status depends only on the outcomes, never on whether
+    // stdout stayed open long enough to print them.
+    let failed = slots.iter().any(|(_, outcome)| outcome.is_err());
+
+    let mut out = Emitter::default();
     if cli.json {
         let mut entries: Vec<JsonValue> = Vec::new();
         for (label, outcome) in &slots {
@@ -215,35 +358,44 @@ fn main() {
                     }
                     reliab_spec::json::object(fields)
                 }
-                Err(e) => {
-                    failed = true;
-                    reliab_spec::json::object(vec![
-                        ("file", label.as_str().into()),
-                        ("error", e.as_str().into()),
-                    ])
-                }
+                Err(e) => reliab_spec::json::object(vec![
+                    ("file", label.as_str().into()),
+                    ("error", e.as_str().into()),
+                ]),
             });
         }
-        emit(&JsonValue::Array(entries).to_json_pretty());
+        out.emit(&JsonValue::Array(entries).to_json_pretty());
     } else {
         let many = slots.len() > 1;
         for (label, outcome) in &slots {
             match outcome {
                 Ok(r) => {
                     if many {
-                        emit(&format!("// {label}"));
+                        out.emit(&format!("// {label}"));
                     }
-                    emit(&r.measures.to_json().to_json_pretty());
+                    out.emit(&r.measures.to_json().to_json_pretty());
                     if cli.stats {
-                        emit(&format!("// stats: {}", r.stats.to_json().to_json()));
+                        out.emit(&format!("// stats: {}", r.stats.to_json().to_json()));
                     }
                 }
-                Err(e) => {
-                    eprintln!("{label}: {e}");
-                    failed = true;
-                }
+                Err(e) => eprintln!("{label}: {e}"),
             }
         }
     }
+
+    if let Some(target) = &cli.metrics {
+        let dump = match cli.metrics_format {
+            MetricsFormat::Prometheus => obs::registry().to_prometheus(),
+            MetricsFormat::Json => obs::registry().to_json(),
+        };
+        if target == "-" {
+            eprint!("{dump}");
+        } else if let Err(e) = std::fs::write(target, &dump) {
+            eprintln!("cannot write metrics file {target}: {e}");
+        }
+    }
+    // `process::exit` skips destructors: push buffered trace records
+    // out explicitly.
+    obs::flush_subscribers();
     std::process::exit(if failed { 1 } else { 0 });
 }

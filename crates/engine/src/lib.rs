@@ -38,10 +38,12 @@
 #![deny(unsafe_code)]
 
 use reliab_core::{Error, Result};
+use reliab_obs as obs;
 use reliab_spec::{ModelSpec, SolveOptions, SolveReport};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -57,17 +59,74 @@ pub struct BatchStats {
     pub memo_hits: usize,
     /// Number of specs that failed.
     pub errors: usize,
+    /// Memo-cache entries evicted (ever, on this engine) to respect
+    /// [`BatchEngine::with_cache_capacity`].
+    pub evictions: usize,
+}
+
+/// Memo cache entries are evicted beyond this many by default; see
+/// [`BatchEngine::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Bounded memo cache: a `HashMap` plus a logical clock. Each hit or
+/// insert stamps the entry with the current tick; when an insert would
+/// exceed `capacity`, the entry with the oldest stamp is dropped
+/// (LRU by linear scan — capacities are small enough that the scan is
+/// noise next to a solve).
+#[derive(Debug, Default)]
+struct MemoCache {
+    map: HashMap<String, (SolveReport, u64)>,
+    tick: u64,
+    evictions: usize,
+}
+
+impl MemoCache {
+    fn get(&mut self, key: &str) -> Option<SolveReport> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(report, stamp)| {
+            *stamp = tick;
+            report.clone()
+        })
+    }
+
+    fn insert(&mut self, key: String, report: &SolveReport, capacity: usize) {
+        self.tick += 1;
+        if self.map.contains_key(&key) {
+            return;
+        }
+        if capacity > 0 && self.map.len() >= capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+                obs::counter_add("engine.memo.evictions", 1);
+            }
+        }
+        self.map.insert(key, (report.clone(), self.tick));
+    }
 }
 
 /// A batch solver: configuration plus a memo cache that persists across
 /// [`BatchEngine::solve`] calls on the same engine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BatchEngine {
     jobs: usize,
     options: SolveOptions,
     memoize: bool,
-    cache: Mutex<HashMap<String, SolveReport>>,
+    cache_capacity: usize,
+    cache: Mutex<MemoCache>,
     last_stats: Mutex<BatchStats>,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl BatchEngine {
@@ -79,7 +138,8 @@ impl BatchEngine {
             jobs: 0,
             options: SolveOptions::default(),
             memoize: true,
-            cache: Mutex::new(HashMap::new()),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache: Mutex::new(MemoCache::default()),
             last_stats: Mutex::new(BatchStats::default()),
         }
     }
@@ -106,11 +166,24 @@ impl BatchEngine {
         self
     }
 
+    /// Caps the memo cache at `capacity` entries (`0` = unbounded).
+    /// When full, the least-recently-used entry is evicted; evictions
+    /// are counted in [`BatchStats::evictions`] and in the
+    /// `engine.memo.evictions` metric. Defaults to
+    /// [`DEFAULT_CACHE_CAPACITY`].
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
     /// Counters from the most recent [`BatchEngine::solve`] /
     /// [`BatchEngine::solve_texts`] call.
     #[must_use]
     pub fn last_stats(&self) -> BatchStats {
-        *lock(&self.last_stats)
+        let mut stats = *lock(&self.last_stats);
+        stats.evictions = lock(&self.cache).evictions;
+        stats
     }
 
     /// Solves every spec, returning reports in input order. Per-spec
@@ -138,11 +211,26 @@ impl BatchEngine {
     fn run(&self, inputs: Vec<Result<&ModelSpec>>) -> Vec<Result<SolveReport>> {
         *lock(&self.last_stats) = BatchStats::default();
         let workers = self.worker_count(inputs.len());
+        let batch_span = obs::span("engine.batch");
+        let batch_id = batch_span.id();
+        obs::event(
+            "engine.batch",
+            &[("inputs", inputs.len().into()), ("workers", workers.into())],
+        );
+        obs::gauge_set("engine.workers", workers as f64);
+        if obs::trace_enabled() {
+            for idx in 0..inputs.len() {
+                obs::event(
+                    "engine.lifecycle",
+                    &[("index", idx.into()), ("stage", "queued".into())],
+                );
+            }
+        }
         let mut results: Vec<(usize, Result<SolveReport>)> = if workers <= 1 {
             inputs
                 .into_iter()
                 .enumerate()
-                .map(|(i, input)| (i, self.solve_one(input)))
+                .map(|(i, input)| (i, self.solve_one(i, input)))
                 .collect()
         } else {
             let inputs = &inputs;
@@ -153,14 +241,24 @@ impl BatchEngine {
                     .map(|_| {
                         let next = &next;
                         scope.spawn(move || {
+                            // Workers are fresh threads: re-parent their
+                            // spans under the batch span explicitly.
+                            let _worker = obs::span_with_parent("engine.worker", batch_id);
+                            let busy_start = obs::metrics_enabled().then(Instant::now);
                             let mut local = Vec::new();
                             loop {
                                 let idx = next.fetch_add(1, Ordering::Relaxed);
                                 if idx >= inputs.len() {
+                                    if let Some(t0) = busy_start {
+                                        obs::observe_ms(
+                                            "engine.worker_busy_ms",
+                                            t0.elapsed().as_secs_f64() * 1e3,
+                                        );
+                                    }
                                     return local;
                                 }
                                 let input = inputs[idx].as_ref().copied().map_err(clone_err);
-                                local.push((idx, self.solve_one(input)));
+                                local.push((idx, self.solve_one(idx, input)));
                             }
                         })
                     })
@@ -171,6 +269,7 @@ impl BatchEngine {
             });
             collected
         };
+        obs::counter_add("engine.batches", 1);
         results.sort_by_key(|(idx, _)| *idx);
         results.into_iter().map(|(_, r)| r).collect()
     }
@@ -184,20 +283,27 @@ impl BatchEngine {
         jobs.min(batch_len)
     }
 
-    fn solve_one(&self, input: Result<&ModelSpec>) -> Result<SolveReport> {
+    fn solve_one(&self, idx: usize, input: Result<&ModelSpec>) -> Result<SolveReport> {
+        let _span = obs::span("engine.solve");
+        lifecycle(idx, "start", None);
         let spec = match input {
             Ok(spec) => spec,
             Err(e) => {
                 lock(&self.last_stats).errors += 1;
+                obs::counter_add("engine.errors", 1);
+                lifecycle(idx, "done", Some("err"));
                 return Err(e);
             }
         };
         let key = if self.memoize {
             let key = spec.canonical_string();
-            if let Some(hit) = lock(&self.cache).get(&key).cloned() {
+            if let Some(hit) = lock(&self.cache).get(&key) {
                 lock(&self.last_stats).memo_hits += 1;
+                obs::counter_add("engine.memo.hits", 1);
+                lifecycle(idx, "done", Some("memo"));
                 return Ok(hit);
             }
+            obs::counter_add("engine.memo.misses", 1);
             Some(key)
         } else {
             None
@@ -206,15 +312,42 @@ impl BatchEngine {
         match &result {
             Ok(report) => {
                 lock(&self.last_stats).solved += 1;
+                obs::counter_add("engine.specs.solved", 1);
                 if let Some(key) = key {
-                    lock(&self.cache)
-                        .entry(key)
-                        .or_insert_with(|| report.clone());
+                    lock(&self.cache).insert(key, report, self.cache_capacity);
                 }
+                lifecycle(idx, "done", Some("ok"));
             }
-            Err(_) => lock(&self.last_stats).errors += 1,
+            Err(_) => {
+                lock(&self.last_stats).errors += 1;
+                obs::counter_add("engine.errors", 1);
+                lifecycle(idx, "done", Some("err"));
+            }
         }
         result
+    }
+}
+
+/// Emits one `engine.lifecycle` trace event. Spec slots move through
+/// `queued` → `start` → `done`; `done` carries an `outcome` of `ok`,
+/// `err`, or `memo`.
+fn lifecycle(idx: usize, stage: &'static str, outcome: Option<&'static str>) {
+    if !obs::trace_enabled() {
+        return;
+    }
+    match outcome {
+        Some(o) => obs::event(
+            "engine.lifecycle",
+            &[
+                ("index", idx.into()),
+                ("stage", stage.into()),
+                ("outcome", o.into()),
+            ],
+        ),
+        None => obs::event(
+            "engine.lifecycle",
+            &[("index", idx.into()), ("stage", stage.into())],
+        ),
     }
 }
 
@@ -301,6 +434,48 @@ mod tests {
         assert!(reports[1].is_err());
         assert!(reports[2].is_ok());
         assert_eq!(engine.last_stats().errors, 1);
+    }
+
+    #[test]
+    fn cache_capacity_evicts_least_recently_used() {
+        // Capacity 2, three distinct docs: the third insert evicts the
+        // oldest entry.
+        let docs = vec![rbd_doc(0.7), rbd_doc(0.8), rbd_doc(0.9)];
+        let engine = BatchEngine::new().with_jobs(1).with_cache_capacity(2);
+        engine.solve_texts(&docs);
+        let stats = engine.last_stats();
+        assert_eq!(stats.solved, 3);
+        assert_eq!(stats.evictions, 1);
+        // 0.7 was evicted; re-solving it misses, while 0.9 still hits.
+        engine.solve_texts(&[rbd_doc(0.9)]);
+        assert_eq!(engine.last_stats().memo_hits, 1);
+        engine.solve_texts(&[rbd_doc(0.7)]);
+        let stats = engine.last_stats();
+        assert_eq!(stats.memo_hits, 0);
+        assert_eq!(stats.solved, 1);
+    }
+
+    #[test]
+    fn cache_hit_refreshes_recency() {
+        let engine = BatchEngine::new().with_jobs(1).with_cache_capacity(2);
+        engine.solve_texts(&[rbd_doc(0.7), rbd_doc(0.8)]);
+        // Touch 0.7 so 0.8 becomes the LRU entry, then insert a third.
+        engine.solve_texts(&[rbd_doc(0.7)]);
+        assert_eq!(engine.last_stats().memo_hits, 1);
+        engine.solve_texts(&[rbd_doc(0.9)]);
+        // 0.7 must have survived the eviction.
+        engine.solve_texts(&[rbd_doc(0.7)]);
+        assert_eq!(engine.last_stats().memo_hits, 1);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let docs: Vec<String> = (1..=9).map(|i| rbd_doc(i as f64 / 10.0)).collect();
+        let engine = BatchEngine::new().with_jobs(1).with_cache_capacity(0);
+        engine.solve_texts(&docs);
+        assert_eq!(engine.last_stats().evictions, 0);
+        engine.solve_texts(&docs);
+        assert_eq!(engine.last_stats().memo_hits, 9);
     }
 
     #[test]

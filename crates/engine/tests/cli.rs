@@ -1,0 +1,179 @@
+//! End-to-end tests of the `reliab-cli` binary: exit codes under
+//! per-file error isolation, and the observability flags (`--trace`,
+//! `--metrics`).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reliab-cli"))
+}
+
+fn specs_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+fn spec(name: &str) -> String {
+    specs_dir().join(name).to_string_lossy().into_owned()
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("failed to launch reliab-cli")
+}
+
+#[test]
+fn good_specs_exit_zero() {
+    let out = run(cli().arg(spec("two_component.json")));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    assert!(!out.stdout.is_empty());
+}
+
+#[test]
+fn unreadable_file_exits_nonzero() {
+    let out = run(cli().arg("/nonexistent/never-there.json"));
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn one_bad_input_fails_batch_but_solves_the_rest() {
+    let dir = std::env::temp_dir().join("reliab-cli-test-mixed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "this is not json").unwrap();
+
+    let out = run(cli()
+        .arg(spec("two_component.json"))
+        .arg(bad.to_string_lossy().as_ref()));
+    // The good file still produced output...
+    assert!(String::from_utf8_lossy(&out.stdout).contains("availability"));
+    // ...but the batch as a whole reports failure.
+    assert_eq!(out.status.code(), Some(1));
+
+    // Same isolation + exit code under --json.
+    let out = run(cli()
+        .arg("--json")
+        .arg(spec("two_component.json"))
+        .arg(bad.to_string_lossy().as_ref()));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("availability"));
+    assert!(stdout.contains("error"));
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(run(&mut cli()).status.code(), Some(2));
+    assert_eq!(run(cli().arg("--bogus-flag")).status.code(), Some(2));
+}
+
+#[test]
+fn trace_flag_writes_parseable_jsonl_with_nested_spans() {
+    let dir = std::env::temp_dir().join("reliab-cli-test-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+
+    let out = run(cli()
+        .arg("--trace")
+        .arg(trace.to_string_lossy().as_ref())
+        .args(
+            [
+                "two_component.json",
+                "multiprocessor.json",
+                "bridge_network.json",
+                "database_node.json",
+            ]
+            .map(spec),
+        ));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(!text.is_empty(), "trace file is empty");
+    let mut saw_markov_iteration = false;
+    let mut saw_bdd_ite = false;
+    let mut saw_lifecycle = false;
+    let mut saw_nested_span = false;
+    let mut saw_duration = false;
+    for line in text.lines() {
+        // Minimal JSONL well-formedness: each line is one balanced object.
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line: {line}"
+        );
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        saw_markov_iteration |= line.contains("\"markov.iteration\"");
+        saw_bdd_ite |= line.contains("\"bdd.ite\"");
+        saw_lifecycle |= line.contains("\"engine.lifecycle\"");
+        saw_nested_span |=
+            line.contains("\"type\":\"span_start\"") && !line.contains("\"parent\":0");
+        saw_duration |= line.contains("\"dur_us\":");
+    }
+    assert!(saw_markov_iteration, "no markov.iteration events in trace");
+    assert!(saw_bdd_ite, "no bdd.ite events in trace");
+    assert!(saw_lifecycle, "no engine.lifecycle events in trace");
+    assert!(saw_nested_span, "no nested spans in trace");
+    assert!(saw_duration, "no span durations in trace");
+}
+
+#[test]
+fn metrics_flag_dumps_prometheus_and_json() {
+    let dir = std::env::temp_dir().join("reliab-cli-test-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prom = dir.join("metrics.prom");
+
+    let out = run(cli()
+        .arg("--metrics")
+        .arg(prom.to_string_lossy().as_ref())
+        .args(
+            [
+                "two_component.json",
+                "multiprocessor.json",
+                "bridge_network.json",
+                "database_node.json",
+            ]
+            .map(spec),
+        ));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+
+    let text = std::fs::read_to_string(&prom).unwrap();
+    let series: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+    assert!(
+        series.len() >= 8,
+        "expected >= 8 metric series, got {}: {series:?}",
+        series.len()
+    );
+    for needle in [
+        "engine_specs_solved",
+        "spec_solves",
+        "markov_steady_solves",
+        "bdd_ite_lookups",
+    ] {
+        assert!(text.contains(needle), "metrics dump missing {needle}");
+    }
+
+    // JSON format parses shallowly: one object, balanced braces.
+    let json_path = dir.join("metrics.json");
+    let out = run(cli()
+        .arg("--metrics")
+        .arg(json_path.to_string_lossy().as_ref())
+        .arg("--metrics-format")
+        .arg("json")
+        .arg(spec("two_component.json")));
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'));
+    assert_eq!(trimmed.matches('{').count(), trimmed.matches('}').count());
+    assert!(trimmed.contains("\"counters\""));
+}
+
+#[test]
+fn progress_flag_reports_each_input() {
+    let out = run(cli()
+        .arg("--progress")
+        .args(["two_component.json", "database_node.json"].map(spec)));
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[1/2]"), "stderr: {stderr}");
+    assert!(stderr.contains("[2/2]"), "stderr: {stderr}");
+    assert!(stderr.contains("two_component.json"));
+}

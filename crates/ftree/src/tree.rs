@@ -5,6 +5,7 @@ use crate::cutsets::{minimal_cut_sets_of, CutSet};
 use reliab_bdd::{Bdd, NodeId};
 use reliab_core::{ensure_probability, Error, ImportanceMeasures, Result};
 use reliab_dist::Lifetime;
+use reliab_obs as obs;
 
 /// Handle to a basic event, returned by [`FaultTreeBuilder::basic_event`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -143,8 +144,11 @@ impl FaultTreeBuilder {
                 map
             }
         };
+        let _span = obs::span("ftree.compile_bdd");
         let mut bdd = Bdd::new(n as u32);
         let fails = compile(&mut bdd, &top, &event_to_var)?;
+        bdd.record_observability();
+        obs::counter_add("ftree.compiles", 1);
         Ok(FaultTree {
             names: self.names,
             bdd,
@@ -272,8 +276,11 @@ impl FaultTree {
     /// Returns [`Error::InvalidParameter`] on a length mismatch or
     /// probabilities outside `[0, 1]`.
     pub fn top_event_probability(&self, event_probs: &[f64]) -> Result<f64> {
+        let _span = obs::span("ftree.probability");
         let p = self.permuted(event_probs)?;
-        self.bdd.probability(self.fails, &p).map_err(bdd_err)
+        let q = self.bdd.probability(self.fails, &p).map_err(bdd_err)?;
+        self.bdd.record_observability();
+        Ok(q)
     }
 
     /// Time-dependent unreliability: top-event probability with
@@ -302,7 +309,14 @@ impl FaultTree {
     /// intermediate sets (combinatorial blow-up guard) — fall back to
     /// the BDD probability or the bounding crate in that case.
     pub fn minimal_cut_sets(&self, max_sets: usize) -> Result<Vec<CutSet>> {
-        minimal_cut_sets_of(&self.top, max_sets)
+        let _span = obs::span("ftree.cutsets.mocus");
+        let cuts = minimal_cut_sets_of(&self.top, max_sets)?;
+        obs::event(
+            "ftree.cutsets",
+            &[("algorithm", "mocus".into()), ("count", cuts.len().into())],
+        );
+        obs::counter_add("ftree.cutsets.enumerations", 1);
+        Ok(cuts)
     }
 
     /// Minimal cut sets computed from the compiled BDD (Rauzy's
@@ -313,6 +327,7 @@ impl FaultTree {
     /// product terms — use this when MOCUS trips its blow-up guard
     /// (e.g. wide k-of-n gates over AND/OR subtrees).
     pub fn minimal_cut_sets_bdd(&self) -> Vec<CutSet> {
+        let _span = obs::span("ftree.cutsets.bdd");
         // Invert the event→variable map.
         let mut var_to_event = vec![0usize; self.event_to_var.len()];
         for (e, &v) in self.event_to_var.iter().enumerate() {
@@ -332,6 +347,11 @@ impl FaultTree {
             })
             .collect();
         cuts.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+        obs::event(
+            "ftree.cutsets",
+            &[("algorithm", "bdd".into()), ("count", cuts.len().into())],
+        );
+        obs::counter_add("ftree.cutsets.enumerations", 1);
         cuts.into_iter().map(CutSet::from_events).collect()
     }
 
@@ -346,6 +366,7 @@ impl FaultTree {
     ///
     /// Returns [`Error::Model`] if the top event has probability zero.
     pub fn importance(&mut self, event_probs: &[f64]) -> Result<Vec<ImportanceMeasures>> {
+        let _span = obs::span("ftree.importance");
         let p = self.permuted(event_probs)?;
         let q_top = self.bdd.probability(self.fails, &p).map_err(bdd_err)?;
         if q_top <= 0.0 {

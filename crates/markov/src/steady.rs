@@ -4,8 +4,23 @@ use crate::builder::Ctmc;
 use crate::num_err;
 use reliab_core::Result;
 use reliab_numeric::{
-    gth_steady_state, power_method_with_stats, sor_steady_state_with_stats, IterativeOptions,
+    gth_steady_state_observed, power_method_observed, sor_steady_state_observed, IterativeOptions,
 };
+use reliab_obs as obs;
+
+/// Emits the per-sweep `markov.iteration` trace event shared by every
+/// steady-state method. Near-free when tracing is disabled (`event`
+/// bails on one relaxed atomic load).
+fn iteration_event(method: &'static str, iter: usize, residual: f64) {
+    obs::event(
+        "markov.iteration",
+        &[
+            ("method", method.into()),
+            ("iter", iter.into()),
+            ("residual", residual.into()),
+        ],
+    );
+}
 
 /// Chains at or below this size are solved by dense GTH by default;
 /// larger chains use sparse SOR.
@@ -72,13 +87,17 @@ impl Ctmc {
     ///
     /// See [`Ctmc::steady_state`].
     pub fn steady_state_report(&self, method: &SteadyStateMethod) -> Result<SteadyReport> {
-        match method {
+        let _span = obs::span("markov.steady");
+        let report = match method {
             SteadyStateMethod::Gth => self.gth_report(),
             SteadyStateMethod::Sor(opts) => self.sor_report(opts),
             SteadyStateMethod::Power(opts) => {
                 let q = self.uniformization_rate();
                 let p = self.uniformized_dtmc(q);
-                let (pi, stats) = power_method_with_stats(&p.transpose(), opts).map_err(num_err)?;
+                let (pi, stats) = power_method_observed(&p.transpose(), opts, &mut |iter, res| {
+                    iteration_event("power", iter, res);
+                })
+                .map_err(num_err)?;
                 Ok(SteadyReport {
                     pi,
                     method: "power",
@@ -93,11 +112,19 @@ impl Ctmc {
                     self.sor_report(&IterativeOptions::default())
                 }
             }
+        };
+        if let Ok(r) = &report {
+            obs::counter_add("markov.steady.solves", 1);
+            obs::counter_add("markov.steady.iterations", r.iterations as u64);
         }
+        report
     }
 
     fn gth_report(&self) -> Result<SteadyReport> {
-        let pi = gth_steady_state(&self.generator_dense()).map_err(num_err)?;
+        let pi = gth_steady_state_observed(&self.generator_dense(), &mut |k| {
+            iteration_event("gth", k, 0.0);
+        })
+        .map_err(num_err)?;
         Ok(SteadyReport {
             pi,
             method: "gth",
@@ -108,7 +135,10 @@ impl Ctmc {
 
     fn sor_report(&self, opts: &IterativeOptions) -> Result<SteadyReport> {
         let (pi, stats) =
-            sor_steady_state_with_stats(&self.generator().transpose(), opts).map_err(num_err)?;
+            sor_steady_state_observed(&self.generator().transpose(), opts, &mut |iter, res| {
+                iteration_event("sor", iter, res);
+            })
+            .map_err(num_err)?;
         Ok(SteadyReport {
             pi,
             method: "sor",

@@ -4,6 +4,7 @@ use crate::builder::Ctmc;
 use crate::num_err;
 use reliab_core::{Error, Result};
 use reliab_numeric::poisson_weights;
+use reliab_obs as obs;
 
 /// Options for the uniformization transient solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,6 +102,7 @@ impl Ctmc {
         t: f64,
         opts: &TransientOptions,
     ) -> Result<TransientReport> {
+        let _span = obs::span("markov.transient");
         self.check_distribution(initial)?;
         opts.validate()?;
         if t.is_nan() || t < 0.0 || !t.is_finite() {
@@ -191,6 +193,16 @@ impl Ctmc {
                 *o /= total;
             }
         }
+        obs::event(
+            "markov.transient.point",
+            &[
+                ("t", t.into()),
+                ("matvecs", matvecs.into()),
+                ("poisson_terms", w.weights.len().into()),
+            ],
+        );
+        obs::counter_add("markov.transient.points", 1);
+        obs::counter_add("markov.transient.matvecs", matvecs as u64);
         Ok(TransientReport {
             distribution: out,
             matvecs,

@@ -35,6 +35,21 @@ use crate::{DenseMatrix, NumericError, Result};
 /// # }
 /// ```
 pub fn gth_steady_state(q: &DenseMatrix) -> Result<Vec<f64>> {
+    gth_steady_state_observed(q, &mut |_| {})
+}
+
+/// [`gth_steady_state`] with a per-stage observer: `observer(k)` is
+/// called after eliminating state `k` (states are eliminated from
+/// `n - 1` down to `1`). The observer exists for progress/tracing
+/// hooks; it must not panic.
+///
+/// # Errors
+///
+/// See [`gth_steady_state`].
+pub fn gth_steady_state_observed(
+    q: &DenseMatrix,
+    observer: &mut dyn FnMut(usize),
+) -> Result<Vec<f64>> {
     let n = q.nrows();
     if n != q.ncols() {
         return Err(NumericError::Invalid(format!(
@@ -92,6 +107,7 @@ pub fn gth_steady_state(q: &DenseMatrix) -> Result<Vec<f64>> {
                 a[i * n + j] += f * a[k * n + j];
             }
         }
+        observer(k);
     }
 
     // Back substitution (only additions and multiplications).

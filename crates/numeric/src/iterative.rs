@@ -82,6 +82,23 @@ pub fn sor_steady_state_with_stats(
     q_t: &CsrMatrix,
     opts: &IterativeOptions,
 ) -> Result<(Vec<f64>, IterationStats)> {
+    sor_steady_state_observed(q_t, opts, &mut |_, _| {})
+}
+
+/// [`sor_steady_state_with_stats`] with a per-sweep observer: after
+/// each sweep, `observer(sweep, residual)` is called with the 1-based
+/// sweep number and the relative `∞`-norm change tested against the
+/// tolerance. The observer exists for progress/tracing hooks; it must
+/// not panic.
+///
+/// # Errors
+///
+/// See [`sor_steady_state`].
+pub fn sor_steady_state_observed(
+    q_t: &CsrMatrix,
+    opts: &IterativeOptions,
+    observer: &mut dyn FnMut(usize, f64),
+) -> Result<(Vec<f64>, IterationStats)> {
     opts.validate()?;
     let n = q_t.nrows();
     if n == 0 || n != q_t.ncols() {
@@ -133,6 +150,9 @@ pub fn sor_steady_state_with_stats(
         for p in &mut pi {
             *p /= total;
         }
+        if max_val > 0.0 {
+            observer(iter + 1, max_change / max_val);
+        }
         if max_val > 0.0 && max_change / max_val < opts.tolerance {
             return Ok((
                 pi,
@@ -175,6 +195,22 @@ pub fn power_method_with_stats(
     p_t: &CsrMatrix,
     opts: &IterativeOptions,
 ) -> Result<(Vec<f64>, IterationStats)> {
+    power_method_observed(p_t, opts, &mut |_, _| {})
+}
+
+/// [`power_method_with_stats`] with a per-iteration observer: after
+/// each matrix–vector product, `observer(iteration, change)` is called
+/// with the 1-based iteration number and the `∞`-norm iterate change
+/// tested against the tolerance.
+///
+/// # Errors
+///
+/// See [`power_method`].
+pub fn power_method_observed(
+    p_t: &CsrMatrix,
+    opts: &IterativeOptions,
+    observer: &mut dyn FnMut(usize, f64),
+) -> Result<(Vec<f64>, IterationStats)> {
     opts.validate()?;
     let n = p_t.nrows();
     if n == 0 || n != p_t.ncols() {
@@ -203,6 +239,7 @@ pub fn power_method_with_stats(
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         pi = next;
+        observer(iter + 1, change);
         if change < opts.tolerance {
             return Ok((
                 pi,

@@ -37,10 +37,10 @@ pub mod special;
 
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
-pub use gth::gth_steady_state;
+pub use gth::{gth_steady_state, gth_steady_state_observed};
 pub use iterative::{
-    power_method, power_method_with_stats, sor_steady_state, sor_steady_state_with_stats,
-    IterationStats, IterativeOptions,
+    power_method, power_method_observed, power_method_with_stats, sor_steady_state,
+    sor_steady_state_observed, sor_steady_state_with_stats, IterationStats, IterativeOptions,
 };
 pub use poisson::{poisson_weights, PoissonWeights};
 

@@ -1,0 +1,390 @@
+//! # reliab-obs
+//!
+//! Zero-dependency observability layer for the reliab workspace:
+//! structured tracing (nested spans and events with pluggable
+//! subscribers) plus a lock-striped metrics registry (counters,
+//! gauges, fixed-bucket histograms) with JSON and Prometheus-text
+//! exposition.
+//!
+//! ## Design
+//!
+//! The hot paths of every solver call into this crate, so the
+//! disabled path must be near-free:
+//!
+//! * Tracing is **off by default**. [`span`] and [`event`] first read
+//!   one relaxed [`AtomicBool`]; with no subscriber installed they
+//!   return immediately — no clock read, no allocation, no lock.
+//! * Metrics are **off by default** behind a second flag; the
+//!   convenience helpers ([`counter_add`], [`observe_ms`], ...) bail
+//!   out the same way.
+//!
+//! When a subscriber *is* installed (see [`JsonlSubscriber`] for a
+//! JSONL trace stream, [`MemorySubscriber`] for tests), spans carry
+//! RAII wall-clock timing and parent links, so the emitted stream
+//! reconstructs the full call tree:
+//!
+//! ```
+//! use reliab_obs as obs;
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(obs::MemorySubscriber::default());
+//! obs::install_subscriber(collector.clone());
+//! {
+//!     let _solve = obs::span("engine.solve");
+//!     let _inner = obs::span("markov.steady");
+//!     obs::event("markov.iteration", &[("iter", 1u64.into()), ("residual", 1e-9.into())]);
+//! }
+//! obs::clear_subscribers();
+//! assert_eq!(collector.count_spans("markov.steady"), 1);
+//! assert_eq!(collector.count_events("markov.iteration"), 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod metrics;
+mod subscriber;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    DEFAULT_LATENCY_BUCKETS_MS,
+};
+pub use subscriber::{
+    EventInfo, JsonlSubscriber, MemorySubscriber, OwnedValue, SpanInfo, Subscriber, TraceRecord,
+    Value,
+};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static SUBSCRIBERS: RwLock<Vec<Arc<dyn Subscriber>>> = RwLock::new(Vec::new());
+
+thread_local! {
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+fn read_subs() -> std::sync::RwLockReadGuard<'static, Vec<Arc<dyn Subscriber>>> {
+    SUBSCRIBERS
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Whether any trace subscriber is installed. One relaxed atomic load:
+/// this is the check every instrumentation site performs first.
+#[inline]
+#[must_use]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether metric recording is enabled (see [`set_metrics_enabled`]).
+#[inline]
+#[must_use]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the metric-recording helpers on or off. The registry itself
+/// ([`registry`]) always works; this flag only gates the free-function
+/// helpers used at instrumentation sites.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Installs a trace subscriber. Multiple subscribers may be installed;
+/// every span/event is dispatched to each in installation order.
+pub fn install_subscriber(sub: Arc<dyn Subscriber>) {
+    let mut subs = SUBSCRIBERS
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    subs.push(sub);
+    TRACE_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Removes every installed subscriber and disables tracing.
+pub fn clear_subscribers() {
+    let mut subs = SUBSCRIBERS
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    subs.clear();
+    TRACE_ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Flushes every installed subscriber (e.g. buffered JSONL writers).
+/// Call before `std::process::exit`, which skips destructors.
+pub fn flush_subscribers() {
+    for sub in read_subs().iter() {
+        sub.flush();
+    }
+}
+
+/// The process-global metrics registry.
+#[must_use]
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Increments the named global counter by `delta` when metrics are
+/// enabled; no-op (one relaxed load) otherwise.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if metrics_enabled() {
+        registry().counter(name).add(delta);
+    }
+}
+
+/// Sets the named global gauge when metrics are enabled.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if metrics_enabled() {
+        registry().gauge(name).set(value);
+    }
+}
+
+/// Records a latency observation (milliseconds) into the named global
+/// histogram (default latency buckets) when metrics are enabled.
+#[inline]
+pub fn observe_ms(name: &str, value_ms: f64) {
+    if metrics_enabled() {
+        registry().histogram(name).observe(value_ms);
+    }
+}
+
+/// An RAII span guard: created by [`span`], reports its wall-clock
+/// duration to every subscriber when dropped. When tracing is disabled
+/// the guard is inert and construction touches no clock or lock.
+#[must_use = "a span measures the scope it is bound to; bind it to a `_guard` variable"]
+#[derive(Debug)]
+pub struct Span(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    /// Parent span reported to subscribers.
+    parent: u64,
+    /// Thread-local current-span value to restore on drop (equals
+    /// `parent` unless the span was re-parented across threads).
+    prev: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// The span's id, usable to re-parent spans across threads via
+    /// [`span_with_parent`]. Returns 0 for an inert (disabled) span.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |a| a.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.0.take() {
+            CURRENT_SPAN.with(|c| c.set(a.prev));
+            let duration = a.start.elapsed();
+            let info = SpanInfo {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+            };
+            for sub in read_subs().iter() {
+                sub.on_span_end(&info, duration);
+            }
+        }
+    }
+}
+
+/// Opens a span nested under the calling thread's current span.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !trace_enabled() {
+        return Span(None);
+    }
+    let parent = CURRENT_SPAN.with(Cell::get);
+    enter(name, parent, parent)
+}
+
+/// Opens a span under an explicit parent id — the cross-thread variant
+/// used when work fans out to a pool but should stay nested under the
+/// dispatching span (pass `parent = 0` for a root span).
+#[inline]
+pub fn span_with_parent(name: &'static str, parent: u64) -> Span {
+    if !trace_enabled() {
+        return Span(None);
+    }
+    let prev = CURRENT_SPAN.with(Cell::get);
+    enter(name, parent, prev)
+}
+
+fn enter(name: &'static str, parent: u64, prev: u64) -> Span {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    CURRENT_SPAN.with(|c| c.set(id));
+    let info = SpanInfo { id, parent, name };
+    for sub in read_subs().iter() {
+        sub.on_span_start(&info);
+    }
+    Span(Some(ActiveSpan {
+        id,
+        parent,
+        prev,
+        name,
+        start: Instant::now(),
+    }))
+}
+
+/// Emits a structured event attached to the calling thread's current
+/// span. No-op (one relaxed load) when tracing is disabled.
+#[inline]
+pub fn event(name: &str, fields: &[(&str, Value<'_>)]) {
+    if !trace_enabled() {
+        return;
+    }
+    let info = EventInfo {
+        span: CURRENT_SPAN.with(Cell::get),
+        name,
+        fields,
+    };
+    for sub in read_subs().iter() {
+        sub.on_event(&info);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tracing state is process-global; serialize the tests that
+    /// install subscribers.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = locked();
+        clear_subscribers();
+        let s = span("noop");
+        assert_eq!(s.id(), 0);
+        event("nothing", &[("x", 1u64.into())]);
+    }
+
+    #[test]
+    fn spans_nest_and_events_attach() {
+        let _guard = locked();
+        let mem = Arc::new(MemorySubscriber::default());
+        install_subscriber(mem.clone());
+        {
+            let outer = span("outer");
+            let outer_id = outer.id();
+            assert!(outer_id > 0);
+            {
+                let _inner = span("inner");
+                event("tick", &[("n", 3u64.into())]);
+            }
+            // Inner restored the current span.
+            event("outer-tick", &[]);
+            drop(outer);
+            let records = mem.records();
+            let inner_start = records
+                .iter()
+                .find_map(|r| match r {
+                    TraceRecord::SpanStart { id, parent, name } if *name == "inner" => {
+                        Some((*id, *parent))
+                    }
+                    _ => None,
+                })
+                .expect("inner span recorded");
+            assert_eq!(inner_start.1, outer_id, "inner nests under outer");
+            let tick_span = records
+                .iter()
+                .find_map(|r| match r {
+                    TraceRecord::Event { span, name, .. } if name == "tick" => Some(*span),
+                    _ => None,
+                })
+                .expect("tick event recorded");
+            assert_eq!(tick_span, inner_start.0, "event attaches to inner span");
+            let outer_tick = records
+                .iter()
+                .find_map(|r| match r {
+                    TraceRecord::Event { span, name, .. } if name == "outer-tick" => Some(*span),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(outer_tick, outer_id);
+        }
+        clear_subscribers();
+        assert_eq!(mem.count_spans("outer"), 1);
+        assert_eq!(mem.count_spans("inner"), 1);
+    }
+
+    #[test]
+    fn cross_thread_reparenting() {
+        let _guard = locked();
+        let mem = Arc::new(MemorySubscriber::default());
+        install_subscriber(mem.clone());
+        let batch = span("batch");
+        let batch_id = batch.id();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _worker = span_with_parent("worker", batch_id);
+            });
+        });
+        drop(batch);
+        clear_subscribers();
+        let records = mem.records();
+        let worker_parent = records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::SpanStart { parent, name, .. } if *name == "worker" => Some(*parent),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(worker_parent, batch_id);
+    }
+
+    #[test]
+    fn multiple_subscribers_both_receive() {
+        let _guard = locked();
+        let a = Arc::new(MemorySubscriber::default());
+        let b = Arc::new(MemorySubscriber::default());
+        install_subscriber(a.clone());
+        install_subscriber(b.clone());
+        event("broadcast", &[]);
+        clear_subscribers();
+        assert_eq!(a.count_events("broadcast"), 1);
+        assert_eq!(b.count_events("broadcast"), 1);
+    }
+
+    #[test]
+    fn metric_helpers_respect_the_flag() {
+        let _guard = locked();
+        set_metrics_enabled(false);
+        counter_add("obs.test.flagged", 5);
+        assert_eq!(
+            registry().snapshot().counters.get("obs.test.flagged"),
+            None,
+            "disabled helpers must not create series"
+        );
+        set_metrics_enabled(true);
+        counter_add("obs.test.flagged", 5);
+        gauge_set("obs.test.gauge", 2.5);
+        observe_ms("obs.test.latency", 1.0);
+        set_metrics_enabled(false);
+        let snap = registry().snapshot();
+        assert_eq!(snap.counters.get("obs.test.flagged"), Some(&5));
+        assert_eq!(snap.gauges.get("obs.test.gauge"), Some(&2.5));
+        assert_eq!(snap.histograms.get("obs.test.latency").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,471 @@
+//! Lock-striped metrics registry: monotonic counters, gauges, and
+//! fixed-bucket histograms, with JSON and Prometheus-text exposition.
+//!
+//! Series are registered lazily by name. Lookup takes a read lock on
+//! one of [`STRIPES`] shards (chosen by name hash) so concurrent
+//! solver threads updating different series rarely contend; the
+//! returned handles ([`Counter`], [`Gauge`], [`Histogram`]) are
+//! cheaply cloneable `Arc`s whose updates are plain atomics with no
+//! lock at all — cache one per instrumentation site when a name lookup
+//! per update would matter.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent shards in a [`Registry`].
+const STRIPES: usize = 8;
+
+/// Default histogram bucket upper bounds, in milliseconds — sized for
+/// solver latencies from sub-millisecond RBD solves to multi-second
+/// batch runs.
+pub const DEFAULT_LATENCY_BUCKETS_MS: &[f64] = &[
+    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
+];
+
+/// A monotonic counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (stores `f64` bits atomically).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Ascending bucket upper bounds; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let core = &self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(core.bounds.len());
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            let mut cur = core.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + value).to_bits();
+                match core.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            counts: self
+                .0
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed)),
+            count: self.0.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (ascending; `+Inf` bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, one per bound plus the `+Inf` overflow.
+    pub counts: Vec<u64>,
+    /// Sum of all finite observations.
+    pub sum: f64,
+    /// Total observation count.
+    pub count: u64,
+}
+
+/// Point-in-time copy of a whole [`Registry`], with names sorted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total number of distinct series across all metric kinds.
+    #[must_use]
+    pub fn series_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Stripe {
+    counters: RwLock<HashMap<String, Counter>>,
+    gauges: RwLock<HashMap<String, Gauge>>,
+    histograms: RwLock<HashMap<String, Histogram>>,
+}
+
+/// A lock-striped registry of named metric series.
+#[derive(Debug)]
+pub struct Registry {
+    stripes: Vec<Stripe>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            stripes: (0..STRIPES).map(|_| Stripe::default()).collect(),
+        }
+    }
+
+    fn stripe(&self, name: &str) -> &Stripe {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        &self.stripes[(h.finish() as usize) % STRIPES]
+    }
+
+    /// Returns (registering on first use) the named counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        let stripe = self.stripe(name);
+        if let Some(c) = read(&stripe.counters).get(name) {
+            return c.clone();
+        }
+        write(&stripe.counters)
+            .entry(name.to_owned())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Returns (registering on first use) the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let stripe = self.stripe(name);
+        if let Some(g) = read(&stripe.gauges).get(name) {
+            return g.clone();
+        }
+        write(&stripe.gauges)
+            .entry(name.to_owned())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
+            .clone()
+    }
+
+    /// Returns (registering on first use) the named histogram with the
+    /// default latency buckets ([`DEFAULT_LATENCY_BUCKETS_MS`]).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_buckets(name, DEFAULT_LATENCY_BUCKETS_MS)
+    }
+
+    /// Returns (registering on first use) the named histogram with
+    /// explicit ascending bucket upper bounds. The buckets of an
+    /// already-registered histogram are not changed.
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let stripe = self.stripe(name);
+        if let Some(h) = read(&stripe.histograms).get(name) {
+            return h.clone();
+        }
+        write(&stripe.histograms)
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Histogram(Arc::new(HistogramCore {
+                    bounds: bounds.to_vec(),
+                    counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    sum_bits: AtomicU64::new(0.0f64.to_bits()),
+                    count: AtomicU64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// A consistent-enough point-in-time copy of every series.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for stripe in &self.stripes {
+            for (name, c) in read(&stripe.counters).iter() {
+                snap.counters.insert(name.clone(), c.get());
+            }
+            for (name, g) in read(&stripe.gauges).iter() {
+                snap.gauges.insert(name.clone(), g.get());
+            }
+            for (name, h) in read(&stripe.histograms).iter() {
+                snap.histograms.insert(name.clone(), h.snapshot());
+            }
+        }
+        snap
+    }
+
+    /// Serializes every series as one JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in snap.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if value.is_finite() {
+                let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+            } else {
+                let _ = write!(out, "\"{}\":null", json_escape(name));
+            }
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in snap.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{{\"buckets\":[", json_escape(name));
+            for (j, (&bound, &count)) in h.bounds.iter().zip(&h.counts).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"le\":{bound},\"count\":{count}}}");
+            }
+            if h.counts.len() > h.bounds.len() {
+                if !h.bounds.is_empty() {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"le\":null,\"count\":{}}}",
+                    h.counts[h.bounds.len()]
+                );
+            }
+            let finite_sum = if h.sum.is_finite() {
+                h.sum.to_string()
+            } else {
+                "null".to_owned()
+            };
+            let _ = write!(out, "],\"sum\":{},\"count\":{}}}", finite_sum, h.count);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Serializes every series in the Prometheus text exposition
+    /// format (names sanitized to `[a-zA-Z0-9_]`, histograms as
+    /// cumulative `_bucket`/`_sum`/`_count` families).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(512);
+        for (name, value) in &snap.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, value) in &snap.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, h) in &snap.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (&bound, &count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    super::subscriber::escape_into_for_metrics(&mut out, s);
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        r.counter("a.count").add(3);
+        r.counter("a.count").inc();
+        r.gauge("b.gauge").set(1.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["a.count"], 4);
+        assert_eq!(snap.gauges["b.gauge"], 1.5);
+        assert_eq!(snap.series_count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_prometheus() {
+        let r = Registry::new();
+        let h = r.histogram_with_buckets("lat", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_count 3"));
+        assert!(text.contains("lat_sum 105.5"));
+    }
+
+    #[test]
+    fn json_exposition_is_balanced_and_complete() {
+        let r = Registry::new();
+        r.counter("solves").add(2);
+        r.gauge("util").set(0.75);
+        r.histogram_with_buckets("ms", &[1.0]).observe(0.2);
+        let text = r.to_json();
+        assert!(text.contains("\"solves\":2"));
+        assert!(text.contains("\"util\":0.75"));
+        assert!(text.contains("\"le\":null"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prom_name("engine.memo-hits"), "engine_memo_hits");
+        assert_eq!(prom_name("0weird"), "_0weird");
+    }
+
+    #[test]
+    fn handles_are_shared_across_lookups() {
+        let r = Registry::new();
+        let a = r.counter("shared");
+        let b = r.counter("shared");
+        a.add(1);
+        b.add(1);
+        assert_eq!(r.counter("shared").get(), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = Arc::clone(&r);
+                scope.spawn(move || {
+                    let c = r.counter("contended");
+                    let h = r.histogram_with_buckets("contended.ms", &[0.5]);
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.observe(0.1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("contended").get(), 4000);
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms["contended.ms"].count, 4000);
+        assert!((snap.histograms["contended.ms"].sum - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_buckets_are_ascending() {
+        assert!(DEFAULT_LATENCY_BUCKETS_MS.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,516 @@
+//! Trace subscribers: the dispatch trait plus the two stock
+//! implementations — a JSONL stream writer and an in-memory collector.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A borrowed structured field value attached to an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (serialized as `null` when non-finite).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String slice.
+    Str(&'a str),
+}
+
+impl From<u64> for Value<'_> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value<'_> {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value<'_> {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value<'_> {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value<'_> {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// An owned [`Value`], as stored by [`MemorySubscriber`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+}
+
+impl OwnedValue {
+    /// The value as `u64`, when it is an unsigned integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            OwnedValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, converting integer variants.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            OwnedValue::F64(v) => Some(*v),
+            OwnedValue::U64(v) => Some(*v as f64),
+            OwnedValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            OwnedValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<Value<'_>> for OwnedValue {
+    fn from(v: Value<'_>) -> Self {
+        match v {
+            Value::U64(x) => OwnedValue::U64(x),
+            Value::I64(x) => OwnedValue::I64(x),
+            Value::F64(x) => OwnedValue::F64(x),
+            Value::Bool(x) => OwnedValue::Bool(x),
+            Value::Str(x) => OwnedValue::Str(x.to_owned()),
+        }
+    }
+}
+
+/// Identity of a span as dispatched to subscribers.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanInfo {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Parent span id, 0 for a root span.
+    pub parent: u64,
+    /// Static span name, e.g. `"markov.steady"`.
+    pub name: &'static str,
+}
+
+/// An event as dispatched to subscribers; fields are borrowed and must
+/// be copied out if retained.
+#[derive(Debug, Clone, Copy)]
+pub struct EventInfo<'a> {
+    /// Id of the span the event is attached to (0 = no enclosing span).
+    pub span: u64,
+    /// Event name, e.g. `"markov.iteration"`.
+    pub name: &'a str,
+    /// Structured fields.
+    pub fields: &'a [(&'a str, Value<'a>)],
+}
+
+/// Receiver of trace spans and events. Implementations must be cheap
+/// and non-blocking where possible: they run inline on solver threads.
+pub trait Subscriber: Send + Sync {
+    /// A span opened.
+    fn on_span_start(&self, span: &SpanInfo);
+    /// A span closed, with its measured wall-clock duration.
+    fn on_span_end(&self, span: &SpanInfo, duration: Duration);
+    /// A structured event fired.
+    fn on_event(&self, event: &EventInfo<'_>);
+    /// Flush any buffered output (called by `flush_subscribers`).
+    fn flush(&self) {}
+}
+
+/// JSON string escaping shared with the metrics exposition code.
+pub(crate) fn escape_into_for_metrics(out: &mut String, s: &str) {
+    escape_json_into(out, s);
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn value_json_into(out: &mut String, v: &Value<'_>) {
+    match v {
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape_json_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// Streams the trace as JSON Lines: one object per record, types
+/// `span_start`, `span_end` (with `dur_us`), and `event` (with a
+/// `fields` object). Timestamps (`t_us`) are microseconds since the
+/// subscriber was created.
+///
+/// Writes are serialized through an internal mutex, so one instance
+/// can serve every solver thread. Records from concurrent threads
+/// interleave, but each line is written atomically.
+pub struct JsonlSubscriber {
+    out: Mutex<Box<dyn Write + Send>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for JsonlSubscriber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSubscriber").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSubscriber {
+    /// Wraps any writer (a `File`, `Vec<u8>`, `io::sink()`, ...).
+    pub fn new<W: Write + Send + 'static>(writer: W) -> Self {
+        JsonlSubscriber {
+            out: Mutex::new(Box::new(writer)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Creates (truncating) a buffered JSONL trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `File::create` error.
+    pub fn create(path: &str) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(io::BufWriter::new(file)))
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A broken sink must never take the solver down; drop the record.
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn t_us(&self) -> u128 {
+        self.epoch.elapsed().as_micros()
+    }
+}
+
+impl Subscriber for JsonlSubscriber {
+    fn on_span_start(&self, span: &SpanInfo) {
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "{{\"type\":\"span_start\",\"id\":{},\"parent\":{},\"name\":\"",
+            span.id, span.parent
+        );
+        escape_json_into(&mut line, span.name);
+        let _ = write!(line, "\",\"t_us\":{}}}", self.t_us());
+        self.write_line(&line);
+    }
+
+    fn on_span_end(&self, span: &SpanInfo, duration: Duration) {
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "{{\"type\":\"span_end\",\"id\":{},\"parent\":{},\"name\":\"",
+            span.id, span.parent
+        );
+        escape_json_into(&mut line, span.name);
+        let _ = write!(
+            line,
+            "\",\"t_us\":{},\"dur_us\":{}}}",
+            self.t_us(),
+            duration.as_micros()
+        );
+        self.write_line(&line);
+    }
+
+    fn on_event(&self, event: &EventInfo<'_>) {
+        let mut line = String::with_capacity(128);
+        let _ = write!(
+            line,
+            "{{\"type\":\"event\",\"span\":{},\"name\":\"",
+            event.span
+        );
+        escape_json_into(&mut line, event.name);
+        let _ = write!(line, "\",\"t_us\":{},\"fields\":{{", self.t_us());
+        for (i, (key, value)) in event.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            escape_json_into(&mut line, key);
+            line.push_str("\":");
+            value_json_into(&mut line, value);
+        }
+        line.push_str("}}");
+        self.write_line(&line);
+    }
+
+    fn flush(&self) {
+        let mut out = self
+            .out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = out.flush();
+    }
+}
+
+/// One record captured by [`MemorySubscriber`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A span opened.
+    SpanStart {
+        /// Span id.
+        id: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Span name.
+        name: &'static str,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span id.
+        id: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Span name.
+        name: &'static str,
+        /// Measured wall-clock duration.
+        duration: Duration,
+    },
+    /// An event fired.
+    Event {
+        /// Enclosing span id (0 = none).
+        span: u64,
+        /// Event name.
+        name: String,
+        /// Copied structured fields.
+        fields: Vec<(String, OwnedValue)>,
+    },
+}
+
+/// Collects the trace in memory — the subscriber tests use to assert
+/// on instrumentation without touching the filesystem.
+#[derive(Debug, Default)]
+pub struct MemorySubscriber {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl MemorySubscriber {
+    /// A snapshot of every record captured so far.
+    #[must_use]
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Number of captured events with the given name.
+    #[must_use]
+    pub fn count_events(&self, name: &str) -> usize {
+        self.records()
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Event { name: n, .. } if n == name))
+            .count()
+    }
+
+    /// Number of captured *completed* spans with the given name.
+    #[must_use]
+    pub fn count_spans(&self, name: &str) -> usize {
+        self.records()
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::SpanEnd { name: n, .. } if *n == name))
+            .count()
+    }
+
+    /// Discards every captured record.
+    pub fn clear(&self) {
+        self.records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+
+    fn push(&self, record: TraceRecord) {
+        self.records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(record);
+    }
+}
+
+impl Subscriber for MemorySubscriber {
+    fn on_span_start(&self, span: &SpanInfo) {
+        self.push(TraceRecord::SpanStart {
+            id: span.id,
+            parent: span.parent,
+            name: span.name,
+        });
+    }
+
+    fn on_span_end(&self, span: &SpanInfo, duration: Duration) {
+        self.push(TraceRecord::SpanEnd {
+            id: span.id,
+            parent: span.parent,
+            name: span.name,
+            duration,
+        });
+    }
+
+    fn on_event(&self, event: &EventInfo<'_>) {
+        self.push(TraceRecord::Event {
+            span: event.span,
+            name: event.name.to_owned(),
+            fields: event
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), OwnedValue::from(*v)))
+                .collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed() {
+        let buf = SharedBuf::default();
+        let sub = JsonlSubscriber::new(buf.clone());
+        sub.on_span_start(&SpanInfo {
+            id: 1,
+            parent: 0,
+            name: "outer",
+        });
+        sub.on_event(&EventInfo {
+            span: 1,
+            name: "weird \"name\"\n",
+            fields: &[
+                ("iter", Value::U64(3)),
+                ("residual", Value::F64(1e-9)),
+                ("nan", Value::F64(f64::NAN)),
+                ("label", Value::Str("a\\b")),
+                ("ok", Value::Bool(true)),
+            ],
+        });
+        sub.on_span_end(
+            &SpanInfo {
+                id: 1,
+                parent: 0,
+                name: "outer",
+            },
+            Duration::from_micros(42),
+        );
+        sub.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"type\":\"span_start\""));
+        assert!(lines[1].contains("\\\"name\\\"\\n"));
+        assert!(lines[1].contains("\"nan\":null"));
+        assert!(lines[1].contains("\"label\":\"a\\\\b\""));
+        assert!(lines[1].contains("\"ok\":true"));
+        assert!(lines[2].contains("\"dur_us\":42"));
+        // Each line balances braces/quotes (cheap well-formedness check).
+        for line in lines {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert_eq!(line.matches('"').count() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn memory_subscriber_copies_fields() {
+        let mem = MemorySubscriber::default();
+        mem.on_event(&EventInfo {
+            span: 7,
+            name: "e",
+            fields: &[("k", Value::Str("v"))],
+        });
+        let records = mem.records();
+        match &records[0] {
+            TraceRecord::Event { span, name, fields } => {
+                assert_eq!(*span, 7);
+                assert_eq!(name, "e");
+                assert_eq!(fields[0].1.as_str(), Some("v"));
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+        mem.clear();
+        assert!(mem.records().is_empty());
+    }
+}

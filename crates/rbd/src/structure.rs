@@ -5,6 +5,7 @@ use reliab_bdd::{Bdd, NodeId};
 use reliab_core::{ensure_probability, Error, ImportanceMeasures, Result};
 use reliab_dist::Lifetime;
 use reliab_numeric::quadrature::integrate_to_infinity;
+use reliab_obs as obs;
 
 /// Handle to an RBD component, returned by [`RbdBuilder::component`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -120,8 +121,11 @@ impl RbdBuilder {
         if n == 0 {
             return Err(Error::model("RBD has no components"));
         }
+        let _span = obs::span("rbd.compile_bdd");
         let mut bdd = Bdd::new(n as u32);
         let works = Self::compile(&mut bdd, &root, n)?;
+        bdd.record_observability();
+        obs::counter_add("rbd.compiles", 1);
         Ok(Rbd {
             names: self.names,
             bdd,
@@ -223,6 +227,7 @@ impl Rbd {
     /// Returns [`Error::InvalidParameter`] on a length mismatch or
     /// probabilities outside `[0, 1]`.
     pub fn availability(&self, component_up: &[f64]) -> Result<f64> {
+        let _span = obs::span("rbd.availability");
         self.check_probs(component_up)?;
         self.bdd
             .probability(self.works, component_up)
@@ -294,6 +299,7 @@ impl Rbd {
     /// [`Error::Model`] if the system cannot fail at these inputs
     /// (`Q_sys = 0`, importance undefined).
     pub fn importance(&mut self, component_up: &[f64]) -> Result<Vec<ImportanceMeasures>> {
+        let _span = obs::span("rbd.importance");
         self.check_probs(component_up)?;
         let a_sys = self
             .bdd

@@ -6,6 +6,7 @@ use crate::schema::*;
 use reliab_core::{downtime_minutes_per_year, Error, Result};
 use reliab_ftree::{FaultTreeBuilder, FtNode};
 use reliab_markov::{CtmcBuilder, IterativeOptions, StateId, SteadyStateMethod, TransientOptions};
+use reliab_obs as obs;
 use reliab_rbd::{Block, RbdBuilder};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -269,6 +270,13 @@ pub fn solve_str_with(text: &str, opts: &SolveOptions) -> Result<SolveReport> {
 ///
 /// See [`solve_str_with`].
 pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> {
+    let _span = obs::span("spec.solve");
+    let kind = match spec {
+        ModelSpec::Rbd(_) => "rbd",
+        ModelSpec::FaultTree(_) => "fault_tree",
+        ModelSpec::Ctmc(_) => "ctmc",
+        ModelSpec::RelGraph(_) => "relgraph",
+    };
     let start = Instant::now();
     let (measures, mut stats) = match spec {
         ModelSpec::Rbd(r) => solve_rbd(r)?,
@@ -277,6 +285,19 @@ pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> 
         ModelSpec::RelGraph(g) => solve_relgraph(g)?,
     };
     stats.wall_time = start.elapsed();
+    obs::counter_add("spec.solves", 1);
+    obs::observe_ms("spec.solve_ms", stats.wall_time.as_secs_f64() * 1e3);
+    obs::event(
+        "spec.solved",
+        &[
+            ("kind", kind.into()),
+            ("iterations", stats.iterations.into()),
+            (
+                "wall_us",
+                (stats.wall_time.as_micros().min(u64::MAX as u128) as u64).into(),
+            ),
+        ],
+    );
     Ok(SolveReport { measures, stats })
 }
 

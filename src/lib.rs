@@ -17,6 +17,8 @@
 //! * **Discrete-event simulation** ([`sim`]) for cross-validation.
 //! * **Lifetime distributions** ([`dist`]) including non-exponential
 //!   laws and phase-type fitting.
+//! * **Observability** ([`obs`]) — structured tracing (spans/events)
+//!   and a metrics registry threaded through every solver hot path.
 //! * **Case studies** ([`models`]) — the tutorial's worked examples
 //!   (workstations & file server, multiprocessor, Boeing-787-class
 //!   network bounds, router hierarchy, SIP fixed point, software
@@ -50,6 +52,7 @@
 pub use reliab_core as core;
 pub use reliab_dist as dist;
 pub use reliab_numeric as numeric;
+pub use reliab_obs as obs;
 
 pub use reliab_bdd as bdd;
 pub use reliab_ftree as ftree;
