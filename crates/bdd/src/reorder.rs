@@ -1,0 +1,291 @@
+//! Dynamic variable reordering: Rudell's sifting over adjacent-level
+//! swaps.
+//!
+//! The manager keeps a `var ↔ level` indirection, so reordering never
+//! renames variables — external [`NodeId`]s, per-variable probability
+//! vectors and the caller's `event → var` maps all stay valid. A swap
+//! of adjacent levels rewrites only the nodes labelled with the upper
+//! variable, **in place**: a node keeps its id (and therefore its
+//! function) while its `(var, low, high)` key changes, which is exactly
+//! what the unique table's remove/insert pair supports.
+//!
+//! Sifting moves one variable at a time through every level, records
+//! the position minimizing the number of live reachable nodes, and
+//! parks it there (falling back to the best seen). Garbage from
+//! rewritten nodes is collected between variables so size measurements
+//! stay honest.
+
+use crate::{Bdd, Node, NodeId, FREE_VAR, NONE};
+
+impl Bdd {
+    /// Rudell sifting: greedily repositions every variable at its
+    /// locally optimal level, largest-population variables first.
+    ///
+    /// `root` is protected for the duration (along with any roots the
+    /// caller already holds — the *whole manager* is reordered, so
+    /// other protected functions stay consistent too). Protected node
+    /// ids remain valid; **unprotected nodes are garbage-collected**
+    /// as part of sifting, exactly as by [`Bdd::gc`]. Returns the node
+    /// count of `root` after reordering.
+    pub fn sift(&mut self, root: NodeId) -> usize {
+        if self.nvars < 2 {
+            return self.node_count(root);
+        }
+        let guard = self.protect(root);
+        // Start from a clean arena so bucket scans see only live nodes.
+        self.gc();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.nvars as usize];
+        self.fill_buckets(&mut buckets);
+        let mut vars: Vec<u32> = (0..self.nvars)
+            .filter(|&v| !buckets[v as usize].is_empty())
+            .collect();
+        // Largest level first (classic heuristic); stable sort keeps
+        // the tie-break deterministic.
+        vars.sort_by_key(|&v| std::cmp::Reverse(buckets[v as usize].len()));
+        let mut mark = Vec::new();
+        for v in vars {
+            self.sift_var(v, &mut buckets, &mut mark);
+            // Swaps orphan the upper variable's old children; collect
+            // them so the next variable's measurements are exact.
+            self.gc();
+            self.fill_buckets(&mut buckets);
+        }
+        self.sift_runs += 1;
+        self.unprotect(guard);
+        self.node_count(root)
+    }
+
+    /// Rebuilds the per-variable node buckets from an arena scan.
+    fn fill_buckets(&self, buckets: &mut [Vec<u32>]) {
+        for b in buckets.iter_mut() {
+            b.clear();
+        }
+        for (idx, n) in self.nodes.iter().enumerate().skip(2) {
+            if n.var < self.nvars {
+                buckets[n.var as usize].push(idx as u32);
+            }
+        }
+    }
+
+    /// Counts decision nodes reachable from the protected roots —
+    /// the objective function sifting minimizes. Garbage created by
+    /// earlier swaps is invisible to it.
+    fn reachable_live(&self, mark: &mut Vec<bool>) -> usize {
+        mark.clear();
+        mark.resize(self.nodes.len(), false);
+        let mut count = 0usize;
+        let mut stack: Vec<u32> = self.roots.iter().copied().filter(|&r| r != NONE).collect();
+        while let Some(id) = stack.pop() {
+            if id < 2 || mark[id as usize] {
+                continue;
+            }
+            mark[id as usize] = true;
+            count += 1;
+            let n = self.nodes[id as usize];
+            stack.push(n.low.0);
+            stack.push(n.high.0);
+        }
+        count
+    }
+
+    /// Moves `var` down to the bottom level, back up to the top, then
+    /// parks it at the best position observed.
+    fn sift_var(&mut self, var: u32, buckets: &mut [Vec<u32>], mark: &mut Vec<bool>) {
+        let bottom = self.nvars as usize - 1;
+        let start = self.var2level[var as usize] as usize;
+        let mut best_size = self.reachable_live(mark);
+        let mut best = start;
+        let mut cur = start;
+        while cur < bottom {
+            self.swap_levels(cur, buckets);
+            cur += 1;
+            let s = self.reachable_live(mark);
+            if s < best_size {
+                best_size = s;
+                best = cur;
+            }
+        }
+        while cur > 0 {
+            self.swap_levels(cur - 1, buckets);
+            cur -= 1;
+            let s = self.reachable_live(mark);
+            if s < best_size {
+                best_size = s;
+                best = cur;
+            }
+        }
+        while cur < best {
+            self.swap_levels(cur, buckets);
+            cur += 1;
+        }
+        debug_assert_eq!(self.var2level[var as usize] as usize, best);
+    }
+
+    /// Swaps the variables at `level` and `level + 1`.
+    ///
+    /// Only nodes labelled with the upper variable `a` change. A node
+    /// `a ? (b ? f01 : f00) : (b ? f11 : f10)` is rewritten in place to
+    /// `b ? (a ? f11 : f01) : (a ? f10 : f00)` — same function, same
+    /// id. Nodes of `a` that do not reference `b` are untouched (their
+    /// cofactors commute trivially). The rewrite cannot create a
+    /// degenerate node (`g0 == g1` would require both cofactor pairs
+    /// equal, which contradicts the node referencing `b` at all) and
+    /// cannot collide with an existing `b`-node key (two distinct nodes
+    /// never denote the same function in a canonical ROBDD).
+    fn swap_levels(&mut self, level: usize, buckets: &mut [Vec<u32>]) {
+        let a = self.level2var[level];
+        let b = self.level2var[level + 1];
+        let ids = std::mem::take(&mut buckets[a as usize]);
+        let mut keep: Vec<u32> = Vec::with_capacity(ids.len());
+        for id in ids {
+            let n = self.nodes[id as usize];
+            debug_assert_eq!(n.var, a);
+            debug_assert_ne!(n.var, FREE_VAR);
+            let ln = self.nodes[n.low.0 as usize];
+            let hn = self.nodes[n.high.0 as usize];
+            let low_is_b = ln.var == b;
+            let high_is_b = hn.var == b;
+            if !low_is_b && !high_is_b {
+                keep.push(id);
+                continue;
+            }
+            let (f00, f01) = if low_is_b {
+                (ln.low, ln.high)
+            } else {
+                (n.low, n.low)
+            };
+            let (f10, f11) = if high_is_b {
+                (hn.low, hn.high)
+            } else {
+                (n.high, n.high)
+            };
+            // Remove under the old key before touching the node.
+            self.unique.remove(&self.nodes, NodeId(id));
+            let (g0, g0_new) = self.mk_tracked(a, f00, f10);
+            if g0_new {
+                keep.push(g0.0);
+            }
+            let (g1, g1_new) = self.mk_tracked(a, f01, f11);
+            if g1_new {
+                keep.push(g1.0);
+            }
+            debug_assert_ne!(g0, g1, "swap produced a degenerate node");
+            self.nodes[id as usize] = Node {
+                var: b,
+                low: g0,
+                high: g1,
+            };
+            self.unique.insert(&self.nodes, NodeId(id));
+            buckets[b as usize].push(id);
+        }
+        buckets[a as usize] = keep;
+        self.level2var.swap(level, level + 1);
+        self.var2level[a as usize] = (level + 1) as u32;
+        self.var2level[b as usize] = level as u32;
+        self.sift_swaps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bdd, NodeId};
+
+    /// Builds the textbook order-sensitive function
+    /// `(x0∧x1) ∨ (x2∧x3) ∨ … ` with variables interleaved so the
+    /// declared order is pessimal.
+    fn interleaved_and_or(b: &mut Bdd, pairs: usize) -> NodeId {
+        // Declared order x0 x1 … x{2p-1}; pair i couples x_i with
+        // x_{p+i}, which is the bad interleaving for the identity
+        // order.
+        let p = pairs as u32;
+        let mut terms = Vec::new();
+        for i in 0..p {
+            let u = b.var(i).unwrap();
+            let v = b.var(p + i).unwrap();
+            terms.push(b.and(u, v));
+        }
+        b.or_all(terms)
+    }
+
+    #[test]
+    fn sift_shrinks_pessimal_order() {
+        let mut b = Bdd::new(12);
+        let f = interleaved_and_or(&mut b, 6);
+        let before = b.node_count(f);
+        let after = b.sift(f);
+        // The good order is linear (2p nodes); the bad one exponential.
+        assert!(
+            after < before,
+            "sifting should shrink {before} nodes (got {after})"
+        );
+        assert!(after <= 2 * 6 + 2);
+        assert!(b.stats().sift_runs == 1);
+        assert!(b.stats().sift_swaps > 0);
+    }
+
+    #[test]
+    fn sift_preserves_function_and_probability() {
+        let mut b = Bdd::new(10);
+        let f = interleaved_and_or(&mut b, 5);
+        let p: Vec<f64> = (0..10).map(|i| 0.05 + 0.08 * i as f64).collect();
+        let before = b.probability(f, &p).unwrap();
+        b.sift(f);
+        let after = b.probability(f, &p).unwrap();
+        assert!(
+            (before - after).abs() < 1e-12,
+            "probability changed: {before} vs {after}"
+        );
+        // Canonicity after reorder: rebuilding under the new order
+        // reaches the same node.
+        let g = interleaved_and_or(&mut b, 5);
+        assert_eq!(f, g);
+        // Truth table on a few assignments.
+        for bits in [0u32, 0b1000010001, 0b0000100001, 0b1111111111] {
+            let assignment: Vec<bool> = (0..10).map(|i| bits >> i & 1 == 1).collect();
+            let direct = (0..5).any(|i| assignment[i] && assignment[5 + i]);
+            assert_eq!(b.eval(f, &assignment).unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn sift_keeps_other_protected_roots_valid() {
+        let mut b = Bdd::new(8);
+        let f = interleaved_and_or(&mut b, 4);
+        let vars: Vec<NodeId> = (0..8).map(|i| b.var(i).unwrap()).collect();
+        let g = b.at_least_k(&vars, 3);
+        let g_guard = b.protect(g);
+        let p = [0.2; 8];
+        let pf = b.probability(f, &p).unwrap();
+        let pg = b.probability(g, &p).unwrap();
+        b.sift(f);
+        assert!((b.probability(f, &p).unwrap() - pf).abs() < 1e-12);
+        assert!((b.probability(g, &p).unwrap() - pg).abs() < 1e-12);
+        b.unprotect(g_guard);
+    }
+
+    #[test]
+    fn sift_trivial_managers() {
+        let mut b = Bdd::new(1);
+        let x = b.var(0).unwrap();
+        assert_eq!(b.sift(x), 1);
+        let mut b2 = Bdd::new(3);
+        assert_eq!(b2.sift(NodeId::TRUE), 0);
+    }
+
+    #[test]
+    fn restrict_respects_levels_after_sift() {
+        let mut b = Bdd::new(6);
+        let f = interleaved_and_or(&mut b, 3);
+        b.sift(f);
+        // Restricting by each variable still produces the correct
+        // cofactor regardless of where the level moved.
+        let p: Vec<f64> = vec![0.3; 6];
+        for v in 0..6u32 {
+            let f1 = b.restrict(f, v, true).unwrap();
+            let f0 = b.restrict(f, v, false).unwrap();
+            let direct = b.probability(f, &p).unwrap();
+            let split = 0.3 * b.probability(f1, &p).unwrap() + 0.7 * b.probability(f0, &p).unwrap();
+            assert!((direct - split).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Open-addressing unique table: the hash-consing index of the node
+//! arena.
+//!
+//! The table stores bare node indices; keys `(var, low, high)` live in
+//! the arena itself, so a probe costs one cache line for the slot plus
+//! one arena read for the candidate — no tuple keys, no per-entry
+//! allocation, and FxHash instead of SipHash. Deletion (needed by
+//! garbage collection and by level swaps during sifting) uses
+//! tombstones; tombstone build-up triggers a same-size rehash, growth a
+//! doubling rehash, both bounded by a 3/4 load factor.
+
+use crate::{Node, NodeId};
+use reliab_core::fxhash::hash_u32x3;
+
+const EMPTY: u32 = u32::MAX;
+const DELETED: u32 = u32::MAX - 1;
+const MIN_CAPACITY: usize = 256;
+
+/// Result of probing for a key: the node that holds it, or the slot
+/// where it should be inserted.
+pub(crate) enum Probe {
+    /// Key present: the canonical node.
+    Found(NodeId),
+    /// Key absent: insert position for [`UniqueTable::commit`].
+    Insert(usize),
+}
+
+#[derive(Debug)]
+pub(crate) struct UniqueTable {
+    slots: Box<[u32]>,
+    len: usize,
+    tombstones: usize,
+}
+
+impl UniqueTable {
+    pub(crate) fn new() -> Self {
+        UniqueTable {
+            slots: vec![EMPTY; MIN_CAPACITY].into_boxed_slice(),
+            len: 0,
+            tombstones: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        (self.slots.len() - 1) as u64
+    }
+
+    /// Looks up `(var, low, high)`, returning the canonical node or the
+    /// slot to insert into (reusing the first tombstone on the probe
+    /// path, keeping chains short).
+    #[inline]
+    pub(crate) fn probe(&self, nodes: &[Node], var: u32, low: NodeId, high: NodeId) -> Probe {
+        let mask = self.mask();
+        let mut idx = (hash_u32x3(var, low.0, high.0) & mask) as usize;
+        let mut first_tombstone: Option<usize> = None;
+        loop {
+            let slot = self.slots[idx];
+            if slot == EMPTY {
+                return Probe::Insert(first_tombstone.unwrap_or(idx));
+            }
+            if slot == DELETED {
+                if first_tombstone.is_none() {
+                    first_tombstone = Some(idx);
+                }
+            } else {
+                let n = &nodes[slot as usize];
+                if n.var == var && n.low == low && n.high == high {
+                    return Probe::Found(NodeId(slot));
+                }
+            }
+            idx = (idx + 1) & mask as usize;
+        }
+    }
+
+    /// Fills the slot returned by [`UniqueTable::probe`] with `id`.
+    /// Returns `true` if the caller must follow up with
+    /// [`UniqueTable::rebuild`] (load factor exceeded).
+    #[inline]
+    pub(crate) fn commit(&mut self, slot: usize, id: NodeId) -> bool {
+        if self.slots[slot] == DELETED {
+            self.tombstones -= 1;
+        }
+        self.slots[slot] = id.0;
+        self.len += 1;
+        (self.len + self.tombstones) * 4 >= self.slots.len() * 3
+    }
+
+    /// Inserts `id` under its current arena key (no duplicate check
+    /// beyond the probe). Used by level swaps, which re-key nodes in
+    /// place.
+    pub(crate) fn insert(&mut self, nodes: &[Node], id: NodeId) -> bool {
+        let n = &nodes[id.0 as usize];
+        match self.probe(nodes, n.var, n.low, n.high) {
+            Probe::Found(existing) => {
+                debug_assert_eq!(existing, id, "duplicate unique-table key");
+                false
+            }
+            Probe::Insert(slot) => self.commit(slot, id),
+        }
+    }
+
+    /// Removes `id`, which must still carry the key it was inserted
+    /// under (callers remove *before* rewriting a node in place).
+    pub(crate) fn remove(&mut self, nodes: &[Node], id: NodeId) {
+        let n = &nodes[id.0 as usize];
+        let mask = self.mask();
+        let mut idx = (hash_u32x3(n.var, n.low.0, n.high.0) & mask) as usize;
+        loop {
+            let slot = self.slots[idx];
+            if slot == id.0 {
+                self.slots[idx] = DELETED;
+                self.len -= 1;
+                self.tombstones += 1;
+                return;
+            }
+            debug_assert!(
+                slot != EMPTY,
+                "removing a node absent from the unique table"
+            );
+            if slot == EMPTY {
+                return;
+            }
+            idx = (idx + 1) & mask as usize;
+        }
+    }
+
+    /// Rehashes into a table sized for the current population: doubles
+    /// when genuinely full, otherwise just purges tombstones.
+    pub(crate) fn rebuild(&mut self, nodes: &[Node]) {
+        let target = (self.len * 2).max(MIN_CAPACITY).next_power_of_two();
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; target].into_boxed_slice());
+        self.len = 0;
+        self.tombstones = 0;
+        for &slot in old.iter() {
+            if slot != EMPTY && slot != DELETED {
+                self.insert(nodes, NodeId(slot));
+            }
+        }
+    }
+
+    /// Drops every entry and re-indexes the live (non-free,
+    /// non-terminal) arena nodes — the post-GC path.
+    pub(crate) fn rebuild_from_arena<I: Iterator<Item = u32>>(&mut self, nodes: &[Node], live: I) {
+        for s in self.slots.iter_mut() {
+            *s = EMPTY;
+        }
+        self.len = 0;
+        self.tombstones = 0;
+        for id in live {
+            self.insert(nodes, NodeId(id));
+        }
+        if (self.len * 4) < self.slots.len() && self.slots.len() > MIN_CAPACITY {
+            self.rebuild(nodes);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: garbage collection must be invisible to holders of
+//! protected references.
+//!
+//! Random Boolean expressions are built alongside random garbage
+//! (unprotected temporaries), then a full mark-and-sweep runs. Three
+//! things must survive: the protected function's truth table, its
+//! probability (bitwise — GC must not perturb the DAG walked by the
+//! probability recursion), and canonicity — rebuilding the same
+//! expression in the swept manager must return the *same* node id,
+//! proving the rebuilt unique table still hash-conses into the
+//! retained subgraph instead of duplicating it.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use reliab_bdd::{Bdd, NodeId};
+
+const NVARS: u32 = 6;
+
+/// Builder-independent expression over variables `0..NVARS`.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Not(Vec<Expr>),
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Xor(Vec<Expr>),
+}
+
+fn expr_strategy() -> BoxedStrategy<Expr> {
+    (0usize..NVARS as usize)
+        .prop_map(Expr::Var)
+        .prop_recursive(3, 48, 3, |inner| {
+            prop_oneof![
+                vec(inner.clone(), 1..=1).prop_map(Expr::Not),
+                vec(inner.clone(), 2..=3).prop_map(Expr::And),
+                vec(inner.clone(), 2..=3).prop_map(Expr::Or),
+                vec(inner, 2..=2).prop_map(Expr::Xor),
+            ]
+        })
+}
+
+fn build(bdd: &mut Bdd, e: &Expr) -> NodeId {
+    match e {
+        Expr::Var(i) => bdd.var(*i as u32).expect("var in range"),
+        Expr::Not(xs) => {
+            let x = build(bdd, &xs[0]);
+            bdd.not(x)
+        }
+        Expr::And(xs) => {
+            let ids: Vec<NodeId> = xs.iter().map(|x| build(bdd, x)).collect();
+            bdd.and_all(ids)
+        }
+        Expr::Or(xs) => {
+            let ids: Vec<NodeId> = xs.iter().map(|x| build(bdd, x)).collect();
+            bdd.or_all(ids)
+        }
+        Expr::Xor(xs) => {
+            let a = build(bdd, &xs[0]);
+            let b = build(bdd, &xs[1]);
+            bdd.xor(a, b)
+        }
+    }
+}
+
+fn truth_table(bdd: &Bdd, f: NodeId) -> Vec<bool> {
+    (0..1u32 << NVARS)
+        .map(|bits| {
+            let assignment: Vec<bool> = (0..NVARS).map(|v| bits & (1 << v) != 0).collect();
+            bdd.eval(f, &assignment)
+                .expect("assignment covers all vars")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gc_preserves_protected_functions_and_canonicity(
+        expr in expr_strategy(),
+        garbage in vec(expr_strategy(), 2..=5),
+        probs in vec(0.05f64..0.95, NVARS as usize..=NVARS as usize),
+    ) {
+        let mut bdd = Bdd::new(NVARS);
+        let f = build(&mut bdd, &expr);
+        let guard = bdd.protect(f);
+
+        let truth_before = truth_table(&bdd, f);
+        let q_before = bdd.probability(f, &probs).expect("valid probabilities");
+
+        // Unprotected temporaries: dead the moment they are built.
+        for g in &garbage {
+            let _ = build(&mut bdd, g);
+        }
+
+        let run = bdd.gc();
+        prop_assert_eq!(
+            run.live,
+            bdd.node_count(f),
+            "after a sweep with one protected root, exactly that root's \
+             decision nodes remain live"
+        );
+
+        prop_assert_eq!(truth_table(&bdd, f), truth_before);
+        let q_after = bdd.probability(f, &probs).expect("valid probabilities");
+        prop_assert_eq!(q_after.to_bits(), q_before.to_bits());
+
+        // Canonicity: the swept unique table must still recognize the
+        // retained subgraph node for node.
+        let rebuilt = build(&mut bdd, &expr);
+        prop_assert_eq!(rebuilt, f);
+
+        bdd.unprotect(guard);
+    }
+}

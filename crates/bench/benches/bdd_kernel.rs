@@ -1,0 +1,96 @@
+//! BDD kernel benchmarks: the new arena/unique-table/bounded-cache/GC
+//! kernel against the frozen pre-rework kernel (`legacy_bdd`) on the
+//! same fault trees with the same (declaration) variable ordering, so
+//! both build the identical canonical DAG and the comparison isolates
+//! kernel mechanics from ordering effects.
+//!
+//! `cargo bench -p reliab-bench --bench bdd_kernel` for the full run;
+//! the committed perf numbers in `BENCH_bdd.json` come from the
+//! `bench_bdd` binary, which times the same workloads end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reliab_bench::{boeing_class_tree, compile_legacy, legacy_bdd};
+use reliab_ftree::{CompileOptions, VariableOrdering};
+
+/// End-to-end compile + exact probability on the aircraft-class tree.
+fn bench_kernel_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_kernel_end_to_end");
+    group.sample_size(10);
+    for units in [25usize, 100] {
+        group.bench_with_input(BenchmarkId::new("legacy", units), &units, |b, &u| {
+            b.iter(|| {
+                let (_, top, probs) = boeing_class_tree(u);
+                let mut bdd = legacy_bdd::Bdd::new(probs.len() as u32);
+                let f = compile_legacy(&mut bdd, &top);
+                bdd.probability(f, &probs).expect("valid probabilities")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("new", units), &units, |b, &u| {
+            b.iter(|| {
+                let (builder, top, probs) = boeing_class_tree(u);
+                let ft = builder
+                    .build_with_ordering(top, VariableOrdering::Declaration)
+                    .expect("tree compiles");
+                ft.top_event_probability(&probs)
+                    .expect("valid probabilities")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same workload under each ordering heuristic of the new kernel —
+/// the cost of smarter orderings (and of sifting) relative to the raw
+/// declaration-order compile.
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_kernel_orderings");
+    group.sample_size(10);
+    let orderings = [
+        ("declaration", VariableOrdering::Declaration),
+        ("dfs", VariableOrdering::DepthFirst),
+        ("weighted", VariableOrdering::Weighted),
+        ("sift", VariableOrdering::Sifted),
+    ];
+    for (name, ordering) in orderings {
+        group.bench_function(BenchmarkId::new(name, 50), |b| {
+            b.iter(|| {
+                let (builder, top, probs) = boeing_class_tree(50);
+                let ft = builder
+                    .build_with_ordering(top, ordering)
+                    .expect("tree compiles");
+                ft.top_event_probability(&probs)
+                    .expect("valid probabilities")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Compile with an aggressive GC threshold vs none: the wall-clock
+/// price of keeping the peak live-node count bounded.
+fn bench_gc_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_kernel_gc");
+    group.sample_size(10);
+    for (name, threshold) in [("unbounded", usize::MAX), ("gc_4k", 4096usize)] {
+        group.bench_function(BenchmarkId::new(name, 100), |b| {
+            b.iter(|| {
+                let (builder, top, probs) = boeing_class_tree(100);
+                let opts = CompileOptions::new()
+                    .with_ordering(VariableOrdering::Declaration)
+                    .with_gc_node_threshold(threshold);
+                let ft = builder.build_with(top, &opts).expect("tree compiles");
+                ft.top_event_probability(&probs)
+                    .expect("valid probabilities")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_end_to_end,
+    bench_orderings,
+    bench_gc_overhead
+);
+criterion_main!(benches);

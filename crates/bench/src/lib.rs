@@ -13,6 +13,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod legacy_bdd;
+
 use reliab_core::Result;
 use reliab_ftree::{FaultTree, FaultTreeBuilder, FtNode, VariableOrdering};
 use reliab_markov::{Ctmc, CtmcBuilder, StateId};
@@ -98,6 +100,99 @@ pub fn ordering_ablation_tree(n: usize, ordering: VariableOrdering) -> Result<Fa
     b.build_with_ordering(top, ordering)
 }
 
+/// Builds the large synthetic "aircraft-class" fault tree used by the
+/// BDD kernel benches: `units` line-replaceable units, each the OR of
+/// five redundant component pairs (AND) and two simplex components
+/// (12 basic events per unit); units group into 10-unit subsystems
+/// tripped by 2-of-10 voting, and the top event is the OR of the
+/// subsystems. At `units = 900` the tree has 10 800 basic events —
+/// the scale at which kernel-level table/cache/GC behavior dominates.
+///
+/// Event probabilities are deterministic (a fixed multiplicative hash
+/// of the event index spread over `[1e-4, 1.1e-3)`), so every build is
+/// reproducible without a random-number dependency.
+///
+/// Returns the builder (events declared), the top gate, and the
+/// per-event probability vector.
+pub fn boeing_class_tree(units: usize) -> (FaultTreeBuilder, FtNode, Vec<f64>) {
+    let mut b = FaultTreeBuilder::new();
+    let mut probs = Vec::with_capacity(units * 12);
+    let p_next = |probs: &mut Vec<f64>| {
+        let j = probs.len() as u64;
+        probs.push(1e-4 + 1e-3 * ((j.wrapping_mul(2654435761) % 997) as f64 / 997.0));
+    };
+    let mut unit_nodes = Vec::with_capacity(units);
+    for u in 0..units {
+        let mut inputs = Vec::with_capacity(7);
+        for i in 0..5 {
+            let a = b.basic_event(&format!("u{u}p{i}a"));
+            let c = b.basic_event(&format!("u{u}p{i}b"));
+            p_next(&mut probs);
+            p_next(&mut probs);
+            inputs.push(FtNode::and_of(&[a, c]));
+        }
+        for s in 0..2 {
+            let e = b.basic_event(&format!("u{u}s{s}"));
+            p_next(&mut probs);
+            inputs.push(e.into());
+        }
+        unit_nodes.push(FtNode::or(inputs));
+    }
+    let subsystems: Vec<FtNode> = unit_nodes
+        .chunks(10)
+        .map(|chunk| {
+            if chunk.len() >= 2 {
+                FtNode::KOfN {
+                    k: 2,
+                    inputs: chunk.to_vec(),
+                }
+            } else {
+                chunk[0].clone()
+            }
+        })
+        .collect();
+    let top = if subsystems.len() == 1 {
+        subsystems.into_iter().next().expect("at least one unit")
+    } else {
+        FtNode::or(subsystems)
+    };
+    (b, top, probs)
+}
+
+/// Compiles a fault-tree gate expression on the frozen pre-rework
+/// kernel, using declaration ordering (event index = BDD variable).
+///
+/// The accumulation order mirrors `reliab-ftree`'s compiler exactly, so
+/// for a fixed ordering both kernels build the same canonical DAG and
+/// produce bitwise-identical probabilities — the equivalence the
+/// `bench_bdd` binary asserts before reporting a speedup.
+pub fn compile_legacy(bdd: &mut legacy_bdd::Bdd, node: &FtNode) -> legacy_bdd::NodeId {
+    match node {
+        FtNode::Basic(e) => bdd.var(e.index() as u32).expect("event in range"),
+        FtNode::Or(inputs) => {
+            let mut acc = legacy_bdd::NodeId::FALSE;
+            for i in inputs {
+                let x = compile_legacy(bdd, i);
+                acc = bdd.or(acc, x);
+            }
+            acc
+        }
+        FtNode::And(inputs) => {
+            let mut acc = legacy_bdd::NodeId::TRUE;
+            for i in inputs {
+                let x = compile_legacy(bdd, i);
+                acc = bdd.and(acc, x);
+            }
+            acc
+        }
+        FtNode::KOfN { k, inputs } => {
+            let xs: Vec<legacy_bdd::NodeId> =
+                inputs.iter().map(|i| compile_legacy(bdd, i)).collect();
+            bdd.at_least_k(&xs, *k)
+        }
+    }
+}
+
 /// Builds a birth–death CTMC with `n` states (used by solver benches).
 ///
 /// # Errors
@@ -148,5 +243,29 @@ mod tests {
     fn birth_death_builds() {
         let c = birth_death(50, 1.0, 2.0).unwrap();
         assert_eq!(c.num_states(), 50);
+    }
+
+    #[test]
+    fn boeing_tree_has_expected_scale() {
+        let (_, _, probs) = boeing_class_tree(25);
+        assert_eq!(probs.len(), 25 * 12);
+        assert!(probs.iter().all(|&p| (1e-4..2e-3).contains(&p)));
+    }
+
+    #[test]
+    fn legacy_and_new_kernels_agree_bitwise() {
+        // Same tree, same declaration ordering: the two kernels build
+        // the same canonical DAG, so the probability must be bitwise
+        // identical — the equivalence underlying every speedup claim.
+        let (b, top, probs) = boeing_class_tree(25);
+        let mut legacy = legacy_bdd::Bdd::new(probs.len() as u32);
+        let legacy_top = compile_legacy(&mut legacy, &top);
+        let q_legacy = legacy.probability(legacy_top, &probs).unwrap();
+        let ft = b
+            .build_with_ordering(top, VariableOrdering::Declaration)
+            .unwrap();
+        let q_new = ft.top_event_probability(&probs).unwrap();
+        assert_eq!(q_legacy.to_bits(), q_new.to_bits());
+        assert!(q_legacy > 0.0 && q_legacy < 1.0);
     }
 }

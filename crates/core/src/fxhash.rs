@@ -1,0 +1,168 @@
+//! Vendored FxHash: the non-cryptographic, multiply-and-rotate hash
+//! used by rustc (`rustc_hash`), reimplemented here because the build
+//! environment has no network access to crates.io.
+//!
+//! SipHash — the `std::collections::HashMap` default — defends against
+//! hash-flooding by an adversary who controls the keys. Every hot map
+//! in this workspace is keyed by data the process itself generated
+//! (BDD node triples, interned spec strings, component indices), so
+//! that defense buys nothing and costs 3–5x on lookups. FxHash does
+//! one wrapping multiply and rotate per word, which is the right
+//! trade for hash-consing workloads (the same reasoning OBDDimal and
+//! rustc apply).
+//!
+//! ```
+//! use reliab_core::fxhash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(42, "answer");
+//! assert_eq!(m.get(&42), Some(&"answer"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit seed constant: `2^64 / phi`, the same odd constant rustc's
+/// FxHasher multiplies by.
+pub const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+const ROTATE: u32 = 5;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`] instances.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The rustc-style Fx hasher: wrapping multiply by [`SEED`] and a
+/// 5-bit rotate per ingested word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hashes one `u64` to a well-mixed `u64` — the standalone kernel used
+/// by open-addressing tables that do their own probing instead of
+/// going through `Hasher`.
+#[inline]
+#[must_use]
+pub fn hash_u64(x: u64) -> u64 {
+    let h = x.wrapping_mul(SEED);
+    // The multiply mixes low bits upward; fold the high bits back down
+    // so masked (power-of-two) table indices see the whole word.
+    h ^ (h >> 32)
+}
+
+/// Hashes a `(u32, u32, u32)` key — the BDD unique-table / ITE-cache
+/// shape — to a well-mixed `u64`.
+#[inline]
+#[must_use]
+pub fn hash_u32x3(a: u32, b: u32, c: u32) -> u64 {
+    let mut h = u64::from(a).wrapping_mul(SEED);
+    h = (h.rotate_left(ROTATE) ^ u64::from(b)).wrapping_mul(SEED);
+    h = (h.rotate_left(ROTATE) ^ u64::from(c)).wrapping_mul(SEED);
+    h ^ (h >> 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(500, 1000)), Some(&500));
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert!(s.contains(&99));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let build = FxBuildHasher::default();
+        let h = |x: u64| build.hash_one(x);
+        assert_eq!(h(12345), h(12345));
+        assert_ne!(h(12345), h(12346));
+    }
+
+    #[test]
+    fn triple_hash_spreads_low_bits() {
+        // Sequential node ids must not collide in the low bits used by
+        // masked tables.
+        let mask = 0xFFFF;
+        let mut seen = FxHashSet::default();
+        for i in 0..1000u32 {
+            seen.insert(hash_u32x3(3, i, i + 1) & mask);
+        }
+        assert!(seen.len() > 900, "only {} distinct buckets", seen.len());
+    }
+
+    #[test]
+    fn bulk_write_matches_no_panics() {
+        let mut h = FxHasher::default();
+        h.write(b"hello world, this is more than eight bytes");
+        assert_ne!(h.finish(), 0);
+    }
+}

@@ -24,6 +24,7 @@
 #![deny(unsafe_code)]
 
 mod error;
+pub mod fxhash;
 mod measures;
 mod traits;
 mod types;

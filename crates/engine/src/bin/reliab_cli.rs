@@ -18,6 +18,14 @@
 //! * `--stats` — include solver telemetry (wall time, iterations,
 //!   residuals, BDD table sizes) with each result.
 //! * `--method auto|gth|sor|power` — CTMC steady-state method.
+//! * `--var-order auto|input|dfs|weighted|sift` — BDD variable
+//!   ordering for fault-tree models. `auto` (default) honors the
+//!   spec's `var_order` field, falling back to the depth-first
+//!   heuristic; `input` reproduces the historical declaration order.
+//! * `--ite-cache N` — ITE computed-cache capacity bound, in entries
+//!   (0 = kernel default).
+//! * `--gc-threshold N` — live BDD nodes before garbage collection
+//!   (0 = kernel default).
 //! * `--trace FILE` — stream the structured trace (spans + events) to
 //!   `FILE` as JSON Lines.
 //! * `--metrics FILE` — dump the metrics registry to `FILE` on exit
@@ -33,7 +41,7 @@
 use reliab_engine::BatchEngine;
 use reliab_obs as obs;
 use reliab_spec::json::JsonValue;
-use reliab_spec::{SolveOptions, SteadySolver};
+use reliab_spec::{SolveOptions, SteadySolver, VarOrder};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -59,6 +67,7 @@ impl Emitter {
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: reliab-cli [--jobs N] [--json] [--stats] [--method M] \
+         [--var-order O] [--ite-cache N] [--gc-threshold N] \
          [--trace FILE] [--metrics FILE] [--metrics-format F] [--progress] \
          <spec.json|glob|-> ..."
     );
@@ -67,6 +76,9 @@ fn usage(code: i32) -> ! {
     eprintln!("  --json              one machine-readable JSON array for the whole batch");
     eprintln!("  --stats             include solver telemetry with each result");
     eprintln!("  --method M          CTMC steady-state method: auto|gth|sor|power");
+    eprintln!("  --var-order O       BDD variable ordering: auto|input|dfs|weighted|sift");
+    eprintln!("  --ite-cache N       ITE cache capacity in entries (0 = kernel default)");
+    eprintln!("  --gc-threshold N    live BDD nodes before GC (0 = kernel default)");
     eprintln!("  --trace FILE        write a JSONL trace of spans/events to FILE");
     eprintln!("  --metrics FILE      dump solver metrics to FILE on exit (- = stderr)");
     eprintln!("  --metrics-format F  metrics exposition: prometheus (default) or json");
@@ -85,6 +97,9 @@ struct Cli {
     json: bool,
     stats: bool,
     method: SteadySolver,
+    var_order: VarOrder,
+    ite_cache: usize,
+    gc_threshold: usize,
     trace: Option<String>,
     metrics: Option<String>,
     metrics_format: MetricsFormat,
@@ -98,6 +113,9 @@ fn parse_args(args: &[String]) -> Cli {
         json: false,
         stats: false,
         method: SteadySolver::Auto,
+        var_order: VarOrder::Auto,
+        ite_cache: 0,
+        gc_threshold: 0,
         trace: None,
         metrics: None,
         metrics_format: MetricsFormat::Prometheus,
@@ -133,6 +151,29 @@ fn parse_args(args: &[String]) -> Cli {
                     }
                 }
             }
+            "--var-order" => {
+                cli.var_order = match it.next().and_then(|v| VarOrder::parse(v)) {
+                    Some(order) => order,
+                    None => {
+                        eprintln!("--var-order must be auto|input|dfs|weighted|sift");
+                        usage(2);
+                    }
+                }
+            }
+            "--ite-cache" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.ite_cache = n,
+                None => {
+                    eprintln!("--ite-cache requires a non-negative integer");
+                    usage(2);
+                }
+            },
+            "--gc-threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.gc_threshold = n,
+                None => {
+                    eprintln!("--gc-threshold requires a non-negative integer");
+                    usage(2);
+                }
+            },
             "--trace" => match it.next() {
                 Some(path) => cli.trace = Some(path.clone()),
                 None => {
@@ -313,9 +354,13 @@ fn main() {
         obs::set_metrics_enabled(true);
     }
 
-    let engine = BatchEngine::new()
-        .with_jobs(cli.jobs)
-        .with_options(SolveOptions::default().with_steady_solver(cli.method));
+    let engine = BatchEngine::new().with_jobs(cli.jobs).with_options(
+        SolveOptions::default()
+            .with_steady_solver(cli.method)
+            .with_var_order(cli.var_order)
+            .with_ite_cache_capacity(cli.ite_cache)
+            .with_gc_node_threshold(cli.gc_threshold),
+    );
     let texts: Vec<&String> = sources.iter().filter_map(|s| s.as_ref().ok()).collect();
     let mut reports = engine.solve_texts(&texts).into_iter();
 

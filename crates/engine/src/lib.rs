@@ -37,10 +37,10 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+use reliab_core::fxhash::FxHashMap;
 use reliab_core::{Error, Result};
 use reliab_obs as obs;
 use reliab_spec::{ModelSpec, SolveOptions, SolveReport};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -68,14 +68,15 @@ pub struct BatchStats {
 /// [`BatchEngine::with_cache_capacity`].
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
-/// Bounded memo cache: a `HashMap` plus a logical clock. Each hit or
-/// insert stamps the entry with the current tick; when an insert would
-/// exceed `capacity`, the entry with the oldest stamp is dropped
-/// (LRU by linear scan — capacities are small enough that the scan is
-/// noise next to a solve).
+/// Bounded memo cache: an `FxHashMap` (keys are canonical spec JSON the
+/// process produced itself, so the fast non-DoS-resistant hash is safe)
+/// plus a logical clock. Each hit or insert stamps the entry with the
+/// current tick; when an insert would exceed `capacity`, the entry with
+/// the oldest stamp is dropped (LRU by linear scan — capacities are
+/// small enough that the scan is noise next to a solve).
 #[derive(Debug, Default)]
 struct MemoCache {
-    map: HashMap<String, (SolveReport, u64)>,
+    map: FxHashMap<String, (SolveReport, u64)>,
     tick: u64,
     evictions: usize,
 }

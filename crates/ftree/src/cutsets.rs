@@ -1,6 +1,7 @@
 //! Minimal cut-set extraction (bottom-up MOCUS with absorption).
 
 use crate::tree::{EventId, FtNode};
+use reliab_core::fxhash::FxHashSet;
 use reliab_core::{Error, Result};
 use std::collections::BTreeSet;
 
@@ -151,9 +152,16 @@ fn guard(len: usize, max_sets: usize) -> Result<()> {
 }
 
 /// Removes non-minimal (superset) cut sets.
-fn minimize(mut sets: SetOfSets) -> SetOfSets {
+fn minimize(sets: SetOfSets) -> SetOfSets {
+    // Hash-based dedup (FxHash — this runs on every MOCUS expansion):
+    // catches *all* duplicates, where the former sort-then-`dedup`
+    // only removed adjacent ones.
+    let mut seen: FxHashSet<BTreeSet<usize>> = FxHashSet::default();
+    let mut sets: SetOfSets = sets
+        .into_iter()
+        .filter(|s| seen.insert(s.clone()))
+        .collect();
     sets.sort_by_key(|s| s.len());
-    sets.dedup();
     let mut kept: SetOfSets = Vec::new();
     'outer: for s in sets {
         for k in &kept {

@@ -42,7 +42,7 @@ mod tree;
 
 pub use ccf::CcfGroup;
 pub use cutsets::CutSet;
-pub use tree::{EventId, FaultTree, FaultTreeBuilder, FtNode, VariableOrdering};
+pub use tree::{CompileOptions, EventId, FaultTree, FaultTreeBuilder, FtNode, VariableOrdering};
 
 use reliab_core::Error;
 

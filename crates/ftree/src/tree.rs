@@ -79,6 +79,63 @@ pub enum VariableOrdering {
     /// traversal of the tree — the classic structural heuristic, which
     /// keeps related events adjacent and typically shrinks the BDD.
     DepthFirst,
+    /// Events are ordered by descending structural weight: a unit
+    /// weight flows down from the top event, split evenly across gate
+    /// inputs, so events close to the top and/or repeated across
+    /// subtrees sort first (ties broken by first DFS appearance). The
+    /// top-down weight heuristic from the fault-tree BDD literature.
+    Weighted,
+    /// Compile with the depth-first order, then run dynamic sifting
+    /// reordering (Rudell) on the resulting BDD. Most expensive, best
+    /// final size — use for large trees that will be queried many
+    /// times.
+    Sifted,
+}
+
+/// Compilation knobs for [`FaultTreeBuilder::build_with`]: variable
+/// ordering plus the BDD manager's cache/GC tuning.
+///
+/// `0` means "kernel default" for the numeric fields, so
+/// `CompileOptions::default()` matches [`FaultTreeBuilder::build`]
+/// except for the ordering chosen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CompileOptions {
+    /// Variable-ordering strategy.
+    pub ordering: VariableOrdering,
+    /// Maximum ITE computed-table entries (`0` = kernel default).
+    pub ite_cache_capacity: usize,
+    /// Live-node threshold for automatic garbage collection
+    /// (`0` = kernel default).
+    pub gc_node_threshold: usize,
+}
+
+impl CompileOptions {
+    /// All-defaults options (declaration ordering).
+    pub fn new() -> Self {
+        CompileOptions::default()
+    }
+
+    /// Sets the ordering strategy.
+    #[must_use]
+    pub fn with_ordering(mut self, ordering: VariableOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets the ITE cache capacity (`0` = kernel default).
+    #[must_use]
+    pub fn with_ite_cache_capacity(mut self, capacity: usize) -> Self {
+        self.ite_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the GC live-node threshold (`0` = kernel default).
+    #[must_use]
+    pub fn with_gc_node_threshold(mut self, threshold: usize) -> Self {
+        self.gc_node_threshold = threshold;
+        self
+    }
 }
 
 /// Builder for [`FaultTree`] models.
@@ -120,17 +177,28 @@ impl FaultTreeBuilder {
     ///
     /// # Errors
     ///
+    /// See [`FaultTreeBuilder::build_with`].
+    pub fn build_with_ordering(self, top: FtNode, ordering: VariableOrdering) -> Result<FaultTree> {
+        self.build_with(top, &CompileOptions::new().with_ordering(ordering))
+    }
+
+    /// Compiles the tree into an evaluable [`FaultTree`] with full
+    /// control over ordering and BDD cache/GC tuning.
+    ///
+    /// # Errors
+    ///
     /// Returns [`Error::Model`] for an empty tree, empty gates, k-of-n
     /// thresholds out of range, or foreign event handles.
-    pub fn build_with_ordering(self, top: FtNode, ordering: VariableOrdering) -> Result<FaultTree> {
+    pub fn build_with(self, top: FtNode, options: &CompileOptions) -> Result<FaultTree> {
         let n = self.names.len();
         if n == 0 {
             return Err(Error::model("fault tree has no basic events"));
         }
-        // event_to_var[e] = BDD level of event e.
-        let event_to_var: Vec<u32> = match ordering {
+        // event_to_var[e] = initial BDD level of event e. (Sifting may
+        // permute levels afterwards; variable identity is stable.)
+        let event_to_var: Vec<u32> = match options.ordering {
             VariableOrdering::Declaration => (0..n as u32).collect(),
-            VariableOrdering::DepthFirst => {
+            VariableOrdering::DepthFirst | VariableOrdering::Sifted => {
                 let mut order = Vec::new();
                 let mut seen = vec![false; n];
                 dfs_order(&top, &mut order, &mut seen, n)?;
@@ -143,10 +211,21 @@ impl FaultTreeBuilder {
                 }
                 map
             }
+            VariableOrdering::Weighted => weight_order(&top, n)?,
         };
         let _span = obs::span("ftree.compile_bdd");
-        let mut bdd = Bdd::new(n as u32);
+        let mut config = reliab_bdd::BddConfig::new();
+        config.ite_cache_capacity = options.ite_cache_capacity;
+        config.gc_node_threshold = options.gc_node_threshold;
+        let mut bdd = Bdd::new_with(n as u32, config);
         let fails = compile(&mut bdd, &top, &event_to_var)?;
+        if options.ordering == VariableOrdering::Sifted {
+            let _sift_span = obs::span("ftree.sift");
+            bdd.sift(fails);
+        }
+        // Pin the top-event function so manager-level GC (explicit or
+        // threshold-triggered) can never reclaim it.
+        let fails_guard = bdd.protect(fails);
         bdd.record_observability();
         obs::counter_add("ftree.compiles", 1);
         Ok(FaultTree {
@@ -155,8 +234,67 @@ impl FaultTreeBuilder {
             fails,
             event_to_var,
             top,
+            _fails_guard: fails_guard,
         })
     }
+}
+
+/// Top-down weight heuristic: unit weight at the top, divided evenly
+/// among gate inputs; events sort by descending accumulated weight,
+/// then by first DFS appearance, then declaration order. Unreferenced
+/// events (weight 0) land at the bottom in declaration order.
+fn weight_order(top: &FtNode, n: usize) -> Result<Vec<u32>> {
+    fn rec(
+        node: &FtNode,
+        share: f64,
+        w: &mut [f64],
+        first: &mut [usize],
+        counter: &mut usize,
+    ) -> Result<()> {
+        match node {
+            FtNode::Basic(e) => {
+                if e.0 >= w.len() {
+                    return Err(Error::model(format!(
+                        "event handle {} out of range ({} events declared)",
+                        e.0,
+                        w.len()
+                    )));
+                }
+                w[e.0] += share;
+                if first[e.0] == usize::MAX {
+                    first[e.0] = *counter;
+                    *counter += 1;
+                }
+                Ok(())
+            }
+            FtNode::Or(inputs) | FtNode::And(inputs) | FtNode::KOfN { inputs, .. } => {
+                // Empty gates are rejected later by `compile`.
+                if inputs.is_empty() {
+                    return Ok(());
+                }
+                let child_share = share / inputs.len() as f64;
+                for i in inputs {
+                    rec(i, child_share, w, first, counter)?;
+                }
+                Ok(())
+            }
+        }
+    }
+    let mut w = vec![0.0f64; n];
+    let mut first = vec![usize::MAX; n];
+    let mut counter = 0usize;
+    rec(top, 1.0, &mut w, &mut first, &mut counter)?;
+    let mut events: Vec<usize> = (0..n).collect();
+    events.sort_by(|&a, &b| {
+        w[b].total_cmp(&w[a])
+            .then(first[a].cmp(&first[b]))
+            .then(a.cmp(&b))
+    });
+    let mut map = vec![0u32; n];
+    for (level, &e) in events.iter().enumerate() {
+        map[e] = level as u32;
+    }
+    Ok(map)
 }
 
 fn dfs_order(node: &FtNode, order: &mut Vec<usize>, seen: &mut [bool], n: usize) -> Result<()> {
@@ -183,6 +321,32 @@ fn dfs_order(node: &FtNode, order: &mut Vec<usize>, seen: &mut [bool], n: usize)
     }
 }
 
+/// Compiles `child` while `live` (the caller's in-flight accumulator)
+/// is protected, so a garbage collection triggered at a safe point
+/// inside the child cannot reclaim it. Every recursion level guards
+/// its own accumulator this way, so at any GC the whole stack of
+/// partial results is rooted.
+fn compile_guarded(
+    bdd: &mut Bdd,
+    live: NodeId,
+    child: &FtNode,
+    event_to_var: &[u32],
+) -> Result<NodeId> {
+    let guard = bdd.protect(live);
+    let r = compile(bdd, child, event_to_var);
+    bdd.unprotect(guard);
+    r
+}
+
+/// A safe point between gate-input accumulations: `live` is the only
+/// intermediate the caller still needs, so protect it and let the
+/// manager collect if it has crossed its threshold.
+fn gc_safe_point(bdd: &mut Bdd, live: NodeId) {
+    let guard = bdd.protect(live);
+    bdd.maybe_gc();
+    bdd.unprotect(guard);
+}
+
 fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId> {
     match node {
         FtNode::Basic(e) => {
@@ -201,8 +365,9 @@ fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId>
             }
             let mut acc = NodeId::FALSE;
             for i in inputs {
-                let x = compile(bdd, i, event_to_var)?;
+                let x = compile_guarded(bdd, acc, i, event_to_var)?;
                 acc = bdd.or(acc, x);
+                gc_safe_point(bdd, acc);
             }
             Ok(acc)
         }
@@ -212,8 +377,9 @@ fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId>
             }
             let mut acc = NodeId::TRUE;
             for i in inputs {
-                let x = compile(bdd, i, event_to_var)?;
+                let x = compile_guarded(bdd, acc, i, event_to_var)?;
                 acc = bdd.and(acc, x);
+                gc_safe_point(bdd, acc);
             }
             Ok(acc)
         }
@@ -227,11 +393,26 @@ fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId>
                     inputs.len()
                 )));
             }
-            let xs: Vec<NodeId> = inputs
-                .iter()
-                .map(|i| compile(bdd, i, event_to_var))
-                .collect::<Result<_>>()?;
-            Ok(bdd.at_least_k(&xs, *k))
+            // Every compiled input stays protected until the voting
+            // network is built: `at_least_k` needs them all at once.
+            let mut xs = Vec::with_capacity(inputs.len());
+            let mut guards = Vec::with_capacity(inputs.len());
+            let mut compile_all = || -> Result<()> {
+                for i in inputs {
+                    let x = compile(bdd, i, event_to_var)?;
+                    guards.push(bdd.protect(x));
+                    xs.push(x);
+                }
+                Ok(())
+            };
+            let compiled = compile_all();
+            let r = compiled.map(|()| bdd.at_least_k(&xs, *k));
+            for g in guards {
+                bdd.unprotect(g);
+            }
+            let r = r?;
+            gc_safe_point(bdd, r);
+            Ok(r)
         }
     }
 }
@@ -244,6 +425,8 @@ pub struct FaultTree {
     fails: NodeId,
     event_to_var: Vec<u32>,
     top: FtNode,
+    /// GC root pinning `fails` for the life of the tree.
+    _fails_guard: reliab_bdd::BddRef,
 }
 
 impl FaultTree {
@@ -550,6 +733,133 @@ mod tests {
             (decl.top_event_probability(&q).unwrap() - dfs.top_event_probability(&q).unwrap())
                 .abs()
                 < 1e-14
+        );
+    }
+
+    #[test]
+    fn weighted_and_sifted_orderings_agree_on_probability() {
+        let (b, top, _) = multiproc();
+        let q = [0.01, 0.01, 0.05, 0.05, 0.05, 0.001];
+        let reference = b.build(top.clone()).unwrap();
+        let expect = reference.top_event_probability(&q).unwrap();
+        for ordering in [
+            VariableOrdering::DepthFirst,
+            VariableOrdering::Weighted,
+            VariableOrdering::Sifted,
+        ] {
+            let (b2, top2, _) = multiproc();
+            let ft = b2.build_with_ordering(top2, ordering).unwrap();
+            let got = ft.top_event_probability(&q).unwrap();
+            assert!(
+                (got - expect).abs() < 1e-14,
+                "{ordering:?}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_ordering_puts_repeated_events_first() {
+        // `shared` appears under both AND branches, so its accumulated
+        // weight (1/2) beats each leaf-only event (1/4) and it gets the
+        // topmost level despite being declared last.
+        let mut b = FaultTreeBuilder::new();
+        let x = b.basic_event("x");
+        let y = b.basic_event("y");
+        let shared = b.basic_event("shared");
+        let top = FtNode::or(vec![
+            FtNode::and_of(&[x, shared]),
+            FtNode::and_of(&[y, shared]),
+        ]);
+        let ft = b
+            .build_with_ordering(top, VariableOrdering::Weighted)
+            .unwrap();
+        assert_eq!(ft.event_to_var[shared.index()], 0);
+        let q = ft.top_event_probability(&[0.2, 0.3, 0.4]).unwrap();
+        // P = P(shared) * P(x or y) = 0.4 * (0.2 + 0.3 - 0.06)
+        assert!((q - 0.4 * 0.44).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sifted_ordering_shrinks_interleaved_tree() {
+        let n = 6;
+        let build = |ordering| {
+            let mut b = FaultTreeBuilder::new();
+            let mut pairs = Vec::new();
+            // Declare a0..a5 then b0..b5; pair a_i with b_i — pessimal
+            // for declaration order.
+            let a: Vec<EventId> = (0..n).map(|i| b.basic_event(&format!("a{i}"))).collect();
+            let bs: Vec<EventId> = (0..n).map(|i| b.basic_event(&format!("b{i}"))).collect();
+            for i in 0..n {
+                pairs.push(FtNode::and_of(&[a[i], bs[i]]));
+            }
+            b.build_with_ordering(FtNode::or(pairs), ordering).unwrap()
+        };
+        let decl = build(VariableOrdering::Declaration);
+        let sifted = build(VariableOrdering::Sifted);
+        assert!(
+            sifted.bdd_size() < decl.bdd_size(),
+            "sifted {} vs declaration {}",
+            sifted.bdd_size(),
+            decl.bdd_size()
+        );
+        assert!(sifted.bdd_stats().sift_runs >= 1);
+        let q = vec![0.05; 2 * n];
+        assert!(
+            (decl.top_event_probability(&q).unwrap() - sifted.top_event_probability(&q).unwrap())
+                .abs()
+                < 1e-14
+        );
+    }
+
+    #[test]
+    fn compile_options_tune_cache_and_gc() {
+        let (b, top, _) = multiproc();
+        let opts = CompileOptions::new()
+            .with_ordering(VariableOrdering::DepthFirst)
+            .with_ite_cache_capacity(64)
+            .with_gc_node_threshold(16);
+        let ft = b.build_with(top, &opts).unwrap();
+        let q = [0.01, 0.01, 0.05, 0.05, 0.05, 0.001];
+        assert!(ft.top_event_probability(&q).is_ok());
+        // The manager honors the configured bound.
+        assert!(ft.bdd_stats().ite_cache_entries <= 64);
+    }
+
+    #[test]
+    fn compile_time_gc_bounds_peak_live_nodes() {
+        // An OR chain of AND pairs leaves each superseded accumulator
+        // as garbage; with an aggressive threshold the compile-time
+        // safe points must collect it, keeping the high-water mark
+        // close to the final size instead of the sum of intermediates.
+        let build = |gc_threshold: usize| {
+            let mut b = FaultTreeBuilder::new();
+            let n = 64;
+            let a = b.basic_events("a", n);
+            let c = b.basic_events("c", n);
+            let top = FtNode::or((0..n).map(|i| FtNode::and_of(&[a[i], c[i]])).collect());
+            let opts = CompileOptions::new()
+                .with_ordering(VariableOrdering::DepthFirst)
+                .with_gc_node_threshold(gc_threshold);
+            b.build_with(top, &opts).unwrap()
+        };
+        let collected = build(8);
+        let unbounded = build(usize::MAX);
+        let stats = collected.bdd_stats();
+        assert!(stats.gc_runs > 0, "tiny threshold must trigger GC");
+        assert!(stats.gc_reclaimed > 0);
+        assert!(
+            stats.peak_live_nodes < unbounded.bdd_stats().peak_live_nodes,
+            "GC'd peak {} vs unbounded peak {}",
+            stats.peak_live_nodes,
+            unbounded.bdd_stats().peak_live_nodes
+        );
+        // Same function either way.
+        let q = vec![0.01; 128];
+        assert!(
+            (collected.top_event_probability(&q).unwrap()
+                - unbounded.top_event_probability(&q).unwrap())
+            .abs()
+                < 1e-15
         );
     }
 

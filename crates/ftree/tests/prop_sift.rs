@@ -1,0 +1,78 @@
+//! Property tests: variable reordering must never change the function.
+//!
+//! Random fault trees (nested AND/OR/k-of-n gates over a shared event
+//! pool) are compiled once in declaration order and once under each
+//! ordering heuristic, including post-compile sifting. The top-event
+//! probability is a function of the Boolean structure alone, so every
+//! ordering must agree to float tolerance; a disagreement means a
+//! reordering bug (a swap that changed the represented function).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use reliab_ftree::{EventId, FaultTreeBuilder, FtNode, VariableOrdering};
+
+/// Builder-independent gate structure over an event-pool index space.
+#[derive(Debug, Clone)]
+enum Shape {
+    Leaf(usize),
+    Or(Vec<Shape>),
+    And(Vec<Shape>),
+    KOfN(Vec<Shape>),
+}
+
+const POOL: usize = 24;
+
+fn shape_strategy() -> BoxedStrategy<Shape> {
+    (0usize..POOL)
+        .prop_map(Shape::Leaf)
+        .prop_recursive(3, 64, 4, |inner| {
+            prop_oneof![
+                vec(inner.clone(), 2..=4).prop_map(Shape::Or),
+                vec(inner.clone(), 2..=4).prop_map(Shape::And),
+                vec(inner, 3..=5).prop_map(Shape::KOfN),
+            ]
+        })
+}
+
+fn to_node(shape: &Shape, events: &[EventId]) -> FtNode {
+    match shape {
+        Shape::Leaf(i) => FtNode::Basic(events[*i % events.len()]),
+        Shape::Or(xs) => FtNode::or(xs.iter().map(|s| to_node(s, events)).collect()),
+        Shape::And(xs) => FtNode::and(xs.iter().map(|s| to_node(s, events)).collect()),
+        Shape::KOfN(xs) => FtNode::k_of_n(2, xs.iter().map(|s| to_node(s, events)).collect()),
+    }
+}
+
+fn probability_under(shape: &Shape, ordering: VariableOrdering, probs: &[f64]) -> f64 {
+    let mut b = FaultTreeBuilder::new();
+    let events = b.basic_events("e", POOL);
+    let top = to_node(shape, &events);
+    let ft = b
+        .build_with_ordering(top, ordering)
+        .expect("random tree compiles");
+    ft.top_event_probability(probs)
+        .expect("valid probabilities")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sifting_preserves_top_event_probability(
+        shape in shape_strategy(),
+        probs in vec(0.01f64..0.3, POOL..=POOL),
+    ) {
+        let reference = probability_under(&shape, VariableOrdering::Declaration, &probs);
+        for ordering in [
+            VariableOrdering::DepthFirst,
+            VariableOrdering::Weighted,
+            VariableOrdering::Sifted,
+        ] {
+            let q = probability_under(&shape, ordering, &probs);
+            prop_assert!(
+                (q - reference).abs() <= 1e-12,
+                "{ordering:?} disagrees with declaration order: {q:.17e} vs {reference:.17e}"
+            );
+        }
+    }
+}

@@ -1,14 +1,14 @@
 //! Specification → model conversion and solving.
 
 use crate::json::{self, JsonValue};
-use crate::report::{SolveOptions, SolveReport, SolveStats, SteadySolver};
+use crate::report::{SolveOptions, SolveReport, SolveStats, SteadySolver, VarOrder};
 use crate::schema::*;
+use reliab_core::fxhash::FxHashMap;
 use reliab_core::{downtime_minutes_per_year, Error, Result};
-use reliab_ftree::{FaultTreeBuilder, FtNode};
+use reliab_ftree::{CompileOptions, FaultTreeBuilder, FtNode, VariableOrdering};
 use reliab_markov::{CtmcBuilder, IterativeOptions, StateId, SteadyStateMethod, TransientOptions};
 use reliab_obs as obs;
 use reliab_rbd::{Block, RbdBuilder};
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Importance measures of one component/event, serialization-friendly.
@@ -280,7 +280,7 @@ pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> 
     let start = Instant::now();
     let (measures, mut stats) = match spec {
         ModelSpec::Rbd(r) => solve_rbd(r)?,
-        ModelSpec::FaultTree(f) => solve_fault_tree(f)?,
+        ModelSpec::FaultTree(f) => solve_fault_tree(f, opts)?,
         ModelSpec::Ctmc(c) => solve_ctmc(c, opts)?,
         ModelSpec::RelGraph(g) => solve_relgraph(g)?,
     };
@@ -326,19 +326,24 @@ fn bdd_stats_into(stats: &mut SolveStats, b: &reliab_bdd::BddStats) {
     stats.bdd_nodes = Some(b.arena_nodes);
     stats.bdd_cache_lookups = Some(b.ite_cache_lookups);
     stats.bdd_cache_hits = Some(b.ite_cache_hits);
+    stats.bdd_cache_evictions = Some(b.ite_cache_evictions);
+    stats.bdd_gc_runs = Some(b.gc_runs);
+    stats.bdd_gc_reclaimed = Some(b.gc_reclaimed);
+    stats.bdd_sift_swaps = Some(b.sift_swaps);
+    stats.bdd_peak_live_nodes = Some(b.peak_live_nodes);
 }
 
 fn solve_relgraph(spec: &RelGraphSpec) -> Result<(SolvedMeasures, SolveStats)> {
     use reliab_relgraph::RelGraphBuilder;
     let mut b = RelGraphBuilder::new();
-    let mut node_ids = HashMap::new();
+    let mut node_ids = FxHashMap::default();
     for n in &spec.nodes {
         if node_ids.contains_key(n) {
             return Err(Error::model(format!("duplicate node '{n}'")));
         }
         node_ids.insert(n.clone(), b.node(n));
     }
-    let node = |name: &str, ids: &HashMap<String, reliab_relgraph::NodeIdx>| {
+    let node = |name: &str, ids: &FxHashMap<String, reliab_relgraph::NodeIdx>| {
         ids.get(name)
             .copied()
             .ok_or_else(|| Error::model(format!("unknown node '{name}'")))
@@ -387,7 +392,7 @@ fn solve_relgraph(spec: &RelGraphSpec) -> Result<(SolvedMeasures, SolveStats)> {
 
 fn solve_rbd(spec: &RbdSpec) -> Result<(SolvedMeasures, SolveStats)> {
     let mut b = RbdBuilder::new();
-    let mut ids = HashMap::new();
+    let mut ids = FxHashMap::default();
     let mut probs = Vec::new();
     for c in &spec.components {
         if ids.contains_key(&c.name) {
@@ -426,7 +431,7 @@ fn solve_rbd(spec: &RbdSpec) -> Result<(SolvedMeasures, SolveStats)> {
 
 fn build_structure(
     s: &StructureSpec,
-    ids: &HashMap<String, reliab_rbd::ComponentId>,
+    ids: &FxHashMap<String, reliab_rbd::ComponentId>,
 ) -> Result<Block> {
     match s {
         StructureSpec::Component(name) => ids
@@ -456,9 +461,28 @@ fn build_structure(
     }
 }
 
-fn solve_fault_tree(spec: &FaultTreeSpec) -> Result<(SolvedMeasures, SolveStats)> {
+/// The variable ordering a fault-tree solve actually uses: a non-`Auto`
+/// option overrides the spec's `var_order` hint; both absent means the
+/// depth-first heuristic.
+fn effective_ordering(spec: &FaultTreeSpec, opts: &SolveOptions) -> VariableOrdering {
+    let chosen = match opts.var_order {
+        VarOrder::Auto => spec.var_order.unwrap_or(VarOrder::Auto),
+        other => other,
+    };
+    match chosen {
+        VarOrder::Auto | VarOrder::DepthFirst => VariableOrdering::DepthFirst,
+        VarOrder::Input => VariableOrdering::Declaration,
+        VarOrder::Weighted => VariableOrdering::Weighted,
+        VarOrder::Sift => VariableOrdering::Sifted,
+    }
+}
+
+fn solve_fault_tree(
+    spec: &FaultTreeSpec,
+    opts: &SolveOptions,
+) -> Result<(SolvedMeasures, SolveStats)> {
     let mut b = FaultTreeBuilder::new();
-    let mut ids = HashMap::new();
+    let mut ids = FxHashMap::default();
     let mut probs = Vec::new();
     for e in &spec.events {
         if ids.contains_key(&e.name) {
@@ -468,7 +492,11 @@ fn solve_fault_tree(spec: &FaultTreeSpec) -> Result<(SolvedMeasures, SolveStats)
         probs.push(e.probability);
     }
     let top = build_gate(&spec.top, &ids)?;
-    let mut ft = b.build(top)?;
+    let compile = CompileOptions::new()
+        .with_ordering(effective_ordering(spec, opts))
+        .with_ite_cache_capacity(opts.ite_cache_capacity)
+        .with_gc_node_threshold(opts.gc_node_threshold);
+    let mut ft = b.build_with(top, &compile)?;
     let q = ft.top_event_probability(&probs)?;
     let cuts = ft
         .minimal_cut_sets(spec.max_cut_sets.unwrap_or(100_000))
@@ -507,7 +535,7 @@ fn solve_fault_tree(spec: &FaultTreeSpec) -> Result<(SolvedMeasures, SolveStats)
     ))
 }
 
-fn build_gate(g: &GateSpec, ids: &HashMap<String, reliab_ftree::EventId>) -> Result<FtNode> {
+fn build_gate(g: &GateSpec, ids: &FxHashMap<String, reliab_ftree::EventId>) -> Result<FtNode> {
     match g {
         GateSpec::Event(name) => ids
             .get(name)
@@ -536,14 +564,14 @@ fn build_gate(g: &GateSpec, ids: &HashMap<String, reliab_ftree::EventId>) -> Res
 
 fn solve_ctmc(spec: &CtmcSpec, opts: &SolveOptions) -> Result<(SolvedMeasures, SolveStats)> {
     let mut b = CtmcBuilder::new();
-    let mut ids: HashMap<String, StateId> = HashMap::new();
+    let mut ids: FxHashMap<String, StateId> = FxHashMap::default();
     for s in &spec.states {
         if ids.contains_key(s) {
             return Err(Error::model(format!("duplicate state '{s}'")));
         }
         ids.insert(s.clone(), b.state(s));
     }
-    let lookup = |name: &str, ids: &HashMap<String, StateId>| -> Result<StateId> {
+    let lookup = |name: &str, ids: &FxHashMap<String, StateId>| -> Result<StateId> {
         ids.get(name)
             .copied()
             .ok_or_else(|| Error::model(format!("unknown state '{name}'")))
@@ -709,6 +737,92 @@ mod tests {
             }
             _ => panic!("expected fault-tree result"),
         }
+    }
+
+    #[test]
+    fn fault_tree_var_orders_agree_on_probability() {
+        // Same tree, every ordering route: the BDD probability is exact
+        // under any ordering, so all five must agree with the Input
+        // (declaration-order) value to fp noise.
+        let spec = |hint: &str| {
+            format!(
+                r#"{{
+                  "fault_tree": {{
+                    "events": [
+                      {{"name": "p1", "probability": 0.01}},
+                      {{"name": "p2", "probability": 0.01}},
+                      {{"name": "bus", "probability": 0.001}}
+                    ],
+                    "top": {{"or": [{{"and": ["p1", "p2"]}}, "bus"]}},
+                    "var_order": "{hint}"
+                  }}
+                }}"#
+            )
+        };
+        let q_of = |report: SolveReport| match report.measures {
+            SolvedMeasures::FaultTree {
+                top_event_probability,
+                ..
+            } => top_event_probability,
+            _ => panic!("expected fault-tree result"),
+        };
+        let expected = 1.0 - (1.0 - 1e-4) * (1.0 - 1e-3);
+        for hint in ["auto", "input", "dfs", "weighted", "sift"] {
+            let q = q_of(run(&spec(hint)).unwrap());
+            assert!(
+                (q - expected).abs() < 1e-12,
+                "var_order {hint}: {q} vs {expected}"
+            );
+        }
+        // A non-Auto option overrides the spec's hint.
+        let opts = SolveOptions::default().with_var_order(VarOrder::Sift);
+        let q = q_of(solve_str_with(&spec("input"), &opts).unwrap());
+        assert!((q - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_tree_bdd_knobs_surface_in_stats() {
+        let json = r#"{
+              "fault_tree": {
+                "events": [
+                  {"name": "a", "probability": 0.1},
+                  {"name": "b", "probability": 0.2},
+                  {"name": "c", "probability": 0.3}
+                ],
+                "top": {"k_of_n": {"k": 2, "of": ["a", "b", "c"]}}
+              }
+            }"#;
+        let opts = SolveOptions::default()
+            .with_ite_cache_capacity(64)
+            .with_gc_node_threshold(16);
+        let out = solve_str_with(json, &opts).unwrap();
+        assert!(out.stats.bdd_cache_evictions.is_some());
+        assert!(out.stats.bdd_gc_runs.is_some());
+        assert!(out.stats.bdd_gc_reclaimed.is_some());
+        assert!(out.stats.bdd_sift_swaps.is_some());
+        assert!(out.stats.bdd_peak_live_nodes.unwrap() > 0);
+        let text = out.stats.to_json().to_json();
+        assert!(text.contains("\"bdd_peak_live_nodes\":"));
+    }
+
+    #[test]
+    fn fault_tree_var_order_hint_round_trips_and_rejects_junk() {
+        let json = r#"{
+              "fault_tree": {
+                "events": [{"name": "a", "probability": 0.1}],
+                "top": "a",
+                "var_order": "weighted"
+              }
+            }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+        match &spec {
+            ModelSpec::FaultTree(f) => assert_eq!(f.var_order, Some(VarOrder::Weighted)),
+            _ => panic!("expected fault tree"),
+        }
+        let bad = json.replace("weighted", "random");
+        assert!(ModelSpec::from_json_str(&bad).is_err());
     }
 
     #[test]

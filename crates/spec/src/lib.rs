@@ -90,7 +90,7 @@ mod schema;
 #[allow(deprecated)]
 pub use convert::{solve, solve_str};
 pub use convert::{solve_str_with, solve_with, ImportanceRow, SolvedMeasures, TransientRow};
-pub use report::{SolveOptions, SolveReport, SolveStats, SteadySolver};
+pub use report::{SolveOptions, SolveReport, SolveStats, SteadySolver, VarOrder};
 pub use schema::{
     CtmcSpec, EdgeSpec, EventSpec, FaultTreeSpec, GateSpec, KOfNGateSpec, KOfNSpec, ModelSpec,
     RbdComponentSpec, RbdSpec, RelGraphSpec, StructureSpec, TransitionSpec,

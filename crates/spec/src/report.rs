@@ -38,6 +38,17 @@ pub struct SolveOptions {
     /// `1` is sequential, `0` means one thread per available CPU.
     /// Results are bitwise identical at any setting.
     pub transient_jobs: usize,
+    /// BDD variable ordering for fault-tree models. [`VarOrder::Auto`]
+    /// defers to the spec's `var_order` field, falling back to the
+    /// depth-first heuristic; any other value overrides the spec.
+    pub var_order: VarOrder,
+    /// ITE computed-cache capacity bound for BDD-based models, in
+    /// entries (rounded to a power of two). `0` keeps the kernel
+    /// default.
+    pub ite_cache_capacity: usize,
+    /// Live-node count above which the BDD kernel considers garbage
+    /// collection. `0` keeps the kernel default.
+    pub gc_node_threshold: usize,
 }
 
 impl Default for SolveOptions {
@@ -47,6 +58,9 @@ impl Default for SolveOptions {
             max_iterations: 20_000,
             steady_solver: SteadySolver::Auto,
             transient_jobs: 1,
+            var_order: VarOrder::Auto,
+            ite_cache_capacity: 0,
+            gc_node_threshold: 0,
         }
     }
 }
@@ -78,6 +92,76 @@ impl SolveOptions {
     pub fn with_transient_jobs(mut self, jobs: usize) -> Self {
         self.transient_jobs = jobs;
         self
+    }
+
+    /// Selects the BDD variable ordering for fault-tree models.
+    #[must_use]
+    pub fn with_var_order(mut self, order: VarOrder) -> Self {
+        self.var_order = order;
+        self
+    }
+
+    /// Bounds the ITE computed-cache size (entries; `0` = default).
+    #[must_use]
+    pub fn with_ite_cache_capacity(mut self, capacity: usize) -> Self {
+        self.ite_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the BDD garbage-collection threshold (`0` = default).
+    #[must_use]
+    pub fn with_gc_node_threshold(mut self, threshold: usize) -> Self {
+        self.gc_node_threshold = threshold;
+        self
+    }
+}
+
+/// BDD variable-ordering selection for fault-tree solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum VarOrder {
+    /// Use the spec's `var_order` field if present, otherwise the
+    /// depth-first heuristic (the recommended default).
+    #[default]
+    Auto,
+    /// Declaration order of the `events` array — the pre-heuristic
+    /// behavior, for reproducing historical results.
+    Input,
+    /// Depth-first traversal of the top gate: events near each other in
+    /// the tree get adjacent BDD levels.
+    DepthFirst,
+    /// Top-down weight heuristic: events reachable through short,
+    /// narrow gate paths order first.
+    Weighted,
+    /// Depth-first initial order refined by sifting (dynamic
+    /// reordering). Smallest BDDs, highest compile cost.
+    Sift,
+}
+
+impl VarOrder {
+    /// Parses the CLI / JSON spelling (`"auto"`, `"input"`, `"dfs"`,
+    /// `"weighted"`, `"sift"`).
+    pub fn parse(s: &str) -> Option<VarOrder> {
+        match s {
+            "auto" => Some(VarOrder::Auto),
+            "input" | "declaration" => Some(VarOrder::Input),
+            "dfs" | "depth_first" => Some(VarOrder::DepthFirst),
+            "weighted" => Some(VarOrder::Weighted),
+            "sift" => Some(VarOrder::Sift),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`VarOrder::parse`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VarOrder::Auto => "auto",
+            VarOrder::Input => "input",
+            VarOrder::DepthFirst => "dfs",
+            VarOrder::Weighted => "weighted",
+            VarOrder::Sift => "sift",
+        }
     }
 }
 
@@ -122,6 +206,18 @@ pub struct SolveStats {
     pub bdd_cache_lookups: Option<u64>,
     /// ITE computed-cache hits, for BDD-based models.
     pub bdd_cache_hits: Option<u64>,
+    /// ITE computed-cache evictions (bounded cache collisions), for
+    /// BDD-based models.
+    pub bdd_cache_evictions: Option<u64>,
+    /// Garbage-collection passes run during the solve.
+    pub bdd_gc_runs: Option<u64>,
+    /// Nodes reclaimed by garbage collection during the solve.
+    pub bdd_gc_reclaimed: Option<u64>,
+    /// Adjacent-level swaps performed by sifting, when dynamic
+    /// reordering ran.
+    pub bdd_sift_swaps: Option<u64>,
+    /// High-water mark of live BDD nodes during the solve.
+    pub bdd_peak_live_nodes: Option<usize>,
 }
 
 impl SolveStats {
@@ -148,6 +244,23 @@ impl SolveStats {
             (
                 "bdd_cache_hits",
                 opt_num(self.bdd_cache_hits.map(|n| n as f64)),
+            ),
+            (
+                "bdd_cache_evictions",
+                opt_num(self.bdd_cache_evictions.map(|n| n as f64)),
+            ),
+            ("bdd_gc_runs", opt_num(self.bdd_gc_runs.map(|n| n as f64))),
+            (
+                "bdd_gc_reclaimed",
+                opt_num(self.bdd_gc_reclaimed.map(|n| n as f64)),
+            ),
+            (
+                "bdd_sift_swaps",
+                opt_num(self.bdd_sift_swaps.map(|n| n as f64)),
+            ),
+            (
+                "bdd_peak_live_nodes",
+                opt_num(self.bdd_peak_live_nodes.map(|n| n as f64)),
             ),
         ])
     }
@@ -207,5 +320,34 @@ mod tests {
         let text = stats.to_json().to_json();
         assert!(text.contains("\"residual\":null"));
         assert!(text.contains("\"iterations\":0"));
+        assert!(text.contains("\"bdd_gc_runs\":null"));
+        assert!(text.contains("\"bdd_peak_live_nodes\":null"));
+    }
+
+    #[test]
+    fn var_order_round_trips_through_parse() {
+        for order in [
+            VarOrder::Auto,
+            VarOrder::Input,
+            VarOrder::DepthFirst,
+            VarOrder::Weighted,
+            VarOrder::Sift,
+        ] {
+            assert_eq!(VarOrder::parse(order.as_str()), Some(order));
+        }
+        assert_eq!(VarOrder::parse("declaration"), Some(VarOrder::Input));
+        assert_eq!(VarOrder::parse("depth_first"), Some(VarOrder::DepthFirst));
+        assert_eq!(VarOrder::parse("bogus"), None);
+    }
+
+    #[test]
+    fn bdd_knob_builders_compose() {
+        let opts = SolveOptions::default()
+            .with_var_order(VarOrder::Sift)
+            .with_ite_cache_capacity(1 << 12)
+            .with_gc_node_threshold(4096);
+        assert_eq!(opts.var_order, VarOrder::Sift);
+        assert_eq!(opts.ite_cache_capacity, 1 << 12);
+        assert_eq!(opts.gc_node_threshold, 4096);
     }
 }

@@ -113,6 +113,10 @@ pub struct FaultTreeSpec {
     /// Cap on intermediate cut sets during enumeration (default
     /// 100 000; the BDD probability itself has no such cap).
     pub max_cut_sets: Option<usize>,
+    /// BDD variable-ordering hint: `"auto"`, `"input"`, `"dfs"`,
+    /// `"weighted"`, or `"sift"`. Overridden by a non-`Auto`
+    /// `SolveOptions::var_order`; absent means `"auto"`.
+    pub var_order: Option<crate::report::VarOrder>,
 }
 
 /// One basic event.
@@ -419,7 +423,7 @@ impl FaultTreeSpec {
     fn from_json(v: &JsonValue) -> Result<FaultTreeSpec> {
         check_keys(
             as_obj(v, "fault_tree")?,
-            &["events", "top", "max_cut_sets"],
+            &["events", "top", "max_cut_sets", "var_order"],
             "fault_tree",
         )?;
         let events = req(v, "events", "fault_tree")?
@@ -436,10 +440,24 @@ impl FaultTreeSpec {
                     .ok_or_else(|| schema_err("'max_cut_sets' must be a non-negative integer"))?,
             ),
         };
+        let var_order = match v.get("var_order") {
+            None | Some(JsonValue::Null) => None,
+            Some(o) => {
+                let s = o
+                    .as_str()
+                    .ok_or_else(|| schema_err("'var_order' must be a string"))?;
+                Some(crate::report::VarOrder::parse(s).ok_or_else(|| {
+                    schema_err(format!(
+                        "'var_order' must be one of auto, input, dfs, weighted, sift (got '{s}')"
+                    ))
+                })?)
+            }
+        };
         Ok(FaultTreeSpec {
             events,
             top,
             max_cut_sets,
+            var_order,
         })
     }
 
@@ -453,6 +471,9 @@ impl FaultTreeSpec {
         ];
         if let Some(m) = self.max_cut_sets {
             entries.push(("max_cut_sets", JsonValue::Number(m as f64)));
+        }
+        if let Some(o) = self.var_order {
+            entries.push(("var_order", JsonValue::from(o.as_str())));
         }
         json::object(entries)
     }
