@@ -1,0 +1,337 @@
+//! The pre-optimization SPN state-space generator, frozen for
+//! benchmarking.
+//!
+//! This reproduces `reliab-spn`'s reachability generation as it stood
+//! before the compact-store/parallel rework: a `HashMap<Marking,
+//! usize>` intern table keyed by owned marking vectors (SipHash, one
+//! clone per lookup plus one per insert), LIFO frontier order, a
+//! `HashMap`-merge vanishing resolution, and CTMC construction through
+//! the string-interning `CtmcBuilder`. The `reach` Criterion suite and
+//! the `bench-reach` binary measure the new generator against this
+//! exact code on identical nets. Do not improve it.
+//!
+//! The model representation is deliberately independent of
+//! `reliab-spn` internals (which the new generator reshaped); the
+//! [`crate::tandem_spn`] / [`crate::tandem_legacy`] constructors build
+//! the same net for both.
+
+use reliab_core::{Error, Result};
+use reliab_markov::{Ctmc, CtmcBuilder};
+use std::collections::HashMap;
+
+/// A marking: token count per place.
+pub type Marking = Vec<u32>;
+
+/// Transition timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LegacyTiming {
+    /// Exponential delay with the given rate.
+    Timed(f64),
+    /// Immediate firing with the given weight and priority.
+    Immediate {
+        /// Relative firing weight among equal-priority competitors.
+        weight: f64,
+        /// Firing priority (higher fires first).
+        priority: u32,
+    },
+}
+
+/// One transition: timing plus input/output/inhibitor arcs as
+/// `(place, multiplicity)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegacyTransition {
+    /// Timing discipline.
+    pub timing: LegacyTiming,
+    /// Input arcs.
+    pub inputs: Vec<(usize, u32)>,
+    /// Output arcs.
+    pub outputs: Vec<(usize, u32)>,
+    /// Inhibitor arcs.
+    pub inhibitors: Vec<(usize, u32)>,
+}
+
+/// A stochastic Petri net in the legacy generator's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegacySpn {
+    /// Number of places.
+    pub num_places: usize,
+    /// Initial marking.
+    pub initial: Marking,
+    /// Transitions.
+    pub transitions: Vec<LegacyTransition>,
+}
+
+/// Generation limits, mirroring the old `ReachabilityOptions`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegacyReachOptions {
+    /// Hard cap on tangible markings.
+    pub max_markings: usize,
+    /// Hard cap on vanishing-chain length.
+    pub max_vanishing_depth: usize,
+}
+
+impl Default for LegacyReachOptions {
+    fn default() -> Self {
+        LegacyReachOptions {
+            max_markings: 1_000_000,
+            max_vanishing_depth: 10_000,
+        }
+    }
+}
+
+/// The legacy solve result: tangible markings plus the CTMC.
+#[derive(Debug)]
+pub struct LegacySolved {
+    markings: Vec<Marking>,
+    ctmc: Ctmc,
+    initial: Vec<f64>,
+}
+
+impl LegacySolved {
+    /// Number of tangible markings.
+    pub fn num_markings(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// The tangible markings, indexed like CTMC states.
+    pub fn markings(&self) -> &[Marking] {
+        &self.markings
+    }
+
+    /// The underlying CTMC.
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.ctmc
+    }
+
+    /// Initial distribution over tangible markings.
+    pub fn initial_distribution(&self) -> &[f64] {
+        &self.initial
+    }
+}
+
+impl LegacySpn {
+    fn enabled(&self, t: usize, m: &Marking) -> bool {
+        let tr = &self.transitions[t];
+        tr.inputs.iter().all(|&(p, k)| m[p] >= k) && tr.inhibitors.iter().all(|&(p, k)| m[p] < k)
+    }
+
+    fn fire(&self, t: usize, m: &Marking) -> Marking {
+        let mut next = m.clone();
+        for &(p, k) in &self.transitions[t].inputs {
+            next[p] -= k;
+        }
+        for &(p, k) in &self.transitions[t].outputs {
+            next[p] += k;
+        }
+        next
+    }
+
+    /// Generates the reachability graph, eliminates vanishing markings,
+    /// and builds the CTMC — the exact structure of the pre-rework
+    /// generator (owned-key `HashMap` interning, LIFO frontier,
+    /// `CtmcBuilder` with `format!("{m:?}")` state names).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the old generator: [`Error::Model`] on the marking cap
+    /// or a vanishing loop, and propagates CTMC build errors.
+    pub fn solve_with(&self, opts: &LegacyReachOptions) -> Result<LegacySolved> {
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        let mut arcs: Vec<(usize, usize, f64)> = Vec::new();
+
+        let intern = |m: Marking,
+                      markings: &mut Vec<Marking>,
+                      index: &mut HashMap<Marking, usize>,
+                      queue: &mut Vec<usize>|
+         -> Result<usize> {
+            if let Some(&i) = index.get(&m) {
+                return Ok(i);
+            }
+            if markings.len() >= opts.max_markings {
+                return Err(Error::model(format!(
+                    "reachability exceeded {} tangible markings",
+                    opts.max_markings
+                )));
+            }
+            let i = markings.len();
+            index.insert(m.clone(), i);
+            markings.push(m);
+            queue.push(i);
+            Ok(i)
+        };
+
+        let init_dist = self.resolve_vanishing(self.initial.clone(), opts)?;
+        let mut initial_pairs: Vec<(usize, f64)> = Vec::new();
+        for (m, p) in init_dist {
+            let i = intern(m, &mut markings, &mut index, &mut queue)?;
+            initial_pairs.push((i, p));
+        }
+
+        while let Some(i) = queue.pop() {
+            let m = markings[i].clone();
+            for t in 0..self.transitions.len() {
+                let LegacyTiming::Timed(rate) = self.transitions[t].timing else {
+                    continue;
+                };
+                if !self.enabled(t, &m) {
+                    continue;
+                }
+                let fired = self.fire(t, &m);
+                for (target, p) in self.resolve_vanishing(fired, opts)? {
+                    let j = intern(target, &mut markings, &mut index, &mut queue)?;
+                    if j != i {
+                        arcs.push((i, j, rate * p));
+                    }
+                }
+            }
+        }
+
+        let mut b = CtmcBuilder::new();
+        let ids: Vec<_> = markings
+            .iter()
+            .map(|m| b.state(&format!("{m:?}")))
+            .collect();
+        for (f, t, r) in arcs {
+            b.transition(ids[f], ids[t], r)?;
+        }
+        let ctmc = b.build()?;
+        let mut initial = vec![0.0; markings.len()];
+        for (i, p) in initial_pairs {
+            initial[i] += p;
+        }
+        Ok(LegacySolved {
+            markings,
+            ctmc,
+            initial,
+        })
+    }
+
+    fn resolve_vanishing(
+        &self,
+        m: Marking,
+        opts: &LegacyReachOptions,
+    ) -> Result<Vec<(Marking, f64)>> {
+        let mut out: Vec<(Marking, f64)> = Vec::new();
+        let mut stack: Vec<(Marking, f64, usize)> = vec![(m, 1.0, 0)];
+        while let Some((m, p, depth)) = stack.pop() {
+            if depth > opts.max_vanishing_depth {
+                return Err(Error::model(
+                    "vanishing-marking chain exceeded depth limit: immediate-transition loop?",
+                ));
+            }
+            let mut best_priority = None;
+            for (t, tr) in self.transitions.iter().enumerate() {
+                if let LegacyTiming::Immediate { priority, .. } = tr.timing {
+                    if self.enabled(t, &m) {
+                        best_priority =
+                            Some(best_priority.map_or(priority, |b: u32| b.max(priority)));
+                    }
+                }
+            }
+            let Some(best) = best_priority else {
+                out.push((m, p));
+                continue;
+            };
+            let firing: Vec<(usize, f64)> = self
+                .transitions
+                .iter()
+                .enumerate()
+                .filter_map(|(t, tr)| match tr.timing {
+                    LegacyTiming::Immediate { weight, priority }
+                        if priority == best && self.enabled(t, &m) =>
+                    {
+                        Some((t, weight))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let total_weight: f64 = firing.iter().map(|(_, w)| w).sum();
+            for (t, w) in firing {
+                let next = self.fire(t, &m);
+                stack.push((next, p * w / total_weight, depth + 1));
+            }
+        }
+        let mut merged: HashMap<Marking, f64> = HashMap::new();
+        for (m, p) in out {
+            *merged.entry(m).or_insert(0.0) += p;
+        }
+        Ok(merged.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// M/M/1/K queue: one place, arrival inhibited at capacity.
+    fn mm1k(lambda: f64, mu: f64, k: u32) -> LegacySpn {
+        LegacySpn {
+            num_places: 1,
+            initial: vec![0],
+            transitions: vec![
+                LegacyTransition {
+                    timing: LegacyTiming::Timed(lambda),
+                    inputs: vec![],
+                    outputs: vec![(0, 1)],
+                    inhibitors: vec![(0, k)],
+                },
+                LegacyTransition {
+                    timing: LegacyTiming::Timed(mu),
+                    inputs: vec![(0, 1)],
+                    outputs: vec![],
+                    inhibitors: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn legacy_mm1k_matches_closed_form() {
+        let spn = mm1k(1.0, 2.0, 3);
+        let solved = spn.solve_with(&LegacyReachOptions::default()).unwrap();
+        assert_eq!(solved.num_markings(), 4);
+        let pi = solved.ctmc().steady_state().unwrap();
+        let rho: f64 = 0.5;
+        let z: f64 = (0..4).map(|n| rho.powi(n)).sum();
+        for (i, m) in solved.markings().iter().enumerate() {
+            let expect = rho.powi(m[0] as i32) / z;
+            assert!((pi[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn legacy_cap_and_loop_guards_fire() {
+        let unbounded = LegacySpn {
+            num_places: 1,
+            initial: vec![0],
+            transitions: vec![LegacyTransition {
+                timing: LegacyTiming::Timed(1.0),
+                inputs: vec![],
+                outputs: vec![(0, 1)],
+                inhibitors: vec![],
+            }],
+        };
+        let opts = LegacyReachOptions {
+            max_markings: 10,
+            ..Default::default()
+        };
+        assert!(unbounded.solve_with(&opts).is_err());
+
+        let looping = LegacySpn {
+            num_places: 1,
+            initial: vec![1],
+            transitions: vec![LegacyTransition {
+                timing: LegacyTiming::Immediate {
+                    weight: 1.0,
+                    priority: 0,
+                },
+                inputs: vec![(0, 1)],
+                outputs: vec![(0, 1)],
+                inhibitors: vec![],
+            }],
+        };
+        assert!(looping.solve_with(&LegacyReachOptions::default()).is_err());
+    }
+}

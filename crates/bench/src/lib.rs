@@ -14,11 +14,13 @@
 #![deny(unsafe_code)]
 
 pub mod legacy_bdd;
+pub mod legacy_reach;
 
 use reliab_core::Result;
 use reliab_ftree::{FaultTree, FaultTreeBuilder, FtNode, VariableOrdering};
 use reliab_markov::{Ctmc, CtmcBuilder, StateId};
 use reliab_rbd::{Block, Rbd, RbdBuilder};
+use reliab_spn::{Spn, SpnBuilder};
 
 /// Builds a heterogeneous series-of-parallel-pairs RBD with `n` pairs
 /// (`2n` components): the E14 scaling family. Component availabilities
@@ -193,6 +195,84 @@ pub fn compile_legacy(bdd: &mut legacy_bdd::Bdd, node: &FtNode) -> legacy_bdd::N
     }
 }
 
+/// Builds the three-stage tandem queueing SPN used by the `reach`
+/// benches: arrivals feed stage 1, stage-2 completions pass through an
+/// immediate 0.7/0.3 forward/rework routing split, and every stage is
+/// capacity-bounded at `capacity` via inhibitor arcs. The routing place
+/// is vanishing, so the tangible state space is exactly
+/// `(capacity + 1)³` markings — `capacity = 48` gives the ≥10⁵-marking
+/// net behind `BENCH_reach.json`.
+///
+/// # Errors
+///
+/// Propagates SPN construction errors.
+pub fn tandem_spn(capacity: u32) -> Result<Spn> {
+    let mut b = SpnBuilder::new();
+    let q1 = b.place("stage1", 0);
+    let q2 = b.place("stage2", 0);
+    let q3 = b.place("stage3", 0);
+    let route = b.place("routing", 0);
+    let arrive = b.timed("arrive", 1.0);
+    b.output_arc(arrive, q1, 1)
+        .inhibitor_arc(arrive, q1, capacity);
+    let serve1 = b.timed("serve1", 2.0);
+    b.input_arc(serve1, q1, 1)
+        .output_arc(serve1, q2, 1)
+        .inhibitor_arc(serve1, q2, capacity);
+    let serve2 = b.timed("serve2", 3.0);
+    b.input_arc(serve2, q2, 1).output_arc(serve2, route, 1);
+    let forward = b.immediate("forward", 0.7, 0);
+    b.input_arc(forward, route, 1)
+        .output_arc(forward, q3, 1)
+        .inhibitor_arc(forward, q3, capacity);
+    let rework = b.immediate("rework", 0.3, 0);
+    b.input_arc(rework, route, 1).output_arc(rework, q2, 1);
+    let serve3 = b.timed("serve3", 4.0);
+    b.input_arc(serve3, q3, 1);
+    b.build()
+}
+
+/// The same tandem net in the frozen legacy generator's representation
+/// (identical place order, so the two generators' marking sets are
+/// directly comparable).
+pub fn tandem_legacy(capacity: u32) -> legacy_reach::LegacySpn {
+    use legacy_reach::{LegacySpn, LegacyTiming, LegacyTransition};
+    let (q1, q2, q3, route) = (0usize, 1usize, 2usize, 3usize);
+    let timed = |rate: f64,
+                 inputs: Vec<(usize, u32)>,
+                 outputs: Vec<(usize, u32)>,
+                 inhibitors: Vec<(usize, u32)>| LegacyTransition {
+        timing: LegacyTiming::Timed(rate),
+        inputs,
+        outputs,
+        inhibitors,
+    };
+    let immediate = |weight: f64,
+                     inputs: Vec<(usize, u32)>,
+                     outputs: Vec<(usize, u32)>,
+                     inhibitors: Vec<(usize, u32)>| LegacyTransition {
+        timing: LegacyTiming::Immediate {
+            weight,
+            priority: 0,
+        },
+        inputs,
+        outputs,
+        inhibitors,
+    };
+    LegacySpn {
+        num_places: 4,
+        initial: vec![0, 0, 0, 0],
+        transitions: vec![
+            timed(1.0, vec![], vec![(q1, 1)], vec![(q1, capacity)]),
+            timed(2.0, vec![(q1, 1)], vec![(q2, 1)], vec![(q2, capacity)]),
+            timed(3.0, vec![(q2, 1)], vec![(route, 1)], vec![]),
+            immediate(0.7, vec![(route, 1)], vec![(q3, 1)], vec![(q3, capacity)]),
+            immediate(0.3, vec![(route, 1)], vec![(q2, 1)], vec![]),
+            timed(4.0, vec![(q3, 1)], vec![], vec![]),
+        ],
+    }
+}
+
 /// Builds a birth–death CTMC with `n` states (used by solver benches).
 ///
 /// # Errors
@@ -250,6 +330,44 @@ mod tests {
         let (_, _, probs) = boeing_class_tree(25);
         assert_eq!(probs.len(), 25 * 12);
         assert!(probs.iter().all(|&p| (1e-4..2e-3).contains(&p)));
+    }
+
+    #[test]
+    fn tandem_generators_agree() {
+        // Both routes on the same net: identical tangible marking sets
+        // and matching steady-state measures (state numbering differs,
+        // so the comparison goes through sorted markings and a
+        // numbering-independent reward).
+        let capacity = 3;
+        let new = tandem_spn(capacity).unwrap();
+        let new_solved = new.solve().unwrap();
+        let legacy = tandem_legacy(capacity);
+        let legacy_solved = legacy
+            .solve_with(&legacy_reach::LegacyReachOptions::default())
+            .unwrap();
+        let expect = (capacity as usize + 1).pow(3);
+        assert_eq!(new_solved.num_markings(), expect);
+        assert_eq!(legacy_solved.num_markings(), expect);
+        let mut a: Vec<_> = new_solved.markings().to_vec();
+        let mut b: Vec<_> = legacy_solved.markings().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        let mean_new = new_solved
+            .steady_state_expected_reward(|m| f64::from(m[2]))
+            .unwrap();
+        let pi = legacy_solved.ctmc().steady_state().unwrap();
+        let mean_legacy: f64 = legacy_solved
+            .markings()
+            .iter()
+            .zip(&pi)
+            .map(|(m, &p)| p * f64::from(m[2]))
+            .sum();
+        assert!(
+            (mean_new - mean_legacy).abs() < 1e-9,
+            "stage-3 mean: new {mean_new} vs legacy {mean_legacy}"
+        );
+        assert!(new_solved.reach_stats().vanishing_eliminated > 0);
     }
 
     #[test]

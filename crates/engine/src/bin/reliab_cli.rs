@@ -26,6 +26,9 @@
 //!   (0 = kernel default).
 //! * `--gc-threshold N` — live BDD nodes before garbage collection
 //!   (0 = kernel default).
+//! * `--reach-jobs N` — worker threads for SPN state-space generation
+//!   (0 = one per CPU; default 1). The generated chain — and therefore
+//!   every measure — is bitwise identical at any setting.
 //! * `--trace FILE` — stream the structured trace (spans + events) to
 //!   `FILE` as JSON Lines.
 //! * `--metrics FILE` — dump the metrics registry to `FILE` on exit
@@ -67,11 +70,11 @@ impl Emitter {
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: reliab-cli [--jobs N] [--json] [--stats] [--method M] \
-         [--var-order O] [--ite-cache N] [--gc-threshold N] \
+         [--var-order O] [--ite-cache N] [--gc-threshold N] [--reach-jobs N] \
          [--trace FILE] [--metrics FILE] [--metrics-format F] [--progress] \
          <spec.json|glob|-> ..."
     );
-    eprintln!("solves reliab model specifications (rbd / fault_tree / ctmc / rel_graph)");
+    eprintln!("solves reliab model specifications (rbd / fault_tree / ctmc / rel_graph / spn)");
     eprintln!("  --jobs N            worker threads (0 = one per CPU; default 0)");
     eprintln!("  --json              one machine-readable JSON array for the whole batch");
     eprintln!("  --stats             include solver telemetry with each result");
@@ -79,6 +82,7 @@ fn usage(code: i32) -> ! {
     eprintln!("  --var-order O       BDD variable ordering: auto|input|dfs|weighted|sift");
     eprintln!("  --ite-cache N       ITE cache capacity in entries (0 = kernel default)");
     eprintln!("  --gc-threshold N    live BDD nodes before GC (0 = kernel default)");
+    eprintln!("  --reach-jobs N      SPN state-space workers (0 = one per CPU; default 1)");
     eprintln!("  --trace FILE        write a JSONL trace of spans/events to FILE");
     eprintln!("  --metrics FILE      dump solver metrics to FILE on exit (- = stderr)");
     eprintln!("  --metrics-format F  metrics exposition: prometheus (default) or json");
@@ -100,6 +104,7 @@ struct Cli {
     var_order: VarOrder,
     ite_cache: usize,
     gc_threshold: usize,
+    reach_jobs: usize,
     trace: Option<String>,
     metrics: Option<String>,
     metrics_format: MetricsFormat,
@@ -116,6 +121,7 @@ fn parse_args(args: &[String]) -> Cli {
         var_order: VarOrder::Auto,
         ite_cache: 0,
         gc_threshold: 0,
+        reach_jobs: 1,
         trace: None,
         metrics: None,
         metrics_format: MetricsFormat::Prometheus,
@@ -171,6 +177,13 @@ fn parse_args(args: &[String]) -> Cli {
                 Some(n) => cli.gc_threshold = n,
                 None => {
                     eprintln!("--gc-threshold requires a non-negative integer");
+                    usage(2);
+                }
+            },
+            "--reach-jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.reach_jobs = n,
+                None => {
+                    eprintln!("--reach-jobs requires a non-negative integer");
                     usage(2);
                 }
             },
@@ -359,7 +372,8 @@ fn main() {
             .with_steady_solver(cli.method)
             .with_var_order(cli.var_order)
             .with_ite_cache_capacity(cli.ite_cache)
-            .with_gc_node_threshold(cli.gc_threshold),
+            .with_gc_node_threshold(cli.gc_threshold)
+            .with_reach_jobs(cli.reach_jobs),
     );
     let texts: Vec<&String> = sources.iter().filter_map(|s| s.as_ref().ok()).collect();
     let mut reports = engine.solve_texts(&texts).into_iter();

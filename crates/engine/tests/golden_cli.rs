@@ -1,0 +1,109 @@
+//! Golden snapshot tests: `reliab-cli --json` output for every shipped
+//! spec in `specs/` is locked against the files in `tests/golden/` at
+//! the repository root.
+//!
+//! When a change legitimately alters solver output (new measures, a
+//! numeric method change), regenerate the snapshots and review the
+//! diff like any other code change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p reliab-engine --test golden_cli
+//! git diff tests/golden/
+//! ```
+//!
+//! The CLI runs with the repository root as its working directory and
+//! is handed the relative `specs/<name>.json` path, so the `"file"`
+//! field in the locked output is machine-independent. `--stats` is
+//! deliberately not used: it reports wall-clock times.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn cli_json_output_matches_golden_snapshots() {
+    let root = repo_root();
+    let golden_dir = root.join("tests/golden");
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    if update {
+        std::fs::create_dir_all(&golden_dir).unwrap();
+    }
+
+    let mut spec_names: Vec<String> = std::fs::read_dir(root.join("specs"))
+        .expect("specs/ exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    spec_names.sort();
+    assert!(!spec_names.is_empty(), "specs/ is empty");
+
+    let mut failures = Vec::new();
+    for name in &spec_names {
+        let out = Command::new(env!("CARGO_BIN_EXE_reliab-cli"))
+            .current_dir(&root)
+            .arg("--json")
+            .arg(format!("specs/{name}"))
+            .output()
+            .expect("failed to launch reliab-cli");
+        assert!(
+            out.status.success(),
+            "specs/{name} failed to solve: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let actual = String::from_utf8(out.stdout).expect("utf-8 output");
+        assert!(
+            !actual.contains("\"error\""),
+            "specs/{name} produced an error record:\n{actual}"
+        );
+
+        let golden_path = golden_dir.join(name);
+        if update {
+            std::fs::write(&golden_path, &actual).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&golden_path) {
+            Ok(expected) if expected == actual => {}
+            Ok(expected) => failures.push(format!(
+                "specs/{name}: output differs from tests/golden/{name}\n\
+                 --- expected ---\n{expected}\n--- actual ---\n{actual}"
+            )),
+            Err(_) => failures.push(format!(
+                "specs/{name}: no golden snapshot at tests/golden/{name} \
+                 (run with UPDATE_GOLDEN=1 to create it)"
+            )),
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "{} golden mismatch(es); regenerate with \
+         `UPDATE_GOLDEN=1 cargo test -p reliab-engine --test golden_cli` \
+         and review the diff\n\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+/// Every golden snapshot corresponds to a shipped spec — catches
+/// stale snapshots left behind by a renamed or deleted spec.
+#[test]
+fn no_orphaned_golden_snapshots() {
+    let root = repo_root();
+    let golden_dir = root.join("tests/golden");
+    let Ok(entries) = std::fs::read_dir(&golden_dir) else {
+        return; // no snapshots yet
+    };
+    for entry in entries {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            root.join("specs").join(&name).exists(),
+            "tests/golden/{name} has no matching specs/{name}; delete the stale snapshot"
+        );
+    }
+}

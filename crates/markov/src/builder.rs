@@ -102,6 +102,68 @@ impl CtmcBuilder {
     }
 }
 
+impl Ctmc {
+    /// Builds a chain directly from a state-name list and `(from, to,
+    /// rate)` triplets, bypassing the name-interning builder — the
+    /// streaming path used by reachability-graph generators that
+    /// already hold a canonical state numbering. Duplicate `(from,
+    /// to)` pairs accumulate, exactly like repeated
+    /// [`CtmcBuilder::transition`] calls.
+    ///
+    /// Names are taken as-is; callers are responsible for uniqueness
+    /// (a duplicated name only affects [`Ctmc::find_state`], which
+    /// returns the first match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] for an empty state list, a self-loop,
+    /// or an out-of-range state index, and
+    /// [`Error::InvalidParameter`] for a rate that is not finite and
+    /// positive.
+    pub fn from_parts(names: Vec<String>, transitions: Vec<(usize, usize, f64)>) -> Result<Ctmc> {
+        let n = names.len();
+        if n == 0 {
+            return Err(Error::model("CTMC has no states"));
+        }
+        let mut out_rate = vec![0.0f64; n];
+        for &(f, t, r) in &transitions {
+            if f >= n || t >= n {
+                return Err(Error::model(format!(
+                    "transition ({f}, {t}) out of range for {n} states"
+                )));
+            }
+            if f == t {
+                return Err(Error::model(format!(
+                    "self-loop on state '{}' is not a CTMC transition",
+                    names[f]
+                )));
+            }
+            ensure_finite_positive(r, "transition rate")?;
+            out_rate[f] += r;
+        }
+        let mut trips = transitions.clone();
+        for (i, &r) in out_rate.iter().enumerate() {
+            if r > 0.0 {
+                trips.push((i, i, -r));
+            }
+        }
+        let generator = CsrMatrix::from_triplets(n, n, &trips).map_err(crate::num_err)?;
+        Ok(Ctmc {
+            names,
+            transitions,
+            out_rate,
+            generator,
+        })
+    }
+
+    /// Handles of all states in index order — the counterpart of
+    /// collecting [`CtmcBuilder::state`] return values when the chain
+    /// was built via [`Ctmc::from_parts`].
+    pub fn state_ids(&self) -> Vec<StateId> {
+        (0..self.num_states()).map(StateId).collect()
+    }
+}
+
 /// A finite continuous-time Markov chain.
 ///
 /// Construct with [`CtmcBuilder`]. Solution methods live in the

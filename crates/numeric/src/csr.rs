@@ -69,20 +69,26 @@ impl CsrMatrix {
             vals[slot] = v;
             next[r] += 1;
         }
-        // Sort within each row and merge duplicates.
+        // Sort within each row and merge duplicates. One scratch
+        // buffer serves every row — a fresh allocation per row is
+        // measurable when generators arrive with 10^5+ rows (see the
+        // `reach` bench suite).
         let mut row_ptr = vec![0usize; nrows + 1];
         let mut col_idx = Vec::with_capacity(triplets.len());
         let mut values = Vec::with_capacity(triplets.len());
+        let mut entries: Vec<(usize, f64)> = Vec::new();
         for r in 0..nrows {
             let (lo, hi) = (counts[r], counts[r + 1]);
-            let mut entries: Vec<(usize, f64)> = cols[lo..hi]
-                .iter()
-                .copied()
-                .zip(vals[lo..hi].iter().copied())
-                .collect();
+            entries.clear();
+            entries.extend(
+                cols[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals[lo..hi].iter().copied()),
+            );
             entries.sort_unstable_by_key(|e| e.0);
             let row_start = col_idx.len();
-            for (c, v) in entries {
+            for &(c, v) in &entries {
                 if col_idx.len() > row_start && *col_idx.last().expect("nonempty") == c {
                     *values.last_mut().expect("nonempty") += v;
                 } else {

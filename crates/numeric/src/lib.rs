@@ -18,6 +18,8 @@
 //!   large sparse chains.
 //! * [`poisson_weights`] — truncated, normalized Poisson probabilities for
 //!   uniformization (Fox–Glynn-style tail control).
+//! * [`expm`] — dense matrix exponential (Padé-13 scaling and
+//!   squaring), the oracle behind the differential transient tests.
 //! * [`special`] — `ln Γ`, regularized incomplete gamma, `erf`, normal
 //!   CDF/quantile.
 //! * [`quadrature`] — adaptive Simpson integration.
@@ -28,6 +30,7 @@
 
 mod csr;
 mod dense;
+mod expm;
 mod gth;
 mod iterative;
 mod poisson;
@@ -37,6 +40,7 @@ pub mod special;
 
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
+pub use expm::expm;
 pub use gth::{gth_steady_state, gth_steady_state_observed};
 pub use iterative::{
     power_method, power_method_observed, power_method_with_stats, sor_steady_state,

@@ -110,6 +110,15 @@ pub enum SolvedMeasures {
         /// Minimal s-t cut sets (edge-name lists).
         minimal_cut_sets: Vec<Vec<String>>,
     },
+    /// Stochastic Petri net results.
+    Spn {
+        /// Number of tangible markings (CTMC states) generated.
+        num_markings: usize,
+        /// Steady-state expected token counts for the requested places.
+        expected_tokens: Vec<(String, f64)>,
+        /// Steady-state throughput of the requested timed transitions.
+        throughput: Vec<(String, f64)>,
+    },
     /// CTMC results.
     Ctmc {
         /// Stationary distribution `(state, probability)` — absent for
@@ -214,6 +223,18 @@ impl SolvedMeasures {
                     ("minimal_cut_sets", name_lists(minimal_cut_sets)),
                 ]),
             )]),
+            SolvedMeasures::Spn {
+                num_markings,
+                expected_tokens,
+                throughput,
+            } => json::object(vec![(
+                "spn",
+                json::object(vec![
+                    ("num_markings", JsonValue::Number(*num_markings as f64)),
+                    ("expected_tokens", named_pairs(expected_tokens)),
+                    ("throughput", named_pairs(throughput)),
+                ]),
+            )]),
             SolvedMeasures::Ctmc {
                 steady_state,
                 availability,
@@ -276,6 +297,7 @@ pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> 
         ModelSpec::FaultTree(_) => "fault_tree",
         ModelSpec::Ctmc(_) => "ctmc",
         ModelSpec::RelGraph(_) => "relgraph",
+        ModelSpec::Spn(_) => "spn",
     };
     let start = Instant::now();
     let (measures, mut stats) = match spec {
@@ -283,6 +305,7 @@ pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> 
         ModelSpec::FaultTree(f) => solve_fault_tree(f, opts)?,
         ModelSpec::Ctmc(c) => solve_ctmc(c, opts)?,
         ModelSpec::RelGraph(g) => solve_relgraph(g)?,
+        ModelSpec::Spn(s) => solve_spn(s, opts)?,
     };
     stats.wall_time = start.elapsed();
     obs::counter_add("spec.solves", 1);
@@ -560,6 +583,125 @@ fn build_gate(g: &GateSpec, ids: &FxHashMap<String, reliab_ftree::EventId>) -> R
                 .collect::<Result<_>>()?,
         }),
     }
+}
+
+fn solve_spn(spec: &SpnSpec, opts: &SolveOptions) -> Result<(SolvedMeasures, SolveStats)> {
+    use reliab_spn::{PlaceId, ReachabilityOptions, SpnBuilder, TransitionId};
+    let mut b = SpnBuilder::new();
+    let mut place_ids: FxHashMap<String, PlaceId> = FxHashMap::default();
+    for p in &spec.places {
+        if place_ids.contains_key(&p.name) {
+            return Err(Error::model(format!("duplicate place '{}'", p.name)));
+        }
+        place_ids.insert(p.name.clone(), b.place(&p.name, p.tokens));
+    }
+    let place = |name: &str, ids: &FxHashMap<String, PlaceId>| -> Result<PlaceId> {
+        ids.get(name)
+            .copied()
+            .ok_or_else(|| Error::model(format!("unknown place '{name}'")))
+    };
+    let mut trans_ids: FxHashMap<String, TransitionId> = FxHashMap::default();
+    for t in &spec.transitions {
+        if trans_ids.contains_key(&t.name) {
+            return Err(Error::model(format!("duplicate transition '{}'", t.name)));
+        }
+        let id = match t.timing {
+            SpnTimingSpec::Timed { rate } => b.timed(&t.name, rate),
+            SpnTimingSpec::Immediate { weight, priority } => b.immediate(&t.name, weight, priority),
+        };
+        for a in &t.inputs {
+            b.input_arc(id, place(&a.place, &place_ids)?, a.count);
+        }
+        for a in &t.outputs {
+            b.output_arc(id, place(&a.place, &place_ids)?, a.count);
+        }
+        for a in &t.inhibitors {
+            b.inhibitor_arc(id, place(&a.place, &place_ids)?, a.count);
+        }
+        trans_ids.insert(t.name.clone(), id);
+    }
+    let spn = b.build()?;
+
+    let mut ropts = ReachabilityOptions::default();
+    if let Some(cap) = spec.max_markings {
+        ropts.max_markings = cap;
+    }
+    if let Some(bits) = spec.shard_bits {
+        ropts.shard_bits = bits;
+    }
+    // A non-default option overrides the spec's knob; worker count never
+    // changes results (generation is bitwise deterministic).
+    ropts.jobs = if opts.reach_jobs != 1 {
+        opts.reach_jobs
+    } else {
+        spec.reach_jobs.unwrap_or(ropts.jobs)
+    };
+    let solved = spn.solve_with(&ropts)?;
+
+    let mut stats = SolveStats::default();
+    let reach = solved.reach_stats();
+    stats.spn_markings = Some(reach.markings);
+    stats.spn_arcs = Some(reach.arcs);
+    stats.spn_vanishing_eliminated = Some(reach.vanishing_eliminated);
+    stats.spn_shard_max_occupancy = Some(reach.max_shard_occupancy);
+    stats.spn_reach_workers = Some(reach.workers);
+
+    let want_tokens = spec.expected_tokens.as_deref().unwrap_or(&[]);
+    let want_throughput = spec.throughput.as_deref().unwrap_or(&[]);
+    let (expected_tokens, throughput) = if want_tokens.is_empty() && want_throughput.is_empty() {
+        (Vec::new(), Vec::new())
+    } else {
+        // Solve the chain once; both measure families share the π.
+        let iter_opts = IterativeOptions {
+            tolerance: opts.tolerance,
+            max_iterations: opts.max_iterations,
+            relaxation: 1.0,
+        };
+        let method = match opts.steady_solver {
+            SteadySolver::Gth => SteadyStateMethod::Gth,
+            SteadySolver::Sor => SteadyStateMethod::Sor(iter_opts),
+            SteadySolver::Power => SteadyStateMethod::Power(iter_opts),
+            _ => SteadyStateMethod::Auto,
+        };
+        let report = solved.ctmc().steady_state_report(&method)?;
+        stats.method = Some(report.method);
+        stats.iterations += report.iterations;
+        stats.residual = Some(report.residual);
+        let pi = report.pi;
+        let expected_tokens = want_tokens
+            .iter()
+            .map(|name| {
+                let idx = place(name, &place_ids)?.index();
+                let mean = solved
+                    .markings()
+                    .iter()
+                    .zip(&pi)
+                    .map(|(m, &p)| p * f64::from(m[idx]))
+                    .sum();
+                Ok((name.clone(), mean))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let throughput = want_throughput
+            .iter()
+            .map(|name| {
+                let id = trans_ids
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| Error::model(format!("unknown transition '{name}'")))?;
+                Ok((name.clone(), solved.throughput_given(&pi, id)?))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        (expected_tokens, throughput)
+    };
+
+    Ok((
+        SolvedMeasures::Spn {
+            num_markings: solved.num_markings(),
+            expected_tokens,
+            throughput,
+        },
+        stats,
+    ))
 }
 
 fn solve_ctmc(spec: &CtmcSpec, opts: &SolveOptions) -> Result<(SolvedMeasures, SolveStats)> {
@@ -948,6 +1090,77 @@ mod tests {
             }
             _ => panic!("expected rel-graph result"),
         }
+    }
+
+    #[test]
+    fn spn_spec_solves_mm1k() {
+        // M/M/1/3 queue: arrivals inhibited at 3 tokens. Closed-form
+        // stationary distribution π_n ∝ ρ^n with ρ = λ/μ.
+        let text = r#"{
+          "spn": {
+            "places": [{"name": "queue", "tokens": 0}],
+            "transitions": [
+              {"name": "arrive", "rate": 1.0,
+               "outputs": [{"place": "queue"}],
+               "inhibitors": [{"place": "queue", "count": 3}]},
+              {"name": "serve", "rate": 2.0,
+               "inputs": [{"place": "queue"}]}
+            ],
+            "expected_tokens": ["queue"],
+            "throughput": ["serve"]
+          }
+        }"#;
+        let out = run(text).unwrap();
+        assert_eq!(out.stats.spn_markings, Some(4));
+        assert_eq!(out.stats.spn_reach_workers, Some(1));
+        assert!(out.stats.spn_arcs.unwrap() > 0);
+        assert!(out.stats.method.is_some());
+        match &out.measures {
+            SolvedMeasures::Spn {
+                num_markings,
+                expected_tokens,
+                throughput,
+            } => {
+                assert_eq!(*num_markings, 4);
+                let rho: f64 = 0.5;
+                let z: f64 = (0..4).map(|n| rho.powi(n)).sum();
+                let mean: f64 = (0..4).map(|n| f64::from(n) * rho.powi(n) / z).sum();
+                assert!((expected_tokens[0].1 - mean).abs() < 1e-9);
+                // Served flow = arrival flow admitted: λ·(1 − π_3).
+                let expect_tp = 1.0 * (1.0 - rho.powi(3) / z);
+                assert!((throughput[0].1 - expect_tp).abs() < 1e-9);
+            }
+            _ => panic!("expected SPN result"),
+        }
+        // Worker count never changes the measures.
+        let par = solve_str_with(text, &SolveOptions::default().with_reach_jobs(4)).unwrap();
+        assert_eq!(par.stats.spn_reach_workers, Some(4));
+        assert_eq!(par.measures, out.measures);
+        // Serialization carries the spn block.
+        let rendered = out.to_json().to_json();
+        assert!(rendered.contains("\"spn\":"));
+        assert!(rendered.contains("\"spn_markings\":4"));
+    }
+
+    #[test]
+    fn spn_spec_semantic_errors() {
+        // Unknown place in an arc.
+        assert!(run(r#"{"spn": {"places": [{"name": "p", "tokens": 1}],
+             "transitions": [{"name": "t", "rate": 1.0,
+               "inputs": [{"place": "ghost"}]}]}}"#)
+        .is_err());
+        // Unknown measure targets.
+        assert!(run(r#"{"spn": {"places": [{"name": "p", "tokens": 1}],
+             "transitions": [{"name": "t", "rate": 1.0, "inputs": [{"place": "p"}],
+               "outputs": [{"place": "p"}]}],
+             "expected_tokens": ["ghost"]}}"#)
+        .is_err());
+        // max_markings cap fires.
+        assert!(run(r#"{"spn": {"places": [{"name": "p", "tokens": 0}],
+             "transitions": [{"name": "grow", "rate": 1.0,
+               "outputs": [{"place": "p"}]}],
+             "max_markings": 10}}"#)
+        .is_err());
     }
 
     #[test]

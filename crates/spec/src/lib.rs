@@ -77,6 +77,20 @@
 //!                 "reliability": 0.99, "directed": false}, ... ],
 //!     "source": "s", "sink": "t",
 //!     "all_terminal": false } }
+//!
+//! { "spn": {
+//!     "places": [ {"name": "queue", "tokens": 3}, ... ],
+//!     "transitions": [
+//!       {"name": "arrive", "rate": 1.5,            // timed, or:
+//!        "inputs":     [{"place": "pool"}],         // count defaults to 1
+//!        "outputs":    [{"place": "queue", "count": 1}],
+//!        "inhibitors": [{"place": "queue", "count": 8}]},
+//!       {"name": "route", "weight": 0.7, "priority": 1}, ... ],
+//!     "max_markings": 1000000,          // optional, exploration cap
+//!     "reach_jobs": 4,                  // optional, generation workers
+//!     "shard_bits": 6,                  // optional, intern-table shards
+//!     "expected_tokens": ["queue"],     // optional, steady-state measure
+//!     "throughput": ["arrive"] } }      // optional, steady-state measure
 //! ```
 
 #![deny(missing_docs)]
@@ -92,6 +106,7 @@ pub use convert::{solve, solve_str};
 pub use convert::{solve_str_with, solve_with, ImportanceRow, SolvedMeasures, TransientRow};
 pub use report::{SolveOptions, SolveReport, SolveStats, SteadySolver, VarOrder};
 pub use schema::{
-    CtmcSpec, EdgeSpec, EventSpec, FaultTreeSpec, GateSpec, KOfNGateSpec, KOfNSpec, ModelSpec,
-    RbdComponentSpec, RbdSpec, RelGraphSpec, StructureSpec, TransitionSpec,
+    ArcSpec, CtmcSpec, EdgeSpec, EventSpec, FaultTreeSpec, GateSpec, KOfNGateSpec, KOfNSpec,
+    ModelSpec, PlaceSpec, RbdComponentSpec, RbdSpec, RelGraphSpec, SpnSpec, SpnTimingSpec,
+    SpnTransitionSpec, StructureSpec, TransitionSpec,
 };

@@ -49,6 +49,11 @@ pub struct SolveOptions {
     /// Live-node count above which the BDD kernel considers garbage
     /// collection. `0` keeps the kernel default.
     pub gc_node_threshold: usize,
+    /// Worker threads for SPN state-space generation: `1` is the
+    /// sequential reference, `0` means one worker per available CPU.
+    /// The generated CTMC is bitwise identical at any setting. A
+    /// non-default value overrides the spec's `reach_jobs` knob.
+    pub reach_jobs: usize,
 }
 
 impl Default for SolveOptions {
@@ -61,6 +66,7 @@ impl Default for SolveOptions {
             var_order: VarOrder::Auto,
             ite_cache_capacity: 0,
             gc_node_threshold: 0,
+            reach_jobs: 1,
         }
     }
 }
@@ -112,6 +118,13 @@ impl SolveOptions {
     #[must_use]
     pub fn with_gc_node_threshold(mut self, threshold: usize) -> Self {
         self.gc_node_threshold = threshold;
+        self
+    }
+
+    /// Sets the SPN reachability worker count (`0` = all CPUs).
+    #[must_use]
+    pub fn with_reach_jobs(mut self, jobs: usize) -> Self {
+        self.reach_jobs = jobs;
         self
     }
 }
@@ -218,6 +231,18 @@ pub struct SolveStats {
     pub bdd_sift_swaps: Option<u64>,
     /// High-water mark of live BDD nodes during the solve.
     pub bdd_peak_live_nodes: Option<usize>,
+    /// Tangible markings in the generated state space, for SPN models.
+    pub spn_markings: Option<usize>,
+    /// CTMC transitions in the generated state space, for SPN models.
+    pub spn_arcs: Option<usize>,
+    /// Vanishing (immediate) markings eliminated on the fly, for SPN
+    /// models.
+    pub spn_vanishing_eliminated: Option<u64>,
+    /// Largest intern-table shard occupancy, for SPN models.
+    pub spn_shard_max_occupancy: Option<usize>,
+    /// Worker threads the reachability generation actually used, for
+    /// SPN models.
+    pub spn_reach_workers: Option<usize>,
 }
 
 impl SolveStats {
@@ -261,6 +286,20 @@ impl SolveStats {
             (
                 "bdd_peak_live_nodes",
                 opt_num(self.bdd_peak_live_nodes.map(|n| n as f64)),
+            ),
+            ("spn_markings", opt_num(self.spn_markings.map(|n| n as f64))),
+            ("spn_arcs", opt_num(self.spn_arcs.map(|n| n as f64))),
+            (
+                "spn_vanishing_eliminated",
+                opt_num(self.spn_vanishing_eliminated.map(|n| n as f64)),
+            ),
+            (
+                "spn_shard_max_occupancy",
+                opt_num(self.spn_shard_max_occupancy.map(|n| n as f64)),
+            ),
+            (
+                "spn_reach_workers",
+                opt_num(self.spn_reach_workers.map(|n| n as f64)),
             ),
         ])
     }

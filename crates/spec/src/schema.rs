@@ -21,6 +21,86 @@ pub enum ModelSpec {
     Ctmc(CtmcSpec),
     /// An s-t reliability graph.
     RelGraph(RelGraphSpec),
+    /// A stochastic Petri net.
+    Spn(SpnSpec),
+}
+
+/// Stochastic-Petri-net specification.
+///
+/// Timed transitions carry a `rate`; immediate transitions a `weight`
+/// (and optional `priority`). The reachability knobs mirror
+/// `reliab-spn`'s `ReachabilityOptions` and may be overridden from
+/// `SolveOptions` / the CLI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpnSpec {
+    /// Place declarations.
+    pub places: Vec<PlaceSpec>,
+    /// Transition declarations.
+    pub transitions: Vec<SpnTransitionSpec>,
+    /// Cap on tangible markings (default 1 000 000).
+    pub max_markings: Option<usize>,
+    /// Worker threads for state-space generation (`0` = one per CPU;
+    /// default 1, the sequential reference). Overridden by a
+    /// non-default `SolveOptions::reach_jobs`.
+    pub reach_jobs: Option<usize>,
+    /// log2 intern-table shards for the parallel generator.
+    pub shard_bits: Option<u32>,
+    /// Places to report steady-state expected token counts for
+    /// (default: every place).
+    pub expected_tokens: Option<Vec<String>>,
+    /// Timed transitions to report steady-state throughput for
+    /// (default: none).
+    pub throughput: Option<Vec<String>>,
+}
+
+/// One SPN place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceSpec {
+    /// Place name.
+    pub name: String,
+    /// Initial token count.
+    pub tokens: u32,
+}
+
+/// One SPN transition (timed or immediate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpnTransitionSpec {
+    /// Transition name.
+    pub name: String,
+    /// Timed rate or immediate weight/priority.
+    pub timing: SpnTimingSpec,
+    /// Input arcs (tokens consumed; enablement condition).
+    pub inputs: Vec<ArcSpec>,
+    /// Output arcs (tokens produced).
+    pub outputs: Vec<ArcSpec>,
+    /// Inhibitor arcs (disabled at or above the threshold).
+    pub inhibitors: Vec<ArcSpec>,
+}
+
+/// Timing of an SPN transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpnTimingSpec {
+    /// Exponential transition with a constant rate.
+    Timed {
+        /// Firing rate (per time unit).
+        rate: f64,
+    },
+    /// Immediate transition.
+    Immediate {
+        /// Branching weight among equal-priority immediates.
+        weight: f64,
+        /// Priority (higher fires first; default 0).
+        priority: u32,
+    },
+}
+
+/// One arc of an SPN transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcSpec {
+    /// Place name.
+    pub place: String,
+    /// Multiplicity / inhibitor threshold (default 1).
+    pub count: u32,
 }
 
 /// Reliability-graph specification.
@@ -261,7 +341,7 @@ impl ModelSpec {
         if entries.len() != 1 {
             return Err(schema_err(
                 "model document must have exactly one top-level key \
-                 (one of 'rbd', 'fault_tree', 'ctmc', 'rel_graph')",
+                 (one of 'rbd', 'fault_tree', 'ctmc', 'rel_graph', 'spn')",
             ));
         }
         let (key, payload) = &entries[0];
@@ -270,6 +350,7 @@ impl ModelSpec {
             "fault_tree" => Ok(ModelSpec::FaultTree(FaultTreeSpec::from_json(payload)?)),
             "ctmc" => Ok(ModelSpec::Ctmc(CtmcSpec::from_json(payload)?)),
             "rel_graph" => Ok(ModelSpec::RelGraph(RelGraphSpec::from_json(payload)?)),
+            "spn" => Ok(ModelSpec::Spn(SpnSpec::from_json(payload)?)),
             other => Err(schema_err(format!("unknown model class '{other}'"))),
         }
     }
@@ -283,6 +364,7 @@ impl ModelSpec {
             ModelSpec::FaultTree(f) => json::object(vec![("fault_tree", f.to_json())]),
             ModelSpec::Ctmc(c) => json::object(vec![("ctmc", c.to_json())]),
             ModelSpec::RelGraph(g) => json::object(vec![("rel_graph", g.to_json())]),
+            ModelSpec::Spn(s) => json::object(vec![("spn", s.to_json())]),
         }
     }
 
@@ -753,6 +835,247 @@ impl EdgeSpec {
     }
 }
 
+impl SpnSpec {
+    fn from_json(v: &JsonValue) -> Result<SpnSpec> {
+        check_keys(
+            as_obj(v, "spn")?,
+            &[
+                "places",
+                "transitions",
+                "max_markings",
+                "reach_jobs",
+                "shard_bits",
+                "expected_tokens",
+                "throughput",
+            ],
+            "spn",
+        )?;
+        let places = req(v, "places", "spn")?
+            .as_array()
+            .ok_or_else(|| schema_err("spn 'places' must be an array"))?
+            .iter()
+            .map(PlaceSpec::from_json)
+            .collect::<Result<_>>()?;
+        let transitions = req(v, "transitions", "spn")?
+            .as_array()
+            .ok_or_else(|| schema_err("spn 'transitions' must be an array"))?
+            .iter()
+            .map(SpnTransitionSpec::from_json)
+            .collect::<Result<_>>()?;
+        let opt_usize = |key: &str| -> Result<Option<usize>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(m) => Ok(Some(m.as_usize().ok_or_else(|| {
+                    schema_err(format!("'{key}' must be a non-negative integer"))
+                })?)),
+            }
+        };
+        let shard_bits = match opt_usize("shard_bits")? {
+            None => None,
+            Some(b) if b <= 16 => Some(b as u32),
+            Some(b) => {
+                return Err(schema_err(format!("'shard_bits' must be <= 16 (got {b})")));
+            }
+        };
+        let optional_names = |key: &str| -> Result<Option<Vec<String>>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(list) => Ok(Some(string_list(list, key)?)),
+            }
+        };
+        Ok(SpnSpec {
+            places,
+            transitions,
+            max_markings: opt_usize("max_markings")?,
+            reach_jobs: opt_usize("reach_jobs")?,
+            shard_bits,
+            expected_tokens: optional_names("expected_tokens")?,
+            throughput: optional_names("throughput")?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![
+            (
+                "places",
+                JsonValue::Array(self.places.iter().map(PlaceSpec::to_json).collect()),
+            ),
+            (
+                "transitions",
+                JsonValue::Array(
+                    self.transitions
+                        .iter()
+                        .map(SpnTransitionSpec::to_json)
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(m) = self.max_markings {
+            entries.push(("max_markings", JsonValue::Number(m as f64)));
+        }
+        if let Some(j) = self.reach_jobs {
+            entries.push(("reach_jobs", JsonValue::Number(j as f64)));
+        }
+        if let Some(b) = self.shard_bits {
+            entries.push(("shard_bits", JsonValue::Number(f64::from(b))));
+        }
+        if let Some(p) = &self.expected_tokens {
+            entries.push(("expected_tokens", json::string_array(p)));
+        }
+        if let Some(t) = &self.throughput {
+            entries.push(("throughput", json::string_array(t)));
+        }
+        json::object(entries)
+    }
+}
+
+impl PlaceSpec {
+    fn from_json(v: &JsonValue) -> Result<PlaceSpec> {
+        check_keys(as_obj(v, "place")?, &["name", "tokens"], "place")?;
+        let tokens = match v.get("tokens") {
+            None | Some(JsonValue::Null) => 0,
+            Some(t) => u32::try_from(
+                t.as_usize()
+                    .ok_or_else(|| schema_err("'tokens' must be a non-negative integer"))?,
+            )
+            .map_err(|_| schema_err("'tokens' exceeds u32 range"))?,
+        };
+        Ok(PlaceSpec {
+            name: str_field(v, "name", "place")?,
+            tokens,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("name", self.name.as_str().into()),
+            ("tokens", JsonValue::Number(f64::from(self.tokens))),
+        ])
+    }
+}
+
+impl SpnTransitionSpec {
+    fn from_json(v: &JsonValue) -> Result<SpnTransitionSpec> {
+        check_keys(
+            as_obj(v, "spn transition")?,
+            &[
+                "name",
+                "rate",
+                "weight",
+                "priority",
+                "inputs",
+                "outputs",
+                "inhibitors",
+            ],
+            "spn transition",
+        )?;
+        let name = str_field(v, "name", "spn transition")?;
+        let timing = match (v.get("rate"), v.get("weight")) {
+            (Some(r), None) => {
+                if v.get("priority").is_some() {
+                    return Err(schema_err(format!(
+                        "timed transition '{name}' cannot have a 'priority'"
+                    )));
+                }
+                SpnTimingSpec::Timed {
+                    rate: r
+                        .as_f64()
+                        .ok_or_else(|| schema_err("'rate' must be a number"))?,
+                }
+            }
+            (None, Some(w)) => {
+                let priority =
+                    match v.get("priority") {
+                        None | Some(JsonValue::Null) => 0,
+                        Some(p) => u32::try_from(p.as_usize().ok_or_else(|| {
+                            schema_err("'priority' must be a non-negative integer")
+                        })?)
+                        .map_err(|_| schema_err("'priority' exceeds u32 range"))?,
+                    };
+                SpnTimingSpec::Immediate {
+                    weight: w
+                        .as_f64()
+                        .ok_or_else(|| schema_err("'weight' must be a number"))?,
+                    priority,
+                }
+            }
+            _ => {
+                return Err(schema_err(format!(
+                    "transition '{name}' must have exactly one of 'rate' (timed) or \
+                     'weight' (immediate)"
+                )));
+            }
+        };
+        let arcs = |key: &str| -> Result<Vec<ArcSpec>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(Vec::new()),
+                Some(list) => list
+                    .as_array()
+                    .ok_or_else(|| schema_err(format!("'{key}' must be an array")))?
+                    .iter()
+                    .map(ArcSpec::from_json)
+                    .collect(),
+            }
+        };
+        Ok(SpnTransitionSpec {
+            name,
+            timing,
+            inputs: arcs("inputs")?,
+            outputs: arcs("outputs")?,
+            inhibitors: arcs("inhibitors")?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![("name", JsonValue::from(self.name.as_str()))];
+        match &self.timing {
+            SpnTimingSpec::Timed { rate } => entries.push(("rate", (*rate).into())),
+            SpnTimingSpec::Immediate { weight, priority } => {
+                entries.push(("weight", (*weight).into()));
+                entries.push(("priority", JsonValue::Number(f64::from(*priority))));
+            }
+        }
+        for (key, arcs) in [
+            ("inputs", &self.inputs),
+            ("outputs", &self.outputs),
+            ("inhibitors", &self.inhibitors),
+        ] {
+            if !arcs.is_empty() {
+                entries.push((
+                    key,
+                    JsonValue::Array(arcs.iter().map(ArcSpec::to_json).collect()),
+                ));
+            }
+        }
+        json::object(entries)
+    }
+}
+
+impl ArcSpec {
+    fn from_json(v: &JsonValue) -> Result<ArcSpec> {
+        check_keys(as_obj(v, "arc")?, &["place", "count"], "arc")?;
+        let count = match v.get("count") {
+            None | Some(JsonValue::Null) => 1,
+            Some(c) => u32::try_from(
+                c.as_usize()
+                    .ok_or_else(|| schema_err("'count' must be a non-negative integer"))?,
+            )
+            .map_err(|_| schema_err("'count' exceeds u32 range"))?,
+        };
+        Ok(ArcSpec {
+            place: str_field(v, "place", "arc")?,
+            count,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("place", self.place.as_str().into()),
+            ("count", JsonValue::Number(f64::from(self.count))),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -783,6 +1106,84 @@ mod tests {
         assert!(matches!(spec, ModelSpec::FaultTree(_)));
         let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
         assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn spn_round_trip() {
+        let json = r#"{
+          "spn": {
+            "places": [
+              {"name": "idle", "tokens": 3},
+              {"name": "busy", "tokens": 0}
+            ],
+            "transitions": [
+              {"name": "start", "rate": 1.5,
+               "inputs": [{"place": "idle"}],
+               "outputs": [{"place": "busy", "count": 1}],
+               "inhibitors": [{"place": "busy", "count": 2}]},
+              {"name": "route", "weight": 0.7, "priority": 1,
+               "inputs": [{"place": "busy"}],
+               "outputs": [{"place": "idle"}]}
+            ],
+            "max_markings": 5000,
+            "reach_jobs": 4,
+            "shard_bits": 3,
+            "expected_tokens": ["busy"],
+            "throughput": ["start"]
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        match &spec {
+            ModelSpec::Spn(s) => {
+                assert_eq!(s.places.len(), 2);
+                assert_eq!(s.places[0].tokens, 3);
+                assert_eq!(s.transitions[0].inputs[0].count, 1); // default
+                assert_eq!(s.transitions[0].inhibitors[0].count, 2);
+                assert!(matches!(
+                    s.transitions[1].timing,
+                    SpnTimingSpec::Immediate { priority: 1, .. }
+                ));
+                assert_eq!(s.max_markings, Some(5000));
+                assert_eq!(s.reach_jobs, Some(4));
+                assert_eq!(s.shard_bits, Some(3));
+            }
+            _ => panic!("expected SPN spec"),
+        }
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn spn_rejects_bad_transitions() {
+        let base = |t: &str| {
+            format!(
+                r#"{{"spn": {{"places": [{{"name": "p", "tokens": 1}}],
+                     "transitions": [{t}]}}}}"#
+            )
+        };
+        // Both rate and weight.
+        assert!(
+            ModelSpec::from_json_str(&base(r#"{"name": "t", "rate": 1.0, "weight": 2.0}"#))
+                .is_err()
+        );
+        // Neither.
+        assert!(ModelSpec::from_json_str(&base(r#"{"name": "t"}"#)).is_err());
+        // Priority on a timed transition.
+        assert!(
+            ModelSpec::from_json_str(&base(r#"{"name": "t", "rate": 1.0, "priority": 1}"#))
+                .is_err()
+        );
+        // Unknown arc field.
+        assert!(ModelSpec::from_json_str(&base(
+            r#"{"name": "t", "rate": 1.0, "inputs": [{"place": "p", "weight": 2}]}"#
+        ))
+        .is_err());
+        // Oversized shard_bits.
+        assert!(ModelSpec::from_json_str(
+            r#"{"spn": {"places": [{"name": "p", "tokens": 1}],
+                 "transitions": [{"name": "t", "rate": 1.0}], "shard_bits": 40}}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod model;
 mod reach;
 
 pub use model::{PlaceId, Spn, SpnBuilder, TransitionId};
-pub use reach::{ReachabilityOptions, SolvedSpn};
+pub use reach::{ReachStats, ReachabilityOptions, SolvedSpn};
 
 /// A marking: token count per place, indexed by [`PlaceId::index`].
 pub type Marking = Vec<u32>;

@@ -315,6 +315,38 @@ impl Spn {
         next
     }
 
+    /// Fires transition `idx` from `src` into the reusable buffer
+    /// `dst` — the allocation-free variant the state-space generator
+    /// uses on its hot path.
+    pub(crate) fn fire_into(&self, idx: usize, src: &[u32], dst: &mut Marking) {
+        let t = &self.transitions[idx];
+        dst.clear();
+        dst.extend_from_slice(src);
+        for &(p, mult) in &t.inputs {
+            dst[p] -= mult;
+        }
+        for &(p, mult) in &t.outputs {
+            dst[p] += mult;
+        }
+    }
+
+    /// Whether the net declares any immediate transitions at all; when
+    /// it does not, the generator skips vanishing resolution entirely.
+    pub(crate) fn has_immediate(&self) -> bool {
+        self.transitions
+            .iter()
+            .any(|t| matches!(t.timing, Timing::Immediate { .. }))
+    }
+
+    /// Whether any immediate transition is enabled in `m` (i.e. `m` is
+    /// a vanishing marking).
+    pub(crate) fn any_immediate_enabled(&self, m: &Marking) -> bool {
+        self.transitions
+            .iter()
+            .enumerate()
+            .any(|(t, tr)| matches!(tr.timing, Timing::Immediate { .. }) && self.enabled(t, m))
+    }
+
     /// Evaluates the rate of timed transition `idx` in marking `m`.
     pub(crate) fn rate_of(&self, idx: usize, m: &Marking) -> Result<f64> {
         match &self.transitions[idx].timing {

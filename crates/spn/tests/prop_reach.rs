@@ -1,0 +1,260 @@
+//! Property tests for the parallel state-space generator: on randomly
+//! generated bounded SPNs, every worker count must produce a CTMC
+//! bitwise identical to the sequential reference — same canonical
+//! marking order, same generator triplets, same initial distribution —
+//! and the generation guards (vanishing loops, marking caps) must fire
+//! identically under parallelism.
+//!
+//! Net generation is seeded and self-contained so any failure
+//! reproduces from the seed in the assertion message. Boundedness is
+//! by construction: every output place carries an inhibitor cap, and
+//! every immediate transition strictly decreases the token count, so
+//! vanishing chains terminate.
+
+use reliab_spn::{PlaceId, ReachabilityOptions, SpnBuilder, TransitionId};
+
+/// splitmix64 — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn f64(&mut self) -> f64 {
+        ((self.next() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A random bounded SPN on 2–4 places, plus the id of its timed token
+/// source (used as a throughput probe).
+///
+/// * Timed transitions: a token source (inhibitor-capped), plus
+///   random movers with one input and an inhibitor-capped output.
+/// * Immediate transitions: consume two tokens, emit at most one —
+///   token count strictly decreases, so no vanishing chain can loop.
+fn random_spn(seed: u64) -> (reliab_spn::Spn, TransitionId) {
+    let mut rng = Rng(seed);
+    let mut b = SpnBuilder::new();
+    let num_places = 2 + rng.below(3) as usize;
+    let cap = 3 + rng.below(3) as u32;
+    let places: Vec<PlaceId> = (0..num_places)
+        .map(|i| {
+            let tokens = rng.below(3) as u32;
+            b.place(&format!("p{i}"), tokens)
+        })
+        .collect();
+    let pick = |rng: &mut Rng| places[rng.below(num_places as u64) as usize];
+
+    // A capped source keeps the chain live (no all-deadlock nets).
+    let source = b.timed("t_src", 0.5 + rng.f64());
+    let src_place = pick(&mut rng);
+    b.output_arc(source, src_place, 1);
+    b.inhibitor_arc(source, src_place, cap);
+
+    let num_timed = 2 + rng.below(3);
+    for k in 0..num_timed {
+        let t = b.timed(&format!("t{k}"), 0.2 + 2.0 * rng.f64());
+        let from = pick(&mut rng);
+        let to = pick(&mut rng);
+        b.input_arc(t, from, 1);
+        if to != from {
+            b.output_arc(t, to, 1);
+            b.inhibitor_arc(t, to, cap);
+        }
+    }
+
+    let num_immediate = rng.below(3);
+    for k in 0..num_immediate {
+        let t = b.immediate(&format!("i{k}"), 0.1 + rng.f64(), rng.below(2) as u32);
+        let a = pick(&mut rng);
+        let bp = pick(&mut rng);
+        if a == bp {
+            b.input_arc(t, a, 2);
+        } else {
+            b.input_arc(t, a, 1);
+            b.input_arc(t, bp, 1);
+        }
+        if rng.below(2) == 0 {
+            let out = pick(&mut rng);
+            b.output_arc(t, out, 1);
+            b.inhibitor_arc(t, out, cap + 2);
+        }
+    }
+
+    (b.build().expect("random net is well-formed"), source)
+}
+
+#[test]
+fn parallel_generation_is_bitwise_identical_on_random_nets() {
+    for seed in 0..40u64 {
+        let (spn, source) = random_spn(seed);
+        let seq = spn
+            .solve_with(&ReachabilityOptions {
+                jobs: 1,
+                ..Default::default()
+            })
+            .expect("bounded net solves sequentially");
+        for jobs in [2usize, 4, 8] {
+            let par = spn
+                .solve_with(&ReachabilityOptions {
+                    jobs,
+                    ..Default::default()
+                })
+                .unwrap_or_else(|e| panic!("seed {seed}, jobs {jobs}: parallel solve failed: {e}"));
+            assert_eq!(
+                par.num_markings(),
+                seq.num_markings(),
+                "seed {seed}, jobs {jobs}: marking counts differ"
+            );
+            assert_eq!(
+                par.markings(),
+                seq.markings(),
+                "seed {seed}, jobs {jobs}: canonical marking order differs"
+            );
+            assert_eq!(
+                par.ctmc().generator(),
+                seq.ctmc().generator(),
+                "seed {seed}, jobs {jobs}: generator triplets differ"
+            );
+            assert_eq!(
+                par.initial_distribution(),
+                seq.initial_distribution(),
+                "seed {seed}, jobs {jobs}: initial distributions differ"
+            );
+
+            // Identical CTMCs must yield identical downstream measures
+            // — same success/failure, and bitwise-equal values on
+            // success (the steady solve is deterministic given the
+            // generator).
+            let seq_steady = seq.ctmc().steady_state();
+            let par_steady = par.ctmc().steady_state();
+            match (&seq_steady, &par_steady) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "seed {seed}, jobs {jobs}: steady vectors differ");
+                    let st = seq.throughput_given(a, source).expect("source exists");
+                    let pt = par.throughput_given(b, source).expect("source exists");
+                    assert_eq!(st, pt, "seed {seed}, jobs {jobs}: throughput differs");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!(
+                    "seed {seed}, jobs {jobs}: steady-state solvability differs \
+                     (seq {seq_steady:?} vs par {par_steady:?})"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_bits_do_not_change_the_result() {
+    for seed in [3u64, 11, 17] {
+        let (spn, _) = random_spn(seed);
+        let reference = spn.solve().expect("bounded net");
+        for shard_bits in [0u32, 1, 4, 10] {
+            for jobs in [1usize, 4] {
+                let alt = spn
+                    .solve_with(&ReachabilityOptions {
+                        jobs,
+                        shard_bits,
+                        ..Default::default()
+                    })
+                    .expect("bounded net");
+                assert_eq!(
+                    alt.markings(),
+                    reference.markings(),
+                    "seed {seed}, shard_bits {shard_bits}, jobs {jobs}"
+                );
+                assert_eq!(
+                    alt.ctmc().generator(),
+                    reference.ctmc().generator(),
+                    "seed {seed}, shard_bits {shard_bits}, jobs {jobs}"
+                );
+            }
+        }
+    }
+}
+
+/// A vanishing loop behind a timed transition: the loop is not visible
+/// at the initial marking, so it must be detected mid-exploration by
+/// whichever worker expands that region.
+#[test]
+fn vanishing_loop_is_detected_at_every_worker_count() {
+    let mut b = SpnBuilder::new();
+    let staging = b.place("staging", 0);
+    let trap = b.place("trap", 0);
+    let feed = b.timed("feed", 1.0);
+    b.output_arc(feed, staging, 1);
+    b.inhibitor_arc(feed, staging, 1);
+    let arm = b.timed("arm", 2.0);
+    b.input_arc(arm, staging, 1);
+    b.output_arc(arm, trap, 1);
+    // Immediate self-loop: fires forever once `trap` is marked.
+    let spin = b.immediate("spin", 1.0, 0);
+    b.input_arc(spin, trap, 1);
+    b.output_arc(spin, trap, 1);
+    let spn = b.build().unwrap();
+
+    for jobs in [1usize, 2, 4, 8] {
+        let err = spn
+            .solve_with(&ReachabilityOptions {
+                jobs,
+                ..Default::default()
+            })
+            .expect_err("vanishing loop must be detected");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("vanishing"),
+            "jobs {jobs}: unexpected error: {msg}"
+        );
+    }
+}
+
+/// The marking cap aborts generation identically under parallelism.
+#[test]
+fn marking_cap_fires_at_every_worker_count() {
+    let mut b = SpnBuilder::new();
+    let p = b.place("p", 0);
+    let grow = b.timed("grow", 1.0);
+    b.output_arc(grow, p, 1);
+    let spn = b.build().unwrap();
+
+    for jobs in [1usize, 2, 8] {
+        let err = spn
+            .solve_with(&ReachabilityOptions {
+                max_markings: 64,
+                jobs,
+                ..Default::default()
+            })
+            .expect_err("unbounded net must hit the cap");
+        assert!(
+            err.to_string().contains("64"),
+            "jobs {jobs}: unexpected error: {err}"
+        );
+    }
+}
+
+/// The reported worker count follows the requested `jobs`.
+#[test]
+fn reach_stats_reflect_worker_count() {
+    let (spn, _) = random_spn(7);
+    for jobs in [1usize, 2, 4] {
+        let solved = spn
+            .solve_with(&ReachabilityOptions {
+                jobs,
+                ..Default::default()
+            })
+            .expect("bounded net");
+        assert_eq!(solved.reach_stats().workers, jobs, "jobs {jobs}");
+        assert_eq!(solved.reach_stats().markings, solved.num_markings());
+        assert!(solved.reach_stats().max_shard_occupancy <= solved.num_markings());
+    }
+}

@@ -88,3 +88,29 @@ fn bridge_network_spec() {
         other => panic!("expected rel-graph result, got {other:?}"),
     }
 }
+
+#[test]
+fn tandem_queue_spec() {
+    match solve_file("tandem_queue.json") {
+        SolvedMeasures::Spn {
+            num_markings,
+            expected_tokens,
+            throughput,
+        } => {
+            // Both stages are capped at 8 tokens and the routing place
+            // is vanishing, so the tangible space is small but 2-D.
+            assert!(num_markings > 9 && num_markings <= 81);
+            assert_eq!(expected_tokens.len(), 2);
+            for (name, mean) in &expected_tokens {
+                assert!(
+                    *mean > 0.0 && *mean < 8.0,
+                    "{name} mean tokens out of range: {mean}"
+                );
+            }
+            // Stage-2 departures cannot exceed the arrival rate.
+            let (_, served) = &throughput[0];
+            assert!(*served > 0.0 && *served < 2.0);
+        }
+        other => panic!("expected SPN result, got {other:?}"),
+    }
+}
