@@ -1,0 +1,102 @@
+//! Discrete-event simulation benchmarks: replication throughput of the
+//! parallel driver on the wide workstation-farm model
+//! (see [`reliab_bench::wide_wfs_simulator`]) at several worker counts,
+//! plus the per-measure kernel cost on a small repairable system.
+//!
+//! `cargo bench -p reliab-bench --bench sim` for the full run; the
+//! committed perf numbers in `BENCH_sim.json` come from the
+//! `bench-sim` binary, which times a larger replication budget end to
+//! end and gates on bitwise reproducibility first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reliab_bench::wide_wfs_simulator;
+use reliab_sim::{Measure, SimOptions, SystemSimulator};
+
+/// Fixed replication budget so every iteration times identical work:
+/// adaptive stopping off (`rel_precision` 0), the round size pinned to
+/// the replication count so exactly one round runs.
+fn fixed_budget(replications: usize) -> SimOptions {
+    let mut opts = SimOptions::default()
+        .with_seed(0xBE9C_0001)
+        .with_rel_precision(0.0)
+        .with_max_replications(replications);
+    opts.min_replications = replications;
+    opts.round_replications = replications;
+    opts
+}
+
+/// The parallel driver at several worker counts on the 100-component
+/// farm. Results are bitwise identical at any setting; this measures
+/// the work-stealing overhead and scaling.
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_workers");
+    group.sample_size(10);
+    let sim = wide_wfs_simulator(99, 50);
+    let measure = Measure::Availability { horizon: 2_000.0 };
+    let reference = sim
+        .simulate(measure, &fixed_budget(64))
+        .expect("valid simulation");
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            let opts = fixed_budget(64).with_jobs(jobs);
+            b.iter(|| {
+                let report = sim.simulate(measure, &opts).expect("valid simulation");
+                assert_eq!(report.interval, reference.interval);
+                assert_eq!(report.events, reference.events);
+                report.events
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Per-measure kernel cost on a small repairable pair — isolates the
+/// event-loop and estimator overhead from structure-function width.
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_measures");
+    group.sample_size(10);
+    let sim = wide_wfs_simulator(2, 1);
+    let cases = [
+        ("availability", Measure::Availability { horizon: 10_000.0 }),
+        (
+            "reliability",
+            Measure::Reliability {
+                mission_time: 10_000.0,
+            },
+        ),
+        ("mttf", Measure::Mttf { time_cap: 1.0e7 }),
+    ];
+    for (name, measure) in cases {
+        group.bench_function(BenchmarkId::new("measure", name), |b| {
+            let opts = fixed_budget(256);
+            b.iter(|| {
+                let report = sim.simulate(measure, &opts).expect("valid simulation");
+                assert_eq!(report.replications, 256);
+                report.events
+            })
+        });
+    }
+    group.finish();
+}
+
+/// RNG stream cost in isolation: drawing component lifetimes through
+/// the splittable counter-based generator, the hot inner loop of every
+/// replication.
+fn bench_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_streams");
+    group.sample_size(10);
+    let sim: SystemSimulator = wide_wfs_simulator(99, 50);
+    group.bench_function("replication_pair", |b| {
+        let opts = fixed_budget(2);
+        b.iter(|| {
+            let report = sim
+                .simulate(Measure::Availability { horizon: 2_000.0 }, &opts)
+                .expect("valid simulation");
+            report.events
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workers, bench_measures, bench_streams);
+criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! `bench-sim` — end-to-end discrete-event simulation benchmark
+//! producing the committed `BENCH_sim.json` performance record.
+//!
+//! Runs a fixed replication budget of the wide workstation-farm model
+//! (see [`reliab_bench::wide_wfs_simulator`]; 100 components, 50-of-99
+//! workstations in series with a file server, lognormal repairs) on the
+//! sequential driver and on the 4-worker work-stealing driver. Before
+//! any speedup is reported the run asserts the PR's reproducibility
+//! guarantee: the full `SimReport` — point estimate, CI, event count,
+//! trajectory — is bitwise identical at 1, 2, and 4 workers.
+//!
+//! ```text
+//! cargo run --release -p reliab-bench --bin bench-sim              # full run, writes BENCH_sim.json
+//! cargo run --release -p reliab-bench --bin bench-sim -- --quick   # CI-sized budget, no file written
+//! cargo run --release -p reliab-bench --bin bench-sim -- --quick --check BENCH_sim.json
+//! ```
+//!
+//! Options:
+//!
+//! * `--quick` — 64 replications with fewer repetitions; skips writing
+//!   the output file unless `--out` is given.
+//! * `--out FILE` — where to write the JSON record (default
+//!   `BENCH_sim.json`; full mode only unless given explicitly).
+//! * `--check FILE` — compare against a committed baseline: exit 1 if
+//!   the parallel driver's time relative to the sequential driver
+//!   regressed by more than 2x the baseline's par-to-seq ratio.
+//!
+//! Exit status: 0 on success, 1 on a `--check` regression or an
+//! equivalence failure, 2 on usage errors.
+
+use std::time::Instant;
+
+use reliab_bench::wide_wfs_simulator;
+use reliab_sim::{Measure, SimOptions, SimReport};
+use reliab_spec::json::{self, JsonValue};
+
+struct Args {
+    quick: bool,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: bench-sim [--quick] [--out FILE] [--check FILE]");
+    std::process::exit(code);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: None,
+        check: None,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => match it.next() {
+                Some(p) => args.out = Some(p.clone()),
+                None => usage(2),
+            },
+            "--check" => match it.next() {
+                Some(p) => args.check = Some(p.clone()),
+                None => usage(2),
+            },
+            "-h" | "--help" => usage(0),
+            _ => usage(2),
+        }
+    }
+    args
+}
+
+/// Minimum self-reported wall time over `reps` runs of `f` — minimum,
+/// not mean, because scheduling noise only ever adds time.
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> (u128, T)) -> (u128, T) {
+    let mut best: Option<(u128, T)> = None;
+    for _ in 0..reps {
+        let (ns, out) = f();
+        if best.as_ref().is_none_or(|(b, _)| ns < *b) {
+            best = Some((ns, out));
+        }
+    }
+    best.expect("reps > 0")
+}
+
+/// Everything in a `SimReport` except `workers` — which records the
+/// thread count and is the one field allowed to differ between runs.
+fn results_equal(a: &SimReport, b: &SimReport) -> bool {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.workers = 0;
+    b.workers = 0;
+    a == b
+}
+
+fn main() {
+    let args = parse_args();
+    let (replications, reps) = if args.quick {
+        (64usize, 3)
+    } else {
+        (512usize, 3)
+    };
+    const N_WS: usize = 99;
+    const K: usize = 50;
+    const HORIZON: f64 = 2_000.0;
+    eprintln!(
+        "bench-sim: {}-component farm ({K}-of-{N_WS} + file server), \
+         availability to t = {HORIZON}, {replications} replications, {reps} reps",
+        N_WS + 1
+    );
+
+    // Simulator construction is identical for both routes and stays off
+    // the clock. The budget is fixed (adaptive stopping off, one round)
+    // so every timed run does exactly the same event-level work.
+    let sim = wide_wfs_simulator(N_WS, K);
+    let measure = Measure::Availability { horizon: HORIZON };
+    let mut base_opts = SimOptions::default()
+        .with_seed(0xBE9C_0002)
+        .with_rel_precision(0.0)
+        .with_max_replications(replications);
+    base_opts.min_replications = replications;
+    base_opts.round_replications = replications;
+
+    // Sequential reference driver.
+    let seq_opts = base_opts.clone();
+    let (seq_ns, seq_report) = time_min(reps, || {
+        let t = Instant::now();
+        let report = sim.simulate(measure, &seq_opts).expect("valid simulation");
+        (t.elapsed().as_nanos(), report)
+    });
+    eprintln!(
+        "  sequential: {:.3} ms ({} events, point {:.6})",
+        seq_ns as f64 / 1e6,
+        seq_report.events,
+        seq_report.interval.point
+    );
+
+    // Equivalence gate: the parallel driver must reproduce the
+    // sequential report bitwise at every probed worker count.
+    for jobs in [2usize, 4] {
+        let par = sim
+            .simulate(measure, &base_opts.clone().with_jobs(jobs))
+            .expect("valid simulation");
+        if !results_equal(&par, &seq_report) {
+            eprintln!("EQUIVALENCE FAILURE: {jobs}-worker simulation differs from sequential");
+            std::process::exit(1);
+        }
+    }
+
+    // Parallel driver, 4 workers.
+    let par_opts = base_opts.clone().with_jobs(4);
+    let (par_ns, par_report) = time_min(reps, || {
+        let t = Instant::now();
+        let report = sim.simulate(measure, &par_opts).expect("valid simulation");
+        (t.elapsed().as_nanos(), report)
+    });
+    eprintln!(
+        "  4 workers:  {:.3} ms ({} events)",
+        par_ns as f64 / 1e6,
+        par_report.events
+    );
+
+    let speedup = seq_ns as f64 / par_ns as f64;
+    let events_per_sec = seq_report.events as f64 / (seq_ns as f64 / 1e9);
+    eprintln!("  parallel:   bitwise identical at 2 and 4 workers");
+    eprintln!("  throughput: {events_per_sec:.0} events/s sequential");
+    eprintln!("  speedup:    {speedup:.2}x");
+
+    let record = json::object(vec![
+        ("bench", "sim".into()),
+        ("mode", if args.quick { "quick" } else { "full" }.into()),
+        ("components", JsonValue::Number((N_WS + 1) as f64)),
+        ("replications", JsonValue::Number(replications as f64)),
+        ("reps", JsonValue::Number(reps as f64)),
+        ("seq_ns", JsonValue::Number(seq_ns as f64)),
+        ("par_ns", JsonValue::Number(par_ns as f64)),
+        ("speedup", JsonValue::Number(speedup)),
+        ("events", JsonValue::Number(seq_report.events as f64)),
+        (
+            "events_per_sec_sequential",
+            JsonValue::Number(events_per_sec),
+        ),
+        ("point", JsonValue::Number(seq_report.interval.point)),
+        (
+            "ci_half_width",
+            JsonValue::Number(seq_report.interval.upper - seq_report.interval.point),
+        ),
+        ("parallel_bitwise_equal", JsonValue::Bool(true)),
+    ]);
+
+    if let Some(baseline_path) = &args.check {
+        match check_regression(baseline_path, seq_ns as f64, par_ns as f64) {
+            Ok(msg) => eprintln!("  {msg}"),
+            Err(msg) => {
+                eprintln!("REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let out_path = match (&args.out, args.quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some("BENCH_sim.json".to_owned()),
+        (None, true) => None,
+    };
+    if let Some(path) = out_path {
+        let text = record.to_json_pretty();
+        if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("  wrote {path}");
+    } else {
+        println!("{}", record.to_json_pretty());
+    }
+}
+
+/// Compares this run against a committed baseline record. Machines
+/// differ, so the comparison is relative: the ratio of parallel to
+/// sequential time on *this* machine must not exceed 2x the same ratio
+/// in the baseline. (Lower is better for the ratio; a ratio blowing up
+/// means the parallel driver stopped scaling.)
+fn check_regression(path: &str, seq_ns: f64, par_ns: f64) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let field = |key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{path} is missing numeric field '{key}'"))
+    };
+    let base_ratio = field("par_ns")? / field("seq_ns")?;
+    let ratio = par_ns / seq_ns;
+    if ratio > 2.0 * base_ratio {
+        Err(format!(
+            "par/seq ratio {ratio:.3} exceeds 2x baseline ratio {base_ratio:.3}"
+        ))
+    } else {
+        Ok(format!(
+            "check ok: par/seq ratio {ratio:.3} within 2x of baseline {base_ratio:.3}"
+        ))
+    }
+}

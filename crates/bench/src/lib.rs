@@ -273,6 +273,36 @@ pub fn tandem_legacy(capacity: u32) -> legacy_reach::LegacySpn {
     }
 }
 
+/// Builds a wide workstation-farm simulator for the DES benches:
+/// `n_ws` workstations of which `k` must be up, in series with one
+/// file server. Exponential failures, lognormal repairs (cv² = 4) —
+/// a non-Markovian system only simulation can solve, sized so each
+/// replication generates thousands of events.
+///
+/// # Panics
+///
+/// Panics on degenerate parameters (`k > n_ws`); bench-only helper.
+pub fn wide_wfs_simulator(n_ws: usize, k: usize) -> reliab_sim::SystemSimulator {
+    use reliab_dist::{Exponential, LogNormal};
+    assert!(k >= 1 && k <= n_ws, "need 1 <= k <= n_ws");
+    let mut sim = reliab_sim::SystemSimulator::new(move |up: &[bool]| {
+        up[n_ws] && up[..n_ws].iter().filter(|&&u| u).count() >= k
+    });
+    for i in 0..n_ws {
+        // Spread the failure rates so component streams desynchronize.
+        let mttf = 400.0 + 10.0 * i as f64;
+        sim.component(
+            Box::new(Exponential::new(1.0 / mttf).expect("positive rate")),
+            Box::new(LogNormal::from_mean_cv2(5.0, 4.0).expect("valid lognormal")),
+        );
+    }
+    sim.component(
+        Box::new(Exponential::new(1.0 / 2000.0).expect("positive rate")),
+        Box::new(LogNormal::from_mean_cv2(4.0, 4.0).expect("valid lognormal")),
+    );
+    sim
+}
+
 /// Builds a birth–death CTMC with `n` states (used by solver benches).
 ///
 /// # Errors

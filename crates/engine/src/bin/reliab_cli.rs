@@ -17,7 +17,19 @@
 //!   included per entry) instead of pretty text per file.
 //! * `--stats` — include solver telemetry (wall time, iterations,
 //!   residuals, BDD table sizes) with each result.
-//! * `--method auto|gth|sor|power` — CTMC steady-state method.
+//! * `--method auto|gth|sor|power|sim` — CTMC steady-state method, or
+//!   `sim` to force discrete-event simulation for component models
+//!   carrying a `sim` block.
+//! * `--sim-reps N` — replication cap for simulation (overrides the
+//!   spec's `max_replications`).
+//! * `--sim-precision X` — relative CI half-width stopping target
+//!   (overrides the spec's `rel_precision`; 0 disables adaptive
+//!   stopping).
+//! * `--sim-seed N` — master seed for simulation (overrides the spec's
+//!   `seed`). Results are a pure function of the seed and the model.
+//! * `--sim-jobs N` — worker threads for simulation replications (0 =
+//!   one per CPU; default 1). Estimates are bitwise identical at any
+//!   setting.
 //! * `--var-order auto|input|dfs|weighted|sift` — BDD variable
 //!   ordering for fault-tree models. `auto` (default) honors the
 //!   spec's `var_order` field, falling back to the depth-first
@@ -71,6 +83,7 @@ fn usage(code: i32) -> ! {
     eprintln!(
         "usage: reliab-cli [--jobs N] [--json] [--stats] [--method M] \
          [--var-order O] [--ite-cache N] [--gc-threshold N] [--reach-jobs N] \
+         [--sim-reps N] [--sim-precision X] [--sim-seed N] [--sim-jobs N] \
          [--trace FILE] [--metrics FILE] [--metrics-format F] [--progress] \
          <spec.json|glob|-> ..."
     );
@@ -78,7 +91,12 @@ fn usage(code: i32) -> ! {
     eprintln!("  --jobs N            worker threads (0 = one per CPU; default 0)");
     eprintln!("  --json              one machine-readable JSON array for the whole batch");
     eprintln!("  --stats             include solver telemetry with each result");
-    eprintln!("  --method M          CTMC steady-state method: auto|gth|sor|power");
+    eprintln!("  --method M          steady-state method auto|gth|sor|power, or sim to");
+    eprintln!("                      force discrete-event simulation (component models)");
+    eprintln!("  --sim-reps N        simulation replication cap (overrides the spec)");
+    eprintln!("  --sim-precision X   relative CI half-width target (0 = fixed budget)");
+    eprintln!("  --sim-seed N        simulation master seed (overrides the spec)");
+    eprintln!("  --sim-jobs N        simulation workers (0 = one per CPU; default 1)");
     eprintln!("  --var-order O       BDD variable ordering: auto|input|dfs|weighted|sift");
     eprintln!("  --ite-cache N       ITE cache capacity in entries (0 = kernel default)");
     eprintln!("  --gc-threshold N    live BDD nodes before GC (0 = kernel default)");
@@ -101,6 +119,11 @@ struct Cli {
     json: bool,
     stats: bool,
     method: SteadySolver,
+    simulate: bool,
+    sim_reps: Option<usize>,
+    sim_precision: Option<f64>,
+    sim_seed: Option<u64>,
+    sim_jobs: usize,
     var_order: VarOrder,
     ite_cache: usize,
     gc_threshold: usize,
@@ -118,6 +141,11 @@ fn parse_args(args: &[String]) -> Cli {
         json: false,
         stats: false,
         method: SteadySolver::Auto,
+        simulate: false,
+        sim_reps: None,
+        sim_precision: None,
+        sim_seed: None,
+        sim_jobs: 1,
         var_order: VarOrder::Auto,
         ite_cache: 0,
         gc_threshold: 0,
@@ -148,15 +176,47 @@ fn parse_args(args: &[String]) -> Cli {
                     Some("gth") => SteadySolver::Gth,
                     Some("sor") => SteadySolver::Sor,
                     Some("power") => SteadySolver::Power,
+                    Some("sim") => {
+                        cli.simulate = true;
+                        SteadySolver::Auto
+                    }
                     other => {
                         eprintln!(
-                            "--method must be auto|gth|sor|power, got {:?}",
+                            "--method must be auto|gth|sor|power|sim, got {:?}",
                             other.unwrap_or("<missing>")
                         );
                         usage(2);
                     }
                 }
             }
+            "--sim-reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.sim_reps = Some(n),
+                None => {
+                    eprintln!("--sim-reps requires a non-negative integer");
+                    usage(2);
+                }
+            },
+            "--sim-precision" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x >= 0.0 => cli.sim_precision = Some(x),
+                _ => {
+                    eprintln!("--sim-precision requires a non-negative number");
+                    usage(2);
+                }
+            },
+            "--sim-seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.sim_seed = Some(n),
+                None => {
+                    eprintln!("--sim-seed requires a non-negative integer");
+                    usage(2);
+                }
+            },
+            "--sim-jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.sim_jobs = n,
+                None => {
+                    eprintln!("--sim-jobs requires a non-negative integer");
+                    usage(2);
+                }
+            },
             "--var-order" => {
                 cli.var_order = match it.next().and_then(|v| VarOrder::parse(v)) {
                     Some(order) => order,
@@ -367,14 +427,26 @@ fn main() {
         obs::set_metrics_enabled(true);
     }
 
-    let engine = BatchEngine::new().with_jobs(cli.jobs).with_options(
-        SolveOptions::default()
-            .with_steady_solver(cli.method)
-            .with_var_order(cli.var_order)
-            .with_ite_cache_capacity(cli.ite_cache)
-            .with_gc_node_threshold(cli.gc_threshold)
-            .with_reach_jobs(cli.reach_jobs),
-    );
+    let mut solve_opts = SolveOptions::default()
+        .with_steady_solver(cli.method)
+        .with_var_order(cli.var_order)
+        .with_ite_cache_capacity(cli.ite_cache)
+        .with_gc_node_threshold(cli.gc_threshold)
+        .with_reach_jobs(cli.reach_jobs)
+        .with_simulate(cli.simulate)
+        .with_sim_jobs(cli.sim_jobs);
+    if let Some(n) = cli.sim_reps {
+        solve_opts = solve_opts.with_sim_replications(n);
+    }
+    if let Some(x) = cli.sim_precision {
+        solve_opts = solve_opts.with_sim_rel_precision(x);
+    }
+    if let Some(s) = cli.sim_seed {
+        solve_opts = solve_opts.with_sim_seed(s);
+    }
+    let engine = BatchEngine::new()
+        .with_jobs(cli.jobs)
+        .with_options(solve_opts);
     let texts: Vec<&String> = sources.iter().filter_map(|s| s.as_ref().ok()).collect();
     let mut reports = engine.solve_texts(&texts).into_iter();
 

@@ -1,0 +1,190 @@
+//! The single-trajectory discrete-event kernel.
+//!
+//! A [`Trajectory`] advances one replication of a repairable system:
+//! component `i` alternates between up (drawing its next failure from
+//! `ttf[i]`) and down (drawing its repair from `ttr[i]`), events are
+//! consumed from the calendar in `(time, component)` order, and the
+//! structure function is re-evaluated after every toggle. All
+//! randomness comes from per-component [`StreamRng`] streams keyed by
+//! `(seed, replication, component)`, so the trajectory is a pure
+//! function of those inputs — independent of worker count or
+//! scheduling.
+
+use crate::queue::EventQueue;
+use crate::stream::StreamRng;
+use crate::SystemSimulator;
+
+/// One in-flight replication.
+pub(crate) struct Trajectory<'a> {
+    sim: &'a SystemSimulator,
+    rngs: Vec<StreamRng>,
+    queue: EventQueue,
+    /// Per-component up/down state (`true` = up).
+    pub up: Vec<bool>,
+    /// Current simulation clock (time of the last consumed event).
+    pub t: f64,
+    /// Structure function value at the current state.
+    pub sys_up: bool,
+    /// Events consumed so far.
+    pub events: u64,
+}
+
+impl<'a> Trajectory<'a> {
+    /// Starts replication `rep` with every component up and one initial
+    /// failure event per component.
+    pub fn new(sim: &'a SystemSimulator, seed: u64, rep: u64) -> Self {
+        let n = sim.num_components();
+        let mut rngs: Vec<StreamRng> = (0..n)
+            .map(|i| StreamRng::new(seed, rep, i as u64))
+            .collect();
+        let mut queue = EventQueue::with_capacity(n);
+        for (i, rng) in rngs.iter_mut().enumerate() {
+            queue.push(sim.ttf[i].sample(rng), i as u32);
+        }
+        let up = vec![true; n];
+        let sys_up = (sim.works)(&up);
+        Trajectory {
+            sim,
+            rngs,
+            queue,
+            up,
+            t: 0.0,
+            sys_up,
+            events: 0,
+        }
+    }
+
+    /// Time of the next pending event, or `None` when nothing is
+    /// scheduled (every component is down without repair).
+    pub fn peek_time(&self) -> Option<f64> {
+        self.queue.peek_time()
+    }
+
+    /// Consumes the next event: advances the clock, toggles the
+    /// component, schedules its successor event, and re-evaluates the
+    /// structure function. Returns `false` when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        let i = ev.comp as usize;
+        self.t = ev.time;
+        self.events += 1;
+        self.up[i] = !self.up[i];
+        if self.up[i] {
+            let dt = self.sim.ttf[i].sample(&mut self.rngs[i]);
+            self.queue.push(self.t + dt, ev.comp);
+        } else if let Some(ttr) = &self.sim.ttr[i] {
+            let dt = ttr.sample(&mut self.rngs[i]);
+            self.queue.push(self.t + dt, ev.comp);
+        }
+        // No repair distribution: the component stays down forever.
+        self.sys_up = (self.sim.works)(&self.up);
+        true
+    }
+}
+
+/// Uptime of one replication over `[0, horizon]`, split into
+/// `batches` equal-length windows after discarding `[0, warmup)`.
+/// Returns the per-batch availability means and the event count.
+pub(crate) fn run_availability(
+    sim: &SystemSimulator,
+    seed: u64,
+    rep: u64,
+    horizon: f64,
+    warmup: f64,
+    batches: usize,
+) -> (Vec<f64>, u64) {
+    let mut traj = Trajectory::new(sim, seed, rep);
+    let width = (horizon - warmup) / batches as f64;
+    let mut acc = vec![0.0f64; batches];
+    let mut t_prev = 0.0f64;
+    loop {
+        let te = traj.peek_time().unwrap_or(f64::INFINITY).min(horizon);
+        if traj.sys_up && te > t_prev {
+            add_up_interval(&mut acc, t_prev, te, warmup, width);
+        }
+        if te >= horizon {
+            break;
+        }
+        traj.step();
+        t_prev = te;
+    }
+    for a in &mut acc {
+        *a /= width;
+    }
+    (acc, traj.events)
+}
+
+/// Adds the up-interval `[a, b)` to every batch window it overlaps.
+/// Window `k` covers `[warmup + k·width, warmup + (k+1)·width)`.
+fn add_up_interval(acc: &mut [f64], a: f64, b: f64, warmup: f64, width: f64) {
+    let a = a.max(warmup);
+    if b <= a {
+        return;
+    }
+    let last = acc.len() - 1;
+    let first = (((a - warmup) / width) as usize).min(last);
+    for (k, slot) in acc.iter_mut().enumerate().skip(first) {
+        let lo = warmup + k as f64 * width;
+        let hi = lo + width;
+        if lo >= b {
+            break;
+        }
+        let overlap = b.min(hi) - a.max(lo);
+        if overlap > 0.0 {
+            *slot += overlap;
+        }
+    }
+}
+
+/// Runs one replication until the first system failure, capped at
+/// `cap`. Returns `(time, failed, events)` where `failed` is whether
+/// the structure function went false before the cap.
+pub(crate) fn run_first_failure(
+    sim: &SystemSimulator,
+    seed: u64,
+    rep: u64,
+    cap: f64,
+) -> (f64, bool, u64) {
+    let mut traj = Trajectory::new(sim, seed, rep);
+    loop {
+        match traj.peek_time() {
+            // Calendar drained with the system still up: nothing can
+            // ever fail it, so the replication survives to the cap.
+            None => return (cap, false, traj.events),
+            Some(te) if te >= cap => return (cap, false, traj.events),
+            Some(_) => {
+                traj.step();
+                if !traj.sys_up {
+                    return (traj.t, true, traj.events);
+                }
+            }
+        }
+    }
+}
+
+/// Samples the system up/down indicator of one replication at each
+/// point of a sorted time grid, pushing `1.0`/`0.0` per point into
+/// `out` (one slot per grid point, in order). Returns the event count.
+pub(crate) fn run_indicator_grid(
+    sim: &SystemSimulator,
+    seed: u64,
+    rep: u64,
+    times: &[f64],
+    out: &mut [Vec<f64>],
+) -> u64 {
+    let mut traj = Trajectory::new(sim, seed, rep);
+    let mut grid = 0usize;
+    loop {
+        let te = traj.peek_time().unwrap_or(f64::INFINITY);
+        while grid < times.len() && times[grid] < te {
+            out[grid].push(if traj.sys_up { 1.0 } else { 0.0 });
+            grid += 1;
+        }
+        if grid >= times.len() {
+            return traj.events;
+        }
+        traj.step();
+    }
+}

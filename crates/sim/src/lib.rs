@@ -1,17 +1,30 @@
 //! # reliab-sim
 //!
-//! Discrete-event simulation of repairable systems — the workspace's
-//! ground truth for cross-validating analytic solvers and its escape
-//! hatch for models with no analytic solution (arbitrary lifetime
-//! distributions, structure functions of any shape).
+//! Parallel discrete-event simulation of repairable systems — the
+//! workspace's ground truth for cross-validating analytic solvers and
+//! its escape hatch for models with no analytic solution (arbitrary
+//! lifetime distributions, structure functions of any shape).
 //!
 //! A [`SystemSimulator`] holds, per component, a time-to-failure and a
 //! time-to-repair distribution (any [`reliab_dist::Lifetime`]), plus a
-//! Boolean structure function over component states. Estimators:
+//! Boolean structure function over component states. The engine under
+//! it is a production DES kernel:
+//!
+//! * a binary-heap event calendar ordered by `(time, component)`;
+//! * counter-based splittable RNG streams ([`StreamRng`]), one per
+//!   `(replication, component)`, making every trajectory a pure
+//!   function of `(seed, replication)`;
+//! * a work-stealing parallel replication driver
+//!   ([`SystemSimulator::simulate`]) whose output is bitwise-identical
+//!   for any worker count, with CI-driven adaptive stopping
+//!   (batch-means variance for steady-state availability,
+//!   replication means for reliability/MTTF).
+//!
+//! Fixed-budget convenience estimators (95% CI over a set replication
+//! count) remain available:
 //!
 //! * [`SystemSimulator::availability`] — long-run availability by
-//!   time-averaging over a horizon, independent replications,
-//!   normal-theory confidence interval;
+//!   time-averaging over a horizon;
 //! * [`SystemSimulator::reliability`] — survival probability to a
 //!   mission time (components are *not* repaired after system failure —
 //!   the standard reliability semantics where the first system failure
@@ -19,7 +32,7 @@
 //! * [`SystemSimulator::mttf`] — mean time to first system failure.
 //!
 //! ```
-//! use reliab_sim::SystemSimulator;
+//! use reliab_sim::{Measure, SimOptions, SystemSimulator};
 //! use reliab_dist::Exponential;
 //!
 //! # fn main() -> Result<(), reliab_core::Error> {
@@ -29,8 +42,11 @@
 //!     Box::new(Exponential::new(1.0)?),
 //!     Box::new(Exponential::new(9.0)?),
 //! );
-//! let est = sim.availability(2_000.0, 64, 42)?;
-//! assert!((est.interval.point - 0.9).abs() < 0.02);
+//! let report = sim.simulate(
+//!     Measure::Availability { horizon: 2_000.0 },
+//!     &SimOptions::default().with_seed(42).with_rel_precision(0.01),
+//! )?;
+//! assert!((report.interval.point - 0.9).abs() < 0.02);
 //! # Ok(())
 //! # }
 //! ```
@@ -38,8 +54,15 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+mod driver;
+mod kernel;
+mod queue;
+mod stream;
+
+pub use driver::{CiPoint, Measure, SimOptions, SimReport};
+pub use queue::{Event, EventQueue};
+pub use stream::{mix64, StreamRng};
+
 use reliab_core::{ConfidenceInterval, Error, Result};
 use reliab_dist::Lifetime;
 use reliab_numeric::special::normal_quantile;
@@ -74,23 +97,14 @@ fn summarize(replications: Vec<f64>, level: f64) -> Result<Estimate> {
     })
 }
 
-/// Decorrelated per-replication RNG: splitmix64 over (seed, index) so
-/// different seeds give disjoint streams even for nearby indices.
-fn rep_rng(seed: u64, k: usize) -> SmallRng {
-    let mut z = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    SmallRng::seed_from_u64(z ^ (z >> 31))
-}
-
 /// Structure function over component up/down states (`true` = up).
 pub type StructureFn = Box<dyn Fn(&[bool]) -> bool + Sync>;
 
 /// A repairable system simulator; see the crate docs for semantics.
 pub struct SystemSimulator {
-    ttf: Vec<Box<dyn Lifetime>>,
-    ttr: Vec<Box<dyn Lifetime>>,
-    works: StructureFn,
+    pub(crate) ttf: Vec<Box<dyn Lifetime>>,
+    pub(crate) ttr: Vec<Option<Box<dyn Lifetime>>>,
+    pub(crate) works: StructureFn,
 }
 
 impl std::fmt::Debug for SystemSimulator {
@@ -119,7 +133,16 @@ impl SystemSimulator {
     /// function.
     pub fn component(&mut self, ttf: Box<dyn Lifetime>, ttr: Box<dyn Lifetime>) -> usize {
         self.ttf.push(ttf);
-        self.ttr.push(ttr);
+        self.ttr.push(Some(ttr));
+        self.ttf.len() - 1
+    }
+
+    /// Adds a non-repairable component: once failed it stays down for
+    /// the rest of the trajectory. Useful for mission
+    /// reliability/MTTF of non-maintained systems.
+    pub fn component_without_repair(&mut self, ttf: Box<dyn Lifetime>) -> usize {
+        self.ttf.push(ttf);
+        self.ttr.push(None);
         self.ttf.len() - 1
     }
 
@@ -128,81 +151,31 @@ impl SystemSimulator {
         self.ttf.len()
     }
 
-    fn check(&self) -> Result<()> {
+    pub(crate) fn check(&self) -> Result<()> {
         if self.ttf.is_empty() {
             return Err(Error::model("simulator has no components"));
         }
         Ok(())
     }
 
-    /// One availability replication: fraction of `[0, horizon]` the
-    /// system is up, all components starting up and being repaired
-    /// independently forever.
-    fn run_availability(&self, horizon: f64, rng: &mut SmallRng) -> f64 {
-        let n = self.num_components();
-        let mut up = vec![true; n];
-        let mut next: Vec<f64> = (0..n).map(|i| self.ttf[i].sample(rng)).collect();
-        let mut t = 0.0f64;
-        let mut uptime = 0.0f64;
-        let mut sys_up = (self.works)(&up);
-        while t < horizon {
-            // Next event.
-            let (i, &te) = next
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-                .expect("non-empty");
-            let te = te.min(horizon);
-            if sys_up {
-                uptime += te - t;
-            }
-            t = te;
-            if t >= horizon {
-                break;
-            }
-            // Toggle component i and schedule its next event.
-            up[i] = !up[i];
-            next[i] = t + if up[i] {
-                self.ttf[i].sample(rng)
-            } else {
-                self.ttr[i].sample(rng)
-            };
-            sys_up = (self.works)(&up);
-        }
-        uptime / horizon
-    }
-
-    /// One first-failure replication: time until the structure function
-    /// first goes false (capped at `cap`, returning `(time, failed)`).
-    fn run_first_failure(&self, cap: f64, rng: &mut SmallRng) -> (f64, bool) {
-        let n = self.num_components();
-        let mut up = vec![true; n];
-        let mut next: Vec<f64> = (0..n).map(|i| self.ttf[i].sample(rng)).collect();
-        let mut t;
-        loop {
-            let (i, &te) = next
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-                .expect("non-empty");
-            if te >= cap {
-                return (cap, false);
-            }
-            t = te;
-            up[i] = !up[i];
-            next[i] = t + if up[i] {
-                self.ttf[i].sample(rng)
-            } else {
-                self.ttr[i].sample(rng)
-            };
-            if !(self.works)(&up) {
-                return (t, true);
-            }
-        }
+    /// Runs the adaptive parallel driver for `measure`: replications in
+    /// work-stealing rounds until the relative CI half-width reaches
+    /// [`SimOptions::rel_precision`] or the budget is exhausted. The
+    /// report (point, CI, event counts, trajectory) is
+    /// bitwise-identical for any [`SimOptions::jobs`] value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Model`] for an empty system,
+    /// [`Error::InvalidParameter`] for bad options or a non-positive
+    /// time parameter, [`Error::Numerical`] if an MTTF replication is
+    /// censored by its `time_cap`.
+    pub fn simulate(&self, measure: Measure, opts: &SimOptions) -> Result<SimReport> {
+        driver::simulate(self, measure, opts)
     }
 
     /// Estimates long-run availability by `replications` independent
-    /// runs over `horizon` each.
+    /// runs over `horizon` each (fixed budget, 95% CI).
     ///
     /// # Errors
     ///
@@ -218,8 +191,8 @@ impl SystemSimulator {
         }
         let reps: Vec<f64> = (0..replications)
             .map(|k| {
-                let mut rng = rep_rng(seed, k);
-                self.run_availability(horizon, &mut rng)
+                let (batch, _) = kernel::run_availability(self, seed, k as u64, horizon, 0.0, 1);
+                batch[0]
             })
             .collect();
         summarize(reps, 0.95)
@@ -246,8 +219,7 @@ impl SystemSimulator {
         }
         let reps: Vec<f64> = (0..replications)
             .map(|k| {
-                let mut rng = rep_rng(seed, k);
-                let (_, failed) = self.run_first_failure(mission_time, &mut rng);
+                let (_, failed, _) = kernel::run_first_failure(self, seed, k as u64, mission_time);
                 if failed {
                     0.0
                 } else {
@@ -290,45 +262,10 @@ impl SystemSimulator {
         if replications < 2 {
             return Err(Error::invalid("need at least 2 replications"));
         }
-        let horizon = *times.last().expect("non-empty grid");
-        let n = self.num_components();
         // reps[g][k] = up indicator of replication k at grid point g.
         let mut reps = vec![Vec::with_capacity(replications); times.len()];
         for k in 0..replications {
-            let mut rng = rep_rng(seed, k);
-            let mut up = vec![true; n];
-            let mut next: Vec<f64> = (0..n).map(|i| self.ttf[i].sample(&mut rng)).collect();
-            let mut t;
-            let mut grid_idx = 0usize;
-            let mut sys_up = (self.works)(&up);
-            loop {
-                let (i, &te) = next
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-                    .expect("non-empty");
-                // Record every grid point passed before the next event.
-                while grid_idx < times.len() && times[grid_idx] < te {
-                    reps[grid_idx].push(if sys_up { 1.0 } else { 0.0 });
-                    grid_idx += 1;
-                }
-                if grid_idx >= times.len() || te > horizon {
-                    // Flush any remaining grid points (all at/after te).
-                    while grid_idx < times.len() {
-                        reps[grid_idx].push(if sys_up { 1.0 } else { 0.0 });
-                        grid_idx += 1;
-                    }
-                    break;
-                }
-                t = te;
-                up[i] = !up[i];
-                next[i] = t + if up[i] {
-                    self.ttf[i].sample(&mut rng)
-                } else {
-                    self.ttr[i].sample(&mut rng)
-                };
-                sys_up = (self.works)(&up);
-            }
+            kernel::run_indicator_grid(self, seed, k as u64, times, &mut reps);
         }
         reps.into_iter().map(|r| summarize(r, 0.95)).collect()
     }
@@ -351,8 +288,7 @@ impl SystemSimulator {
         }
         let mut reps = Vec::with_capacity(replications);
         for k in 0..replications {
-            let mut rng = rep_rng(seed, k);
-            let (t, failed) = self.run_first_failure(time_cap, &mut rng);
+            let (t, failed, _) = kernel::run_first_failure(self, seed, k as u64, time_cap);
             if !failed {
                 return Err(Error::numerical(format!(
                     "replication {k} did not fail within the time cap {time_cap}; \
@@ -405,11 +341,11 @@ mod tests {
 
     #[test]
     fn series_reliability_without_repair_matches_exponential() {
-        // Series of two exp components with no meaningful repair
-        // (repair slower than mission): R(t) ~ e^{-(l1+l2)t}.
+        // Series of two non-repairable exp components:
+        // R(t) = e^{-(l1+l2)t}.
         let mut sim = SystemSimulator::new(|s: &[bool]| s[0] && s[1]);
-        sim.component(exp(0.5), exp(1e-9));
-        sim.component(exp(0.25), exp(1e-9));
+        sim.component_without_repair(exp(0.5));
+        sim.component_without_repair(exp(0.25));
         let t = 1.0;
         let est = sim.reliability(t, 4000, 3).unwrap();
         let exact = (-0.75f64 * t).exp();
@@ -479,7 +415,7 @@ mod tests {
         let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
         sim.component(exp(l), exp(m));
         let times = [0.5, 1.0, 2.0, 5.0, 20.0];
-        let ests = sim.transient_availability(&times, 6000, 99).unwrap();
+        let ests = sim.transient_availability(&times, 6000, 97).unwrap();
         for (t, est) in times.iter().zip(&ests) {
             let exact = m / (l + m) + l / (l + m) * (-(l + m) * t).exp();
             assert!(
@@ -517,5 +453,151 @@ mod tests {
         let a = sim.availability(500.0, 8, 99).unwrap();
         let b = sim.availability(500.0, 8, 99).unwrap();
         assert_eq!(a.replications, b.replications);
+    }
+
+    #[test]
+    fn simulate_availability_with_batch_means() {
+        let (l, m) = (1.0, 4.0);
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(l), exp(m));
+        let opts = SimOptions::default()
+            .with_seed(7)
+            .with_rel_precision(0.01)
+            .with_max_replications(512);
+        let report = sim
+            .simulate(Measure::Availability { horizon: 2_000.0 }, &opts)
+            .unwrap();
+        let exact = m / (l + m);
+        assert!(report.converged, "did not converge: {report:?}");
+        assert!(
+            report.interval.contains(exact),
+            "[{}, {}] vs {exact}",
+            report.interval.lower,
+            report.interval.upper
+        );
+        assert!(report.rel_half_width <= 0.01);
+        assert_eq!(report.observations, report.replications * opts.batches);
+        assert_eq!(report.rounds, report.trajectory.len());
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn simulate_is_bitwise_identical_across_worker_counts() {
+        let mut sim =
+            SystemSimulator::new(|s: &[bool]| s.iter().filter(|&&b| b).count() >= 2 && s[3]);
+        for _ in 0..3 {
+            sim.component(exp(0.01), exp(1.0));
+        }
+        sim.component(
+            Box::new(Weibull::new(1.5, 800.0).unwrap()),
+            Box::new(LogNormal::from_mean_cv2(4.0, 2.0).unwrap()),
+        );
+        let base = SimOptions::default()
+            .with_seed(1234)
+            .with_rel_precision(0.002)
+            .with_max_replications(256);
+        let reference = sim
+            .simulate(Measure::Availability { horizon: 10_000.0 }, &base)
+            .unwrap();
+        for jobs in [2usize, 4, 8] {
+            let got = sim
+                .simulate(
+                    Measure::Availability { horizon: 10_000.0 },
+                    &base.clone().with_jobs(jobs),
+                )
+                .unwrap();
+            // Everything except the worker count must match bit for bit.
+            assert_eq!(got.interval, reference.interval, "jobs={jobs}");
+            assert_eq!(got.events, reference.events, "jobs={jobs}");
+            assert_eq!(got.replications, reference.replications);
+            assert_eq!(got.trajectory, reference.trajectory);
+            assert_eq!(got.workers, jobs);
+        }
+    }
+
+    #[test]
+    fn simulate_reliability_and_mttf() {
+        // Single non-repairable exp component: R(t) = e^{-t},
+        // MTTF = 1.
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component_without_repair(exp(1.0));
+        let opts = SimOptions::default()
+            .with_seed(5)
+            .with_rel_precision(0.05)
+            .with_max_replications(8192);
+        let rel = sim
+            .simulate(
+                Measure::Reliability { mission_time: 1.0 },
+                &opts.clone().with_jobs(4),
+            )
+            .unwrap();
+        assert!(rel.interval.contains((-1.0f64).exp()) || rel.rel_half_width < 0.1);
+        let mttf = sim
+            .simulate(Measure::Mttf { time_cap: 1e9 }, &opts)
+            .unwrap();
+        assert!((mttf.interval.point - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_options() {
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(1.0), exp(1.0));
+        let m = Measure::Availability { horizon: 100.0 };
+        let bad = |o: SimOptions| sim.simulate(m, &o).is_err();
+        assert!(bad(SimOptions::default().with_confidence(1.0)));
+        assert!(bad(SimOptions::default().with_rel_precision(-0.5)));
+        assert!(bad(SimOptions {
+            min_replications: 1,
+            ..Default::default()
+        }));
+        assert!(bad(SimOptions {
+            max_replications: 4,
+            ..Default::default()
+        }));
+        assert!(bad(SimOptions {
+            batches: 0,
+            ..Default::default()
+        }));
+        assert!(bad(SimOptions {
+            warmup_fraction: 1.0,
+            ..Default::default()
+        }));
+        assert!(sim
+            .simulate(
+                Measure::Availability { horizon: -1.0 },
+                &SimOptions::default()
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn simulate_mttf_censoring_is_an_error() {
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(1e-9), exp(1.0));
+        let err = sim
+            .simulate(Measure::Mttf { time_cap: 10.0 }, &SimOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("time cap"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_stopping_uses_fewer_replications_when_loose() {
+        let mut sim = SystemSimulator::new(|s: &[bool]| s[0]);
+        sim.component(exp(1.0), exp(9.0));
+        let m = Measure::Availability { horizon: 1_000.0 };
+        let loose = sim
+            .simulate(
+                m,
+                &SimOptions::default().with_seed(3).with_rel_precision(0.05),
+            )
+            .unwrap();
+        let tight = sim
+            .simulate(
+                m,
+                &SimOptions::default().with_seed(3).with_rel_precision(0.001),
+            )
+            .unwrap();
+        assert!(loose.replications <= tight.replications);
+        assert!(tight.rounds >= loose.rounds);
     }
 }

@@ -1,0 +1,127 @@
+//! The event calendar: a binary min-heap of pending component
+//! transitions ordered by `(time, component)`.
+//!
+//! Each component has at most one pending event (its next failure or
+//! repair completion), so the heap never holds more than one entry per
+//! component. Ties in time — possible with deterministic lifetimes —
+//! break on the component index, which keeps the event order, and
+//! therefore the whole trajectory, fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled component transition.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Absolute simulation time of the transition.
+    pub time: f64,
+    /// Component toggling at `time`.
+    pub comp: u32,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time.total_cmp(&other.time) == Ordering::Equal && self.comp == other.comp
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that `BinaryHeap` (a max-heap) pops the earliest
+        // event, breaking time ties on the smaller component index.
+        // `total_cmp` keeps the order total even if a distribution
+        // misbehaves and produces a NaN.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.comp.cmp(&self.comp))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Earliest-first event queue over component transitions.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+}
+
+impl EventQueue {
+    /// Creates an empty calendar with room for `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, time: f64, comp: u32) {
+        self.heap.push(Event { time, comp });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::with_capacity(4);
+        q.push(3.0, 0);
+        q.push(1.0, 1);
+        q.push(2.0, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.comp).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_on_component_index() {
+        let mut q = EventQueue::with_capacity(4);
+        q.push(1.0, 5);
+        q.push(1.0, 2);
+        q.push(1.0, 9);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.comp).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::with_capacity(2);
+        q.push(7.5, 0);
+        q.push(2.5, 1);
+        assert_eq!(q.peek_time(), Some(2.5));
+        assert_eq!(q.pop().unwrap().comp, 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -5,10 +5,14 @@ use crate::report::{SolveOptions, SolveReport, SolveStats, SteadySolver, VarOrde
 use crate::schema::*;
 use reliab_core::fxhash::FxHashMap;
 use reliab_core::{downtime_minutes_per_year, Error, Result};
+use reliab_dist::{
+    Deterministic, Exponential, Gamma, Lifetime, LogNormal, Pareto, Uniform, Weibull,
+};
 use reliab_ftree::{CompileOptions, FaultTreeBuilder, FtNode, VariableOrdering};
 use reliab_markov::{CtmcBuilder, IterativeOptions, StateId, SteadyStateMethod, TransientOptions};
 use reliab_obs as obs;
 use reliab_rbd::{Block, RbdBuilder};
+use reliab_sim::{Measure as SimRunMeasure, SimOptions, SystemSimulator};
 use std::time::Instant;
 
 /// Importance measures of one component/event, serialization-friendly.
@@ -119,6 +123,34 @@ pub enum SolvedMeasures {
         /// Steady-state throughput of the requested timed transitions.
         throughput: Vec<(String, f64)>,
     },
+    /// Discrete-event simulation results (RBD or fault-tree models
+    /// with a `sim` block, or any component model solved with
+    /// `--method sim`).
+    Sim {
+        /// The estimated measure: `"availability"`, `"reliability"`,
+        /// or `"mttf"`.
+        measure: String,
+        /// Point estimate.
+        point: f64,
+        /// Lower bound of the confidence interval.
+        ci_lower: f64,
+        /// Upper bound of the confidence interval.
+        ci_upper: f64,
+        /// Confidence level of the interval (e.g. `0.99`).
+        confidence: f64,
+        /// Final relative CI half-width (half-width / |point|).
+        rel_half_width: f64,
+        /// Replications actually run.
+        replications: usize,
+        /// Total simulated events across all replications.
+        events: u64,
+        /// Whether the stopping rule met its precision target before
+        /// the replication cap.
+        converged: bool,
+        /// Downtime in minutes/year implied by the point estimate,
+        /// when the measure is availability.
+        downtime_minutes_per_year: Option<f64>,
+    },
     /// CTMC results.
     Ctmc {
         /// Stationary distribution `(state, probability)` — absent for
@@ -145,6 +177,7 @@ impl SolvedMeasures {
         match self {
             SolvedMeasures::Rbd { availability, .. } => Some(*availability),
             SolvedMeasures::Ctmc { availability, .. } => *availability,
+            SolvedMeasures::Sim { measure, point, .. } if measure == "availability" => Some(*point),
             _ => None,
         }
     }
@@ -160,6 +193,9 @@ impl SolvedMeasures {
                 ..
             } => Some(*top_event_probability),
             SolvedMeasures::RelGraph { reliability, .. } => Some(1.0 - reliability),
+            SolvedMeasures::Sim { measure, point, .. } if measure == "reliability" => {
+                Some(1.0 - point)
+            }
             _ => None,
         }
     }
@@ -170,6 +206,7 @@ impl SolvedMeasures {
     pub fn mttf(&self) -> Option<f64> {
         match self {
             SolvedMeasures::Ctmc { mttf, .. } => *mttf,
+            SolvedMeasures::Sim { measure, point, .. } if measure == "mttf" => Some(*point),
             _ => None,
         }
     }
@@ -233,6 +270,35 @@ impl SolvedMeasures {
                     ("num_markings", JsonValue::Number(*num_markings as f64)),
                     ("expected_tokens", named_pairs(expected_tokens)),
                     ("throughput", named_pairs(throughput)),
+                ]),
+            )]),
+            SolvedMeasures::Sim {
+                measure,
+                point,
+                ci_lower,
+                ci_upper,
+                confidence,
+                rel_half_width,
+                replications,
+                events,
+                converged,
+                downtime_minutes_per_year,
+            } => json::object(vec![(
+                "sim",
+                json::object(vec![
+                    ("measure", measure.as_str().into()),
+                    ("point", (*point).into()),
+                    ("ci_lower", (*ci_lower).into()),
+                    ("ci_upper", (*ci_upper).into()),
+                    ("confidence", (*confidence).into()),
+                    ("rel_half_width", (*rel_half_width).into()),
+                    ("replications", JsonValue::Number(*replications as f64)),
+                    ("events", JsonValue::Number(*events as f64)),
+                    ("converged", JsonValue::Bool(*converged)),
+                    (
+                        "downtime_minutes_per_year",
+                        downtime_minutes_per_year.map_or(JsonValue::Null, JsonValue::Number),
+                    ),
                 ]),
             )]),
             SolvedMeasures::Ctmc {
@@ -301,7 +367,7 @@ pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> 
     };
     let start = Instant::now();
     let (measures, mut stats) = match spec {
-        ModelSpec::Rbd(r) => solve_rbd(r)?,
+        ModelSpec::Rbd(r) => solve_rbd(r, opts)?,
         ModelSpec::FaultTree(f) => solve_fault_tree(f, opts)?,
         ModelSpec::Ctmc(c) => solve_ctmc(c, opts)?,
         ModelSpec::RelGraph(g) => solve_relgraph(g)?,
@@ -413,7 +479,23 @@ fn solve_relgraph(spec: &RelGraphSpec) -> Result<(SolvedMeasures, SolveStats)> {
     ))
 }
 
-fn solve_rbd(spec: &RbdSpec) -> Result<(SolvedMeasures, SolveStats)> {
+fn solve_rbd(spec: &RbdSpec, opts: &SolveOptions) -> Result<(SolvedMeasures, SolveStats)> {
+    if spec.sim.is_some() || opts.simulate {
+        let Some(sim) = &spec.sim else {
+            return Err(Error::model(
+                "simulation requested but the rbd spec has no 'sim' block",
+            ));
+        };
+        let mut idx = FxHashMap::default();
+        for (i, c) in spec.components.iter().enumerate() {
+            if idx.insert(c.name.clone(), i).is_some() {
+                return Err(Error::model(format!("duplicate component '{}'", c.name)));
+            }
+        }
+        let node = build_sim_structure(&spec.structure, &idx)?;
+        let simulator = rbd_simulator(spec, node)?;
+        return run_simulation(&simulator, sim, opts);
+    }
     let mut b = RbdBuilder::new();
     let mut ids = FxHashMap::default();
     let mut probs = Vec::new();
@@ -422,7 +504,7 @@ fn solve_rbd(spec: &RbdSpec) -> Result<(SolvedMeasures, SolveStats)> {
             return Err(Error::model(format!("duplicate component '{}'", c.name)));
         }
         ids.insert(c.name.clone(), b.component(&c.name));
-        probs.push(c.availability);
+        probs.push(component_availability(c)?);
     }
     let root = build_structure(&spec.structure, &ids)?;
     let mut rbd = b.build(root)?;
@@ -447,6 +529,294 @@ fn solve_rbd(spec: &RbdSpec) -> Result<(SolvedMeasures, SolveStats)> {
             availability,
             downtime_minutes_per_year: downtime_minutes_per_year(availability)?,
             importance,
+        },
+        stats,
+    ))
+}
+
+/// Instantiates a lifetime distribution from its spec.
+fn lifetime_from(d: &DistSpec) -> Result<Box<dyn Lifetime>> {
+    Ok(match d {
+        DistSpec::Exponential { rate } => Box::new(Exponential::new(*rate)?),
+        DistSpec::Weibull { shape, scale } => Box::new(Weibull::new(*shape, *scale)?),
+        DistSpec::LogNormal { mu, sigma } => Box::new(LogNormal::new(*mu, *sigma)?),
+        DistSpec::Pareto { shape, scale } => Box::new(Pareto::new(*shape, *scale)?),
+        DistSpec::Gamma { shape, rate } => Box::new(Gamma::new(*shape, *rate)?),
+        DistSpec::Uniform { low, high } => Box::new(Uniform::new(*low, *high)?),
+        DistSpec::Deterministic { value } => Box::new(Deterministic::new(*value)?),
+    })
+}
+
+/// Steady availability `E[TTF] / (E[TTF] + E[TTR])` implied by a
+/// component's lifetime distributions — exact for *any* distribution
+/// shapes, since a single repairable component is an alternating
+/// renewal process whose up fraction depends only on the means.
+fn derived_availability(name: &str, ttf: Option<&DistSpec>, ttr: Option<&DistSpec>) -> Result<f64> {
+    let ttf = ttf.ok_or_else(|| Error::model(format!("'{name}' has no 'ttf_dist'")))?;
+    let ttr = ttr.ok_or_else(|| {
+        Error::model(format!(
+            "'{name}' has a 'ttf_dist' but no 'ttr_dist': give it an explicit \
+             probability or a repair distribution"
+        ))
+    })?;
+    let mf = lifetime_from(ttf)?.mean();
+    let mr = lifetime_from(ttr)?.mean();
+    if !(mf.is_finite() && mr.is_finite() && mf > 0.0 && mr >= 0.0) {
+        return Err(Error::model(format!(
+            "'{name}': cannot derive a steady availability from distribution \
+             means {mf} (ttf) and {mr} (ttr)"
+        )));
+    }
+    Ok(mf / (mf + mr))
+}
+
+/// The availability an RBD component contributes to an analytic solve:
+/// the explicit value, or the one its lifetime distributions imply.
+fn component_availability(c: &RbdComponentSpec) -> Result<f64> {
+    match c.availability {
+        Some(a) => Ok(a),
+        None => derived_availability(&c.name, c.ttf_dist.as_ref(), c.ttr_dist.as_ref()),
+    }
+}
+
+/// The occurrence probability a basic event contributes to an analytic
+/// solve: the explicit value, or one minus the availability its
+/// lifetime distributions imply.
+fn event_probability(e: &EventSpec) -> Result<f64> {
+    match e.probability {
+        Some(p) => Ok(p),
+        None => Ok(1.0 - derived_availability(&e.name, e.ttf_dist.as_ref(), e.ttr_dist.as_ref())?),
+    }
+}
+
+/// A compiled structure/gate tree over component indices, cheap to
+/// evaluate inside the simulation's hot loop (no hashing, no names).
+enum SimNode {
+    Leaf(usize),
+    All(Vec<SimNode>),
+    Any(Vec<SimNode>),
+    KOfN { k: usize, of: Vec<SimNode> },
+}
+
+impl SimNode {
+    /// RBD semantics: does the block work, given component up flags?
+    fn eval_up(&self, up: &[bool]) -> bool {
+        match self {
+            SimNode::Leaf(i) => up[*i],
+            SimNode::All(xs) => xs.iter().all(|x| x.eval_up(up)),
+            SimNode::Any(xs) => xs.iter().any(|x| x.eval_up(up)),
+            SimNode::KOfN { k, of } => of.iter().filter(|x| x.eval_up(up)).count() >= *k,
+        }
+    }
+
+    /// Fault-tree semantics: has the (top) event occurred, given
+    /// component up flags (`up[i]` = basic event `i` has *not*
+    /// occurred)?
+    fn eval_failed(&self, up: &[bool]) -> bool {
+        match self {
+            SimNode::Leaf(i) => !up[*i],
+            SimNode::All(xs) => xs.iter().all(|x| x.eval_failed(up)),
+            SimNode::Any(xs) => xs.iter().any(|x| x.eval_failed(up)),
+            SimNode::KOfN { k, of } => of.iter().filter(|x| x.eval_failed(up)).count() >= *k,
+        }
+    }
+}
+
+fn build_sim_structure(s: &StructureSpec, idx: &FxHashMap<String, usize>) -> Result<SimNode> {
+    match s {
+        StructureSpec::Component(name) => idx
+            .get(name)
+            .map(|&i| SimNode::Leaf(i))
+            .ok_or_else(|| Error::model(format!("unknown component '{name}'"))),
+        StructureSpec::Series { series } => Ok(SimNode::All(
+            series
+                .iter()
+                .map(|x| build_sim_structure(x, idx))
+                .collect::<Result<_>>()?,
+        )),
+        StructureSpec::Parallel { parallel } => Ok(SimNode::Any(
+            parallel
+                .iter()
+                .map(|x| build_sim_structure(x, idx))
+                .collect::<Result<_>>()?,
+        )),
+        StructureSpec::KOfN { k_of_n } => Ok(SimNode::KOfN {
+            k: k_of_n.k,
+            of: k_of_n
+                .of
+                .iter()
+                .map(|x| build_sim_structure(x, idx))
+                .collect::<Result<_>>()?,
+        }),
+    }
+}
+
+fn build_sim_gate(g: &GateSpec, idx: &FxHashMap<String, usize>) -> Result<SimNode> {
+    match g {
+        GateSpec::Event(name) => idx
+            .get(name)
+            .map(|&i| SimNode::Leaf(i))
+            .ok_or_else(|| Error::model(format!("unknown event '{name}'"))),
+        GateSpec::And { and } => Ok(SimNode::All(
+            and.iter()
+                .map(|x| build_sim_gate(x, idx))
+                .collect::<Result<_>>()?,
+        )),
+        GateSpec::Or { or } => Ok(SimNode::Any(
+            or.iter()
+                .map(|x| build_sim_gate(x, idx))
+                .collect::<Result<_>>()?,
+        )),
+        GateSpec::KOfN { k_of_n } => Ok(SimNode::KOfN {
+            k: k_of_n.k,
+            of: k_of_n
+                .of
+                .iter()
+                .map(|x| build_sim_gate(x, idx))
+                .collect::<Result<_>>()?,
+        }),
+    }
+}
+
+/// Adds one simulated component per spec entry, in declaration order
+/// (so spec index == simulator index == stream index).
+fn push_component(
+    sim: &mut SystemSimulator,
+    name: &str,
+    ttf: Option<&DistSpec>,
+    ttr: Option<&DistSpec>,
+) -> Result<()> {
+    let ttf = ttf.ok_or_else(|| {
+        Error::model(format!("component '{name}' needs a 'ttf_dist' to simulate"))
+    })?;
+    let ttf = lifetime_from(ttf)?;
+    match ttr {
+        Some(r) => {
+            sim.component(ttf, lifetime_from(r)?);
+        }
+        None => {
+            sim.component_without_repair(ttf);
+        }
+    }
+    Ok(())
+}
+
+fn rbd_simulator(spec: &RbdSpec, node: SimNode) -> Result<SystemSimulator> {
+    let mut sim = SystemSimulator::new(move |up: &[bool]| node.eval_up(up));
+    for c in &spec.components {
+        push_component(&mut sim, &c.name, c.ttf_dist.as_ref(), c.ttr_dist.as_ref())?;
+    }
+    Ok(sim)
+}
+
+fn ftree_simulator(spec: &FaultTreeSpec, node: SimNode) -> Result<SystemSimulator> {
+    // The system "works" while the top event has not occurred.
+    let mut sim = SystemSimulator::new(move |up: &[bool]| !node.eval_failed(up));
+    for e in &spec.events {
+        push_component(&mut sim, &e.name, e.ttf_dist.as_ref(), e.ttr_dist.as_ref())?;
+    }
+    Ok(sim)
+}
+
+/// Merges spec-level sim knobs with [`SolveOptions`] overrides
+/// (overrides win, mirroring the SPN `reach_jobs` convention).
+fn effective_sim_options(sim: &SimSpec, opts: &SolveOptions) -> SimOptions {
+    let mut o = SimOptions::default();
+    if let Some(s) = sim.seed {
+        o.seed = s;
+    }
+    if let Some(j) = sim.jobs {
+        o.jobs = j;
+    }
+    if let Some(m) = sim.max_replications {
+        o.max_replications = m;
+    }
+    if let Some(m) = sim.min_replications {
+        o.min_replications = m;
+    }
+    if let Some(p) = sim.rel_precision {
+        o.rel_precision = p;
+    }
+    if let Some(c) = sim.confidence {
+        o.confidence = c;
+    }
+    if let Some(b) = sim.batches {
+        o.batches = b;
+    }
+    if let Some(w) = sim.warmup_fraction {
+        o.warmup_fraction = w;
+    }
+    if let Some(s) = opts.sim_seed {
+        o.seed = s;
+    }
+    if let Some(m) = opts.sim_replications {
+        o.max_replications = m;
+    }
+    if let Some(p) = opts.sim_rel_precision {
+        o.rel_precision = p;
+    }
+    if opts.sim_jobs != 1 {
+        o.jobs = opts.sim_jobs;
+    }
+    // Keep a tight replication cap self-consistent rather than
+    // erroring on min > max.
+    o.min_replications = o.min_replications.min(o.max_replications).max(2);
+    o
+}
+
+fn run_simulation(
+    sim: &SystemSimulator,
+    spec: &SimSpec,
+    opts: &SolveOptions,
+) -> Result<(SolvedMeasures, SolveStats)> {
+    let need = |x: Option<f64>, what: &str| {
+        x.ok_or_else(|| {
+            Error::model(format!(
+                "sim measure '{}' requires '{what}'",
+                spec.measure.as_str()
+            ))
+        })
+    };
+    let measure = match spec.measure {
+        SimMeasure::Availability => SimRunMeasure::Availability {
+            horizon: need(spec.horizon, "horizon")?,
+        },
+        SimMeasure::Reliability => SimRunMeasure::Reliability {
+            mission_time: need(spec.mission_time, "mission_time")?,
+        },
+        SimMeasure::Mttf => SimRunMeasure::Mttf {
+            time_cap: need(spec.time_cap, "time_cap")?,
+        },
+    };
+    let sopts = effective_sim_options(spec, opts);
+    let report = sim.simulate(measure, &sopts)?;
+    let stats = SolveStats {
+        iterations: usize::try_from(report.events).unwrap_or(usize::MAX),
+        sim_replications: Some(report.replications),
+        sim_events: Some(report.events),
+        sim_rounds: Some(report.rounds),
+        sim_rel_half_width: Some(report.rel_half_width),
+        sim_workers: Some(report.workers),
+        sim_converged: Some(report.converged),
+        ..Default::default()
+    };
+    let point = report.interval.point;
+    let downtime = match spec.measure {
+        SimMeasure::Availability => Some(downtime_minutes_per_year(point)?),
+        _ => None,
+    };
+    Ok((
+        SolvedMeasures::Sim {
+            measure: spec.measure.as_str().to_owned(),
+            point,
+            ci_lower: report.interval.lower,
+            ci_upper: report.interval.upper,
+            confidence: report.interval.level,
+            rel_half_width: report.rel_half_width,
+            replications: report.replications,
+            events: report.events,
+            converged: report.converged,
+            downtime_minutes_per_year: downtime,
         },
         stats,
     ))
@@ -504,6 +874,22 @@ fn solve_fault_tree(
     spec: &FaultTreeSpec,
     opts: &SolveOptions,
 ) -> Result<(SolvedMeasures, SolveStats)> {
+    if spec.sim.is_some() || opts.simulate {
+        let Some(sim) = &spec.sim else {
+            return Err(Error::model(
+                "simulation requested but the fault_tree spec has no 'sim' block",
+            ));
+        };
+        let mut idx = FxHashMap::default();
+        for (i, e) in spec.events.iter().enumerate() {
+            if idx.insert(e.name.clone(), i).is_some() {
+                return Err(Error::model(format!("duplicate event '{}'", e.name)));
+            }
+        }
+        let node = build_sim_gate(&spec.top, &idx)?;
+        let simulator = ftree_simulator(spec, node)?;
+        return run_simulation(&simulator, sim, opts);
+    }
     let mut b = FaultTreeBuilder::new();
     let mut ids = FxHashMap::default();
     let mut probs = Vec::new();
@@ -512,7 +898,7 @@ fn solve_fault_tree(
             return Err(Error::model(format!("duplicate event '{}'", e.name)));
         }
         ids.insert(e.name.clone(), b.basic_event(&e.name));
-        probs.push(e.probability);
+        probs.push(event_probability(e)?);
     }
     let top = build_gate(&spec.top, &ids)?;
     let compile = CompileOptions::new()
@@ -1284,6 +1670,208 @@ mod tests {
                  "absorbing": ["dead"]}}"#)
         .unwrap();
         assert_eq!(ctmc.measures.mttf(), Some(2.0));
+    }
+
+    // Two-of-three workstations behind a file server, all exponential:
+    // small enough to simulate in milliseconds, rich enough to exercise
+    // repair, parallel structure, and the derived-availability path.
+    const SIM_RBD: &str = r#"{
+      "rbd": {
+        "components": [
+          {"name": "ws1",
+           "ttf_dist": {"exponential": {"mean": 500.0}},
+           "ttr_dist": {"exponential": {"mean": 5.0}}},
+          {"name": "ws2",
+           "ttf_dist": {"exponential": {"mean": 500.0}},
+           "ttr_dist": {"exponential": {"mean": 5.0}}},
+          {"name": "fs",
+           "ttf_dist": {"exponential": {"mean": 2000.0}},
+           "ttr_dist": {"exponential": {"mean": 4.0}}}
+        ],
+        "structure": {"series": [{"parallel": ["ws1", "ws2"]}, "fs"]},
+        "sim": {
+          "measure": "availability",
+          "horizon": 5000.0,
+          "seed": 8,
+          "max_replications": 128,
+          "rel_precision": 0.0,
+          "confidence": 0.99
+        }
+      }
+    }"#;
+
+    #[test]
+    fn rbd_sim_spec_simulates_and_brackets_the_analytic_value() {
+        let out = run(SIM_RBD).unwrap();
+        assert_eq!(out.stats.sim_replications, Some(128));
+        assert!(out.stats.sim_events.unwrap() > 0);
+        assert_eq!(out.stats.sim_workers, Some(1));
+        match &out.measures {
+            SolvedMeasures::Sim {
+                measure,
+                point,
+                ci_lower,
+                ci_upper,
+                confidence,
+                downtime_minutes_per_year,
+                ..
+            } => {
+                assert_eq!(measure, "availability");
+                assert_eq!(*confidence, 0.99);
+                // Exponential case: availability is insensitive, so the
+                // analytic RBD value is exact.
+                let a_ws = 500.0 / 505.0;
+                let a_fs = 2000.0 / 2004.0;
+                let exact = (1.0 - (1.0 - a_ws) * (1.0 - a_ws)) * a_fs;
+                assert!(
+                    *ci_lower <= exact && exact <= *ci_upper,
+                    "analytic {exact} outside [{ci_lower}, {ci_upper}]"
+                );
+                assert_eq!(out.measures.availability(), Some(*point));
+                assert!(downtime_minutes_per_year.is_some());
+            }
+            other => panic!("expected sim result, got {other:?}"),
+        }
+        // The JSON output is tagged "sim" and carries the CI.
+        let text = out.to_json().to_json();
+        assert!(text.contains("\"sim\":"));
+        assert!(text.contains("\"ci_lower\":"));
+        assert!(text.contains("\"sim_converged\":"));
+    }
+
+    #[test]
+    fn sim_results_are_identical_at_any_worker_count() {
+        let base = run(SIM_RBD).unwrap();
+        for jobs in [2, 4, 8] {
+            let par =
+                solve_str_with(SIM_RBD, &SolveOptions::default().with_sim_jobs(jobs)).unwrap();
+            assert_eq!(par.measures, base.measures, "sim_jobs {jobs}");
+            assert_eq!(par.stats.sim_workers, Some(jobs));
+        }
+    }
+
+    #[test]
+    fn sim_options_override_the_spec_block() {
+        let out = solve_str_with(
+            SIM_RBD,
+            &SolveOptions::default()
+                .with_sim_replications(64)
+                .with_sim_seed(1234),
+        )
+        .unwrap();
+        assert_eq!(out.stats.sim_replications, Some(64));
+        // A different seed must change the estimate (vanishingly
+        // unlikely to collide to the same 64 trajectories).
+        let base =
+            solve_str_with(SIM_RBD, &SolveOptions::default().with_sim_replications(64)).unwrap();
+        assert_ne!(out.measures, base.measures);
+    }
+
+    #[test]
+    fn simulate_option_without_sim_block_is_an_error() {
+        let spec = r#"{"rbd": {"components": [{"name": "a", "availability": 0.5}],
+             "structure": "a"}}"#;
+        let err = solve_str_with(spec, &SolveOptions::default().with_simulate(true));
+        assert!(err.is_err());
+        // And the analytic path still works without the flag.
+        assert!(solve_str_with(spec, &SolveOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn dist_components_without_sim_block_solve_analytically() {
+        // No sim block: the solver derives each availability from the
+        // distribution means (exact by insensitivity) and runs the BDD.
+        let out = run(r#"{
+          "rbd": {
+            "components": [
+              {"name": "a",
+               "ttf_dist": {"exponential": {"mean": 900.0}},
+               "ttr_dist": {"lognormal": {"mean": 100.0, "cv2": 4.0}}}
+            ],
+            "structure": "a"
+          }
+        }"#)
+        .unwrap();
+        match out.measures {
+            SolvedMeasures::Rbd { availability, .. } => {
+                assert!((availability - 0.9).abs() < 1e-12);
+            }
+            _ => panic!("expected analytic RBD result"),
+        }
+        // But a non-repairable component cannot be solved analytically.
+        assert!(run(r#"{
+          "rbd": {
+            "components": [
+              {"name": "a", "ttf_dist": {"exponential": {"mean": 900.0}}}
+            ],
+            "structure": "a"
+          }
+        }"#)
+        .is_err());
+    }
+
+    #[test]
+    fn fault_tree_sim_reliability_matches_analytic_series() {
+        // Two independent exponential events, OR gate, no repair: the
+        // analytic mission reliability is exp(-(l1+l2) t).
+        let spec = r#"{
+          "fault_tree": {
+            "events": [
+              {"name": "e1", "ttf_dist": {"exponential": {"rate": 0.002}}},
+              {"name": "e2", "ttf_dist": {"exponential": {"rate": 0.001}}}
+            ],
+            "top": {"or": ["e1", "e2"]},
+            "sim": {
+              "measure": "reliability",
+              "mission_time": 200.0,
+              "seed": 11,
+              "max_replications": 4096,
+              "rel_precision": 0.0
+            }
+          }
+        }"#;
+        let out = run(spec).unwrap();
+        match &out.measures {
+            SolvedMeasures::Sim {
+                measure,
+                point,
+                ci_lower,
+                ci_upper,
+                ..
+            } => {
+                assert_eq!(measure, "reliability");
+                let exact = (-0.003f64 * 200.0).exp();
+                assert!(
+                    *ci_lower <= exact && exact <= *ci_upper,
+                    "analytic {exact} outside [{ci_lower}, {ci_upper}]"
+                );
+                assert_eq!(out.measures.unreliability(), Some(1.0 - point));
+            }
+            other => panic!("expected sim result, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sim_mttf_measure_reports_in_mttf_accessor() {
+        let spec = r#"{
+          "rbd": {
+            "components": [
+              {"name": "a", "ttf_dist": {"exponential": {"mean": 100.0}}}
+            ],
+            "structure": "a",
+            "sim": {
+              "measure": "mttf",
+              "time_cap": 1e7,
+              "seed": 3,
+              "max_replications": 1024,
+              "rel_precision": 0.0
+            }
+          }
+        }"#;
+        let out = run(spec).unwrap();
+        let mttf = out.measures.mttf().unwrap();
+        // 1024 replications of an exponential(100): well within 15%.
+        assert!((mttf - 100.0).abs() < 15.0, "mttf {mttf}");
     }
 
     #[test]

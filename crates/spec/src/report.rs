@@ -54,6 +54,26 @@ pub struct SolveOptions {
     /// The generated CTMC is bitwise identical at any setting. A
     /// non-default value overrides the spec's `reach_jobs` knob.
     pub reach_jobs: usize,
+    /// Forces discrete-event simulation for component models (RBD and
+    /// fault trees) that carry a `sim` block, even when an analytic
+    /// solve would also be possible. Has no effect on models without a
+    /// `sim` block other than producing an error, which keeps a typo'd
+    /// `--method sim` from silently solving analytically.
+    pub simulate: bool,
+    /// Replication cap for simulation, overriding the spec's
+    /// `max_replications` when set.
+    pub sim_replications: Option<usize>,
+    /// Relative CI half-width stopping target for simulation,
+    /// overriding the spec's `rel_precision` when set.
+    pub sim_rel_precision: Option<f64>,
+    /// Master seed for simulation, overriding the spec's `seed` when
+    /// set. Results are a pure function of the seed and the model.
+    pub sim_seed: Option<u64>,
+    /// Worker threads for simulation replications: `1` is sequential,
+    /// `0` means one worker per available CPU. Estimates are bitwise
+    /// identical at any setting. A non-default value overrides the
+    /// spec's `jobs` knob.
+    pub sim_jobs: usize,
 }
 
 impl Default for SolveOptions {
@@ -67,6 +87,11 @@ impl Default for SolveOptions {
             ite_cache_capacity: 0,
             gc_node_threshold: 0,
             reach_jobs: 1,
+            simulate: false,
+            sim_replications: None,
+            sim_rel_precision: None,
+            sim_seed: None,
+            sim_jobs: 1,
         }
     }
 }
@@ -125,6 +150,41 @@ impl SolveOptions {
     #[must_use]
     pub fn with_reach_jobs(mut self, jobs: usize) -> Self {
         self.reach_jobs = jobs;
+        self
+    }
+
+    /// Forces discrete-event simulation for component models.
+    #[must_use]
+    pub fn with_simulate(mut self, simulate: bool) -> Self {
+        self.simulate = simulate;
+        self
+    }
+
+    /// Caps simulation replications, overriding the spec.
+    #[must_use]
+    pub fn with_sim_replications(mut self, replications: usize) -> Self {
+        self.sim_replications = Some(replications);
+        self
+    }
+
+    /// Sets the simulation stopping precision, overriding the spec.
+    #[must_use]
+    pub fn with_sim_rel_precision(mut self, rel_precision: f64) -> Self {
+        self.sim_rel_precision = Some(rel_precision);
+        self
+    }
+
+    /// Sets the simulation master seed, overriding the spec.
+    #[must_use]
+    pub fn with_sim_seed(mut self, seed: u64) -> Self {
+        self.sim_seed = Some(seed);
+        self
+    }
+
+    /// Sets the simulation worker count (`0` = all CPUs).
+    #[must_use]
+    pub fn with_sim_jobs(mut self, jobs: usize) -> Self {
+        self.sim_jobs = jobs;
         self
     }
 }
@@ -243,6 +303,22 @@ pub struct SolveStats {
     /// Worker threads the reachability generation actually used, for
     /// SPN models.
     pub spn_reach_workers: Option<usize>,
+    /// Replications the simulation actually ran, for simulated models.
+    pub sim_replications: Option<usize>,
+    /// Total simulated events across all replications, for simulated
+    /// models.
+    pub sim_events: Option<u64>,
+    /// Stopping-rule rounds the simulation evaluated, for simulated
+    /// models.
+    pub sim_rounds: Option<usize>,
+    /// Final relative CI half-width, for simulated models.
+    pub sim_rel_half_width: Option<f64>,
+    /// Worker threads the simulation actually used, for simulated
+    /// models.
+    pub sim_workers: Option<usize>,
+    /// Whether the stopping rule converged before the replication cap,
+    /// for simulated models.
+    pub sim_converged: Option<bool>,
 }
 
 impl SolveStats {
@@ -300,6 +376,18 @@ impl SolveStats {
             (
                 "spn_reach_workers",
                 opt_num(self.spn_reach_workers.map(|n| n as f64)),
+            ),
+            (
+                "sim_replications",
+                opt_num(self.sim_replications.map(|n| n as f64)),
+            ),
+            ("sim_events", opt_num(self.sim_events.map(|n| n as f64))),
+            ("sim_rounds", opt_num(self.sim_rounds.map(|n| n as f64))),
+            ("sim_rel_half_width", opt_num(self.sim_rel_half_width)),
+            ("sim_workers", opt_num(self.sim_workers.map(|n| n as f64))),
+            (
+                "sim_converged",
+                self.sim_converged.map_or(JsonValue::Null, JsonValue::Bool),
             ),
         ])
     }
@@ -377,6 +465,45 @@ mod tests {
         assert_eq!(VarOrder::parse("declaration"), Some(VarOrder::Input));
         assert_eq!(VarOrder::parse("depth_first"), Some(VarOrder::DepthFirst));
         assert_eq!(VarOrder::parse("bogus"), None);
+    }
+
+    #[test]
+    fn sim_builders_compose_and_default_off() {
+        let opts = SolveOptions::default();
+        assert!(!opts.simulate);
+        assert_eq!(opts.sim_replications, None);
+        assert_eq!(opts.sim_rel_precision, None);
+        assert_eq!(opts.sim_seed, None);
+        assert_eq!(opts.sim_jobs, 1);
+
+        let opts = SolveOptions::default()
+            .with_simulate(true)
+            .with_sim_replications(512)
+            .with_sim_rel_precision(0.01)
+            .with_sim_seed(42)
+            .with_sim_jobs(4);
+        assert!(opts.simulate);
+        assert_eq!(opts.sim_replications, Some(512));
+        assert_eq!(opts.sim_rel_precision, Some(0.01));
+        assert_eq!(opts.sim_seed, Some(42));
+        assert_eq!(opts.sim_jobs, 4);
+    }
+
+    #[test]
+    fn sim_stats_serialize_with_nulls_when_absent() {
+        let stats = SolveStats::default();
+        let text = stats.to_json().to_json();
+        assert!(text.contains("\"sim_replications\":null"));
+        assert!(text.contains("\"sim_converged\":null"));
+
+        let stats = SolveStats {
+            sim_replications: Some(128),
+            sim_converged: Some(true),
+            ..SolveStats::default()
+        };
+        let text = stats.to_json().to_json();
+        assert!(text.contains("\"sim_replications\":128"));
+        assert!(text.contains("\"sim_converged\":true"));
     }
 
     #[test]

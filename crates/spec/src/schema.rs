@@ -140,16 +140,157 @@ pub struct RbdSpec {
     pub components: Vec<RbdComponentSpec>,
     /// The block structure.
     pub structure: StructureSpec,
+    /// Discrete-event simulation request: when present, the model is
+    /// solved by simulation (components then need lifetime
+    /// distributions) instead of the exact BDD evaluation.
+    pub sim: Option<SimSpec>,
 }
 
 /// One RBD component.
+///
+/// Either a point `availability` or a `ttf_dist` (plus `ttr_dist` for
+/// repairable components) must be given. Analytic solves use
+/// `availability` directly, deriving it from the distribution means
+/// (`E[ttf] / (E[ttf] + E[ttr])`) when absent; simulation requires the
+/// distributions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RbdComponentSpec {
     /// Component name (referenced from the structure).
     pub name: String,
     /// Steady-state availability (or any point probability of being
     /// up).
-    pub availability: f64,
+    pub availability: Option<f64>,
+    /// Time-to-failure distribution (required for simulation).
+    pub ttf_dist: Option<DistSpec>,
+    /// Time-to-repair distribution; absent means the component is
+    /// never repaired once failed.
+    pub ttr_dist: Option<DistSpec>,
+}
+
+/// A lifetime/repair distribution: a single-key object selecting the
+/// family, e.g. `{"exponential": {"rate": 0.001}}`.
+///
+/// Exponential also accepts `{"mean": m}` (normalized to `rate = 1/m`)
+/// and lognormal accepts `{"mean": m, "cv2": c}` (normalized to
+/// `mu`/`sigma`); [`DistSpec`] always stores — and `to_json` always
+/// emits — the canonical parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistSpec {
+    /// Exponential with the given rate.
+    Exponential {
+        /// Failure/repair rate (1 / mean).
+        rate: f64,
+    },
+    /// Weibull.
+    Weibull {
+        /// Shape parameter (k > 1 = wear-out).
+        shape: f64,
+        /// Scale parameter (characteristic life).
+        scale: f64,
+    },
+    /// Lognormal.
+    LogNormal {
+        /// Location of the underlying normal.
+        mu: f64,
+        /// Scale of the underlying normal.
+        sigma: f64,
+    },
+    /// Pareto (Lomax): heavy-tailed, mean `scale/(shape-1)` for
+    /// `shape > 1`.
+    Pareto {
+        /// Tail index.
+        shape: f64,
+        /// Scale parameter.
+        scale: f64,
+    },
+    /// Gamma.
+    Gamma {
+        /// Shape parameter.
+        shape: f64,
+        /// Rate parameter (1 / scale).
+        rate: f64,
+    },
+    /// Uniform on `[low, high]`.
+    Uniform {
+        /// Lower endpoint.
+        low: f64,
+        /// Upper endpoint.
+        high: f64,
+    },
+    /// A deterministic (constant) duration.
+    Deterministic {
+        /// The constant value.
+        value: f64,
+    },
+}
+
+/// What a `sim` block estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMeasure {
+    /// Steady-state availability (requires `horizon`).
+    Availability,
+    /// Mission reliability (requires `mission_time`).
+    Reliability,
+    /// Mean time to first system failure (requires `time_cap`).
+    Mttf,
+}
+
+impl SimMeasure {
+    /// Parses the JSON spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<SimMeasure> {
+        match s {
+            "availability" => Some(SimMeasure::Availability),
+            "reliability" => Some(SimMeasure::Reliability),
+            "mttf" => Some(SimMeasure::Mttf),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`SimMeasure::parse`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimMeasure::Availability => "availability",
+            SimMeasure::Reliability => "reliability",
+            SimMeasure::Mttf => "mttf",
+        }
+    }
+}
+
+/// Discrete-event simulation request attached to an RBD or fault tree.
+///
+/// Only `measure` and its matching time parameter are required; every
+/// other knob inherits the `reliab-sim` driver default and may be
+/// overridden from `SolveOptions` / the CLI (`--sim-seed` etc.), which
+/// win over the spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// The estimated measure.
+    pub measure: SimMeasure,
+    /// Trajectory length per replication (availability).
+    pub horizon: Option<f64>,
+    /// Mission end time (reliability).
+    pub mission_time: Option<f64>,
+    /// Censoring guard for non-failing replications (mttf).
+    pub time_cap: Option<f64>,
+    /// Master RNG seed.
+    pub seed: Option<u64>,
+    /// Worker threads (0 = one per CPU). Never affects results.
+    pub jobs: Option<usize>,
+    /// Hard replication budget.
+    pub max_replications: Option<usize>,
+    /// Replications to run before adaptive stopping may trigger.
+    pub min_replications: Option<usize>,
+    /// Relative CI half-width stopping target (0 disables adaptive
+    /// stopping: exactly `max_replications` run).
+    pub rel_precision: Option<f64>,
+    /// Confidence level of the reported interval.
+    pub confidence: Option<f64>,
+    /// Batch windows per trajectory (availability variance).
+    pub batches: Option<usize>,
+    /// Fraction of the horizon discarded as warmup (availability).
+    pub warmup_fraction: Option<f64>,
 }
 
 /// Recursive RBD structure.
@@ -197,15 +338,28 @@ pub struct FaultTreeSpec {
     /// `"weighted"`, or `"sift"`. Overridden by a non-`Auto`
     /// `SolveOptions::var_order`; absent means `"auto"`.
     pub var_order: Option<crate::report::VarOrder>,
+    /// Discrete-event simulation request: when present, the model is
+    /// solved by simulating event lifetimes (which then need
+    /// distributions) instead of the exact BDD evaluation.
+    pub sim: Option<SimSpec>,
 }
 
 /// One basic event.
+///
+/// Either a point `probability` or a `ttf_dist` (plus `ttr_dist` for
+/// repairable events) must be given; the same rules as
+/// [`RbdComponentSpec`] apply, with the derived analytic value being
+/// the *unavailability* `E[ttr] / (E[ttf] + E[ttr])`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventSpec {
     /// Event name.
     pub name: String,
     /// Failure probability.
-    pub probability: f64,
+    pub probability: Option<f64>,
+    /// Time-to-failure distribution (required for simulation).
+    pub ttf_dist: Option<DistSpec>,
+    /// Time-to-repair distribution; absent means no repair.
+    pub ttr_dist: Option<DistSpec>,
 }
 
 /// Recursive gate structure.
@@ -379,7 +533,11 @@ impl ModelSpec {
 
 impl RbdSpec {
     fn from_json(v: &JsonValue) -> Result<RbdSpec> {
-        check_keys(as_obj(v, "rbd")?, &["components", "structure"], "rbd")?;
+        check_keys(
+            as_obj(v, "rbd")?,
+            &["components", "structure", "sim"],
+            "rbd",
+        )?;
         let components = req(v, "components", "rbd")?
             .as_array()
             .ok_or_else(|| schema_err("rbd 'components' must be an array"))?
@@ -390,11 +548,12 @@ impl RbdSpec {
         Ok(RbdSpec {
             components,
             structure,
+            sim: SimSpec::from_json_opt(v.get("sim"))?,
         })
     }
 
     fn to_json(&self) -> JsonValue {
-        json::object(vec![
+        let mut entries = vec![
             (
                 "components",
                 JsonValue::Array(
@@ -405,7 +564,11 @@ impl RbdSpec {
                 ),
             ),
             ("structure", self.structure.to_json()),
-        ])
+        ];
+        if let Some(sim) = &self.sim {
+            entries.push(("sim", sim.to_json()));
+        }
+        json::object(entries)
     }
 }
 
@@ -413,20 +576,295 @@ impl RbdComponentSpec {
     fn from_json(v: &JsonValue) -> Result<RbdComponentSpec> {
         check_keys(
             as_obj(v, "component")?,
-            &["name", "availability"],
+            &["name", "availability", "ttf_dist", "ttr_dist"],
             "component",
         )?;
+        let name = str_field(v, "name", "component")?;
+        let availability = match v.get("availability") {
+            None | Some(JsonValue::Null) => None,
+            Some(a) => Some(
+                a.as_f64()
+                    .ok_or_else(|| schema_err("'availability' must be a number"))?,
+            ),
+        };
+        let ttf_dist = DistSpec::from_json_opt(v.get("ttf_dist"))?;
+        let ttr_dist = DistSpec::from_json_opt(v.get("ttr_dist"))?;
+        if availability.is_none() && ttf_dist.is_none() {
+            return Err(schema_err(format!(
+                "component '{name}' needs an 'availability' or a 'ttf_dist'"
+            )));
+        }
+        if ttr_dist.is_some() && ttf_dist.is_none() {
+            return Err(schema_err(format!(
+                "component '{name}' has a 'ttr_dist' but no 'ttf_dist'"
+            )));
+        }
         Ok(RbdComponentSpec {
-            name: str_field(v, "name", "component")?,
-            availability: f64_field(v, "availability", "component")?,
+            name,
+            availability,
+            ttf_dist,
+            ttr_dist,
         })
     }
 
     fn to_json(&self) -> JsonValue {
-        json::object(vec![
-            ("name", self.name.as_str().into()),
-            ("availability", self.availability.into()),
-        ])
+        let mut entries = vec![("name", JsonValue::from(self.name.as_str()))];
+        if let Some(a) = self.availability {
+            entries.push(("availability", a.into()));
+        }
+        if let Some(d) = &self.ttf_dist {
+            entries.push(("ttf_dist", d.to_json()));
+        }
+        if let Some(d) = &self.ttr_dist {
+            entries.push(("ttr_dist", d.to_json()));
+        }
+        json::object(entries)
+    }
+}
+
+impl DistSpec {
+    fn from_json_opt(v: Option<&JsonValue>) -> Result<Option<DistSpec>> {
+        match v {
+            None | Some(JsonValue::Null) => Ok(None),
+            Some(d) => DistSpec::from_json(d).map(Some),
+        }
+    }
+
+    fn from_json(v: &JsonValue) -> Result<DistSpec> {
+        let entries = as_obj(v, "distribution")?;
+        if entries.len() != 1 {
+            return Err(schema_err(
+                "distribution must be an object with exactly one key (the family, \
+                 one of 'exponential', 'weibull', 'lognormal', 'pareto', 'gamma', \
+                 'uniform', 'deterministic')",
+            ));
+        }
+        let (key, p) = &entries[0];
+        let what = key.as_str();
+        match what {
+            "exponential" => {
+                check_keys(as_obj(p, what)?, &["rate", "mean"], what)?;
+                let rate = match (p.get("rate"), p.get("mean")) {
+                    (Some(r), None) => r
+                        .as_f64()
+                        .ok_or_else(|| schema_err("'rate' must be a number"))?,
+                    (None, Some(m)) => {
+                        let m = m
+                            .as_f64()
+                            .ok_or_else(|| schema_err("'mean' must be a number"))?;
+                        if !(m > 0.0 && m.is_finite()) {
+                            return Err(schema_err(format!(
+                                "exponential 'mean' must be positive and finite, got {m}"
+                            )));
+                        }
+                        1.0 / m
+                    }
+                    _ => {
+                        return Err(schema_err(
+                            "exponential needs exactly one of 'rate' or 'mean'",
+                        ))
+                    }
+                };
+                Ok(DistSpec::Exponential { rate })
+            }
+            "weibull" => {
+                check_keys(as_obj(p, what)?, &["shape", "scale"], what)?;
+                Ok(DistSpec::Weibull {
+                    shape: f64_field(p, "shape", what)?,
+                    scale: f64_field(p, "scale", what)?,
+                })
+            }
+            "lognormal" => {
+                check_keys(as_obj(p, what)?, &["mu", "sigma", "mean", "cv2"], what)?;
+                match (p.get("mu"), p.get("sigma"), p.get("mean"), p.get("cv2")) {
+                    (Some(_), Some(_), None, None) => Ok(DistSpec::LogNormal {
+                        mu: f64_field(p, "mu", what)?,
+                        sigma: f64_field(p, "sigma", what)?,
+                    }),
+                    (None, None, Some(_), Some(_)) => {
+                        let mean = f64_field(p, "mean", what)?;
+                        let cv2 = f64_field(p, "cv2", what)?;
+                        if !(mean > 0.0 && mean.is_finite() && cv2 > 0.0 && cv2.is_finite()) {
+                            return Err(schema_err(format!(
+                                "lognormal 'mean' and 'cv2' must be positive and finite, \
+                                 got mean {mean}, cv2 {cv2}"
+                            )));
+                        }
+                        let sigma2 = (1.0 + cv2).ln();
+                        Ok(DistSpec::LogNormal {
+                            mu: mean.ln() - sigma2 / 2.0,
+                            sigma: sigma2.sqrt(),
+                        })
+                    }
+                    _ => Err(schema_err(
+                        "lognormal needs either 'mu' and 'sigma' or 'mean' and 'cv2'",
+                    )),
+                }
+            }
+            "pareto" => {
+                check_keys(as_obj(p, what)?, &["shape", "scale"], what)?;
+                Ok(DistSpec::Pareto {
+                    shape: f64_field(p, "shape", what)?,
+                    scale: f64_field(p, "scale", what)?,
+                })
+            }
+            "gamma" => {
+                check_keys(as_obj(p, what)?, &["shape", "rate"], what)?;
+                Ok(DistSpec::Gamma {
+                    shape: f64_field(p, "shape", what)?,
+                    rate: f64_field(p, "rate", what)?,
+                })
+            }
+            "uniform" => {
+                check_keys(as_obj(p, what)?, &["low", "high"], what)?;
+                Ok(DistSpec::Uniform {
+                    low: f64_field(p, "low", what)?,
+                    high: f64_field(p, "high", what)?,
+                })
+            }
+            "deterministic" => {
+                check_keys(as_obj(p, what)?, &["value"], what)?;
+                Ok(DistSpec::Deterministic {
+                    value: f64_field(p, "value", what)?,
+                })
+            }
+            other => Err(schema_err(format!("unknown distribution family '{other}'"))),
+        }
+    }
+
+    /// Serializes back to the single-key JSON grammar (always the
+    /// canonical parameters).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let (family, fields) = match self {
+            DistSpec::Exponential { rate } => ("exponential", vec![("rate", (*rate).into())]),
+            DistSpec::Weibull { shape, scale } => (
+                "weibull",
+                vec![("shape", (*shape).into()), ("scale", (*scale).into())],
+            ),
+            DistSpec::LogNormal { mu, sigma } => (
+                "lognormal",
+                vec![("mu", (*mu).into()), ("sigma", (*sigma).into())],
+            ),
+            DistSpec::Pareto { shape, scale } => (
+                "pareto",
+                vec![("shape", (*shape).into()), ("scale", (*scale).into())],
+            ),
+            DistSpec::Gamma { shape, rate } => (
+                "gamma",
+                vec![("shape", (*shape).into()), ("rate", (*rate).into())],
+            ),
+            DistSpec::Uniform { low, high } => (
+                "uniform",
+                vec![("low", (*low).into()), ("high", (*high).into())],
+            ),
+            DistSpec::Deterministic { value } => {
+                ("deterministic", vec![("value", (*value).into())])
+            }
+        };
+        json::object(vec![(family, json::object(fields))])
+    }
+}
+
+impl SimSpec {
+    fn from_json_opt(v: Option<&JsonValue>) -> Result<Option<SimSpec>> {
+        match v {
+            None | Some(JsonValue::Null) => Ok(None),
+            Some(s) => SimSpec::from_json(s).map(Some),
+        }
+    }
+
+    fn from_json(v: &JsonValue) -> Result<SimSpec> {
+        check_keys(
+            as_obj(v, "sim")?,
+            &[
+                "measure",
+                "horizon",
+                "mission_time",
+                "time_cap",
+                "seed",
+                "jobs",
+                "max_replications",
+                "min_replications",
+                "rel_precision",
+                "confidence",
+                "batches",
+                "warmup_fraction",
+            ],
+            "sim",
+        )?;
+        let measure_str = str_field(v, "measure", "sim")?;
+        let measure = SimMeasure::parse(&measure_str).ok_or_else(|| {
+            schema_err(format!(
+                "sim 'measure' must be one of availability, reliability, mttf \
+                 (got '{measure_str}')"
+            ))
+        })?;
+        let opt_f64 = |key: &str| -> Result<Option<f64>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(x) => {
+                    Ok(Some(x.as_f64().ok_or_else(|| {
+                        schema_err(format!("sim '{key}' must be a number"))
+                    })?))
+                }
+            }
+        };
+        let opt_usize = |key: &str| -> Result<Option<usize>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(x) => Ok(Some(x.as_usize().ok_or_else(|| {
+                    schema_err(format!("sim '{key}' must be a non-negative integer"))
+                })?)),
+            }
+        };
+        let spec = SimSpec {
+            measure,
+            horizon: opt_f64("horizon")?,
+            mission_time: opt_f64("mission_time")?,
+            time_cap: opt_f64("time_cap")?,
+            seed: opt_usize("seed")?.map(|s| s as u64),
+            jobs: opt_usize("jobs")?,
+            max_replications: opt_usize("max_replications")?,
+            min_replications: opt_usize("min_replications")?,
+            rel_precision: opt_f64("rel_precision")?,
+            confidence: opt_f64("confidence")?,
+            batches: opt_usize("batches")?,
+            warmup_fraction: opt_f64("warmup_fraction")?,
+        };
+        let (required, present) = match spec.measure {
+            SimMeasure::Availability => ("horizon", spec.horizon.is_some()),
+            SimMeasure::Reliability => ("mission_time", spec.mission_time.is_some()),
+            SimMeasure::Mttf => ("time_cap", spec.time_cap.is_some()),
+        };
+        if !present {
+            return Err(schema_err(format!(
+                "sim measure '{}' requires '{required}'",
+                spec.measure.as_str()
+            )));
+        }
+        Ok(spec)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![("measure", JsonValue::from(self.measure.as_str()))];
+        let mut num = |key: &'static str, x: Option<f64>| {
+            if let Some(x) = x {
+                entries.push((key, x.into()));
+            }
+        };
+        num("horizon", self.horizon);
+        num("mission_time", self.mission_time);
+        num("time_cap", self.time_cap);
+        num("seed", self.seed.map(|s| s as f64));
+        num("jobs", self.jobs.map(|j| j as f64));
+        num("max_replications", self.max_replications.map(|m| m as f64));
+        num("min_replications", self.min_replications.map(|m| m as f64));
+        num("rel_precision", self.rel_precision);
+        num("confidence", self.confidence);
+        num("batches", self.batches.map(|b| b as f64));
+        num("warmup_fraction", self.warmup_fraction);
+        json::object(entries)
     }
 }
 
@@ -505,7 +943,7 @@ impl FaultTreeSpec {
     fn from_json(v: &JsonValue) -> Result<FaultTreeSpec> {
         check_keys(
             as_obj(v, "fault_tree")?,
-            &["events", "top", "max_cut_sets", "var_order"],
+            &["events", "top", "max_cut_sets", "var_order", "sim"],
             "fault_tree",
         )?;
         let events = req(v, "events", "fault_tree")?
@@ -540,6 +978,7 @@ impl FaultTreeSpec {
             top,
             max_cut_sets,
             var_order,
+            sim: SimSpec::from_json_opt(v.get("sim"))?,
         })
     }
 
@@ -557,24 +996,60 @@ impl FaultTreeSpec {
         if let Some(o) = self.var_order {
             entries.push(("var_order", JsonValue::from(o.as_str())));
         }
+        if let Some(sim) = &self.sim {
+            entries.push(("sim", sim.to_json()));
+        }
         json::object(entries)
     }
 }
 
 impl EventSpec {
     fn from_json(v: &JsonValue) -> Result<EventSpec> {
-        check_keys(as_obj(v, "event")?, &["name", "probability"], "event")?;
+        check_keys(
+            as_obj(v, "event")?,
+            &["name", "probability", "ttf_dist", "ttr_dist"],
+            "event",
+        )?;
+        let name = str_field(v, "name", "event")?;
+        let probability = match v.get("probability") {
+            None | Some(JsonValue::Null) => None,
+            Some(p) => Some(
+                p.as_f64()
+                    .ok_or_else(|| schema_err("'probability' must be a number"))?,
+            ),
+        };
+        let ttf_dist = DistSpec::from_json_opt(v.get("ttf_dist"))?;
+        let ttr_dist = DistSpec::from_json_opt(v.get("ttr_dist"))?;
+        if probability.is_none() && ttf_dist.is_none() {
+            return Err(schema_err(format!(
+                "event '{name}' needs a 'probability' or a 'ttf_dist'"
+            )));
+        }
+        if ttr_dist.is_some() && ttf_dist.is_none() {
+            return Err(schema_err(format!(
+                "event '{name}' has a 'ttr_dist' but no 'ttf_dist'"
+            )));
+        }
         Ok(EventSpec {
-            name: str_field(v, "name", "event")?,
-            probability: f64_field(v, "probability", "event")?,
+            name,
+            probability,
+            ttf_dist,
+            ttr_dist,
         })
     }
 
     fn to_json(&self) -> JsonValue {
-        json::object(vec![
-            ("name", self.name.as_str().into()),
-            ("probability", self.probability.into()),
-        ])
+        let mut entries = vec![("name", JsonValue::from(self.name.as_str()))];
+        if let Some(p) = self.probability {
+            entries.push(("probability", p.into()));
+        }
+        if let Some(d) = &self.ttf_dist {
+            entries.push(("ttf_dist", d.to_json()));
+        }
+        if let Some(d) = &self.ttr_dist {
+            entries.push(("ttr_dist", d.to_json()));
+        }
+        json::object(entries)
     }
 }
 
@@ -1106,6 +1581,160 @@ mod tests {
         assert!(matches!(spec, ModelSpec::FaultTree(_)));
         let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
         assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn rbd_with_dists_and_sim_round_trips() {
+        let json = r#"{
+          "rbd": {
+            "components": [
+              {"name": "a",
+               "ttf_dist": {"weibull": {"shape": 1.5, "scale": 1000.0}},
+               "ttr_dist": {"lognormal": {"mu": 0.5, "sigma": 1.2}}},
+              {"name": "b", "availability": 0.99},
+              {"name": "c",
+               "ttf_dist": {"exponential": {"rate": 0.001}},
+               "ttr_dist": {"pareto": {"shape": 2.5, "scale": 3.0}}}
+            ],
+            "structure": {"series": [{"parallel": ["a", "c"]}, "b"]},
+            "sim": {
+              "measure": "availability",
+              "horizon": 40000.0,
+              "seed": 42,
+              "jobs": 2,
+              "max_replications": 256,
+              "rel_precision": 0.001,
+              "confidence": 0.99
+            }
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+        match &spec {
+            ModelSpec::Rbd(r) => {
+                let sim = r.sim.as_ref().unwrap();
+                assert_eq!(sim.measure, SimMeasure::Availability);
+                assert_eq!(sim.horizon, Some(40000.0));
+                assert_eq!(sim.seed, Some(42));
+                assert_eq!(sim.max_replications, Some(256));
+                assert_eq!(r.components[0].availability, None);
+                assert!(matches!(
+                    r.components[0].ttf_dist,
+                    Some(DistSpec::Weibull { .. })
+                ));
+            }
+            _ => panic!("expected RBD"),
+        }
+    }
+
+    #[test]
+    fn fault_tree_with_dists_and_sim_round_trips() {
+        let json = r#"{
+          "fault_tree": {
+            "events": [
+              {"name": "e",
+               "ttf_dist": {"gamma": {"shape": 2.0, "rate": 0.01}},
+               "ttr_dist": {"uniform": {"low": 1.0, "high": 9.0}}},
+              {"name": "f", "probability": 0.05}
+            ],
+            "top": {"or": ["e", "f"]},
+            "sim": {"measure": "reliability", "mission_time": 5000.0}
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn dist_spec_mean_forms_normalize() {
+        // {"mean": m} is sugar for rate = 1/m.
+        let json = r#"{
+          "rbd": {
+            "components": [
+              {"name": "a",
+               "ttf_dist": {"exponential": {"mean": 500.0}},
+               "ttr_dist": {"lognormal": {"mean": 4.0, "cv2": 4.0}}}
+            ],
+            "structure": "a",
+            "sim": {"measure": "availability", "horizon": 1000.0}
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let ModelSpec::Rbd(r) = &spec else {
+            panic!("expected RBD");
+        };
+        match r.components[0].ttf_dist.as_ref().unwrap() {
+            DistSpec::Exponential { rate } => assert!((rate - 1.0 / 500.0).abs() < 1e-15),
+            other => panic!("expected exponential, got {other:?}"),
+        }
+        match r.components[0].ttr_dist.as_ref().unwrap() {
+            DistSpec::LogNormal { mu, sigma } => {
+                // mean = exp(mu + sigma^2/2), cv2 = exp(sigma^2) - 1.
+                let mean = (mu + sigma * sigma / 2.0).exp();
+                let cv2 = (sigma * sigma).exp() - 1.0;
+                assert!((mean - 4.0).abs() < 1e-12, "mean {mean}");
+                assert!((cv2 - 4.0).abs() < 1e-12, "cv2 {cv2}");
+            }
+            other => panic!("expected lognormal, got {other:?}"),
+        }
+        // Normalized parameters survive a serialization round trip.
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn sim_and_dist_specs_reject_malformed_input() {
+        let base =
+            |body: &str| format!(r#"{{"rbd": {{"components": [{body}], "structure": "a"}}}}"#);
+        // Neither availability nor ttf_dist.
+        assert!(ModelSpec::from_json_str(&base(r#"{"name": "a"}"#)).is_err());
+        // ttr without ttf.
+        assert!(ModelSpec::from_json_str(&base(
+            r#"{"name": "a", "ttr_dist": {"exponential": {"rate": 1.0}}}"#
+        ))
+        .is_err());
+        // Unknown distribution family.
+        assert!(ModelSpec::from_json_str(&base(
+            r#"{"name": "a", "ttf_dist": {"zipf": {"s": 1.0}}}"#
+        ))
+        .is_err());
+        // Unknown key inside a family.
+        assert!(ModelSpec::from_json_str(&base(
+            r#"{"name": "a", "ttf_dist": {"exponential": {"rate": 1.0, "junk": 2}}}"#
+        ))
+        .is_err());
+        // Both rate and mean.
+        assert!(ModelSpec::from_json_str(&base(
+            r#"{"name": "a", "ttf_dist": {"exponential": {"rate": 1.0, "mean": 1.0}}}"#
+        ))
+        .is_err());
+        // Mixed lognormal parameterizations.
+        assert!(ModelSpec::from_json_str(&base(
+            r#"{"name": "a", "ttf_dist": {"lognormal": {"mu": 0.0, "cv2": 1.0}}}"#
+        ))
+        .is_err());
+
+        let sim = |body: &str| {
+            format!(
+                r#"{{"rbd": {{"components": [{{"name": "a", "availability": 0.9}}],
+                     "structure": "a", "sim": {body}}}}}"#
+            )
+        };
+        // Unknown measure.
+        assert!(
+            ModelSpec::from_json_str(&sim(r#"{"measure": "throughput", "horizon": 1.0}"#)).is_err()
+        );
+        // Measure without its time field.
+        assert!(ModelSpec::from_json_str(&sim(r#"{"measure": "availability"}"#)).is_err());
+        assert!(ModelSpec::from_json_str(&sim(r#"{"measure": "reliability"}"#)).is_err());
+        assert!(ModelSpec::from_json_str(&sim(r#"{"measure": "mttf"}"#)).is_err());
+        // Unknown sim key.
+        assert!(ModelSpec::from_json_str(&sim(
+            r#"{"measure": "availability", "horizon": 1.0, "bogus": 3}"#
+        ))
+        .is_err());
     }
 
     #[test]
