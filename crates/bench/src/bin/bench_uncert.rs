@@ -1,0 +1,254 @@
+//! `bench-uncert` — end-to-end uncertainty-propagation benchmark
+//! producing the committed `BENCH_uncert.json` performance record.
+//!
+//! Solves an `"uncertainty"` spec wrapping a birth–death CTMC: every
+//! Monte-Carlo sample re-solves the inner chain with rates drawn from
+//! gamma priors, on one worker thread and on four. Before any speedup
+//! is reported the run asserts the scenario layer's reproducibility
+//! guarantee: the solved measures JSON — mean, standard deviation,
+//! percentile interval — is bitwise identical at 1, 2, and 4 workers,
+//! because sampling is a pure function of `(seed, sample index)`.
+//!
+//! ```text
+//! cargo run --release -p reliab-bench --bin bench-uncert              # full run, writes BENCH_uncert.json
+//! cargo run --release -p reliab-bench --bin bench-uncert -- --quick   # CI-sized budget, no file written
+//! cargo run --release -p reliab-bench --bin bench-uncert -- --quick --check BENCH_uncert.json
+//! ```
+//!
+//! Options:
+//!
+//! * `--quick` — smaller chain and sample budget; skips writing the
+//!   output file unless `--out` is given.
+//! * `--out FILE` — where to write the JSON record (default
+//!   `BENCH_uncert.json`; full mode only unless given explicitly).
+//! * `--check FILE` — compare against a committed baseline: exit 1 if
+//!   the 4-worker time relative to the 1-worker time regressed by more
+//!   than 2x the baseline's par-to-seq ratio.
+//!
+//! Exit status: 0 on success, 1 on a `--check` regression or an
+//! equivalence failure, 2 on usage errors.
+
+use std::time::Instant;
+
+use reliab_spec::json::{self, JsonValue};
+use reliab_spec::{solve_str_with, SolveOptions, SolveReport};
+
+struct Args {
+    quick: bool,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: bench-uncert [--quick] [--out FILE] [--check FILE]");
+    std::process::exit(code);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: None,
+        check: None,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => match it.next() {
+                Some(p) => args.out = Some(p.clone()),
+                None => usage(2),
+            },
+            "--check" => match it.next() {
+                Some(p) => args.check = Some(p.clone()),
+                None => usage(2),
+            },
+            "-h" | "--help" => usage(0),
+            _ => usage(2),
+        }
+    }
+    args
+}
+
+/// An `"uncertainty"` spec over an `n`-state birth–death availability
+/// chain (the lower half of the states up, the rest degraded), with
+/// gamma priors on the first failure and repair rates and `jobs`
+/// worker threads.
+fn uncert_doc(n: usize, samples: usize, jobs: usize) -> String {
+    let states: Vec<String> = (0..n).map(|i| format!("\"s{i}\"")).collect();
+    let up: Vec<String> = (0..n / 2).map(|i| format!("\"s{i}\"")).collect();
+    // Load factor 0.9: the stationary mass decays slowly, so the
+    // availability stays comfortably inside [0, 1] at any chain size.
+    let mut transitions = Vec::with_capacity(2 * (n - 1));
+    for i in 0..n - 1 {
+        transitions.push(format!(
+            r#"{{"from": "s{i}", "to": "s{}", "rate": 0.45}}"#,
+            i + 1
+        ));
+        transitions.push(format!(
+            r#"{{"from": "s{}", "to": "s{i}", "rate": 0.5}}"#,
+            i + 1
+        ));
+    }
+    format!(
+        r#"{{"uncertainty": {{
+            "model": {{"ctmc": {{"states": [{states}],
+                               "transitions": [{transitions}],
+                               "up_states": [{up}]}}}},
+            "parameters": [
+              {{"path": "ctmc.transitions.0.rate",
+                "prior": {{"gamma": {{"shape": 9.0, "rate": 20.0}}}}}},
+              {{"path": "ctmc.transitions.1.rate",
+                "prior": {{"gamma": {{"shape": 10.0, "rate": 20.0}}}}}}],
+            "measure": "availability",
+            "samples": {samples},
+            "seed": 48879,
+            "jobs": {jobs},
+            "latin_hypercube": true}}}}"#,
+        states = states.join(","),
+        transitions = transitions.join(","),
+        up = up.join(","),
+    )
+}
+
+/// Minimum self-reported wall time over `reps` runs of `f` — minimum,
+/// not mean, because scheduling noise only ever adds time.
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> (u128, T)) -> (u128, T) {
+    let mut best: Option<(u128, T)> = None;
+    for _ in 0..reps {
+        let (ns, out) = f();
+        if best.as_ref().is_none_or(|(b, _)| ns < *b) {
+            best = Some((ns, out));
+        }
+    }
+    best.expect("reps > 0")
+}
+
+/// Canonical measures JSON — the whole solved record except stats
+/// (which carry wall time and the worker count, the fields allowed to
+/// differ between runs).
+fn measures_json(report: &SolveReport) -> String {
+    report.measures.to_json().to_json()
+}
+
+fn main() {
+    let args = parse_args();
+    let (n_states, samples, reps) = if args.quick {
+        (48usize, 96usize, 3)
+    } else {
+        (96usize, 384usize, 3)
+    };
+    eprintln!(
+        "bench-uncert: {n_states}-state birth-death chain, 2 gamma priors, \
+         {samples} Latin-hypercube samples, {reps} reps"
+    );
+
+    let opts = SolveOptions::default();
+
+    // Sequential reference: one worker thread.
+    let seq_doc = uncert_doc(n_states, samples, 1);
+    let (seq_ns, seq_report) = time_min(reps, || {
+        let t = Instant::now();
+        let report = solve_str_with(&seq_doc, &opts).expect("valid spec");
+        (t.elapsed().as_nanos(), report)
+    });
+    let seq_measures = measures_json(&seq_report);
+    eprintln!("  1 worker:  {:.3} ms", seq_ns as f64 / 1e6);
+
+    // Equivalence gate: the threaded sampler must reproduce the
+    // one-worker measures bitwise at every probed worker count.
+    for jobs in [2usize, 4] {
+        let par = solve_str_with(&uncert_doc(n_states, samples, jobs), &opts).expect("valid spec");
+        if measures_json(&par) != seq_measures {
+            eprintln!("EQUIVALENCE FAILURE: {jobs}-worker propagation differs from sequential");
+            std::process::exit(1);
+        }
+    }
+
+    // Parallel sampler, 4 workers.
+    let par_doc = uncert_doc(n_states, samples, 4);
+    let (par_ns, _) = time_min(reps, || {
+        let t = Instant::now();
+        let report = solve_str_with(&par_doc, &opts).expect("valid spec");
+        (t.elapsed().as_nanos(), report)
+    });
+    eprintln!("  4 workers: {:.3} ms", par_ns as f64 / 1e6);
+
+    let speedup = seq_ns as f64 / par_ns as f64;
+    let samples_per_sec = samples as f64 / (seq_ns as f64 / 1e9);
+    let mean = json::get_path(&seq_report.measures.to_json(), "uncertainty.mean")
+        .and_then(JsonValue::as_f64)
+        .expect("uncertainty measures carry a mean");
+    eprintln!("  parallel:  bitwise identical at 2 and 4 workers");
+    eprintln!("  rate:      {samples_per_sec:.0} model solves/s sequential");
+    eprintln!("  speedup:   {speedup:.2}x");
+
+    let record = json::object(vec![
+        ("bench", "uncert".into()),
+        ("mode", if args.quick { "quick" } else { "full" }.into()),
+        ("states", JsonValue::Number(n_states as f64)),
+        ("samples", JsonValue::Number(samples as f64)),
+        ("reps", JsonValue::Number(reps as f64)),
+        ("seq_ns", JsonValue::Number(seq_ns as f64)),
+        ("par_ns", JsonValue::Number(par_ns as f64)),
+        ("speedup", JsonValue::Number(speedup)),
+        (
+            "samples_per_sec_sequential",
+            JsonValue::Number(samples_per_sec),
+        ),
+        ("mean_availability", JsonValue::Number(mean)),
+        ("parallel_bitwise_equal", JsonValue::Bool(true)),
+    ]);
+
+    if let Some(baseline_path) = &args.check {
+        match check_regression(baseline_path, seq_ns as f64, par_ns as f64) {
+            Ok(msg) => eprintln!("  {msg}"),
+            Err(msg) => {
+                eprintln!("REGRESSION: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let out_path = match (&args.out, args.quick) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some("BENCH_uncert.json".to_owned()),
+        (None, true) => None,
+    };
+    if let Some(path) = out_path {
+        let text = record.to_json_pretty();
+        if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("  wrote {path}");
+    } else {
+        println!("{}", record.to_json_pretty());
+    }
+}
+
+/// Compares this run against a committed baseline record. Machines
+/// differ, so the comparison is relative: the ratio of parallel to
+/// sequential time on *this* machine must not exceed 2x the same ratio
+/// in the baseline. (Lower is better for the ratio; a ratio blowing up
+/// means the threaded sampler stopped scaling.)
+fn check_regression(path: &str, seq_ns: f64, par_ns: f64) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let field = |key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("{path} is missing numeric field '{key}'"))
+    };
+    let base_ratio = field("par_ns")? / field("seq_ns")?;
+    let ratio = par_ns / seq_ns;
+    if ratio > 2.0 * base_ratio {
+        Err(format!(
+            "par/seq ratio {ratio:.3} exceeds 2x baseline ratio {base_ratio:.3}"
+        ))
+    } else {
+        Ok(format!(
+            "check ok: par/seq ratio {ratio:.3} within 2x of baseline {base_ratio:.3}"
+        ))
+    }
+}

@@ -52,6 +52,17 @@ impl Bounds {
     pub fn contains(&self, x: f64) -> bool {
         self.lower <= x && x <= self.upper
     }
+
+    /// The bracket on the complementary probability: bounds on
+    /// reliability `R` become bounds on unreliability `Q = 1 − R` and
+    /// vice versa.
+    #[must_use]
+    pub fn complement(&self) -> Bounds {
+        Bounds {
+            lower: 1.0 - self.upper,
+            upper: 1.0 - self.lower,
+        }
+    }
 }
 
 fn check_probs(p: &[f64], what: &str) -> Result<()> {

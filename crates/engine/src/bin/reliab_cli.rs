@@ -41,6 +41,15 @@
 //! * `--reach-jobs N` — worker threads for SPN state-space generation
 //!   (0 = one per CPU; default 1). The generated chain — and therefore
 //!   every measure — is bitwise identical at any setting.
+//! * `--hier-jobs N` — worker threads for hierarchy fixed-point sweeps
+//!   (0 = one per CPU; default 1, or the spec's `jobs`). Results are
+//!   bitwise identical at any setting.
+//! * `--uncert-samples N` — Monte-Carlo samples for uncertainty models
+//!   (overrides the spec's `samples`).
+//! * `--fixed-point-tol X` — hierarchy fixed-point tolerance (overrides
+//!   the spec's `tolerance`).
+//! * `--truncation-order N` — cut-set truncation order for bounds
+//!   models (overrides the spec's `truncation_order`).
 //! * `--trace FILE` — stream the structured trace (spans + events) to
 //!   `FILE` as JSON Lines.
 //! * `--metrics FILE` — dump the metrics registry to `FILE` on exit
@@ -84,10 +93,12 @@ fn usage(code: i32) -> ! {
         "usage: reliab-cli [--jobs N] [--json] [--stats] [--method M] \
          [--var-order O] [--ite-cache N] [--gc-threshold N] [--reach-jobs N] \
          [--sim-reps N] [--sim-precision X] [--sim-seed N] [--sim-jobs N] \
-         [--trace FILE] [--metrics FILE] [--metrics-format F] [--progress] \
-         <spec.json|glob|-> ..."
+         [--hier-jobs N] [--uncert-samples N] [--fixed-point-tol X] \
+         [--truncation-order N] [--trace FILE] [--metrics FILE] \
+         [--metrics-format F] [--progress] <spec.json|glob|-> ..."
     );
-    eprintln!("solves reliab model specifications (rbd / fault_tree / ctmc / rel_graph / spn)");
+    eprintln!("solves reliab model specifications (rbd / fault_tree / ctmc / rel_graph / spn /");
+    eprintln!("  hierarchy / semi_markov / uncertainty / bounds)");
     eprintln!("  --jobs N            worker threads (0 = one per CPU; default 0)");
     eprintln!("  --json              one machine-readable JSON array for the whole batch");
     eprintln!("  --stats             include solver telemetry with each result");
@@ -101,6 +112,10 @@ fn usage(code: i32) -> ! {
     eprintln!("  --ite-cache N       ITE cache capacity in entries (0 = kernel default)");
     eprintln!("  --gc-threshold N    live BDD nodes before GC (0 = kernel default)");
     eprintln!("  --reach-jobs N      SPN state-space workers (0 = one per CPU; default 1)");
+    eprintln!("  --hier-jobs N       hierarchy sweep workers (0 = one per CPU; default 1)");
+    eprintln!("  --uncert-samples N  uncertainty Monte-Carlo samples (overrides the spec)");
+    eprintln!("  --fixed-point-tol X hierarchy fixed-point tolerance (overrides the spec)");
+    eprintln!("  --truncation-order N bounds cut-set truncation order (overrides the spec)");
     eprintln!("  --trace FILE        write a JSONL trace of spans/events to FILE");
     eprintln!("  --metrics FILE      dump solver metrics to FILE on exit (- = stderr)");
     eprintln!("  --metrics-format F  metrics exposition: prometheus (default) or json");
@@ -128,6 +143,10 @@ struct Cli {
     ite_cache: usize,
     gc_threshold: usize,
     reach_jobs: usize,
+    hier_jobs: usize,
+    uncert_samples: Option<usize>,
+    fixed_point_tol: Option<f64>,
+    truncation_order: Option<usize>,
     trace: Option<String>,
     metrics: Option<String>,
     metrics_format: MetricsFormat,
@@ -150,6 +169,10 @@ fn parse_args(args: &[String]) -> Cli {
         ite_cache: 0,
         gc_threshold: 0,
         reach_jobs: 1,
+        hier_jobs: 1,
+        uncert_samples: None,
+        fixed_point_tol: None,
+        truncation_order: None,
         trace: None,
         metrics: None,
         metrics_format: MetricsFormat::Prometheus,
@@ -244,6 +267,34 @@ fn parse_args(args: &[String]) -> Cli {
                 Some(n) => cli.reach_jobs = n,
                 None => {
                     eprintln!("--reach-jobs requires a non-negative integer");
+                    usage(2);
+                }
+            },
+            "--hier-jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.hier_jobs = n,
+                None => {
+                    eprintln!("--hier-jobs requires a non-negative integer");
+                    usage(2);
+                }
+            },
+            "--uncert-samples" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.uncert_samples = Some(n),
+                None => {
+                    eprintln!("--uncert-samples requires a positive integer");
+                    usage(2);
+                }
+            },
+            "--fixed-point-tol" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 => cli.fixed_point_tol = Some(x),
+                _ => {
+                    eprintln!("--fixed-point-tol requires a positive number");
+                    usage(2);
+                }
+            },
+            "--truncation-order" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cli.truncation_order = Some(n),
+                _ => {
+                    eprintln!("--truncation-order requires a positive integer");
                     usage(2);
                 }
             },
@@ -434,7 +485,8 @@ fn main() {
         .with_gc_node_threshold(cli.gc_threshold)
         .with_reach_jobs(cli.reach_jobs)
         .with_simulate(cli.simulate)
-        .with_sim_jobs(cli.sim_jobs);
+        .with_sim_jobs(cli.sim_jobs)
+        .with_hier_jobs(cli.hier_jobs);
     if let Some(n) = cli.sim_reps {
         solve_opts = solve_opts.with_sim_replications(n);
     }
@@ -443,6 +495,15 @@ fn main() {
     }
     if let Some(s) = cli.sim_seed {
         solve_opts = solve_opts.with_sim_seed(s);
+    }
+    if let Some(n) = cli.uncert_samples {
+        solve_opts = solve_opts.with_uncert_samples(n);
+    }
+    if let Some(x) = cli.fixed_point_tol {
+        solve_opts = solve_opts.with_fixed_point_tol(x);
+    }
+    if let Some(n) = cli.truncation_order {
+        solve_opts = solve_opts.with_truncation_order(n);
     }
     let engine = BatchEngine::new()
         .with_jobs(cli.jobs)
@@ -503,6 +564,13 @@ fn main() {
                 Ok(r) => {
                     if many {
                         out.emit(&format!("// {label}"));
+                    }
+                    // Headline via the unified measures API: every
+                    // model class reports its kind and, when it has
+                    // one, its primary scalar.
+                    match r.measures.primary_value() {
+                        Some(v) => out.emit(&format!("// {}: {v}", r.measures.kind())),
+                        None => out.emit(&format!("// {}", r.measures.kind())),
                     }
                     out.emit(&r.measures.to_json().to_json_pretty());
                     if cli.stats {

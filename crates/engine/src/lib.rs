@@ -122,6 +122,7 @@ pub struct BatchEngine {
     cache_capacity: usize,
     cache: Mutex<MemoCache>,
     last_stats: Mutex<BatchStats>,
+    kind_counts: Mutex<FxHashMap<&'static str, usize>>,
 }
 
 impl Default for BatchEngine {
@@ -142,6 +143,7 @@ impl BatchEngine {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache: Mutex::new(MemoCache::default()),
             last_stats: Mutex::new(BatchStats::default()),
+            kind_counts: Mutex::new(FxHashMap::default()),
         }
     }
 
@@ -187,6 +189,19 @@ impl BatchEngine {
         stats
     }
 
+    /// Successful solves from the most recent batch, broken down by
+    /// model class ([`reliab_spec::SolvedMeasures::kind`]), sorted by
+    /// kind. Memo hits count toward the kind they resolved to.
+    #[must_use]
+    pub fn last_kind_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = lock(&self.kind_counts)
+            .iter()
+            .map(|(k, c)| (*k, *c))
+            .collect();
+        counts.sort_unstable();
+        counts
+    }
+
     /// Solves every spec, returning reports in input order. Per-spec
     /// failures occupy their slot as `Err` without disturbing the rest
     /// of the batch.
@@ -211,6 +226,7 @@ impl BatchEngine {
 
     fn run(&self, inputs: Vec<Result<&ModelSpec>>) -> Vec<Result<SolveReport>> {
         *lock(&self.last_stats) = BatchStats::default();
+        lock(&self.kind_counts).clear();
         let workers = self.worker_count(inputs.len());
         let batch_span = obs::span("engine.batch");
         let batch_id = batch_span.id();
@@ -300,6 +316,9 @@ impl BatchEngine {
             let key = spec.canonical_string();
             if let Some(hit) = lock(&self.cache).get(&key) {
                 lock(&self.last_stats).memo_hits += 1;
+                *lock(&self.kind_counts)
+                    .entry(hit.measures.kind())
+                    .or_insert(0) += 1;
                 obs::counter_add("engine.memo.hits", 1);
                 lifecycle(idx, "done", Some("memo"));
                 return Ok(hit);
@@ -312,8 +331,11 @@ impl BatchEngine {
         let result = reliab_spec::solve_with(spec, &self.options);
         match &result {
             Ok(report) => {
+                let kind = report.measures.kind();
                 lock(&self.last_stats).solved += 1;
+                *lock(&self.kind_counts).entry(kind).or_insert(0) += 1;
                 obs::counter_add("engine.specs.solved", 1);
+                obs::counter_add(&format!("engine.specs.solved.{kind}"), 1);
                 if let Some(key) = key {
                     lock(&self.cache).insert(key, report, self.cache_capacity);
                 }
@@ -484,5 +506,23 @@ mod tests {
         let engine = BatchEngine::new();
         assert!(engine.solve(&[]).is_empty());
         assert_eq!(engine.last_stats(), BatchStats::default());
+    }
+
+    #[test]
+    fn kind_counts_aggregate_by_model_class() {
+        let ctmc = r#"{"ctmc": {
+            "states": ["up", "down"],
+            "transitions": [{"from": "up", "to": "down", "rate": 0.01},
+                            {"from": "down", "to": "up", "rate": 1.0}],
+            "up_states": ["up"]}}"#
+            .to_owned();
+        let docs = vec![rbd_doc(0.9), ctmc, rbd_doc(0.9), rbd_doc(0.8)];
+        let engine = BatchEngine::new().with_jobs(1);
+        engine.solve_texts(&docs);
+        // Memo hits count toward their kind: 3 rbd + 1 ctmc.
+        assert_eq!(engine.last_kind_counts(), vec![("ctmc", 1), ("rbd", 3)]);
+        // Counts reset per batch.
+        engine.solve_texts(&[rbd_doc(0.7)]);
+        assert_eq!(engine.last_kind_counts(), vec![("rbd", 1)]);
     }
 }

@@ -25,6 +25,29 @@ impl Default for FixedPointOptions {
     }
 }
 
+impl FixedPointOptions {
+    /// Sets the convergence tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the damping factor.
+    #[must_use]
+    pub fn with_damping(mut self, damping: f64) -> Self {
+        self.damping = damping;
+        self
+    }
+}
+
 /// Result of a fixed-point solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FixedPointResult {

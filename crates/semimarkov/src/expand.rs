@@ -47,6 +47,43 @@ impl ExpandedCtmc {
         }
         p
     }
+
+    /// Interval availability `(1/t) ∫₀ᵗ A(u) du` over the horizon
+    /// `[0, t]`, starting at entry into `initial`, with `up` the
+    /// operational SMP states. Computed on the expansion's accumulated
+    /// state occupancies (uniformization truncated at `epsilon`), so it
+    /// inherits the two-moment transient approximation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a non-positive horizon
+    /// or out-of-range handles, and propagates transient-solver errors.
+    pub fn interval_availability(
+        &self,
+        initial: SmpStateId,
+        up: &[SmpStateId],
+        t: f64,
+        epsilon: f64,
+    ) -> Result<f64> {
+        if !(t > 0.0 && t.is_finite()) {
+            return Err(Error::invalid(format!(
+                "interval-availability horizon must be positive and finite, got {t}"
+            )));
+        }
+        for s in up {
+            if s.index() >= self.phases.len() {
+                return Err(Error::invalid("up-state handle out of range"));
+            }
+        }
+        let p0 = self.entry_distribution(initial);
+        let acc = self.ctmc.accumulated(&p0, t, epsilon)?;
+        let up_time: f64 = up
+            .iter()
+            .flat_map(|s| self.phases[s.index()].iter())
+            .map(|st| acc[st.index()])
+            .sum();
+        Ok(up_time / t)
+    }
 }
 
 /// Internal canonical phase-type form: initial distribution `alpha`,

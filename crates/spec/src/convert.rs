@@ -166,25 +166,162 @@ pub enum SolvedMeasures {
         /// Transient distributions at the requested times.
         transient: Option<Vec<TransientRow>>,
     },
+    /// Hierarchical-composition results.
+    Hierarchy {
+        /// Converged submodel exports `(name, value)` in declaration
+        /// order.
+        submodels: Vec<(String, f64)>,
+        /// The output submodel's name.
+        output: String,
+        /// The output submodel's export at the fixed point — the
+        /// hierarchy's headline value.
+        value: f64,
+        /// Fixed-point sweeps performed.
+        iterations: usize,
+        /// Largest absolute export change in the final sweep.
+        residual: f64,
+    },
+    /// Semi-Markov-process results.
+    SemiMarkov {
+        /// Long-run time fraction per state, in declaration order.
+        steady_state: Vec<(String, f64)>,
+        /// Steady availability over `up_states` (if given).
+        availability: Option<f64>,
+        /// Downtime in minutes/year (when availability was computed).
+        downtime_minutes_per_year: Option<f64>,
+        /// Mean first-passage time from `initial` into `targets` (if
+        /// given).
+        mean_first_passage: Option<f64>,
+        /// Interval availability `(t, (1/t)∫₀ᵗ A(u) du)` rows at the
+        /// requested times, via the phase-type expansion.
+        interval_availability: Option<Vec<(f64, f64)>>,
+    },
+    /// Parametric-uncertainty results.
+    Uncertainty {
+        /// The propagated measure (a [`ScenarioMeasure`] spelling).
+        measure: String,
+        /// Sample mean of the output measure.
+        mean: f64,
+        /// Sample standard deviation.
+        std_dev: f64,
+        /// Lower percentile bound.
+        ci_lower: f64,
+        /// Upper percentile bound.
+        ci_upper: f64,
+        /// Confidence level of the percentile interval.
+        level: f64,
+        /// Monte-Carlo samples drawn.
+        samples: usize,
+    },
+    /// Cut/path-set bounds results (on system unreliability).
+    Bounds {
+        /// Exact failure probability (SDP over the cut sets, or the
+        /// fault tree's BDD probability).
+        exact: Option<f64>,
+        /// Esary–Proschan lower bound (needs path sets).
+        ep_lower: Option<f64>,
+        /// Esary–Proschan upper bound.
+        ep_upper: Option<f64>,
+        /// Truncated-enumeration lower bound (cut sets up to the
+        /// truncation order only).
+        truncated_lower: f64,
+        /// Truncated-enumeration upper bound (worst case for the
+        /// unenumerated tail).
+        truncated_upper: f64,
+        /// The truncation order the bounds were computed at.
+        truncation_order: usize,
+        /// Cut sets used.
+        num_cut_sets: usize,
+        /// Path sets used (0 when none were given or derivable).
+        num_path_sets: usize,
+    },
 }
 
 impl SolvedMeasures {
+    /// The model class this result came from — the same string as the
+    /// spec document's top-level key (plus `"sim"` for simulation
+    /// results). This is the stable discriminant consumers should
+    /// dispatch on instead of matching the `#[non_exhaustive]` enum;
+    /// it is also emitted as the `"kind"` field of the JSON output.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolvedMeasures::Rbd { .. } => "rbd",
+            SolvedMeasures::FaultTree { .. } => "fault_tree",
+            SolvedMeasures::RelGraph { .. } => "rel_graph",
+            SolvedMeasures::Spn { .. } => "spn",
+            SolvedMeasures::Sim { .. } => "sim",
+            SolvedMeasures::Ctmc { .. } => "ctmc",
+            SolvedMeasures::Hierarchy { .. } => "hierarchy",
+            SolvedMeasures::SemiMarkov { .. } => "semi_markov",
+            SolvedMeasures::Uncertainty { .. } => "uncertainty",
+            SolvedMeasures::Bounds { .. } => "bounds",
+        }
+    }
+
+    /// The model class's headline scalar, if it has one: availability
+    /// for RBD/CTMC/semi-Markov models, the top-event probability for
+    /// fault trees, s-t reliability for graphs, the point estimate for
+    /// simulations, the fixed-point output for hierarchies, the sample
+    /// mean for uncertainty wrappers, and the exact (or truncated
+    /// midpoint) probability for bounds.
+    #[must_use]
+    pub fn primary_value(&self) -> Option<f64> {
+        match self {
+            SolvedMeasures::Rbd { availability, .. } => Some(*availability),
+            SolvedMeasures::FaultTree {
+                top_event_probability,
+                ..
+            } => Some(*top_event_probability),
+            SolvedMeasures::RelGraph { reliability, .. } => Some(*reliability),
+            SolvedMeasures::Spn {
+                expected_tokens,
+                throughput,
+                ..
+            } => expected_tokens
+                .first()
+                .or_else(|| throughput.first())
+                .map(|(_, x)| *x),
+            SolvedMeasures::Sim { point, .. } => Some(*point),
+            SolvedMeasures::Ctmc {
+                availability, mttf, ..
+            } => availability.or(*mttf),
+            SolvedMeasures::Hierarchy { value, .. } => Some(*value),
+            SolvedMeasures::SemiMarkov {
+                availability,
+                mean_first_passage,
+                ..
+            } => availability.or(*mean_first_passage),
+            SolvedMeasures::Uncertainty { mean, .. } => Some(*mean),
+            SolvedMeasures::Bounds {
+                exact,
+                truncated_lower,
+                truncated_upper,
+                ..
+            } => Some(exact.unwrap_or((truncated_lower + truncated_upper) / 2.0)),
+        }
+    }
+
     /// The system availability this result carries, if any: the RBD
-    /// availability, or the CTMC steady-state availability over
-    /// `up_states`.
+    /// availability, or the CTMC/semi-Markov steady-state availability
+    /// over `up_states`.
     #[must_use]
     pub fn availability(&self) -> Option<f64> {
         match self {
             SolvedMeasures::Rbd { availability, .. } => Some(*availability),
-            SolvedMeasures::Ctmc { availability, .. } => *availability,
+            SolvedMeasures::Ctmc { availability, .. }
+            | SolvedMeasures::SemiMarkov { availability, .. } => *availability,
             SolvedMeasures::Sim { measure, point, .. } if measure == "availability" => Some(*point),
+            SolvedMeasures::Uncertainty { measure, mean, .. } if measure == "availability" => {
+                Some(*mean)
+            }
             _ => None,
         }
     }
 
     /// The failure probability this result carries, if any: the
-    /// fault-tree top-event probability, or one minus the graph's s-t
-    /// reliability.
+    /// fault-tree top-event probability, one minus the graph's s-t
+    /// reliability, or the bounds' exact/midpoint unreliability.
     #[must_use]
     pub fn unreliability(&self) -> Option<f64> {
         match self {
@@ -196,82 +333,81 @@ impl SolvedMeasures {
             SolvedMeasures::Sim { measure, point, .. } if measure == "reliability" => {
                 Some(1.0 - point)
             }
+            SolvedMeasures::Uncertainty { measure, mean, .. } if measure == "unreliability" => {
+                Some(*mean)
+            }
+            SolvedMeasures::Bounds { .. } => self.primary_value(),
             _ => None,
         }
     }
 
     /// The mean time to failure this result carries (CTMC models with
-    /// an `absorbing` set), if any.
+    /// an `absorbing` set, semi-Markov models with `targets`), if any.
     #[must_use]
     pub fn mttf(&self) -> Option<f64> {
         match self {
             SolvedMeasures::Ctmc { mttf, .. } => *mttf,
+            SolvedMeasures::SemiMarkov {
+                mean_first_passage, ..
+            } => *mean_first_passage,
             SolvedMeasures::Sim { measure, point, .. } if measure == "mttf" => Some(*point),
+            SolvedMeasures::Uncertainty { measure, mean, .. } if measure == "mttf" => Some(*mean),
             _ => None,
         }
     }
 
-    /// Serializes to the externally tagged JSON format the CLI emits
-    /// (`{"rbd": {...}}`, `{"ctmc": {...}}`, ...).
+    /// Serializes to the externally tagged JSON format the CLI emits,
+    /// with a leading `"kind"` discriminant:
+    /// `{"kind": "rbd", "rbd": {...}}`, `{"kind": "ctmc", "ctmc":
+    /// {...}}`, ...
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
-        match self {
+        let opt_num = |x: &Option<f64>| x.map_or(JsonValue::Null, JsonValue::Number);
+        let body = match self {
             SolvedMeasures::Rbd {
                 availability,
                 downtime_minutes_per_year,
                 importance,
-            } => json::object(vec![(
-                "rbd",
-                json::object(vec![
-                    ("availability", (*availability).into()),
-                    (
-                        "downtime_minutes_per_year",
-                        (*downtime_minutes_per_year).into(),
-                    ),
-                    ("importance", importance_json(importance)),
-                ]),
-            )]),
+            } => json::object(vec![
+                ("availability", (*availability).into()),
+                (
+                    "downtime_minutes_per_year",
+                    (*downtime_minutes_per_year).into(),
+                ),
+                ("importance", importance_json(importance)),
+            ]),
             SolvedMeasures::FaultTree {
                 top_event_probability,
                 minimal_cut_sets,
                 importance,
-            } => json::object(vec![(
-                "fault_tree",
-                json::object(vec![
-                    ("top_event_probability", (*top_event_probability).into()),
-                    ("minimal_cut_sets", name_lists(minimal_cut_sets)),
-                    ("importance", importance_json(importance)),
-                ]),
-            )]),
+            } => json::object(vec![
+                ("top_event_probability", (*top_event_probability).into()),
+                ("minimal_cut_sets", name_lists(minimal_cut_sets)),
+                ("importance", importance_json(importance)),
+            ]),
             SolvedMeasures::RelGraph {
                 reliability,
                 all_terminal_reliability,
                 minimal_path_sets,
                 minimal_cut_sets,
-            } => json::object(vec![(
-                "rel_graph",
-                json::object(vec![
-                    ("reliability", (*reliability).into()),
-                    (
-                        "all_terminal_reliability",
-                        all_terminal_reliability.map_or(JsonValue::Null, JsonValue::Number),
-                    ),
-                    ("minimal_path_sets", name_lists(minimal_path_sets)),
-                    ("minimal_cut_sets", name_lists(minimal_cut_sets)),
-                ]),
-            )]),
+            } => json::object(vec![
+                ("reliability", (*reliability).into()),
+                (
+                    "all_terminal_reliability",
+                    opt_num(all_terminal_reliability),
+                ),
+                ("minimal_path_sets", name_lists(minimal_path_sets)),
+                ("minimal_cut_sets", name_lists(minimal_cut_sets)),
+            ]),
             SolvedMeasures::Spn {
                 num_markings,
                 expected_tokens,
                 throughput,
-            } => json::object(vec![(
-                "spn",
-                json::object(vec![
-                    ("num_markings", JsonValue::Number(*num_markings as f64)),
-                    ("expected_tokens", named_pairs(expected_tokens)),
-                    ("throughput", named_pairs(throughput)),
-                ]),
-            )]),
+            } => json::object(vec![
+                ("num_markings", JsonValue::Number(*num_markings as f64)),
+                ("expected_tokens", named_pairs(expected_tokens)),
+                ("throughput", named_pairs(throughput)),
+            ]),
             SolvedMeasures::Sim {
                 measure,
                 point,
@@ -283,57 +419,133 @@ impl SolvedMeasures {
                 events,
                 converged,
                 downtime_minutes_per_year,
-            } => json::object(vec![(
-                "sim",
-                json::object(vec![
-                    ("measure", measure.as_str().into()),
-                    ("point", (*point).into()),
-                    ("ci_lower", (*ci_lower).into()),
-                    ("ci_upper", (*ci_upper).into()),
-                    ("confidence", (*confidence).into()),
-                    ("rel_half_width", (*rel_half_width).into()),
-                    ("replications", JsonValue::Number(*replications as f64)),
-                    ("events", JsonValue::Number(*events as f64)),
-                    ("converged", JsonValue::Bool(*converged)),
-                    (
-                        "downtime_minutes_per_year",
-                        downtime_minutes_per_year.map_or(JsonValue::Null, JsonValue::Number),
-                    ),
-                ]),
-            )]),
+            } => json::object(vec![
+                ("measure", measure.as_str().into()),
+                ("point", (*point).into()),
+                ("ci_lower", (*ci_lower).into()),
+                ("ci_upper", (*ci_upper).into()),
+                ("confidence", (*confidence).into()),
+                ("rel_half_width", (*rel_half_width).into()),
+                ("replications", JsonValue::Number(*replications as f64)),
+                ("events", JsonValue::Number(*events as f64)),
+                ("converged", JsonValue::Bool(*converged)),
+                (
+                    "downtime_minutes_per_year",
+                    opt_num(downtime_minutes_per_year),
+                ),
+            ]),
             SolvedMeasures::Ctmc {
                 steady_state,
                 availability,
                 downtime_minutes_per_year,
                 mttf,
                 transient,
-            } => {
-                let opt_num = |x: &Option<f64>| x.map_or(JsonValue::Null, JsonValue::Number);
-                json::object(vec![(
-                    "ctmc",
-                    json::object(vec![
-                        (
-                            "steady_state",
-                            steady_state
-                                .as_ref()
-                                .map_or(JsonValue::Null, |pi| named_pairs(pi)),
-                        ),
-                        ("availability", opt_num(availability)),
-                        (
-                            "downtime_minutes_per_year",
-                            opt_num(downtime_minutes_per_year),
-                        ),
-                        ("mttf", opt_num(mttf)),
-                        (
-                            "transient",
-                            transient.as_ref().map_or(JsonValue::Null, |rows| {
-                                JsonValue::Array(rows.iter().map(TransientRow::to_json).collect())
-                            }),
-                        ),
-                    ]),
-                )])
-            }
-        }
+            } => json::object(vec![
+                (
+                    "steady_state",
+                    steady_state
+                        .as_ref()
+                        .map_or(JsonValue::Null, |pi| named_pairs(pi)),
+                ),
+                ("availability", opt_num(availability)),
+                (
+                    "downtime_minutes_per_year",
+                    opt_num(downtime_minutes_per_year),
+                ),
+                ("mttf", opt_num(mttf)),
+                (
+                    "transient",
+                    transient.as_ref().map_or(JsonValue::Null, |rows| {
+                        JsonValue::Array(rows.iter().map(TransientRow::to_json).collect())
+                    }),
+                ),
+            ]),
+            SolvedMeasures::Hierarchy {
+                submodels,
+                output,
+                value,
+                iterations,
+                residual,
+            } => json::object(vec![
+                ("submodels", named_pairs(submodels)),
+                ("output", output.as_str().into()),
+                ("value", (*value).into()),
+                ("iterations", JsonValue::Number(*iterations as f64)),
+                ("residual", (*residual).into()),
+            ]),
+            SolvedMeasures::SemiMarkov {
+                steady_state,
+                availability,
+                downtime_minutes_per_year,
+                mean_first_passage,
+                interval_availability,
+            } => json::object(vec![
+                ("steady_state", named_pairs(steady_state)),
+                ("availability", opt_num(availability)),
+                (
+                    "downtime_minutes_per_year",
+                    opt_num(downtime_minutes_per_year),
+                ),
+                ("mean_first_passage", opt_num(mean_first_passage)),
+                (
+                    "interval_availability",
+                    interval_availability
+                        .as_ref()
+                        .map_or(JsonValue::Null, |rows| {
+                            JsonValue::Array(
+                                rows.iter()
+                                    .map(|&(t, a)| {
+                                        json::object(vec![
+                                            ("time", t.into()),
+                                            ("availability", a.into()),
+                                        ])
+                                    })
+                                    .collect(),
+                            )
+                        }),
+                ),
+            ]),
+            SolvedMeasures::Uncertainty {
+                measure,
+                mean,
+                std_dev,
+                ci_lower,
+                ci_upper,
+                level,
+                samples,
+            } => json::object(vec![
+                ("measure", measure.as_str().into()),
+                ("mean", (*mean).into()),
+                ("std_dev", (*std_dev).into()),
+                ("ci_lower", (*ci_lower).into()),
+                ("ci_upper", (*ci_upper).into()),
+                ("level", (*level).into()),
+                ("samples", JsonValue::Number(*samples as f64)),
+            ]),
+            SolvedMeasures::Bounds {
+                exact,
+                ep_lower,
+                ep_upper,
+                truncated_lower,
+                truncated_upper,
+                truncation_order,
+                num_cut_sets,
+                num_path_sets,
+            } => json::object(vec![
+                ("exact", opt_num(exact)),
+                ("ep_lower", opt_num(ep_lower)),
+                ("ep_upper", opt_num(ep_upper)),
+                ("truncated_lower", (*truncated_lower).into()),
+                ("truncated_upper", (*truncated_upper).into()),
+                (
+                    "truncation_order",
+                    JsonValue::Number(*truncation_order as f64),
+                ),
+                ("num_cut_sets", JsonValue::Number(*num_cut_sets as f64)),
+                ("num_path_sets", JsonValue::Number(*num_path_sets as f64)),
+            ]),
+        };
+        json::object(vec![("kind", self.kind().into()), (self.kind(), body)])
     }
 }
 
@@ -358,13 +570,6 @@ pub fn solve_str_with(text: &str, opts: &SolveOptions) -> Result<SolveReport> {
 /// See [`solve_str_with`].
 pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> {
     let _span = obs::span("spec.solve");
-    let kind = match spec {
-        ModelSpec::Rbd(_) => "rbd",
-        ModelSpec::FaultTree(_) => "fault_tree",
-        ModelSpec::Ctmc(_) => "ctmc",
-        ModelSpec::RelGraph(_) => "relgraph",
-        ModelSpec::Spn(_) => "spn",
-    };
     let start = Instant::now();
     let (measures, mut stats) = match spec {
         ModelSpec::Rbd(r) => solve_rbd(r, opts)?,
@@ -372,10 +577,17 @@ pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> 
         ModelSpec::Ctmc(c) => solve_ctmc(c, opts)?,
         ModelSpec::RelGraph(g) => solve_relgraph(g)?,
         ModelSpec::Spn(s) => solve_spn(s, opts)?,
+        ModelSpec::Hierarchy(h) => crate::scenario::solve_hierarchy(h, opts)?,
+        ModelSpec::SemiMarkov(s) => crate::scenario::solve_semi_markov(s, opts)?,
+        ModelSpec::Uncertainty(u) => crate::scenario::solve_uncertainty(u, opts)?,
+        ModelSpec::Bounds(b) => crate::scenario::solve_bounds(b, opts)?,
     };
     stats.wall_time = start.elapsed();
+    let kind = measures.kind();
+    let wall_ms = stats.wall_time.as_secs_f64() * 1e3;
     obs::counter_add("spec.solves", 1);
-    obs::observe_ms("spec.solve_ms", stats.wall_time.as_secs_f64() * 1e3);
+    obs::observe_ms("spec.solve_ms", wall_ms);
+    obs::observe_ms(&format!("spec.solve_ms.{kind}"), wall_ms);
     obs::event(
         "spec.solved",
         &[
@@ -388,26 +600,6 @@ pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> 
         ],
     );
     Ok(SolveReport { measures, stats })
-}
-
-/// Parses and solves a JSON specification document.
-///
-/// # Errors
-///
-/// See [`solve_str_with`].
-#[deprecated(note = "use `solve_str_with(json, &SolveOptions::default())` and read `.measures`")]
-pub fn solve_str(text: &str) -> Result<SolvedMeasures> {
-    solve_str_with(text, &SolveOptions::default()).map(|r| r.measures)
-}
-
-/// Solves an already-parsed specification.
-///
-/// # Errors
-///
-/// See [`solve_str_with`].
-#[deprecated(note = "use `solve_with(spec, &SolveOptions::default())` and read `.measures`")]
-pub fn solve(spec: &ModelSpec) -> Result<SolvedMeasures> {
-    solve_with(spec, &SolveOptions::default()).map(|r| r.measures)
 }
 
 fn bdd_stats_into(stats: &mut SolveStats, b: &reliab_bdd::BddStats) {
@@ -535,7 +727,7 @@ fn solve_rbd(spec: &RbdSpec, opts: &SolveOptions) -> Result<(SolvedMeasures, Sol
 }
 
 /// Instantiates a lifetime distribution from its spec.
-fn lifetime_from(d: &DistSpec) -> Result<Box<dyn Lifetime>> {
+pub(crate) fn lifetime_from(d: &DistSpec) -> Result<Box<dyn Lifetime>> {
     Ok(match d {
         DistSpec::Exponential { rate } => Box::new(Exponential::new(*rate)?),
         DistSpec::Weibull { shape, scale } => Box::new(Weibull::new(*shape, *scale)?),
@@ -582,7 +774,7 @@ fn component_availability(c: &RbdComponentSpec) -> Result<f64> {
 /// The occurrence probability a basic event contributes to an analytic
 /// solve: the explicit value, or one minus the availability its
 /// lifetime distributions imply.
-fn event_probability(e: &EventSpec) -> Result<f64> {
+pub(crate) fn event_probability(e: &EventSpec) -> Result<f64> {
     match e.probability {
         Some(p) => Ok(p),
         None => Ok(1.0 - derived_availability(&e.name, e.ttf_dist.as_ref(), e.ttr_dist.as_ref())?),
@@ -870,7 +1062,7 @@ fn effective_ordering(spec: &FaultTreeSpec, opts: &SolveOptions) -> VariableOrde
     }
 }
 
-fn solve_fault_tree(
+pub(crate) fn solve_fault_tree(
     spec: &FaultTreeSpec,
     opts: &SolveOptions,
 ) -> Result<(SolvedMeasures, SolveStats)> {
@@ -1890,13 +2082,17 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_work() {
-        #[allow(deprecated)]
-        let out = solve_str(
+    fn kind_discriminant_and_primary_value() {
+        let out = run(
             r#"{"rbd": {"components": [{"name": "a", "availability": 0.5}],
                  "structure": "a"}}"#,
         )
         .unwrap();
-        assert_eq!(out.availability(), Some(0.5));
+        assert_eq!(out.measures.kind(), "rbd");
+        assert_eq!(out.measures.primary_value(), Some(0.5));
+        let doc = out.measures.to_json();
+        let kind = crate::json::get_path(&doc, "kind").and_then(|v| v.as_str());
+        assert_eq!(kind, Some("rbd"));
+        assert!(crate::json::get_path(&doc, "rbd.availability").is_some());
     }
 }

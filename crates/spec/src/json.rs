@@ -486,6 +486,56 @@ pub fn string_array<S: AsRef<str>>(items: &[S]) -> JsonValue {
     )
 }
 
+/// Looks up a dotted path (`"ctmc.transitions.0.rate"`) where each
+/// segment is an object key or an array index.
+#[must_use]
+pub fn get_path<'a>(root: &'a JsonValue, path: &str) -> Option<&'a JsonValue> {
+    let mut cur = root;
+    for seg in path.split('.') {
+        cur = match cur {
+            JsonValue::Object(entries) => &entries.iter().find(|(k, _)| k == seg)?.1,
+            JsonValue::Array(items) => items.get(seg.parse::<usize>().ok()?)?,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+/// Replaces the number at a dotted path, erroring (with the path in the
+/// message) if the path does not resolve or does not hold a number.
+pub fn set_number_at_path(root: &mut JsonValue, path: &str, value: f64) -> Result<(), String> {
+    let mut cur = root;
+    for seg in path.split('.') {
+        cur = match cur {
+            JsonValue::Object(entries) => match entries.iter_mut().find(|(k, _)| k == seg) {
+                Some((_, v)) => v,
+                None => return Err(format!("path '{path}': no field '{seg}'")),
+            },
+            JsonValue::Array(items) => {
+                let idx = seg
+                    .parse::<usize>()
+                    .map_err(|_| format!("path '{path}': '{seg}' is not an array index"))?;
+                match items.get_mut(idx) {
+                    Some(v) => v,
+                    None => return Err(format!("path '{path}': index {idx} out of range")),
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "path '{path}': segment '{seg}' descends into a non-container"
+                ))
+            }
+        };
+    }
+    match cur {
+        JsonValue::Number(n) => {
+            *n = value;
+            Ok(())
+        }
+        _ => Err(format!("path '{path}' does not resolve to a number")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

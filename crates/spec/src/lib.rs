@@ -91,6 +91,48 @@
 //!     "shard_bits": 6,                  // optional, intern-table shards
 //!     "expected_tokens": ["queue"],     // optional, steady-state measure
 //!     "throughput": ["arrive"] } }      // optional, steady-state measure
+//!
+//! { "hierarchy": {
+//!     "submodels": [
+//!       {"name": "disk", "model": { ...any model document... },
+//!        "measure": "availability",     // availability|unreliability|mttf|primary
+//!        "initial": 1.0,                // optional fixed-point start
+//!        "imports": [                   // optional parameter bindings
+//!          {"from": "net", "path": "ctmc.transitions.0.rate"} ]}, ... ],
+//!     "output": "disk",                 // optional, default last submodel
+//!     "tolerance": 1e-10,               // optional fixed-point knobs
+//!     "max_iterations": 10000, "damping": 1.0,
+//!     "jobs": 1 } }                     // optional sweep workers (0 = CPUs)
+//!
+//! { "semi_markov": {
+//!     "states": [ {"name": "up", "sojourn": {"weibull":
+//!                   {"shape": 2.0, "scale": 1000.0}}}, ... ],
+//!     "transitions": [ {"from": "up", "to": "down",
+//!                       "probability": 1.0}, ... ],
+//!     "initial": "up",                  // optional, for passage/interval
+//!     "up_states": ["up"],              // optional, for availability
+//!     "targets": ["down"],              // optional, mean first passage
+//!     "interval_times": [100.0] } }     // optional, (1/t)∫A(u)du
+//!
+//! { "uncertainty": {
+//!     "model": { ...any model document... },
+//!     "parameters": [
+//!       {"path": "ctmc.transitions.0.rate",
+//!        "prior": {"rate_posterior": {"failures": 12, "total_time": 1e5}}
+//!              // or any distribution: {"gamma": {"shape": ..., "rate": ...}}
+//!       }, ... ],
+//!     "measure": "availability",        // optional, default primary
+//!     "samples": 1000, "level": 0.95,   // optional Monte-Carlo knobs
+//!     "seed": 24301, "jobs": 0,
+//!     "latin_hypercube": false } }
+//!
+//! { "bounds": {
+//!     "events": [ {"name": "...", "probability": 0.01}, ... ],
+//!     "cut_sets":  [["a", "b"], ...],
+//!     "path_sets": [["a", "c"], ...],   // optional, enables EP bounds
+//!     // or instead of the three above:
+//!     "fault_tree": { ...fault_tree body... },
+//!     "truncation_order": 2 } }         // optional
 //! ```
 
 #![deny(missing_docs)]
@@ -99,14 +141,15 @@
 mod convert;
 pub mod json;
 mod report;
+mod scenario;
 mod schema;
 
-#[allow(deprecated)]
-pub use convert::{solve, solve_str};
 pub use convert::{solve_str_with, solve_with, ImportanceRow, SolvedMeasures, TransientRow};
 pub use report::{SolveOptions, SolveReport, SolveStats, SteadySolver, VarOrder};
 pub use schema::{
-    ArcSpec, CtmcSpec, EdgeSpec, EventSpec, FaultTreeSpec, GateSpec, KOfNGateSpec, KOfNSpec,
-    ModelSpec, PlaceSpec, RbdComponentSpec, RbdSpec, RelGraphSpec, SpnSpec, SpnTimingSpec,
-    SpnTransitionSpec, StructureSpec, TransitionSpec,
+    ArcSpec, BoundsEventSpec, BoundsSpec, CtmcSpec, DistSpec, EdgeSpec, EventSpec, FaultTreeSpec,
+    GateSpec, HierarchySpec, ImportSpec, KOfNGateSpec, KOfNSpec, ModelSpec, PlaceSpec, PriorSpec,
+    RbdComponentSpec, RbdSpec, RelGraphSpec, ScenarioMeasure, SemiMarkovSpec, SimSpec,
+    SmpStateSpec, SmpTransitionSpec, SpnSpec, SpnTimingSpec, SpnTransitionSpec, StructureSpec,
+    SubmodelSpec, TransitionSpec, UncertainParamSpec, UncertaintySpec,
 };

@@ -74,6 +74,20 @@ pub struct SolveOptions {
     /// identical at any setting. A non-default value overrides the
     /// spec's `jobs` knob.
     pub sim_jobs: usize,
+    /// Monte-Carlo samples for uncertainty models, overriding the
+    /// spec's `samples` when set.
+    pub uncert_samples: Option<usize>,
+    /// Convergence tolerance for the hierarchy fixed-point sweep,
+    /// overriding the spec's `tolerance` when set.
+    pub fixed_point_tol: Option<f64>,
+    /// Cut-set truncation order for bounds models, overriding the
+    /// spec's `truncation_order` when set.
+    pub truncation_order: Option<usize>,
+    /// Worker threads for the hierarchy per-sweep submodel solve: `1`
+    /// is sequential, `0` means one worker per available CPU. Results
+    /// are bitwise identical at any setting. A non-default value
+    /// overrides the spec's `jobs` knob.
+    pub hier_jobs: usize,
 }
 
 impl Default for SolveOptions {
@@ -92,6 +106,10 @@ impl Default for SolveOptions {
             sim_rel_precision: None,
             sim_seed: None,
             sim_jobs: 1,
+            uncert_samples: None,
+            fixed_point_tol: None,
+            truncation_order: None,
+            hier_jobs: 1,
         }
     }
 }
@@ -185,6 +203,35 @@ impl SolveOptions {
     #[must_use]
     pub fn with_sim_jobs(mut self, jobs: usize) -> Self {
         self.sim_jobs = jobs;
+        self
+    }
+
+    /// Sets the uncertainty Monte-Carlo sample count, overriding the
+    /// spec.
+    #[must_use]
+    pub fn with_uncert_samples(mut self, samples: usize) -> Self {
+        self.uncert_samples = Some(samples);
+        self
+    }
+
+    /// Sets the hierarchy fixed-point tolerance, overriding the spec.
+    #[must_use]
+    pub fn with_fixed_point_tol(mut self, tolerance: f64) -> Self {
+        self.fixed_point_tol = Some(tolerance);
+        self
+    }
+
+    /// Sets the bounds truncation order, overriding the spec.
+    #[must_use]
+    pub fn with_truncation_order(mut self, order: usize) -> Self {
+        self.truncation_order = Some(order);
+        self
+    }
+
+    /// Sets the hierarchy sweep worker count (`0` = all CPUs).
+    #[must_use]
+    pub fn with_hier_jobs(mut self, jobs: usize) -> Self {
+        self.hier_jobs = jobs;
         self
     }
 }
@@ -319,6 +366,26 @@ pub struct SolveStats {
     /// Whether the stopping rule converged before the replication cap,
     /// for simulated models.
     pub sim_converged: Option<bool>,
+    /// Fixed-point sweeps performed, for hierarchy models.
+    pub hier_iterations: Option<usize>,
+    /// Final fixed-point residual, for hierarchy models.
+    pub hier_residual: Option<f64>,
+    /// Worker threads the fixed-point sweep actually used, for
+    /// hierarchy models.
+    pub hier_workers: Option<usize>,
+    /// Phases in the CTMC expansion used for interval availability,
+    /// for semi-Markov models.
+    pub smp_expanded_states: Option<usize>,
+    /// Monte-Carlo samples actually drawn, for uncertainty models.
+    pub uncert_samples: Option<usize>,
+    /// Worker threads the Monte-Carlo sweep actually used, for
+    /// uncertainty models.
+    pub uncert_workers: Option<usize>,
+    /// Cut sets used, for bounds models.
+    pub bounds_cut_sets: Option<usize>,
+    /// Truncation order the bounds were computed at, for bounds
+    /// models.
+    pub bounds_truncation_order: Option<usize>,
 }
 
 impl SolveStats {
@@ -388,6 +455,32 @@ impl SolveStats {
             (
                 "sim_converged",
                 self.sim_converged.map_or(JsonValue::Null, JsonValue::Bool),
+            ),
+            (
+                "hier_iterations",
+                opt_num(self.hier_iterations.map(|n| n as f64)),
+            ),
+            ("hier_residual", opt_num(self.hier_residual)),
+            ("hier_workers", opt_num(self.hier_workers.map(|n| n as f64))),
+            (
+                "smp_expanded_states",
+                opt_num(self.smp_expanded_states.map(|n| n as f64)),
+            ),
+            (
+                "uncert_samples",
+                opt_num(self.uncert_samples.map(|n| n as f64)),
+            ),
+            (
+                "uncert_workers",
+                opt_num(self.uncert_workers.map(|n| n as f64)),
+            ),
+            (
+                "bounds_cut_sets",
+                opt_num(self.bounds_cut_sets.map(|n| n as f64)),
+            ),
+            (
+                "bounds_truncation_order",
+                opt_num(self.bounds_truncation_order.map(|n| n as f64)),
             ),
         ])
     }

@@ -1,0 +1,751 @@
+//! Solvers for the scenario-layer model classes: hierarchical
+//! compositions, semi-Markov processes, parametric uncertainty, and
+//! cut/path-set bounds.
+//!
+//! These classes wrap or post-process the component solvers in
+//! [`crate::convert`]: a hierarchy re-solves its submodels inside a
+//! damped fixed-point sweep, an uncertainty wrapper re-solves its inner
+//! model once per Monte-Carlo sample, and the bounds class reuses the
+//! fault-tree solver (and its BDD) for exact probabilities and dual
+//! path sets. Both parallel sweeps (hierarchy submodels, uncertainty
+//! samples) are bitwise deterministic at any worker count: hierarchy
+//! workers write disjoint result slots, and uncertainty sampling is a
+//! pure function of `(seed, sample index)` via counter-based RNG
+//! streams.
+
+use crate::convert::{
+    event_probability, lifetime_from, solve_fault_tree, solve_with, SolvedMeasures,
+};
+use crate::json::{self, JsonValue};
+use crate::report::{SolveOptions, SolveStats};
+use crate::schema::{
+    BoundsSpec, FaultTreeSpec, GateSpec, HierarchySpec, KOfNGateSpec, ModelSpec, PriorSpec,
+    ScenarioMeasure, SemiMarkovSpec, UncertaintySpec,
+};
+use reliab_core::{downtime_minutes_per_year, Error, Result};
+use reliab_dist::Lifetime;
+use reliab_hier::{fixed_point, FixedPointOptions};
+use reliab_obs as obs;
+use reliab_semimarkov::{SemiMarkovBuilder, SmpStateId};
+use reliab_uncert::{propagate, rate_posterior, PropagationOptions, SamplingScheme};
+
+/// Extracts the scalar a scenario layer consumes from a solved result.
+fn extract_measure(m: &SolvedMeasures, which: ScenarioMeasure, ctx: &str) -> Result<f64> {
+    let v = match which {
+        ScenarioMeasure::Availability => m.availability(),
+        ScenarioMeasure::Unreliability => m.unreliability(),
+        ScenarioMeasure::Mttf => m.mttf(),
+        ScenarioMeasure::Primary => m.primary_value(),
+    };
+    v.ok_or_else(|| {
+        Error::model(format!(
+            "{ctx}: solved '{}' measures carry no {}",
+            m.kind(),
+            which.as_str()
+        ))
+    })
+}
+
+fn resolve_workers(jobs: usize, work_items: usize) -> usize {
+    let j = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    j.min(work_items).max(1)
+}
+
+// ---------------------------------------------------------------------
+// Hierarchy
+
+/// Evaluates one hierarchy submodel at the current export vector.
+fn eval_submodel(
+    spec: &HierarchySpec,
+    base_docs: &[JsonValue],
+    index_of: &dyn Fn(&str) -> usize,
+    i: usize,
+    x: &[f64],
+    opts: &SolveOptions,
+) -> Result<f64> {
+    let sub = &spec.submodels[i];
+    let ctx = format!("hierarchy submodel '{}'", sub.name);
+    let mut doc = base_docs[i].clone();
+    for imp in &sub.imports {
+        json::set_number_at_path(&mut doc, &imp.path, x[index_of(&imp.from)])
+            .map_err(|e| Error::model(format!("{ctx} import from '{}': {e}", imp.from)))?;
+    }
+    let inner = ModelSpec::from_json(&doc)
+        .map_err(|e| Error::model(format!("{ctx} became invalid after imports: {e}")))?;
+    let report = solve_with(&inner, opts)?;
+    extract_measure(&report.measures, sub.measure, &ctx)
+}
+
+/// Solves a hierarchical composition by damped fixed-point iteration
+/// over the submodel export vector.
+pub(crate) fn solve_hierarchy(
+    spec: &HierarchySpec,
+    opts: &SolveOptions,
+) -> Result<(SolvedMeasures, SolveStats)> {
+    let _span = obs::span("spec.solve.hierarchy");
+    let n = spec.submodels.len();
+    let names: Vec<&str> = spec.submodels.iter().map(|s| s.name.as_str()).collect();
+    let index_of = |name: &str| -> usize {
+        names
+            .iter()
+            .position(|n| *n == name)
+            .expect("import target validated at parse time")
+    };
+    let base_docs: Vec<JsonValue> = spec.submodels.iter().map(|s| s.model.to_json()).collect();
+
+    let fp_opts = FixedPointOptions::default()
+        .with_tolerance(opts.fixed_point_tol.or(spec.tolerance).unwrap_or(1e-10))
+        .with_max_iterations(spec.max_iterations.unwrap_or(10_000))
+        .with_damping(spec.damping.unwrap_or(1.0));
+    let jobs = if opts.hier_jobs != 1 {
+        opts.hier_jobs
+    } else {
+        spec.jobs.unwrap_or(1)
+    };
+    // Import-free submodels export a constant: solve them once up
+    // front instead of once per sweep.
+    let dynamic: Vec<usize> = (0..n)
+        .filter(|&i| !spec.submodels[i].imports.is_empty())
+        .collect();
+    let workers = resolve_workers(jobs, dynamic.len().max(1));
+
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    for (i, slot) in fixed.iter_mut().enumerate() {
+        if spec.submodels[i].imports.is_empty() {
+            *slot = Some(eval_submodel(spec, &base_docs, &index_of, i, &[], opts)?);
+        }
+    }
+
+    let sweep = |x: &[f64]| -> Result<Vec<f64>> {
+        let mut out: Vec<f64> = (0..n).map(|i| fixed[i].unwrap_or(0.0)).collect();
+        if workers <= 1 || dynamic.len() <= 1 {
+            for &i in &dynamic {
+                out[i] = eval_submodel(spec, &base_docs, &index_of, i, x, opts)?;
+            }
+        } else {
+            // Strided partition: worker w owns dynamic[w], dynamic[w +
+            // workers], ... Disjoint slots, so merge order — and thus
+            // the result — is independent of scheduling.
+            let partial: Vec<Result<Vec<(usize, f64)>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let dynamic = &dynamic;
+                        let base_docs = &base_docs;
+                        let index_of = &index_of;
+                        scope.spawn(move || {
+                            let mut mine = Vec::new();
+                            for &i in dynamic.iter().skip(w).step_by(workers) {
+                                mine.push((
+                                    i,
+                                    eval_submodel(spec, base_docs, index_of, i, x, opts)?,
+                                ));
+                            }
+                            Ok(mine)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("hierarchy worker panicked"))
+                    .collect()
+            });
+            let mut slots: Vec<Option<Result<f64>>> = (0..n).map(|_| None).collect();
+            for r in partial {
+                match r {
+                    Ok(pairs) => {
+                        for (i, v) in pairs {
+                            slots[i] = Some(Ok(v));
+                        }
+                    }
+                    Err(e) => {
+                        // Attribute the error to the first unfilled
+                        // dynamic slot so the failing index is
+                        // deterministic.
+                        for &i in &dynamic {
+                            if slots[i].is_none() {
+                                slots[i] = Some(Err(e));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            for &i in &dynamic {
+                match slots[i].take() {
+                    Some(Ok(v)) => out[i] = v,
+                    Some(Err(e)) => return Err(e),
+                    None => return Err(Error::model("hierarchy sweep lost a submodel result")),
+                }
+            }
+        }
+        Ok(out)
+    };
+
+    let x0: Vec<f64> = spec
+        .submodels
+        .iter()
+        .map(|s| s.initial.unwrap_or(1.0))
+        .collect();
+    let fp = fixed_point(sweep, x0, &fp_opts)?;
+
+    let output = spec
+        .output
+        .clone()
+        .unwrap_or_else(|| names[n - 1].to_owned());
+    let out_idx = index_of(&output);
+    let residual = fp.residuals.last().copied().unwrap_or(0.0);
+    let measures = SolvedMeasures::Hierarchy {
+        submodels: names
+            .iter()
+            .zip(&fp.values)
+            .map(|(n, v)| ((*n).to_owned(), *v))
+            .collect(),
+        output,
+        value: fp.values[out_idx],
+        iterations: fp.iterations,
+        residual,
+    };
+    let stats = SolveStats {
+        iterations: fp.iterations,
+        hier_iterations: Some(fp.iterations),
+        hier_residual: Some(residual),
+        hier_workers: Some(workers),
+        ..SolveStats::default()
+    };
+    Ok((measures, stats))
+}
+
+// ---------------------------------------------------------------------
+// Semi-Markov
+
+/// Solves a semi-Markov specification: steady state on the embedded
+/// chain, first passage, and interval availability on the phase-type
+/// expansion.
+pub(crate) fn solve_semi_markov(
+    spec: &SemiMarkovSpec,
+    opts: &SolveOptions,
+) -> Result<(SolvedMeasures, SolveStats)> {
+    let _span = obs::span("spec.solve.semi_markov");
+    let mut builder = SemiMarkovBuilder::new();
+    let mut ids: Vec<SmpStateId> = Vec::with_capacity(spec.states.len());
+    for s in &spec.states {
+        ids.push(builder.state(&s.name, lifetime_from(&s.sojourn)?));
+    }
+    let id_of = |name: &str| -> SmpStateId {
+        let i = spec
+            .states
+            .iter()
+            .position(|s| s.name == name)
+            .expect("state reference validated at parse time");
+        ids[i]
+    };
+    for t in &spec.transitions {
+        builder.transition(id_of(&t.from), id_of(&t.to), t.probability)?;
+    }
+    let smp = builder.build()?;
+
+    let pi = smp.steady_state()?;
+    let steady_state: Vec<(String, f64)> = spec
+        .states
+        .iter()
+        .zip(&pi)
+        .map(|(s, p)| (s.name.clone(), *p))
+        .collect();
+
+    let (availability, downtime) = match &spec.up_states {
+        Some(ups) => {
+            let a: f64 = ups.iter().map(|u| pi[id_of(u).index()]).sum();
+            (Some(a), Some(downtime_minutes_per_year(a)?))
+        }
+        None => (None, None),
+    };
+
+    let initial = spec.initial.as_deref().map_or(ids[0], &id_of);
+    let mean_first_passage = match &spec.targets {
+        Some(ts) => {
+            let targets: Vec<SmpStateId> = ts.iter().map(|t| id_of(t)).collect();
+            Some(smp.mean_first_passage(initial, &targets)?)
+        }
+        None => None,
+    };
+
+    let mut stats = SolveStats::default();
+    let interval_availability = match &spec.interval_times {
+        Some(times) => {
+            let Some(ups) = &spec.up_states else {
+                return Err(Error::model(
+                    "semi_markov 'interval_times' requires 'up_states'",
+                ));
+            };
+            let up_ids: Vec<SmpStateId> = ups.iter().map(|u| id_of(u)).collect();
+            let expanded = smp.expand_to_ctmc(initial)?;
+            stats.smp_expanded_states = Some(expanded.ctmc.num_states());
+            let mut rows = Vec::with_capacity(times.len());
+            for &t in times {
+                let a = expanded.interval_availability(initial, &up_ids, t, opts.tolerance)?;
+                rows.push((t, a));
+            }
+            Some(rows)
+        }
+        None => None,
+    };
+
+    let measures = SolvedMeasures::SemiMarkov {
+        steady_state,
+        availability,
+        downtime_minutes_per_year: downtime,
+        mean_first_passage,
+        interval_availability,
+    };
+    Ok((measures, stats))
+}
+
+// ---------------------------------------------------------------------
+// Uncertainty
+
+/// Solves an uncertainty wrapper: samples the priors and propagates
+/// each parameter vector through a full inner-model solve.
+pub(crate) fn solve_uncertainty(
+    spec: &UncertaintySpec,
+    opts: &SolveOptions,
+) -> Result<(SolvedMeasures, SolveStats)> {
+    let _span = obs::span("spec.solve.uncertainty");
+    let mut params: Vec<Box<dyn Lifetime>> = Vec::with_capacity(spec.parameters.len());
+    for p in &spec.parameters {
+        params.push(match &p.prior {
+            PriorSpec::Dist(d) => lifetime_from(d)?,
+            PriorSpec::Posterior {
+                failures,
+                total_time,
+            } => Box::new(rate_posterior(*failures, *total_time)?),
+        });
+    }
+    let base_doc = spec.model.to_json();
+    let paths: Vec<&str> = spec.parameters.iter().map(|p| p.path.as_str()).collect();
+    let measure = spec.measure;
+
+    let model = |values: &[f64]| -> Result<f64> {
+        let mut doc = base_doc.clone();
+        for (path, v) in paths.iter().zip(values) {
+            json::set_number_at_path(&mut doc, path, *v)
+                .map_err(|e| Error::model(format!("uncertainty parameter {e}")))?;
+        }
+        let inner = ModelSpec::from_json(&doc).map_err(|e| {
+            Error::model(format!(
+                "uncertainty inner model became invalid after sampling: {e}"
+            ))
+        })?;
+        let report = solve_with(&inner, opts)?;
+        extract_measure(&report.measures, measure, "uncertainty inner model")
+    };
+
+    let prop_opts = PropagationOptions {
+        samples: opts.uncert_samples.or(spec.samples).unwrap_or(1000),
+        level: spec.level.unwrap_or(0.95),
+        seed: spec.seed.unwrap_or(0x5EED),
+        threads: spec.jobs.unwrap_or(0),
+        sampling: if spec.latin_hypercube {
+            SamplingScheme::LatinHypercube
+        } else {
+            SamplingScheme::Random
+        },
+    };
+    let r = propagate(&params, model, &prop_opts)?;
+
+    let samples = r.samples.len();
+    let measures = SolvedMeasures::Uncertainty {
+        measure: spec.measure.as_str().to_owned(),
+        mean: r.mean,
+        std_dev: r.std_dev,
+        ci_lower: r.interval.lower,
+        ci_upper: r.interval.upper,
+        level: r.interval.level,
+        samples,
+    };
+    let stats = SolveStats {
+        iterations: samples,
+        uncert_samples: Some(samples),
+        uncert_workers: Some(resolve_workers(prop_opts.threads, samples)),
+        ..SolveStats::default()
+    };
+    Ok((measures, stats))
+}
+
+// ---------------------------------------------------------------------
+// Bounds
+
+/// The dual of a fault-tree gate: swapping AND/OR (and complementing
+/// voting thresholds) turns minimal cut sets into minimal path sets.
+fn dual_gate(g: &GateSpec) -> GateSpec {
+    match g {
+        GateSpec::Event(name) => GateSpec::Event(name.clone()),
+        GateSpec::And { and } => GateSpec::Or {
+            or: and.iter().map(dual_gate).collect(),
+        },
+        GateSpec::Or { or } => GateSpec::And {
+            and: or.iter().map(dual_gate).collect(),
+        },
+        GateSpec::KOfN { k_of_n } => GateSpec::KOfN {
+            k_of_n: KOfNGateSpec {
+                k: k_of_n.of.len() - k_of_n.k + 1,
+                of: k_of_n.of.iter().map(dual_gate).collect(),
+            },
+        },
+    }
+}
+
+/// Event names, failure probabilities, cut/path index sets, and the
+/// exact top probability — the common currency of both bounds forms.
+type ResolvedSets = (
+    Vec<String>,
+    Vec<f64>,
+    Vec<Vec<usize>>,
+    Vec<Vec<usize>>,
+    Option<f64>,
+);
+
+/// Maps each named set onto event indices in `names`' order. Set
+/// members are validated against the declared events at parse time
+/// (explicit form) or emitted by the solver itself (fault-tree form).
+fn set_indices(names: &[String], sets: &[Vec<String>]) -> Vec<Vec<usize>> {
+    sets.iter()
+        .map(|s| {
+            s.iter()
+                .map(|n| {
+                    names
+                        .iter()
+                        .position(|x| x == n)
+                        .expect("set members resolve to declared events")
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Solves a bounds specification: exact SDP/BDD probability plus
+/// Esary–Proschan and truncated-enumeration brackets.
+pub(crate) fn solve_bounds(
+    spec: &BoundsSpec,
+    opts: &SolveOptions,
+) -> Result<(SolvedMeasures, SolveStats)> {
+    let _span = obs::span("spec.solve.bounds");
+    let order = opts.truncation_order.or(spec.truncation_order).unwrap_or(2);
+
+    // Resolve the event list, failure probabilities, cut/path sets
+    // (as index sets), and the exact top probability, from either the
+    // explicit form or the inline fault tree.
+    let mut stats = SolveStats::default();
+    let (names, q, cuts, paths, exact): ResolvedSets;
+    match &spec.fault_tree {
+        Some(ft) => {
+            if ft.sim.is_some() {
+                return Err(Error::model(
+                    "bounds 'fault_tree' cannot carry a 'sim' block",
+                ));
+            }
+            let mut analytic = opts.clone();
+            analytic.simulate = false;
+            let (m, ft_stats) = solve_fault_tree(ft, &analytic)?;
+            stats = ft_stats;
+            let SolvedMeasures::FaultTree {
+                top_event_probability,
+                minimal_cut_sets,
+                ..
+            } = m
+            else {
+                return Err(Error::model(
+                    "fault-tree solve returned unexpected measures",
+                ));
+            };
+            let dual = FaultTreeSpec {
+                events: ft.events.clone(),
+                top: dual_gate(&ft.top),
+                max_cut_sets: ft.max_cut_sets,
+                var_order: ft.var_order,
+                sim: None,
+            };
+            let (dm, _) = solve_fault_tree(&dual, &analytic)?;
+            let SolvedMeasures::FaultTree {
+                minimal_cut_sets: minimal_path_sets,
+                ..
+            } = dm
+            else {
+                return Err(Error::model("dual-tree solve returned unexpected measures"));
+            };
+            names = ft.events.iter().map(|e| e.name.clone()).collect();
+            q = ft
+                .events
+                .iter()
+                .map(event_probability)
+                .collect::<Result<_>>()?;
+            cuts = set_indices(&names, &minimal_cut_sets);
+            paths = set_indices(&names, &minimal_path_sets);
+            exact = Some(top_event_probability);
+        }
+        None => {
+            names = spec.events.iter().map(|e| e.name.clone()).collect();
+            q = spec.events.iter().map(|e| e.probability).collect();
+            cuts = set_indices(&names, &spec.cut_sets);
+            paths = spec
+                .path_sets
+                .as_deref()
+                .map(|sets| set_indices(&names, sets))
+                .unwrap_or_default();
+            exact = Some(reliab_bounds::union_probability(&cuts, &q, names.len())?);
+        }
+    }
+
+    // Esary–Proschan brackets system *reliability*; complement to the
+    // unreliability this class reports.
+    let (ep_lower, ep_upper) = if paths.is_empty() {
+        (None, None)
+    } else {
+        let p_up: Vec<f64> = q.iter().map(|qi| 1.0 - qi).collect();
+        let ep = reliab_bounds::ep_reliability_bounds(&paths, &cuts, &p_up)?.complement();
+        (Some(ep.lower), Some(ep.upper))
+    };
+
+    // Truncated enumeration: pretend only cut sets up to `order` are
+    // known and bound the unenumerated tail.
+    let known: Vec<Vec<usize>> = cuts.iter().filter(|c| c.len() <= order).cloned().collect();
+    let truncated = reliab_bounds::truncated_unreliability_bounds(&known, &q, order)?;
+
+    let measures = SolvedMeasures::Bounds {
+        exact,
+        ep_lower,
+        ep_upper,
+        truncated_lower: truncated.lower,
+        truncated_upper: truncated.upper,
+        truncation_order: order,
+        num_cut_sets: cuts.len(),
+        num_path_sets: paths.len(),
+    };
+    stats.bounds_cut_sets = Some(cuts.len());
+    stats.bounds_truncation_order = Some(order);
+    Ok((measures, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::convert::{solve_str_with, SolvedMeasures};
+    use crate::report::SolveOptions;
+
+    fn run(text: &str) -> crate::convert::SolvedMeasures {
+        solve_str_with(text, &SolveOptions::default())
+            .expect("spec solves")
+            .measures
+    }
+
+    #[test]
+    fn hierarchy_imports_reach_a_fixed_point() {
+        // "disk" exports a constant availability; "sys" is a series RBD
+        // whose second component's availability is imported from it.
+        // Acyclic, so the fixed point is exact: 0.9 * 0.98.
+        let m = run(r#"{"hierarchy": {"submodels": [
+                 {"name": "disk",
+                  "model": {"rbd": {"components": [{"name": "d", "availability": 0.98}],
+                                    "structure": "d"}},
+                  "measure": "availability"},
+                 {"name": "sys",
+                  "model": {"rbd": {"components": [
+                              {"name": "front", "availability": 0.9},
+                              {"name": "store", "availability": 1.0}],
+                            "structure": {"series": ["front", "store"]}}},
+                  "measure": "availability",
+                  "imports": [{"from": "disk", "path": "rbd.components.1.availability"}]}
+               ]}}"#);
+        let SolvedMeasures::Hierarchy {
+            value,
+            output,
+            iterations,
+            ..
+        } = &m
+        else {
+            panic!("expected hierarchy, got {}", m.kind());
+        };
+        assert_eq!(output, "sys");
+        assert!((value - 0.9 * 0.98).abs() < 1e-12, "value = {value}");
+        assert!(*iterations >= 1);
+        assert_eq!(m.primary_value(), Some(*value));
+    }
+
+    #[test]
+    fn hierarchy_is_bitwise_identical_across_worker_counts() {
+        let spec = r#"{"hierarchy": {"submodels": [
+             {"name": "a",
+              "model": {"rbd": {"components": [{"name": "x", "availability": 0.95}],
+                                "structure": "x"}},
+              "measure": "availability"},
+             {"name": "b",
+              "model": {"rbd": {"components": [{"name": "y", "availability": 0.5}],
+                                "structure": "y"}},
+              "measure": "availability",
+              "imports": [{"from": "a", "path": "rbd.components.0.availability"}]},
+             {"name": "c",
+              "model": {"rbd": {"components": [{"name": "z", "availability": 0.5}],
+                                "structure": "z"}},
+              "measure": "availability",
+              "imports": [{"from": "a", "path": "rbd.components.0.availability"}]}
+           ]}}"#;
+        let base = solve_str_with(spec, &SolveOptions::default().with_hier_jobs(1))
+            .unwrap()
+            .measures
+            .to_json()
+            .to_json();
+        for jobs in [2, 4, 8] {
+            let other = solve_str_with(spec, &SolveOptions::default().with_hier_jobs(jobs))
+                .unwrap()
+                .measures
+                .to_json()
+                .to_json();
+            assert_eq!(base, other, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn semi_markov_alternating_renewal() {
+        // Exponential up (mean 100) / down (mean 1): availability is
+        // 100/101 and the first passage into "down" is the up sojourn.
+        let m = run(r#"{"semi_markov": {
+                 "states": [
+                   {"name": "up", "sojourn": {"exponential": {"mean": 100.0}}},
+                   {"name": "down", "sojourn": {"exponential": {"mean": 1.0}}}],
+                 "transitions": [
+                   {"from": "up", "to": "down", "probability": 1.0},
+                   {"from": "down", "to": "up", "probability": 1.0}],
+                 "initial": "up",
+                 "up_states": ["up"],
+                 "targets": ["down"],
+                 "interval_times": [100000.0]}}"#);
+        let SolvedMeasures::SemiMarkov {
+            availability,
+            mean_first_passage,
+            interval_availability,
+            ..
+        } = &m
+        else {
+            panic!("expected semi_markov, got {}", m.kind());
+        };
+        let a = availability.unwrap();
+        assert!((a - 100.0 / 101.0).abs() < 1e-12, "availability = {a}");
+        assert!((mean_first_passage.unwrap() - 100.0).abs() < 1e-9);
+        let (_, ia) = interval_availability.as_ref().unwrap()[0];
+        // Over a long horizon interval availability approaches steady.
+        assert!((ia - a).abs() < 1e-2, "interval = {ia}, steady = {a}");
+    }
+
+    #[test]
+    fn uncertainty_with_degenerate_prior_recovers_the_point_solve() {
+        // A deterministic prior pins the parameter, so every sample
+        // solves the same model: mean = the point solve, std_dev = 0.
+        let m = run(r#"{"uncertainty": {
+                 "model": {"rbd": {"components": [{"name": "a", "availability": 0.5}],
+                                   "structure": "a"}},
+                 "parameters": [
+                   {"path": "rbd.components.0.availability",
+                    "prior": {"deterministic": {"value": 0.25}}}],
+                 "measure": "availability",
+                 "samples": 16}}"#);
+        let SolvedMeasures::Uncertainty {
+            mean,
+            std_dev,
+            samples,
+            ..
+        } = &m
+        else {
+            panic!("expected uncertainty, got {}", m.kind());
+        };
+        assert!((mean - 0.25).abs() < 1e-12, "mean = {mean}");
+        assert_eq!(*std_dev, 0.0);
+        assert_eq!(*samples, 16);
+    }
+
+    #[test]
+    fn bounds_bracket_the_exact_probability_in_both_forms() {
+        // Explicit cut/path sets for a 2-component series system
+        // (fails when either fails): cuts {a},{b}; single path {a,b}.
+        let m = run(r#"{"bounds": {
+                 "events": [{"name": "a", "probability": 0.1},
+                            {"name": "b", "probability": 0.2}],
+                 "cut_sets": [["a"], ["b"]],
+                 "path_sets": [["a", "b"]],
+                 "truncation_order": 1}}"#);
+        let SolvedMeasures::Bounds {
+            exact,
+            ep_lower,
+            ep_upper,
+            truncated_lower,
+            truncated_upper,
+            ..
+        } = &m
+        else {
+            panic!("expected bounds, got {}", m.kind());
+        };
+        let q = exact.unwrap();
+        assert!((q - (1.0 - 0.9 * 0.8)).abs() < 1e-12, "exact = {q}");
+        assert!(ep_lower.unwrap() <= q + 1e-12 && q <= ep_upper.unwrap() + 1e-12);
+        assert!(*truncated_lower <= q + 1e-12 && q <= truncated_upper + 1e-12);
+
+        // Fault-tree form: the same system as an OR gate.
+        let m = run(r#"{"bounds": {
+                 "fault_tree": {
+                   "events": [{"name": "a", "probability": 0.1},
+                              {"name": "b", "probability": 0.2}],
+                   "top": {"or": ["a", "b"]}}}}"#);
+        let SolvedMeasures::Bounds {
+            exact,
+            ep_lower,
+            ep_upper,
+            num_cut_sets,
+            num_path_sets,
+            ..
+        } = &m
+        else {
+            panic!("expected bounds, got {}", m.kind());
+        };
+        let q = exact.unwrap();
+        assert!((q - (1.0 - 0.9 * 0.8)).abs() < 1e-12, "exact = {q}");
+        assert_eq!(*num_cut_sets, 2);
+        assert_eq!(*num_path_sets, 1);
+        assert!(ep_lower.unwrap() <= q + 1e-12 && q <= ep_upper.unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn solve_options_knobs_override_the_spec() {
+        // truncation_order 1 drops the order-2 cut set from the
+        // enumerated part, loosening the upper bound.
+        let spec = r#"{"bounds": {
+             "events": [{"name": "a", "probability": 0.1},
+                        {"name": "b", "probability": 0.2}],
+             "cut_sets": [["a", "b"]],
+             "truncation_order": 2}}"#;
+        let tight = solve_str_with(spec, &SolveOptions::default()).unwrap();
+        let loose =
+            solve_str_with(spec, &SolveOptions::default().with_truncation_order(1)).unwrap();
+        let SolvedMeasures::Bounds {
+            truncated_lower: tl,
+            ..
+        } = tight.measures
+        else {
+            panic!("expected bounds");
+        };
+        let SolvedMeasures::Bounds {
+            truncated_lower: ll,
+            truncation_order,
+            ..
+        } = loose.measures
+        else {
+            panic!("expected bounds");
+        };
+        assert!(tl > 0.0);
+        assert_eq!(ll, 0.0);
+        assert_eq!(truncation_order, 1);
+        assert_eq!(loose.stats.bounds_truncation_order, Some(1));
+    }
+}

@@ -23,6 +23,15 @@ pub enum ModelSpec {
     RelGraph(RelGraphSpec),
     /// A stochastic Petri net.
     Spn(SpnSpec),
+    /// A hierarchical composition of submodels with fixed-point import
+    /// bindings.
+    Hierarchy(HierarchySpec),
+    /// A semi-Markov process with general sojourn distributions.
+    SemiMarkov(SemiMarkovSpec),
+    /// Parametric uncertainty propagated over an inner model.
+    Uncertainty(UncertaintySpec),
+    /// Esary–Proschan / truncated-SDP bounds from cut and path sets.
+    Bounds(BoundsSpec),
 }
 
 /// Stochastic-Petri-net specification.
@@ -422,6 +431,236 @@ pub struct TransitionSpec {
     pub rate: f64,
 }
 
+/// Which scalar a scenario layer extracts from a solved submodel (the
+/// hierarchy import/export measure and the uncertainty output measure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScenarioMeasure {
+    /// System availability ([`crate::SolvedMeasures::availability`]).
+    Availability,
+    /// Failure probability ([`crate::SolvedMeasures::unreliability`]).
+    Unreliability,
+    /// Mean time to failure ([`crate::SolvedMeasures::mttf`]).
+    Mttf,
+    /// The model class's headline scalar
+    /// ([`crate::SolvedMeasures::primary_value`]).
+    #[default]
+    Primary,
+}
+
+impl ScenarioMeasure {
+    /// Parses the JSON spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ScenarioMeasure> {
+        match s {
+            "availability" => Some(ScenarioMeasure::Availability),
+            "unreliability" => Some(ScenarioMeasure::Unreliability),
+            "mttf" => Some(ScenarioMeasure::Mttf),
+            "primary" => Some(ScenarioMeasure::Primary),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`ScenarioMeasure::parse`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScenarioMeasure::Availability => "availability",
+            ScenarioMeasure::Unreliability => "unreliability",
+            ScenarioMeasure::Mttf => "mttf",
+            ScenarioMeasure::Primary => "primary",
+        }
+    }
+}
+
+/// Hierarchical-composition specification: a set of named submodels
+/// (each a complete model document) exchanging scalar measures through
+/// import bindings, closed by damped fixed-point iteration.
+///
+/// An acyclic composition converges in as many sweeps as its depth; a
+/// cyclic one (the SIP/WebSphere pattern) iterates to the `tolerance`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchySpec {
+    /// The submodels, evaluated in declaration order each sweep.
+    pub submodels: Vec<SubmodelSpec>,
+    /// The submodel whose exported measure is the hierarchy's headline
+    /// value. Defaults to the last submodel.
+    pub output: Option<String>,
+    /// Fixed-point convergence tolerance (default `1e-10`). Overridden
+    /// by a non-default `SolveOptions::fixed_point_tol`.
+    pub tolerance: Option<f64>,
+    /// Fixed-point sweep budget (default 10 000).
+    pub max_iterations: Option<usize>,
+    /// Damping factor in `(0, 1]` (default 1.0, undamped).
+    pub damping: Option<f64>,
+    /// Worker threads for the per-sweep submodel solve (`0` = one per
+    /// CPU; default 1). Results are bitwise identical at any setting.
+    /// Overridden by a non-default `SolveOptions::hier_jobs`.
+    pub jobs: Option<usize>,
+}
+
+/// One hierarchy submodel: a complete inner model document plus the
+/// measure it exports and the parameters it imports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmodelSpec {
+    /// Submodel name (referenced by imports and `output`).
+    pub name: String,
+    /// The inner model (any model class, including nested scenarios).
+    pub model: Box<ModelSpec>,
+    /// The scalar this submodel exports (default `primary`).
+    pub measure: ScenarioMeasure,
+    /// Starting value of the exported measure for the fixed-point
+    /// iteration (default 1.0 — availability-like).
+    pub initial: Option<f64>,
+    /// Parameters bound from other submodels' exports before each
+    /// solve.
+    pub imports: Vec<ImportSpec>,
+}
+
+/// One hierarchy import binding: before each solve of the importing
+/// submodel, the numeric field at `path` (a dotted JSON path into the
+/// submodel's own document, e.g. `"rbd.components.0.availability"`) is
+/// replaced by the current export of submodel `from`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportSpec {
+    /// Exporting submodel name.
+    pub from: String,
+    /// Dotted JSON path to the imported numeric field, relative to the
+    /// importing submodel's document.
+    pub path: String,
+}
+
+/// Semi-Markov-process specification: states with general sojourn-time
+/// distributions and an embedded transition-probability matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemiMarkovSpec {
+    /// State declarations.
+    pub states: Vec<SmpStateSpec>,
+    /// Embedded DTMC transitions (per-state probabilities sum to 1).
+    pub transitions: Vec<SmpTransitionSpec>,
+    /// Initial state for first-passage and interval measures. Defaults
+    /// to the first state.
+    pub initial: Option<String>,
+    /// Operational states (steady availability is their long-run time
+    /// fraction).
+    pub up_states: Option<Vec<String>>,
+    /// Target states for the mean first-passage time from `initial`.
+    pub targets: Option<Vec<String>>,
+    /// Time points for interval availability `(1/t)∫₀ᵗ A(u) du`,
+    /// computed on the phase-type expansion (requires `up_states`).
+    pub interval_times: Option<Vec<f64>>,
+}
+
+/// One semi-Markov state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmpStateSpec {
+    /// State name.
+    pub name: String,
+    /// Sojourn-time distribution (any [`DistSpec`] family).
+    pub sojourn: DistSpec,
+}
+
+/// One embedded-chain transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmpTransitionSpec {
+    /// Source state name.
+    pub from: String,
+    /// Destination state name (self-loops are rejected: fold them into
+    /// the sojourn distribution).
+    pub to: String,
+    /// Embedded jump probability.
+    pub probability: f64,
+}
+
+/// Parametric-uncertainty specification: a wrapper class that samples
+/// priors over numeric fields of an inner model document and propagates
+/// them through repeated solves (Monte Carlo over the parameter
+/// vector).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertaintySpec {
+    /// The inner model (any model class).
+    pub model: Box<ModelSpec>,
+    /// The uncertain parameters.
+    pub parameters: Vec<UncertainParamSpec>,
+    /// The output measure extracted from each inner solve (default
+    /// `primary`).
+    pub measure: ScenarioMeasure,
+    /// Monte-Carlo samples (default 1000). Overridden by
+    /// `SolveOptions::uncert_samples`.
+    pub samples: Option<usize>,
+    /// Confidence level of the percentile interval (default 0.95).
+    pub level: Option<f64>,
+    /// RNG seed (default `0x5EED`). Sampling is a pure function of
+    /// `(seed, sample index)` — bitwise identical at any worker count.
+    pub seed: Option<u64>,
+    /// Worker threads (`0` = one per CPU; default 0). Never affects
+    /// results.
+    pub jobs: Option<usize>,
+    /// Use Latin-hypercube instead of independent random sampling.
+    pub latin_hypercube: bool,
+}
+
+/// One uncertain parameter: a dotted JSON path into the inner model
+/// document plus its prior distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainParamSpec {
+    /// Dotted JSON path to the numeric field, relative to the inner
+    /// model document (e.g. `"ctmc.transitions.0.rate"`).
+    pub path: String,
+    /// The prior.
+    pub prior: PriorSpec,
+}
+
+/// A prior over an uncertain parameter: an explicit distribution, or
+/// the Bayesian exponential-rate posterior `Gamma(failures + 1,
+/// total_time)` from observed test data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriorSpec {
+    /// An explicit distribution (any [`DistSpec`] family).
+    Dist(DistSpec),
+    /// `rate_posterior`: the conjugate posterior of an exponential
+    /// rate after `failures` events in `total_time` cumulative
+    /// exposure.
+    Posterior {
+        /// Observed failure count.
+        failures: u32,
+        /// Cumulative exposure time.
+        total_time: f64,
+    },
+}
+
+/// Cut/path-set bounds specification: Esary–Proschan and
+/// truncated-SDP bounds from explicit minimal cut sets (the Boeing-787
+/// workflow) or from an inline fault tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsSpec {
+    /// Basic-event declarations with failure probabilities. Required
+    /// with explicit `cut_sets`; forbidden with `fault_tree`.
+    pub events: Vec<BoundsEventSpec>,
+    /// Minimal cut sets as lists of event names. Required unless
+    /// `fault_tree` is given.
+    pub cut_sets: Vec<Vec<String>>,
+    /// Minimal path sets (enables the Esary–Proschan bounds; derived
+    /// from the tree's dual when `fault_tree` is given).
+    pub path_sets: Option<Vec<Vec<String>>>,
+    /// An inline fault tree supplying events, exact probability, and
+    /// minimal cut/path sets. Mutually exclusive with
+    /// `events`/`cut_sets`/`path_sets`.
+    pub fault_tree: Option<Box<FaultTreeSpec>>,
+    /// Cut-set order above which enumeration is considered truncated
+    /// (default 2; must be ≥ 1). Overridden by
+    /// `SolveOptions::truncation_order`.
+    pub truncation_order: Option<usize>,
+}
+
+/// One bounds basic event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsEventSpec {
+    /// Event name (referenced from the cut/path sets).
+    pub name: String,
+    /// Failure probability.
+    pub probability: f64,
+}
+
 // ---------------------------------------------------------------------
 // Parsing
 
@@ -495,7 +734,8 @@ impl ModelSpec {
         if entries.len() != 1 {
             return Err(schema_err(
                 "model document must have exactly one top-level key \
-                 (one of 'rbd', 'fault_tree', 'ctmc', 'rel_graph', 'spn')",
+                 (one of 'rbd', 'fault_tree', 'ctmc', 'rel_graph', 'spn', \
+                 'hierarchy', 'semi_markov', 'uncertainty', 'bounds')",
             ));
         }
         let (key, payload) = &entries[0];
@@ -505,6 +745,10 @@ impl ModelSpec {
             "ctmc" => Ok(ModelSpec::Ctmc(CtmcSpec::from_json(payload)?)),
             "rel_graph" => Ok(ModelSpec::RelGraph(RelGraphSpec::from_json(payload)?)),
             "spn" => Ok(ModelSpec::Spn(SpnSpec::from_json(payload)?)),
+            "hierarchy" => Ok(ModelSpec::Hierarchy(HierarchySpec::from_json(payload)?)),
+            "semi_markov" => Ok(ModelSpec::SemiMarkov(SemiMarkovSpec::from_json(payload)?)),
+            "uncertainty" => Ok(ModelSpec::Uncertainty(UncertaintySpec::from_json(payload)?)),
+            "bounds" => Ok(ModelSpec::Bounds(BoundsSpec::from_json(payload)?)),
             other => Err(schema_err(format!("unknown model class '{other}'"))),
         }
     }
@@ -519,6 +763,10 @@ impl ModelSpec {
             ModelSpec::Ctmc(c) => json::object(vec![("ctmc", c.to_json())]),
             ModelSpec::RelGraph(g) => json::object(vec![("rel_graph", g.to_json())]),
             ModelSpec::Spn(s) => json::object(vec![("spn", s.to_json())]),
+            ModelSpec::Hierarchy(h) => json::object(vec![("hierarchy", h.to_json())]),
+            ModelSpec::SemiMarkov(s) => json::object(vec![("semi_markov", s.to_json())]),
+            ModelSpec::Uncertainty(u) => json::object(vec![("uncertainty", u.to_json())]),
+            ModelSpec::Bounds(b) => json::object(vec![("bounds", b.to_json())]),
         }
     }
 
@@ -1551,6 +1799,788 @@ impl ArcSpec {
     }
 }
 
+/// Parses a distribution nested inside a scenario document, qualifying
+/// any schema error with the dotted JSON path of the offending field so
+/// a bad sojourn or prior is locatable in a large document.
+fn dist_at(v: &JsonValue, path: &str) -> Result<DistSpec> {
+    DistSpec::from_json(v).map_err(|e| match e {
+        Error::InvalidParameter(msg) => {
+            let tail = msg
+                .strip_prefix("specification does not match schema: ")
+                .unwrap_or(&msg)
+                .to_owned();
+            schema_err(format!("{path}: {tail}"))
+        }
+        other => other,
+    })
+}
+
+fn scenario_measure(v: &JsonValue, what: &str) -> Result<ScenarioMeasure> {
+    match v.get("measure") {
+        None | Some(JsonValue::Null) => Ok(ScenarioMeasure::Primary),
+        Some(m) => {
+            let s = m
+                .as_str()
+                .ok_or_else(|| schema_err(format!("{what} 'measure' must be a string")))?;
+            ScenarioMeasure::parse(s).ok_or_else(|| {
+                schema_err(format!(
+                    "{what} 'measure' must be one of availability, unreliability, \
+                     mttf, primary (got '{s}')"
+                ))
+            })
+        }
+    }
+}
+
+/// Checks that `path` resolves to a number inside `doc` (the canonical
+/// serialization of the model it is relative to).
+fn check_numeric_path(doc: &JsonValue, path: &str, what: &str) -> Result<()> {
+    match json::get_path(doc, path) {
+        Some(JsonValue::Number(_)) => Ok(()),
+        Some(_) => Err(schema_err(format!(
+            "{what} path '{path}' does not resolve to a number \
+             (note: paths are relative to the canonical document, \
+             e.g. a normalized 'mean' becomes 'rate')"
+        ))),
+        None => Err(schema_err(format!(
+            "{what} path '{path}' does not resolve in the model document"
+        ))),
+    }
+}
+
+impl HierarchySpec {
+    fn from_json(v: &JsonValue) -> Result<HierarchySpec> {
+        check_keys(
+            as_obj(v, "hierarchy")?,
+            &[
+                "submodels",
+                "output",
+                "tolerance",
+                "max_iterations",
+                "damping",
+                "jobs",
+            ],
+            "hierarchy",
+        )?;
+        let submodels: Vec<SubmodelSpec> = req(v, "submodels", "hierarchy")?
+            .as_array()
+            .ok_or_else(|| schema_err("hierarchy 'submodels' must be an array"))?
+            .iter()
+            .map(SubmodelSpec::from_json)
+            .collect::<Result<_>>()?;
+        if submodels.is_empty() {
+            return Err(schema_err("hierarchy needs at least one submodel"));
+        }
+        let mut names: Vec<&str> = Vec::with_capacity(submodels.len());
+        for sub in &submodels {
+            if names.contains(&sub.name.as_str()) {
+                return Err(schema_err(format!(
+                    "duplicate submodel name '{}'",
+                    sub.name
+                )));
+            }
+            names.push(&sub.name);
+        }
+        for sub in &submodels {
+            let doc = sub.model.to_json();
+            for imp in &sub.imports {
+                if !names.contains(&imp.from.as_str()) {
+                    return Err(schema_err(format!(
+                        "submodel '{}' imports from unknown submodel '{}'",
+                        sub.name, imp.from
+                    )));
+                }
+                check_numeric_path(&doc, &imp.path, &format!("submodel '{}' import", sub.name))?;
+            }
+        }
+        let output = match v.get("output") {
+            None | Some(JsonValue::Null) => None,
+            Some(o) => {
+                let o = o
+                    .as_str()
+                    .ok_or_else(|| schema_err("hierarchy 'output' must be a submodel name"))?;
+                if !names.contains(&o) {
+                    return Err(schema_err(format!(
+                        "hierarchy 'output' references unknown submodel '{o}'"
+                    )));
+                }
+                Some(o.to_owned())
+            }
+        };
+        let opt_f64 = |key: &str| -> Result<Option<f64>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(x) => Ok(Some(x.as_f64().ok_or_else(|| {
+                    schema_err(format!("hierarchy '{key}' must be a number"))
+                })?)),
+            }
+        };
+        let opt_usize = |key: &str| -> Result<Option<usize>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(x) => Ok(Some(x.as_usize().ok_or_else(|| {
+                    schema_err(format!("hierarchy '{key}' must be a non-negative integer"))
+                })?)),
+            }
+        };
+        let tolerance = opt_f64("tolerance")?;
+        if let Some(t) = tolerance {
+            if !(t > 0.0 && t.is_finite()) {
+                return Err(schema_err(format!(
+                    "hierarchy 'tolerance' must be positive and finite, got {t}"
+                )));
+            }
+        }
+        let damping = opt_f64("damping")?;
+        if let Some(d) = damping {
+            if !(d > 0.0 && d <= 1.0) {
+                return Err(schema_err(format!(
+                    "hierarchy 'damping' must be in (0, 1], got {d}"
+                )));
+            }
+        }
+        let max_iterations = opt_usize("max_iterations")?;
+        if max_iterations == Some(0) {
+            return Err(schema_err("hierarchy 'max_iterations' must be at least 1"));
+        }
+        Ok(HierarchySpec {
+            submodels,
+            output,
+            tolerance,
+            max_iterations,
+            damping,
+            jobs: opt_usize("jobs")?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![(
+            "submodels",
+            JsonValue::Array(self.submodels.iter().map(SubmodelSpec::to_json).collect()),
+        )];
+        if let Some(o) = &self.output {
+            entries.push(("output", o.as_str().into()));
+        }
+        if let Some(t) = self.tolerance {
+            entries.push(("tolerance", t.into()));
+        }
+        if let Some(m) = self.max_iterations {
+            entries.push(("max_iterations", (m as f64).into()));
+        }
+        if let Some(d) = self.damping {
+            entries.push(("damping", d.into()));
+        }
+        if let Some(j) = self.jobs {
+            entries.push(("jobs", (j as f64).into()));
+        }
+        json::object(entries)
+    }
+}
+
+impl SubmodelSpec {
+    fn from_json(v: &JsonValue) -> Result<SubmodelSpec> {
+        check_keys(
+            as_obj(v, "submodel")?,
+            &["name", "model", "measure", "initial", "imports"],
+            "submodel",
+        )?;
+        let name = str_field(v, "name", "submodel")?;
+        let model = ModelSpec::from_json(req(v, "model", "submodel")?)?;
+        let initial = match v.get("initial") {
+            None | Some(JsonValue::Null) => None,
+            Some(x) => Some(
+                x.as_f64()
+                    .ok_or_else(|| schema_err("submodel 'initial' must be a number"))?,
+            ),
+        };
+        let imports = match v.get("imports") {
+            None | Some(JsonValue::Null) => Vec::new(),
+            Some(list) => list
+                .as_array()
+                .ok_or_else(|| schema_err("submodel 'imports' must be an array"))?
+                .iter()
+                .map(ImportSpec::from_json)
+                .collect::<Result<_>>()?,
+        };
+        Ok(SubmodelSpec {
+            name,
+            model: Box::new(model),
+            measure: scenario_measure(v, "submodel")?,
+            initial,
+            imports,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![
+            ("name", self.name.as_str().into()),
+            ("model", self.model.to_json()),
+        ];
+        if self.measure != ScenarioMeasure::Primary {
+            entries.push(("measure", self.measure.as_str().into()));
+        }
+        if let Some(i) = self.initial {
+            entries.push(("initial", i.into()));
+        }
+        if !self.imports.is_empty() {
+            entries.push((
+                "imports",
+                JsonValue::Array(self.imports.iter().map(ImportSpec::to_json).collect()),
+            ));
+        }
+        json::object(entries)
+    }
+}
+
+impl ImportSpec {
+    fn from_json(v: &JsonValue) -> Result<ImportSpec> {
+        check_keys(as_obj(v, "import")?, &["from", "path"], "import")?;
+        Ok(ImportSpec {
+            from: str_field(v, "from", "import")?,
+            path: str_field(v, "path", "import")?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("from", self.from.as_str().into()),
+            ("path", self.path.as_str().into()),
+        ])
+    }
+}
+
+impl SemiMarkovSpec {
+    fn from_json(v: &JsonValue) -> Result<SemiMarkovSpec> {
+        check_keys(
+            as_obj(v, "semi_markov")?,
+            &[
+                "states",
+                "transitions",
+                "initial",
+                "up_states",
+                "targets",
+                "interval_times",
+            ],
+            "semi_markov",
+        )?;
+        let states: Vec<SmpStateSpec> = req(v, "states", "semi_markov")?
+            .as_array()
+            .ok_or_else(|| schema_err("semi_markov 'states' must be an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SmpStateSpec::from_json(s, i))
+            .collect::<Result<_>>()?;
+        if states.is_empty() {
+            return Err(schema_err("semi_markov needs at least one state"));
+        }
+        let mut names: Vec<String> = Vec::with_capacity(states.len());
+        for s in &states {
+            if names.contains(&s.name) {
+                return Err(schema_err(format!(
+                    "duplicate semi_markov state '{}'",
+                    s.name
+                )));
+            }
+            names.push(s.name.clone());
+        }
+        let known = |n: &str, what: &str| -> Result<()> {
+            if names.iter().any(|x| x == n) {
+                Ok(())
+            } else {
+                Err(schema_err(format!("{what} references unknown state '{n}'")))
+            }
+        };
+        let transitions: Vec<SmpTransitionSpec> = req(v, "transitions", "semi_markov")?
+            .as_array()
+            .ok_or_else(|| schema_err("semi_markov 'transitions' must be an array"))?
+            .iter()
+            .map(SmpTransitionSpec::from_json)
+            .collect::<Result<_>>()?;
+        for t in &transitions {
+            known(&t.from, "semi_markov transition")?;
+            known(&t.to, "semi_markov transition")?;
+            if t.from == t.to {
+                return Err(schema_err(format!(
+                    "semi_markov self-loop on '{}': fold it into the sojourn \
+                     distribution instead",
+                    t.from
+                )));
+            }
+        }
+        let initial = match v.get("initial") {
+            None | Some(JsonValue::Null) => None,
+            Some(i) => {
+                let i = i
+                    .as_str()
+                    .ok_or_else(|| schema_err("semi_markov 'initial' must be a state name"))?;
+                known(i, "semi_markov 'initial'")?;
+                Some(i.to_owned())
+            }
+        };
+        let optional_names = |key: &str| -> Result<Option<Vec<String>>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(list) => {
+                    let list = string_list(list, key)?;
+                    for n in &list {
+                        known(n, &format!("semi_markov '{key}'"))?;
+                    }
+                    Ok(Some(list))
+                }
+            }
+        };
+        let interval_times = match v.get("interval_times") {
+            None | Some(JsonValue::Null) => None,
+            Some(list) => Some(
+                list.as_array()
+                    .ok_or_else(|| schema_err("'interval_times' must be an array"))?
+                    .iter()
+                    .map(|t| {
+                        t.as_f64()
+                            .filter(|&t| t > 0.0 && t.is_finite())
+                            .ok_or_else(|| {
+                                schema_err("'interval_times' entries must be positive numbers")
+                            })
+                    })
+                    .collect::<Result<Vec<f64>>>()?,
+            ),
+        };
+        Ok(SemiMarkovSpec {
+            states,
+            transitions,
+            initial,
+            up_states: optional_names("up_states")?,
+            targets: optional_names("targets")?,
+            interval_times,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![
+            (
+                "states",
+                JsonValue::Array(self.states.iter().map(SmpStateSpec::to_json).collect()),
+            ),
+            (
+                "transitions",
+                JsonValue::Array(
+                    self.transitions
+                        .iter()
+                        .map(SmpTransitionSpec::to_json)
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(i) = &self.initial {
+            entries.push(("initial", i.as_str().into()));
+        }
+        if let Some(up) = &self.up_states {
+            entries.push(("up_states", json::string_array(up)));
+        }
+        if let Some(t) = &self.targets {
+            entries.push(("targets", json::string_array(t)));
+        }
+        if let Some(times) = &self.interval_times {
+            entries.push((
+                "interval_times",
+                JsonValue::Array(times.iter().map(|&t| t.into()).collect()),
+            ));
+        }
+        json::object(entries)
+    }
+}
+
+impl SmpStateSpec {
+    fn from_json(v: &JsonValue, index: usize) -> Result<SmpStateSpec> {
+        check_keys(as_obj(v, "state")?, &["name", "sojourn"], "state")?;
+        Ok(SmpStateSpec {
+            name: str_field(v, "name", "state")?,
+            sojourn: dist_at(
+                req(v, "sojourn", "state")?,
+                &format!("semi_markov.states.{index}.sojourn"),
+            )?,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("name", self.name.as_str().into()),
+            ("sojourn", self.sojourn.to_json()),
+        ])
+    }
+}
+
+impl SmpTransitionSpec {
+    fn from_json(v: &JsonValue) -> Result<SmpTransitionSpec> {
+        check_keys(
+            as_obj(v, "transition")?,
+            &["from", "to", "probability"],
+            "transition",
+        )?;
+        let probability = f64_field(v, "probability", "transition")?;
+        if !(probability > 0.0 && probability <= 1.0) {
+            return Err(schema_err(format!(
+                "transition 'probability' must be in (0, 1], got {probability}"
+            )));
+        }
+        Ok(SmpTransitionSpec {
+            from: str_field(v, "from", "transition")?,
+            to: str_field(v, "to", "transition")?,
+            probability,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("from", self.from.as_str().into()),
+            ("to", self.to.as_str().into()),
+            ("probability", self.probability.into()),
+        ])
+    }
+}
+
+impl UncertaintySpec {
+    fn from_json(v: &JsonValue) -> Result<UncertaintySpec> {
+        check_keys(
+            as_obj(v, "uncertainty")?,
+            &[
+                "model",
+                "parameters",
+                "measure",
+                "samples",
+                "level",
+                "seed",
+                "jobs",
+                "latin_hypercube",
+            ],
+            "uncertainty",
+        )?;
+        let model = ModelSpec::from_json(req(v, "model", "uncertainty")?)?;
+        let parameters: Vec<UncertainParamSpec> = req(v, "parameters", "uncertainty")?
+            .as_array()
+            .ok_or_else(|| schema_err("uncertainty 'parameters' must be an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, p)| UncertainParamSpec::from_json(p, i))
+            .collect::<Result<_>>()?;
+        if parameters.is_empty() {
+            return Err(schema_err("uncertainty needs at least one parameter"));
+        }
+        let doc = model.to_json();
+        for p in &parameters {
+            check_numeric_path(&doc, &p.path, "uncertainty parameter")?;
+        }
+        let opt_usize = |key: &str| -> Result<Option<usize>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(x) => Ok(Some(x.as_usize().ok_or_else(|| {
+                    schema_err(format!(
+                        "uncertainty '{key}' must be a non-negative integer"
+                    ))
+                })?)),
+            }
+        };
+        let samples = opt_usize("samples")?;
+        if samples == Some(0) {
+            return Err(schema_err("uncertainty 'samples' must be at least 1"));
+        }
+        let level = match v.get("level") {
+            None | Some(JsonValue::Null) => None,
+            Some(x) => {
+                let l = x
+                    .as_f64()
+                    .ok_or_else(|| schema_err("uncertainty 'level' must be a number"))?;
+                if !(l > 0.0 && l < 1.0) {
+                    return Err(schema_err(format!(
+                        "uncertainty 'level' must be in (0, 1), got {l}"
+                    )));
+                }
+                Some(l)
+            }
+        };
+        let latin_hypercube = match v.get("latin_hypercube") {
+            None | Some(JsonValue::Null) => false,
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| schema_err("uncertainty 'latin_hypercube' must be a boolean"))?,
+        };
+        Ok(UncertaintySpec {
+            model: Box::new(model),
+            parameters,
+            measure: scenario_measure(v, "uncertainty")?,
+            samples,
+            level,
+            seed: opt_usize("seed")?.map(|s| s as u64),
+            jobs: opt_usize("jobs")?,
+            latin_hypercube,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut entries = vec![
+            ("model", self.model.to_json()),
+            (
+                "parameters",
+                JsonValue::Array(
+                    self.parameters
+                        .iter()
+                        .map(UncertainParamSpec::to_json)
+                        .collect(),
+                ),
+            ),
+        ];
+        if self.measure != ScenarioMeasure::Primary {
+            entries.push(("measure", self.measure.as_str().into()));
+        }
+        if let Some(s) = self.samples {
+            entries.push(("samples", (s as f64).into()));
+        }
+        if let Some(l) = self.level {
+            entries.push(("level", l.into()));
+        }
+        if let Some(s) = self.seed {
+            entries.push(("seed", (s as f64).into()));
+        }
+        if let Some(j) = self.jobs {
+            entries.push(("jobs", (j as f64).into()));
+        }
+        if self.latin_hypercube {
+            entries.push(("latin_hypercube", true.into()));
+        }
+        json::object(entries)
+    }
+}
+
+impl UncertainParamSpec {
+    fn from_json(v: &JsonValue, index: usize) -> Result<UncertainParamSpec> {
+        check_keys(as_obj(v, "parameter")?, &["path", "prior"], "parameter")?;
+        let path = str_field(v, "path", "parameter")?;
+        let prior_json = req(v, "prior", "parameter")?;
+        let prior =
+            PriorSpec::from_json(prior_json, &format!("uncertainty.parameters.{index}.prior"))?;
+        Ok(UncertainParamSpec { path, prior })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("path", self.path.as_str().into()),
+            ("prior", self.prior.to_json()),
+        ])
+    }
+}
+
+impl PriorSpec {
+    fn from_json(v: &JsonValue, path: &str) -> Result<PriorSpec> {
+        let entries = as_obj(v, "prior")?;
+        if entries.len() == 1 && entries[0].0 == "rate_posterior" {
+            let p = &entries[0].1;
+            check_keys(
+                as_obj(p, "rate_posterior")?,
+                &["failures", "total_time"],
+                "rate_posterior",
+            )?;
+            let failures = req(p, "failures", "rate_posterior")?
+                .as_usize()
+                .and_then(|f| u32::try_from(f).ok())
+                .ok_or_else(|| {
+                    schema_err(format!(
+                        "{path}: rate_posterior 'failures' must be a non-negative integer"
+                    ))
+                })?;
+            let total_time = f64_field(p, "total_time", "rate_posterior")?;
+            if !(total_time > 0.0 && total_time.is_finite()) {
+                return Err(schema_err(format!(
+                    "{path}: rate_posterior 'total_time' must be positive and \
+                     finite, got {total_time}"
+                )));
+            }
+            return Ok(PriorSpec::Posterior {
+                failures,
+                total_time,
+            });
+        }
+        dist_at(v, path).map(PriorSpec::Dist)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        match self {
+            PriorSpec::Dist(d) => d.to_json(),
+            PriorSpec::Posterior {
+                failures,
+                total_time,
+            } => json::object(vec![(
+                "rate_posterior",
+                json::object(vec![
+                    ("failures", f64::from(*failures).into()),
+                    ("total_time", (*total_time).into()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl BoundsSpec {
+    fn from_json(v: &JsonValue) -> Result<BoundsSpec> {
+        check_keys(
+            as_obj(v, "bounds")?,
+            &[
+                "events",
+                "cut_sets",
+                "path_sets",
+                "fault_tree",
+                "truncation_order",
+            ],
+            "bounds",
+        )?;
+        let name_sets = |key: &str| -> Result<Option<Vec<Vec<String>>>> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(list) => {
+                    let sets = list
+                        .as_array()
+                        .ok_or_else(|| {
+                            schema_err(format!("bounds '{key}' must be an array of arrays"))
+                        })?
+                        .iter()
+                        .map(|set| string_list(set, &format!("bounds '{key}' entry")))
+                        .collect::<Result<Vec<Vec<String>>>>()?;
+                    for set in &sets {
+                        if set.is_empty() {
+                            return Err(schema_err(format!(
+                                "bounds '{key}' entries must be non-empty"
+                            )));
+                        }
+                    }
+                    Ok(Some(sets))
+                }
+            }
+        };
+        let fault_tree = match v.get("fault_tree") {
+            None | Some(JsonValue::Null) => None,
+            Some(ft) => Some(Box::new(FaultTreeSpec::from_json(ft)?)),
+        };
+        let events: Vec<BoundsEventSpec> = match v.get("events") {
+            None | Some(JsonValue::Null) => Vec::new(),
+            Some(list) => list
+                .as_array()
+                .ok_or_else(|| schema_err("bounds 'events' must be an array"))?
+                .iter()
+                .map(BoundsEventSpec::from_json)
+                .collect::<Result<_>>()?,
+        };
+        let cut_sets = name_sets("cut_sets")?.unwrap_or_default();
+        let path_sets = name_sets("path_sets")?;
+        if fault_tree.is_some() {
+            if !events.is_empty() || !cut_sets.is_empty() || path_sets.is_some() {
+                return Err(schema_err(
+                    "bounds 'fault_tree' is mutually exclusive with \
+                     'events'/'cut_sets'/'path_sets'",
+                ));
+            }
+        } else {
+            if events.is_empty() {
+                return Err(schema_err(
+                    "bounds needs 'events' and 'cut_sets' (or a 'fault_tree')",
+                ));
+            }
+            if cut_sets.is_empty() {
+                return Err(schema_err("bounds needs at least one cut set"));
+            }
+            let mut names: Vec<&str> = Vec::with_capacity(events.len());
+            for e in &events {
+                if names.contains(&e.name.as_str()) {
+                    return Err(schema_err(format!("duplicate bounds event '{}'", e.name)));
+                }
+                names.push(&e.name);
+            }
+            let check_sets = |sets: &[Vec<String>], key: &str| -> Result<()> {
+                for set in sets {
+                    for n in set {
+                        if !names.contains(&n.as_str()) {
+                            return Err(schema_err(format!(
+                                "bounds '{key}' references unknown event '{n}'"
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            check_sets(&cut_sets, "cut_sets")?;
+            if let Some(ps) = &path_sets {
+                check_sets(ps, "path_sets")?;
+            }
+        }
+        let truncation_order = match v.get("truncation_order") {
+            None | Some(JsonValue::Null) => None,
+            Some(x) => {
+                let o = x.as_usize().ok_or_else(|| {
+                    schema_err("bounds 'truncation_order' must be a non-negative integer")
+                })?;
+                if o == 0 {
+                    return Err(schema_err("bounds 'truncation_order' must be at least 1"));
+                }
+                Some(o)
+            }
+        };
+        Ok(BoundsSpec {
+            events,
+            cut_sets,
+            path_sets,
+            fault_tree,
+            truncation_order,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let sets_json = |sets: &[Vec<String>]| {
+            JsonValue::Array(sets.iter().map(|s| json::string_array(s)).collect())
+        };
+        let mut entries = Vec::new();
+        if !self.events.is_empty() {
+            entries.push((
+                "events",
+                JsonValue::Array(self.events.iter().map(BoundsEventSpec::to_json).collect()),
+            ));
+        }
+        if !self.cut_sets.is_empty() {
+            entries.push(("cut_sets", sets_json(&self.cut_sets)));
+        }
+        if let Some(ps) = &self.path_sets {
+            entries.push(("path_sets", sets_json(ps)));
+        }
+        if let Some(ft) = &self.fault_tree {
+            entries.push(("fault_tree", ft.to_json()));
+        }
+        if let Some(o) = self.truncation_order {
+            entries.push(("truncation_order", (o as f64).into()));
+        }
+        json::object(entries)
+    }
+}
+
+impl BoundsEventSpec {
+    fn from_json(v: &JsonValue) -> Result<BoundsEventSpec> {
+        check_keys(as_obj(v, "event")?, &["name", "probability"], "event")?;
+        let probability = f64_field(v, "probability", "event")?;
+        if !(0.0..=1.0).contains(&probability) {
+            return Err(schema_err(format!(
+                "event 'probability' must be in [0, 1], got {probability}"
+            )));
+        }
+        Ok(BoundsEventSpec {
+            name: str_field(v, "name", "event")?,
+            probability,
+        })
+    }
+
+    fn to_json(&self) -> JsonValue {
+        json::object(vec![
+            ("name", self.name.as_str().into()),
+            ("probability", self.probability.into()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1909,5 +2939,244 @@ mod tests {
         } else {
             panic!("expected rel_graph");
         }
+    }
+
+    #[test]
+    fn hierarchy_round_trip() {
+        let json = r#"{
+          "hierarchy": {
+            "submodels": [
+              {"name": "disk",
+               "model": {"rbd": {"components": [{"name": "d", "availability": 0.99}],
+                                 "structure": "d"}},
+               "measure": "availability"},
+              {"name": "sys",
+               "model": {"rbd": {"components": [{"name": "front", "availability": 0.9}],
+                                 "structure": "front"}},
+               "measure": "availability",
+               "initial": 0.5,
+               "imports": [{"from": "disk", "path": "rbd.components.0.availability"}]}
+            ],
+            "output": "sys",
+            "tolerance": 1e-9,
+            "max_iterations": 500,
+            "damping": 0.8,
+            "jobs": 2
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+        let ModelSpec::Hierarchy(h) = &spec else {
+            panic!("expected hierarchy");
+        };
+        assert_eq!(h.submodels[1].imports[0].from, "disk");
+        assert_eq!(h.submodels[0].measure, ScenarioMeasure::Availability);
+    }
+
+    #[test]
+    fn hierarchy_rejects_bad_references() {
+        // Unknown import source.
+        let err = ModelSpec::from_json_str(
+            r#"{"hierarchy": {"submodels": [
+                 {"name": "a",
+                  "model": {"rbd": {"components": [{"name": "x", "availability": 0.9}],
+                                    "structure": "x"}},
+                  "imports": [{"from": "ghost", "path": "rbd.components.0.availability"}]}
+               ]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+        // Import path that does not resolve to a number.
+        let err = ModelSpec::from_json_str(
+            r#"{"hierarchy": {"submodels": [
+                 {"name": "a",
+                  "model": {"rbd": {"components": [{"name": "x", "availability": 0.9}],
+                                    "structure": "x"}},
+                  "imports": [{"from": "a", "path": "rbd.components.0.name"}]}
+               ]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("rbd.components.0.name"), "{err}");
+    }
+
+    #[test]
+    fn semi_markov_round_trip() {
+        let json = r#"{
+          "semi_markov": {
+            "states": [
+              {"name": "up", "sojourn": {"weibull": {"shape": 2.0, "scale": 1000.0}}},
+              {"name": "down", "sojourn": {"lognormal": {"mean": 4.0, "cv2": 2.0}}}
+            ],
+            "transitions": [
+              {"from": "up", "to": "down", "probability": 1.0},
+              {"from": "down", "to": "up", "probability": 1.0}
+            ],
+            "initial": "up",
+            "up_states": ["up"],
+            "targets": ["down"],
+            "interval_times": [100.0, 1000.0]
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+        let ModelSpec::SemiMarkov(s) = &spec else {
+            panic!("expected semi_markov");
+        };
+        // The mean/cv2 sugar normalized to (mu, sigma).
+        assert!(matches!(s.states[1].sojourn, DistSpec::LogNormal { .. }));
+    }
+
+    #[test]
+    fn semi_markov_rejections_are_path_qualified() {
+        // Self-loops are rejected at parse time.
+        let err = ModelSpec::from_json_str(
+            r#"{"semi_markov": {
+                 "states": [{"name": "up", "sojourn": {"exponential": {"rate": 1.0}}}],
+                 "transitions": [{"from": "up", "to": "up", "probability": 1.0}]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sojourn distribution"), "{err}");
+        // Conflicting distribution forms name the offending JSON path.
+        let err = ModelSpec::from_json_str(
+            r#"{"semi_markov": {
+                 "states": [
+                   {"name": "up",
+                    "sojourn": {"lognormal": {"mu": 1.0, "sigma": 0.5, "mean": 4.0}}}],
+                 "transitions": []}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("semi_markov.states.0.sojourn"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn uncertainty_round_trip() {
+        let json = r#"{
+          "uncertainty": {
+            "model": {"ctmc": {
+              "states": ["up", "down"],
+              "transitions": [
+                {"from": "up", "to": "down", "rate": 0.001},
+                {"from": "down", "to": "up", "rate": 0.1}
+              ],
+              "up_states": ["up"]
+            }},
+            "parameters": [
+              {"path": "ctmc.transitions.0.rate",
+               "prior": {"rate_posterior": {"failures": 12, "total_time": 100000.0}}},
+              {"path": "ctmc.transitions.1.rate",
+               "prior": {"gamma": {"shape": 4.0, "rate": 40.0}}}
+            ],
+            "measure": "availability",
+            "samples": 200,
+            "level": 0.9,
+            "seed": 7,
+            "jobs": 2,
+            "latin_hypercube": true
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(json).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+        let ModelSpec::Uncertainty(u) = &spec else {
+            panic!("expected uncertainty");
+        };
+        assert!(matches!(
+            u.parameters[0].prior,
+            PriorSpec::Posterior { failures: 12, .. }
+        ));
+        assert!(u.latin_hypercube);
+    }
+
+    #[test]
+    fn uncertainty_rejections_are_path_qualified() {
+        // A parameter path that is not numeric in the inner document.
+        let err = ModelSpec::from_json_str(
+            r#"{"uncertainty": {
+                 "model": {"rbd": {"components": [{"name": "a", "availability": 0.9}],
+                                   "structure": "a"}},
+                 "parameters": [
+                   {"path": "rbd.components.0.name",
+                    "prior": {"uniform": {"low": 0.0, "high": 1.0}}}]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("rbd.components.0.name"), "{err}");
+        // A bad prior names the parameter's JSON path.
+        let err = ModelSpec::from_json_str(
+            r#"{"uncertainty": {
+                 "model": {"rbd": {"components": [{"name": "a", "availability": 0.9}],
+                                   "structure": "a"}},
+                 "parameters": [
+                   {"path": "rbd.components.0.availability",
+                    "prior": {"lognormal": {"mu": 1.0, "mean": 4.0}}}]}}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("uncertainty.parameters.0.prior"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bounds_round_trips_both_forms() {
+        let explicit = r#"{
+          "bounds": {
+            "events": [
+              {"name": "a", "probability": 0.01},
+              {"name": "b", "probability": 0.02},
+              {"name": "c", "probability": 0.03}
+            ],
+            "cut_sets": [["a", "b"], ["c"]],
+            "path_sets": [["a", "c"], ["b", "c"]],
+            "truncation_order": 2
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(explicit).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+
+        let via_tree = r#"{
+          "bounds": {
+            "fault_tree": {
+              "events": [{"name": "e", "probability": 0.01},
+                         {"name": "f", "probability": 0.02}],
+              "top": {"and": ["e", "f"]}
+            },
+            "truncation_order": 3
+          }
+        }"#;
+        let spec = ModelSpec::from_json_str(via_tree).unwrap();
+        let again = ModelSpec::from_json_str(&spec.to_json().to_json()).unwrap();
+        assert_eq!(spec, again);
+        let ModelSpec::Bounds(b) = &spec else {
+            panic!("expected bounds");
+        };
+        assert!(b.fault_tree.is_some());
+        assert_eq!(b.truncation_order, Some(3));
+    }
+
+    #[test]
+    fn bounds_rejects_mixed_and_dangling_forms() {
+        // fault_tree is mutually exclusive with explicit sets.
+        let err = ModelSpec::from_json_str(
+            r#"{"bounds": {
+                 "fault_tree": {"events": [{"name": "e", "probability": 0.1}],
+                                "top": "e"},
+                 "cut_sets": [["e"]]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        // Cut sets must reference declared events.
+        let err = ModelSpec::from_json_str(
+            r#"{"bounds": {
+                 "events": [{"name": "a", "probability": 0.1}],
+                 "cut_sets": [["a", "ghost"]]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
     }
 }

@@ -36,11 +36,17 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 use reliab_core::{ConfidenceInterval, Error, Result};
 use reliab_dist::{Gamma, Lifetime};
+use reliab_sim::StreamRng;
 use std::sync::Mutex;
+
+/// Stream index for per-sample parameter draws (replication = sample).
+const STREAM_SAMPLE: u64 = 0;
+/// Stream index for Latin-hypercube stratum permutations (replication =
+/// parameter).
+const STREAM_LHS_PERM: u64 = 1;
 
 /// Locks a mutex, recovering the data from a poisoned lock (a worker
 /// that panicked mid-push only leaves a shorter vector behind, which
@@ -174,7 +180,7 @@ where
         SamplingScheme::LatinHypercube => {
             let mut perms = Vec::with_capacity(params.len());
             for j in 0..params.len() {
-                let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xA5A5_5A5A ^ (j as u64) << 32);
+                let mut rng = StreamRng::new(opts.seed, j as u64, STREAM_LHS_PERM);
                 let mut p: Vec<u32> = (0..opts.samples as u32).collect();
                 // Fisher–Yates.
                 for i in (1..p.len()).rev() {
@@ -207,9 +213,10 @@ where
                 };
                 let mut k = worker;
                 while k < opts.samples {
-                    // Per-sample RNG: thread-count independent streams.
-                    let mut rng =
-                        SmallRng::seed_from_u64(opts.seed.wrapping_add(0x9E3779B9 * k as u64 + 1));
+                    // Per-sample RNG: a counter-based stream keyed on
+                    // (seed, sample index), so draws are bitwise
+                    // identical at any worker count.
+                    let mut rng = StreamRng::new(opts.seed, k as u64, STREAM_SAMPLE);
                     match lhs_perms {
                         None => {
                             for (slot, d) in point.iter_mut().zip(params.iter()) {

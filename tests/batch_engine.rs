@@ -3,7 +3,7 @@
 //! sequential solving, and every report must carry sane telemetry.
 
 use reliab::engine::BatchEngine;
-use reliab::spec::{ModelSpec, SolveReport, SolvedMeasures};
+use reliab::spec::{ModelSpec, SolveReport};
 
 const SPEC_FILES: [&str; 4] = [
     "bridge_network.json",
@@ -80,20 +80,24 @@ fn reports_carry_sane_stats() {
     for (name, report) in SPEC_FILES.iter().zip(reports(1)) {
         let stats = &report.stats;
         assert!(stats.iterations > 0, "{name}: no solver work recorded");
-        match &report.measures {
-            SolvedMeasures::Rbd { .. }
-            | SolvedMeasures::FaultTree { .. }
-            | SolvedMeasures::RelGraph { .. } => {
+        // Dispatch on the stable kind discriminant, not the
+        // #[non_exhaustive] enum.
+        match report.measures.kind() {
+            "rbd" | "fault_tree" | "rel_graph" => {
                 assert!(stats.bdd_nodes.unwrap() > 0, "{name}: empty BDD");
                 assert!(stats.bdd_cache_lookups.unwrap() > 0, "{name}");
             }
-            SolvedMeasures::Ctmc { .. } => {
+            "ctmc" => {
                 assert!(stats.method.is_some(), "{name}: no steady method ran");
                 assert!(stats.residual.is_some(), "{name}");
                 assert!(stats.bdd_nodes.is_none(), "{name}: CTMC has no BDD");
             }
             other => panic!("unexpected measures for {name}: {other:?}"),
         }
+        assert!(
+            report.measures.primary_value().is_some(),
+            "{name}: no primary value"
+        );
     }
 }
 

@@ -114,3 +114,98 @@ fn tandem_queue_spec() {
         other => panic!("expected SPN result, got {other:?}"),
     }
 }
+
+#[test]
+fn sip_hierarchy_spec() {
+    match solve_file("sip_hierarchy.json") {
+        SolvedMeasures::Hierarchy {
+            submodels,
+            output,
+            value,
+            iterations,
+            residual,
+        } => {
+            assert_eq!(output, "sip-service");
+            assert_eq!(submodels.len(), 3);
+            // Series rollup of proxy x registrar x dns availabilities.
+            assert!(value > 0.99 && value < 1.0, "value out of range: {value}");
+            // Acyclic import graph: converges in depth + 1 sweeps.
+            assert!(iterations <= 3, "too many sweeps: {iterations}");
+            assert!(residual <= 1e-12);
+        }
+        other => panic!("expected hierarchy result, got {other:?}"),
+    }
+}
+
+#[test]
+fn rejuvenation_smp_spec() {
+    match solve_file("rejuvenation_smp.json") {
+        SolvedMeasures::SemiMarkov {
+            steady_state,
+            availability,
+            mean_first_passage,
+            interval_availability,
+            ..
+        } => {
+            assert_eq!(steady_state.len(), 4);
+            let a = availability.expect("up_states given");
+            assert!(a > 0.999 && a < 1.0, "availability out of range: {a}");
+            assert!(mean_first_passage.expect("targets given") > 1000.0);
+            let ia = interval_availability.expect("interval_times given");
+            assert_eq!(ia.len(), 2);
+            // Starting all-up, interval availability descends toward
+            // the steady value as the window grows.
+            assert!(ia[0].1 > ia[1].1 && ia[1].1 > a);
+        }
+        other => panic!("expected semi-Markov result, got {other:?}"),
+    }
+}
+
+#[test]
+fn two_component_uncert_spec() {
+    match solve_file("two_component_uncert.json") {
+        SolvedMeasures::Uncertainty {
+            measure,
+            mean,
+            std_dev,
+            ci_lower,
+            ci_upper,
+            level,
+            samples,
+        } => {
+            assert_eq!(measure, "availability");
+            assert_eq!(samples, 200);
+            assert!((level - 0.95).abs() < 1e-12);
+            assert!(std_dev > 0.0);
+            assert!(ci_lower <= mean && mean <= ci_upper);
+            assert!(mean > 0.99 && mean < 1.0, "mean out of range: {mean}");
+        }
+        other => panic!("expected uncertainty result, got {other:?}"),
+    }
+}
+
+#[test]
+fn b787_bounds_spec() {
+    match solve_file("b787_bounds.json") {
+        SolvedMeasures::Bounds {
+            exact,
+            ep_lower,
+            ep_upper,
+            truncated_lower,
+            truncated_upper,
+            truncation_order,
+            num_cut_sets,
+            num_path_sets,
+        } => {
+            assert_eq!(truncation_order, 2);
+            assert_eq!(num_cut_sets, 3);
+            assert_eq!(num_path_sets, 5);
+            let q = exact.expect("explicit sets give an exact SDP value");
+            assert!(q > 0.0 && q < 1e-4, "exact out of range: {q}");
+            assert!(ep_lower.expect("path sets given") <= q);
+            assert!(q <= ep_upper.expect("path sets given"));
+            assert!(truncated_lower <= q && q <= truncated_upper);
+        }
+        other => panic!("expected bounds result, got {other:?}"),
+    }
+}
