@@ -849,6 +849,17 @@ impl Bdd {
         self.gc_reclaimed += reclaimed as u64;
         let live = self.live_nodes();
         self.next_gc_at = (live * 2).max(self.gc_threshold);
+        if reliab_obs::trace_enabled() {
+            reliab_obs::event(
+                "bdd.gc",
+                &[
+                    ("run", self.gc_runs.into()),
+                    ("reclaimed", reclaimed.into()),
+                    ("live", live.into()),
+                    ("next_gc_at", self.next_gc_at.into()),
+                ],
+            );
+        }
         GcRun { reclaimed, live }
     }
 

@@ -10,6 +10,10 @@
 //!   row is compared against; it must match the pre-obs numbers.
 //! * `batch/tracing` — the same batch streaming JSONL to `io::sink()`,
 //!   showing what a trace consumer actually costs.
+//! * `batch/profiling` — the same batch aggregated by the phase
+//!   profiler (in-memory span statistics, no serialization).
+//! * `batch/recording` — the same batch captured by the flight
+//!   recorder's bounded per-series rings.
 //! * `batch/metrics` — the same batch with only the metrics registry
 //!   enabled (counters/histograms, no trace dispatch).
 //! * `span/disabled` + `event/disabled` — microbenches of the bare
@@ -76,6 +80,14 @@ fn bench_obs_overhead(c: &mut Criterion) {
 
     obs::install_subscriber(Arc::new(obs::JsonlSubscriber::new(std::io::sink())));
     group.bench_function("batch/tracing", |b| b.iter(|| solve_batch(&docs)));
+    obs::clear_subscribers();
+
+    obs::install_subscriber(Arc::new(obs::ProfileSubscriber::new()));
+    group.bench_function("batch/profiling", |b| b.iter(|| solve_batch(&docs)));
+    obs::clear_subscribers();
+
+    obs::install_subscriber(Arc::new(obs::FlightRecorder::new()));
+    group.bench_function("batch/recording", |b| b.iter(|| solve_batch(&docs)));
     obs::clear_subscribers();
 
     obs::set_metrics_enabled(true);

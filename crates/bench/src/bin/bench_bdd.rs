@@ -31,7 +31,9 @@
 
 use std::time::Instant;
 
-use reliab_bench::{boeing_class_tree, compile_legacy, legacy_bdd};
+use reliab_bench::{
+    boeing_class_tree, compile_legacy, detected_cpu_cores, legacy_bdd, profiled_phases,
+};
 use reliab_ftree::{CompileOptions, VariableOrdering};
 use reliab_spec::json::{self, JsonValue};
 
@@ -135,8 +137,19 @@ fn main() {
         std::process::exit(1);
     }
     let speedup = legacy_ns as f64 / new_ns as f64;
+    let cpu_cores = detected_cpu_cores();
     eprintln!("  probability:   {q_new:.12e} (bitwise equal)");
-    eprintln!("  speedup:       {speedup:.2}x");
+    eprintln!("  speedup:       {speedup:.2}x ({cpu_cores} CPU detected)");
+
+    // Untimed instrumented pass: per-phase wall-time breakdown of one
+    // compile + evaluation, after every timed measurement is in.
+    let phases = profiled_phases(|| {
+        let (builder, top, probs) = boeing_class_tree(units);
+        let ft = builder
+            .build_with_ordering(top, VariableOrdering::Declaration)
+            .expect("tree compiles");
+        let _ = ft.top_event_probability(&probs);
+    });
 
     // GC pass: same tree with collection disabled, to show how far the
     // default kernel's GC bounds the peak live-node count. (The timed
@@ -156,6 +169,7 @@ fn main() {
     let record = json::object(vec![
         ("bench", "bdd_kernel".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
+        ("cpu_cores", JsonValue::Number(cpu_cores as f64)),
         ("units", JsonValue::Number(units as f64)),
         ("events", JsonValue::Number(nvars as f64)),
         ("reps", JsonValue::Number(reps as f64)),
@@ -197,6 +211,7 @@ fn main() {
                 ("gc_reclaimed", JsonValue::Number(stats.gc_reclaimed as f64)),
             ]),
         ),
+        ("phases", phases),
     ]);
 
     if let Some(baseline_path) = &args.check {
@@ -229,7 +244,9 @@ fn main() {
 /// Compares this run against a committed baseline record. Machines
 /// differ, so the comparison is relative: the ratio of new-kernel to
 /// legacy-kernel time on *this* machine must not exceed 2x the same
-/// ratio in the baseline.
+/// ratio in the baseline. Both kernels are single-threaded, so unlike
+/// the par/seq gates in `bench-sim` / `bench-uncert` this one stays
+/// meaningful on a single-CPU machine.
 fn check_regression(path: &str, legacy_ns: f64, new_ns: f64) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let v = json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;

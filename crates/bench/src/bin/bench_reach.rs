@@ -33,7 +33,7 @@
 use std::time::Instant;
 
 use reliab_bench::legacy_reach::LegacyReachOptions;
-use reliab_bench::{tandem_legacy, tandem_spn};
+use reliab_bench::{detected_cpu_cores, profiled_phases, tandem_legacy, tandem_spn};
 use reliab_spec::json::{self, JsonValue};
 use reliab_spn::ReachabilityOptions;
 
@@ -185,13 +185,21 @@ fn main() {
     }
 
     let speedup = legacy_ns as f64 / new_ns as f64;
+    let cpu_cores = detected_cpu_cores();
     eprintln!("  outflow:          {flow_new:.12e} (matches legacy)");
     eprintln!("  parallel:         bitwise identical at 2 and 4 workers");
-    eprintln!("  speedup:          {speedup:.2}x");
+    eprintln!("  speedup:          {speedup:.2}x ({cpu_cores} CPU detected)");
+
+    // Untimed instrumented pass: per-phase wall-time breakdown of one
+    // sequential generation, after every timed measurement is in.
+    let phases = profiled_phases(|| {
+        let _ = new_net.solve();
+    });
 
     let record = json::object(vec![
         ("bench", "reach".into()),
         ("mode", if args.quick { "quick" } else { "full" }.into()),
+        ("cpu_cores", JsonValue::Number(cpu_cores as f64)),
         ("capacity", JsonValue::Number(f64::from(capacity))),
         ("markings", JsonValue::Number(expected_markings as f64)),
         ("reps", JsonValue::Number(reps as f64)),
@@ -215,6 +223,7 @@ fn main() {
                 ),
             ]),
         ),
+        ("phases", phases),
     ]);
 
     if let Some(baseline_path) = &args.check {
@@ -247,7 +256,9 @@ fn main() {
 /// Compares this run against a committed baseline record. Machines
 /// differ, so the comparison is relative: the ratio of new-generator
 /// to legacy-generator time on *this* machine must not exceed 2x the
-/// same ratio in the baseline.
+/// same ratio in the baseline. Both routes are sequential, so unlike
+/// the par/seq gates in `bench-sim` / `bench-uncert` this one stays
+/// meaningful on a single-CPU machine.
 fn check_regression(path: &str, legacy_ns: f64, new_ns: f64) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let v = json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;

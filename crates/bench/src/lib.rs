@@ -318,6 +318,46 @@ pub fn birth_death(n: usize, lambda: f64, mu: f64) -> Result<Ctmc> {
     b.build()
 }
 
+/// Detected logical core count, `1` when detection fails. Recorded in
+/// every `BENCH_*.json` so readers (and `--check` gating) can tell a
+/// real parallel speedup from single-CPU scheduling noise.
+#[must_use]
+pub fn detected_cpu_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` once under a freshly installed
+/// [`reliab_obs::ProfileSubscriber`] and returns the aggregated
+/// per-phase breakdown (name, call count, total/self wall time) as a
+/// JSON array for embedding in a `BENCH_*.json` record.
+///
+/// The pass is untimed: call it after all timed measurements so the
+/// tracing overhead stays off the clock. Clears *all* installed
+/// subscribers afterwards, so only use it from bench binaries that own
+/// the process.
+pub fn profiled_phases(f: impl FnOnce()) -> reliab_spec::json::JsonValue {
+    use reliab_spec::json::{self, JsonValue};
+
+    let profiler = std::sync::Arc::new(reliab_obs::ProfileSubscriber::new());
+    reliab_obs::install_subscriber(profiler.clone());
+    f();
+    reliab_obs::clear_subscribers();
+    let rows = profiler
+        .profile()
+        .rows
+        .into_iter()
+        .map(|row| {
+            json::object(vec![
+                ("phase", row.name.as_str().into()),
+                ("count", JsonValue::Number(row.count as f64)),
+                ("total_us", JsonValue::Number(row.total_us as f64)),
+                ("self_us", JsonValue::Number(row.self_us as f64)),
+            ])
+        })
+        .collect();
+    JsonValue::Array(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

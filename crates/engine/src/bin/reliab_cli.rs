@@ -52,6 +52,11 @@
 //!   models (overrides the spec's `truncation_order`).
 //! * `--trace FILE` — stream the structured trace (spans + events) to
 //!   `FILE` as JSON Lines.
+//! * `--profile FILE` — write an aggregated phase profile of the solve
+//!   as Chrome-trace JSON (loadable in `chrome://tracing` / Perfetto).
+//! * `--record FILE` — write per-iteration convergence telemetry
+//!   (solver residuals, CI trajectories, frontier growth, ...) as JSON
+//!   Lines, bounded per series by the flight recorder's ring capacity.
 //! * `--metrics FILE` — dump the metrics registry to `FILE` on exit
 //!   (`-` = stderr).
 //! * `--metrics-format prometheus|json` — exposition format for
@@ -94,7 +99,8 @@ fn usage(code: i32) -> ! {
          [--var-order O] [--ite-cache N] [--gc-threshold N] [--reach-jobs N] \
          [--sim-reps N] [--sim-precision X] [--sim-seed N] [--sim-jobs N] \
          [--hier-jobs N] [--uncert-samples N] [--fixed-point-tol X] \
-         [--truncation-order N] [--trace FILE] [--metrics FILE] \
+         [--truncation-order N] [--trace FILE] [--profile FILE] \
+         [--record FILE] [--metrics FILE] \
          [--metrics-format F] [--progress] <spec.json|glob|-> ..."
     );
     eprintln!("solves reliab model specifications (rbd / fault_tree / ctmc / rel_graph / spn /");
@@ -117,6 +123,8 @@ fn usage(code: i32) -> ! {
     eprintln!("  --fixed-point-tol X hierarchy fixed-point tolerance (overrides the spec)");
     eprintln!("  --truncation-order N bounds cut-set truncation order (overrides the spec)");
     eprintln!("  --trace FILE        write a JSONL trace of spans/events to FILE");
+    eprintln!("  --profile FILE      write a Chrome-trace phase profile to FILE");
+    eprintln!("  --record FILE       write per-iteration convergence telemetry (JSONL)");
     eprintln!("  --metrics FILE      dump solver metrics to FILE on exit (- = stderr)");
     eprintln!("  --metrics-format F  metrics exposition: prometheus (default) or json");
     eprintln!("  --progress          report per-spec completion on stderr");
@@ -148,6 +156,8 @@ struct Cli {
     fixed_point_tol: Option<f64>,
     truncation_order: Option<usize>,
     trace: Option<String>,
+    profile: Option<String>,
+    record: Option<String>,
     metrics: Option<String>,
     metrics_format: MetricsFormat,
     progress: bool,
@@ -174,6 +184,8 @@ fn parse_args(args: &[String]) -> Cli {
         fixed_point_tol: None,
         truncation_order: None,
         trace: None,
+        profile: None,
+        record: None,
         metrics: None,
         metrics_format: MetricsFormat::Prometheus,
         progress: false,
@@ -302,6 +314,20 @@ fn parse_args(args: &[String]) -> Cli {
                 Some(path) => cli.trace = Some(path.clone()),
                 None => {
                     eprintln!("--trace requires a file path");
+                    usage(2);
+                }
+            },
+            "--profile" => match it.next() {
+                Some(path) => cli.profile = Some(path.clone()),
+                None => {
+                    eprintln!("--profile requires a file path");
+                    usage(2);
+                }
+            },
+            "--record" => match it.next() {
+                Some(path) => cli.record = Some(path.clone()),
+                None => {
+                    eprintln!("--record requires a file path");
                     usage(2);
                 }
             },
@@ -464,6 +490,16 @@ fn main() {
             }
         }
     }
+    let profiler = cli.profile.as_ref().map(|_| {
+        let p = Arc::new(obs::ProfileSubscriber::new());
+        obs::install_subscriber(p.clone());
+        p
+    });
+    let recorder = cli.record.as_ref().map(|_| {
+        let r = Arc::new(obs::FlightRecorder::new());
+        obs::install_subscriber(r.clone());
+        r
+    });
     if cli.progress {
         // Lifecycle indices refer to the readable-input batch.
         let readable_labels: Vec<String> = labels
@@ -582,6 +618,16 @@ fn main() {
         }
     }
 
+    if let (Some(path), Some(profiler)) = (&cli.profile, &profiler) {
+        if let Err(e) = std::fs::write(path, profiler.to_chrome_trace()) {
+            eprintln!("cannot write profile file {path}: {e}");
+        }
+    }
+    if let (Some(path), Some(recorder)) = (&cli.record, &recorder) {
+        if let Err(e) = std::fs::write(path, recorder.to_jsonl()) {
+            eprintln!("cannot write record file {path}: {e}");
+        }
+    }
     if let Some(target) = &cli.metrics {
         let dump = match cli.metrics_format {
             MetricsFormat::Prometheus => obs::registry().to_prometheus(),

@@ -228,6 +228,9 @@ impl BatchEngine {
         *lock(&self.last_stats) = BatchStats::default();
         lock(&self.kind_counts).clear();
         let workers = self.worker_count(inputs.len());
+        // One batch = one request: every span and event below shares
+        // the trace id minted here (unless the caller set one already).
+        let _trace = obs::ensure_trace_id();
         let batch_span = obs::span("engine.batch");
         let batch_id = batch_span.id();
         obs::event(
@@ -252,6 +255,7 @@ impl BatchEngine {
         } else {
             let inputs = &inputs;
             let next = AtomicUsize::new(0);
+            let trace = obs::current_trace_id();
             let mut collected = Vec::with_capacity(inputs.len());
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
@@ -259,7 +263,9 @@ impl BatchEngine {
                         let next = &next;
                         scope.spawn(move || {
                             // Workers are fresh threads: re-parent their
-                            // spans under the batch span explicitly.
+                            // spans under the batch span explicitly and
+                            // re-apply the dispatching trace id.
+                            let _trace = obs::set_trace_id(trace);
                             let _worker = obs::span_with_parent("engine.worker", batch_id);
                             let busy_start = obs::metrics_enabled().then(Instant::now);
                             let mut local = Vec::new();

@@ -1,6 +1,6 @@
 //! End-to-end tests of the `reliab-cli` binary: exit codes under
 //! per-file error isolation, and the observability flags (`--trace`,
-//! `--metrics`).
+//! `--profile`, `--record`, `--metrics`).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -112,6 +112,143 @@ fn trace_flag_writes_parseable_jsonl_with_nested_spans() {
     assert!(saw_lifecycle, "no engine.lifecycle events in trace");
     assert!(saw_nested_span, "no nested spans in trace");
     assert!(saw_duration, "no span durations in trace");
+}
+
+/// Pulls every `"ph":"B"` / `"ph":"E"` event from a Chrome-trace
+/// export in document order, returning `(ph, span_id)` pairs.
+fn chrome_events(text: &str) -> Vec<(char, u64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("\"ph\":\"").skip(1) {
+        let ph = chunk.chars().next().unwrap();
+        let span = chunk
+            .split("\"span\":")
+            .nth(1)
+            .and_then(|rest| {
+                rest.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .expect("every trace event carries args.span");
+        out.push((ph, span));
+    }
+    out
+}
+
+#[test]
+fn profile_flag_writes_balanced_chrome_trace() {
+    let dir = std::env::temp_dir().join("reliab-cli-test-profile");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prof = dir.join("profile.json");
+
+    let out = run(cli()
+        .arg("--profile")
+        .arg(prof.to_string_lossy().as_ref())
+        .arg(spec("tandem_queue.json")));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+
+    let text = std::fs::read_to_string(&prof).unwrap();
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'));
+    assert_eq!(trimmed.matches('{').count(), trimmed.matches('}').count());
+    assert_eq!(trimmed.matches('[').count(), trimmed.matches(']').count());
+    assert!(trimmed.contains("\"traceEvents\":["));
+
+    // Every B has a matching E for the same span, stack-nested: walk
+    // the events as a stack per (implicit single) pid and require each
+    // E to close the most recent open B on its thread lane.
+    let events = chrome_events(trimmed);
+    assert!(!events.is_empty(), "no trace events emitted");
+    let mut open: Vec<u64> = Vec::new();
+    for (ph, span) in &events {
+        match ph {
+            'B' => open.push(*span),
+            'E' => {
+                let top = open.pop().expect("E without a matching open B");
+                assert_eq!(top, *span, "E closes a span that is not on top");
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert!(open.is_empty(), "unclosed B events: {open:?}");
+
+    // Timestamps are monotone in document order (ties allowed).
+    let ts: Vec<u64> = trimmed
+        .split("\"ts\":")
+        .skip(1)
+        .map(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps not sorted");
+
+    // The solve's phases show up by name, stamped with a trace id.
+    for needle in ["engine.solve", "spec.solve", "spn.reach", "\"trace\":"] {
+        assert!(trimmed.contains(needle), "profile missing {needle}");
+    }
+}
+
+#[test]
+fn record_flag_emits_per_iteration_residuals() {
+    let dir = std::env::temp_dir().join("reliab-cli-test-record");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // markov + spn levels from the tandem queue; hier from the SIP
+    // model; sim from the lognormal spec forced through --method sim.
+    let rec = dir.join("record.jsonl");
+    let out = run(cli()
+        .arg("--record")
+        .arg(rec.to_string_lossy().as_ref())
+        .args(["tandem_queue.json", "sip_hierarchy.json"].map(spec)));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = std::fs::read_to_string(&rec).unwrap();
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line: {line}"
+        );
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+    for series in ["markov.iteration", "hier.iteration", "spn.reach.level"] {
+        assert!(
+            text.contains(&format!("\"series\":\"{series}\"")),
+            "record missing series {series}"
+        );
+    }
+    // Residual series really are per-iteration: the hier solve takes
+    // several sweeps, each with its own residual field.
+    let hier_records = text
+        .lines()
+        .filter(|l| l.contains("\"series\":\"hier.iteration\"") && l.contains("\"residual\":"))
+        .count();
+    assert!(
+        hier_records >= 2,
+        "expected >= 2 hier iterations, got {hier_records}"
+    );
+    assert!(text.contains("\"series_meta\""));
+
+    let rec_sim = dir.join("record_sim.jsonl");
+    let out = run(cli()
+        .arg("--method")
+        .arg("sim")
+        .arg("--record")
+        .arg(rec_sim.to_string_lossy().as_ref())
+        .arg(spec("wfs_lognormal.json")));
+    assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    let text = std::fs::read_to_string(&rec_sim).unwrap();
+    assert!(
+        text.contains("\"series\":\"sim.round\""),
+        "no sim.round series"
+    );
+    assert!(
+        text.contains("\"half_width\":"),
+        "sim rounds missing CI trajectory"
+    );
 }
 
 #[test]

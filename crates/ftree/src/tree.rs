@@ -228,6 +228,20 @@ impl FaultTreeBuilder {
         let fails_guard = bdd.protect(fails);
         bdd.record_observability();
         obs::counter_add("ftree.compiles", 1);
+        if obs::trace_enabled() {
+            let stats = bdd.stats();
+            obs::event(
+                "ftree.compiled",
+                &[
+                    ("live_nodes", (stats.live_nodes as u64).into()),
+                    ("peak_live_nodes", (stats.peak_live_nodes as u64).into()),
+                    ("gc_runs", stats.gc_runs.into()),
+                    ("gc_reclaimed", stats.gc_reclaimed.into()),
+                    ("ite_lookups", stats.ite_cache_lookups.into()),
+                    ("ite_hits", stats.ite_cache_hits.into()),
+                ],
+            );
+        }
         Ok(FaultTree {
             names: self.names,
             bdd,

@@ -77,6 +77,27 @@ pub fn fixed_point<F>(f: F, x0: Vec<f64>, opts: &FixedPointOptions) -> Result<Fi
 where
     F: Fn(&[f64]) -> Result<Vec<f64>>,
 {
+    fixed_point_observed(f, x0, opts, &mut |_, _| {})
+}
+
+/// [`fixed_point`] with a per-iteration observer: `observe(iter,
+/// residual)` fires after every sweep (1-based iteration, `∞`-norm
+/// relative change). This is the telemetry hook used by front-ends to
+/// stream fixed-point deltas into the obs flight recorder without
+/// coupling this crate to the obs layer.
+///
+/// # Errors
+///
+/// Same contract as [`fixed_point`].
+pub fn fixed_point_observed<F>(
+    f: F,
+    x0: Vec<f64>,
+    opts: &FixedPointOptions,
+    observe: &mut dyn FnMut(usize, f64),
+) -> Result<FixedPointResult>
+where
+    F: Fn(&[f64]) -> Result<Vec<f64>>,
+{
     if x0.is_empty() {
         return Err(Error::invalid("fixed-point start vector is empty"));
     }
@@ -120,6 +141,7 @@ where
             x[i] = new;
         }
         residuals.push(worst);
+        observe(iter, worst);
         if worst < opts.tolerance {
             return Ok(FixedPointResult {
                 values: x,
@@ -223,6 +245,23 @@ mod tests {
             ..Default::default()
         };
         assert!(fixed_point(|x| Ok(x.to_vec()), vec![1.0], &bad).is_err());
+    }
+
+    #[test]
+    fn observer_sees_every_residual() {
+        let mut seen: Vec<(usize, f64)> = Vec::new();
+        let r = fixed_point_observed(
+            |x| Ok(vec![0.5 * x[0] + 1.0]),
+            vec![0.0],
+            &FixedPointOptions::default(),
+            &mut |iter, res| seen.push((iter, res)),
+        )
+        .unwrap();
+        assert_eq!(seen.len(), r.iterations);
+        for (k, &(iter, res)) in seen.iter().enumerate() {
+            assert_eq!(iter, k + 1, "observer iterations are 1-based");
+            assert_eq!(res, r.residuals[k]);
+        }
     }
 
     #[test]

@@ -32,4 +32,4 @@ mod graph;
 mod iterate;
 
 pub use graph::{MeasureId, ModelGraph};
-pub use iterate::{fixed_point, FixedPointOptions, FixedPointResult};
+pub use iterate::{fixed_point, fixed_point_observed, FixedPointOptions, FixedPointResult};

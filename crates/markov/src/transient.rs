@@ -263,12 +263,14 @@ impl Ctmc {
 
         use std::sync::atomic::{AtomicUsize, Ordering};
         let next = AtomicUsize::new(0);
+        let trace = obs::current_trace_id();
         let mut collected: Vec<(usize, Result<TransientReport>)> = Vec::with_capacity(times.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
                     scope.spawn(move || {
+                        let _trace = obs::set_trace_id(trace);
                         let mut local = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);

@@ -43,12 +43,16 @@
 #![deny(unsafe_code)]
 
 mod metrics;
+mod profile;
+mod recorder;
 mod subscriber;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    log_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
     DEFAULT_LATENCY_BUCKETS_MS,
 };
+pub use profile::{PhaseProfile, PhaseRow, ProfileSubscriber};
+pub use recorder::{FlightRecorder, DEFAULT_RECORDER_CAPACITY};
 pub use subscriber::{
     EventInfo, JsonlSubscriber, MemorySubscriber, OwnedValue, SpanInfo, Subscriber, TraceRecord,
     Value,
@@ -62,10 +66,12 @@ use std::time::Instant;
 static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 static SUBSCRIBERS: RwLock<Vec<Arc<dyn Subscriber>>> = RwLock::new(Vec::new());
 
 thread_local! {
     static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
 }
 
 fn read_subs() -> std::sync::RwLockReadGuard<'static, Vec<Arc<dyn Subscriber>>> {
@@ -130,6 +136,59 @@ pub fn registry() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
+/// Mints a fresh process-unique trace/request id (never 0). Every
+/// span and event carries the calling thread's current trace id, so a
+/// request-scoped guard ([`set_trace_id`]) stamps the whole solve —
+/// including spans on fan-out worker threads once they re-apply the id.
+#[must_use]
+pub fn mint_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling thread's current trace id (0 = none). Dispatching code
+/// reads this before spawning workers and re-applies it inside them via
+/// [`set_trace_id`], keeping one request's spans correlated across
+/// threads.
+#[inline]
+#[must_use]
+pub fn current_trace_id() -> u64 {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// RAII guard restoring the previous thread-local trace id on drop.
+#[derive(Debug)]
+#[must_use = "the trace id is reset when the guard drops; bind it to a `_guard` variable"]
+pub struct TraceIdGuard {
+    prev: u64,
+}
+
+impl Drop for TraceIdGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Sets the calling thread's trace id for the lifetime of the guard.
+#[inline]
+pub fn set_trace_id(id: u64) -> TraceIdGuard {
+    let prev = CURRENT_TRACE.with(|c| c.replace(id));
+    TraceIdGuard { prev }
+}
+
+/// Ensures the calling thread has a trace id: mints and installs a
+/// fresh one if none is set, no-ops (keeping the ambient id) otherwise.
+/// Solve entry points call this so nested sub-solves — hierarchy
+/// submodels, uncertainty inner models — stay stamped with the id of
+/// the request that triggered them. Near-free when tracing is disabled:
+/// one relaxed load, no mint.
+#[inline]
+pub fn ensure_trace_id() -> Option<TraceIdGuard> {
+    if !trace_enabled() || current_trace_id() != 0 {
+        return None;
+    }
+    Some(set_trace_id(mint_trace_id()))
+}
+
 /// Increments the named global counter by `delta` when metrics are
 /// enabled; no-op (one relaxed load) otherwise.
 #[inline]
@@ -171,6 +230,8 @@ struct ActiveSpan {
     /// Thread-local current-span value to restore on drop (equals
     /// `parent` unless the span was re-parented across threads).
     prev: u64,
+    /// Trace/request id the span was opened under (0 = none).
+    trace: u64,
     name: &'static str,
     start: Instant,
 }
@@ -192,6 +253,7 @@ impl Drop for Span {
             let info = SpanInfo {
                 id: a.id,
                 parent: a.parent,
+                trace: a.trace,
                 name: a.name,
             };
             for sub in read_subs().iter() {
@@ -226,7 +288,13 @@ pub fn span_with_parent(name: &'static str, parent: u64) -> Span {
 fn enter(name: &'static str, parent: u64, prev: u64) -> Span {
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     CURRENT_SPAN.with(|c| c.set(id));
-    let info = SpanInfo { id, parent, name };
+    let trace = current_trace_id();
+    let info = SpanInfo {
+        id,
+        parent,
+        trace,
+        name,
+    };
     for sub in read_subs().iter() {
         sub.on_span_start(&info);
     }
@@ -234,6 +302,7 @@ fn enter(name: &'static str, parent: u64, prev: u64) -> Span {
         id,
         parent,
         prev,
+        trace,
         name,
         start: Instant::now(),
     }))
@@ -248,6 +317,7 @@ pub fn event(name: &str, fields: &[(&str, Value<'_>)]) {
     }
     let info = EventInfo {
         span: CURRENT_SPAN.with(Cell::get),
+        trace: current_trace_id(),
         name,
         fields,
     };

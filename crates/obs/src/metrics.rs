@@ -1,5 +1,6 @@
 //! Lock-striped metrics registry: monotonic counters, gauges, and
-//! fixed-bucket histograms, with JSON and Prometheus-text exposition.
+//! log-bucketed histograms with quantile estimation, with JSON and
+//! Prometheus-text exposition.
 //!
 //! Series are registered lazily by name. Lookup takes a read lock on
 //! one of [`STRIPES`] shards (chosen by name hash) so concurrent
@@ -18,12 +19,54 @@ use std::sync::{Arc, RwLock};
 /// Number of independent shards in a [`Registry`].
 const STRIPES: usize = 8;
 
-/// Default histogram bucket upper bounds, in milliseconds — sized for
-/// solver latencies from sub-millisecond RBD solves to multi-second
-/// batch runs.
+/// Default histogram bucket upper bounds, in milliseconds:
+/// log-spaced at four buckets per decade (ratio ≈ 1.78, bounds rounded
+/// to three significant figures) from 1 µs to 10 s, covering solver
+/// latencies from microsecond RBD solves to multi-second batch runs
+/// with a bounded ~30% relative quantile error per bucket.
 pub const DEFAULT_LATENCY_BUCKETS_MS: &[f64] = &[
-    0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0,
+    0.001, 0.00178, 0.00316, 0.00562, 0.01, 0.0178, 0.0316, 0.0562, 0.1, 0.178, 0.316, 0.562, 1.0,
+    1.78, 3.16, 5.62, 10.0, 17.8, 31.6, 56.2, 100.0, 178.0, 316.0, 562.0, 1000.0, 1780.0, 3160.0,
+    5620.0, 10000.0,
 ];
+
+/// Quantiles reported by the JSON and Prometheus expositions.
+const EXPOSED_QUANTILES: &[(&str, f64)] = &[("p50", 0.5), ("p90", 0.9), ("p99", 0.99)];
+
+/// Builds log-spaced (geometric) histogram bucket bounds from `min` to
+/// `max` inclusive with `per_decade` buckets per factor of ten — the
+/// HDR-histogram-style layout whose relative quantile error is bounded
+/// by the per-bucket ratio `10^(1/per_decade)` regardless of scale.
+///
+/// # Panics
+///
+/// Panics when `min` is not positive and finite, `max <= min`, or
+/// `per_decade == 0`.
+#[must_use]
+pub fn log_buckets(min: f64, max: f64, per_decade: u32) -> Vec<f64> {
+    assert!(
+        min > 0.0 && min.is_finite(),
+        "log_buckets: min must be positive and finite, got {min}"
+    );
+    assert!(
+        max > min && max.is_finite(),
+        "log_buckets: max must exceed min, got {max}"
+    );
+    assert!(per_decade > 0, "log_buckets: per_decade must be positive");
+    let ratio = 10f64.powf(1.0 / f64::from(per_decade));
+    let mut out = Vec::new();
+    let mut k = 0i32;
+    loop {
+        // Recompute from min each step: no multiplicative drift.
+        let bound = min * ratio.powi(k);
+        if bound >= max * (1.0 - 1e-9) {
+            out.push(max);
+            return out;
+        }
+        out.push(bound);
+        k += 1;
+    }
+}
 
 /// A monotonic counter handle.
 #[derive(Debug, Clone)]
@@ -115,6 +158,13 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
+    /// Estimated `q`-quantile of the recorded distribution (see
+    /// [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.0.bounds.clone(),
@@ -141,6 +191,45 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     /// Total observation count.
     pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile by linear interpolation within the
+    /// bucket containing the target rank (the same estimator as
+    /// Prometheus' `histogram_quantile`): the bucket's lower bound is
+    /// the previous bound (0 for the first bucket), and ranks landing
+    /// in the `+Inf` overflow bucket clamp to the largest finite
+    /// bound. Returns `None` when the histogram is empty or `q` lies
+    /// outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            if (cum + c) as f64 >= target {
+                if i >= self.bounds.len() {
+                    // Overflow bucket has no upper bound to
+                    // interpolate against; clamp like Prometheus does.
+                    return self.bounds.last().copied();
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                #[allow(clippy::cast_precision_loss)]
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+            cum += c;
+        }
+        self.bounds.last().copied()
+    }
 }
 
 /// Point-in-time copy of a whole [`Registry`], with names sorted.
@@ -173,6 +262,10 @@ struct Stripe {
 #[derive(Debug)]
 pub struct Registry {
     stripes: Vec<Stripe>,
+    /// Optional `# HELP` text by series name — exposition-only, so one
+    /// un-striped lock is fine (set once at registration, read at
+    /// scrape time).
+    help: RwLock<HashMap<String, String>>,
 }
 
 impl Default for Registry {
@@ -195,7 +288,14 @@ impl Registry {
     pub fn new() -> Self {
         Registry {
             stripes: (0..STRIPES).map(|_| Stripe::default()).collect(),
+            help: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Attaches help text to a series name, emitted as a `# HELP` line
+    /// in the Prometheus exposition (escaped per the text format).
+    pub fn set_help(&self, name: &str, help: &str) {
+        write(&self.help).insert(name.to_owned(), help.to_owned());
     }
 
     fn stripe(&self, name: &str) -> &Stripe {
@@ -324,7 +424,22 @@ impl Registry {
             } else {
                 "null".to_owned()
             };
-            let _ = write!(out, "],\"sum\":{},\"count\":{}}}", finite_sum, h.count);
+            let _ = write!(out, "],\"sum\":{},\"count\":{}", finite_sum, h.count);
+            out.push_str(",\"quantiles\":{");
+            for (j, &(label, q)) in EXPOSED_QUANTILES.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match h.quantile(q) {
+                    Some(v) if v.is_finite() => {
+                        let _ = write!(out, "\"{label}\":{v}");
+                    }
+                    _ => {
+                        let _ = write!(out, "\"{label}\":null");
+                    }
+                }
+            }
+            out.push_str("}}");
         }
         out.push_str("}}");
         out
@@ -332,32 +447,59 @@ impl Registry {
 
     /// Serializes every series in the Prometheus text exposition
     /// format (names sanitized to `[a-zA-Z0-9_]`, histograms as
-    /// cumulative `_bucket`/`_sum`/`_count` families).
+    /// cumulative `_bucket`/`_sum`/`_count` families plus a parallel
+    /// `{name}_quantiles` summary family carrying p50/p90/p99, help
+    /// text and label values escaped per the spec).
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let snap = self.snapshot();
+        let help = read(&self.help);
+        let help_line = |out: &mut String, name: &str, n: &str| {
+            if let Some(h) = help.get(name) {
+                let _ = writeln!(out, "# HELP {n} {}", prom_escape_help(h));
+            }
+        };
         let mut out = String::with_capacity(512);
         for (name, value) in &snap.counters {
             let n = prom_name(name);
+            help_line(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} counter");
             let _ = writeln!(out, "{n} {value}");
         }
         for (name, value) in &snap.gauges {
             let n = prom_name(name);
+            help_line(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} gauge");
             let _ = writeln!(out, "{n} {value}");
         }
         for (name, h) in &snap.histograms {
             let n = prom_name(name);
+            help_line(&mut out, name, &n);
             let _ = writeln!(out, "# TYPE {n} histogram");
             let mut cumulative = 0u64;
             for (&bound, &count) in h.bounds.iter().zip(&h.counts) {
                 cumulative += count;
-                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+                let _ = writeln!(
+                    out,
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}",
+                    prom_escape_label(&bound.to_string())
+                );
             }
             let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
             let _ = writeln!(out, "{n}_sum {}", h.sum);
             let _ = writeln!(out, "{n}_count {}", h.count);
+            if h.count > 0 {
+                let _ = writeln!(out, "# TYPE {n}_quantiles summary");
+                for &(_, q) in EXPOSED_QUANTILES {
+                    if let Some(v) = h.quantile(q) {
+                        let _ = writeln!(
+                            out,
+                            "{n}_quantiles{{quantile=\"{}\"}} {v}",
+                            prom_escape_label(&q.to_string())
+                        );
+                    }
+                }
+            }
         }
         out
     }
@@ -366,6 +508,35 @@ impl Registry {
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     super::subscriber::escape_into_for_metrics(&mut out, s);
+    out
+}
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double-quote, and line feed become `\\`, `\"`, `\n`.
+fn prom_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the text exposition format: backslash and
+/// line feed become `\\` and `\n` (quotes stay literal outside labels).
+fn prom_escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
     out
 }
 
@@ -467,5 +638,126 @@ mod tests {
     #[test]
     fn default_buckets_are_ascending() {
         assert!(DEFAULT_LATENCY_BUCKETS_MS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn default_buckets_are_log_spaced() {
+        // Four buckets per decade: each bound is ~1.78x the previous
+        // (rounded to three significant figures in the const).
+        for w in DEFAULT_LATENCY_BUCKETS_MS.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!(
+                (ratio - 10f64.powf(0.25)).abs() < 0.01,
+                "ratio {ratio} off log spacing at bound {}",
+                w[1]
+            );
+        }
+        assert_eq!(DEFAULT_LATENCY_BUCKETS_MS[0], 0.001);
+        assert_eq!(*DEFAULT_LATENCY_BUCKETS_MS.last().unwrap(), 10000.0);
+    }
+
+    #[test]
+    fn log_buckets_span_min_to_max_geometrically() {
+        let b = log_buckets(1.0, 1000.0, 1);
+        assert_eq!(b, vec![1.0, 10.0, 100.0, 1000.0]);
+        let b = log_buckets(0.5, 50.0, 2);
+        assert_eq!(b.first(), Some(&0.5));
+        assert_eq!(b.last(), Some(&50.0));
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        // Two per decade over two decades: 4 steps + both endpoints.
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must be positive")]
+    fn log_buckets_reject_nonpositive_min() {
+        let _ = log_buckets(0.0, 10.0, 4);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_uniform_bucket_fill() {
+        // 10 observations per bucket over [0,10], (10,20], (20,30],
+        // (30,40] — the interpolated quantiles are exact.
+        let r = Registry::new();
+        let h = r.histogram_with_buckets("q.uniform", &[10.0, 20.0, 30.0, 40.0]);
+        for i in 0..40 {
+            h.observe(f64::from(i) + 0.5);
+        }
+        assert_eq!(h.quantile(0.5), Some(20.0));
+        assert_eq!(h.quantile(0.25), Some(10.0));
+        assert_eq!(h.quantile(0.9), Some(36.0));
+        assert_eq!(h.quantile(1.0), Some(40.0));
+        assert_eq!(h.quantile(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let r = Registry::new();
+        // Empty histogram: no quantile.
+        let empty = r.histogram_with_buckets("q.empty", &[1.0]);
+        assert_eq!(empty.quantile(0.5), None);
+        // Out-of-range q: no quantile.
+        let h = r.histogram_with_buckets("q.edge", &[1.0, 2.0]);
+        h.observe(0.5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        // Single bucket holds everything: interpolation stays inside it.
+        let q = h.quantile(0.5).unwrap();
+        assert!(q > 0.0 && q <= 1.0, "q={q}");
+        // Observation exactly on a bucket boundary counts in that
+        // bucket (le semantics): p100 of {2.0} is the 2.0 bound.
+        let hb = r.histogram_with_buckets("q.bound", &[1.0, 2.0]);
+        hb.observe(2.0);
+        assert_eq!(hb.quantile(1.0), Some(2.0));
+        // Everything in the +Inf overflow clamps to the last finite bound.
+        let ho = r.histogram_with_buckets("q.over", &[1.0, 2.0]);
+        ho.observe(100.0);
+        assert_eq!(ho.quantile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn json_exposition_carries_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram_with_buckets("lat.q", &[10.0, 20.0]);
+        for i in 0..20 {
+            h.observe(f64::from(i) + 0.5);
+        }
+        let text = r.to_json();
+        assert!(text.contains("\"quantiles\":{\"p50\":10,\"p90\":18,\"p99\":19.8}"));
+        // Empty histograms expose null quantiles, not garbage.
+        let r2 = Registry::new();
+        r2.histogram_with_buckets("lat.empty", &[1.0]);
+        assert!(r2
+            .to_json()
+            .contains("\"quantiles\":{\"p50\":null,\"p90\":null,\"p99\":null}"));
+    }
+
+    #[test]
+    fn prometheus_exposes_quantile_summary_family() {
+        let r = Registry::new();
+        let h = r.histogram_with_buckets("lat", &[10.0, 20.0]);
+        for i in 0..20 {
+            h.observe(f64::from(i) + 0.5);
+        }
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE lat_quantiles summary"));
+        assert!(text.contains("lat_quantiles{quantile=\"0.5\"} 10"));
+        assert!(text.contains("lat_quantiles{quantile=\"0.9\"} 18"));
+        assert!(text.contains("lat_quantiles{quantile=\"0.99\"} 19.8"));
+    }
+
+    #[test]
+    fn prometheus_escapes_help_and_labels() {
+        assert_eq!(prom_escape_label("a\\b\n\"c\""), "a\\\\b\\n\\\"c\\\"");
+        assert_eq!(
+            prom_escape_help("back\\slash\nnewline \"q\""),
+            "back\\\\slash\\nnewline \"q\""
+        );
+        let r = Registry::new();
+        r.counter("esc").inc();
+        r.set_help("esc", "line1\nline2 \\ \"quoted\"");
+        let text = r.to_prometheus();
+        assert!(text.contains("# HELP esc line1\\nline2 \\\\ \"quoted\""));
+        assert!(text.contains("# TYPE esc counter"));
     }
 }

@@ -1,0 +1,381 @@
+//! Phase profiler: a [`Subscriber`] that aggregates the span tree
+//! into a per-phase wall-time profile and exports the raw spans in
+//! the Chrome trace event format (`chrome://tracing`, Perfetto).
+//!
+//! The profiler keeps one completed-span record per span (bounded by
+//! the solve's span count, not its event volume) and derives:
+//!
+//! * **total time** — wall time between span open and close;
+//! * **self time** — total minus the summed totals of direct
+//!   children, i.e. time actually spent in that phase's own code;
+//! * **call count** — completed spans per phase name.
+//!
+//! Chrome-trace export emits a balanced `B`/`E` pair per completed
+//! span — both sides are emitted together at span end, so the output
+//! can never contain an unmatched begin.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::subscriber::{escape_into_for_metrics as escape_json_into, EventInfo, SpanInfo};
+use crate::Subscriber;
+
+/// Stable small integer identifying the calling thread in trace
+/// exports (`std::thread::ThreadId` has no stable numeric accessor).
+fn thread_lane() -> u64 {
+    static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+    }
+    LANE.with(|l| *l)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    start_us: u64,
+    start_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SpanRecord {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    trace: u64,
+    tid: u64,
+    start_us: u64,
+    /// Epoch-clock time at span end. Deliberately *not*
+    /// `start_us + dur_us`: the duration comes from the span's own
+    /// `Instant`, started slightly after `start_us` was sampled, and
+    /// that per-span skew can make a parent's reconstructed end sort
+    /// before its child's. Sampling both endpoints from the same
+    /// epoch clock keeps per-thread begin/end events stack-ordered.
+    end_us: u64,
+    dur_us: u64,
+    self_us: u64,
+    start_seq: u64,
+    end_seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct ProfileState {
+    /// Spans opened but not yet closed, by span id.
+    open: HashMap<u64, OpenSpan>,
+    /// Summed child wall time per *open* parent span id, consumed
+    /// when the parent closes to compute its self time.
+    child_us: HashMap<u64, u64>,
+    /// Completed spans in end order.
+    records: Vec<SpanRecord>,
+    /// Monotone tie-breaker so equal-microsecond timestamps still
+    /// sort in dispatch order (keeps `B`/`E` nesting valid).
+    seq: u64,
+}
+
+/// One aggregated profile row (a span name = a solver phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Span name, e.g. `"markov.steady"`.
+    pub name: String,
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Summed wall time, including child spans (µs).
+    pub total_us: u64,
+    /// Summed wall time excluding direct children (µs).
+    pub self_us: u64,
+}
+
+/// A per-solve profile: one row per phase, hottest self-time first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Aggregated rows, sorted by descending self time.
+    pub rows: Vec<PhaseRow>,
+}
+
+impl PhaseProfile {
+    /// Serializes the profile as a JSON array of row objects, e.g.
+    /// `[{"name":"engine.solve","count":1,"total_us":42,"self_us":7}]`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 64 * self.rows.len());
+        out.push('[');
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json_into(&mut out, &row.name);
+            let _ = write!(
+                out,
+                "\",\"count\":{},\"total_us\":{},\"self_us\":{}}}",
+                row.count, row.total_us, row.self_us
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// A [`Subscriber`] that records completed spans for phase
+/// aggregation ([`ProfileSubscriber::profile`]) and Chrome-trace
+/// export ([`ProfileSubscriber::to_chrome_trace`]). Events are
+/// ignored — the flight recorder handles those.
+#[derive(Debug)]
+pub struct ProfileSubscriber {
+    epoch: Instant,
+    state: Mutex<ProfileState>,
+}
+
+impl Default for ProfileSubscriber {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProfileSubscriber {
+    /// An empty profiler; timestamps are relative to this call.
+    #[must_use]
+    pub fn new() -> Self {
+        ProfileSubscriber {
+            epoch: Instant::now(),
+            state: Mutex::new(ProfileState::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProfileState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn t_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Number of completed spans recorded so far.
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.lock().records.len()
+    }
+
+    /// Aggregates the completed spans into a per-phase profile,
+    /// sorted by descending self time (count as tie-breaker).
+    #[must_use]
+    pub fn profile(&self) -> PhaseProfile {
+        let state = self.lock();
+        let mut by_name: HashMap<&'static str, PhaseRow> = HashMap::new();
+        for r in &state.records {
+            let row = by_name.entry(r.name).or_insert_with(|| PhaseRow {
+                name: r.name.to_owned(),
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+            });
+            row.count += 1;
+            row.total_us += r.dur_us;
+            row.self_us += r.self_us;
+        }
+        let mut rows: Vec<PhaseRow> = by_name.into_values().collect();
+        rows.sort_by(|a, b| {
+            b.self_us
+                .cmp(&a.self_us)
+                .then(b.count.cmp(&a.count))
+                .then(a.name.cmp(&b.name))
+        });
+        PhaseProfile { rows }
+    }
+
+    /// Exports every completed span as Chrome trace events (JSON
+    /// object format, `traceEvents` array of `B`/`E` pairs with
+    /// microsecond timestamps) — loadable in `chrome://tracing` and
+    /// Perfetto. Pairs are balanced by construction; still-open spans
+    /// are omitted. Span id and trace id ride along in `args`.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        struct Ev<'a> {
+            ts: u64,
+            seq: u64,
+            ph: char,
+            r: &'a SpanRecord,
+        }
+        let state = self.lock();
+        let mut events: Vec<Ev<'_>> = Vec::with_capacity(2 * state.records.len());
+        for r in &state.records {
+            events.push(Ev {
+                ts: r.start_us,
+                seq: r.start_seq,
+                ph: 'B',
+                r,
+            });
+            events.push(Ev {
+                ts: r.end_us,
+                seq: r.end_seq,
+                ph: 'E',
+                r,
+            });
+        }
+        events.sort_by_key(|e| (e.ts, e.seq));
+        let mut out = String::with_capacity(64 + 128 * events.len());
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json_into(&mut out, e.r.name);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"span\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{\"span\":{},\"parent\":{},\"trace\":{}}}}}",
+                e.ph, e.ts, e.r.tid, e.r.id, e.r.parent, e.r.trace
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Subscriber for ProfileSubscriber {
+    fn on_span_start(&self, span: &SpanInfo) {
+        let t = self.t_us();
+        let mut state = self.lock();
+        state.seq += 1;
+        let seq = state.seq;
+        state.open.insert(
+            span.id,
+            OpenSpan {
+                start_us: t,
+                start_seq: seq,
+            },
+        );
+    }
+
+    fn on_span_end(&self, span: &SpanInfo, duration: Duration) {
+        let t = self.t_us();
+        #[allow(clippy::cast_possible_truncation)]
+        let dur_us = duration.as_micros() as u64;
+        let tid = thread_lane();
+        let mut state = self.lock();
+        let Some(open) = state.open.remove(&span.id) else {
+            return; // started before this subscriber was installed
+        };
+        state.seq += 1;
+        let end_seq = state.seq;
+        let child_us = state.child_us.remove(&span.id).unwrap_or(0);
+        if span.parent != 0 {
+            *state.child_us.entry(span.parent).or_insert(0) += dur_us;
+        }
+        state.records.push(SpanRecord {
+            name: span.name,
+            id: span.id,
+            parent: span.parent,
+            trace: span.trace,
+            tid,
+            start_us: open.start_us,
+            end_us: t.max(open.start_us),
+            dur_us,
+            self_us: dur_us.saturating_sub(child_us),
+            start_seq: open.start_seq,
+            end_seq,
+        });
+    }
+
+    fn on_event(&self, _event: &EventInfo<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn end(p: &ProfileSubscriber, id: u64, parent: u64, name: &'static str, us: u64) {
+        p.on_span_end(
+            &SpanInfo {
+                id,
+                parent,
+                trace: 1,
+                name,
+            },
+            Duration::from_micros(us),
+        );
+    }
+
+    fn start(p: &ProfileSubscriber, id: u64, parent: u64, name: &'static str) {
+        p.on_span_start(&SpanInfo {
+            id,
+            parent,
+            trace: 1,
+            name,
+        });
+    }
+
+    #[test]
+    fn self_time_excludes_direct_children() {
+        let p = ProfileSubscriber::new();
+        start(&p, 1, 0, "solve");
+        start(&p, 2, 1, "build");
+        end(&p, 2, 1, "build", 30);
+        start(&p, 3, 1, "steady");
+        end(&p, 3, 1, "steady", 50);
+        end(&p, 1, 0, "solve", 100);
+        let profile = p.profile();
+        let row = |n: &str| profile.rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(row("solve").total_us, 100);
+        assert_eq!(row("solve").self_us, 20);
+        assert_eq!(row("build").self_us, 30);
+        assert_eq!(row("steady").self_us, 50);
+        // Hottest self time first.
+        assert_eq!(profile.rows[0].name, "steady");
+    }
+
+    #[test]
+    fn repeated_phases_aggregate_counts() {
+        let p = ProfileSubscriber::new();
+        for id in 1..=3u64 {
+            start(&p, id, 0, "markov.matvec");
+            end(&p, id, 0, "markov.matvec", 10);
+        }
+        let profile = p.profile();
+        assert_eq!(profile.rows.len(), 1);
+        assert_eq!(profile.rows[0].count, 3);
+        assert_eq!(profile.rows[0].total_us, 30);
+        let json = profile.to_json();
+        assert!(json.contains("\"name\":\"markov.matvec\""));
+        assert!(json.contains("\"count\":3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_trace_pairs_are_balanced_and_ordered() {
+        let p = ProfileSubscriber::new();
+        start(&p, 1, 0, "outer");
+        start(&p, 2, 1, "inner");
+        end(&p, 2, 1, "inner", 5);
+        end(&p, 1, 0, "outer", 9);
+        // A span left open must not emit an unmatched B.
+        start(&p, 3, 0, "dangling");
+        let trace = p.to_chrome_trace();
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert_eq!(trace.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\":\"E\"").count(), 2);
+        assert!(!trace.contains("dangling"));
+        // Even with all-equal timestamps, the seq tie-breaker keeps
+        // stack order: B(outer) B(inner) E(inner) E(outer).
+        let b_outer = trace.find("\"ph\":\"B\",\"ts\":").unwrap();
+        let order: Vec<usize> = ["outer", "inner"]
+            .iter()
+            .map(|n| trace.find(&format!("\"name\":\"{n}\"")).unwrap())
+            .collect();
+        assert!(order[0] < order[1], "outer B precedes inner B");
+        assert!(b_outer > 0);
+    }
+
+    #[test]
+    fn end_without_start_is_ignored() {
+        let p = ProfileSubscriber::new();
+        end(&p, 99, 0, "orphan", 5);
+        assert_eq!(p.span_count(), 0);
+        assert!(p.profile().rows.is_empty());
+    }
+}

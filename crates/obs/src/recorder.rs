@@ -1,0 +1,274 @@
+//! Flight recorder: a [`Subscriber`] that captures per-iteration
+//! solver telemetry — every structured event — into bounded
+//! per-series ring buffers, drained on demand as JSON Lines.
+//!
+//! Solvers already emit convergence events on their hot loops
+//! (`markov.iteration` residuals, `sim.round` CI trajectories,
+//! `hier.iteration` fixed-point deltas, `spn.reach.level` frontier
+//! growth, `bdd.gc` / `bdd.ite` cache pressure, ...). The recorder
+//! groups them by event name; each series keeps the most recent
+//! [`DEFAULT_RECORDER_CAPACITY`] records and counts what it dropped,
+//! so a million-iteration solve cannot grow memory without bound and
+//! the tail — the part that shows convergence or its absence — is
+//! always retained.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::subscriber::{escape_into_for_metrics as escape_json_into, EventInfo, SpanInfo};
+use crate::{OwnedValue, Subscriber};
+
+/// Default per-series ring capacity: enough for every iteration of a
+/// typical solve, while bounding a pathological one to a few MB.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 4096;
+
+#[derive(Debug, Clone)]
+struct RecordedEvent {
+    t_us: u64,
+    span: u64,
+    trace: u64,
+    fields: Vec<(String, OwnedValue)>,
+}
+
+#[derive(Debug, Default)]
+struct Series {
+    ring: VecDeque<RecordedEvent>,
+    dropped: u64,
+}
+
+/// Bounded ring-buffer recorder of structured events, keyed by event
+/// name. Install with [`crate::install_subscriber`]; drain with
+/// [`FlightRecorder::to_jsonl`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    epoch: Instant,
+    series: Mutex<BTreeMap<String, Series>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with [`DEFAULT_RECORDER_CAPACITY`] records per series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RECORDER_CAPACITY)
+    }
+
+    /// A recorder keeping at most `capacity` records per event series
+    /// (older records are dropped first and counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is 0.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "recorder capacity must be positive");
+        FlightRecorder {
+            capacity,
+            epoch: Instant::now(),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Series>> {
+        self.series
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Names of every recorded series, sorted.
+    #[must_use]
+    pub fn series_names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Number of retained records in the named series.
+    #[must_use]
+    pub fn len(&self, series: &str) -> usize {
+        self.lock().get(series).map_or(0, |s| s.ring.len())
+    }
+
+    /// Whether nothing has been recorded at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock()
+            .values()
+            .all(|s| s.ring.is_empty() && s.dropped == 0)
+    }
+
+    /// Serializes every series as JSON Lines: one `series_meta` line
+    /// per series (`recorded` = retained count, `dropped` = evicted
+    /// count), then its records in arrival order:
+    ///
+    /// ```text
+    /// {"type":"series_meta","series":"markov.iteration","recorded":64,"dropped":0}
+    /// {"type":"record","series":"markov.iteration","t_us":12,"span":3,"trace":1,"fields":{"iter":1,"residual":0.5}}
+    /// ```
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let series = self.lock();
+        let mut out = String::with_capacity(256);
+        for (name, s) in series.iter() {
+            out.push_str("{\"type\":\"series_meta\",\"series\":\"");
+            escape_json_into(&mut out, name);
+            let _ = writeln!(
+                out,
+                "\",\"recorded\":{},\"dropped\":{}}}",
+                s.ring.len(),
+                s.dropped
+            );
+            for r in &s.ring {
+                out.push_str("{\"type\":\"record\",\"series\":\"");
+                escape_json_into(&mut out, name);
+                let _ = write!(out, "\",\"t_us\":{},\"span\":{}", r.t_us, r.span);
+                if r.trace != 0 {
+                    let _ = write!(out, ",\"trace\":{}", r.trace);
+                }
+                out.push_str(",\"fields\":{");
+                for (i, (key, value)) in r.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json_into(&mut out, key);
+                    out.push_str("\":");
+                    owned_value_json_into(&mut out, value);
+                }
+                out.push_str("}}\n");
+            }
+        }
+        out
+    }
+
+    /// Discards every recorded series.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+fn owned_value_json_into(out: &mut String, v: &OwnedValue) {
+    match v {
+        OwnedValue::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        OwnedValue::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        OwnedValue::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        OwnedValue::F64(_) => out.push_str("null"),
+        OwnedValue::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        OwnedValue::Str(s) => {
+            out.push('"');
+            escape_json_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+impl Subscriber for FlightRecorder {
+    fn on_span_start(&self, _span: &SpanInfo) {}
+
+    fn on_span_end(&self, _span: &SpanInfo, _duration: Duration) {}
+
+    fn on_event(&self, event: &EventInfo<'_>) {
+        #[allow(clippy::cast_possible_truncation)]
+        let t_us = self.epoch.elapsed().as_micros() as u64;
+        let record = RecordedEvent {
+            t_us,
+            span: event.span,
+            trace: event.trace,
+            fields: event
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), OwnedValue::from(*v)))
+                .collect(),
+        };
+        let mut series = self.lock();
+        let s = series.entry(event.name.to_owned()).or_default();
+        if s.ring.len() == self.capacity {
+            s.ring.pop_front();
+            s.dropped += 1;
+        }
+        s.ring.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn fire(rec: &FlightRecorder, name: &str, iter: u64) {
+        rec.on_event(&EventInfo {
+            span: 1,
+            trace: 7,
+            name,
+            fields: &[("iter", Value::U64(iter)), ("residual", Value::F64(0.5))],
+        });
+    }
+
+    #[test]
+    fn records_group_by_series_in_arrival_order() {
+        let rec = FlightRecorder::new();
+        assert!(rec.is_empty());
+        fire(&rec, "markov.iteration", 1);
+        fire(&rec, "markov.iteration", 2);
+        fire(&rec, "sim.round", 1);
+        assert_eq!(rec.len("markov.iteration"), 2);
+        assert_eq!(rec.len("sim.round"), 1);
+        assert_eq!(
+            rec.series_names(),
+            vec!["markov.iteration".to_owned(), "sim.round".to_owned()]
+        );
+        let jsonl = rec.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 5, "2 meta + 3 records");
+        assert!(lines[0].contains("\"type\":\"series_meta\""));
+        assert!(lines[0].contains("\"recorded\":2,\"dropped\":0"));
+        assert!(lines[1].contains("\"iter\":1"));
+        assert!(lines[2].contains("\"iter\":2"));
+        assert!(lines[1].contains("\"trace\":7"));
+        for line in &lines {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_counts_drops() {
+        let rec = FlightRecorder::with_capacity(3);
+        for i in 1..=10 {
+            fire(&rec, "markov.iteration", i);
+        }
+        assert_eq!(rec.len("markov.iteration"), 3);
+        let jsonl = rec.to_jsonl();
+        assert!(jsonl.contains("\"recorded\":3,\"dropped\":7"));
+        // The most recent iterations survive, the head is evicted.
+        assert!(jsonl.contains("\"iter\":10"));
+        assert!(jsonl.contains("\"iter\":8"));
+        assert!(!jsonl.contains("\"iter\":7,"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone_within_a_series() {
+        let rec = FlightRecorder::new();
+        for i in 0..50 {
+            fire(&rec, "sim.round", i);
+        }
+        let series = rec.lock();
+        let ts: Vec<u64> = series["sim.round"].ring.iter().map(|r| r.t_us).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -128,6 +128,9 @@ pub struct SpanInfo {
     pub id: u64,
     /// Parent span id, 0 for a root span.
     pub parent: u64,
+    /// Trace/request id the span belongs to (0 = none) — minted at
+    /// solve entry and shared by every span and event of one request.
+    pub trace: u64,
     /// Static span name, e.g. `"markov.steady"`.
     pub name: &'static str,
 }
@@ -138,6 +141,8 @@ pub struct SpanInfo {
 pub struct EventInfo<'a> {
     /// Id of the span the event is attached to (0 = no enclosing span).
     pub span: u64,
+    /// Trace/request id the event belongs to (0 = none).
+    pub trace: u64,
     /// Event name, e.g. `"markov.iteration"`.
     pub name: &'a str,
     /// Structured fields.
@@ -253,14 +258,23 @@ impl JsonlSubscriber {
     }
 }
 
+/// Appends `,"trace":N` when the record carries a trace id.
+fn trace_json_into(line: &mut String, trace: u64) {
+    if trace != 0 {
+        let _ = write!(line, ",\"trace\":{trace}");
+    }
+}
+
 impl Subscriber for JsonlSubscriber {
     fn on_span_start(&self, span: &SpanInfo) {
         let mut line = String::with_capacity(96);
         let _ = write!(
             line,
-            "{{\"type\":\"span_start\",\"id\":{},\"parent\":{},\"name\":\"",
+            "{{\"type\":\"span_start\",\"id\":{},\"parent\":{}",
             span.id, span.parent
         );
+        trace_json_into(&mut line, span.trace);
+        line.push_str(",\"name\":\"");
         escape_json_into(&mut line, span.name);
         let _ = write!(line, "\",\"t_us\":{}}}", self.t_us());
         self.write_line(&line);
@@ -270,9 +284,11 @@ impl Subscriber for JsonlSubscriber {
         let mut line = String::with_capacity(96);
         let _ = write!(
             line,
-            "{{\"type\":\"span_end\",\"id\":{},\"parent\":{},\"name\":\"",
+            "{{\"type\":\"span_end\",\"id\":{},\"parent\":{}",
             span.id, span.parent
         );
+        trace_json_into(&mut line, span.trace);
+        line.push_str(",\"name\":\"");
         escape_json_into(&mut line, span.name);
         let _ = write!(
             line,
@@ -285,11 +301,9 @@ impl Subscriber for JsonlSubscriber {
 
     fn on_event(&self, event: &EventInfo<'_>) {
         let mut line = String::with_capacity(128);
-        let _ = write!(
-            line,
-            "{{\"type\":\"event\",\"span\":{},\"name\":\"",
-            event.span
-        );
+        let _ = write!(line, "{{\"type\":\"event\",\"span\":{}", event.span);
+        trace_json_into(&mut line, event.trace);
+        line.push_str(",\"name\":\"");
         escape_json_into(&mut line, event.name);
         let _ = write!(line, "\",\"t_us\":{},\"fields\":{{", self.t_us());
         for (i, (key, value)) in event.fields.iter().enumerate() {
@@ -455,10 +469,12 @@ mod tests {
         sub.on_span_start(&SpanInfo {
             id: 1,
             parent: 0,
+            trace: 9,
             name: "outer",
         });
         sub.on_event(&EventInfo {
             span: 1,
+            trace: 9,
             name: "weird \"name\"\n",
             fields: &[
                 ("iter", Value::U64(3)),
@@ -472,6 +488,7 @@ mod tests {
             &SpanInfo {
                 id: 1,
                 parent: 0,
+                trace: 9,
                 name: "outer",
             },
             Duration::from_micros(42),
@@ -481,6 +498,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("{\"type\":\"span_start\""));
+        assert!(lines[0].contains("\"trace\":9"));
+        assert!(lines[1].contains("\"trace\":9"));
         assert!(lines[1].contains("\\\"name\\\"\\n"));
         assert!(lines[1].contains("\"nan\":null"));
         assert!(lines[1].contains("\"label\":\"a\\\\b\""));
@@ -498,6 +517,7 @@ mod tests {
         let mem = MemorySubscriber::default();
         mem.on_event(&EventInfo {
             span: 7,
+            trace: 0,
             name: "e",
             fields: &[("k", Value::Str("v"))],
         });

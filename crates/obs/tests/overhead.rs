@@ -1,0 +1,62 @@
+//! Disabled-path overhead contract: with no subscriber installed and
+//! metrics off, every instrumentation site must cost one relaxed
+//! atomic load — no clock reads, no locks, no allocation, and a wall
+//! time that stays in the noise floor of any solver workload.
+//!
+//! The wall-time bound here is deliberately generous (a debug,
+//! contended CI runner must pass), but it would still catch a
+//! regression that put a lock, a syscall, or a `Instant::now()` on the
+//! disabled path — any of those turns 4M gate checks into seconds.
+
+use std::time::Instant;
+
+use reliab_obs as obs;
+
+const CALLS: u64 = 1_000_000;
+
+#[test]
+fn disabled_sites_are_inert_and_near_free() {
+    obs::clear_subscribers();
+    obs::set_metrics_enabled(false);
+
+    // Behavioral half of the contract: disabled spans are inert (id 0,
+    // no ambient trace id minted), disabled events and metric helpers
+    // leave no mark anywhere.
+    let span = obs::span("overhead.span");
+    assert_eq!(span.id(), 0, "disabled span must be inert");
+    drop(span);
+    assert!(
+        obs::ensure_trace_id().is_none(),
+        "no trace id may be minted while tracing is off"
+    );
+    let before = obs::registry().snapshot();
+    obs::counter_add("overhead.counter", 1);
+    obs::observe_ms("overhead.latency", 1.0);
+    let after = obs::registry().snapshot();
+    assert_eq!(
+        before.counters.len(),
+        after.counters.len(),
+        "disabled counter_add must not create registry entries"
+    );
+    assert_eq!(
+        before.histograms.len(),
+        after.histograms.len(),
+        "disabled observe_ms must not create registry entries"
+    );
+
+    // Wall-time half: 1M each of span, event, counter, histogram calls.
+    let t = Instant::now();
+    for i in 0..CALLS {
+        let span = obs::span("overhead.span");
+        std::hint::black_box(span.id());
+        obs::event("overhead.event", &[("i", i.into())]);
+        obs::counter_add("overhead.counter", 1);
+        obs::observe_ms("overhead.latency", 0.5);
+    }
+    let elapsed = t.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "4M disabled instrumentation calls took {elapsed:?}; \
+         the disabled path must be a single relaxed load per site"
+    );
+}

@@ -285,11 +285,13 @@ fn run_round(
     } else {
         let next = std::sync::atomic::AtomicUsize::new(start);
         let threads = workers.min(end - start);
+        let trace = obs::current_trace_id();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let next = &next;
                     scope.spawn(move || {
+                        let _trace = obs::set_trace_id(trace);
                         let mut local = Vec::new();
                         loop {
                             let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

@@ -569,6 +569,9 @@ pub fn solve_str_with(text: &str, opts: &SolveOptions) -> Result<SolveReport> {
 ///
 /// See [`solve_str_with`].
 pub fn solve_with(spec: &ModelSpec, opts: &SolveOptions) -> Result<SolveReport> {
+    // Mint a request-scoped trace id unless one is already ambient
+    // (nested hierarchy/uncertainty sub-solves keep their parent's).
+    let _trace = obs::ensure_trace_id();
     let _span = obs::span("spec.solve");
     let start = Instant::now();
     let (measures, mut stats) = match spec {

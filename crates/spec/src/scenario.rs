@@ -24,7 +24,7 @@ use crate::schema::{
 };
 use reliab_core::{downtime_minutes_per_year, Error, Result};
 use reliab_dist::Lifetime;
-use reliab_hier::{fixed_point, FixedPointOptions};
+use reliab_hier::{fixed_point_observed, FixedPointOptions};
 use reliab_obs as obs;
 use reliab_semimarkov::{SemiMarkovBuilder, SmpStateId};
 use reliab_uncert::{propagate, rate_posterior, PropagationOptions, SamplingScheme};
@@ -132,6 +132,7 @@ pub(crate) fn solve_hierarchy(
             // Strided partition: worker w owns dynamic[w], dynamic[w +
             // workers], ... Disjoint slots, so merge order — and thus
             // the result — is independent of scheduling.
+            let trace = obs::current_trace_id();
             let partial: Vec<Result<Vec<(usize, f64)>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
@@ -139,6 +140,7 @@ pub(crate) fn solve_hierarchy(
                         let base_docs = &base_docs;
                         let index_of = &index_of;
                         scope.spawn(move || {
+                            let _trace = obs::set_trace_id(trace);
                             let mut mine = Vec::new();
                             for &i in dynamic.iter().skip(w).step_by(workers) {
                                 mine.push((
@@ -192,7 +194,18 @@ pub(crate) fn solve_hierarchy(
         .iter()
         .map(|s| s.initial.unwrap_or(1.0))
         .collect();
-    let fp = fixed_point(sweep, x0, &fp_opts)?;
+    let fp = fixed_point_observed(sweep, x0, &fp_opts, &mut |iter, residual| {
+        if obs::trace_enabled() {
+            obs::event(
+                "hier.iteration",
+                &[
+                    ("iter", iter.into()),
+                    ("residual", residual.into()),
+                    ("submodels", n.into()),
+                ],
+            );
+        }
+    })?;
 
     let output = spec
         .output
@@ -330,7 +343,11 @@ pub(crate) fn solve_uncertainty(
     let paths: Vec<&str> = spec.parameters.iter().map(|p| p.path.as_str()).collect();
     let measure = spec.measure;
 
+    // The closure runs on the sampler's worker threads; re-apply the
+    // ambient trace id there so inner solves stay correlated.
+    let trace = obs::current_trace_id();
     let model = |values: &[f64]| -> Result<f64> {
+        let _trace = obs::set_trace_id(trace);
         let mut doc = base_doc.clone();
         for (path, v) in paths.iter().zip(values) {
             json::set_number_at_path(&mut doc, path, *v)

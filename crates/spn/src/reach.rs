@@ -401,7 +401,26 @@ impl Spn {
         let mut cur: Marking = Vec::with_capacity(width);
         let mut fired: Marking = Vec::with_capacity(width);
         let mut i = 0usize;
+        // BFS levels are implicit in the arena walk: everything
+        // interned while expanding level L is level L+1.
+        let mut level = 0u64;
+        let mut level_end = table.count;
         while i < table.count {
+            if i == level_end {
+                if obs::trace_enabled() {
+                    obs::event(
+                        "spn.reach.level",
+                        &[
+                            ("level", level.into()),
+                            ("frontier", (table.count - level_end).into()),
+                            ("states", table.count.into()),
+                            ("arcs", arcs.len().into()),
+                        ],
+                    );
+                }
+                level += 1;
+                level_end = table.count;
+            }
             cur.clear();
             cur.extend_from_slice(table.get(i as u32));
             for &t in &timed {
@@ -485,12 +504,14 @@ impl Spn {
         }
 
         let mut outs: Vec<WorkerOut> = Vec::with_capacity(workers);
+        let trace = obs::current_trace_id();
         std::thread::scope(|sc| {
             let handles: Vec<_> = (0..workers)
                 .map(|me| {
                     let shared = &shared;
                     let timed = &timed;
                     sc.spawn(move || {
+                        let _trace = obs::set_trace_id(trace);
                         let mut out = WorkerOut::default();
                         self.worker_loop(shared, opts, timed, has_imm, me, &mut out);
                         out
@@ -550,7 +571,26 @@ impl Spn {
         }
         let mut arcs: Vec<(u32, u32, f64)> = Vec::new();
         let mut head = 0usize;
+        // The replay is the sequential BFS, so it carries the same
+        // implicit level structure — emit the identical level series.
+        let mut level = 0u64;
+        let mut level_end = order.len();
         while head < order.len() {
+            if head == level_end {
+                if obs::trace_enabled() {
+                    obs::event(
+                        "spn.reach.level",
+                        &[
+                            ("level", level.into()),
+                            ("frontier", (order.len() - level_end).into()),
+                            ("states", order.len().into()),
+                            ("arcs", arcs.len().into()),
+                        ],
+                    );
+                }
+                level += 1;
+                level_end = order.len();
+            }
             let src = head as u32;
             // The successor list is moved out to appease the borrow on
             // `order`; it is dead after this pass anyway.
