@@ -9,22 +9,37 @@
 //! The kernel follows the Brace–Rudell–Bryant design, tuned for large
 //! fault trees:
 //!
-//! - **Arena + open-addressing unique table** — nodes live in a flat
-//!   arena; hash consing goes through a custom linear-probing table
-//!   keyed by FxHash over `(var, low, high)` (see
-//!   [`reliab_core::fxhash`]), not a SipHash `HashMap` of tuples.
-//! - **Bounded ITE cache** — the computed-table is direct-mapped,
-//!   power-of-two sized, grows adaptively under eviction pressure up to
-//!   a configurable cap, and is invalidated in O(1) by a generation
-//!   tag.
-//! - **Mark-and-sweep GC** — callers pin roots with [`Bdd::protect`];
-//!   [`Bdd::gc`] sweeps everything unreachable onto a free list so node
-//!   ids of live functions stay stable. [`Bdd::maybe_gc`] triggers on a
-//!   live-node threshold so long batch runs stop leaking dead nodes.
+//! - **Packed struct-of-arrays arena** — a node is 10 bytes split
+//!   across three parallel vectors (`var: u16`, `low: u32`,
+//!   `high: u32`), so a 64-byte cache line holds 32 variable tags or
+//!   16 child pointers of *consecutive* nodes. Hash consing goes
+//!   through a custom linear-probing table keyed by FxHash over
+//!   `(var, low, high)` (see [`reliab_core::fxhash`]).
+//! - **Bounded ITE cache + standard triples** — ITE calls are
+//!   normalized to a canonical operand form (Brace–Rudell–Bryant
+//!   "standard triples") before the computed-table lookup, so
+//!   commuted AND/OR calls share entries. The table is direct-mapped,
+//!   power-of-two sized, grows adaptively under eviction pressure up
+//!   to a configurable cap, and is invalidated in O(1) by a
+//!   generation tag.
+//! - **Compacting mark-and-sweep GC** — callers pin roots with
+//!   [`Bdd::protect`]; [`Bdd::gc`] copies the live cone into a fresh
+//!   arena in **DFS preorder**, so the hot traversals (apply descent,
+//!   probability evaluation, cut-set extraction) walk memory almost
+//!   sequentially. Compaction renumbers every node: re-read roots
+//!   through [`Bdd::current`] after a collection. [`Bdd::maybe_gc`]
+//!   triggers on an allocation threshold so long batch runs stop
+//!   leaking dead nodes.
+//! - **Work-partitioned parallel apply** — with [`BddConfig::jobs`]
+//!   > 1, large ITE calls are split by cofactoring the operands over
+//!   the top `k` levels into independent subproblems solved on a
+//!   `thread::scope` pool over a sharded side table, then re-interned
+//!   sequentially in a fixed order. Every jobs count yields the same
+//!   canonical BDD, so probabilities are bitwise identical.
 //! - **Dynamic variable reordering** — [`Bdd::sift`] runs Rudell's
 //!   sifting over adjacent-level swaps. A level indirection
-//!   (`var ↔ level`) means external [`NodeId`]s and per-variable
-//!   probability vectors stay valid across reorders.
+//!   (`var ↔ level`) means per-variable probability vectors stay
+//!   valid across reorders.
 //!
 //! ```
 //! use reliab_bdd::Bdd;
@@ -44,21 +59,24 @@
 #![deny(unsafe_code)]
 
 mod cache;
+mod par;
 mod reorder;
 mod table;
 
 use cache::IteCache;
-use reliab_core::fxhash::{FxHashMap, FxHashSet};
+use reliab_core::fxhash::FxHashMap;
 use std::fmt;
 use table::{Probe, UniqueTable};
 
-/// Variable tag of the two terminal nodes.
-const TERMINAL_VAR: u32 = u32::MAX;
-/// Variable tag of an arena slot on the free list (its `low` field
-/// links to the next free slot).
-const FREE_VAR: u32 = u32::MAX - 1;
-/// Sentinel for "no id" in root slots and the free-list head.
+/// Variable tag of the two terminal arena slots.
+const TERMINAL_VAR: u16 = u16::MAX;
+/// Sentinel for "no id" in protected-root slots.
 const NONE: u32 = u32::MAX;
+
+/// Maximum variable count a manager supports. Variables are packed
+/// into `u16` arena tags with [`u16::MAX`] reserved for the terminal
+/// marker, so indices `0..MAX_VARS` are representable.
+pub const MAX_VARS: u32 = u16::MAX as u32;
 
 /// Default live-node threshold before [`Bdd::maybe_gc`] collects.
 ///
@@ -70,6 +88,11 @@ const NONE: u32 = u32::MAX;
 /// models that genuinely need a large live set ramp up instead of
 /// thrashing.
 pub const DEFAULT_GC_THRESHOLD: usize = 1 << 15;
+
+/// Default arena population below which [`BddConfig::jobs`] > 1 still
+/// runs the sequential apply: splitting a small call across threads
+/// costs more than it saves.
+pub const DEFAULT_PAR_NODE_THRESHOLD: usize = 1 << 14;
 
 /// Errors from the BDD layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +123,11 @@ impl fmt::Display for BddError {
 impl std::error::Error for BddError {}
 
 /// Handle to a BDD node inside a [`Bdd`] manager.
+///
+/// Node ids are dense `u32` indices into the arena. They are stable
+/// under node construction but **renumbered by garbage collection**
+/// (the collector compacts live nodes into DFS preorder) — hold a
+/// [`BddRef`] across [`Bdd::gc`] and re-read with [`Bdd::current`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(u32);
 
@@ -114,16 +142,73 @@ impl NodeId {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Node {
-    pub(crate) var: u32,
-    pub(crate) low: NodeId,
-    pub(crate) high: NodeId,
+/// Packed struct-of-arrays node store: 10 bytes per node across three
+/// parallel vectors. Complement edges are not used (reliability
+/// functions are overwhelmingly monotone, and complement-free ids keep
+/// probability evaluation branch-free), so an id is a plain index.
+#[derive(Debug)]
+pub(crate) struct NodeArena {
+    vars: Vec<u16>,
+    lows: Vec<u32>,
+    highs: Vec<u32>,
+}
+
+impl NodeArena {
+    /// An arena holding only the two terminal sentinels.
+    fn with_terminals() -> Self {
+        NodeArena {
+            vars: vec![TERMINAL_VAR; 2],
+            lows: vec![0; 2],
+            highs: vec![0; 2],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    #[inline]
+    pub(crate) fn var(&self, id: u32) -> u16 {
+        self.vars[id as usize]
+    }
+
+    #[inline]
+    pub(crate) fn low(&self, id: u32) -> u32 {
+        self.lows[id as usize]
+    }
+
+    #[inline]
+    pub(crate) fn high(&self, id: u32) -> u32 {
+        self.highs[id as usize]
+    }
+
+    #[inline]
+    fn push(&mut self, var: u16, low: u32, high: u32) -> u32 {
+        let id = self.vars.len() as u32;
+        self.vars.push(var);
+        self.lows.push(low);
+        self.highs.push(high);
+        id
+    }
+
+    /// Rewrites a node in place (level swaps re-key nodes without
+    /// changing their id).
+    #[inline]
+    pub(crate) fn set(&mut self, id: u32, var: u16, low: u32, high: u32) {
+        self.vars[id as usize] = var;
+        self.lows[id as usize] = low;
+        self.highs[id as usize] = high;
+    }
 }
 
 /// External reference handle returned by [`Bdd::protect`]: while held,
 /// the referenced function (and everything it reaches) survives
 /// [`Bdd::gc`]. Pass it back to [`Bdd::unprotect`] to release.
+///
+/// Garbage collection compacts the arena and renumbers nodes, so the
+/// id captured at protect time goes stale after a collection — read
+/// the live id back with [`Bdd::current`].
 #[derive(Debug)]
 #[must_use = "dropping a BddRef without unprotect() pins the root forever"]
 pub struct BddRef {
@@ -132,7 +217,8 @@ pub struct BddRef {
 }
 
 impl BddRef {
-    /// The protected node.
+    /// The node id as of protect time. Stale after any [`Bdd::gc`] —
+    /// prefer [`Bdd::current`] when collections may have run.
     pub fn id(&self) -> NodeId {
         self.id
     }
@@ -142,10 +228,25 @@ impl BddRef {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct GcRun {
-    /// Nodes swept onto the free list by this pass.
+    /// Dead nodes dropped by this pass.
     pub reclaimed: usize,
     /// Live decision nodes remaining after the pass.
     pub live: usize,
+    /// Live nodes relocated to a new id by compaction.
+    pub moved: usize,
+}
+
+/// Outcome of a [`Bdd::sift`] reordering pass.
+///
+/// Sifting garbage-collects between variables, and every collection
+/// compacts — so the root the caller passed in has been renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SiftRun {
+    /// The sifted function under its post-compaction id.
+    pub root: NodeId,
+    /// Decision nodes reachable from `root` after reordering.
+    pub size: usize,
 }
 
 /// Construction-time tuning knobs for a [`Bdd`] manager.
@@ -161,6 +262,14 @@ pub struct BddConfig {
     /// Live-node count at which [`Bdd::maybe_gc`] starts collecting
     /// (`0` = default, currently 2^15; see [`DEFAULT_GC_THRESHOLD`]).
     pub gc_node_threshold: usize,
+    /// Worker threads for the partitioned parallel apply (`0` or `1`
+    /// = sequential). Every jobs count produces the same canonical
+    /// BDD, so results are bitwise reproducible regardless.
+    pub jobs: usize,
+    /// Arena population below which parallel apply falls back to the
+    /// sequential path (`0` = default, currently 2^14; see
+    /// [`DEFAULT_PAR_NODE_THRESHOLD`]).
+    pub par_node_threshold: usize,
 }
 
 impl BddConfig {
@@ -172,36 +281,58 @@ impl BddConfig {
 
 /// Operation counters and table sizes of a [`Bdd`] manager — the
 /// observability surface consumed by `SolveReport` stats.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 #[non_exhaustive]
 pub struct BddStats {
-    /// Nodes allocated in the arena, including the two terminals and
-    /// free-listed slots.
+    /// Nodes allocated in the arena, including the two terminals.
     pub arena_nodes: usize,
     /// Entries in the unique (hash-consing) table.
     pub unique_entries: usize,
     /// Live entries in the ITE computed-table (current generation).
     pub ite_cache_entries: usize,
-    /// ITE computed-table lookups since construction.
+    /// ITE computed-table lookups since construction (including
+    /// per-worker lookups from parallel applies).
     pub ite_cache_lookups: u64,
     /// ITE computed-table hits since construction.
     pub ite_cache_hits: u64,
     /// ITE computed-table entries overwritten by colliding keys (the
     /// bounded-cache replacement cost).
     pub ite_cache_evictions: u64,
-    /// Garbage-collection passes run.
+    /// Garbage-collection passes run. Every pass compacts, so this is
+    /// also the compaction count.
     pub gc_runs: u64,
     /// Total nodes reclaimed across all GC passes.
     pub gc_reclaimed: u64,
+    /// Total live nodes relocated by GC compaction (the preorder
+    /// re-sort's data-movement cost).
+    pub gc_moved: u64,
+    /// ITE calls dispatched to the work-partitioned parallel apply.
+    pub par_apply_calls: u64,
+    /// Independent subproblems solved across all parallel applies.
+    pub par_subproblems: u64,
+    /// Configured worker threads (1 = sequential).
+    pub jobs: usize,
     /// Sifting reorder passes run.
     pub sift_runs: u64,
     /// Adjacent-level swaps performed across all sifting passes.
     pub sift_swaps: u64,
-    /// Currently live decision nodes (arena minus terminals and free
-    /// list).
+    /// Currently allocated decision nodes (dead nodes count until the
+    /// next collection sweeps them).
     pub live_nodes: usize,
-    /// High-water mark of live decision nodes.
+    /// High-water mark of allocated decision nodes.
     pub peak_live_nodes: usize,
+}
+
+impl BddStats {
+    /// ITE computed-table hit rate in `[0, 1]` (`0` before any
+    /// lookup).
+    pub fn ite_hit_rate(&self) -> f64 {
+        if self.ite_cache_lookups == 0 {
+            0.0
+        } else {
+            self.ite_cache_hits as f64 / self.ite_cache_lookups as f64
+        }
+    }
 }
 
 /// An ROBDD manager over a fixed set of Boolean variables.
@@ -213,7 +344,7 @@ pub struct BddStats {
 /// reordering is transparent to them.
 #[derive(Debug)]
 pub struct Bdd {
-    nodes: Vec<Node>,
+    arena: NodeArena,
     unique: UniqueTable,
     cache: IteCache,
     nvars: u32,
@@ -221,16 +352,20 @@ pub struct Bdd {
     var2level: Vec<u32>,
     /// `level2var[level]` = variable at that level.
     level2var: Vec<u32>,
-    /// Protected roots; `NONE` marks a reusable slot.
+    /// Protected roots; `NONE` marks a reusable slot. GC compaction
+    /// rewrites these in place — the one id store that survives a
+    /// collection.
     roots: Vec<u32>,
-    /// Head of the free list threaded through freed arena slots.
-    free_head: u32,
-    free_count: usize,
     peak_live: usize,
     gc_threshold: usize,
     next_gc_at: usize,
+    jobs: usize,
+    par_node_threshold: usize,
     gc_runs: u64,
     gc_reclaimed: u64,
+    gc_moved: u64,
+    par_apply_calls: u64,
+    par_subproblems: u64,
     pub(crate) sift_runs: u64,
     pub(crate) sift_swaps: u64,
 }
@@ -238,37 +373,52 @@ pub struct Bdd {
 impl Bdd {
     /// Creates a manager for `nvars` Boolean variables with default
     /// cache and GC settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars` exceeds [`MAX_VARS`] (the packed node format
+    /// stores variables as `u16`).
     pub fn new(nvars: u32) -> Self {
         Bdd::new_with(nvars, BddConfig::default())
     }
 
-    /// Creates a manager with explicit cache/GC tuning.
+    /// Creates a manager with explicit cache/GC/parallelism tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars` exceeds [`MAX_VARS`].
     pub fn new_with(nvars: u32, config: BddConfig) -> Self {
-        let sentinel = Node {
-            var: TERMINAL_VAR,
-            low: NodeId::FALSE,
-            high: NodeId::FALSE,
-        };
+        assert!(
+            nvars <= MAX_VARS,
+            "nvars {nvars} exceeds the packed-node limit of {MAX_VARS} variables"
+        );
         let gc_threshold = if config.gc_node_threshold == 0 {
             DEFAULT_GC_THRESHOLD
         } else {
             config.gc_node_threshold
         };
         Bdd {
-            nodes: vec![sentinel, sentinel],
+            arena: NodeArena::with_terminals(),
             unique: UniqueTable::new(),
             cache: IteCache::new(config.ite_cache_capacity),
             nvars,
             var2level: (0..nvars).collect(),
             level2var: (0..nvars).collect(),
             roots: Vec::new(),
-            free_head: NONE,
-            free_count: 0,
             peak_live: 0,
             gc_threshold,
             next_gc_at: gc_threshold,
+            jobs: config.jobs.max(1),
+            par_node_threshold: if config.par_node_threshold == 0 {
+                DEFAULT_PAR_NODE_THRESHOLD
+            } else {
+                config.par_node_threshold
+            },
             gc_runs: 0,
             gc_reclaimed: 0,
+            gc_moved: 0,
+            par_apply_calls: 0,
+            par_subproblems: 0,
             sift_runs: 0,
             sift_swaps: 0,
         }
@@ -279,15 +429,22 @@ impl Bdd {
         self.nvars
     }
 
-    /// Total arena slots, including the two terminals and any
-    /// free-listed slots (diagnostic).
-    pub fn arena_size(&self) -> usize {
-        self.nodes.len()
+    /// Configured apply worker threads (1 = sequential).
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
-    /// Live decision nodes: arena minus terminals minus free list.
+    /// Total arena slots, including the two terminals (diagnostic).
+    pub fn arena_size(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Allocated decision nodes. With a compacting collector there is
+    /// no free list: dead nodes count here until the next
+    /// [`Bdd::gc`] drops them, which is exactly the population
+    /// [`Bdd::maybe_gc`] triggers on.
     pub fn live_nodes(&self) -> usize {
-        self.nodes.len() - 2 - self.free_count
+        self.arena.len() - 2
     }
 
     /// Current variable order, topmost level first.
@@ -309,7 +466,9 @@ impl Bdd {
     /// Emits a `bdd.ite` summary trace event and flushes the manager's
     /// operation counters into the global metrics registry (counters
     /// `bdd.ite.lookups` / `bdd.ite.hits` / `bdd.ite.evictions`,
-    /// `bdd.gc.runs` / `bdd.gc.reclaimed`, `bdd.sift.swaps`, histogram
+    /// `bdd.gc.runs` / `bdd.gc.reclaimed` / `bdd.gc.moved`,
+    /// `bdd.par.apply_calls` / `bdd.par.subproblems`,
+    /// `bdd.sift.swaps`, gauge `bdd.ite.hit_rate`, histogram
     /// `bdd.arena_nodes`). Solver front-ends call this once per
     /// completed solve; near-free when observability is disabled.
     pub fn record_observability(&self) {
@@ -319,7 +478,7 @@ impl Bdd {
                 &[
                     ("lookups", self.cache.lookups().into()),
                     ("hits", self.cache.hits().into()),
-                    ("nodes", self.nodes.len().into()),
+                    ("nodes", self.arena.len().into()),
                 ],
             );
         }
@@ -327,8 +486,12 @@ impl Bdd {
             reliab_obs::counter_add("bdd.ite.lookups", self.cache.lookups());
             reliab_obs::counter_add("bdd.ite.hits", self.cache.hits());
             reliab_obs::counter_add("bdd.ite.evictions", self.cache.evictions());
+            reliab_obs::gauge_set("bdd.ite.hit_rate", self.stats().ite_hit_rate());
             reliab_obs::counter_add("bdd.gc.runs", self.gc_runs);
             reliab_obs::counter_add("bdd.gc.reclaimed", self.gc_reclaimed);
+            reliab_obs::counter_add("bdd.gc.moved", self.gc_moved);
+            reliab_obs::counter_add("bdd.par.apply_calls", self.par_apply_calls);
+            reliab_obs::counter_add("bdd.par.subproblems", self.par_subproblems);
             reliab_obs::counter_add("bdd.sift.swaps", self.sift_swaps);
             reliab_obs::registry()
                 .histogram_with_buckets(
@@ -337,14 +500,14 @@ impl Bdd {
                         16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
                     ],
                 )
-                .observe(self.nodes.len() as f64);
+                .observe(self.arena.len() as f64);
         }
     }
 
     /// Current table sizes and operation counters.
     pub fn stats(&self) -> BddStats {
         BddStats {
-            arena_nodes: self.nodes.len(),
+            arena_nodes: self.arena.len(),
             unique_entries: self.unique.len(),
             ite_cache_entries: self.cache.len(),
             ite_cache_lookups: self.cache.lookups(),
@@ -352,6 +515,10 @@ impl Bdd {
             ite_cache_evictions: self.cache.evictions(),
             gc_runs: self.gc_runs,
             gc_reclaimed: self.gc_reclaimed,
+            gc_moved: self.gc_moved,
+            par_apply_calls: self.par_apply_calls,
+            par_subproblems: self.par_subproblems,
+            jobs: self.jobs,
             sift_runs: self.sift_runs,
             sift_swaps: self.sift_swaps,
             live_nodes: self.live_nodes(),
@@ -389,37 +556,30 @@ impl Bdd {
         Ok(self.mk(var, NodeId::TRUE, NodeId::FALSE))
     }
 
-    fn topvar(&self, f: NodeId) -> u32 {
-        self.nodes[f.0 as usize].var
+    #[inline]
+    pub(crate) fn topvar(&self, f: NodeId) -> u32 {
+        self.arena.var(f.0) as u32
     }
 
-    fn cofactors(&self, f: NodeId, v: u32) -> (NodeId, NodeId) {
+    #[inline]
+    pub(crate) fn cofactors(&self, f: NodeId, v: u32) -> (NodeId, NodeId) {
         if f.is_terminal() || self.topvar(f) != v {
             (f, f)
         } else {
-            let n = self.nodes[f.0 as usize];
-            (n.low, n.high)
+            (NodeId(self.arena.low(f.0)), NodeId(self.arena.high(f.0)))
         }
     }
 
-    /// Allocates an arena slot, reusing the free list when possible.
+    /// Allocates an arena slot. Compaction means allocation is always
+    /// a plain push — no free-list probe on the hot path.
     fn alloc(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
-        let id = if self.free_head != NONE {
-            let idx = self.free_head as usize;
-            self.free_head = self.nodes[idx].low.0;
-            self.free_count -= 1;
-            self.nodes[idx] = Node { var, low, high };
-            NodeId(idx as u32)
-        } else {
-            let idx = self.nodes.len() as u32;
-            self.nodes.push(Node { var, low, high });
-            NodeId(idx)
-        };
+        debug_assert!(var < self.nvars);
+        let id = self.arena.push(var as u16, low.0, high.0);
         let live = self.live_nodes();
         if live > self.peak_live {
             self.peak_live = live;
         }
-        id
+        NodeId(id)
     }
 
     /// Hash-consed node constructor; the `bool` reports whether a fresh
@@ -428,24 +588,85 @@ impl Bdd {
         if low == high {
             return (low, false);
         }
-        match self.unique.probe(&self.nodes, var, low, high) {
-            Probe::Found(id) => (id, false),
+        match self.unique.probe(&self.arena, var as u16, low.0, high.0) {
+            Probe::Found(id) => (NodeId(id), false),
             Probe::Insert(slot) => {
                 let id = self.alloc(var, low, high);
-                if self.unique.commit(slot, id) {
-                    self.unique.rebuild(&self.nodes);
+                if self.unique.commit(slot, id.0) {
+                    self.unique.rebuild(&self.arena);
                 }
                 (id, true)
             }
         }
     }
 
-    fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
+    pub(crate) fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
         self.mk_tracked(var, low, high).0
     }
 
     /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)` — the universal connective.
+    ///
+    /// With [`BddConfig::jobs`] > 1 and a large enough arena, the call
+    /// is decomposed over the top levels and solved on a worker pool;
+    /// the result is the same canonical node either way.
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        if f == NodeId::TRUE {
+            return g;
+        }
+        if f == NodeId::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if self.jobs > 1 && self.live_nodes() >= self.par_node_threshold {
+            if let Some(r) = self.ite_par(f, g, h) {
+                return r;
+            }
+        }
+        self.ite_rec(f, g, h)
+    }
+
+    /// Normalizes an ITE call to its standard triple (Brace–Rudell–
+    /// Bryant): replaces operands equal to `f` by constants and
+    /// canonically orders the commuting AND/OR forms, so equivalent
+    /// calls share one computed-table entry. Returns `Err(result)`
+    /// when the normalized call is a terminal case.
+    #[inline]
+    fn standard_triple(
+        &self,
+        f: NodeId,
+        mut g: NodeId,
+        mut h: NodeId,
+    ) -> Result<(NodeId, NodeId, NodeId), NodeId> {
+        // ite(f, f, h) = ite(f, 1, h);  ite(f, g, f) = ite(f, g, 0).
+        if g == f {
+            g = NodeId::TRUE;
+        }
+        if h == f {
+            h = NodeId::FALSE;
+        }
+        if g == h {
+            return Err(g);
+        }
+        if g == NodeId::TRUE && h == NodeId::FALSE {
+            return Err(f);
+        }
+        // AND commutes: ite(f, g, 0) = ite(g, f, 0). OR commutes:
+        // ite(f, 1, h) = ite(h, 1, f). Order the pair by topmost
+        // level (tie-broken by id) so both spellings share a key.
+        let rank = |n: NodeId| (self.level_of_var(self.topvar(n)), n.0);
+        if h == NodeId::FALSE && !g.is_terminal() && rank(f) > rank(g) {
+            return Ok((g, f, h));
+        }
+        if g == NodeId::TRUE && !h.is_terminal() && rank(f) > rank(h) {
+            return Ok((h, g, f));
+        }
+        Ok((f, g, h))
+    }
+
+    /// Sequential ITE recursion over main-arena nodes.
+    fn ite_rec(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
         // Terminal cases.
         if f == NodeId::TRUE {
             return g;
@@ -459,6 +680,10 @@ impl Bdd {
         if g == NodeId::TRUE && h == NodeId::FALSE {
             return f;
         }
+        let (f, g, h) = match self.standard_triple(f, g, h) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
         // Progress event for long BDD compilations: one structured
         // event per 1024 ITE lookups (tracking node growth and cache
         // effectiveness over time), emitted only while tracing — the
@@ -469,7 +694,7 @@ impl Bdd {
                 &[
                     ("lookups", self.cache.lookups().into()),
                     ("hits", self.cache.hits().into()),
-                    ("nodes", self.nodes.len().into()),
+                    ("nodes", self.arena.len().into()),
                 ],
             );
         }
@@ -489,8 +714,8 @@ impl Bdd {
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
+        let lo = self.ite_rec(f0, g0, h0);
+        let hi = self.ite_rec(f1, g1, h1);
         let r = self.mk(v, lo, hi);
         self.cache.put(f, g, h, r);
         r
@@ -585,20 +810,21 @@ impl Bdd {
         if let Some(&r) = memo.get(&f) {
             return r;
         }
-        let n = self.nodes[f.0 as usize];
-        let r = if n.var == var {
+        let fvar = self.topvar(f);
+        let (low, high) = (NodeId(self.arena.low(f.0)), NodeId(self.arena.high(f.0)));
+        let r = if fvar == var {
             if val {
-                n.high
+                high
             } else {
-                n.low
+                low
             }
-        } else if self.level_of_var(n.var) > self.level_of_var(var) {
+        } else if self.level_of_var(fvar) > self.level_of_var(var) {
             // var does not appear below f (ordering), nothing to do.
             f
         } else {
-            let lo = self.restrict_rec(n.low, var, val, memo);
-            let hi = self.restrict_rec(n.high, var, val, memo);
-            self.mk(n.var, lo, hi)
+            let lo = self.restrict_rec(low, var, val, memo);
+            let hi = self.restrict_rec(high, var, val, memo);
+            self.mk(fvar, lo, hi)
         };
         memo.insert(f, r);
         r
@@ -620,11 +846,10 @@ impl Bdd {
         }
         let mut cur = f;
         while !cur.is_terminal() {
-            let n = self.nodes[cur.0 as usize];
-            cur = if assignment[n.var as usize] {
-                n.high
+            cur = if assignment[self.topvar(cur) as usize] {
+                NodeId(self.arena.high(cur.0))
             } else {
-                n.low
+                NodeId(self.arena.low(cur.0))
             };
         }
         Ok(cur == NodeId::TRUE)
@@ -653,7 +878,9 @@ impl Bdd {
     ///
     /// Linear in the number of reachable nodes (memoized Shannon
     /// expansion) — the reason BDDs beat cut-set inclusion–exclusion on
-    /// large trees.
+    /// large trees. The memo is a dense per-id vector: after a
+    /// compacting GC the live cone occupies a contiguous preorder
+    /// prefix of the arena, so the pass is near-sequential in memory.
     ///
     /// # Errors
     ///
@@ -661,24 +888,22 @@ impl Bdd {
     /// entry outside `[0, 1]`.
     pub fn probability(&self, f: NodeId, p: &[f64]) -> Result<f64, BddError> {
         self.validate_probabilities(p)?;
-        let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
+        let mut memo = vec![f64::NAN; self.arena.len()];
+        memo[0] = 0.0;
+        memo[1] = 1.0;
         Ok(self.prob_rec(f, p, &mut memo))
     }
 
-    fn prob_rec(&self, f: NodeId, p: &[f64], memo: &mut FxHashMap<NodeId, f64>) -> f64 {
-        if f == NodeId::FALSE {
-            return 0.0;
+    fn prob_rec(&self, f: NodeId, p: &[f64], memo: &mut [f64]) -> f64 {
+        let cached = memo[f.0 as usize];
+        if !cached.is_nan() {
+            return cached;
         }
-        if f == NodeId::TRUE {
-            return 1.0;
-        }
-        if let Some(&v) = memo.get(&f) {
-            return v;
-        }
-        let n = self.nodes[f.0 as usize];
-        let q = p[n.var as usize];
-        let v = q * self.prob_rec(n.high, p, memo) + (1.0 - q) * self.prob_rec(n.low, p, memo);
-        memo.insert(f, v);
+        let q = p[self.topvar(f) as usize];
+        let high = NodeId(self.arena.high(f.0));
+        let low = NodeId(self.arena.low(f.0));
+        let v = q * self.prob_rec(high, p, memo) + (1.0 - q) * self.prob_rec(low, p, memo);
+        memo[f.0 as usize] = v;
         v
     }
 
@@ -688,8 +913,7 @@ impl Bdd {
     /// Computed with the two-sweep algorithm — a bottom-up node
     /// probability pass and a top-down path-weight pass — so the whole
     /// importance vector costs O(|BDD|), not O(nvars · |BDD|), and
-    /// allocates no BDD nodes (the old implementation restricted the
-    /// function twice per variable).
+    /// allocates no BDD nodes.
     ///
     /// # Errors
     ///
@@ -705,49 +929,45 @@ impl Bdd {
         // strictly greater.
         let mut order: Vec<u32> = Vec::new();
         {
-            let mut seen = FxHashSet::default();
+            let mut seen = vec![false; self.arena.len()];
             let mut stack = vec![f.0];
             while let Some(id) = stack.pop() {
-                if id < 2 || !seen.insert(id) {
+                if id < 2 || seen[id as usize] {
                     continue;
                 }
+                seen[id as usize] = true;
                 order.push(id);
-                let n = self.nodes[id as usize];
-                stack.push(n.low.0);
-                stack.push(n.high.0);
+                stack.push(self.arena.low(id));
+                stack.push(self.arena.high(id));
             }
         }
-        order.sort_unstable_by_key(|&id| (self.level_of_var(self.nodes[id as usize].var), id));
-        // Bottom-up: q[n] = P(n true).
-        let mut q: FxHashMap<u32, f64> = FxHashMap::default();
-        let q_of = |q: &FxHashMap<u32, f64>, id: NodeId| -> f64 {
-            match id {
-                NodeId::FALSE => 0.0,
-                NodeId::TRUE => 1.0,
-                _ => q[&id.0],
-            }
-        };
+        order.sort_unstable_by_key(|&id| (self.level_of_var(self.arena.var(id) as u32), id));
+        // Bottom-up: q[n] = P(n true). Dense per-id storage (NaN =
+        // unreachable) keeps both sweeps allocation- and hash-free.
+        let mut q = vec![f64::NAN; self.arena.len()];
+        q[0] = 0.0;
+        q[1] = 1.0;
         for &id in order.iter().rev() {
-            let n = self.nodes[id as usize];
-            let pv = p[n.var as usize];
-            let val = pv * q_of(&q, n.high) + (1.0 - pv) * q_of(&q, n.low);
-            q.insert(id, val);
+            let pv = p[self.arena.var(id) as usize];
+            q[id as usize] = pv * q[self.arena.high(id) as usize]
+                + (1.0 - pv) * q[self.arena.low(id) as usize];
         }
         // Top-down: w[n] = probability of reaching n from the root
         // without testing n's variable; the derivative contribution of
         // node n to its variable is w[n] · (q(high) − q(low)).
-        let mut w: FxHashMap<u32, f64> = FxHashMap::default();
-        w.insert(f.0, 1.0);
+        let mut w = vec![0.0f64; self.arena.len()];
+        w[f.0 as usize] = 1.0;
         for &id in order.iter() {
-            let n = self.nodes[id as usize];
-            let weight = w[&id];
-            let pv = p[n.var as usize];
-            out[n.var as usize] += weight * (q_of(&q, n.high) - q_of(&q, n.low));
-            if !n.low.is_terminal() {
-                *w.entry(n.low.0).or_insert(0.0) += weight * (1.0 - pv);
+            let weight = w[id as usize];
+            let var = self.arena.var(id) as usize;
+            let pv = p[var];
+            let (lo, hi) = (self.arena.low(id), self.arena.high(id));
+            out[var] += weight * (q[hi as usize] - q[lo as usize]);
+            if lo >= 2 {
+                w[lo as usize] += weight * (1.0 - pv);
             }
-            if !n.high.is_terminal() {
-                *w.entry(n.high.0).or_insert(0.0) += weight * pv;
+            if hi >= 2 {
+                w[hi as usize] += weight * pv;
             }
         }
         Ok(out)
@@ -756,24 +976,28 @@ impl Bdd {
     /// Number of BDD nodes reachable from `f` (excluding terminals) —
     /// the usual size metric for ordering-heuristic comparisons.
     pub fn node_count(&self, f: NodeId) -> usize {
-        let mut seen = FxHashSet::default();
-        let mut stack = vec![f];
-        while let Some(n) = stack.pop() {
-            if n.is_terminal() || !seen.insert(n) {
+        let mut seen = vec![false; self.arena.len()];
+        let mut count = 0usize;
+        let mut stack = vec![f.0];
+        while let Some(id) = stack.pop() {
+            if id < 2 || seen[id as usize] {
                 continue;
             }
-            let node = self.nodes[n.0 as usize];
-            stack.push(node.low);
-            stack.push(node.high);
+            seen[id as usize] = true;
+            count += 1;
+            stack.push(self.arena.low(id));
+            stack.push(self.arena.high(id));
         }
-        seen.len()
+        count
     }
 
     // ---- garbage collection -------------------------------------------
 
     /// Pins `f` as a GC root. The returned handle keeps `f` and its
     /// whole cone alive across [`Bdd::gc`]; release with
-    /// [`Bdd::unprotect`].
+    /// [`Bdd::unprotect`]. Because collections renumber nodes, read
+    /// the root's live id back with [`Bdd::current`] after any call
+    /// that may have collected.
     pub fn protect(&mut self, f: NodeId) -> BddRef {
         let slot = match self.roots.iter().position(|&r| r == NONE) {
             Some(s) => {
@@ -788,9 +1012,14 @@ impl Bdd {
         BddRef { slot, id: f }
     }
 
+    /// The protected function's id as of now. Differs from
+    /// [`BddRef::id`] once a collection has compacted the arena.
+    pub fn current(&self, r: &BddRef) -> NodeId {
+        NodeId(self.roots[r.slot])
+    }
+
     /// Releases a root handle obtained from [`Bdd::protect`].
     pub fn unprotect(&mut self, r: BddRef) {
-        debug_assert_eq!(self.roots[r.slot], r.id.0, "mismatched BddRef");
         self.roots[r.slot] = NONE;
     }
 
@@ -799,55 +1028,76 @@ impl Bdd {
         self.roots.iter().filter(|&&r| r != NONE).count()
     }
 
-    /// Mark-and-sweep garbage collection.
+    /// Compacting mark-and-sweep garbage collection.
     ///
-    /// Everything unreachable from the protected roots is pushed onto
-    /// the free list for reuse; live nodes keep their [`NodeId`]s. The
-    /// unique table is rebuilt from the surviving arena and the ITE
-    /// cache is invalidated (freed ids may be re-allocated).
+    /// The live cone of the protected roots is copied into a fresh
+    /// arena in **DFS preorder** (high child first, matching the
+    /// recursion order of apply and probability evaluation), dead
+    /// nodes are dropped, the unique table is rebuilt over the new
+    /// layout, and the ITE cache is invalidated by generation tag.
     ///
-    /// **All unprotected node ids become dangling.** Callers must
-    /// protect every function they still intend to use — including the
-    /// intermediate results of in-flight computations, which is why the
-    /// manager only auto-collects via [`Bdd::maybe_gc`] at safe points,
-    /// never inside `ite` recursion.
+    /// **All outstanding [`NodeId`]s are renumbered.** Callers re-read
+    /// every function they still need through [`Bdd::current`] on its
+    /// [`BddRef`]; unprotected ids are simply gone. The manager only
+    /// auto-collects via [`Bdd::maybe_gc`] at caller-chosen safe
+    /// points, never inside `ite` recursion.
     pub fn gc(&mut self) -> GcRun {
-        let mut mark = vec![false; self.nodes.len()];
-        mark[0] = true;
-        mark[1] = true;
-        let mut stack: Vec<u32> = self.roots.iter().copied().filter(|&r| r != NONE).collect();
+        let _span = reliab_obs::span("bdd.gc.compact");
+        let old_len = self.arena.len();
+        // DFS preorder over the live cone. `remap[old] = new id`.
+        let mut remap: Vec<u32> = vec![NONE; old_len];
+        remap[0] = 0;
+        remap[1] = 1;
+        let mut order: Vec<u32> = Vec::with_capacity(old_len.min(1 << 20));
+        let mut stack: Vec<u32> = Vec::new();
+        // Reverse slot order so the lowest-numbered root's cone is
+        // laid out first (deterministic layout regardless of when
+        // roots were pinned).
+        for &r in self.roots.iter().rev() {
+            if r != NONE {
+                stack.push(r);
+            }
+        }
         while let Some(id) = stack.pop() {
-            if mark[id as usize] {
+            if id < 2 || remap[id as usize] != NONE {
                 continue;
             }
-            mark[id as usize] = true;
-            let n = self.nodes[id as usize];
-            stack.push(n.low.0);
-            stack.push(n.high.0);
+            remap[id as usize] = (2 + order.len()) as u32;
+            order.push(id);
+            // Push low first so the high child is visited (and laid
+            // out) immediately after its parent — `prob_rec` and the
+            // apply descent both recurse into `high` first.
+            stack.push(self.arena.low(id));
+            stack.push(self.arena.high(id));
         }
-        let mut reclaimed = 0usize;
-        for (idx, &marked) in mark.iter().enumerate().skip(2) {
-            if marked || self.nodes[idx].var == FREE_VAR {
-                continue;
+        let live = order.len();
+        let mut moved = 0usize;
+        let mut arena = NodeArena::with_terminals();
+        arena.vars.reserve(live);
+        arena.lows.reserve(live);
+        arena.highs.reserve(live);
+        for &old in &order {
+            let new = arena.push(
+                self.arena.var(old),
+                remap[self.arena.low(old) as usize],
+                remap[self.arena.high(old) as usize],
+            );
+            if new != old {
+                moved += 1;
             }
-            self.nodes[idx] = Node {
-                var: FREE_VAR,
-                low: NodeId(self.free_head),
-                high: NodeId::FALSE,
-            };
-            self.free_head = idx as u32;
-            self.free_count += 1;
-            reclaimed += 1;
         }
-        let live_ids: Vec<u32> = (2..self.nodes.len() as u32)
-            .filter(|&i| self.nodes[i as usize].var != FREE_VAR)
-            .collect();
-        self.unique
-            .rebuild_from_arena(&self.nodes, live_ids.into_iter());
+        self.arena = arena;
+        for r in self.roots.iter_mut() {
+            if *r != NONE {
+                *r = remap[*r as usize];
+            }
+        }
+        let reclaimed = old_len - 2 - live;
+        self.unique.rebuild_from_arena(&self.arena);
         self.cache.invalidate_all();
         self.gc_runs += 1;
         self.gc_reclaimed += reclaimed as u64;
-        let live = self.live_nodes();
+        self.gc_moved += moved as u64;
         self.next_gc_at = (live * 2).max(self.gc_threshold);
         if reliab_obs::trace_enabled() {
             reliab_obs::event(
@@ -856,17 +1106,23 @@ impl Bdd {
                     ("run", self.gc_runs.into()),
                     ("reclaimed", reclaimed.into()),
                     ("live", live.into()),
+                    ("moved", moved.into()),
                     ("next_gc_at", self.next_gc_at.into()),
                 ],
             );
         }
-        GcRun { reclaimed, live }
+        GcRun {
+            reclaimed,
+            live,
+            moved,
+        }
     }
 
-    /// Runs [`Bdd::gc`] if the live-node count has crossed the current
-    /// threshold *and* at least one root is protected (collecting with
-    /// no roots would free everything). After a pass the threshold
-    /// adapts to `max(configured, 2 × live)` so GC stays amortized.
+    /// Runs [`Bdd::gc`] if the allocated-node count has crossed the
+    /// current threshold *and* at least one root is protected
+    /// (collecting with no roots would free everything). After a pass
+    /// the threshold adapts to `max(configured, 2 × live)` so GC stays
+    /// amortized.
     pub fn maybe_gc(&mut self) -> Option<GcRun> {
         if self.live_nodes() >= self.next_gc_at && self.roots.iter().any(|&r| r != NONE) {
             Some(self.gc())
@@ -924,16 +1180,16 @@ impl Bdd {
         if let Some(r) = memo.get(&f) {
             return r.clone();
         }
-        let n = self.nodes[f.0 as usize];
-        let low = self.min_sol_rec(n.low, memo);
-        let high = self.min_sol_rec(n.high, memo);
+        let var = self.topvar(f);
+        let low = self.min_sol_rec(NodeId(self.arena.low(f.0)), memo);
+        let high = self.min_sol_rec(NodeId(self.arena.high(f.0)), memo);
         let mut result = low.clone();
         for h in high {
             // Keep {v} ∪ h only if no low-solution is a subset of it
             // (those already fire without v).
             if !low.iter().any(|l| l.is_subset(&h)) {
                 let mut s = h;
-                s.insert(n.var);
+                s.insert(var);
                 result.push(s);
             }
         }
@@ -962,12 +1218,13 @@ impl Bdd {
             out.push(prefix.clone());
             return;
         }
-        let n = self.nodes[f.0 as usize];
-        prefix.push((n.var, false));
-        self.paths_rec(n.low, prefix, out);
+        let var = self.topvar(f);
+        let (low, high) = (NodeId(self.arena.low(f.0)), NodeId(self.arena.high(f.0)));
+        prefix.push((var, false));
+        self.paths_rec(low, prefix, out);
         prefix.pop();
-        prefix.push((n.var, true));
-        self.paths_rec(n.high, prefix, out);
+        prefix.push((var, true));
+        self.paths_rec(high, prefix, out);
         prefix.pop();
     }
 }
@@ -1207,6 +1464,7 @@ mod tests {
         let mut b = Bdd::new(4);
         assert_eq!(b.stats().arena_nodes, 2);
         assert_eq!(b.stats().ite_cache_lookups, 0);
+        assert_eq!(b.stats().ite_hit_rate(), 0.0);
         let vars: Vec<NodeId> = (0..4).map(|i| b.var(i).unwrap()).collect();
         let f = b.at_least_k(&vars, 2);
         let s = b.stats();
@@ -1214,6 +1472,7 @@ mod tests {
         assert_eq!(s.arena_nodes, b.arena_size());
         assert!(s.unique_entries > 0);
         assert!(s.ite_cache_lookups >= s.ite_cache_hits);
+        assert!((0.0..=1.0).contains(&s.ite_hit_rate()));
         // Recomputing the same function hits the computed-table.
         let before = b.stats().ite_cache_hits;
         let f2 = b.at_least_k(&vars, 2);
@@ -1227,7 +1486,24 @@ mod tests {
         assert!(b.eval(NodeId::TRUE, &[true]).is_err());
     }
 
-    // ---- new-kernel tests ---------------------------------------------
+    #[test]
+    fn standard_triples_share_cache_entries() {
+        // and(x, y) then and(y, x): the commuted call must be a cache
+        // hit, not just a canonical-node hit.
+        let mut b = Bdd::new(2);
+        let x = b.var(0).unwrap();
+        let y = b.var(1).unwrap();
+        let xy = b.and(x, y);
+        let hits_before = b.stats().ite_cache_hits;
+        let yx = b.and(y, x);
+        assert_eq!(xy, yx);
+        assert!(
+            b.stats().ite_cache_hits > hits_before,
+            "commuted AND should hit the normalized computed-table entry"
+        );
+    }
+
+    // ---- compacting-GC tests ------------------------------------------
 
     #[test]
     fn gc_reclaims_unreachable_nodes() {
@@ -1243,7 +1519,9 @@ mod tests {
         assert_eq!(run.live, b.live_nodes());
         assert_eq!(b.stats().gc_runs, 1);
         assert_eq!(b.stats().gc_reclaimed, run.reclaimed as u64);
-        // The protected function still evaluates identically.
+        // The protected function (under its compacted id) still
+        // evaluates identically.
+        let keep = b.current(&root);
         let p = [0.2; 8];
         let q = b.probability(keep, &p).unwrap();
         let expect = {
@@ -1263,19 +1541,23 @@ mod tests {
         let f = b.at_least_k(&vars, 3);
         let _junk = b.at_least_k(&vars, 2);
         let root = b.protect(f);
+        let live_before = b.live_nodes();
         b.gc();
         // Rebuilding the same function after GC must hash-cons onto the
-        // surviving nodes (freed ids get reused, live ids stay stable).
-        // The old `vars` handles are dangling now — unprotected ids die
-        // in gc — so re-acquire them.
+        // surviving (renumbered) nodes, not duplicate them. The old
+        // `vars` and `f` ids are dangling — re-read through the guard.
+        let f = b.current(&root);
         let vars2: Vec<NodeId> = (0..6).map(|i| b.var(i).unwrap()).collect();
         let f2 = b.at_least_k(&vars2, 3);
         assert_eq!(f, f2, "canonicity lost across gc");
+        // Only garbage intermediates get rebuilt — f's cone is shared,
+        // so the arena never exceeds its pre-collection population.
+        assert!(b.live_nodes() <= live_before);
         b.unprotect(root);
     }
 
     #[test]
-    fn freed_slots_are_reused_by_alloc() {
+    fn gc_compacts_live_cone_into_preorder_prefix() {
         let mut b = Bdd::new(10);
         let vars: Vec<NodeId> = (0..10).map(|i| b.var(i).unwrap()).collect();
         let keep = b.or(vars[0], vars[1]);
@@ -1284,12 +1566,13 @@ mod tests {
         let arena_before = b.arena_size();
         let run = b.gc();
         assert!(run.reclaimed > 0);
-        // New construction should fill freed slots, not grow the arena
-        // (re-acquire the variable nodes — gc freed the old handles).
-        let vars2: Vec<NodeId> = (0..6).map(|i| b.var(i).unwrap()).collect();
-        let g = b.at_least_k(&vars2, 2);
-        assert!(b.arena_size() <= arena_before, "free list not reused");
-        assert!(!g.is_terminal());
+        // Compaction shrinks the arena to exactly the live cone...
+        assert_eq!(b.arena_size(), 2 + run.live);
+        assert!(b.arena_size() < arena_before);
+        // ...and relocated nodes are counted.
+        assert_eq!(run.moved as u64, b.stats().gc_moved);
+        // The compacted root sits at the start of the preorder prefix.
+        assert_eq!(b.current(&root), NodeId(2));
         b.unprotect(root);
     }
 
@@ -1306,6 +1589,7 @@ mod tests {
         assert!(run.is_some(), "live {} >= threshold 8", b.live_nodes());
         // Immediately after a pass the adaptive threshold backs off.
         assert!(b.maybe_gc().is_none());
+        let f = b.current(&root);
         let p = [0.3; 12];
         assert!(b.probability(f, &p).is_ok());
         b.unprotect(root);
@@ -1352,6 +1636,7 @@ mod tests {
         let r1 = b.protect(x);
         let r2 = b.protect(y);
         assert_eq!(b.protected_roots(), 2);
+        assert_eq!(b.current(&r1), x);
         b.unprotect(r1);
         let r3 = b.protect(y);
         assert_eq!(b.protected_roots(), 2, "freed slot should be reused");
@@ -1366,5 +1651,11 @@ mod tests {
         assert_eq!(b.current_order(), vec![0, 1, 2, 3, 4]);
         assert_eq!(b.var_level(3), Some(3));
         assert_eq!(b.var_level(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed-node limit")]
+    fn too_many_variables_panics() {
+        let _ = Bdd::new(MAX_VARS + 1);
     }
 }

@@ -1,0 +1,468 @@
+//! Work-partitioned parallel ITE.
+//!
+//! A large `ite(f, g, h)` call is decomposed by cofactoring all three
+//! operands over the top `k` levels of the current order: each of the
+//! `2^k` assignments yields an independent subproblem whose operands
+//! live entirely in the main arena. Distinct subproblems are deduped
+//! and solved by a `thread::scope` worker pool; workers read the main
+//! arena and unique table through a shared `&Bdd` (never writing
+//! them) and intern fresh nodes into a hash-sharded side store, so the
+//! only synchronization on the hot path is a sharded `RwLock`
+//! acquisition per *cache-missed* `mk`.
+//!
+//! Determinism does not come from the workers — provisional side-store
+//! ids depend on scheduling — but from the **sequential reduction**:
+//! subproblem results are re-interned into the main arena in fixed
+//! triple order, and the reduced ROBDD is canonical (unique for a
+//! given function and variable order). Every `jobs` count therefore
+//! produces the same canonical graph, the same node count, and
+//! bitwise-identical probabilities; only internal node numbering may
+//! differ, which no measure observes. This mirrors the sharded-reach
+//! design in `crates/spn` (provisional ids erased by a deterministic
+//! replay).
+
+use crate::{Bdd, NodeId};
+use reliab_core::fxhash::{hash_u32x3, FxHashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+/// log2 of the side-store shard count.
+const SHARD_BITS: u32 = 6;
+const NSHARDS: usize = 1 << SHARD_BITS;
+/// Upper bound on the split depth: 2^12 assignments is plenty to feed
+/// any realistic worker count, and the prefix walk stays cheap.
+const MAX_SPLIT_LEVELS: u32 = 12;
+
+/// One shard of the side store: hash-consing map plus the node bodies,
+/// indexed by local id.
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<(u16, u32, u32), u32>,
+    nodes: Vec<(u16, u32, u32)>,
+}
+
+/// Hash-sharded node store for worker-created nodes. Ids are encoded
+/// as `base + ((local << SHARD_BITS) | shard)` with `base` the main
+/// arena length, so `id >= base` distinguishes side-store nodes.
+struct ShardedStore {
+    base: u32,
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl ShardedStore {
+    fn new(base: u32) -> Self {
+        ShardedStore {
+            base,
+            shards: (0..NSHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+        }
+    }
+
+    /// Hash-consed insert. Workers only ever *compare* the returned
+    /// ids (and use them as children of later interns) — they never
+    /// read a side-store node's body during recursion, so a read lock
+    /// for the fast path and a double-checked write lock suffice.
+    fn intern(&self, var: u16, low: u32, high: u32) -> u32 {
+        let shard = (hash_u32x3(var as u32, low, high) & (NSHARDS - 1) as u64) as usize;
+        let key = (var, low, high);
+        {
+            let s = self.shards[shard].read().expect("shard poisoned");
+            if let Some(&local) = s.map.get(&key) {
+                return self.encode(shard, local);
+            }
+        }
+        let mut s = self.shards[shard].write().expect("shard poisoned");
+        if let Some(&local) = s.map.get(&key) {
+            return self.encode(shard, local);
+        }
+        let local = s.nodes.len() as u32;
+        s.nodes.push(key);
+        s.map.insert(key, local);
+        self.encode(shard, local)
+    }
+
+    #[inline]
+    fn encode(&self, shard: usize, local: u32) -> u32 {
+        debug_assert!(local < (u32::MAX - self.base) >> SHARD_BITS);
+        self.base + ((local << SHARD_BITS) | shard as u32)
+    }
+
+    /// Tears the store down into per-shard node vectors for the
+    /// lock-free sequential reduction.
+    fn into_nodes(self) -> Vec<Vec<(u16, u32, u32)>> {
+        self.shards
+            .into_iter()
+            .map(|s| s.into_inner().expect("shard poisoned").nodes)
+            .collect()
+    }
+}
+
+/// Per-worker recursion state: shared read-only manager, shared side
+/// store, private computed-table.
+struct Worker<'a> {
+    bdd: &'a Bdd,
+    store: &'a ShardedStore,
+    cache: FxHashMap<(u32, u32, u32), u32>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl<'a> Worker<'a> {
+    fn new(bdd: &'a Bdd, store: &'a ShardedStore) -> Self {
+        Worker {
+            bdd,
+            store,
+            cache: FxHashMap::default(),
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Worker-side `mk`: consult the main unique table read-only (the
+    /// node may already exist there), otherwise intern into the side
+    /// store. Children may themselves be provisional side-store ids,
+    /// in which case the node cannot exist in the main table.
+    #[inline]
+    fn mk(&mut self, var: u16, low: u32, high: u32) -> u32 {
+        if low == high {
+            return low;
+        }
+        if low < self.store.base && high < self.store.base {
+            if let Some(id) = self.bdd.unique.find(&self.bdd.arena, var, low, high) {
+                return id;
+            }
+        }
+        self.store.intern(var, low, high)
+    }
+
+    /// Full sequential ITE over a subproblem. Operands are always
+    /// main-arena ids (cofactors of main nodes stay in the main
+    /// arena); only *results* may be provisional.
+    fn ite(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        debug_assert!(f < self.store.base && g < self.store.base && h < self.store.base);
+        if f == 1 {
+            return g;
+        }
+        if f == 0 {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == 1 && h == 0 {
+            return f;
+        }
+        // Standard-triple normalization, mirroring `Bdd::ite_rec` so
+        // commuted calls share a worker-cache entry.
+        let (f, mut g, mut h) = (f, g, h);
+        let (f, g, h) = {
+            if g == f {
+                g = 1;
+            }
+            if h == f {
+                h = 0;
+            }
+            if g == h {
+                return g;
+            }
+            if g == 1 && h == 0 {
+                return f;
+            }
+            let bdd = self.bdd;
+            let rank = |n: u32| (bdd.level_of_var(bdd.arena.var(n) as u32), n);
+            if h == 0 && g >= 2 && rank(f) > rank(g) {
+                (g, f, h)
+            } else if g == 1 && h >= 2 && rank(f) > rank(h) {
+                (h, g, f)
+            } else {
+                (f, g, h)
+            }
+        };
+        self.lookups += 1;
+        if let Some(&r) = self.cache.get(&(f, g, h)) {
+            self.hits += 1;
+            return r;
+        }
+        let top_level = [f, g, h]
+            .iter()
+            .filter(|&&n| n >= 2)
+            .map(|&n| self.bdd.level_of_var(self.bdd.arena.var(n) as u32))
+            .min()
+            .expect("at least f is non-terminal");
+        let v = self.bdd.level2var[top_level as usize];
+        let (f0, f1) = self.cofactor(f, v);
+        let (g0, g1) = self.cofactor(g, v);
+        let (h0, h1) = self.cofactor(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v as u16, lo, hi);
+        self.cache.insert((f, g, h), r);
+        r
+    }
+
+    #[inline]
+    fn cofactor(&self, n: u32, v: u32) -> (u32, u32) {
+        if n < 2 || self.bdd.arena.var(n) as u32 != v {
+            (n, n)
+        } else {
+            (self.bdd.arena.low(n), self.bdd.arena.high(n))
+        }
+    }
+}
+
+impl Bdd {
+    /// Attempts the work-partitioned parallel apply. Returns `None`
+    /// when the call does not decompose into enough distinct
+    /// subproblems to pay for the thread pool — the caller then runs
+    /// the sequential path. Trees whose gates have pairwise-disjoint
+    /// support (e.g. an OR spine over independent subsystems) collapse
+    /// the top-level cofactor space to a handful of triples that share
+    /// almost everything below the split, so they fall back by design:
+    /// dispatching them would make each worker redo the shared work.
+    /// Shared-support threshold structures decompose widely and do
+    /// dispatch.
+    pub(crate) fn ite_par(&mut self, f: NodeId, g: NodeId, h: NodeId) -> Option<NodeId> {
+        // Normalize first so the main computed-table sees the same key
+        // the sequential path would use.
+        let (f, g, h) = match self.standard_triple(f, g, h) {
+            Ok(t) => t,
+            Err(r) => return Some(r),
+        };
+        if let Some(r) = self.cache.get(f, g, h) {
+            return Some(r);
+        }
+        let l0 = [f, g, h]
+            .iter()
+            .filter(|n| !n.is_terminal())
+            .map(|n| self.level_of_var(self.topvar(*n)))
+            .min()
+            .expect("f is non-terminal");
+        let depth_budget = (self.nvars - l0).min(MAX_SPLIT_LEVELS);
+        // Aim for ~8 subproblems per worker so the work-stealing
+        // counter balances uneven subtree sizes.
+        let want = (self.jobs * 8).next_power_of_two().trailing_zeros();
+        let k = want.min(depth_budget);
+        if k == 0 {
+            return None;
+        }
+        // Cofactor the operands over the top-k-level assignments and
+        // dedupe the resulting triples: shared subtrees collapse most
+        // of the 2^k assignments onto few distinct subproblems.
+        let n_assign = 1usize << k;
+        let mut triple_index: FxHashMap<(u32, u32, u32), usize> = FxHashMap::default();
+        let mut triples: Vec<(u32, u32, u32)> = Vec::new();
+        let mut assign_to_triple: Vec<usize> = Vec::with_capacity(n_assign);
+        for a in 0..n_assign {
+            let tf = self.cofactor_prefix(f.0, a, k, l0);
+            let tg = self.cofactor_prefix(g.0, a, k, l0);
+            let th = self.cofactor_prefix(h.0, a, k, l0);
+            let idx = *triple_index.entry((tf, tg, th)).or_insert_with(|| {
+                triples.push((tf, tg, th));
+                triples.len() - 1
+            });
+            assign_to_triple.push(idx);
+        }
+        if triples.len() < self.jobs * 2 {
+            // Too little independent work: the operands share almost
+            // everything under the split levels.
+            return None;
+        }
+        let _span = reliab_obs::span("bdd.apply.par");
+        let store = ShardedStore::new(self.arena.len() as u32);
+        let next = AtomicUsize::new(0);
+        let nworkers = self.jobs.min(triples.len());
+        let mut results: Vec<u32> = vec![0; triples.len()];
+        let mut fold_lookups = 0u64;
+        let mut fold_hits = 0u64;
+        {
+            let shared: &Bdd = self;
+            let triples_ref: &[(u32, u32, u32)] = &triples;
+            let store_ref = &store;
+            let next_ref = &next;
+            let worker_outputs: Vec<(Vec<(usize, u32)>, u64, u64)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..nworkers)
+                        .map(|_| {
+                            scope.spawn(move || {
+                                let mut w = Worker::new(shared, store_ref);
+                                let mut out: Vec<(usize, u32)> = Vec::new();
+                                loop {
+                                    let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                                    if idx >= triples_ref.len() {
+                                        break;
+                                    }
+                                    let (tf, tg, th) = triples_ref[idx];
+                                    out.push((idx, w.ite(tf, tg, th)));
+                                }
+                                (out, w.lookups, w.hits)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|hd| hd.join().expect("bdd apply worker panicked"))
+                        .collect()
+                });
+            for (out, lookups, hits) in worker_outputs {
+                fold_lookups += lookups;
+                fold_hits += hits;
+                for (idx, r) in out {
+                    results[idx] = r;
+                }
+            }
+        }
+        self.cache.fold_external(fold_lookups, fold_hits);
+        // Deterministic sequential reduction: re-intern provisional
+        // side-store results into the main arena in fixed triple
+        // order, then recombine the per-assignment layer bottom-up.
+        let side = store.into_nodes();
+        let base = self.arena.len() as u32;
+        let mut memo: FxHashMap<u32, NodeId> = FxHashMap::default();
+        let reduced: Vec<NodeId> = results
+            .iter()
+            .map(|&pid| self.intern_result(pid, base, &side, &mut memo))
+            .collect();
+        let mut layer: Vec<NodeId> = assign_to_triple.iter().map(|&t| reduced[t]).collect();
+        for d in (0..k).rev() {
+            let v = self.level2var[(l0 + d) as usize];
+            for j in 0..(1usize << d) {
+                layer[j] = self.mk(v, layer[2 * j], layer[2 * j + 1]);
+            }
+            layer.truncate(1 << d);
+        }
+        let r = layer[0];
+        self.cache.put(f, g, h, r);
+        self.par_apply_calls += 1;
+        self.par_subproblems += triples.len() as u64;
+        if reliab_obs::trace_enabled() {
+            reliab_obs::event(
+                "bdd.apply.par",
+                &[
+                    ("workers", nworkers.into()),
+                    ("split_levels", k.into()),
+                    ("subproblems", triples.len().into()),
+                    ("side_nodes", side.iter().map(Vec::len).sum::<usize>().into()),
+                ],
+            );
+        }
+        Some(r)
+    }
+
+    /// Follows the top-`k`-level assignment `a` down from `n`:
+    /// variables at levels `l0 + d` are fixed to bit `k-1-d` of `a`
+    /// (MSB = topmost level). Pure edge descent — allocates nothing.
+    fn cofactor_prefix(&self, mut n: u32, a: usize, k: u32, l0: u32) -> u32 {
+        while n >= 2 {
+            let l = self.level_of_var(self.arena.var(n) as u32);
+            if l >= l0 + k {
+                break;
+            }
+            debug_assert!(l >= l0);
+            let bit = (a >> (k - 1 - (l - l0))) & 1;
+            n = if bit == 1 {
+                self.arena.high(n)
+            } else {
+                self.arena.low(n)
+            };
+        }
+        n
+    }
+
+    /// Re-interns a provisional side-store id (and its side-store
+    /// descendants) into the main arena. Main-arena ids pass through
+    /// untouched — side-store nodes can reference them as children,
+    /// never the other way around.
+    fn intern_result(
+        &mut self,
+        pid: u32,
+        base: u32,
+        side: &[Vec<(u16, u32, u32)>],
+        memo: &mut FxHashMap<u32, NodeId>,
+    ) -> NodeId {
+        if pid < base {
+            return NodeId(pid);
+        }
+        if let Some(&r) = memo.get(&pid) {
+            return r;
+        }
+        let off = pid - base;
+        let shard = (off & (NSHARDS as u32 - 1)) as usize;
+        let local = (off >> SHARD_BITS) as usize;
+        let (var, lo, hi) = side[shard][local];
+        let l = self.intern_result(lo, base, side, memo);
+        let h = self.intern_result(hi, base, side, memo);
+        let r = self.mk(var as u32, l, h);
+        memo.insert(pid, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Bdd, BddConfig, NodeId};
+
+    /// A moderately shared random-ish monotone function over `n` vars.
+    fn build(b: &mut Bdd, n: u32) -> NodeId {
+        let vars: Vec<NodeId> = (0..n).map(|i| b.var(i).unwrap()).collect();
+        let mut terms = Vec::new();
+        for i in 0..(n as usize - 2) {
+            let t = b.and(vars[i], vars[i + 2]);
+            terms.push(t);
+        }
+        let any = b.or_all(terms);
+        let thresh = b.at_least_k(&vars, n as usize / 2);
+        b.or(any, thresh)
+    }
+
+    #[test]
+    fn parallel_apply_matches_sequential_bitwise() {
+        let n = 18u32;
+        let p: Vec<f64> = (0..n).map(|i| 0.02 + 0.01 * i as f64).collect();
+        let mut seq = Bdd::new(n);
+        let f_seq = build(&mut seq, n);
+        let q_seq = seq.probability(f_seq, &p).unwrap();
+        let count_seq = seq.node_count(f_seq);
+        for jobs in [2usize, 4, 8] {
+            let mut cfg = BddConfig::new();
+            cfg.jobs = jobs;
+            cfg.par_node_threshold = 1; // force the parallel path
+            let mut par = Bdd::new_with(n, cfg);
+            let f_par = build(&mut par, n);
+            let q_par = par.probability(f_par, &p).unwrap();
+            assert_eq!(
+                q_seq.to_bits(),
+                q_par.to_bits(),
+                "jobs={jobs}: {q_seq} vs {q_par}"
+            );
+            assert_eq!(count_seq, par.node_count(f_par), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_dispatch_is_counted() {
+        let n = 20u32;
+        let mut cfg = BddConfig::new();
+        cfg.jobs = 4;
+        cfg.par_node_threshold = 1;
+        let mut b = Bdd::new_with(n, cfg);
+        let _f = build(&mut b, n);
+        let s = b.stats();
+        assert_eq!(s.jobs, 4);
+        assert!(
+            s.par_apply_calls > 0,
+            "expected at least one parallel dispatch, got {s:?}"
+        );
+        assert!(s.par_subproblems >= s.par_apply_calls);
+    }
+
+    #[test]
+    fn small_calls_fall_back_to_sequential() {
+        let mut cfg = BddConfig::new();
+        cfg.jobs = 4; // threshold left at default: never reached here
+        let mut b = Bdd::new_with(4, cfg);
+        let x = b.var(0).unwrap();
+        let y = b.var(1).unwrap();
+        let f = b.and(x, y);
+        assert_eq!(b.probability(f, &[0.5, 0.5, 0.0, 0.0]).unwrap(), 0.25);
+        assert_eq!(b.stats().par_apply_calls, 0);
+    }
+}

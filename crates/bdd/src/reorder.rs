@@ -2,20 +2,22 @@
 //! swaps.
 //!
 //! The manager keeps a `var ↔ level` indirection, so reordering never
-//! renames variables — external [`NodeId`]s, per-variable probability
-//! vectors and the caller's `event → var` maps all stay valid. A swap
-//! of adjacent levels rewrites only the nodes labelled with the upper
-//! variable, **in place**: a node keeps its id (and therefore its
-//! function) while its `(var, low, high)` key changes, which is exactly
-//! what the unique table's remove/insert pair supports.
+//! renames variables — per-variable probability vectors and the
+//! caller's `event → var` maps all stay valid. A swap of adjacent
+//! levels rewrites only the nodes labelled with the upper variable,
+//! **in place**: a node keeps its id (and therefore its function)
+//! while its `(var, low, high)` key changes, which is exactly what the
+//! unique table's remove/insert pair supports.
 //!
 //! Sifting moves one variable at a time through every level, records
 //! the position minimizing the number of live reachable nodes, and
 //! parks it there (falling back to the best seen). Garbage from
 //! rewritten nodes is collected between variables so size measurements
-//! stay honest.
+//! stay honest — and since every collection *compacts* the arena, node
+//! ids churn during a sift: the caller's root comes back renumbered in
+//! the returned [`SiftRun`].
 
-use crate::{Bdd, Node, NodeId, FREE_VAR, NONE};
+use crate::{Bdd, NodeId, SiftRun, NONE};
 
 impl Bdd {
     /// Rudell sifting: greedily repositions every variable at its
@@ -23,13 +25,17 @@ impl Bdd {
     ///
     /// `root` is protected for the duration (along with any roots the
     /// caller already holds — the *whole manager* is reordered, so
-    /// other protected functions stay consistent too). Protected node
-    /// ids remain valid; **unprotected nodes are garbage-collected**
-    /// as part of sifting, exactly as by [`Bdd::gc`]. Returns the node
-    /// count of `root` after reordering.
-    pub fn sift(&mut self, root: NodeId) -> usize {
+    /// other protected functions stay consistent too). **Unprotected
+    /// nodes are garbage-collected** as part of sifting, exactly as by
+    /// [`Bdd::gc`], and compaction renumbers every node: use
+    /// [`SiftRun::root`] afterwards (and [`Bdd::current`] for any
+    /// other roots the caller holds).
+    pub fn sift(&mut self, root: NodeId) -> SiftRun {
         if self.nvars < 2 {
-            return self.node_count(root);
+            return SiftRun {
+                root,
+                size: self.node_count(root),
+            };
         }
         let guard = self.protect(root);
         // Start from a clean arena so bucket scans see only live nodes.
@@ -51,8 +57,12 @@ impl Bdd {
             self.fill_buckets(&mut buckets);
         }
         self.sift_runs += 1;
+        let root = self.current(&guard);
         self.unprotect(guard);
-        self.node_count(root)
+        SiftRun {
+            root,
+            size: self.node_count(root),
+        }
     }
 
     /// Rebuilds the per-variable node buckets from an arena scan.
@@ -60,9 +70,10 @@ impl Bdd {
         for b in buckets.iter_mut() {
             b.clear();
         }
-        for (idx, n) in self.nodes.iter().enumerate().skip(2) {
-            if n.var < self.nvars {
-                buckets[n.var as usize].push(idx as u32);
+        for id in 2..self.arena.len() as u32 {
+            let var = self.arena.var(id) as u32;
+            if var < self.nvars {
+                buckets[var as usize].push(id);
             }
         }
     }
@@ -72,7 +83,7 @@ impl Bdd {
     /// earlier swaps is invisible to it.
     fn reachable_live(&self, mark: &mut Vec<bool>) -> usize {
         mark.clear();
-        mark.resize(self.nodes.len(), false);
+        mark.resize(self.arena.len(), false);
         let mut count = 0usize;
         let mut stack: Vec<u32> = self.roots.iter().copied().filter(|&r| r != NONE).collect();
         while let Some(id) = stack.pop() {
@@ -81,9 +92,8 @@ impl Bdd {
             }
             mark[id as usize] = true;
             count += 1;
-            let n = self.nodes[id as usize];
-            stack.push(n.low.0);
-            stack.push(n.high.0);
+            stack.push(self.arena.low(id));
+            stack.push(self.arena.high(id));
         }
         count
     }
@@ -135,47 +145,42 @@ impl Bdd {
     fn swap_levels(&mut self, level: usize, buckets: &mut [Vec<u32>]) {
         let a = self.level2var[level];
         let b = self.level2var[level + 1];
+        let a16 = a as u16;
+        let b16 = b as u16;
         let ids = std::mem::take(&mut buckets[a as usize]);
         let mut keep: Vec<u32> = Vec::with_capacity(ids.len());
         for id in ids {
-            let n = self.nodes[id as usize];
-            debug_assert_eq!(n.var, a);
-            debug_assert_ne!(n.var, FREE_VAR);
-            let ln = self.nodes[n.low.0 as usize];
-            let hn = self.nodes[n.high.0 as usize];
-            let low_is_b = ln.var == b;
-            let high_is_b = hn.var == b;
+            debug_assert_eq!(self.arena.var(id), a16);
+            let (low, high) = (self.arena.low(id), self.arena.high(id));
+            let low_is_b = self.arena.var(low) == b16;
+            let high_is_b = self.arena.var(high) == b16;
             if !low_is_b && !high_is_b {
                 keep.push(id);
                 continue;
             }
             let (f00, f01) = if low_is_b {
-                (ln.low, ln.high)
+                (self.arena.low(low), self.arena.high(low))
             } else {
-                (n.low, n.low)
+                (low, low)
             };
             let (f10, f11) = if high_is_b {
-                (hn.low, hn.high)
+                (self.arena.low(high), self.arena.high(high))
             } else {
-                (n.high, n.high)
+                (high, high)
             };
             // Remove under the old key before touching the node.
-            self.unique.remove(&self.nodes, NodeId(id));
-            let (g0, g0_new) = self.mk_tracked(a, f00, f10);
+            self.unique.remove(&self.arena, id);
+            let (g0, g0_new) = self.mk_tracked(a, NodeId(f00), NodeId(f10));
             if g0_new {
                 keep.push(g0.0);
             }
-            let (g1, g1_new) = self.mk_tracked(a, f01, f11);
+            let (g1, g1_new) = self.mk_tracked(a, NodeId(f01), NodeId(f11));
             if g1_new {
                 keep.push(g1.0);
             }
             debug_assert_ne!(g0, g1, "swap produced a degenerate node");
-            self.nodes[id as usize] = Node {
-                var: b,
-                low: g0,
-                high: g1,
-            };
-            self.unique.insert(&self.nodes, NodeId(id));
+            self.arena.set(id, b16, g0.0, g1.0);
+            self.unique.insert(&self.arena, id);
             buckets[b as usize].push(id);
         }
         buckets[a as usize] = keep;
@@ -212,15 +217,17 @@ mod tests {
         let mut b = Bdd::new(12);
         let f = interleaved_and_or(&mut b, 6);
         let before = b.node_count(f);
-        let after = b.sift(f);
+        let run = b.sift(f);
         // The good order is linear (2p nodes); the bad one exponential.
         assert!(
-            after < before,
-            "sifting should shrink {before} nodes (got {after})"
+            run.size < before,
+            "sifting should shrink {before} nodes (got {})",
+            run.size
         );
-        assert!(after <= 2 * 6 + 2);
+        assert!(run.size <= 2 * 6 + 2);
         assert!(b.stats().sift_runs == 1);
         assert!(b.stats().sift_swaps > 0);
+        assert_eq!(b.node_count(run.root), run.size);
     }
 
     #[test]
@@ -229,7 +236,9 @@ mod tests {
         let f = interleaved_and_or(&mut b, 5);
         let p: Vec<f64> = (0..10).map(|i| 0.05 + 0.08 * i as f64).collect();
         let before = b.probability(f, &p).unwrap();
-        b.sift(f);
+        // Sifting garbage-collects (compacting), so the old `f` id is
+        // dangling afterwards — use the returned root.
+        let f = b.sift(f).root;
         let after = b.probability(f, &p).unwrap();
         assert!(
             (before - after).abs() < 1e-12,
@@ -257,7 +266,9 @@ mod tests {
         let p = [0.2; 8];
         let pf = b.probability(f, &p).unwrap();
         let pg = b.probability(g, &p).unwrap();
-        b.sift(f);
+        let f = b.sift(f).root;
+        // g was renumbered by sifting's compactions — re-read it.
+        let g = b.current(&g_guard);
         assert!((b.probability(f, &p).unwrap() - pf).abs() < 1e-12);
         assert!((b.probability(g, &p).unwrap() - pg).abs() < 1e-12);
         b.unprotect(g_guard);
@@ -267,16 +278,17 @@ mod tests {
     fn sift_trivial_managers() {
         let mut b = Bdd::new(1);
         let x = b.var(0).unwrap();
-        assert_eq!(b.sift(x), 1);
+        let run = b.sift(x);
+        assert_eq!((run.root, run.size), (x, 1));
         let mut b2 = Bdd::new(3);
-        assert_eq!(b2.sift(NodeId::TRUE), 0);
+        assert_eq!(b2.sift(NodeId::TRUE).size, 0);
     }
 
     #[test]
     fn restrict_respects_levels_after_sift() {
         let mut b = Bdd::new(6);
         let f = interleaved_and_or(&mut b, 3);
-        b.sift(f);
+        let f = b.sift(f).root;
         // Restricting by each variable still produces the correct
         // cofactor regardless of where the level moved.
         let p: Vec<f64> = vec![0.3; 6];

@@ -5,11 +5,12 @@
 //! the arena itself, so a probe costs one cache line for the slot plus
 //! one arena read for the candidate — no tuple keys, no per-entry
 //! allocation, and FxHash instead of SipHash. Deletion (needed by
-//! garbage collection and by level swaps during sifting) uses
-//! tombstones; tombstone build-up triggers a same-size rehash, growth a
-//! doubling rehash, both bounded by a 3/4 load factor.
+//! level swaps during sifting) uses tombstones; tombstone build-up
+//! triggers a same-size rehash, growth a doubling rehash, both bounded
+//! by a 3/4 load factor. Garbage collection compacts the arena and
+//! re-indexes from scratch via [`UniqueTable::rebuild_from_arena`].
 
-use crate::{Node, NodeId};
+use crate::NodeArena;
 use reliab_core::fxhash::hash_u32x3;
 
 const EMPTY: u32 = u32::MAX;
@@ -20,7 +21,7 @@ const MIN_CAPACITY: usize = 256;
 /// where it should be inserted.
 pub(crate) enum Probe {
     /// Key present: the canonical node.
-    Found(NodeId),
+    Found(u32),
     /// Key absent: insert position for [`UniqueTable::commit`].
     Insert(usize),
 }
@@ -54,9 +55,9 @@ impl UniqueTable {
     /// slot to insert into (reusing the first tombstone on the probe
     /// path, keeping chains short).
     #[inline]
-    pub(crate) fn probe(&self, nodes: &[Node], var: u32, low: NodeId, high: NodeId) -> Probe {
+    pub(crate) fn probe(&self, arena: &NodeArena, var: u16, low: u32, high: u32) -> Probe {
         let mask = self.mask();
-        let mut idx = (hash_u32x3(var, low.0, high.0) & mask) as usize;
+        let mut idx = (hash_u32x3(var as u32, low, high) & mask) as usize;
         let mut first_tombstone: Option<usize> = None;
         loop {
             let slot = self.slots[idx];
@@ -67,13 +68,22 @@ impl UniqueTable {
                 if first_tombstone.is_none() {
                     first_tombstone = Some(idx);
                 }
-            } else {
-                let n = &nodes[slot as usize];
-                if n.var == var && n.low == low && n.high == high {
-                    return Probe::Found(NodeId(slot));
-                }
+            } else if arena.var(slot) == var && arena.low(slot) == low && arena.high(slot) == high {
+                return Probe::Found(slot);
             }
             idx = (idx + 1) & mask as usize;
+        }
+    }
+
+    /// Read-only lookup for concurrent readers: the canonical node for
+    /// `(var, low, high)` if it exists. Parallel apply workers probe
+    /// the main table through a shared `&Bdd` while interning fresh
+    /// nodes into their own sharded side table.
+    #[inline]
+    pub(crate) fn find(&self, arena: &NodeArena, var: u16, low: u32, high: u32) -> Option<u32> {
+        match self.probe(arena, var, low, high) {
+            Probe::Found(id) => Some(id),
+            Probe::Insert(_) => None,
         }
     }
 
@@ -81,21 +91,20 @@ impl UniqueTable {
     /// Returns `true` if the caller must follow up with
     /// [`UniqueTable::rebuild`] (load factor exceeded).
     #[inline]
-    pub(crate) fn commit(&mut self, slot: usize, id: NodeId) -> bool {
+    pub(crate) fn commit(&mut self, slot: usize, id: u32) -> bool {
         if self.slots[slot] == DELETED {
             self.tombstones -= 1;
         }
-        self.slots[slot] = id.0;
+        self.slots[slot] = id;
         self.len += 1;
         (self.len + self.tombstones) * 4 >= self.slots.len() * 3
     }
 
     /// Inserts `id` under its current arena key (no duplicate check
     /// beyond the probe). Used by level swaps, which re-key nodes in
-    /// place.
-    pub(crate) fn insert(&mut self, nodes: &[Node], id: NodeId) -> bool {
-        let n = &nodes[id.0 as usize];
-        match self.probe(nodes, n.var, n.low, n.high) {
+    /// place, and by the post-GC re-index.
+    pub(crate) fn insert(&mut self, arena: &NodeArena, id: u32) -> bool {
+        match self.probe(arena, arena.var(id), arena.low(id), arena.high(id)) {
             Probe::Found(existing) => {
                 debug_assert_eq!(existing, id, "duplicate unique-table key");
                 false
@@ -106,13 +115,13 @@ impl UniqueTable {
 
     /// Removes `id`, which must still carry the key it was inserted
     /// under (callers remove *before* rewriting a node in place).
-    pub(crate) fn remove(&mut self, nodes: &[Node], id: NodeId) {
-        let n = &nodes[id.0 as usize];
+    pub(crate) fn remove(&mut self, arena: &NodeArena, id: u32) {
         let mask = self.mask();
-        let mut idx = (hash_u32x3(n.var, n.low.0, n.high.0) & mask) as usize;
+        let mut idx =
+            (hash_u32x3(arena.var(id) as u32, arena.low(id), arena.high(id)) & mask) as usize;
         loop {
             let slot = self.slots[idx];
-            if slot == id.0 {
+            if slot == id {
                 self.slots[idx] = DELETED;
                 self.len -= 1;
                 self.tombstones += 1;
@@ -131,31 +140,36 @@ impl UniqueTable {
 
     /// Rehashes into a table sized for the current population: doubles
     /// when genuinely full, otherwise just purges tombstones.
-    pub(crate) fn rebuild(&mut self, nodes: &[Node]) {
+    pub(crate) fn rebuild(&mut self, arena: &NodeArena) {
         let target = (self.len * 2).max(MIN_CAPACITY).next_power_of_two();
         let old = std::mem::replace(&mut self.slots, vec![EMPTY; target].into_boxed_slice());
         self.len = 0;
         self.tombstones = 0;
         for &slot in old.iter() {
             if slot != EMPTY && slot != DELETED {
-                self.insert(nodes, NodeId(slot));
+                self.insert(arena, slot);
             }
         }
     }
 
-    /// Drops every entry and re-indexes the live (non-free,
-    /// non-terminal) arena nodes — the post-GC path.
-    pub(crate) fn rebuild_from_arena<I: Iterator<Item = u32>>(&mut self, nodes: &[Node], live: I) {
+    /// Drops every entry and re-indexes a freshly compacted arena,
+    /// whose slots `2..len` are exactly the live decision nodes. The
+    /// insertion order (ascending id) is fixed, so the table layout is
+    /// deterministic after every collection.
+    pub(crate) fn rebuild_from_arena(&mut self, arena: &NodeArena) {
         for s in self.slots.iter_mut() {
             *s = EMPTY;
         }
         self.len = 0;
         self.tombstones = 0;
-        for id in live {
-            self.insert(nodes, NodeId(id));
+        // Size up front: rebuild_from_arena runs right after
+        // compaction, when the live population is known exactly.
+        let target = (arena.len() * 2).max(MIN_CAPACITY).next_power_of_two();
+        if target != self.slots.len() {
+            self.slots = vec![EMPTY; target].into_boxed_slice();
         }
-        if (self.len * 4) < self.slots.len() && self.slots.len() > MIN_CAPACITY {
-            self.rebuild(nodes);
+        for id in 2..arena.len() as u32 {
+            self.insert(arena, id);
         }
     }
 }

@@ -94,11 +94,19 @@ proptest! {
         }
 
         let run = bdd.gc();
+        // Compaction renumbers every node: re-read the root through
+        // its guard before touching it again.
+        let f = bdd.current(&guard);
         prop_assert_eq!(
             run.live,
             bdd.node_count(f),
             "after a sweep with one protected root, exactly that root's \
              decision nodes remain live"
+        );
+        prop_assert_eq!(
+            run.live + 2,
+            bdd.arena_size(),
+            "compaction leaves only the live cone in the arena"
         );
 
         prop_assert_eq!(truth_table(&bdd, f), truth_before);

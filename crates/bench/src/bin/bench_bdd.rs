@@ -6,9 +6,12 @@
 //! probability on both the frozen pre-rework kernel and the current
 //! one, with identical (declaration) variable ordering so both build
 //! the same canonical DAG. The run aborts unless the two probabilities
-//! are bitwise equal; only then is the speedup reported. A second,
-//! untimed pass with GC disabled records how far the default kernel's
-//! collection bounds the peak live-node count.
+//! are bitwise equal; only then is the speedup reported. A third timed
+//! pass rebuilds the tree with the work-partitioned parallel apply at
+//! 4 workers and aborts unless its probability bits *and* reduced node
+//! count match the sequential build — the 1-vs-N determinism gate. A
+//! final, untimed pass with GC disabled records how far the default
+//! kernel's collection bounds the peak live-node count.
 //!
 //! ```text
 //! cargo run --release -p reliab-bench --bin bench-bdd              # full run, writes BENCH_bdd.json
@@ -23,8 +26,12 @@
 //! * `--out FILE` — where to write the JSON record (default
 //!   `BENCH_bdd.json`; full mode only unless given explicitly).
 //! * `--check FILE` — compare against a committed baseline: exit 1 if
-//!   the new kernel's wall time regressed by more than 2x relative to
-//!   the baseline's ratio of new-kernel to legacy-kernel time.
+//!   the new kernel's wall time regressed by more than 3x relative to
+//!   the baseline's ratio of new-kernel to legacy-kernel time, or if
+//!   the 4-worker pass is more than 1.5x slower than sequential on a
+//!   multi-CPU machine (the par timing gate is skipped on one CPU,
+//!   where the ratio is pure scheduling noise; the bitwise 1-vs-4
+//!   equivalence gate runs unconditionally, check mode or not).
 //!
 //! Exit status: 0 on success, 1 on a `--check` regression or an
 //! equivalence failure, 2 on usage errors.
@@ -114,7 +121,7 @@ fn main() {
     );
 
     // New kernel, same ordering, same scope.
-    let (new_ns, (new_compile_ns, q_new, stats)) = time_min(reps, || {
+    let (new_ns, (new_compile_ns, q_new, new_size, stats)) = time_min(reps, || {
         let (builder, top, probs) = boeing_class_tree(units);
         let t = Instant::now();
         let ft = builder
@@ -124,7 +131,10 @@ fn main() {
         let q = ft
             .top_event_probability(&probs)
             .expect("valid probabilities");
-        (t.elapsed().as_nanos(), (compile_ns, q, ft.bdd_stats()))
+        (
+            t.elapsed().as_nanos(),
+            (compile_ns, q, ft.bdd_size(), ft.bdd_stats()),
+        )
     });
     eprintln!(
         "  new kernel:    {:.3} ms ({:.3} compile)",
@@ -140,6 +150,41 @@ fn main() {
     let cpu_cores = detected_cpu_cores();
     eprintln!("  probability:   {q_new:.12e} (bitwise equal)");
     eprintln!("  speedup:       {speedup:.2}x ({cpu_cores} CPU detected)");
+
+    // Work-partitioned parallel apply at 4 workers. The reduced BDD is
+    // canonical for a fixed (function, ordering), so both the top-event
+    // probability bits and the reduced node count must match the
+    // sequential build exactly; this gate runs on every invocation,
+    // including single-CPU machines, because it checks determinism, not
+    // speed.
+    const PAR_JOBS: usize = 4;
+    let (par_ns, (q_par, par_size, par_stats)) = time_min(reps, || {
+        let (builder, top, probs) = boeing_class_tree(units);
+        let opts = CompileOptions::new()
+            .with_ordering(VariableOrdering::Declaration)
+            .with_bdd_jobs(PAR_JOBS);
+        let t = Instant::now();
+        let ft = builder.build_with(top, &opts).expect("tree compiles");
+        let q = ft
+            .top_event_probability(&probs)
+            .expect("valid probabilities");
+        (t.elapsed().as_nanos(), (q, ft.bdd_size(), ft.bdd_stats()))
+    });
+    if q_new.to_bits() != q_par.to_bits() || new_size != par_size {
+        eprintln!(
+            "PARALLEL EQUIVALENCE FAILURE: sequential {q_new:.17e} ({new_size} nodes) \
+             != {PAR_JOBS}-worker {q_par:.17e} ({par_size} nodes)"
+        );
+        std::process::exit(1);
+    }
+    let par_speedup = new_ns as f64 / par_ns as f64;
+    eprintln!(
+        "  parallel:      {:.3} ms at {PAR_JOBS} workers ({par_speedup:.2}x vs sequential, \
+         {} partitioned applies, {} subproblems; bitwise equal)",
+        par_ns as f64 / 1e6,
+        par_stats.par_apply_calls,
+        par_stats.par_subproblems
+    );
 
     // Untimed instrumented pass: per-phase wall-time breakdown of one
     // compile + evaluation, after every timed measurement is in.
@@ -179,9 +224,27 @@ fn main() {
         ("probability", JsonValue::Number(q_new)),
         ("bitwise_equal", JsonValue::Bool(true)),
         (
+            "par",
+            json::object(vec![
+                ("bdd_jobs", JsonValue::Number(PAR_JOBS as f64)),
+                ("par_ns", JsonValue::Number(par_ns as f64)),
+                ("speedup_vs_sequential", JsonValue::Number(par_speedup)),
+                ("bitwise_equal", JsonValue::Bool(true)),
+                (
+                    "par_apply_calls",
+                    JsonValue::Number(par_stats.par_apply_calls as f64),
+                ),
+                (
+                    "par_subproblems",
+                    JsonValue::Number(par_stats.par_subproblems as f64),
+                ),
+            ]),
+        ),
+        (
             "new_stats",
             json::object(vec![
                 ("bdd_nodes", JsonValue::Number(stats.arena_nodes as f64)),
+                ("bdd_size", JsonValue::Number(new_size as f64)),
                 (
                     "peak_live_nodes",
                     JsonValue::Number(stats.peak_live_nodes as f64),
@@ -193,6 +256,10 @@ fn main() {
                 (
                     "ite_cache_hits",
                     JsonValue::Number(stats.ite_cache_hits as f64),
+                ),
+                (
+                    "ite_hit_rate",
+                    JsonValue::Number(stats.ite_hit_rate()),
                 ),
             ]),
         ),
@@ -209,6 +276,7 @@ fn main() {
                 ),
                 ("gc_runs", JsonValue::Number(stats.gc_runs as f64)),
                 ("gc_reclaimed", JsonValue::Number(stats.gc_reclaimed as f64)),
+                ("gc_moved", JsonValue::Number(stats.gc_moved as f64)),
             ]),
         ),
         ("phases", phases),
@@ -221,6 +289,22 @@ fn main() {
                 eprintln!("REGRESSION: {msg}");
                 std::process::exit(1);
             }
+        }
+        if cpu_cores <= 1 {
+            eprintln!("  par timing check skipped: {cpu_cores} CPU detected, par/seq ratio is noise");
+        } else if (par_ns as f64) > 1.5 * new_ns as f64 {
+            eprintln!(
+                "REGRESSION: {PAR_JOBS}-worker pass {:.3} ms is >1.5x sequential {:.3} ms \
+                 on a {cpu_cores}-CPU machine",
+                par_ns as f64 / 1e6,
+                new_ns as f64 / 1e6
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!(
+                "  par check ok: {PAR_JOBS}-worker/sequential ratio {:.3} within 1.5x",
+                par_ns as f64 / new_ns as f64
+            );
         }
     }
 
@@ -243,10 +327,15 @@ fn main() {
 
 /// Compares this run against a committed baseline record. Machines
 /// differ, so the comparison is relative: the ratio of new-kernel to
-/// legacy-kernel time on *this* machine must not exceed 2x the same
+/// legacy-kernel time on *this* machine must not exceed 3x the same
 /// ratio in the baseline. Both kernels are single-threaded, so unlike
 /// the par/seq gates in `bench-sim` / `bench-uncert` this one stays
-/// meaningful on a single-CPU machine.
+/// meaningful on a single-CPU machine. The factor is 3x rather than
+/// 2x because the committed baseline is a full-mode (900-unit) run
+/// while CI checks quick mode (150 units), and the compact kernel's
+/// locality/GC advantage grows with tree size: the quick-mode
+/// new/legacy ratio sits near 2x the full-mode ratio even with no
+/// regression at all.
 fn check_regression(path: &str, legacy_ns: f64, new_ns: f64) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let v = json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
@@ -257,13 +346,13 @@ fn check_regression(path: &str, legacy_ns: f64, new_ns: f64) -> Result<String, S
     };
     let base_ratio = field("new_ns")? / field("legacy_ns")?;
     let ratio = new_ns / legacy_ns;
-    if ratio > 2.0 * base_ratio {
+    if ratio > 3.0 * base_ratio {
         Err(format!(
-            "new/legacy ratio {ratio:.3} exceeds 2x baseline ratio {base_ratio:.3}"
+            "new/legacy ratio {ratio:.3} exceeds 3x baseline ratio {base_ratio:.3}"
         ))
     } else {
         Ok(format!(
-            "check ok: new/legacy ratio {ratio:.3} within 2x of baseline {base_ratio:.3}"
+            "check ok: new/legacy ratio {ratio:.3} within 3x of baseline {base_ratio:.3}"
         ))
     }
 }

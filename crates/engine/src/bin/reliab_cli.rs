@@ -44,6 +44,10 @@
 //! * `--hier-jobs N` — worker threads for hierarchy fixed-point sweeps
 //!   (0 = one per CPU; default 1, or the spec's `jobs`). Results are
 //!   bitwise identical at any setting.
+//! * `--bdd-jobs N` — worker threads for the BDD kernel's partitioned
+//!   parallel apply (fault-tree / RBD / bounds models; 0 = one per
+//!   CPU; default 1). The compiled BDD is canonical, so every measure
+//!   is bitwise identical at any setting.
 //! * `--uncert-samples N` — Monte-Carlo samples for uncertainty models
 //!   (overrides the spec's `samples`).
 //! * `--fixed-point-tol X` — hierarchy fixed-point tolerance (overrides
@@ -98,7 +102,7 @@ fn usage(code: i32) -> ! {
         "usage: reliab-cli [--jobs N] [--json] [--stats] [--method M] \
          [--var-order O] [--ite-cache N] [--gc-threshold N] [--reach-jobs N] \
          [--sim-reps N] [--sim-precision X] [--sim-seed N] [--sim-jobs N] \
-         [--hier-jobs N] [--uncert-samples N] [--fixed-point-tol X] \
+         [--hier-jobs N] [--bdd-jobs N] [--uncert-samples N] [--fixed-point-tol X] \
          [--truncation-order N] [--trace FILE] [--profile FILE] \
          [--record FILE] [--metrics FILE] \
          [--metrics-format F] [--progress] <spec.json|glob|-> ..."
@@ -119,6 +123,7 @@ fn usage(code: i32) -> ! {
     eprintln!("  --gc-threshold N    live BDD nodes before GC (0 = kernel default)");
     eprintln!("  --reach-jobs N      SPN state-space workers (0 = one per CPU; default 1)");
     eprintln!("  --hier-jobs N       hierarchy sweep workers (0 = one per CPU; default 1)");
+    eprintln!("  --bdd-jobs N        BDD apply workers (0 = one per CPU; default 1)");
     eprintln!("  --uncert-samples N  uncertainty Monte-Carlo samples (overrides the spec)");
     eprintln!("  --fixed-point-tol X hierarchy fixed-point tolerance (overrides the spec)");
     eprintln!("  --truncation-order N bounds cut-set truncation order (overrides the spec)");
@@ -152,6 +157,7 @@ struct Cli {
     gc_threshold: usize,
     reach_jobs: usize,
     hier_jobs: usize,
+    bdd_jobs: usize,
     uncert_samples: Option<usize>,
     fixed_point_tol: Option<f64>,
     truncation_order: Option<usize>,
@@ -180,6 +186,7 @@ fn parse_args(args: &[String]) -> Cli {
         gc_threshold: 0,
         reach_jobs: 1,
         hier_jobs: 1,
+        bdd_jobs: 1,
         uncert_samples: None,
         fixed_point_tol: None,
         truncation_order: None,
@@ -286,6 +293,13 @@ fn parse_args(args: &[String]) -> Cli {
                 Some(n) => cli.hier_jobs = n,
                 None => {
                     eprintln!("--hier-jobs requires a non-negative integer");
+                    usage(2);
+                }
+            },
+            "--bdd-jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cli.bdd_jobs = n,
+                None => {
+                    eprintln!("--bdd-jobs requires a non-negative integer");
                     usage(2);
                 }
             },
@@ -522,7 +536,8 @@ fn main() {
         .with_reach_jobs(cli.reach_jobs)
         .with_simulate(cli.simulate)
         .with_sim_jobs(cli.sim_jobs)
-        .with_hier_jobs(cli.hier_jobs);
+        .with_hier_jobs(cli.hier_jobs)
+        .with_bdd_jobs(cli.bdd_jobs);
     if let Some(n) = cli.sim_reps {
         solve_opts = solve_opts.with_sim_replications(n);
     }

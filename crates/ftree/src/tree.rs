@@ -98,7 +98,7 @@ pub enum VariableOrdering {
 /// `0` means "kernel default" for the numeric fields, so
 /// `CompileOptions::default()` matches [`FaultTreeBuilder::build`]
 /// except for the ordering chosen.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct CompileOptions {
     /// Variable-ordering strategy.
@@ -108,12 +108,35 @@ pub struct CompileOptions {
     /// Live-node threshold for automatic garbage collection
     /// (`0` = kernel default).
     pub gc_node_threshold: usize,
+    /// Worker threads for the BDD's partitioned parallel apply:
+    /// `1` (default) = sequential, `0` = one per available core,
+    /// `n` = exactly `n`. Every setting produces a bitwise-identical
+    /// probability — the compiled BDD is canonical regardless.
+    pub bdd_jobs: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            ordering: VariableOrdering::default(),
+            ite_cache_capacity: 0,
+            gc_node_threshold: 0,
+            bdd_jobs: 1,
+        }
+    }
 }
 
 impl CompileOptions {
-    /// All-defaults options (declaration ordering).
+    /// All-defaults options (declaration ordering, sequential apply).
     pub fn new() -> Self {
         CompileOptions::default()
+    }
+
+    /// Sets the apply worker count (`1` = sequential, `0` = auto).
+    #[must_use]
+    pub fn with_bdd_jobs(mut self, jobs: usize) -> Self {
+        self.bdd_jobs = jobs;
+        self
     }
 
     /// Sets the ordering strategy.
@@ -194,6 +217,13 @@ impl FaultTreeBuilder {
         if n == 0 {
             return Err(Error::model("fault tree has no basic events"));
         }
+        if n as u64 > reliab_bdd::MAX_VARS as u64 {
+            return Err(Error::model(format!(
+                "fault tree has {n} basic events; the BDD kernel's packed \
+                 node format supports at most {}",
+                reliab_bdd::MAX_VARS
+            )));
+        }
         // event_to_var[e] = initial BDD level of event e. (Sifting may
         // permute levels afterwards; variable identity is stable.)
         let event_to_var: Vec<u32> = match options.ordering {
@@ -217,11 +247,29 @@ impl FaultTreeBuilder {
         let mut config = reliab_bdd::BddConfig::new();
         config.ite_cache_capacity = options.ite_cache_capacity;
         config.gc_node_threshold = options.gc_node_threshold;
+        config.jobs = if options.bdd_jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+        } else {
+            options.bdd_jobs
+        };
         let mut bdd = Bdd::new_with(n as u32, config);
-        let fails = compile(&mut bdd, &top, &event_to_var)?;
+        let mut ctx = CompileCtx {
+            event_to_var: &event_to_var,
+            // Sifted ordering also reorders *during* compilation, at
+            // deterministic safe points, so pessimal intermediate
+            // explosions are cut down before they peak.
+            dynamic_sift: options.ordering == VariableOrdering::Sifted,
+            safe_points: 0,
+            sift_at: DYNAMIC_SIFT_TRIGGER,
+        };
+        let mut fails = compile(&mut bdd, &top, &mut ctx)?;
         if options.ordering == VariableOrdering::Sifted {
             let _sift_span = obs::span("ftree.sift");
-            bdd.sift(fails);
+            // Sifting garbage-collects (compacting), renumbering every
+            // node — the returned run carries the root's live id.
+            fails = bdd.sift(fails).root;
         }
         // Pin the top-event function so manager-level GC (explicit or
         // threshold-triggered) can never reclaim it.
@@ -335,43 +383,86 @@ fn dfs_order(node: &FtNode, order: &mut Vec<usize>, seen: &mut [bool], n: usize)
     }
 }
 
+/// First size at which compile-time sifting considers firing, and the
+/// spacing (in safe points) of the deterministic size checks.
+const DYNAMIC_SIFT_TRIGGER: usize = 1 << 10;
+const DYNAMIC_SIFT_CHECK_INTERVAL: usize = 64;
+
+/// Per-compilation state threaded through the `compile` recursion.
+struct CompileCtx<'a> {
+    event_to_var: &'a [u32],
+    /// Sift at safe points during compilation (Sifted ordering only).
+    dynamic_sift: bool,
+    /// Safe points passed so far — a *structural* counter (one per
+    /// gate-input accumulation), identical for every `bdd_jobs`
+    /// setting, which is what keeps dynamic sifting deterministic.
+    safe_points: usize,
+    /// Live size of the accumulator at which the next sift fires.
+    sift_at: usize,
+}
+
 /// Compiles `child` while `live` (the caller's in-flight accumulator)
 /// is protected, so a garbage collection triggered at a safe point
 /// inside the child cannot reclaim it. Every recursion level guards
 /// its own accumulator this way, so at any GC the whole stack of
-/// partial results is rooted.
+/// partial results is rooted. Collections *compact* (renumbering every
+/// node), so the accumulator is returned re-read from its guard
+/// alongside the child's result.
 fn compile_guarded(
     bdd: &mut Bdd,
     live: NodeId,
     child: &FtNode,
-    event_to_var: &[u32],
-) -> Result<NodeId> {
+    ctx: &mut CompileCtx<'_>,
+) -> Result<(NodeId, NodeId)> {
     let guard = bdd.protect(live);
-    let r = compile(bdd, child, event_to_var);
+    let r = compile(bdd, child, ctx);
+    let live = bdd.current(&guard);
     bdd.unprotect(guard);
-    r
+    Ok((live, r?))
 }
 
 /// A safe point between gate-input accumulations: `live` is the only
-/// intermediate the caller still needs, so protect it and let the
-/// manager collect if it has crossed its threshold.
-fn gc_safe_point(bdd: &mut Bdd, live: NodeId) {
+/// intermediate the caller still needs, so protect it, let the manager
+/// collect if it has crossed its threshold, and (under the Sifted
+/// ordering) periodically reorder when the accumulator has outgrown
+/// the last sift.
+///
+/// Returns the accumulator's possibly renumbered id. The sift trigger
+/// reads only canonical state — the structural safe-point counter and
+/// the accumulator's reachable node count — never the raw arena
+/// population (which differs across `bdd_jobs` settings because the
+/// parallel apply leaves less garbage behind), so compile-time
+/// reordering fires identically for every worker count.
+fn gc_safe_point(bdd: &mut Bdd, live: NodeId, ctx: &mut CompileCtx<'_>) -> NodeId {
     let guard = bdd.protect(live);
     bdd.maybe_gc();
+    ctx.safe_points += 1;
+    if ctx.dynamic_sift && ctx.safe_points % DYNAMIC_SIFT_CHECK_INTERVAL == 0 {
+        let root = bdd.current(&guard);
+        if bdd.node_count(root) >= ctx.sift_at {
+            let _sift_span = obs::span("ftree.sift.dynamic");
+            let run = bdd.sift(root);
+            // Back off: re-sift only after the tree outgrows the
+            // reordered size by 2x (floored at the initial trigger).
+            ctx.sift_at = (run.size * 2).max(DYNAMIC_SIFT_TRIGGER);
+        }
+    }
+    let live = bdd.current(&guard);
     bdd.unprotect(guard);
+    live
 }
 
-fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId> {
+fn compile(bdd: &mut Bdd, node: &FtNode, ctx: &mut CompileCtx<'_>) -> Result<NodeId> {
     match node {
         FtNode::Basic(e) => {
-            if e.0 >= event_to_var.len() {
+            if e.0 >= ctx.event_to_var.len() {
                 return Err(Error::model(format!(
                     "event handle {} out of range ({} events declared)",
                     e.0,
-                    event_to_var.len()
+                    ctx.event_to_var.len()
                 )));
             }
-            bdd.var(event_to_var[e.0]).map_err(bdd_err)
+            bdd.var(ctx.event_to_var[e.0]).map_err(bdd_err)
         }
         FtNode::Or(inputs) => {
             if inputs.is_empty() {
@@ -379,9 +470,9 @@ fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId>
             }
             let mut acc = NodeId::FALSE;
             for i in inputs {
-                let x = compile_guarded(bdd, acc, i, event_to_var)?;
-                acc = bdd.or(acc, x);
-                gc_safe_point(bdd, acc);
+                let (acc_now, x) = compile_guarded(bdd, acc, i, ctx)?;
+                acc = bdd.or(acc_now, x);
+                acc = gc_safe_point(bdd, acc, ctx);
             }
             Ok(acc)
         }
@@ -391,9 +482,9 @@ fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId>
             }
             let mut acc = NodeId::TRUE;
             for i in inputs {
-                let x = compile_guarded(bdd, acc, i, event_to_var)?;
-                acc = bdd.and(acc, x);
-                gc_safe_point(bdd, acc);
+                let (acc_now, x) = compile_guarded(bdd, acc, i, ctx)?;
+                acc = bdd.and(acc_now, x);
+                acc = gc_safe_point(bdd, acc, ctx);
             }
             Ok(acc)
         }
@@ -409,24 +500,26 @@ fn compile(bdd: &mut Bdd, node: &FtNode, event_to_var: &[u32]) -> Result<NodeId>
             }
             // Every compiled input stays protected until the voting
             // network is built: `at_least_k` needs them all at once.
-            let mut xs = Vec::with_capacity(inputs.len());
+            // Later inputs may trigger compacting collections, so the
+            // ids are read back from the guards at the end.
             let mut guards = Vec::with_capacity(inputs.len());
             let mut compile_all = || -> Result<()> {
                 for i in inputs {
-                    let x = compile(bdd, i, event_to_var)?;
+                    let x = compile(bdd, i, ctx)?;
                     guards.push(bdd.protect(x));
-                    xs.push(x);
                 }
                 Ok(())
             };
             let compiled = compile_all();
-            let r = compiled.map(|()| bdd.at_least_k(&xs, *k));
+            let r = compiled.map(|()| {
+                let xs: Vec<NodeId> = guards.iter().map(|g| bdd.current(g)).collect();
+                bdd.at_least_k(&xs, *k)
+            });
             for g in guards {
                 bdd.unprotect(g);
             }
             let r = r?;
-            gc_safe_point(bdd, r);
-            Ok(r)
+            Ok(gc_safe_point(bdd, r, ctx))
         }
     }
 }

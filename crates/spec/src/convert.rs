@@ -615,6 +615,10 @@ fn bdd_stats_into(stats: &mut SolveStats, b: &reliab_bdd::BddStats) {
     stats.bdd_gc_reclaimed = Some(b.gc_reclaimed);
     stats.bdd_sift_swaps = Some(b.sift_swaps);
     stats.bdd_peak_live_nodes = Some(b.peak_live_nodes);
+    stats.bdd_ite_hit_rate = Some(b.ite_hit_rate());
+    stats.bdd_gc_moved = Some(b.gc_moved);
+    stats.bdd_par_apply_calls = Some(b.par_apply_calls);
+    stats.bdd_workers = Some(b.jobs);
 }
 
 fn solve_relgraph(spec: &RelGraphSpec) -> Result<(SolvedMeasures, SolveStats)> {
@@ -1099,7 +1103,8 @@ pub(crate) fn solve_fault_tree(
     let compile = CompileOptions::new()
         .with_ordering(effective_ordering(spec, opts))
         .with_ite_cache_capacity(opts.ite_cache_capacity)
-        .with_gc_node_threshold(opts.gc_node_threshold);
+        .with_gc_node_threshold(opts.gc_node_threshold)
+        .with_bdd_jobs(opts.bdd_jobs);
     let mut ft = b.build_with(top, &compile)?;
     let q = ft.top_event_probability(&probs)?;
     let cuts = ft

@@ -88,6 +88,12 @@ pub struct SolveOptions {
     /// are bitwise identical at any setting. A non-default value
     /// overrides the spec's `jobs` knob.
     pub hier_jobs: usize,
+    /// Worker threads for the BDD kernel's partitioned parallel apply
+    /// (fault-tree, RBD and bounds models): `1` is sequential, `0`
+    /// means one worker per available CPU. The compiled BDD is
+    /// canonical, so probabilities are bitwise identical at any
+    /// setting.
+    pub bdd_jobs: usize,
 }
 
 impl Default for SolveOptions {
@@ -110,6 +116,7 @@ impl Default for SolveOptions {
             fixed_point_tol: None,
             truncation_order: None,
             hier_jobs: 1,
+            bdd_jobs: 1,
         }
     }
 }
@@ -234,6 +241,14 @@ impl SolveOptions {
         self.hier_jobs = jobs;
         self
     }
+
+    /// Sets the BDD apply worker count (`1` = sequential, `0` = all
+    /// CPUs).
+    #[must_use]
+    pub fn with_bdd_jobs(mut self, jobs: usize) -> Self {
+        self.bdd_jobs = jobs;
+        self
+    }
 }
 
 /// BDD variable-ordering selection for fault-tree solves.
@@ -338,6 +353,15 @@ pub struct SolveStats {
     pub bdd_sift_swaps: Option<u64>,
     /// High-water mark of live BDD nodes during the solve.
     pub bdd_peak_live_nodes: Option<usize>,
+    /// ITE computed-cache hit rate in `[0, 1]`, for BDD-based models.
+    pub bdd_ite_hit_rate: Option<f64>,
+    /// Live nodes relocated by compacting garbage collection (every GC
+    /// pass compacts; `bdd_gc_runs` is the compaction count).
+    pub bdd_gc_moved: Option<u64>,
+    /// ITE calls dispatched to the work-partitioned parallel apply.
+    pub bdd_par_apply_calls: Option<u64>,
+    /// Worker threads the BDD apply was configured with.
+    pub bdd_workers: Option<usize>,
     /// Tangible markings in the generated state space, for SPN models.
     pub spn_markings: Option<usize>,
     /// CTMC transitions in the generated state space, for SPN models.
@@ -430,6 +454,13 @@ impl SolveStats {
                 "bdd_peak_live_nodes",
                 opt_num(self.bdd_peak_live_nodes.map(|n| n as f64)),
             ),
+            ("bdd_ite_hit_rate", opt_num(self.bdd_ite_hit_rate)),
+            ("bdd_gc_moved", opt_num(self.bdd_gc_moved.map(|n| n as f64))),
+            (
+                "bdd_par_apply_calls",
+                opt_num(self.bdd_par_apply_calls.map(|n| n as f64)),
+            ),
+            ("bdd_workers", opt_num(self.bdd_workers.map(|n| n as f64))),
             ("spn_markings", opt_num(self.spn_markings.map(|n| n as f64))),
             ("spn_arcs", opt_num(self.spn_arcs.map(|n| n as f64))),
             (
