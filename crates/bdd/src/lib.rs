@@ -30,9 +30,9 @@
 //!   through [`Bdd::current`] after a collection. [`Bdd::maybe_gc`]
 //!   triggers on an allocation threshold so long batch runs stop
 //!   leaking dead nodes.
-//! - **Work-partitioned parallel apply** — with [`BddConfig::jobs`]
-//!   > 1, large ITE calls are split by cofactoring the operands over
-//!   the top `k` levels into independent subproblems solved on a
+//! - **Work-partitioned parallel apply** — with [`BddConfig::jobs`] > 1,
+//!   large ITE calls are split by cofactoring the operands over the
+//!   top `k` levels into independent subproblems solved on a
 //!   `thread::scope` pool over a sharded side table, then re-interned
 //!   sequentially in a fixed order. Every jobs count yields the same
 //!   canonical BDD, so probabilities are bitwise identical.
@@ -949,8 +949,8 @@ impl Bdd {
         q[1] = 1.0;
         for &id in order.iter().rev() {
             let pv = p[self.arena.var(id) as usize];
-            q[id as usize] = pv * q[self.arena.high(id) as usize]
-                + (1.0 - pv) * q[self.arena.low(id) as usize];
+            q[id as usize] =
+                pv * q[self.arena.high(id) as usize] + (1.0 - pv) * q[self.arena.low(id) as usize];
         }
         // Top-down: w[n] = probability of reaching n from the root
         // without testing n's variable; the derivative contribution of

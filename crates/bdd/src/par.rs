@@ -53,7 +53,9 @@ impl ShardedStore {
     fn new(base: u32) -> Self {
         ShardedStore {
             base,
-            shards: (0..NSHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            shards: (0..NSHARDS)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
         }
     }
 
@@ -278,30 +280,31 @@ impl Bdd {
             let triples_ref: &[(u32, u32, u32)] = &triples;
             let store_ref = &store;
             let next_ref = &next;
-            let worker_outputs: Vec<(Vec<(usize, u32)>, u64, u64)> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..nworkers)
-                        .map(|_| {
-                            scope.spawn(move || {
-                                let mut w = Worker::new(shared, store_ref);
-                                let mut out: Vec<(usize, u32)> = Vec::new();
-                                loop {
-                                    let idx = next_ref.fetch_add(1, Ordering::Relaxed);
-                                    if idx >= triples_ref.len() {
-                                        break;
-                                    }
-                                    let (tf, tg, th) = triples_ref[idx];
-                                    out.push((idx, w.ite(tf, tg, th)));
+            // Per-worker: (slot, result) pairs + ITE lookup/hit tallies.
+            type WorkerOutput = (Vec<(usize, u32)>, u64, u64);
+            let worker_outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..nworkers)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut w = Worker::new(shared, store_ref);
+                            let mut out: Vec<(usize, u32)> = Vec::new();
+                            loop {
+                                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                                if idx >= triples_ref.len() {
+                                    break;
                                 }
-                                (out, w.lookups, w.hits)
-                            })
+                                let (tf, tg, th) = triples_ref[idx];
+                                out.push((idx, w.ite(tf, tg, th)));
+                            }
+                            (out, w.lookups, w.hits)
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|hd| hd.join().expect("bdd apply worker panicked"))
-                        .collect()
-                });
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|hd| hd.join().expect("bdd apply worker panicked"))
+                    .collect()
+            });
             for (out, lookups, hits) in worker_outputs {
                 fold_lookups += lookups;
                 fold_hits += hits;
@@ -340,7 +343,10 @@ impl Bdd {
                     ("workers", nworkers.into()),
                     ("split_levels", k.into()),
                     ("subproblems", triples.len().into()),
-                    ("side_nodes", side.iter().map(Vec::len).sum::<usize>().into()),
+                    (
+                        "side_nodes",
+                        side.iter().map(Vec::len).sum::<usize>().into(),
+                    ),
                 ],
             );
         }

@@ -257,10 +257,7 @@ fn main() {
                     "ite_cache_hits",
                     JsonValue::Number(stats.ite_cache_hits as f64),
                 ),
-                (
-                    "ite_hit_rate",
-                    JsonValue::Number(stats.ite_hit_rate()),
-                ),
+                ("ite_hit_rate", JsonValue::Number(stats.ite_hit_rate())),
             ]),
         ),
         (
@@ -291,7 +288,9 @@ fn main() {
             }
         }
         if cpu_cores <= 1 {
-            eprintln!("  par timing check skipped: {cpu_cores} CPU detected, par/seq ratio is noise");
+            eprintln!(
+                "  par timing check skipped: {cpu_cores} CPU detected, par/seq ratio is noise"
+            );
         } else if (par_ns as f64) > 1.5 * new_ns as f64 {
             eprintln!(
                 "REGRESSION: {PAR_JOBS}-worker pass {:.3} ms is >1.5x sequential {:.3} ms \

@@ -67,14 +67,26 @@
 //!   `--metrics` (default `prometheus`).
 //! * `--progress` — print per-spec completion to stderr as the batch
 //!   runs.
+//! * `--connect HOST:PORT` — submit each input to a running
+//!   `reliab-serve` daemon instead of solving in-process. Output and
+//!   exit codes match local solving; solver tuning flags are ignored
+//!   (the daemon's configuration governs).
 //!
-//! Exit status: 0 on success, 1 if any file fails to parse or solve,
-//! 2 on usage errors.
+//! Artifact paths (`--trace` / `--profile` / `--record` / `--metrics`)
+//! may contain the literal `{trace}` placeholder, replaced by this
+//! invocation's trace id — concurrent invocations sharing a template
+//! then never clobber each other's files.
+//!
+//! Exit status: 0 on success, 2 on usage errors, and otherwise the
+//! most severe per-input failure as classified by
+//! [`reliab_spec::wire::WireError::exit_code`] (in practice 1).
 
+use reliab_engine::serve::{http_request, keyed_artifact_path};
 use reliab_engine::BatchEngine;
 use reliab_obs as obs;
 use reliab_spec::json::JsonValue;
-use reliab_spec::{SolveOptions, SteadySolver, VarOrder};
+use reliab_spec::wire::{ErrorKind, SolveResponse, WireError};
+use reliab_spec::{json, SolveOptions, SolveReport, SteadySolver, VarOrder};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -105,7 +117,8 @@ fn usage(code: i32) -> ! {
          [--hier-jobs N] [--bdd-jobs N] [--uncert-samples N] [--fixed-point-tol X] \
          [--truncation-order N] [--trace FILE] [--profile FILE] \
          [--record FILE] [--metrics FILE] \
-         [--metrics-format F] [--progress] <spec.json|glob|-> ..."
+         [--metrics-format F] [--progress] [--connect HOST:PORT] \
+         <spec.json|glob|-> ..."
     );
     eprintln!("solves reliab model specifications (rbd / fault_tree / ctmc / rel_graph / spn /");
     eprintln!("  hierarchy / semi_markov / uncertainty / bounds)");
@@ -133,13 +146,9 @@ fn usage(code: i32) -> ! {
     eprintln!("  --metrics FILE      dump solver metrics to FILE on exit (- = stderr)");
     eprintln!("  --metrics-format F  metrics exposition: prometheus (default) or json");
     eprintln!("  --progress          report per-spec completion on stderr");
+    eprintln!("  --connect HOST:PORT submit inputs to a running reliab-serve daemon");
+    eprintln!("  artifact FILE paths may embed {{trace}}, replaced by this run's trace id");
     std::process::exit(code);
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum MetricsFormat {
-    Prometheus,
-    Json,
 }
 
 struct Cli {
@@ -165,8 +174,9 @@ struct Cli {
     profile: Option<String>,
     record: Option<String>,
     metrics: Option<String>,
-    metrics_format: MetricsFormat,
+    metrics_format: obs::ExpositionFormat,
     progress: bool,
+    connect: Option<String>,
     inputs: Vec<String>,
 }
 
@@ -194,8 +204,9 @@ fn parse_args(args: &[String]) -> Cli {
         profile: None,
         record: None,
         metrics: None,
-        metrics_format: MetricsFormat::Prometheus,
+        metrics_format: obs::ExpositionFormat::Prometheus,
         progress: false,
+        connect: None,
         inputs: Vec::new(),
     };
     let mut it = args.iter();
@@ -353,18 +364,21 @@ fn parse_args(args: &[String]) -> Cli {
                 }
             },
             "--metrics-format" => {
-                cli.metrics_format = match it.next().map(String::as_str) {
-                    Some("prometheus" | "prom") => MetricsFormat::Prometheus,
-                    Some("json") => MetricsFormat::Json,
-                    other => {
-                        eprintln!(
-                            "--metrics-format must be prometheus|json, got {:?}",
-                            other.unwrap_or("<missing>")
-                        );
+                cli.metrics_format = match it.next().and_then(|v| obs::ExpositionFormat::parse(v)) {
+                    Some(format) => format,
+                    None => {
+                        eprintln!("--metrics-format must be prometheus|json");
                         usage(2);
                     }
                 }
             }
+            "--connect" => match it.next() {
+                Some(addr) => cli.connect = Some(addr.clone()),
+                None => {
+                    eprintln!("--connect requires a HOST:PORT address");
+                    usage(2);
+                }
+            },
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
                 usage(2);
@@ -472,9 +486,70 @@ fn wildcard_match(pat: &[u8], text: &[u8]) -> bool {
     }
 }
 
+/// The per-input outcome: a locally solved report, a daemon response,
+/// or the structured error shared by both front ends.
+enum Outcome {
+    Local(Box<SolveReport>),
+    Remote {
+        measures: JsonValue,
+        stats: Option<JsonValue>,
+    },
+    Failed(WireError),
+}
+
+/// Submits one input to a `reliab-serve` daemon. Documents that parse
+/// locally travel in a `{"kind":"solve"}` envelope (so the stats flag
+/// rides along); unparsable text is sent verbatim so the *daemon*
+/// produces the error — keeping error kind and message identical to a
+/// local solve.
+fn solve_remote(addr: &str, label: &str, text: &str, stats: bool) -> Outcome {
+    let body = match json::parse(text) {
+        Ok(doc) => json::object(vec![
+            ("kind", JsonValue::from("solve")),
+            ("model", doc),
+            ("stats", JsonValue::from(stats)),
+        ])
+        .to_json(),
+        Err(_) => text.to_owned(),
+    };
+    let response = match http_request(
+        addr,
+        "POST",
+        "/solve",
+        &[("Content-Type", "application/json")],
+        &body,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            return Outcome::Failed(WireError::new(
+                ErrorKind::Io,
+                format!("cannot reach daemon at {addr}: {e}"),
+            ))
+        }
+    };
+    match SolveResponse::parse(&response.body) {
+        Ok(SolveResponse::Result {
+            measures, stats, ..
+        }) => Outcome::Remote { measures, stats },
+        // A daemon error names the request field it is about, if any;
+        // fill in the input label otherwise, as a local solve would.
+        Ok(SolveResponse::Error(err)) | Err(err) => Outcome::Failed(if err.path.is_none() {
+            err.with_path(label)
+        } else {
+            err
+        }),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_args(&args);
+
+    // One trace id spans the whole invocation: the engine propagates it
+    // to workers, and `{trace}` templates in artifact paths key on it.
+    let trace_id = obs::mint_trace_id();
+    let _trace_guard = obs::set_trace_id(trace_id);
+    let keyed = |path: &String| keyed_artifact_path(path, trace_id);
 
     let files: Vec<String> = cli.inputs.iter().flat_map(|i| expand_glob(i)).collect();
     // One slot per input, in input order: the text read from it, or
@@ -496,7 +571,8 @@ fn main() {
     }
 
     if let Some(path) = &cli.trace {
-        match obs::JsonlSubscriber::create(path) {
+        let path = keyed(path);
+        match obs::JsonlSubscriber::create(&path) {
             Ok(sub) => obs::install_subscriber(Arc::new(sub)),
             Err(e) => {
                 eprintln!("cannot open trace file {path}: {e}");
@@ -556,42 +632,67 @@ fn main() {
     if let Some(n) = cli.truncation_order {
         solve_opts = solve_opts.with_truncation_order(n);
     }
-    let engine = BatchEngine::new()
-        .with_jobs(cli.jobs)
-        .with_options(solve_opts);
-    let texts: Vec<&String> = sources.iter().filter_map(|s| s.as_ref().ok()).collect();
-    let mut reports = engine.solve_texts(&texts).into_iter();
+    // Per input slot, in input order: the solved outcome, the daemon's
+    // response, or the structured error that replaces it.
+    let slots: Vec<(&String, Outcome)> = if let Some(addr) = &cli.connect {
+        labels
+            .iter()
+            .zip(&sources)
+            .map(|(label, source)| {
+                let outcome = match source {
+                    Err(read_err) => Outcome::Failed(
+                        WireError::new(ErrorKind::Io, read_err.clone()).with_path(label.clone()),
+                    ),
+                    Ok(text) => solve_remote(addr, label, text, cli.stats),
+                };
+                (label, outcome)
+            })
+            .collect()
+    } else {
+        let engine = BatchEngine::new()
+            .with_jobs(cli.jobs)
+            .with_options(solve_opts);
+        let texts: Vec<&String> = sources.iter().filter_map(|s| s.as_ref().ok()).collect();
+        let mut reports = engine.solve_texts(&texts).into_iter();
+        // solve_texts preserves the order of the readable inputs.
+        labels
+            .iter()
+            .zip(&sources)
+            .map(|(label, source)| {
+                let outcome = match source {
+                    Err(read_err) => Outcome::Failed(
+                        WireError::new(ErrorKind::Io, read_err.clone()).with_path(label.clone()),
+                    ),
+                    Ok(_) => match reports.next().expect("one report per readable input") {
+                        Ok(r) => Outcome::Local(Box::new(r)),
+                        Err(e) => {
+                            Outcome::Failed(WireError::from_error(&e).with_path(label.clone()))
+                        }
+                    },
+                };
+                (label, outcome)
+            })
+            .collect()
+    };
 
-    // Per input slot: a read error, or the next report (solve_texts
-    // preserves the order of the readable inputs).
-    let slots: Vec<(
-        &String,
-        std::result::Result<reliab_spec::SolveReport, String>,
-    )> = labels
+    // The exit status depends only on the outcomes — graded by the
+    // shared wire-error severity table, never on whether stdout stayed
+    // open long enough to print them.
+    let exit_code = slots
         .iter()
-        .zip(&sources)
-        .map(|(label, source)| {
-            let outcome = match source {
-                Err(read_err) => Err(read_err.clone()),
-                Ok(_) => match reports.next().expect("one report per readable input") {
-                    Ok(r) => Ok(r),
-                    Err(e) => Err(e.to_string()),
-                },
-            };
-            (label, outcome)
+        .filter_map(|(_, outcome)| match outcome {
+            Outcome::Failed(err) => Some(err.exit_code()),
+            _ => None,
         })
-        .collect();
-
-    // The exit status depends only on the outcomes, never on whether
-    // stdout stayed open long enough to print them.
-    let failed = slots.iter().any(|(_, outcome)| outcome.is_err());
+        .max()
+        .unwrap_or(0);
 
     let mut out = Emitter::default();
     if cli.json {
         let mut entries: Vec<JsonValue> = Vec::new();
         for (label, outcome) in &slots {
             entries.push(match outcome {
-                Ok(r) => {
+                Outcome::Local(r) => {
                     let mut fields = vec![
                         ("file", JsonValue::from(label.as_str())),
                         ("measures", r.measures.to_json()),
@@ -599,11 +700,21 @@ fn main() {
                     if cli.stats {
                         fields.push(("stats", r.stats.to_json()));
                     }
-                    reliab_spec::json::object(fields)
+                    json::object(fields)
                 }
-                Err(e) => reliab_spec::json::object(vec![
+                Outcome::Remote { measures, stats } => {
+                    let mut fields = vec![
+                        ("file", JsonValue::from(label.as_str())),
+                        ("measures", measures.clone()),
+                    ];
+                    if let Some(stats) = stats {
+                        fields.push(("stats", stats.clone()));
+                    }
+                    json::object(fields)
+                }
+                Outcome::Failed(err) => json::object(vec![
                     ("file", label.as_str().into()),
-                    ("error", e.as_str().into()),
+                    ("error", err.to_json()),
                 ]),
             });
         }
@@ -612,7 +723,7 @@ fn main() {
         let many = slots.len() > 1;
         for (label, outcome) in &slots {
             match outcome {
-                Ok(r) => {
+                Outcome::Local(r) => {
                     if many {
                         out.emit(&format!("// {label}"));
                     }
@@ -628,34 +739,53 @@ fn main() {
                         out.emit(&format!("// stats: {}", r.stats.to_json().to_json()));
                     }
                 }
-                Err(e) => eprintln!("{label}: {e}"),
+                Outcome::Remote { measures, stats } => {
+                    if many {
+                        out.emit(&format!("// {label}"));
+                    }
+                    // The daemon ships measures as JSON; the kind
+                    // discriminant is a field of the document.
+                    match measures.get("kind").and_then(JsonValue::as_str) {
+                        Some(kind) => out.emit(&format!("// {kind}")),
+                        None => out.emit("// result"),
+                    }
+                    out.emit(&measures.to_json_pretty());
+                    if let Some(stats) = stats {
+                        out.emit(&format!("// stats: {}", stats.to_json()));
+                    }
+                }
+                Outcome::Failed(err) => {
+                    eprintln!("{label}: [{}] {}", err.kind.as_str(), err.message);
+                }
             }
         }
     }
 
     if let (Some(path), Some(profiler)) = (&cli.profile, &profiler) {
-        if let Err(e) = std::fs::write(path, profiler.to_chrome_trace()) {
+        let path = keyed(path);
+        if let Err(e) = std::fs::write(&path, profiler.to_chrome_trace()) {
             eprintln!("cannot write profile file {path}: {e}");
         }
     }
     if let (Some(path), Some(recorder)) = (&cli.record, &recorder) {
-        if let Err(e) = std::fs::write(path, recorder.to_jsonl()) {
+        let path = keyed(path);
+        if let Err(e) = std::fs::write(&path, recorder.to_jsonl()) {
             eprintln!("cannot write record file {path}: {e}");
         }
     }
     if let Some(target) = &cli.metrics {
-        let dump = match cli.metrics_format {
-            MetricsFormat::Prometheus => obs::registry().to_prometheus(),
-            MetricsFormat::Json => obs::registry().to_json(),
-        };
+        let dump = obs::registry().exposition(cli.metrics_format);
         if target == "-" {
             eprint!("{dump}");
-        } else if let Err(e) = std::fs::write(target, &dump) {
-            eprintln!("cannot write metrics file {target}: {e}");
+        } else {
+            let target = keyed(target);
+            if let Err(e) = std::fs::write(&target, &dump) {
+                eprintln!("cannot write metrics file {target}: {e}");
+            }
         }
     }
     // `process::exit` skips destructors: push buffered trace records
     // out explicitly.
     obs::flush_subscribers();
-    std::process::exit(if failed { 1 } else { 0 });
+    std::process::exit(exit_code);
 }

@@ -37,6 +37,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod serve;
+
 use reliab_core::fxhash::FxHashMap;
 use reliab_core::{Error, Result};
 use reliab_obs as obs;

@@ -66,6 +66,100 @@ fn usage_errors_exit_two() {
     assert_eq!(run(cli().arg("--bogus-flag")).status.code(), Some(2));
 }
 
+/// Every `--json` failure entry is the shared wire-error document —
+/// `kind` / `message` / `path` — and the process exit code is exactly
+/// what `WireError::exit_code` assigns to that kind. The daemon serves
+/// the same document over HTTP, so this locks CLI/daemon parity from
+/// the CLI side (tests/serve.rs locks it from the daemon side).
+#[test]
+fn structured_errors_carry_kind_message_path_with_exit_parity() {
+    use reliab_spec::json::{self, JsonValue};
+    use reliab_spec::wire::{ErrorKind, WireError};
+
+    let dir = std::env::temp_dir().join("reliab-cli-test-wire-errors");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad_param = dir.join("bad_param.json");
+    std::fs::write(
+        &bad_param,
+        r#"{"rbd": {"components": [{"name": "a", "availability": 1.5}],
+                    "structure": "a"}}"#,
+    )
+    .unwrap();
+
+    let cases = [
+        (
+            bad_param.to_string_lossy().into_owned(),
+            ErrorKind::InvalidParameter,
+        ),
+        ("/nonexistent/never-there.json".to_owned(), ErrorKind::Io),
+    ];
+    for (path, kind) in cases {
+        let out = run(cli().arg("--json").arg(&path));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let doc = json::parse(stdout.trim()).expect("--json output parses");
+        let JsonValue::Array(entries) = &doc else {
+            panic!("--json output is not an array: {stdout}");
+        };
+        let error = entries[0].get("error").expect("entry carries an error");
+        assert_eq!(
+            error.get("kind").and_then(JsonValue::as_str),
+            Some(kind.as_str()),
+            "wrong kind for {path}"
+        );
+        let message = error
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .expect("error carries a message");
+        assert!(!message.is_empty());
+        assert_eq!(
+            error.get("path").and_then(JsonValue::as_str),
+            Some(path.as_str()),
+            "error must name the failing input"
+        );
+        // A WireError round-tripped from the printed document must
+        // classify to the very exit code the process used.
+        let wire = WireError::from_json(error).expect("error document round-trips");
+        assert_eq!(wire.kind, kind);
+        assert_eq!(out.status.code(), Some(wire.exit_code()), "for {path}");
+    }
+}
+
+/// `--record`/`--profile` templates containing `{trace}` expand to the
+/// run's trace id, so two runs pointed at the same template never
+/// clobber each other's artifacts.
+#[test]
+fn trace_keyed_artifacts_do_not_clobber_across_runs() {
+    let dir = std::env::temp_dir().join("reliab-cli-test-trace-keyed");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let template = dir.join("rec-{trace}.jsonl");
+
+    for _ in 0..2 {
+        let out = run(cli()
+            .arg("--record")
+            .arg(template.to_string_lossy().as_ref())
+            .arg(spec("two_component.json")));
+        assert!(out.status.success(), "stderr: {:?}", out.stderr);
+    }
+
+    let files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        files.len(),
+        2,
+        "expected two trace-keyed artifacts, got {files:?}"
+    );
+    for name in &files {
+        assert!(
+            name.starts_with("rec-") && name.ends_with(".jsonl") && !name.contains("{trace}"),
+            "unexpanded template in {name}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn trace_flag_writes_parseable_jsonl_with_nested_spans() {
     let dir = std::env::temp_dir().join("reliab-cli-test-trace");

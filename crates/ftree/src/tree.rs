@@ -437,7 +437,7 @@ fn gc_safe_point(bdd: &mut Bdd, live: NodeId, ctx: &mut CompileCtx<'_>) -> NodeI
     let guard = bdd.protect(live);
     bdd.maybe_gc();
     ctx.safe_points += 1;
-    if ctx.dynamic_sift && ctx.safe_points % DYNAMIC_SIFT_CHECK_INTERVAL == 0 {
+    if ctx.dynamic_sift && ctx.safe_points.is_multiple_of(DYNAMIC_SIFT_CHECK_INTERVAL) {
         let root = bdd.current(&guard);
         if bdd.node_count(root) >= ctx.sift_at {
             let _sift_span = obs::span("ftree.sift.dynamic");

@@ -48,8 +48,8 @@ mod recorder;
 mod subscriber;
 
 pub use metrics::{
-    log_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
-    DEFAULT_LATENCY_BUCKETS_MS,
+    log_buckets, Counter, ExpositionFormat, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    Registry, DEFAULT_LATENCY_BUCKETS_MS,
 };
 pub use profile::{PhaseProfile, PhaseRow, ProfileSubscriber};
 pub use recorder::{FlightRecorder, DEFAULT_RECORDER_CAPACITY};
@@ -136,12 +136,27 @@ pub fn registry() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
-/// Mints a fresh process-unique trace/request id (never 0). Every
-/// span and event carries the calling thread's current trace id, so a
-/// request-scoped guard ([`set_trace_id`]) stamps the whole solve —
-/// including spans on fan-out worker threads once they re-apply the id.
+/// Mints a fresh trace/request id (never 0). Every span and event
+/// carries the calling thread's current trace id, so a request-scoped
+/// guard ([`set_trace_id`]) stamps the whole solve — including spans on
+/// fan-out worker threads once they re-apply the id.
+///
+/// Ids are unique within a process *and* carry per-process entropy in
+/// their upper bits: artifacts keyed by `{trace}` (CLI `--record`, the
+/// daemon's per-request recordings) must not clobber each other when
+/// two separate processes both count from 1.
 #[must_use]
 pub fn mint_trace_id() -> u64 {
+    static SEED: std::sync::Once = std::sync::Once::new();
+    SEED.call_once(|| {
+        let pid = u64::from(std::process::id());
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::from(d.subsec_nanos()) ^ d.as_secs());
+        let entropy = (pid ^ now.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+        // 24 entropy bits above a 40-bit monotonic counter.
+        NEXT_TRACE_ID.store((entropy << 40) | 1, Ordering::Relaxed);
+    });
     NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
 }
 

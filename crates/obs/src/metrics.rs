@@ -33,6 +33,40 @@ pub const DEFAULT_LATENCY_BUCKETS_MS: &[f64] = &[
 /// Quantiles reported by the JSON and Prometheus expositions.
 const EXPOSED_QUANTILES: &[(&str, f64)] = &[("p50", 0.5), ("p90", 0.9), ("p99", 0.99)];
 
+/// Metric exposition format selector, shared by every surface that
+/// renders the registry (CLI `--metrics-format`, the daemon's
+/// `/metrics` endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpositionFormat {
+    /// Prometheus text exposition (`text/plain; version=0.0.4`).
+    #[default]
+    Prometheus,
+    /// One JSON object with counters/gauges/histograms + quantiles.
+    Json,
+}
+
+impl ExpositionFormat {
+    /// Parses `prometheus`/`prom`/`json` (the CLI flag values and the
+    /// `/metrics?format=` query values).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ExpositionFormat> {
+        match s {
+            "prometheus" | "prom" => Some(ExpositionFormat::Prometheus),
+            "json" => Some(ExpositionFormat::Json),
+            _ => None,
+        }
+    }
+
+    /// The HTTP `Content-Type` for this exposition.
+    #[must_use]
+    pub fn content_type(self) -> &'static str {
+        match self {
+            ExpositionFormat::Prometheus => "text/plain; version=0.0.4",
+            ExpositionFormat::Json => "application/json",
+        }
+    }
+}
+
 /// Builds log-spaced (geometric) histogram bucket bounds from `min` to
 /// `max` inclusive with `per_decade` buckets per factor of ten — the
 /// HDR-histogram-style layout whose relative quantile error is bounded
@@ -353,6 +387,17 @@ impl Registry {
                 }))
             })
             .clone()
+    }
+
+    /// Renders every series in the given exposition format — the one
+    /// call sites (CLI `--metrics`, the daemon's `/metrics` endpoint)
+    /// share so the two front ends can never drift.
+    #[must_use]
+    pub fn exposition(&self, format: ExpositionFormat) -> String {
+        match format {
+            ExpositionFormat::Prometheus => self.to_prometheus(),
+            ExpositionFormat::Json => self.to_json(),
+        }
     }
 
     /// A consistent-enough point-in-time copy of every series.

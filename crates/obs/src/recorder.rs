@@ -113,18 +113,41 @@ impl FlightRecorder {
     /// ```
     #[must_use]
     pub fn to_jsonl(&self) -> String {
+        self.render(None)
+    }
+
+    /// Like [`FlightRecorder::to_jsonl`], but keeps only the records
+    /// stamped with the given trace id — the per-request export the
+    /// daemon writes when many solves share one process-global
+    /// recorder. Series with no matching records are omitted entirely;
+    /// `dropped` counts remain global (ring eviction does not track
+    /// which trace it evicted).
+    #[must_use]
+    pub fn to_jsonl_for_trace(&self, trace: u64) -> String {
+        self.render(Some(trace))
+    }
+
+    fn render(&self, trace: Option<u64>) -> String {
         let series = self.lock();
         let mut out = String::with_capacity(256);
         for (name, s) in series.iter() {
+            let matching: Vec<&RecordedEvent> = s
+                .ring
+                .iter()
+                .filter(|r| trace.is_none_or(|t| r.trace == t))
+                .collect();
+            if matching.is_empty() && trace.is_some() {
+                continue;
+            }
             out.push_str("{\"type\":\"series_meta\",\"series\":\"");
             escape_json_into(&mut out, name);
             let _ = writeln!(
                 out,
                 "\",\"recorded\":{},\"dropped\":{}}}",
-                s.ring.len(),
+                matching.len(),
                 s.dropped
             );
-            for r in &s.ring {
+            for r in matching {
                 out.push_str("{\"type\":\"record\",\"series\":\"");
                 escape_json_into(&mut out, name);
                 let _ = write!(out, "\",\"t_us\":{},\"span\":{}", r.t_us, r.span);
@@ -259,6 +282,42 @@ mod tests {
         assert!(jsonl.contains("\"iter\":10"));
         assert!(jsonl.contains("\"iter\":8"));
         assert!(!jsonl.contains("\"iter\":7,"));
+    }
+
+    #[test]
+    fn trace_filtered_export_separates_interleaved_requests() {
+        let rec = FlightRecorder::new();
+        for i in 0..4 {
+            rec.on_event(&EventInfo {
+                span: 1,
+                trace: 11,
+                name: "markov.iteration",
+                fields: &[("iter", Value::U64(i))],
+            });
+            rec.on_event(&EventInfo {
+                span: 2,
+                trace: 22,
+                name: "markov.iteration",
+                fields: &[("iter", Value::U64(100 + i))],
+            });
+        }
+        rec.on_event(&EventInfo {
+            span: 2,
+            trace: 22,
+            name: "sim.round",
+            fields: &[("round", Value::U64(1))],
+        });
+        let a = rec.to_jsonl_for_trace(11);
+        assert!(a.contains("\"trace\":11"));
+        assert!(!a.contains("\"trace\":22"));
+        assert!(!a.contains("sim.round"), "series with no match is omitted");
+        assert!(a.contains("\"recorded\":4"));
+        let b = rec.to_jsonl_for_trace(22);
+        assert!(b.contains("\"iter\":103"));
+        assert!(!b.contains("\"iter\":3,"));
+        assert!(b.contains("sim.round"));
+        // The unfiltered export still sees everything.
+        assert_eq!(rec.to_jsonl().lines().count(), 2 + 8 + 1);
     }
 
     #[test]

@@ -143,6 +143,7 @@ pub mod json;
 mod report;
 mod scenario;
 mod schema;
+pub mod wire;
 
 pub use convert::{solve_str_with, solve_with, ImportanceRow, SolvedMeasures, TransientRow};
 pub use report::{SolveOptions, SolveReport, SolveStats, SteadySolver, VarOrder};

@@ -1,0 +1,588 @@
+//! Wire schema shared by the `reliab-serve` daemon and the CLI's
+//! client mode: request/response documents discriminated by a `"kind"`
+//! field, plus the structured error object both front ends emit.
+//!
+//! Every document is plain JSON built on [`crate::json::JsonValue`]:
+//!
+//! ```text
+//! request:  {"kind": "solve", "model": { ...model document... },
+//!            "deadline_ms": 2000, "stats": false}
+//!           {"kind": "solve", "spec": "two_component"}
+//! response: {"kind": "result", "spec": "two_component",
+//!            "measures": {...}, "stats": {...}}
+//!           {"kind": "error",
+//!            "error": {"kind": "deadline_exceeded",
+//!                      "message": "...", "path": "..."}}
+//! ```
+//!
+//! The error `kind` is machine-dispatchable: it maps one-to-one onto
+//! an HTTP status for the daemon ([`WireError::http_status`]) and onto
+//! a process exit code for the CLI ([`WireError::exit_code`]), and a
+//! test locks the two tables against each other so the front ends can
+//! never disagree about severity.
+
+use crate::json::{self, JsonValue};
+use reliab_core::Error;
+
+/// Machine-readable failure category carried by every structured
+/// error, on the wire as a snake_case string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Malformed JSON or a document violating the model schema
+    /// ([`Error::InvalidParameter`]).
+    InvalidParameter,
+    /// Numerical breakdown during the solve ([`Error::Numerical`]).
+    Numerical,
+    /// Iteration budget exhausted ([`Error::Convergence`]).
+    Convergence,
+    /// Structurally defective model ([`Error::Model`]).
+    Model,
+    /// Operation not supported for the model class
+    /// ([`Error::Unsupported`]).
+    Unsupported,
+    /// A file could not be read (CLI inputs, spec library).
+    Io,
+    /// The referenced library spec or route does not exist.
+    NotFound,
+    /// The wire request document itself is malformed.
+    BadRequest,
+    /// The request body exceeded the daemon's size cap.
+    TooLarge,
+    /// The request's deadline elapsed before the solve started.
+    DeadlineExceeded,
+    /// The admission queue was full and the request was shed.
+    Overloaded,
+    /// The client failed to deliver its request within the read
+    /// timeout (slow-loris protection).
+    SlowClient,
+    /// The daemon is draining and no longer admits work.
+    ShuttingDown,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire representation of the kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::InvalidParameter => "invalid_parameter",
+            ErrorKind::Numerical => "numerical",
+            ErrorKind::Convergence => "convergence",
+            ErrorKind::Model => "model",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Io => "io",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::SlowClient => "slow_client",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire representation back into a kind.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "invalid_parameter" => ErrorKind::InvalidParameter,
+            "numerical" => ErrorKind::Numerical,
+            "convergence" => ErrorKind::Convergence,
+            "model" => ErrorKind::Model,
+            "unsupported" => ErrorKind::Unsupported,
+            "io" => ErrorKind::Io,
+            "not_found" => ErrorKind::NotFound,
+            "bad_request" => ErrorKind::BadRequest,
+            "too_large" => ErrorKind::TooLarge,
+            "deadline_exceeded" => ErrorKind::DeadlineExceeded,
+            "overloaded" => ErrorKind::Overloaded,
+            "slow_client" => ErrorKind::SlowClient,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Every kind, for exhaustive table tests.
+    #[must_use]
+    pub fn all() -> &'static [ErrorKind] {
+        &[
+            ErrorKind::InvalidParameter,
+            ErrorKind::Numerical,
+            ErrorKind::Convergence,
+            ErrorKind::Model,
+            ErrorKind::Unsupported,
+            ErrorKind::Io,
+            ErrorKind::NotFound,
+            ErrorKind::BadRequest,
+            ErrorKind::TooLarge,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Overloaded,
+            ErrorKind::SlowClient,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Internal,
+        ]
+    }
+}
+
+/// The structured error document shared by the CLI (`"error"` entries
+/// in `--json` batches, exit codes) and the daemon (error response
+/// bodies, HTTP statuses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Failure category.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// The input the error is about — a file path for CLI batches, a
+    /// library spec name or request field for the daemon.
+    pub path: Option<String>,
+}
+
+impl WireError {
+    /// Builds an error with no path context.
+    #[must_use]
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        WireError {
+            kind,
+            message: message.into(),
+            path: None,
+        }
+    }
+
+    /// Attaches the input path/name the error refers to.
+    #[must_use]
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Classifies a solver [`Error`] into its wire form. The message is
+    /// the error's display form minus the categorizing prefix — the
+    /// category travels in `kind` instead of being re-parsed from
+    /// prose.
+    #[must_use]
+    pub fn from_error(e: &Error) -> Self {
+        let (kind, message) = match e {
+            Error::InvalidParameter(m) => (ErrorKind::InvalidParameter, m.clone()),
+            Error::Numerical(m) => (ErrorKind::Numerical, m.clone()),
+            Error::Convergence {
+                what,
+                iterations,
+                residual,
+            } => (
+                ErrorKind::Convergence,
+                format!(
+                    "{what} did not converge after {iterations} iterations (residual {residual:e})"
+                ),
+            ),
+            Error::Model(m) => (ErrorKind::Model, m.clone()),
+            Error::Unsupported(m) => (ErrorKind::Unsupported, m.clone()),
+            other => (ErrorKind::Internal, other.to_string()),
+        };
+        WireError::new(kind, message)
+    }
+
+    /// The HTTP status the daemon answers this error with.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        match self.kind {
+            ErrorKind::InvalidParameter | ErrorKind::Model | ErrorKind::BadRequest => 400,
+            ErrorKind::NotFound => 404,
+            ErrorKind::SlowClient => 408,
+            ErrorKind::TooLarge => 413,
+            ErrorKind::Numerical | ErrorKind::Convergence | ErrorKind::Unsupported => 422,
+            ErrorKind::Overloaded => 429,
+            ErrorKind::Io | ErrorKind::Internal => 500,
+            ErrorKind::ShuttingDown => 503,
+            ErrorKind::DeadlineExceeded => 504,
+        }
+    }
+
+    /// The exit status the CLI reports when a batch slot fails with
+    /// this error: `2` for usage-level mistakes (the request itself was
+    /// unintelligible), `1` for everything that failed while being
+    /// processed — the same severity split the daemon expresses as
+    /// 4xx-at-admission vs. failed-while-solving.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self.kind {
+            ErrorKind::BadRequest => 2,
+            _ => 1,
+        }
+    }
+
+    /// Serializes to the wire object
+    /// `{"kind": ..., "message": ..., "path"?: ...}`.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("kind", JsonValue::from(self.kind.as_str())),
+            ("message", JsonValue::from(self.message.as_str())),
+        ];
+        if let Some(path) = &self.path {
+            fields.push(("path", JsonValue::from(path.as_str())));
+        }
+        json::object(fields)
+    }
+
+    /// Parses the wire object produced by [`WireError::to_json`].
+    #[must_use]
+    pub fn from_json(v: &JsonValue) -> Option<WireError> {
+        let kind = ErrorKind::parse(v.get("kind")?.as_str()?)?;
+        let message = v.get("message")?.as_str()?.to_owned();
+        let path = v.get("path").and_then(|p| p.as_str()).map(str::to_owned);
+        Some(WireError {
+            kind,
+            message,
+            path,
+        })
+    }
+}
+
+/// What a solve request asks the daemon to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestSource {
+    /// A model document shipped inline, as JSON text.
+    Inline(String),
+    /// A named entry in the daemon's hot-reloadable spec library.
+    Library(String),
+}
+
+/// A parsed `/solve` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// The model to solve.
+    pub source: RequestSource,
+    /// Per-request deadline in milliseconds, measured from admission
+    /// (`None` = the daemon's default).
+    pub deadline_ms: Option<u64>,
+    /// Whether to include solver telemetry in the response.
+    pub stats: bool,
+}
+
+impl SolveRequest {
+    /// Parses a request body. Two forms are accepted: an envelope
+    /// `{"kind": "solve", ...}` with either an inline `"model"` or a
+    /// library `"spec"` name, or — for curl-friendliness — a bare
+    /// model document, treated as an inline solve with defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] of kind `bad_request` describing the
+    /// offending field.
+    pub fn parse(body: &str) -> Result<SolveRequest, WireError> {
+        let Ok(v) = json::parse(body) else {
+            // Not JSON at all: hand the raw body to the solver so the
+            // failure is the *solver's* malformed-document error — the
+            // same kind and message a local CLI run would report.
+            return Ok(SolveRequest {
+                source: RequestSource::Inline(body.to_owned()),
+                deadline_ms: None,
+                stats: false,
+            });
+        };
+        let Some(kind) = v.get("kind") else {
+            // A bare model document: hand the raw body to the solver
+            // untouched so error byte offsets refer to what was sent.
+            return Ok(SolveRequest {
+                source: RequestSource::Inline(body.to_owned()),
+                deadline_ms: None,
+                stats: false,
+            });
+        };
+        if kind.as_str() != Some("solve") {
+            return Err(WireError::new(
+                ErrorKind::BadRequest,
+                format!("unknown request kind {}", kind.to_json()),
+            )
+            .with_path("kind"));
+        }
+        for (key, _) in v.as_object().into_iter().flatten() {
+            if !matches!(
+                key.as_str(),
+                "kind" | "model" | "spec" | "deadline_ms" | "stats"
+            ) {
+                return Err(WireError::new(
+                    ErrorKind::BadRequest,
+                    format!("unknown request field '{key}'"),
+                )
+                .with_path(key.clone()));
+            }
+        }
+        let source = match (v.get("model"), v.get("spec")) {
+            (Some(model), None) => RequestSource::Inline(model.to_json()),
+            (None, Some(spec)) => match spec.as_str() {
+                Some(name) => RequestSource::Library(name.to_owned()),
+                None => {
+                    return Err(WireError::new(
+                        ErrorKind::BadRequest,
+                        "'spec' must be a library spec name",
+                    )
+                    .with_path("spec"))
+                }
+            },
+            (Some(_), Some(_)) => {
+                return Err(WireError::new(
+                    ErrorKind::BadRequest,
+                    "request carries both 'model' and 'spec'; pick one",
+                ))
+            }
+            (None, None) => {
+                return Err(WireError::new(
+                    ErrorKind::BadRequest,
+                    "request needs a 'model' document or a 'spec' name",
+                ))
+            }
+        };
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(d) => match d.as_usize() {
+                Some(ms) => Some(ms as u64),
+                None => {
+                    return Err(WireError::new(
+                        ErrorKind::BadRequest,
+                        "'deadline_ms' must be a non-negative integer",
+                    )
+                    .with_path("deadline_ms"))
+                }
+            },
+        };
+        let stats = match v.get("stats") {
+            None => false,
+            Some(s) => match s.as_bool() {
+                Some(b) => b,
+                None => {
+                    return Err(
+                        WireError::new(ErrorKind::BadRequest, "'stats' must be a boolean")
+                            .with_path("stats"),
+                    )
+                }
+            },
+        };
+        Ok(SolveRequest {
+            source,
+            deadline_ms,
+            stats,
+        })
+    }
+
+    /// Serializes to the envelope form (the CLI client mode uses this).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![("kind", JsonValue::from("solve"))];
+        match &self.source {
+            RequestSource::Inline(text) => {
+                let model = json::parse(text).unwrap_or_else(|_| JsonValue::String(text.clone()));
+                fields.push(("model", model));
+            }
+            RequestSource::Library(name) => fields.push(("spec", JsonValue::from(name.as_str()))),
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", JsonValue::Number(ms as f64)));
+        }
+        if self.stats {
+            fields.push(("stats", JsonValue::Bool(true)));
+        }
+        json::object(fields)
+    }
+}
+
+/// Builds a successful solve response document.
+#[must_use]
+pub fn result_response(
+    spec: Option<&str>,
+    measures: JsonValue,
+    stats: Option<JsonValue>,
+) -> JsonValue {
+    let mut fields = vec![("kind", JsonValue::from("result"))];
+    if let Some(name) = spec {
+        fields.push(("spec", JsonValue::from(name)));
+    }
+    fields.push(("measures", measures));
+    if let Some(stats) = stats {
+        fields.push(("stats", stats));
+    }
+    json::object(fields)
+}
+
+/// Builds an error response document.
+#[must_use]
+pub fn error_response(err: &WireError) -> JsonValue {
+    json::object(vec![
+        ("kind", JsonValue::from("error")),
+        ("error", err.to_json()),
+    ])
+}
+
+/// A parsed daemon response: the solved measures (and optional stats),
+/// or the structured error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveResponse {
+    /// `{"kind": "result", ...}`.
+    Result {
+        /// Library spec name, when the request referenced one.
+        spec: Option<String>,
+        /// The solved measures document.
+        measures: JsonValue,
+        /// Solver telemetry, when requested.
+        stats: Option<JsonValue>,
+    },
+    /// `{"kind": "error", ...}`.
+    Error(WireError),
+}
+
+impl SolveResponse {
+    /// Parses a response body produced by [`result_response`] /
+    /// [`error_response`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a `bad_request` [`WireError`] when the body is not a
+    /// recognizable response document.
+    pub fn parse(body: &str) -> Result<SolveResponse, WireError> {
+        let v = json::parse(body).map_err(|e| {
+            WireError::new(ErrorKind::BadRequest, format!("response is not JSON: {e}"))
+        })?;
+        match v.get("kind").and_then(JsonValue::as_str) {
+            Some("result") => Ok(SolveResponse::Result {
+                spec: v.get("spec").and_then(JsonValue::as_str).map(str::to_owned),
+                measures: v.get("measures").cloned().ok_or_else(|| {
+                    WireError::new(ErrorKind::BadRequest, "result lacks measures")
+                })?,
+                stats: v.get("stats").cloned(),
+            }),
+            Some("error") => {
+                let err = v
+                    .get("error")
+                    .and_then(WireError::from_json)
+                    .ok_or_else(|| {
+                        WireError::new(ErrorKind::BadRequest, "error response lacks a valid error")
+                    })?;
+                Ok(SolveResponse::Error(err))
+            }
+            other => Err(WireError::new(
+                ErrorKind::BadRequest,
+                format!("unknown response kind {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_kinds_round_trip_the_wire() {
+        for &kind in ErrorKind::all() {
+            assert_eq!(ErrorKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::parse("no_such_kind"), None);
+    }
+
+    #[test]
+    fn wire_error_json_round_trips() {
+        let e = WireError::new(ErrorKind::DeadlineExceeded, "too slow").with_path("specs/x.json");
+        let parsed = WireError::from_json(&e.to_json()).unwrap();
+        assert_eq!(parsed, e);
+        let bare = WireError::new(ErrorKind::Model, "empty tree");
+        assert_eq!(WireError::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn solver_errors_classify_by_variant() {
+        let e = WireError::from_error(&Error::invalid("bad rate"));
+        assert_eq!(e.kind, ErrorKind::InvalidParameter);
+        assert_eq!(e.message, "bad rate");
+        let e = WireError::from_error(&Error::Convergence {
+            what: "SOR".into(),
+            iterations: 9,
+            residual: 0.5,
+        });
+        assert_eq!(e.kind, ErrorKind::Convergence);
+        assert!(e.message.contains("9 iterations"));
+    }
+
+    #[test]
+    fn severity_tables_agree_across_front_ends() {
+        for &kind in ErrorKind::all() {
+            let e = WireError::new(kind, "x");
+            let status = e.http_status();
+            assert!((400..=599).contains(&status), "{kind:?} -> {status}");
+            // Usage-level on one front end means usage-level on the
+            // other: exit 2 iff the daemon would 400 the raw request.
+            if e.exit_code() == 2 {
+                assert_eq!(status, 400, "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bare_model_documents_are_inline_requests() {
+        let body = r#"{"rbd": {"components": [], "structure": "x"}}"#;
+        let req = SolveRequest::parse(body).unwrap();
+        assert_eq!(req.source, RequestSource::Inline(body.to_owned()));
+        assert_eq!(req.deadline_ms, None);
+        assert!(!req.stats);
+    }
+
+    #[test]
+    fn envelope_requests_parse_and_reject_junk() {
+        let req = SolveRequest::parse(
+            r#"{"kind": "solve", "spec": "two_component", "deadline_ms": 250, "stats": true}"#,
+        )
+        .unwrap();
+        assert_eq!(req.source, RequestSource::Library("two_component".into()));
+        assert_eq!(req.deadline_ms, Some(250));
+        assert!(req.stats);
+
+        for bad in [
+            r#"{"kind": "solve"}"#,
+            r#"{"kind": "solve", "spec": 3}"#,
+            r#"{"kind": "solve", "spec": "a", "model": {}}"#,
+            r#"{"kind": "solve", "spec": "a", "bogus": 1}"#,
+            r#"{"kind": "solve", "spec": "a", "deadline_ms": -2}"#,
+            r#"{"kind": "nonsense"}"#,
+        ] {
+            let err = SolveRequest::parse(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+        }
+
+        // Non-JSON text is NOT rejected at the HTTP layer: it flows to
+        // the solver verbatim so the error matches a local CLI run
+        // (invalid_parameter, same message) instead of bad_request.
+        let req = SolveRequest::parse("not json at all").unwrap();
+        assert_eq!(
+            req.source,
+            RequestSource::Inline("not json at all".to_owned())
+        );
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let measures = json::object(vec![("kind", "rbd".into()), ("availability", 0.99.into())]);
+        let body = result_response(Some("two_component"), measures.clone(), None).to_json();
+        match SolveResponse::parse(&body).unwrap() {
+            SolveResponse::Result {
+                spec,
+                measures: m,
+                stats,
+            } => {
+                assert_eq!(spec.as_deref(), Some("two_component"));
+                assert_eq!(m, measures);
+                assert!(stats.is_none());
+            }
+            SolveResponse::Error(e) => panic!("unexpected error {e:?}"),
+        }
+        let err = WireError::new(ErrorKind::Overloaded, "queue full");
+        let body = error_response(&err).to_json();
+        assert_eq!(
+            SolveResponse::parse(&body).unwrap(),
+            SolveResponse::Error(err)
+        );
+    }
+}
