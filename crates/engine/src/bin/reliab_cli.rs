@@ -48,6 +48,15 @@
 //!   parallel apply (fault-tree / RBD / bounds models; 0 = one per
 //!   CPU; default 1). The compiled BDD is canonical, so every measure
 //!   is bitwise identical at any setting.
+//! * `--stream` — force the streaming large-model tier for SPN models:
+//!   generator rows are regenerated from the marking arena on demand
+//!   instead of being materialized in CSR. Measures match the
+//!   materialized path to solver accuracy.
+//! * `--mem-budget BYTES` — total byte budget for the streaming tier
+//!   (`K`/`M`/`G` suffixes accepted). Also auto-escalates SPN solves to
+//!   the streaming tier when the spec's declared marking cap projects
+//!   past the budget, and to aggregation bounds when even the streaming
+//!   iteration vectors cannot fit.
 //! * `--uncert-samples N` — Monte-Carlo samples for uncertainty models
 //!   (overrides the spec's `samples`).
 //! * `--fixed-point-tol X` — hierarchy fixed-point tolerance (overrides
@@ -114,7 +123,8 @@ fn usage(code: i32) -> ! {
         "usage: reliab-cli [--jobs N] [--json] [--stats] [--method M] \
          [--var-order O] [--ite-cache N] [--gc-threshold N] [--reach-jobs N] \
          [--sim-reps N] [--sim-precision X] [--sim-seed N] [--sim-jobs N] \
-         [--hier-jobs N] [--bdd-jobs N] [--uncert-samples N] [--fixed-point-tol X] \
+         [--hier-jobs N] [--bdd-jobs N] [--stream] [--mem-budget BYTES] \
+         [--uncert-samples N] [--fixed-point-tol X] \
          [--truncation-order N] [--trace FILE] [--profile FILE] \
          [--record FILE] [--metrics FILE] \
          [--metrics-format F] [--progress] [--connect HOST:PORT] \
@@ -137,6 +147,10 @@ fn usage(code: i32) -> ! {
     eprintln!("  --reach-jobs N      SPN state-space workers (0 = one per CPU; default 1)");
     eprintln!("  --hier-jobs N       hierarchy sweep workers (0 = one per CPU; default 1)");
     eprintln!("  --bdd-jobs N        BDD apply workers (0 = one per CPU; default 1)");
+    eprintln!("  --stream            stream SPN generator rows from the marking arena");
+    eprintln!("                      instead of materializing the CTMC");
+    eprintln!("  --mem-budget BYTES  streaming-tier byte budget (K/M/G suffixes; also");
+    eprintln!("                      auto-escalates oversized SPN solves to streaming)");
     eprintln!("  --uncert-samples N  uncertainty Monte-Carlo samples (overrides the spec)");
     eprintln!("  --fixed-point-tol X hierarchy fixed-point tolerance (overrides the spec)");
     eprintln!("  --truncation-order N bounds cut-set truncation order (overrides the spec)");
@@ -149,6 +163,36 @@ fn usage(code: i32) -> ! {
     eprintln!("  --connect HOST:PORT submit inputs to a running reliab-serve daemon");
     eprintln!("  artifact FILE paths may embed {{trace}}, replaced by this run's trace id");
     std::process::exit(code);
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` (or `KiB`-style)
+/// suffix: `"268435456"`, `"256M"` and `"256MiB"` all mean the same
+/// thing. Binary multiples, matching how the budget is spent.
+fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, multiplier) = match s
+        .char_indices()
+        .find(|&(_, c)| !c.is_ascii_digit())
+        .map(|(i, _)| i)
+    {
+        None => (s, 1usize),
+        Some(split) => {
+            let m = match s[split..].trim().to_ascii_uppercase().as_str() {
+                "K" | "KB" | "KIB" => 1usize << 10,
+                "M" | "MB" | "MIB" => 1 << 20,
+                "G" | "GB" | "GIB" => 1 << 30,
+                _ => return None,
+            };
+            (&s[..split], m)
+        }
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    digits
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
 }
 
 struct Cli {
@@ -167,6 +211,8 @@ struct Cli {
     reach_jobs: usize,
     hier_jobs: usize,
     bdd_jobs: usize,
+    stream: bool,
+    mem_budget: Option<usize>,
     uncert_samples: Option<usize>,
     fixed_point_tol: Option<f64>,
     truncation_order: Option<usize>,
@@ -197,6 +243,8 @@ fn parse_args(args: &[String]) -> Cli {
         reach_jobs: 1,
         hier_jobs: 1,
         bdd_jobs: 1,
+        stream: false,
+        mem_budget: None,
         uncert_samples: None,
         fixed_point_tol: None,
         truncation_order: None,
@@ -311,6 +359,14 @@ fn parse_args(args: &[String]) -> Cli {
                 Some(n) => cli.bdd_jobs = n,
                 None => {
                     eprintln!("--bdd-jobs requires a non-negative integer");
+                    usage(2);
+                }
+            },
+            "--stream" => cli.stream = true,
+            "--mem-budget" => match it.next().and_then(|v| parse_bytes(v)) {
+                Some(n) => cli.mem_budget = Some(n),
+                None => {
+                    eprintln!("--mem-budget requires a byte count (K/M/G suffixes accepted)");
                     usage(2);
                 }
             },
@@ -613,7 +669,11 @@ fn main() {
         .with_simulate(cli.simulate)
         .with_sim_jobs(cli.sim_jobs)
         .with_hier_jobs(cli.hier_jobs)
-        .with_bdd_jobs(cli.bdd_jobs);
+        .with_bdd_jobs(cli.bdd_jobs)
+        .with_stream(cli.stream);
+    if let Some(b) = cli.mem_budget {
+        solve_opts = solve_opts.with_mem_budget(b);
+    }
     if let Some(n) = cli.sim_reps {
         solve_opts = solve_opts.with_sim_replications(n);
     }

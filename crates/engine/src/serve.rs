@@ -446,6 +446,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 &mut stream,
                 &WireError::new(ErrorKind::Overloaded, "connection limit reached"),
                 None,
+                false,
             );
             continue;
         }
@@ -467,6 +468,11 @@ struct Request {
     query: Vec<(String, String)>,
     headers: Vec<(String, String)>,
     body: String,
+    /// Whether the connection may serve another request after this one:
+    /// HTTP/1.1 defaults to keep-alive unless the client sends
+    /// `Connection: close`; HTTP/1.0 is one-shot unless it opts in with
+    /// `Connection: keep-alive`.
+    keep_alive: bool,
 }
 
 impl Request {
@@ -486,8 +492,14 @@ impl Request {
 }
 
 /// Reads one HTTP/1.1 request under the configured read-timeout and
-/// body-size budgets.
-fn read_request(stream: &mut TcpStream, config: &ServeConfig) -> Result<Request, WireError> {
+/// body-size budgets. Returns `Ok(None)` when the client closes (or
+/// goes idle past the budget, with `idle_ok`) without sending any
+/// bytes — the clean end of a keep-alive connection, not an error.
+fn read_request(
+    stream: &mut TcpStream,
+    config: &ServeConfig,
+    idle_ok: bool,
+) -> Result<Option<Request>, WireError> {
     let budget = Duration::from_millis(config.read_timeout_ms.max(1));
     let _ = stream.set_read_timeout(Some(budget.min(Duration::from_millis(250))));
     let started = Instant::now();
@@ -504,12 +516,16 @@ fn read_request(stream: &mut TcpStream, config: &ServeConfig) -> Result<Request,
             ));
         }
         if started.elapsed() > budget {
+            if buf.is_empty() && idle_ok {
+                return Ok(None);
+            }
             return Err(WireError::new(
                 ErrorKind::SlowClient,
                 format!("request not received within {} ms", config.read_timeout_ms),
             ));
         }
         match stream.read(&mut chunk) {
+            Ok(0) if buf.is_empty() => return Ok(None),
             Ok(0) => {
                 return Err(WireError::new(
                     ErrorKind::BadRequest,
@@ -537,6 +553,7 @@ fn read_request(stream: &mut TcpStream, config: &ServeConfig) -> Result<Request,
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or_default().to_owned();
     let target = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or("HTTP/1.1");
     if method.is_empty() || target.is_empty() {
         return Err(WireError::new(
             ErrorKind::BadRequest,
@@ -608,13 +625,23 @@ fn read_request(stream: &mut TcpStream, config: &ServeConfig) -> Result<Request,
     body.truncate(content_length);
     let body = String::from_utf8(body)
         .map_err(|_| WireError::new(ErrorKind::BadRequest, "request body is not UTF-8"))?;
-    Ok(Request {
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("connection"))
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = if version.eq_ignore_ascii_case("HTTP/1.0") {
+        connection.as_deref() == Some("keep-alive")
+    } else {
+        connection.as_deref() != Some("close")
+    };
+    Ok(Some(Request {
         method,
         path,
         query,
         headers,
         body,
-    })
+        keep_alive,
+    }))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -643,12 +670,14 @@ fn write_response(
     status: u16,
     content_type: &str,
     trace: Option<u64>,
+    keep_alive: bool,
     body: &str,
 ) {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     if let Some(trace) = trace {
         head.push_str(&format!("X-Trace-Id: {trace}\r\n"));
@@ -664,65 +693,100 @@ fn write_response(
     let _ = stream.flush();
 }
 
-fn respond_error(stream: &mut TcpStream, err: &WireError, trace: Option<u64>) {
+fn respond_error(stream: &mut TcpStream, err: &WireError, trace: Option<u64>, keep_alive: bool) {
     let mut body = error_response(err).to_json();
     body.push('\n');
-    write_response(stream, err.http_status(), "application/json", trace, &body);
+    write_response(
+        stream,
+        err.http_status(),
+        "application/json",
+        trace,
+        keep_alive,
+        &body,
+    );
 }
 
+/// Hard cap on requests served over one keep-alive connection, so a
+/// single client cannot pin a connection-handler thread forever.
+const MAX_REQUESTS_PER_CONNECTION: usize = 1024;
+
+/// Serves HTTP/1.1 requests sequentially over one connection until the
+/// client closes or opts out (`Connection: close`, HTTP/1.0), an error
+/// breaks request framing, the per-connection request cap is reached,
+/// or the daemon stops.
 fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
-    let t0 = Instant::now();
-    let request = match read_request(stream, &shared.config) {
-        Ok(r) => r,
-        Err(err) => {
-            if err.kind == ErrorKind::SlowClient {
-                obs::counter_add("serve.slow_clients", 1);
-            }
-            respond_error(stream, &err, None);
-            // The request was rejected before being fully read (e.g. an
-            // oversized body): closing now would RST the connection and
-            // destroy the in-flight error response. Read and discard
-            // what the client is still sending, briefly and boundedly.
-            let _ = stream.shutdown(std::net::Shutdown::Write);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-            let mut scratch = [0u8; 4096];
-            let mut drained = 0usize;
-            while drained < 4 << 20 {
-                match stream.read(&mut scratch) {
-                    Ok(0) | Err(_) => break,
-                    Ok(n) => drained += n,
+    for served in 0..MAX_REQUESTS_PER_CONNECTION {
+        let t0 = Instant::now();
+        let request = match read_request(stream, &shared.config, served > 0) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean close between requests
+            Err(err) => {
+                if err.kind == ErrorKind::SlowClient {
+                    obs::counter_add("serve.slow_clients", 1);
                 }
+                respond_error(stream, &err, None, false);
+                // The request was rejected before being fully read (e.g.
+                // an oversized body): closing now would RST the connection
+                // and destroy the in-flight error response. Read and
+                // discard what the client is still sending, briefly and
+                // boundedly.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut scratch = [0u8; 4096];
+                let mut drained = 0usize;
+                while drained < 4 << 20 {
+                    match stream.read(&mut scratch) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => drained += n,
+                    }
+                }
+                return;
             }
+        };
+        let keep_alive = request.keep_alive
+            && served + 1 < MAX_REQUESTS_PER_CONNECTION
+            && !shared.stopped.load(Ordering::SeqCst);
+        obs::counter_add("serve.http_requests", 1);
+        let persist = route(stream, shared, &request, keep_alive);
+        obs::observe_ms("serve.request_ms", t0.elapsed().as_secs_f64() * 1e3);
+        if !persist {
             return;
         }
-    };
-    obs::counter_add("serve.http_requests", 1);
-    route(stream, shared, &request);
-    obs::observe_ms("serve.request_ms", t0.elapsed().as_secs_f64() * 1e3);
+    }
 }
 
-fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) {
+/// Dispatches one request. Returns whether the connection should be
+/// kept open for another request (`keep_alive`, except for
+/// `/shutdown`, which always closes after answering).
+fn route(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    keep_alive: bool,
+) -> bool {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(stream, shared),
-        ("GET", "/metrics") => handle_metrics(stream, request),
-        ("GET", "/specs") => handle_specs(stream, shared),
+        ("GET", "/healthz") => handle_healthz(stream, shared, keep_alive),
+        ("GET", "/metrics") => handle_metrics(stream, request, keep_alive),
+        ("GET", "/specs") => handle_specs(stream, shared, keep_alive),
         ("GET", path) if path.starts_with("/specs/") => {
-            handle_spec_get(stream, shared, &path["/specs/".len()..]);
+            handle_spec_get(stream, shared, &path["/specs/".len()..], keep_alive);
         }
-        ("POST", "/reload") => handle_reload(stream, shared),
-        ("POST", "/solve") => handle_solve(stream, shared, request),
-        ("POST", "/batch") => handle_batch(stream, shared, request),
+        ("POST", "/reload") => handle_reload(stream, shared, keep_alive),
+        ("POST", "/solve") => handle_solve(stream, shared, request, keep_alive),
+        ("POST", "/batch") => handle_batch(stream, shared, request, keep_alive),
         ("POST", "/shutdown") => {
             write_response(
                 stream,
                 200,
                 "application/json",
                 None,
+                false,
                 "{\"kind\":\"draining\"}\n",
             );
             shared.shutting_down.store(true, Ordering::SeqCst);
             shared.remote_shutdown.store(true, Ordering::SeqCst);
             shared.ready.notify_all();
+            return false;
         }
         (_, "/healthz" | "/metrics" | "/specs" | "/reload" | "/solve" | "/batch" | "/shutdown") => {
             respond_error(
@@ -732,6 +796,7 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) {
                     format!("method {} not allowed here", request.method),
                 ),
                 None,
+                keep_alive,
             );
         }
         (_, path) => {
@@ -739,12 +804,14 @@ fn route(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) {
                 stream,
                 &WireError::new(ErrorKind::NotFound, format!("no route {path}")).with_path(path),
                 None,
+                keep_alive,
             );
         }
     }
+    keep_alive
 }
 
-fn handle_healthz(stream: &mut TcpStream, shared: &Arc<Shared>) {
+fn handle_healthz(stream: &mut TcpStream, shared: &Arc<Shared>, keep_alive: bool) {
     let draining = shared.shutting_down.load(Ordering::SeqCst);
     let body = json::object(vec![
         (
@@ -788,10 +855,10 @@ fn handle_healthz(stream: &mut TcpStream, shared: &Arc<Shared>) {
     ]);
     let mut text = body.to_json();
     text.push('\n');
-    write_response(stream, 200, "application/json", None, &text);
+    write_response(stream, 200, "application/json", None, keep_alive, &text);
 }
 
-fn handle_metrics(stream: &mut TcpStream, request: &Request) {
+fn handle_metrics(stream: &mut TcpStream, request: &Request, keep_alive: bool) {
     let format = match request.query_param("format") {
         None => obs::ExpositionFormat::Prometheus,
         Some(f) => match obs::ExpositionFormat::parse(f) {
@@ -805,16 +872,17 @@ fn handle_metrics(stream: &mut TcpStream, request: &Request) {
                     )
                     .with_path("format"),
                     None,
+                    keep_alive,
                 );
                 return;
             }
         },
     };
     let body = obs::registry().exposition(format);
-    write_response(stream, 200, format.content_type(), None, &body);
+    write_response(stream, 200, format.content_type(), None, keep_alive, &body);
 }
 
-fn handle_specs(stream: &mut TcpStream, shared: &Arc<Shared>) {
+fn handle_specs(stream: &mut TcpStream, shared: &Arc<Shared>, keep_alive: bool) {
     let lib = shared
         .library
         .read()
@@ -834,10 +902,10 @@ fn handle_specs(stream: &mut TcpStream, shared: &Arc<Shared>) {
     ])
     .to_json();
     body.push('\n');
-    write_response(stream, 200, "application/json", None, &body);
+    write_response(stream, 200, "application/json", None, keep_alive, &body);
 }
 
-fn handle_spec_get(stream: &mut TcpStream, shared: &Arc<Shared>, name: &str) {
+fn handle_spec_get(stream: &mut TcpStream, shared: &Arc<Shared>, name: &str, keep_alive: bool) {
     let lib = shared
         .library
         .read()
@@ -845,18 +913,19 @@ fn handle_spec_get(stream: &mut TcpStream, shared: &Arc<Shared>, name: &str) {
     match lib.get(name) {
         Some(entry) => {
             let body = entry.text.clone();
-            write_response(stream, 200, "application/json", None, &body);
+            write_response(stream, 200, "application/json", None, keep_alive, &body);
         }
         None => respond_error(
             stream,
             &WireError::new(ErrorKind::NotFound, format!("no library spec '{name}'"))
                 .with_path(name),
             None,
+            keep_alive,
         ),
     }
 }
 
-fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>) {
+fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, keep_alive: bool) {
     let Some(dir) = shared.config.spec_dir.clone() else {
         respond_error(
             stream,
@@ -865,6 +934,7 @@ fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>) {
                 "this daemon was started without a spec library directory",
             ),
             None,
+            keep_alive,
         );
         return;
     };
@@ -883,7 +953,7 @@ fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>) {
     ])
     .to_json();
     body.push('\n');
-    write_response(stream, 200, "application/json", None, &body);
+    write_response(stream, 200, "application/json", None, keep_alive, &body);
 }
 
 /// The channel a worker answers an admitted job on: one result or
@@ -977,11 +1047,11 @@ fn report_to_response(
     }
 }
 
-fn handle_solve(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) {
+fn handle_solve(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_alive: bool) {
     let parsed = match SolveRequest::parse(&request.body) {
         Ok(r) => r,
         Err(err) => {
-            respond_error(stream, &err, None);
+            respond_error(stream, &err, None, keep_alive);
             return;
         }
     };
@@ -1004,6 +1074,7 @@ fn handle_solve(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request)
                         &WireError::new(ErrorKind::NotFound, format!("no library spec '{name}'"))
                             .with_path(name.clone()),
                         None,
+                        keep_alive,
                     );
                     return;
                 }
@@ -1013,7 +1084,7 @@ fn handle_solve(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request)
     let (rx, trace, deadline) = match admit(shared, vec![text], label.clone(), deadline_ms) {
         Ok(admitted) => admitted,
         Err(err) => {
-            respond_error(stream, &err, None);
+            respond_error(stream, &err, None, keep_alive);
             return;
         }
     };
@@ -1027,10 +1098,17 @@ fn handle_solve(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request)
     let (status, body) = report_to_response(result, label.as_deref(), parsed.stats);
     let mut text = body.to_json();
     text.push('\n');
-    write_response(stream, status, "application/json", Some(trace), &text);
+    write_response(
+        stream,
+        status,
+        "application/json",
+        Some(trace),
+        keep_alive,
+        &text,
+    );
 }
 
-fn handle_batch(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request) {
+fn handle_batch(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request, keep_alive: bool) {
     let texts: Vec<String> = request
         .body
         .lines()
@@ -1045,6 +1123,7 @@ fn handle_batch(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request)
                 "batch body has no documents (one JSON document per line)",
             ),
             None,
+            keep_alive,
         );
         return;
     }
@@ -1055,7 +1134,7 @@ fn handle_batch(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request)
     let (rx, trace, deadline) = match admit(shared, texts, None, header_deadline) {
         Ok(admitted) => admitted,
         Err(err) => {
-            respond_error(stream, &err, None);
+            respond_error(stream, &err, None, keep_alive);
             return;
         }
     };
@@ -1066,7 +1145,14 @@ fn handle_batch(stream: &mut TcpStream, shared: &Arc<Shared>, request: &Request)
         body.push_str(&doc.to_json());
         body.push('\n');
     }
-    write_response(stream, 200, "application/x-ndjson", Some(trace), &body);
+    write_response(
+        stream,
+        200,
+        "application/x-ndjson",
+        Some(trace),
+        keep_alive,
+        &body,
+    );
 }
 
 /// A response from [`http_request`] — the minimal HTTP client shared
@@ -1093,8 +1179,9 @@ impl HttpResponse {
 }
 
 /// Performs one HTTP/1.1 request against `addr` (e.g. `"127.0.0.1:7171"`)
-/// and reads the full response. Connections are one-shot
-/// (`Connection: close`), matching the daemon.
+/// and reads the full response. The connection is one-shot
+/// (`Connection: close`); use [`KeepAliveClient`] to reuse a socket
+/// across sequential requests.
 ///
 /// # Errors
 ///
@@ -1141,7 +1228,18 @@ pub fn http_request(
             "response has no header end",
         )
     })?;
-    let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+    let (status, headers) = parse_response_head(&raw[..header_end])?;
+    let body = String::from_utf8_lossy(&raw[header_end + 4..]).into_owned();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Parses an HTTP response status line and headers (names lowercased).
+fn parse_response_head(head: &[u8]) -> std::io::Result<(u16, Vec<(String, String)>)> {
+    let head = String::from_utf8_lossy(head).into_owned();
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or_default();
     let status = status_line
@@ -1160,12 +1258,109 @@ pub fn http_request(
                 .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
         })
         .collect();
-    let body = String::from_utf8_lossy(&raw[header_end + 4..]).into_owned();
-    Ok(HttpResponse {
-        status,
-        headers,
-        body,
-    })
+    Ok((status, headers))
+}
+
+/// A persistent HTTP/1.1 client connection: one socket reused across
+/// sequential requests, each response framed by its `Content-Length`
+/// (reading to end-of-stream would block forever on a kept-alive
+/// socket). The daemon answers `Connection: keep-alive` until the
+/// client sends `Connection: close` or its per-connection request cap
+/// is reached.
+pub struct KeepAliveClient {
+    stream: TcpStream,
+    addr: String,
+    /// Bytes read past the previous response's body, carried into the
+    /// next response's parse so framing survives any read overshoot.
+    residue: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7171"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: &str) -> std::io::Result<KeepAliveClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        Ok(KeepAliveClient {
+            stream,
+            addr: addr.to_owned(),
+            residue: Vec::new(),
+        })
+    }
+
+    /// Performs one request on the persistent connection and reads the
+    /// complete response. Pass `("Connection", "close")` in `headers`
+    /// to make this the connection's final request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; an EOF before a complete response is
+    /// reported as [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> std::io::Result<HttpResponse> {
+        let mut req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n",
+            self.addr,
+            body.len()
+        );
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str("\r\n");
+        self.stream.write_all(req.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+
+        let mut raw = std::mem::take(&mut self.residue);
+        let mut chunk = [0u8; 4096];
+        let header_end = loop {
+            if let Some(pos) = find_header_end(&raw) {
+                break pos;
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before a full response header arrived",
+                    ))
+                }
+                n => raw.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let (status, headers) = parse_response_head(&raw[..header_end])?;
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let body_start = header_end + 4;
+        while raw.len() < body_start + content_length {
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid response body",
+                    ))
+                }
+                n => raw.extend_from_slice(&chunk[..n]),
+            }
+        }
+        self.residue = raw.split_off(body_start + content_length);
+        let body = String::from_utf8_lossy(&raw[body_start..]).into_owned();
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
 }
 
 #[cfg(test)]

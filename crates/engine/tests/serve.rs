@@ -6,7 +6,7 @@
 //! repeat) alike. A separate test locks the CLI's `--connect` client
 //! mode to its local-solve output, bytes and exit code both.
 
-use reliab_engine::serve::{http_request, HttpResponse, ServeConfig, Server};
+use reliab_engine::serve::{http_request, HttpResponse, KeepAliveClient, ServeConfig, Server};
 use reliab_spec::json::{self, JsonValue};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -59,13 +59,24 @@ fn assert_drains(server: &Server) {
     }
 }
 
-/// Spec names shipped in `specs/`, sorted.
+/// Spec names shipped in `specs/`, sorted. The ≥10⁶-marking streaming
+/// exemplar is excluded: solving it takes minutes in a debug build and
+/// its headline golden is not in the batch snapshot format (it is
+/// covered by `bench-stream` and the env-gated golden_cli test).
 fn spec_names(root: &Path) -> Vec<String> {
     let mut names: Vec<String> = std::fs::read_dir(root.join("specs"))
         .expect("specs/ exists")
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .filter(|n| n.ends_with(".json"))
         .map(|n| n.trim_end_matches(".json").to_owned())
+        .filter(|n| {
+            let text = std::fs::read_to_string(root.join("specs").join(format!("{n}.json")))
+                .expect("spec readable");
+            !matches!(
+                reliab_spec::ModelSpec::from_json_str(&text),
+                Ok(reliab_spec::ModelSpec::Spn(s)) if s.max_markings.unwrap_or(0) > 200_000
+            )
+        })
         .collect();
     names.sort();
     names
@@ -184,6 +195,89 @@ fn concurrent_solves_match_golden_snapshots_byte_for_byte() {
     let doc = json::parse(&health.body).unwrap();
     assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
     assert_eq!(doc.get("shed").and_then(JsonValue::as_f64), Some(0.0));
+    server.shutdown();
+}
+
+/// One socket, the whole spec library, twice: an HTTP/1.1 keep-alive
+/// connection drives every shipped spec through `/solve` sequentially
+/// (round one memo-miss, round two memo-hit) without reconnecting, and
+/// each response must match the golden snapshot bytes just as the
+/// one-shot path does. A final `Connection: close` request must be
+/// honored — the response says close and the socket then yields EOF.
+#[test]
+fn keep_alive_connection_serves_sequential_solves() {
+    let root = repo_root();
+    let names = spec_names(&root);
+    let server = boot(|c| {
+        c.workers = 2;
+        c.spec_dir = Some(root.join("specs"));
+        c.default_deadline_ms = 0;
+    });
+    let addr = server.local_addr().to_string();
+
+    let mut client = KeepAliveClient::connect(&addr).expect("daemon accepts the connection");
+    let mut served = 0u64;
+    for round in 0..2 {
+        for name in &names {
+            let body = format!("{{\"kind\":\"solve\",\"spec\":\"{name}\"}}");
+            let response = client
+                .request(
+                    "POST",
+                    "/solve",
+                    &[("Content-Type", "application/json")],
+                    &body,
+                )
+                .unwrap_or_else(|e| panic!("{name} (round {round}): keep-alive request: {e}"));
+            assert_eq!(
+                response.header("connection"),
+                Some("keep-alive"),
+                "{name}: daemon must hold the connection open"
+            );
+            assert_eq!(
+                response_measures(&response),
+                golden_measures(&root, name),
+                "{name} (round {round}) diverged from golden bytes over keep-alive"
+            );
+            served += 1;
+        }
+    }
+
+    // Non-solve routes ride the same socket; the request counter proves
+    // every solve above arrived through it.
+    let health = client.request("GET", "/healthz", &[], "").expect("health");
+    assert_eq!(health.status, 200);
+    let doc = json::parse(&health.body).unwrap();
+    assert!(
+        doc.get("requests")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0)
+            >= served as f64,
+        "daemon lost track of keep-alive solves"
+    );
+
+    let last = client
+        .request(
+            "POST",
+            "/solve",
+            &[
+                ("Content-Type", "application/json"),
+                ("Connection", "close"),
+            ],
+            &format!("{{\"kind\":\"solve\",\"spec\":\"{}\"}}", names[0]),
+        )
+        .expect("final request");
+    assert_eq!(last.status, 200);
+    assert_eq!(
+        last.header("connection"),
+        Some("close"),
+        "Connection: close must be honored"
+    );
+    assert!(
+        client.request("GET", "/healthz", &[], "").is_err(),
+        "daemon must close the socket after Connection: close"
+    );
+
+    assert_drains(&server);
     server.shutdown();
 }
 

@@ -1222,6 +1222,20 @@ fn solve_spn(spec: &SpnSpec, opts: &SolveOptions) -> Result<(SolvedMeasures, Sol
     } else {
         spec.reach_jobs.unwrap_or(ropts.jobs)
     };
+
+    // Tier selection: an explicit request (the option overrides the
+    // spec's hint) or budget-driven escalation when the declared
+    // marking cap projects past the memory budget.
+    let use_stream = opts.stream
+        || spec.solver == Some(SpnSolver::Stream)
+        || match (materialized_estimate(spec), opts.mem_budget) {
+            (Some(est), Some(budget)) => est > budget,
+            _ => false,
+        };
+    if use_stream {
+        return solve_spn_stream(spec, opts, &spn, &ropts, &place_ids, &trans_ids);
+    }
+
     let solved = spn.solve_with(&ropts)?;
 
     let mut stats = SolveStats::default();
@@ -1283,6 +1297,192 @@ fn solve_spn(spec: &SpnSpec, opts: &SolveOptions) -> Result<(SolvedMeasures, Sol
     Ok((
         SolvedMeasures::Spn {
             num_markings: solved.num_markings(),
+            expected_tokens,
+            throughput,
+        },
+        stats,
+    ))
+}
+
+/// Projected peak bytes of the materialized path for a declared marking
+/// cap: packed marking arena, intern table, CSR generator (row pointers
+/// plus one arc per timed transition per marking at 16 bytes), exit
+/// rates and the solution vector. `None` when the spec leaves the cap
+/// implicit — there is no declared scale to project from.
+fn materialized_estimate(spec: &SpnSpec) -> Option<usize> {
+    let cap = spec.max_markings?;
+    let timed = spec
+        .transitions
+        .iter()
+        .filter(|t| matches!(t.timing, SpnTimingSpec::Timed { .. }))
+        .count();
+    Some(cap.saturating_mul(4 * spec.places.len() + 12 + 8 + 16 * timed.max(1) + 16))
+}
+
+/// The streaming large-model tier: generate the tangible marking space
+/// only (no arcs stored), then solve steady state by regenerating
+/// generator rows from the arena on demand. A memory budget the exact
+/// streaming solve cannot meet escalates to aggregation bounds, whose
+/// bracket midpoints are reported with `stream_bounded` telemetry so
+/// consumers see the gap instead of a false point value.
+fn solve_spn_stream(
+    spec: &SpnSpec,
+    opts: &SolveOptions,
+    spn: &reliab_spn::Spn,
+    ropts: &reliab_spn::ReachabilityOptions,
+    place_ids: &FxHashMap<String, reliab_spn::PlaceId>,
+    trans_ids: &FxHashMap<String, reliab_spn::TransitionId>,
+) -> Result<(SolvedMeasures, SolveStats)> {
+    use reliab_stream::{
+        bounded_steady_reward, macro_states_for_budget, plan_steady, scan_rates, steady_state,
+        ArenaRowSource, PlanOutcome, RowSource, StreamMethod, StreamOptions,
+    };
+    let space = spn.tangible_space(ropts)?;
+    let mut stats = SolveStats::default();
+    let sstats = space.stats();
+    stats.spn_markings = Some(sstats.markings);
+    stats.spn_arcs = Some(sstats.arcs);
+    stats.spn_vanishing_eliminated = Some(sstats.vanishing_eliminated);
+    stats.spn_reach_workers = Some(1);
+
+    let place = |name: &str| -> Result<reliab_spn::PlaceId> {
+        place_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::model(format!("unknown place '{name}'")))
+    };
+    let want_tokens = spec.expected_tokens.as_deref().unwrap_or(&[]);
+    let want_throughput = spec.throughput.as_deref().unwrap_or(&[]);
+    let (expected_tokens, throughput) = if want_tokens.is_empty() && want_throughput.is_empty() {
+        (Vec::new(), Vec::new())
+    } else {
+        let method = match opts.steady_solver {
+            SteadySolver::Power => StreamMethod::Power,
+            SteadySolver::Sor => StreamMethod::Sor,
+            SteadySolver::Gth => {
+                return Err(Error::invalid(
+                    "the streaming tier has no dense GTH solver; use sor, power or auto",
+                ));
+            }
+            _ => StreamMethod::Auto,
+        };
+        let sopts = StreamOptions {
+            tolerance: opts.tolerance,
+            max_iterations: opts.max_iterations,
+            method,
+            mem_budget: opts.mem_budget,
+            ..Default::default()
+        };
+        let mut src = ArenaRowSource::new(&space);
+        let scan = scan_rates(&mut src)?;
+        match plan_steady(
+            space.num_markings(),
+            scan.arcs,
+            src.resident_bytes(),
+            &sopts,
+        ) {
+            PlanOutcome::Exact(_) => {
+                let report = steady_state(&mut src, &sopts)?;
+                stats.method = Some(report.method);
+                stats.iterations += report.iterations;
+                stats.residual = Some(report.residual);
+                stats.stream_blocks = Some(report.plan.blocks);
+                stats.stream_cached_blocks = Some(report.plan.cached_blocks);
+                stats.stream_peak_bytes = Some(report.plan.peak_bytes());
+                stats.stream_bounded = Some(false);
+                let pi = report.pi;
+                let expected_tokens = want_tokens
+                    .iter()
+                    .map(|name| {
+                        Ok((
+                            name.clone(),
+                            space.expected_tokens_given(&pi, place(name)?)?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let throughput = want_throughput
+                    .iter()
+                    .map(|name| {
+                        let id = trans_ids
+                            .get(name)
+                            .copied()
+                            .ok_or_else(|| Error::model(format!("unknown transition '{name}'")))?;
+                        Ok((name.clone(), space.throughput_given(&pi, id)?))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                (expected_tokens, throughput)
+            }
+            PlanOutcome::NeedsBounds { budget, .. } => {
+                let m = macro_states_for_budget(budget);
+                stats.method = Some("stream-bounds");
+                stats.stream_bounded = Some(true);
+                let mut max_gap = 0.0f64;
+                let expected_tokens = want_tokens
+                    .iter()
+                    .map(|name| {
+                        let idx = place(name)?.index();
+                        let r = bounded_steady_reward(&mut src, m, &mut |i| {
+                            f64::from(space.marking(i)[idx])
+                        })?;
+                        max_gap = max_gap.max(r.bounds.gap());
+                        Ok((name.clone(), r.bounds.midpoint()))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                // Throughput as a per-state reward: the transition's
+                // rate where its input and inhibitor arcs enable it,
+                // zero elsewhere (constant rates, so this is exact per
+                // state; only the aggregation introduces the bracket).
+                let throughput = want_throughput
+                    .iter()
+                    .map(|name| {
+                        let t = spec
+                            .transitions
+                            .iter()
+                            .find(|t| &t.name == name)
+                            .ok_or_else(|| Error::model(format!("unknown transition '{name}'")))?;
+                        let rate = match t.timing {
+                            SpnTimingSpec::Timed { rate } => rate,
+                            SpnTimingSpec::Immediate { .. } => {
+                                return Err(Error::invalid(format!(
+                                    "throughput of immediate transition '{name}' is undefined; \
+                                     immediate firings take zero time"
+                                )));
+                            }
+                        };
+                        let inputs = t
+                            .inputs
+                            .iter()
+                            .map(|a| Ok((place(&a.place)?.index(), a.count)))
+                            .collect::<Result<Vec<_>>>()?;
+                        let inhibitors = t
+                            .inhibitors
+                            .iter()
+                            .map(|a| Ok((place(&a.place)?.index(), a.count)))
+                            .collect::<Result<Vec<_>>>()?;
+                        let r = bounded_steady_reward(&mut src, m, &mut |i| {
+                            let mk = space.marking(i);
+                            let enabled = inputs.iter().all(|&(p, c)| mk[p] >= c)
+                                && inhibitors.iter().all(|&(p, c)| mk[p] < c);
+                            if enabled {
+                                rate
+                            } else {
+                                0.0
+                            }
+                        })?;
+                        max_gap = max_gap.max(r.bounds.gap());
+                        Ok((name.clone(), r.bounds.midpoint()))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                stats.stream_bound_gap = Some(max_gap);
+                stats.stream_peak_bytes = Some(src.resident_bytes() as u64 + (m * m * 8) as u64);
+                (expected_tokens, throughput)
+            }
+        }
+    };
+
+    Ok((
+        SolvedMeasures::Spn {
+            num_markings: space.num_markings(),
             expected_tokens,
             throughput,
         },

@@ -151,6 +151,6 @@ pub use schema::{
     ArcSpec, BoundsEventSpec, BoundsSpec, CtmcSpec, DistSpec, EdgeSpec, EventSpec, FaultTreeSpec,
     GateSpec, HierarchySpec, ImportSpec, KOfNGateSpec, KOfNSpec, ModelSpec, PlaceSpec, PriorSpec,
     RbdComponentSpec, RbdSpec, RelGraphSpec, ScenarioMeasure, SemiMarkovSpec, SimSpec,
-    SmpStateSpec, SmpTransitionSpec, SpnSpec, SpnTimingSpec, SpnTransitionSpec, StructureSpec,
-    SubmodelSpec, TransitionSpec, UncertainParamSpec, UncertaintySpec,
+    SmpStateSpec, SmpTransitionSpec, SpnSolver, SpnSpec, SpnTimingSpec, SpnTransitionSpec,
+    StructureSpec, SubmodelSpec, TransitionSpec, UncertainParamSpec, UncertaintySpec,
 };

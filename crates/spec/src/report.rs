@@ -94,6 +94,19 @@ pub struct SolveOptions {
     /// canonical, so probabilities are bitwise identical at any
     /// setting.
     pub bdd_jobs: usize,
+    /// Forces the streaming large-model tier for SPN models: generator
+    /// rows are regenerated from the marking arena on demand instead of
+    /// being materialized in CSR. Results match the materialized path
+    /// to iterative-solver accuracy; memory drops from `O(arcs)` to the
+    /// budgeted slice cache.
+    pub stream: bool,
+    /// Total byte budget for the streaming tier (row source, iteration
+    /// vectors and slice cache combined). `None` means unlimited. A
+    /// budget the exact streaming solve cannot meet escalates to the
+    /// aggregation bounds path. Setting a budget also auto-escalates
+    /// non-stream SPN solves to the streaming tier when the projected
+    /// materialized size exceeds it.
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for SolveOptions {
@@ -117,6 +130,8 @@ impl Default for SolveOptions {
             truncation_order: None,
             hier_jobs: 1,
             bdd_jobs: 1,
+            stream: false,
+            mem_budget: None,
         }
     }
 }
@@ -247,6 +262,20 @@ impl SolveOptions {
     #[must_use]
     pub fn with_bdd_jobs(mut self, jobs: usize) -> Self {
         self.bdd_jobs = jobs;
+        self
+    }
+
+    /// Forces the streaming large-model tier for SPN models.
+    #[must_use]
+    pub fn with_stream(mut self, stream: bool) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Sets the streaming tier's total byte budget.
+    #[must_use]
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = Some(bytes);
         self
     }
 }
@@ -410,6 +439,21 @@ pub struct SolveStats {
     /// Truncation order the bounds were computed at, for bounds
     /// models.
     pub bounds_truncation_order: Option<usize>,
+    /// Column blocks the streaming steady-state sweep used, when the
+    /// streaming tier ran.
+    pub stream_blocks: Option<usize>,
+    /// Blocks whose column slice stayed cached across sweeps (the rest
+    /// were recomputed from the row source every sweep), when the
+    /// streaming tier ran.
+    pub stream_cached_blocks: Option<usize>,
+    /// Planner's peak-resident estimate in bytes (row source, vectors
+    /// and slice cache), when the streaming tier ran.
+    pub stream_peak_bytes: Option<u64>,
+    /// Whether the memory budget forced escalation from the exact
+    /// streaming solve to the aggregation bounds path.
+    pub stream_bounded: Option<bool>,
+    /// Width of the reward bracket, when the bounds escalation ran.
+    pub stream_bound_gap: Option<f64>,
 }
 
 impl SolveStats {
@@ -513,6 +557,23 @@ impl SolveStats {
                 "bounds_truncation_order",
                 opt_num(self.bounds_truncation_order.map(|n| n as f64)),
             ),
+            (
+                "stream_blocks",
+                opt_num(self.stream_blocks.map(|n| n as f64)),
+            ),
+            (
+                "stream_cached_blocks",
+                opt_num(self.stream_cached_blocks.map(|n| n as f64)),
+            ),
+            (
+                "stream_peak_bytes",
+                opt_num(self.stream_peak_bytes.map(|n| n as f64)),
+            ),
+            (
+                "stream_bounded",
+                self.stream_bounded.map_or(JsonValue::Null, JsonValue::Bool),
+            ),
+            ("stream_bound_gap", opt_num(self.stream_bound_gap)),
         ])
     }
 }

@@ -60,6 +60,44 @@ pub struct SpnSpec {
     /// Timed transitions to report steady-state throughput for
     /// (default: none).
     pub throughput: Option<Vec<String>>,
+    /// Solver tier hint: `"stream"` routes the solve through the
+    /// streaming large-model tier (rows regenerated from the marking
+    /// arena, no materialized generator); `"materialized"` is the
+    /// historical CSR path. Absent means materialized unless a memory
+    /// budget forces escalation. Overridden by `SolveOptions::stream`.
+    pub solver: Option<SpnSolver>,
+}
+
+/// SPN solver-tier selection (the spec's `"solver"` key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SpnSolver {
+    /// Generate the state space and materialize the CTMC in CSR (the
+    /// historical path).
+    #[default]
+    Materialized,
+    /// Stream generator rows from the marking arena on demand.
+    Stream,
+}
+
+impl SpnSolver {
+    /// Parses the JSON / CLI spelling (`"materialized"`, `"stream"`).
+    pub fn parse(s: &str) -> Option<SpnSolver> {
+        match s {
+            "materialized" | "csr" => Some(SpnSolver::Materialized),
+            "stream" => Some(SpnSolver::Stream),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling, as accepted by [`SpnSolver::parse`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpnSolver::Materialized => "materialized",
+            SpnSolver::Stream => "stream",
+        }
+    }
 }
 
 /// One SPN place.
@@ -1570,6 +1608,7 @@ impl SpnSpec {
                 "shard_bits",
                 "expected_tokens",
                 "throughput",
+                "solver",
             ],
             "spn",
         )?;
@@ -1606,6 +1645,19 @@ impl SpnSpec {
                 Some(list) => Ok(Some(string_list(list, key)?)),
             }
         };
+        let solver = match v.get("solver") {
+            None | Some(JsonValue::Null) => None,
+            Some(s) => {
+                let s = s
+                    .as_str()
+                    .ok_or_else(|| schema_err("'solver' must be a string"))?;
+                Some(SpnSolver::parse(s).ok_or_else(|| {
+                    schema_err(format!(
+                        "'solver' must be one of materialized, stream (got '{s}')"
+                    ))
+                })?)
+            }
+        };
         Ok(SpnSpec {
             places,
             transitions,
@@ -1614,6 +1666,7 @@ impl SpnSpec {
             shard_bits,
             expected_tokens: optional_names("expected_tokens")?,
             throughput: optional_names("throughput")?,
+            solver,
         })
     }
 
@@ -1647,6 +1700,9 @@ impl SpnSpec {
         }
         if let Some(t) = &self.throughput {
             entries.push(("throughput", json::string_array(t)));
+        }
+        if let Some(s) = self.solver {
+            entries.push(("solver", JsonValue::from(s.as_str())));
         }
         json::object(entries)
     }

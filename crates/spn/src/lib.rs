@@ -37,9 +37,11 @@
 
 mod model;
 mod reach;
+mod space;
 
 pub use model::{PlaceId, Spn, SpnBuilder, TransitionId};
 pub use reach::{ReachStats, ReachabilityOptions, SolvedSpn};
+pub use space::{RowBuffer, SpaceStats, TangibleSpace};
 
 /// A marking: token count per place, indexed by [`PlaceId::index`].
 pub type Marking = Vec<u32>;

@@ -84,7 +84,7 @@ pub struct ReachStats {
 /// multiply-rotate hash is the right trade (same reasoning as the BDD
 /// unique table).
 #[inline]
-fn hash_marking(m: &[u32]) -> u64 {
+pub(crate) fn hash_marking(m: &[u32]) -> u64 {
     let mut h = FxHasher::default();
     for &w in m {
         h.write_u32(w);
@@ -102,16 +102,16 @@ const EMPTY: u32 = u32::MAX;
 /// only on a hash match. Interning a marking copies `width` words into
 /// the arena at most once — no `Marking` (i.e. `Vec<u32>`) clones, no
 /// per-state allocation.
-struct InternTable {
+pub(crate) struct InternTable {
     width: usize,
     hashes: Vec<u64>,
     ids: Vec<u32>,
     arena: Vec<u32>,
-    count: usize,
+    pub(crate) count: usize,
 }
 
 impl InternTable {
-    fn new(width: usize) -> Self {
+    pub(crate) fn new(width: usize) -> Self {
         let cap = 1024;
         InternTable {
             width,
@@ -124,14 +124,42 @@ impl InternTable {
 
     /// The packed marking with local id `id`.
     #[inline]
-    fn get(&self, id: u32) -> &[u32] {
+    pub(crate) fn get(&self, id: u32) -> &[u32] {
         let lo = id as usize * self.width;
         &self.arena[lo..lo + self.width]
     }
 
+    /// Read-only probe: the local id of `m` if it is interned. Touches
+    /// the arena only on a full-hash match, like [`InternTable::intern`],
+    /// but never mutates — the row-regeneration hot path of the
+    /// streaming solver tier, where every successor is already known to
+    /// be interned.
+    #[inline]
+    pub(crate) fn find(&self, m: &[u32], hash: u64) -> Option<u32> {
+        let mask = self.ids.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let id = self.ids[slot];
+            if id == EMPTY {
+                return None;
+            }
+            if self.hashes[slot] == hash && self.get(id) == m {
+                return Some(id);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Bytes resident in the table's backing stores (arena plus slot
+    /// arrays) — the deterministic accounting the streaming tier's
+    /// memory planner uses.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.arena.len() * 4 + self.hashes.len() * 8 + self.ids.len() * 4
+    }
+
     /// Interns `m` (whose hash is `hash`), returning its local id and
     /// whether it was newly inserted.
-    fn intern(&mut self, m: &[u32], hash: u64) -> (u32, bool) {
+    pub(crate) fn intern(&mut self, m: &[u32], hash: u64) -> (u32, bool) {
         debug_assert_eq!(m.len(), self.width);
         // Grow at 70% load so probe chains stay short.
         if self.count * 10 >= self.ids.len() * 7 {
@@ -209,7 +237,7 @@ struct RawGraph {
     max_shard_occupancy: usize,
 }
 
-fn cap_error(opts: &ReachabilityOptions) -> Error {
+pub(crate) fn cap_error(opts: &ReachabilityOptions) -> Error {
     Error::model(format!(
         "reachability exceeded {} tangible markings",
         opts.max_markings
@@ -364,7 +392,7 @@ impl Spn {
 
     /// Indices of the timed transitions, in declaration order — the
     /// outer loop of every state expansion.
-    fn timed_indices(&self) -> Vec<usize> {
+    pub(crate) fn timed_indices(&self) -> Vec<usize> {
         (0..self.transitions.len())
             .filter(|&t| matches!(self.transitions[t].timing, Timing::Timed(_)))
             .collect()
@@ -753,7 +781,7 @@ impl Spn {
     /// tangible distribution in a canonical (lexicographic) order — the
     /// order must not depend on exploration interleaving, or parallel
     /// and sequential runs would emit different arc streams.
-    fn resolve_vanishing(
+    pub(crate) fn resolve_vanishing(
         &self,
         m: Marking,
         opts: &ReachabilityOptions,

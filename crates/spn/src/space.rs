@@ -1,0 +1,490 @@
+//! The tangible marking space without its arcs: the out-of-core
+//! backbone of the streaming solver tier.
+//!
+//! [`Spn::tangible_space`] runs the same sequential canonical BFS as
+//! the materializing generator (`Spn::solve_with`) but stores **only**
+//! the packed marking arena and its intern table — no arc triplets, no
+//! `Marking` clones, no CTMC. Rows of the generator are regenerated on
+//! demand by [`TangibleSpace::successors`], which re-fires the enabled
+//! timed transitions of one marking (eliminating vanishing markings on
+//! the fly) and resolves each tangible successor back to its canonical
+//! id through a read-only intern-table probe. Because the BFS interned
+//! every tangible successor during construction, regeneration
+//! reproduces the materialized per-row arc stream exactly — same order,
+//! same duplicates, same rates — which is what makes the streaming
+//! solvers differential-testable against the CSR path.
+
+use crate::model::Spn;
+use crate::reach::{cap_error, hash_marking, InternTable, ReachabilityOptions};
+use crate::Marking;
+use crate::{PlaceId, TransitionId};
+use reliab_core::{Error, Result};
+use reliab_obs as obs;
+use std::time::Instant;
+
+/// Reusable per-row scratch for [`TangibleSpace::successors`] — holds
+/// the marking buffers so row regeneration allocates only when a
+/// vanishing chain must be resolved (exactly like the materializing
+/// generator's hot path).
+#[derive(Debug, Default)]
+pub struct RowBuffer {
+    /// The regenerated row: `(target id, rate)` arcs in canonical
+    /// emission order, self-loops dropped, parallel arcs kept separate.
+    pub arcs: Vec<(u32, f64)>,
+    cur: Marking,
+    fired: Marking,
+    vanishing: u64,
+}
+
+impl RowBuffer {
+    /// An empty buffer; capacity grows to the widest row encountered.
+    #[must_use]
+    pub fn new() -> Self {
+        RowBuffer::default()
+    }
+}
+
+/// Generation telemetry for a [`TangibleSpace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SpaceStats {
+    /// Tangible markings (CTMC states).
+    pub markings: usize,
+    /// CTMC rate triplets the materialized generator would emit
+    /// (counted during the BFS; none are stored).
+    pub arcs: usize,
+    /// Vanishing markings expanded and eliminated during the BFS.
+    pub vanishing_eliminated: u64,
+    /// Wall-clock nanoseconds spent on the BFS.
+    pub generation_ns: u128,
+}
+
+/// The tangible marking space of an [`Spn`] under the canonical
+/// (sequential-BFS) numbering, without materialized arcs.
+///
+/// Construct with [`Spn::tangible_space`]; regenerate generator rows
+/// with [`TangibleSpace::successors`].
+pub struct TangibleSpace<'a> {
+    spn: &'a Spn,
+    table: InternTable,
+    timed: Vec<usize>,
+    has_imm: bool,
+    initial_pairs: Vec<(u32, f64)>,
+    opts: ReachabilityOptions,
+    stats: SpaceStats,
+}
+
+impl std::fmt::Debug for TangibleSpace<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TangibleSpace")
+            .field("markings", &self.stats.markings)
+            .field("arcs", &self.stats.arcs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Spn {
+    /// Generates the tangible marking space **without** storing arcs —
+    /// the entry point of the streaming solver tier. The BFS, vanishing
+    /// elimination, cap enforcement, and state numbering are identical
+    /// to the sequential materializing generator, so state `i` here is
+    /// state `i` of [`Spn::solve_with`]'s CTMC at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Spn::solve_with`]: state-space cap
+    /// exceeded, vanishing loop detected, or a marking-dependent rate
+    /// misbehaved.
+    pub fn tangible_space(&self, opts: &ReachabilityOptions) -> Result<TangibleSpace<'_>> {
+        let _span = obs::span("spn.space");
+        let start = Instant::now();
+        let width = self.num_places();
+        let timed = self.timed_indices();
+        let has_imm = self.has_immediate();
+        let mut table = InternTable::new(width);
+        let mut arcs = 0usize;
+        let mut vanishing = 0u64;
+
+        let intern = |table: &mut InternTable, m: &[u32]| -> Result<u32> {
+            let (id, is_new) = table.intern(m, hash_marking(m));
+            if is_new && table.count > opts.max_markings {
+                return Err(cap_error(opts));
+            }
+            Ok(id)
+        };
+
+        let mut initial_pairs: Vec<(u32, f64)> = Vec::new();
+        for (m, p) in self.resolve_vanishing(self.initial.clone(), opts, &mut vanishing)? {
+            let i = intern(&mut table, &m)?;
+            initial_pairs.push((i, p));
+        }
+
+        // The arena walk IS the BFS, exactly as in the materializing
+        // generator; the only difference is that arcs are counted, not
+        // collected.
+        let mut cur: Marking = Vec::with_capacity(width);
+        let mut fired: Marking = Vec::with_capacity(width);
+        let mut i = 0usize;
+        let mut level = 0u64;
+        let mut level_end = table.count;
+        while i < table.count {
+            if i == level_end {
+                if obs::trace_enabled() {
+                    obs::event(
+                        "spn.reach.level",
+                        &[
+                            ("level", level.into()),
+                            ("frontier", (table.count - level_end).into()),
+                            ("states", table.count.into()),
+                            ("arcs", arcs.into()),
+                        ],
+                    );
+                }
+                level += 1;
+                level_end = table.count;
+            }
+            cur.clear();
+            cur.extend_from_slice(table.get(i as u32));
+            for &t in &timed {
+                if !self.enabled(t, &cur) {
+                    continue;
+                }
+                let rate = self.rate_of(t, &cur)?;
+                debug_assert!(rate > 0.0);
+                self.fire_into(t, &cur, &mut fired);
+                if has_imm && self.any_immediate_enabled(&fired) {
+                    for (target, _p) in
+                        self.resolve_vanishing(fired.clone(), opts, &mut vanishing)?
+                    {
+                        let j = intern(&mut table, &target)?;
+                        if j as usize != i {
+                            arcs += 1;
+                        }
+                    }
+                } else {
+                    let j = intern(&mut table, &fired)?;
+                    if j as usize != i {
+                        arcs += 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        let stats = SpaceStats {
+            markings: table.count,
+            arcs,
+            vanishing_eliminated: vanishing,
+            generation_ns: start.elapsed().as_nanos(),
+        };
+        obs::counter_add("spn.space.markings", stats.markings as u64);
+        obs::event(
+            "spn.space.done",
+            &[
+                ("markings", (stats.markings as u64).into()),
+                ("arcs", (stats.arcs as u64).into()),
+                ("vanishing_eliminated", stats.vanishing_eliminated.into()),
+            ],
+        );
+        Ok(TangibleSpace {
+            spn: self,
+            table,
+            timed,
+            has_imm,
+            initial_pairs,
+            opts: *opts,
+            stats,
+        })
+    }
+}
+
+impl TangibleSpace<'_> {
+    /// Number of tangible markings (CTMC states).
+    #[must_use]
+    pub fn num_markings(&self) -> usize {
+        self.table.count
+    }
+
+    /// The packed marking with canonical id `id` (token count per
+    /// place, indexed like [`PlaceId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn marking(&self, id: u32) -> &[u32] {
+        self.table.get(id)
+    }
+
+    /// Initial distribution as sparse `(state, probability)` pairs (a
+    /// vanishing initial marking spreads over its tangible successors).
+    #[must_use]
+    pub fn initial_pairs(&self) -> &[(u32, f64)] {
+        &self.initial_pairs
+    }
+
+    /// Generation telemetry.
+    #[must_use]
+    pub fn stats(&self) -> &SpaceStats {
+        &self.stats
+    }
+
+    /// Bytes resident in the space's backing stores (marking arena,
+    /// intern slots, transition index, initial pairs) — deterministic
+    /// accounting for the streaming tier's memory planner.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.table.resident_bytes() + self.timed.len() * 8 + self.initial_pairs.len() * 12
+    }
+
+    /// Regenerates generator row `id` into `row.arcs`: the off-diagonal
+    /// `(target, rate)` arcs in the canonical emission order — firing
+    /// the enabled timed transitions in declaration order, eliminating
+    /// vanishing successors on the fly, dropping self-loops, keeping
+    /// parallel arcs separate. Byte-for-byte the per-row slice of the
+    /// materialized generator's triplet stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates marking-dependent-rate and vanishing-chain errors;
+    /// an un-interned successor (impossible for a space built by
+    /// [`Spn::tangible_space`]) reports an internal model error.
+    pub fn successors(&self, id: u32, row: &mut RowBuffer) -> Result<()> {
+        row.arcs.clear();
+        row.cur.clear();
+        row.cur.extend_from_slice(self.table.get(id));
+        for &t in &self.timed {
+            if !self.spn.enabled(t, &row.cur) {
+                continue;
+            }
+            let rate = self.spn.rate_of(t, &row.cur)?;
+            self.spn.fire_into(t, &row.cur, &mut row.fired);
+            if self.has_imm && self.spn.any_immediate_enabled(&row.fired) {
+                for (target, p) in
+                    self.spn
+                        .resolve_vanishing(row.fired.clone(), &self.opts, &mut row.vanishing)?
+                {
+                    let j = self.find(&target)?;
+                    if j != id {
+                        row.arcs.push((j, rate * p));
+                    }
+                }
+            } else {
+                let j = self.find(&row.fired)?;
+                if j != id {
+                    row.arcs.push((j, rate));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn find(&self, m: &[u32]) -> Result<u32> {
+        self.table.find(m, hash_marking(m)).ok_or_else(|| {
+            Error::model(
+                "internal error: regenerated successor marking is not in the tangible space",
+            )
+        })
+    }
+
+    /// Expected token count in `place` under the distribution `pi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a `pi` of the wrong
+    /// length.
+    pub fn expected_tokens_given(&self, pi: &[f64], place: PlaceId) -> Result<f64> {
+        self.check_pi(pi)?;
+        let idx = place.index();
+        let mut total = 0.0;
+        for (i, &p) in pi.iter().enumerate() {
+            total += p * f64::from(self.table.get(i as u32)[idx]);
+        }
+        Ok(total)
+    }
+
+    /// Throughput of a **timed** transition under the distribution
+    /// `pi`: `Σ_m π_m · rate_t(m) · 1[t enabled in m]` — the streaming
+    /// counterpart of `SolvedSpn::throughput_given`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Model`] for immediate transitions,
+    /// [`Error::InvalidParameter`] for a `pi` of the wrong length, and
+    /// propagates rate-evaluation errors.
+    pub fn throughput_given(&self, pi: &[f64], t: TransitionId) -> Result<f64> {
+        self.check_pi(pi)?;
+        let idx = t.index();
+        if !self.timed.contains(&idx) {
+            return Err(Error::model(format!(
+                "throughput of immediate transition '{}' is not defined; attach the measure \
+                 to a timed transition",
+                self.spn.transitions[idx].name
+            )));
+        }
+        let mut total = 0.0;
+        let mut m: Marking = Vec::with_capacity(self.spn.num_places());
+        for (i, &p) in pi.iter().enumerate() {
+            m.clear();
+            m.extend_from_slice(self.table.get(i as u32));
+            if self.spn.enabled(idx, &m) {
+                total += p * self.spn.rate_of(idx, &m)?;
+            }
+        }
+        Ok(total)
+    }
+
+    fn check_pi(&self, pi: &[f64]) -> Result<()> {
+        if pi.len() != self.table.count {
+            return Err(Error::invalid(format!(
+                "distribution length {} != number of markings {}",
+                pi.len(),
+                self.table.count
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpnBuilder;
+
+    fn mm1k(lambda: f64, mu: f64, k: u32) -> Spn {
+        let mut b = SpnBuilder::new();
+        let queue = b.place("queue", 0);
+        let arrive = b.timed("arrive", lambda);
+        let serve = b.timed("serve", mu);
+        b.output_arc(arrive, queue, 1);
+        b.input_arc(serve, queue, 1);
+        b.inhibitor_arc(arrive, queue, k);
+        b.build().unwrap()
+    }
+
+    /// A net with immediate routing, so row regeneration exercises
+    /// on-the-fly vanishing elimination.
+    fn routed() -> Spn {
+        let mut b = SpnBuilder::new();
+        let inbox = b.place("inbox", 0);
+        let left = b.place("left", 0);
+        let right = b.place("right", 0);
+        let arrive = b.timed("arrive", 1.0);
+        b.output_arc(arrive, inbox, 1);
+        let go_left = b.immediate("go-left", 0.3, 0);
+        b.input_arc(go_left, inbox, 1);
+        b.output_arc(go_left, left, 1);
+        let go_right = b.immediate("go-right", 0.7, 0);
+        b.input_arc(go_right, inbox, 1);
+        b.output_arc(go_right, right, 1);
+        let dl = b.timed("drain-left", 5.0);
+        b.input_arc(dl, left, 1);
+        let dr = b.timed("drain-right", 5.0);
+        b.input_arc(dr, right, 1);
+        b.inhibitor_arc(arrive, left, 3);
+        b.inhibitor_arc(arrive, right, 3);
+        b.build().unwrap()
+    }
+
+    /// Row regeneration must reproduce the materialized generator's
+    /// per-row arc stream exactly — same targets, same rates, same
+    /// order, bit for bit.
+    fn assert_rows_match(spn: &Spn) {
+        let opts = ReachabilityOptions::default();
+        let solved = spn.solve_with(&opts).unwrap();
+        let space = spn.tangible_space(&opts).unwrap();
+        assert_eq!(space.num_markings(), solved.num_markings());
+        for (i, m) in solved.markings().iter().enumerate() {
+            assert_eq!(space.marking(i as u32), &m[..], "marking {i}");
+        }
+        assert_eq!(
+            space.initial_pairs().len(),
+            solved
+                .initial_distribution()
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .count()
+        );
+        let gen = solved.ctmc().generator();
+        let mut row = RowBuffer::new();
+        let mut total_arcs = 0usize;
+        for i in 0..space.num_markings() {
+            space.successors(i as u32, &mut row).unwrap();
+            total_arcs += row.arcs.len();
+            // Merge parallel arcs like CSR does, then compare.
+            let mut merged: std::collections::BTreeMap<u32, f64> = Default::default();
+            for &(j, r) in &row.arcs {
+                *merged.entry(j).or_insert(0.0) += r;
+            }
+            let csr: Vec<(usize, f64)> = gen.row(i).filter(|&(j, _)| j != i).collect();
+            assert_eq!(csr.len(), merged.len(), "row {i} arc count");
+            for (j, v) in csr {
+                let got = merged[&(j as u32)];
+                assert_eq!(got.to_bits(), v.to_bits(), "row {i} -> {j}");
+            }
+        }
+        assert_eq!(total_arcs, space.stats().arcs);
+        assert_eq!(total_arcs, solved.reach_stats().arcs);
+    }
+
+    #[test]
+    fn rows_match_materialized_generator_without_immediates() {
+        assert_rows_match(&mm1k(1.3, 2.1, 6));
+    }
+
+    #[test]
+    fn rows_match_materialized_generator_with_vanishing_elimination() {
+        let spn = routed();
+        assert_rows_match(&spn);
+        let space = spn.tangible_space(&ReachabilityOptions::default()).unwrap();
+        assert!(space.stats().vanishing_eliminated > 0);
+    }
+
+    #[test]
+    fn measures_match_solved_spn() {
+        let spn = mm1k(1.0, 2.0, 4);
+        let opts = ReachabilityOptions::default();
+        let solved = spn.solve_with(&opts).unwrap();
+        let space = spn.tangible_space(&opts).unwrap();
+        let pi = solved.ctmc().steady_state().unwrap();
+        let place = crate::PlaceId::index_test(0);
+        let serve = crate::TransitionId::index_test(1);
+        let en = space.expected_tokens_given(&pi, place).unwrap();
+        let en_ref = solved.expected_tokens(place).unwrap();
+        assert!((en - en_ref).abs() < 1e-12);
+        let tp = space.throughput_given(&pi, serve).unwrap();
+        let tp_ref = solved.throughput_given(&pi, serve).unwrap();
+        assert_eq!(tp.to_bits(), tp_ref.to_bits());
+        // Validation mirrors SolvedSpn.
+        assert!(space.expected_tokens_given(&[1.0], place).is_err());
+        assert!(space
+            .throughput_given(&pi, crate::TransitionId::index_test(0))
+            .is_ok());
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut b = SpnBuilder::new();
+        let p = b.place("p", 0);
+        let t = b.timed("grow", 1.0);
+        b.output_arc(t, p, 1);
+        let spn = b.build().unwrap();
+        let opts = ReachabilityOptions {
+            max_markings: 100,
+            ..Default::default()
+        };
+        assert!(spn.tangible_space(&opts).is_err());
+    }
+
+    #[test]
+    fn resident_bytes_is_far_below_materialized_footprint() {
+        let spn = mm1k(1.0, 2.0, 200);
+        let opts = ReachabilityOptions::default();
+        let space = spn.tangible_space(&opts).unwrap();
+        let n = space.num_markings();
+        assert_eq!(n, 201);
+        // Arena is one u32 per marking here; the whole space is a few KB.
+        assert!(space.resident_bytes() < 64 * 1024);
+        assert!(space.resident_bytes() >= n * 4);
+    }
+}

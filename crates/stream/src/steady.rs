@@ -1,0 +1,531 @@
+//! Block-partitioned steady-state iteration over a [`RowSource`].
+//!
+//! The generator is consumed column-block by column-block: each block's
+//! **column slice** — the arcs whose *target* lies in the block, listed
+//! in row-scan order and stably sorted by target — is either cached
+//! across sweeps or recomputed from the row source every sweep,
+//! whichever the memory plan allows. The Gauss–Seidel/SOR sweep itself
+//! always walks states in global order and consumes each column's
+//! entries in the same (row-scan, emission) sequence regardless of
+//! where block boundaries fall, so the iterates — and therefore the
+//! result — are **bitwise identical** at any block count and any
+//! admitting memory budget. Caching is purely a wall-time decision.
+
+use crate::plan::{plan_steady, MemoryPlan, PlanOutcome, StreamMethod, StreamOptions};
+use crate::source::{scan_rates, RateScan, RowSource};
+use reliab_core::{Error, Result};
+use reliab_obs as obs;
+
+/// A steady-state distribution plus streaming-solver telemetry.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SteadyStreamReport {
+    /// The stationary distribution (sums to 1).
+    pub pi: Vec<f64>,
+    /// `"stream-sor"` or `"stream-power"`.
+    pub method: &'static str,
+    /// Sweeps / iterations performed.
+    pub iterations: usize,
+    /// Convergence residual of the final sweep (relative `∞`-norm
+    /// change for SOR, absolute for power — same semantics as the
+    /// in-core iterative solvers).
+    pub residual: f64,
+    /// Final-sweep residual per column block, on the same scale as
+    /// `residual` — the per-shard view of convergence.
+    pub block_residuals: Vec<f64>,
+    /// The memory plan the solve ran under (`cached_blocks` filled in).
+    pub plan: MemoryPlan,
+}
+
+/// One block's column slice: `(j_local, source_state, rate)` — the arcs
+/// targeting the block, grouped by local target. Entries of one column
+/// appear in the row-scan/emission order of the source, which is the
+/// invariant the bitwise block-independence guarantee rests on.
+type Slice = Vec<(u32, u32, f64)>;
+
+/// Solves `π Q = 0`, `Σ π = 1` over a row source under the options'
+/// memory budget.
+///
+/// # Errors
+///
+/// * [`Error::InvalidParameter`] — bad options, a non-ergodic diagonal
+///   (SOR), or a budget too small for an exact solve (escalate to
+///   [`crate::bounded_steady_reward`]).
+/// * [`Error::Convergence`] — iteration budget exhausted.
+/// * Row-source errors propagate.
+pub fn steady_state(src: &mut dyn RowSource, opts: &StreamOptions) -> Result<SteadyStreamReport> {
+    steady_state_observed(src, opts, &mut |_, _| {})
+}
+
+/// [`steady_state`] with a per-sweep observer `observer(sweep,
+/// residual)` (1-based sweep number, residual as tested against the
+/// tolerance). The observer must not panic.
+///
+/// # Errors
+///
+/// See [`steady_state`].
+pub fn steady_state_observed(
+    src: &mut dyn RowSource,
+    opts: &StreamOptions,
+    observer: &mut dyn FnMut(usize, f64),
+) -> Result<SteadyStreamReport> {
+    opts.validate()?;
+    let _span = obs::span("stream.steady");
+    let scan = scan_rates(src)?;
+    let n = src.num_states();
+    let mut plan = match plan_steady(n, scan.arcs, src.resident_bytes(), opts) {
+        PlanOutcome::Exact(p) => p,
+        PlanOutcome::NeedsBounds { required, budget } => {
+            return Err(Error::invalid(format!(
+                "memory budget of {budget} bytes cannot hold the exact iteration state \
+                 ({required} bytes of row source + vectors); raise the budget or use the \
+                 aggregation bounds path"
+            )))
+        }
+    };
+
+    // Blocks are contiguous index ranges of equal width; the last may
+    // be short. Re-derive the effective count from the width so the
+    // reported plan matches what the sweep actually does.
+    let bs = n.div_ceil(plan.blocks);
+    let nblocks = n.div_ceil(bs);
+    plan.blocks = nblocks;
+
+    let (cached, cached_count) = build_cached_prefix(src, n, bs, nblocks, &plan)?;
+    plan.cached_blocks = cached_count;
+    obs::event(
+        "stream.plan",
+        &[
+            ("states", n.into()),
+            ("arcs", scan.arcs.into()),
+            ("blocks", nblocks.into()),
+            ("cached_blocks", cached_count.into()),
+            ("source_bytes", plan.source_bytes.into()),
+            ("slice_bytes", plan.slice_bytes.into()),
+        ],
+    );
+
+    let report = match opts.method {
+        StreamMethod::Auto | StreamMethod::Sor => {
+            sor_sweeps(src, &scan, plan, opts, cached, observer)
+        }
+        StreamMethod::Power => power_iterations(src, &scan, plan, opts, cached, observer),
+    }?;
+    obs::counter_add("stream.steady.solves", 1);
+    obs::counter_add("stream.steady.iterations", report.iterations as u64);
+    Ok(report)
+}
+
+/// Builds the column slices of blocks `0..prefix` in a single scan of
+/// the source, where `prefix` is how many leading blocks the cache pool
+/// is estimated to hold (all of them when the whole slice store fits).
+fn build_cached_prefix(
+    src: &mut dyn RowSource,
+    n: usize,
+    bs: usize,
+    nblocks: usize,
+    plan: &MemoryPlan,
+) -> Result<(Vec<Option<Slice>>, usize)> {
+    let prefix = if plan.slice_bytes <= plan.cache_bytes {
+        nblocks
+    } else {
+        // Estimate per-block bytes from the total; keep one block's
+        // worth of headroom as recompute scratch.
+        let per_block = (plan.slice_bytes / nblocks as u64).max(1);
+        let fit = plan.cache_bytes.saturating_sub(per_block) / per_block;
+        usize::try_from(fit).unwrap_or(nblocks).min(nblocks)
+    };
+    let mut cached: Vec<Option<Slice>> = (0..nblocks)
+        .map(|b| if b < prefix { Some(Vec::new()) } else { None })
+        .collect();
+    if prefix > 0 {
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        for i in 0..n {
+            src.row(i as u32, &mut row)?;
+            for &(j, r) in &row {
+                let b = j as usize / bs;
+                if let Some(slice) = cached[b].as_mut() {
+                    slice.push((j - (b * bs) as u32, i as u32, r));
+                }
+            }
+        }
+        for slice in cached.iter_mut().flatten() {
+            slice.sort_by_key(|t| t.0);
+        }
+    }
+    Ok((cached, prefix))
+}
+
+/// Rebuilds one block's column slice from the source — byte-identical
+/// to the cached construction: arcs collected in row-scan order, then
+/// stably sorted by local target.
+fn rebuild_slice(
+    src: &mut dyn RowSource,
+    n: usize,
+    lo: usize,
+    hi: usize,
+    row: &mut Vec<(u32, f64)>,
+    out: &mut Slice,
+) -> Result<()> {
+    out.clear();
+    for i in 0..n {
+        src.row(i as u32, row)?;
+        for &(j, r) in row.iter() {
+            if (j as usize) >= lo && (j as usize) < hi {
+                out.push((j - lo as u32, i as u32, r));
+            }
+        }
+    }
+    out.sort_by_key(|t| t.0);
+    Ok(())
+}
+
+fn sor_sweeps(
+    src: &mut dyn RowSource,
+    scan: &RateScan,
+    plan: MemoryPlan,
+    opts: &StreamOptions,
+    cached: Vec<Option<Slice>>,
+    observer: &mut dyn FnMut(usize, f64),
+) -> Result<SteadyStreamReport> {
+    let n = plan.states;
+    let bs = n.div_ceil(plan.blocks);
+    // Gauss–Seidel divides by -q_jj = the exit rate; a zero exit rate
+    // is an absorbing state, which an ergodic steady state cannot have.
+    for (j, &e) in scan.exit.iter().enumerate() {
+        if e <= 0.0 {
+            return Err(Error::invalid(format!(
+                "generator diagonal q[{j}][{j}] = {} must be negative",
+                if e == 0.0 { 0.0 } else { -e }
+            )));
+        }
+    }
+
+    let mut pi = vec![1.0 / n as f64; n];
+    let omega = opts.relaxation;
+    let mut block_res = vec![0.0f64; plan.blocks];
+    let mut scratch: Slice = Vec::new();
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    for iter in 0..opts.max_iterations {
+        let mut max_change = 0.0f64;
+        let mut max_val = 0.0f64;
+        for (b, maybe) in cached.iter().enumerate() {
+            let lo = b * bs;
+            let hi = (lo + bs).min(n);
+            let slice: &Slice = if let Some(s) = maybe {
+                s
+            } else {
+                rebuild_slice(src, n, lo, hi, &mut row, &mut scratch)?;
+                &scratch
+            };
+            let mut cursor = 0usize;
+            let mut block_change = 0.0f64;
+            for j in lo..hi {
+                let jl = (j - lo) as u32;
+                // pi_j_new = (sum_{i != j} pi_i q_ij) / (-q_jj), with the
+                // partial sum consuming column j's entries in the
+                // blocking-independent row-scan order.
+                let mut acc = 0.0;
+                while cursor < slice.len() && slice[cursor].0 == jl {
+                    let (_, i, r) = slice[cursor];
+                    acc += pi[i as usize] * r;
+                    cursor += 1;
+                }
+                let new = acc / scan.exit[j];
+                let relaxed = omega * new + (1.0 - omega) * pi[j];
+                let change = (relaxed - pi[j]).abs();
+                max_change = max_change.max(change);
+                block_change = block_change.max(change);
+                pi[j] = relaxed;
+                max_val = max_val.max(relaxed.abs());
+            }
+            block_res[b] = block_change;
+            if obs::trace_enabled() {
+                obs::event(
+                    "stream.block",
+                    &[
+                        ("sweep", (iter + 1).into()),
+                        ("block", b.into()),
+                        ("residual", block_change.into()),
+                    ],
+                );
+            }
+        }
+        // Normalize each sweep to keep the iterate bounded.
+        let total: f64 = pi.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(Error::numerical(
+                "singular system: SOR iterate collapsed; chain may be reducible",
+            ));
+        }
+        for p in &mut pi {
+            *p /= total;
+        }
+        if max_val > 0.0 {
+            let rel = max_change / max_val;
+            observer(iter + 1, rel);
+            obs::event(
+                "stream.iteration",
+                &[
+                    ("method", "stream-sor".into()),
+                    ("iter", (iter + 1).into()),
+                    ("residual", rel.into()),
+                ],
+            );
+            if rel < opts.tolerance {
+                for r in &mut block_res {
+                    *r /= max_val;
+                }
+                return Ok(SteadyStreamReport {
+                    pi,
+                    method: "stream-sor",
+                    iterations: iter + 1,
+                    residual: rel,
+                    block_residuals: block_res,
+                    plan,
+                });
+            }
+        }
+        if iter + 1 == opts.max_iterations {
+            return Err(Error::Convergence {
+                what: "streaming SOR steady-state".into(),
+                iterations: opts.max_iterations,
+                residual: max_change / max_val.max(f64::MIN_POSITIVE),
+            });
+        }
+    }
+    unreachable!("loop returns before exhausting")
+}
+
+fn power_iterations(
+    src: &mut dyn RowSource,
+    scan: &RateScan,
+    plan: MemoryPlan,
+    opts: &StreamOptions,
+    cached: Vec<Option<Slice>>,
+    observer: &mut dyn FnMut(usize, f64),
+) -> Result<SteadyStreamReport> {
+    let n = plan.states;
+    let bs = n.div_ceil(plan.blocks);
+    let q = scan.q;
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let mut block_res = vec![0.0f64; plan.blocks];
+    let mut scratch: Slice = Vec::new();
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    for iter in 0..opts.max_iterations {
+        // next = P^T pi for the uniformized DTMC P = I + Q/q, assembled
+        // per column block (column sums are blocking-independent).
+        for (b, maybe) in cached.iter().enumerate() {
+            let lo = b * bs;
+            let hi = (lo + bs).min(n);
+            let slice: &Slice = if let Some(s) = maybe {
+                s
+            } else {
+                rebuild_slice(src, n, lo, hi, &mut row, &mut scratch)?;
+                &scratch
+            };
+            let mut cursor = 0usize;
+            for (j, nj) in next.iter_mut().enumerate().take(hi).skip(lo) {
+                let jl = (j - lo) as u32;
+                let mut acc = 0.0;
+                while cursor < slice.len() && slice[cursor].0 == jl {
+                    let (_, i, r) = slice[cursor];
+                    acc += pi[i as usize] * r;
+                    cursor += 1;
+                }
+                *nj = pi[j] * (1.0 - scan.exit[j] / q) + acc / q;
+            }
+        }
+        let total: f64 = next.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(Error::numerical(
+                "singular system: power iterate collapsed; matrix may not be stochastic",
+            ));
+        }
+        for v in &mut next {
+            *v /= total;
+        }
+        let mut change = 0.0f64;
+        for (b, res) in block_res.iter_mut().enumerate() {
+            let lo = b * bs;
+            let hi = (lo + bs).min(n);
+            let mut bc = 0.0f64;
+            for j in lo..hi {
+                bc = bc.max((pi[j] - next[j]).abs());
+            }
+            *res = bc;
+            change = change.max(bc);
+        }
+        std::mem::swap(&mut pi, &mut next);
+        observer(iter + 1, change);
+        obs::event(
+            "stream.iteration",
+            &[
+                ("method", "stream-power".into()),
+                ("iter", (iter + 1).into()),
+                ("residual", change.into()),
+            ],
+        );
+        if change < opts.tolerance {
+            return Ok(SteadyStreamReport {
+                pi,
+                method: "stream-power",
+                iterations: iter + 1,
+                residual: change,
+                block_residuals: block_res,
+                plan,
+            });
+        }
+        if iter + 1 == opts.max_iterations {
+            return Err(Error::Convergence {
+                what: "streaming power method".into(),
+                iterations: opts.max_iterations,
+                residual: change,
+            });
+        }
+    }
+    unreachable!("loop returns before exhausting")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::CsrRowSource;
+    use reliab_markov::{Ctmc, CtmcBuilder, IterativeOptions, SteadyStateMethod};
+
+    fn birth_death(n: usize, lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let ids: Vec<_> = (0..n).map(|i| b.state(&format!("s{i}"))).collect();
+        for i in 0..n - 1 {
+            b.transition(ids[i], ids[i + 1], lambda).unwrap();
+            b.transition(ids[i + 1], ids[i], mu).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sor_matches_materialized_sor() {
+        let c = birth_death(40, 1.0, 2.5);
+        let exact = c
+            .steady_state_with(&SteadyStateMethod::Sor(IterativeOptions::default()))
+            .unwrap();
+        let mut src = CsrRowSource::new(&c);
+        let report = steady_state(&mut src, &StreamOptions::default()).unwrap();
+        assert_eq!(report.method, "stream-sor");
+        for (i, (p, e)) in report.pi.iter().zip(&exact).enumerate() {
+            assert!((p - e).abs() < 1e-10, "state {i}");
+        }
+        assert!((report.pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(report.iterations > 0);
+        assert_eq!(report.block_residuals.len(), report.plan.blocks);
+    }
+
+    #[test]
+    fn power_matches_sor() {
+        let c = birth_death(12, 2.0, 3.0);
+        let mut src = CsrRowSource::new(&c);
+        let sor = steady_state(&mut src, &StreamOptions::default()).unwrap();
+        let power = steady_state(
+            &mut src,
+            &StreamOptions {
+                method: StreamMethod::Power,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(power.method, "stream-power");
+        for i in 0..12 {
+            assert!((sor.pi[i] - power.pi[i]).abs() < 1e-8, "state {i}");
+        }
+    }
+
+    #[test]
+    fn results_are_bitwise_identical_at_any_block_count() {
+        let c = birth_death(53, 1.7, 2.2);
+        let mut src = CsrRowSource::new(&c);
+        let reference = steady_state(&mut src, &StreamOptions::default()).unwrap();
+        for blocks in [2, 3, 7, 16, 53, 200] {
+            for method in [StreamMethod::Sor, StreamMethod::Power] {
+                let r = steady_state(
+                    &mut src,
+                    &StreamOptions {
+                        blocks: Some(blocks),
+                        method,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                if method == StreamMethod::Sor {
+                    assert_eq!(
+                        r.pi, reference.pi,
+                        "blocks = {blocks}: SOR must be bitwise block-independent"
+                    );
+                    assert_eq!(r.iterations, reference.iterations);
+                }
+                assert!((r.pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_bitwise_identical_at_any_admitting_budget() {
+        let c = birth_death(30, 1.0, 1.9);
+        let mut src = CsrRowSource::new(&c);
+        let reference = steady_state(&mut src, &StreamOptions::default()).unwrap();
+        let floor = src.resident_bytes() + 2 * 8 * 30;
+        for extra in [0, 100, 1000, 1 << 20] {
+            let r = steady_state(
+                &mut src,
+                &StreamOptions {
+                    mem_budget: Some(floor + extra),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.pi, reference.pi, "budget = floor + {extra}");
+        }
+    }
+
+    #[test]
+    fn hopeless_budget_is_rejected() {
+        let c = birth_death(30, 1.0, 1.9);
+        let mut src = CsrRowSource::new(&c);
+        let err = steady_state(
+            &mut src,
+            &StreamOptions {
+                mem_budget: Some(16),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("memory budget"));
+    }
+
+    #[test]
+    fn absorbing_chain_is_rejected_by_sor() {
+        let mut b = CtmcBuilder::new();
+        let a = b.state("a");
+        let sink = b.state("sink");
+        b.transition(a, sink, 1.0).unwrap();
+        let c = b.build().unwrap();
+        let mut src = CsrRowSource::new(&c);
+        assert!(steady_state(&mut src, &StreamOptions::default()).is_err());
+    }
+
+    #[test]
+    fn iteration_budget_exhaustion_reports_convergence_error() {
+        let c = birth_death(40, 1.0, 1.01);
+        let mut src = CsrRowSource::new(&c);
+        let err = steady_state(
+            &mut src,
+            &StreamOptions {
+                max_iterations: 2,
+                tolerance: 1e-15,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Convergence { iterations: 2, .. }));
+    }
+}

@@ -1,0 +1,303 @@
+//! Streaming transient solution by on-the-fly uniformization.
+//!
+//! Jensen's method with Poisson tail control, exactly as the in-core
+//! solver — but the uniformized matrix–vector product is evaluated by
+//! scattering each regenerated row into the next iterate, so nothing
+//! beyond the two recurrence vectors and the accumulator is ever
+//! stored. The recurrence, truncation, steady-state detection, and
+//! final clamp/renormalize mirror `Ctmc::transient_report`, keeping the
+//! streaming path differential-testable to tight tolerances.
+
+use crate::num_err;
+use crate::plan::{plan_transient, MemoryPlan, PlanOutcome, StreamOptions};
+use crate::source::{scan_rates, RowSource};
+use reliab_core::{Error, Result};
+use reliab_numeric::poisson_weights;
+use reliab_obs as obs;
+
+/// A transient distribution plus streaming-uniformization telemetry.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct StreamTransientReport {
+    /// The state-probability vector at the requested time.
+    pub distribution: Vec<f64>,
+    /// Streaming matrix–vector products performed (each one full pass
+    /// over the row source).
+    pub matvecs: usize,
+    /// Number of significant Poisson terms in the truncated sum.
+    pub poisson_terms: usize,
+    /// If steady-state detection fired, the term index at which the
+    /// uniformized iterate stopped changing.
+    pub converged_at: Option<usize>,
+    /// The memory plan the solve ran under.
+    pub plan: MemoryPlan,
+}
+
+/// State-probability vector at time `t`, starting from `initial`, by
+/// on-the-fly uniformization over a row source.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for a bad distribution, negative
+/// `t`, bad options, or a memory budget below the row source plus the
+/// recurrence vectors; numerical errors propagate from the
+/// Poisson-weight computation; row-source errors propagate.
+pub fn transient(
+    src: &mut dyn RowSource,
+    initial: &[f64],
+    t: f64,
+    opts: &StreamOptions,
+) -> Result<StreamTransientReport> {
+    let _span = obs::span("stream.transient");
+    opts.validate()?;
+    let n = src.num_states();
+    check_distribution(initial, n)?;
+    if t.is_nan() || t < 0.0 || !t.is_finite() {
+        return Err(Error::invalid(format!(
+            "time must be finite and >= 0, got {t}"
+        )));
+    }
+    let scan = scan_rates(src)?;
+    let plan = match plan_transient(n, scan.arcs, src.resident_bytes(), opts) {
+        PlanOutcome::Exact(p) => p,
+        PlanOutcome::NeedsBounds { required, budget } => {
+            return Err(Error::invalid(format!(
+                "memory budget of {budget} bytes cannot hold the transient recurrence \
+                 ({required} bytes of row source + vectors); raise the budget"
+            )))
+        }
+    };
+    let identity = |matvecs: usize| StreamTransientReport {
+        distribution: initial.to_vec(),
+        matvecs,
+        poisson_terms: 0,
+        converged_at: None,
+        plan,
+    };
+    if t == 0.0 {
+        return Ok(identity(0));
+    }
+    let q = scan.q;
+    if q <= 1e-299 {
+        // No transitions at all: distribution never moves.
+        return Ok(identity(0));
+    }
+    let w = poisson_weights(q * t, opts.epsilon).map_err(num_err)?;
+
+    let mut v = initial.to_vec();
+    let mut next = vec![0.0f64; n];
+    let mut out = vec![0.0f64; n];
+    let mut row: Vec<(u32, f64)> = Vec::new();
+    let mut converged_at: Option<usize> = None;
+    let mut matvecs = 0usize;
+
+    // One uniformized step `next = v · P`, P = I + Q/q, scattered row
+    // by row — the streaming counterpart of the CSR `vecmat`.
+    macro_rules! step {
+        () => {{
+            for x in next.iter_mut() {
+                *x = 0.0;
+            }
+            for i in 0..n {
+                let vi = v[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                next[i] += vi * (1.0 - scan.exit[i] / q);
+                src.row(i as u32, &mut row)?;
+                for &(j, r) in &row {
+                    next[j as usize] += vi * (r / q);
+                }
+            }
+            matvecs += 1;
+        }};
+    }
+
+    // Advance to the left truncation point, checking for early
+    // steady-state en route.
+    for _k in 0..w.left {
+        step!();
+        if let Some(thresh) = opts.steady_state_detection {
+            if max_abs_diff(&v, &next) < thresh {
+                std::mem::swap(&mut v, &mut next);
+                converged_at = Some(0);
+                break;
+            }
+        }
+        std::mem::swap(&mut v, &mut next);
+    }
+
+    if converged_at.is_none() {
+        for idx in 0..w.weights.len() {
+            let wk = w.weights[idx];
+            for i in 0..n {
+                out[i] += wk * v[i];
+            }
+            if idx + 1 < w.weights.len() {
+                step!();
+                if let Some(thresh) = opts.steady_state_detection {
+                    if max_abs_diff(&v, &next) < thresh {
+                        std::mem::swap(&mut v, &mut next);
+                        converged_at = Some(idx + 1);
+                        break;
+                    }
+                }
+                std::mem::swap(&mut v, &mut next);
+            }
+        }
+    }
+
+    if let Some(start) = converged_at {
+        // The iterate has converged: the remaining Poisson mass all
+        // multiplies (approximately) the same vector.
+        let consumed: f64 = w.weights[..start].iter().sum();
+        let remaining = 1.0 - consumed;
+        for i in 0..n {
+            out[i] += remaining * v[i];
+        }
+    }
+
+    // Clean round-off: clamp and renormalize.
+    let mut total = 0.0;
+    for o in &mut out {
+        *o = o.max(0.0);
+        total += *o;
+    }
+    if total > 0.0 {
+        for o in &mut out {
+            *o /= total;
+        }
+    }
+    obs::event(
+        "stream.transient.point",
+        &[
+            ("t", t.into()),
+            ("matvecs", matvecs.into()),
+            ("poisson_terms", w.weights.len().into()),
+        ],
+    );
+    obs::counter_add("stream.transient.points", 1);
+    obs::counter_add("stream.transient.matvecs", matvecs as u64);
+    Ok(StreamTransientReport {
+        distribution: out,
+        matvecs,
+        poisson_terms: w.weights.len(),
+        converged_at,
+        plan,
+    })
+}
+
+fn check_distribution(p: &[f64], n: usize) -> Result<()> {
+    if p.len() != n {
+        return Err(Error::invalid(format!(
+            "distribution length {} != number of states {n}",
+            p.len()
+        )));
+    }
+    let mut total = 0.0;
+    for (i, &v) in p.iter().enumerate() {
+        if !(0.0..=1.0).contains(&v) || v.is_nan() {
+            return Err(Error::invalid(format!(
+                "distribution entry {i} = {v} must lie in [0, 1]"
+            )));
+        }
+        total += v;
+    }
+    if (total - 1.0).abs() > 1e-9 {
+        return Err(Error::invalid(format!(
+            "distribution sums to {total}, expected 1"
+        )));
+    }
+    Ok(())
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::CsrRowSource;
+    use reliab_markov::{Ctmc, CtmcBuilder, TransientOptions};
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up");
+        let down = b.state("down");
+        b.transition(up, down, lambda).unwrap();
+        b.transition(down, up, mu).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_in_core_uniformization() {
+        let c = two_state(0.4, 1.7);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let mut src = CsrRowSource::new(&c);
+        for &t in &[0.0, 0.1, 0.5, 1.0, 5.0, 50.0] {
+            let streamed = transient(&mut src, &p0, t, &StreamOptions::default()).unwrap();
+            let exact = c.transient(&p0, t).unwrap();
+            for (i, (s, e)) in streamed.distribution.iter().zip(&exact).enumerate() {
+                assert!((s - e).abs() < 1e-12, "t = {t}, state {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_matches_in_core_solver() {
+        // Stiff chain: steady-state detection must fire at the same
+        // term index as the in-core solver, with the same matvec count.
+        let c = two_state(1e-4, 100.0);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let mut src = CsrRowSource::new(&c);
+        let streamed = transient(&mut src, &p0, 1000.0, &StreamOptions::default()).unwrap();
+        let exact = c
+            .transient_report(&p0, 1000.0, &TransientOptions::default())
+            .unwrap();
+        assert_eq!(streamed.matvecs, exact.matvecs);
+        assert_eq!(streamed.poisson_terms, exact.poisson_terms);
+        assert_eq!(streamed.converged_at, exact.converged_at);
+        assert!(streamed.converged_at.is_some());
+    }
+
+    #[test]
+    fn inputs_validated() {
+        let c = two_state(1.0, 1.0);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let mut src = CsrRowSource::new(&c);
+        assert!(transient(&mut src, &p0, -1.0, &StreamOptions::default()).is_err());
+        assert!(transient(&mut src, &[0.5, 0.6], 1.0, &StreamOptions::default()).is_err());
+        assert!(transient(&mut src, &[0.5], 1.0, &StreamOptions::default()).is_err());
+        let bad = StreamOptions {
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        assert!(transient(&mut src, &p0, 1.0, &bad).is_err());
+    }
+
+    #[test]
+    fn t_zero_is_identity_and_costs_nothing() {
+        let c = two_state(1.0, 1.0);
+        let p0 = vec![0.25, 0.75];
+        let mut src = CsrRowSource::new(&c);
+        let r = transient(&mut src, &p0, 0.0, &StreamOptions::default()).unwrap();
+        assert_eq!(r.distribution, p0);
+        assert_eq!(r.matvecs, 0);
+    }
+
+    #[test]
+    fn budget_below_vectors_is_rejected() {
+        let c = two_state(1.0, 1.0);
+        let p0 = c.point_mass(c.find_state("up").unwrap());
+        let mut src = CsrRowSource::new(&c);
+        let opts = StreamOptions {
+            mem_budget: Some(8),
+            ..Default::default()
+        };
+        assert!(transient(&mut src, &p0, 1.0, &opts).is_err());
+    }
+}
